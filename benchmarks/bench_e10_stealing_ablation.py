@@ -1,0 +1,68 @@
+"""E10 (ablation): work-stealing design knobs.
+
+Steal-half vs steal-one, random vs ring victim selection, and the initial
+distribution, at two scales. Backs the paper's observation that execution
+model *details* (not just the family) move performance.
+"""
+
+import pytest
+
+from repro.core import format_table
+from repro.exec_models import WorkStealing
+from repro.simulate import commodity_cluster
+
+CONFIGS = (
+    ("half/random/block", dict(steal="half", victim="random", initial="block")),
+    ("one/random/block", dict(steal="one", victim="random", initial="block")),
+    ("half/ring/block", dict(steal="half", victim="ring", initial="block")),
+    ("half/random/cyclic", dict(steal="half", victim="random", initial="cyclic")),
+)
+RANKS = (64, 256)
+
+
+def run_ablation(graph):
+    rows = []
+    for n_ranks in RANKS:
+        machine = commodity_cluster(n_ranks)
+        for label, kwargs in CONFIGS:
+            result = WorkStealing(**kwargs).run(graph, machine, seed=6)
+            rows.append(
+                {
+                    "P": n_ranks,
+                    "config": label,
+                    "makespan_ms": result.makespan * 1e3,
+                    "steals": result.counters["steal_successes"],
+                    "failed": result.counters["failed_steals"],
+                    "stolen_tasks": result.counters["tasks_stolen"],
+                }
+            )
+    return rows
+
+
+@pytest.mark.benchmark(group="e10")
+def test_e10_stealing_ablation(benchmark, water8_graph, emit):
+    rows = benchmark.pedantic(run_ablation, args=(water8_graph,), rounds=1, iterations=1)
+    emit(
+        "e10_stealing_ablation",
+        format_table(
+            rows,
+            columns=["P", "config", "makespan_ms", "steals", "failed", "stolen_tasks"],
+            title="E10: work-stealing configuration ablation",
+        ),
+    )
+
+    def cell(p, config, col):
+        return next(r[col] for r in rows if r["P"] == p and r["config"] == config)
+
+    for p in RANKS:
+        # Steal-one must pay more steal operations than steal-half...
+        assert cell(p, "one/random/block", "steals") > cell(p, "half/random/block", "steals")
+        # ...and not beat it at scale.
+        assert (
+            cell(p, "one/random/block", "makespan_ms")
+            >= cell(p, "half/random/block", "makespan_ms") * 0.98
+        )
+    # A cyclic initial distribution needs fewer steals than block.
+    assert cell(64, "half/random/cyclic", "stolen_tasks") < cell(
+        64, "half/random/block", "stolen_tasks"
+    )

@@ -1,0 +1,83 @@
+"""E11 (extension): full-loop vs symmetry-folded task formulation.
+
+Production SCF codes fold the 8-fold ERI permutational symmetry into the
+task decomposition: ~8x fewer integral flops, but ~8x fewer (fatter,
+wider-footprint) tasks. That is an execution-model decision too — it
+moves the workload along the work-units-vs-overheads axis of claim C3:
+the folded formulation wins outright on total work, but its reduced
+parallel slack costs more at high rank counts relative to its own ideal.
+"""
+
+import pytest
+
+from repro.chemistry import ScfProblem, build_symmetric_task_graph, water_cluster
+from repro.core import format_table
+from repro.exec_models import make_model
+from repro.simulate import commodity_cluster
+
+MODELS = ("static_cyclic", "counter_dynamic", "work_stealing")
+RANKS = (64, 256)
+
+
+def run_comparison():
+    problem = ScfProblem.build(water_cluster(6, seed=0), block_size=6, tau=1.0e-10)
+    full = problem.graph
+    folded = build_symmetric_task_graph(
+        problem.basis, problem.blocks, problem.screen, tau=1.0e-10
+    )
+    rows = []
+    for label, graph in (("full", full), ("folded", folded)):
+        for n_ranks in RANKS:
+            machine = commodity_cluster(n_ranks)
+            for model_name in MODELS:
+                result = make_model(model_name).run(graph, machine, seed=7)
+                rows.append(
+                    {
+                        "formulation": label,
+                        "n_tasks": graph.n_tasks,
+                        "P": n_ranks,
+                        "model": model_name,
+                        "makespan_ms": result.makespan * 1e3,
+                        "efficiency": result.efficiency,
+                    }
+                )
+    return rows, full, folded
+
+
+@pytest.mark.benchmark(group="e11")
+def test_e11_symmetry_formulation(benchmark, emit):
+    rows, full, folded = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    emit(
+        "e11_symmetry",
+        format_table(
+            rows,
+            columns=["formulation", "n_tasks", "P", "model", "makespan_ms", "efficiency"],
+            title="E11: full-loop vs symmetry-folded decomposition (water6)",
+        ),
+    )
+
+    def cell(formulation, p, model):
+        return next(
+            r["makespan_ms"]
+            for r in rows
+            if r["formulation"] == formulation and r["P"] == p and r["model"] == model
+        )
+
+    # The fold removes most integral work...
+    assert folded.total_flops < 0.45 * full.total_flops
+    assert folded.n_tasks < full.n_tasks / 4
+    # ...so folded wins in absolute time everywhere...
+    for p in RANKS:
+        for model in MODELS:
+            assert cell("folded", p, model) < cell("full", p, model)
+    # ...but its parallel efficiency penalty grows with P (fewer, fatter
+    # tasks mean less balancing headroom at 256 ranks).
+    for model in MODELS:
+        eff = {
+            (r["formulation"], r["P"]): r["efficiency"]
+            for r in rows
+            if r["model"] == model
+        }
+        drop_folded = eff[("folded", 64)] - eff[("folded", 256)]
+        drop_full = eff[("full", 64)] - eff[("full", 256)]
+        assert drop_folded > drop_full - 0.02

@@ -1,0 +1,80 @@
+"""E12 (extension): node-aware execution models on an SMP cluster.
+
+The paper's conclusion points at "multi- and many-core architectures"; on
+a machine with cheap intra-node communication the execution-model design
+space splits again:
+
+- a per-node counter eliminates the E6 contention but freezes the
+  inter-node partition — it loses badly under the chemistry kernel's
+  spatially correlated cost skew;
+- a cost-informed per-node partition (inspector-lite) fixes the known
+  skew but not anything unforeseen;
+- hierarchical work stealing (steal local first) keeps global dynamic
+  balancing and shifts protocol traffic onto the cheap intra-node paths.
+"""
+
+import pytest
+
+from repro.core import format_table
+from repro.exec_models import make_model
+from repro.simulate import hierarchical_cluster
+
+MODELS = (
+    "counter_dynamic",
+    "counter_per_node",
+    "counter_per_node_cost",
+    "work_stealing",
+    "work_stealing_hier",
+)
+NODES = (4, 16)
+CORES = 16
+
+
+def run_sweep(graph):
+    rows = []
+    for n_nodes in NODES:
+        machine = hierarchical_cluster(n_nodes, CORES)
+        for model_name in MODELS:
+            result = make_model(model_name).run(graph, machine, seed=9)
+            rows.append(
+                {
+                    "nodes": n_nodes,
+                    "P": machine.n_ranks,
+                    "model": model_name,
+                    "makespan_ms": result.makespan * 1e3,
+                    "overhead%": 100 * result.breakdown_fractions()["overhead"],
+                    "idle%": 100 * result.breakdown_fractions()["idle"],
+                }
+            )
+    return rows
+
+
+@pytest.mark.benchmark(group="e12")
+def test_e12_hierarchical_models(benchmark, water8_graph, emit):
+    rows = benchmark.pedantic(run_sweep, args=(water8_graph,), rounds=1, iterations=1)
+    emit(
+        "e12_hierarchical",
+        format_table(
+            rows,
+            columns=["nodes", "P", "model", "makespan_ms", "overhead%", "idle%"],
+            title=f"E12: node-aware models on SMP nodes of {CORES} cores (water8)",
+        ),
+    )
+
+    def cell(nodes, model, col="makespan_ms"):
+        return next(
+            r[col] for r in rows if r["nodes"] == nodes and r["model"] == model
+        )
+
+    for nodes in NODES:
+        # Per-node counter loses global balancing: worse than the global
+        # counter despite lower contention.
+        assert cell(nodes, "counter_per_node") > cell(nodes, "counter_dynamic")
+        # Cost-informed partition recovers most of it.
+        assert cell(nodes, "counter_per_node_cost") < cell(nodes, "counter_per_node")
+        # Hierarchical stealing is at least competitive with flat stealing.
+        assert cell(nodes, "work_stealing_hier") < cell(nodes, "work_stealing") * 1.10
+    # And per-node counters do deliver their promise: less overhead.
+    assert cell(16, "counter_per_node", "overhead%") < cell(
+        16, "counter_dynamic", "overhead%"
+    )

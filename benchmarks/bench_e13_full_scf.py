@@ -1,0 +1,71 @@
+"""E13 (extension): whole-SCF simulation — disciplines across iterations.
+
+The single-shot experiments time one Fock build; real SCF pays
+synchronization (Fock allreduce, density broadcast, convergence barrier)
+every iteration and can adapt between them. This experiment runs 6
+iterations under every discipline on a heterogeneous machine and reports
+first-iteration vs steady-state times — showing persistence-based
+rebalancing overtaking even work stealing once it has one iteration of
+measurements (it pays zero runtime scheduling overhead).
+"""
+
+import pytest
+
+from repro.core import format_table
+from repro.exec_models import ScfSimulation
+from repro.exec_models.scf_simulation import MODES
+from repro.simulate import RandomStaticVariability, commodity_cluster
+
+N_RANKS = 64
+N_ITERATIONS = 6
+
+
+def run_sweep(graph):
+    machine = commodity_cluster(
+        N_RANKS, variability=RandomStaticVariability(N_RANKS, sigma=0.3, seed=13)
+    )
+    rows = []
+    for mode in MODES:
+        result = ScfSimulation(mode).run(graph, machine, n_iterations=N_ITERATIONS, seed=3)
+        rows.append(
+            {
+                "mode": mode,
+                "total_ms": result.total_time * 1e3,
+                "iter1_ms": result.first_iteration_time * 1e3,
+                "steady_ms": result.steady_state_time * 1e3,
+                "adapt": result.first_iteration_time / result.steady_state_time,
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="e13")
+def test_e13_full_scf(benchmark, water6_problem, emit):
+    rows = benchmark.pedantic(run_sweep, args=(water6_problem.graph,), rounds=1, iterations=1)
+    emit(
+        "e13_full_scf",
+        format_table(
+            rows,
+            columns=["mode", "total_ms", "iter1_ms", "steady_ms", "adapt"],
+            title=(
+                f"E13: {N_ITERATIONS}-iteration SCF on a heterogeneous machine "
+                f"(P={N_RANKS}, lognormal sigma=0.3)"
+            ),
+        ),
+    )
+
+    cell = {r["mode"]: r for r in rows}
+    # Static pays its imbalance every iteration: no adaptation.
+    assert cell["static_block"]["adapt"] < 1.05
+    # Persistence adapts hard after iteration 1...
+    assert cell["persistence"]["adapt"] > 1.5
+    assert cell["persistence"]["iter1_ms"] == pytest.approx(
+        cell["static_block"]["iter1_ms"], rel=0.02
+    )
+    # ...and its steady state beats or matches the dynamic schedulers
+    # (no runtime overhead once the costs are known).
+    assert cell["persistence"]["steady_ms"] <= cell["counter"]["steady_ms"] * 1.05
+    assert cell["persistence"]["steady_ms"] <= cell["work_stealing"]["steady_ms"] * 1.05
+    # Dynamic schedulers beat every static over the whole run.
+    for mode in ("counter", "work_stealing", "persistence"):
+        assert cell[mode]["total_ms"] < cell["static_block"]["total_ms"]

@@ -1,0 +1,82 @@
+"""E15 (extension): weak scaling — grow the molecule with the machine.
+
+Strong scaling (E1) shrinks per-rank work until overheads dominate; weak
+scaling holds tasks-per-rank (~30) constant by growing the water cluster
+with the rank count. With *fixed task granularity*, each discipline hits
+its own scalability wall: at moderate scale the dynamic models win on
+balance, but by P=480 the counter's serialization and stealing's
+termination/steal traffic grow with P while static imbalance does not —
+and the ordering flips. This is the sharpest expression of the paper's
+"balance between available work units and runtime overheads" lesson:
+weak-scaling a fixed granularity is exactly what an execution model must
+not let you do.
+"""
+
+import pytest
+
+from repro.chemistry import ScfProblem, water_cluster
+from repro.core import format_table
+from repro.exec_models import make_model
+from repro.simulate import commodity_cluster
+
+MODELS = ("static_block", "counter_dynamic", "work_stealing")
+#: (n_waters, n_ranks) pairs; the task count grows ~quartically in the
+#: block count, so P follows it to hold tasks-per-rank near 30.
+STEPS = ((2, 8), (4, 80), (6, 480))
+
+
+def run_sweep():
+    rows = []
+    base: dict[str, tuple[float, float]] = {}
+    for n_waters, n_ranks in STEPS:
+        problem = ScfProblem.build(water_cluster(n_waters, seed=0), block_size=4, tau=1.0e-10)
+        machine = commodity_cluster(n_ranks)
+        work_per_rank = problem.graph.total_flops / n_ranks
+        for model_name in MODELS:
+            result = make_model(model_name).run(problem.graph, machine, seed=8)
+            if model_name not in base:
+                base[model_name] = (result.makespan, work_per_rank)
+            t0, w0 = base[model_name]
+            # Weak efficiency normalized by the actual per-rank work
+            # ratio (the molecule family cannot scale work perfectly).
+            weak_eff = (work_per_rank / w0) / (result.makespan / t0)
+            rows.append(
+                {
+                    "waters": n_waters,
+                    "P": n_ranks,
+                    "tasks/rank": problem.graph.n_tasks / n_ranks,
+                    "model": model_name,
+                    "makespan_ms": result.makespan * 1e3,
+                    "weak_eff": weak_eff,
+                }
+            )
+    return rows
+
+
+@pytest.mark.benchmark(group="e15")
+def test_e15_weak_scaling(benchmark, emit):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    emit(
+        "e15_weak_scaling",
+        format_table(
+            rows,
+            columns=["waters", "P", "tasks/rank", "model", "makespan_ms", "weak_eff"],
+            title="E15: weak scaling (constant tasks-per-rank)",
+        ),
+    )
+
+    def eff(model, p):
+        return next(r["weak_eff"] for r in rows if r["model"] == model and r["P"] == p)
+
+    mid_p = STEPS[1][1]
+    largest_p = STEPS[-1][1]
+    # At moderate scale the dynamic disciplines hold their efficiency and
+    # the counter leads.
+    assert eff("counter_dynamic", mid_p) > 0.9
+    assert eff("counter_dynamic", mid_p) > eff("static_block", mid_p)
+    # At the largest scale, fixed granularity hits the overhead wall:
+    # coordination costs grow with P, static imbalance does not, and the
+    # ordering flips.
+    assert eff("static_block", largest_p) > eff("counter_dynamic", largest_p)
+    assert eff("static_block", largest_p) > eff("work_stealing", largest_p)
+    assert eff("counter_dynamic", largest_p) < 0.5

@@ -1,0 +1,45 @@
+"""E1 ("Fig. 1"): execution time & speedup vs rank count per execution model.
+
+Validates claim C1: work stealing improves on traditional static
+scheduling by ~50% on the chemistry kernel. Regenerates the
+time-vs-ranks series for static-block, static-cyclic, counter-dynamic,
+and work stealing.
+"""
+
+import pytest
+
+from repro.core import StudyConfig, format_table, run_study
+
+MODELS = ("static_block", "static_cyclic", "counter_dynamic", "work_stealing")
+RANKS = (16, 64, 256)
+
+
+@pytest.mark.benchmark(group="e1")
+def test_e1_models_scaling(benchmark, water8_graph, emit):
+    def experiment():
+        config = StudyConfig(models=MODELS, n_ranks=RANKS, seed=1)
+        return run_study(config, graph=water8_graph)
+
+    report = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    rows = report.rows()
+    emit(
+        "e1_models_scaling",
+        format_table(
+            rows,
+            columns=["model", "P", "makespan_ms", "speedup", "efficiency", "imbalance"],
+            title="E1: execution models vs rank count (water_cluster(8), 10k tasks)",
+        ),
+    )
+
+    # Headline claim (C1): stealing ~1.5x over static block at scale.
+    for p in (64, 256):
+        gain = report.improvement("work_stealing", "static_block", p)
+        assert gain > 1.35, f"work stealing only {gain:.2f}x static at P={p}"
+    # Dynamic models strong-scale.
+    for model in ("work_stealing", "counter_dynamic"):
+        ps, ts = report.series(model)
+        assert ts[-1] < ts[0]
+    benchmark.extra_info["ws_vs_static_P64"] = report.improvement(
+        "work_stealing", "static_block", 64
+    )

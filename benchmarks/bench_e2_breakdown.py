@@ -1,0 +1,48 @@
+"""E2 ("Fig. 2"): utilization breakdown per execution model at fixed scale.
+
+Where does the time go? Compute / data movement / runtime overhead / idle
+fractions at P=128, the quantitative backing for the paper's discussion of
+execution-model overhead trade-offs.
+"""
+
+import pytest
+
+from repro.core import StudyConfig, format_table, run_study
+
+MODELS = (
+    "static_block",
+    "static_cyclic",
+    "counter_dynamic",
+    "work_stealing",
+    "inspector_semi_matching",
+)
+
+
+@pytest.mark.benchmark(group="e2")
+def test_e2_breakdown(benchmark, water8_graph, emit):
+    def experiment():
+        config = StudyConfig(models=MODELS, n_ranks=(128,), seed=2)
+        return run_study(config, graph=water8_graph)
+
+    report = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    rows = report.rows()
+    emit(
+        "e2_breakdown",
+        format_table(
+            rows,
+            columns=["model", "utilization", "compute%", "comm%", "overhead%", "idle%"],
+            title="E2: time breakdown at P=128 (fractions of rank-seconds)",
+        ),
+    )
+
+    by_model = {r["model"]: r for r in rows}
+    # Static block wastes time as idle (imbalance), not overhead.
+    assert by_model["static_block"]["idle%"] > 20
+    assert by_model["static_block"]["overhead%"] < 1
+    # Dynamic models trade idle for scheduling overhead.
+    assert by_model["counter_dynamic"]["idle%"] < by_model["static_block"]["idle%"]
+    assert by_model["counter_dynamic"]["overhead%"] > 0.05
+    assert by_model["work_stealing"]["idle%"] < by_model["static_block"]["idle%"]
+    # Everyone moves the same data, roughly.
+    comms = [r["comm%"] for r in rows]
+    assert max(comms) < 20

@@ -1,0 +1,63 @@
+"""E5 ("Fig. 4"): task-granularity trade-off per execution model.
+
+Claim C3's first half: performance depends on "finding the correct
+balance between available work units and runtime overheads". Sweeping the
+block size of a fixed molecule trades task count (parallel slack, dynamic
+balancing headroom) against per-task scheduling/communication overhead —
+each model bottoms out at a different block size.
+"""
+
+import pytest
+
+from repro.chemistry import ScfProblem, water_cluster
+from repro.core import format_table
+from repro.exec_models import make_model
+from repro.simulate import commodity_cluster
+
+BLOCK_SIZES = (2, 3, 4, 7, 10, 14)
+MODELS = ("static_cyclic", "counter_dynamic", "work_stealing")
+N_RANKS = 64
+
+
+def run_sweep():
+    molecule = water_cluster(4, seed=0)
+    machine = commodity_cluster(N_RANKS)
+    rows = []
+    for block_size in BLOCK_SIZES:
+        problem = ScfProblem.build(molecule, block_size=block_size, tau=1.0e-10)
+        graph = problem.graph
+        row = {"block_size": block_size, "n_tasks": graph.n_tasks}
+        for model_name in MODELS:
+            result = make_model(model_name).run(graph, machine, seed=3)
+            row[f"{model_name}_ms"] = result.makespan * 1e3
+        rows.append(row)
+    return rows
+
+
+@pytest.mark.benchmark(group="e5")
+def test_e5_granularity_tradeoff(benchmark, emit):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    emit(
+        "e5_granularity",
+        format_table(
+            rows,
+            columns=["block_size", "n_tasks"] + [f"{m}_ms" for m in MODELS],
+            title=f"E5: block-size sweep, water_cluster(4), P={N_RANKS}",
+        ),
+    )
+
+    for model in MODELS:
+        series = [r[f"{model}_ms"] for r in rows]
+        best = min(series)
+        # U-shape: both extremes are worse than the interior optimum.
+        assert series[0] > best * 1.05, f"{model}: finest granularity should pay overhead"
+        assert series[-1] > best * 1.05, f"{model}: coarsest granularity should starve ranks"
+        interior = series[1:-1]
+        assert min(interior) == best
+
+    # With too few tasks (coarsest), every model starves equally; with too
+    # many, the counter and stealing overheads differentiate the models.
+    finest = rows[0]
+    assert finest["n_tasks"] > 10_000
+    coarsest = rows[-1]
+    assert coarsest["n_tasks"] < N_RANKS

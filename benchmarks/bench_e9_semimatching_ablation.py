@@ -1,0 +1,84 @@
+"""E9 (ablation): semi-matching design knobs.
+
+How much of semi-matching's quality comes from (a) the weighted
+refinement sweeps vs plain greedy, (b) relaxing eligibility degree with
+random extra ranks? Also measures the optimal unit-weight solver as the
+balance-quality ceiling for task *counts*.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.balance import (
+    build_eligibility,
+    greedy_semi_matching,
+    makespan_lower_bound,
+    optimal_semi_matching,
+    rank_loads,
+    weighted_semi_matching,
+)
+from repro.chemistry.tasks import synthetic_task_graph
+from repro.core import format_table
+from repro.runtime.garrays import BlockDistribution
+
+N_RANKS = 32
+
+
+def run_ablation():
+    graph = synthetic_task_graph(3000, 24, seed=31, skew=1.2)
+    dist = BlockDistribution(24, N_RANKS)
+    lb = makespan_lower_bound(graph.costs, N_RANKS)
+    rows = []
+    for extra_degree in (0, 2, 4):
+        eligibility = build_eligibility(graph, N_RANKS, dist, extra_degree, seed=1)
+        for mode in ("greedy", "weighted", "optimal_unit"):
+            start = time.perf_counter()
+            if mode == "greedy":
+                assignment = greedy_semi_matching(graph.costs, eligibility, N_RANKS)
+            elif mode == "weighted":
+                assignment = weighted_semi_matching(graph.costs, eligibility, N_RANKS)
+            else:
+                assignment = optimal_semi_matching(eligibility, N_RANKS)
+            elapsed = time.perf_counter() - start
+            loads = rank_loads(graph.costs, assignment, N_RANKS)
+            counts = np.bincount(assignment, minlength=N_RANKS)
+            rows.append(
+                {
+                    "extra_degree": extra_degree,
+                    "mode": mode,
+                    "time_ms": elapsed * 1e3,
+                    "max/LB": float(loads.max() / lb),
+                    "count_imb": float(counts.max() / counts.mean()),
+                }
+            )
+    return rows
+
+
+@pytest.mark.benchmark(group="e9")
+def test_e9_semi_matching_ablation(benchmark, emit):
+    rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    emit(
+        "e9_semimatching_ablation",
+        format_table(
+            rows,
+            columns=["extra_degree", "mode", "time_ms", "max/LB", "count_imb"],
+            title=f"E9: semi-matching ablation (3000 tasks, P={N_RANKS})",
+        ),
+    )
+
+    def cell(extra, mode, col):
+        return next(
+            r[col] for r in rows if r["extra_degree"] == extra and r["mode"] == mode
+        )
+
+    for extra in (0, 2, 4):
+        # Weighted refinement never loses to greedy on cost balance.
+        assert cell(extra, "weighted", "max/LB") <= cell(extra, "greedy", "max/LB") + 1e-9
+        # Optimal unit-weight solver wins on task-count balance.
+        assert cell(extra, "optimal_unit", "count_imb") <= cell(extra, "greedy", "count_imb") + 1e-9
+    # Extra eligibility degree never meaningfully hurts weighted balance
+    # (on dense instances degree 0 is already near the lower bound, so
+    # only regressions matter, not strict monotone improvement).
+    assert cell(4, "weighted", "max/LB") <= cell(0, "weighted", "max/LB") * 1.01

@@ -1,0 +1,52 @@
+"""Shared benchmark fixtures and output plumbing.
+
+Every experiment writes its table both to stdout and to
+``benchmarks/results/<experiment>.txt`` so results survive pytest's output
+capture; EXPERIMENTS.md quotes those files.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.chemistry import ScfProblem, linear_alkane, water_cluster
+from repro.chemistry.tasks import synthetic_task_graph
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """emit(name, text): print and persist one experiment's output."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        print(f"\n{text}\n")
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _emit
+
+
+@pytest.fixture(scope="session")
+def water8_graph():
+    """The E1/E2/E7/E10 workload: 8 waters, 10k tasks, cv ~0.6."""
+    return ScfProblem.build(water_cluster(8), block_size=6, tau=1.0e-10).graph
+
+
+@pytest.fixture(scope="session")
+def water6_problem():
+    """Mid-size chemistry problem (2401 tasks) for balancer tables."""
+    return ScfProblem.build(water_cluster(6), block_size=6, tau=1.0e-9)
+
+
+@pytest.fixture(scope="session")
+def alkane_graph():
+    """Quasi-1-D chain: strongest screening skew."""
+    return ScfProblem.build(linear_alkane(10), block_size=6, tau=1.0e-9).graph
+
+
+@pytest.fixture(scope="session")
+def synthetic_medium():
+    return synthetic_task_graph(3000, 24, seed=11, skew=1.3)

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Real parallel SCF on the host: thread-pool Fock builds.
+
+Runs the same SCF three times — serial, shared-counter threads, and
+work-stealing threads — and verifies all three converge to the same
+energy, printing per-build scheduling statistics. This is the
+"is any of this real?" demo: actual concurrent task claiming on your CPU,
+same kernels as the simulator studies.
+
+Run:  python examples/scf_parallel.py [n_waters] [n_workers]
+"""
+
+import sys
+
+from repro import ScfProblem, run_scf, water_cluster
+from repro.parallel import SharedMemoryFockBuilder
+
+
+def main() -> None:
+    n_waters = int(sys.argv[1]) if len(sys.argv) > 1 else 3
+    n_workers = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+    molecule = water_cluster(n_waters, seed=1)
+    problem = ScfProblem.build(molecule, block_size=5, tau=1.0e-10)
+    print(
+        f"water_cluster({n_waters}): {problem.basis.n_basis} basis functions, "
+        f"{problem.graph.n_tasks} tasks, {n_workers} worker threads\n"
+    )
+
+    results = {}
+    for mode in ("serial", "counter", "stealing"):
+        if mode == "serial":
+            scf = run_scf(molecule, problem=problem)
+            print(f"{mode:10s} E = {scf.energy:.10f} Ha ({scf.n_iterations} iters)")
+        else:
+            builder = SharedMemoryFockBuilder(problem, n_workers=n_workers, mode=mode)
+            scf = run_scf(molecule, problem=problem, g_builder=builder.build)
+            stats = builder.last_stats
+            print(
+                f"{mode:10s} E = {scf.energy:.10f} Ha ({scf.n_iterations} iters)  "
+                f"last build: {stats.wall_seconds * 1e3:.0f} ms, "
+                f"tasks/worker = {stats.tasks_per_worker}, steals = {stats.steals}"
+            )
+        results[mode] = scf.energy
+
+    spread = max(results.values()) - min(results.values())
+    print(f"\nmax energy spread across schedulers: {spread:.2e} Ha")
+    assert spread < 1e-8, "schedulers disagreed on the energy!"
+    print("all schedulers agree: scheduling changes *when*, never *what*.")
+
+
+if __name__ == "__main__":
+    main()

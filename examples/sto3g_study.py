@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Real chemistry end to end: STO-3G water via McMurchie-Davidson.
+
+Converges RHF/STO-3G for a water molecule with DIIS (checking the energy
+against the literature value), then runs the execution-model study on a
+3-water STO-3G task graph — the full paper pipeline on a genuine s+p
+basis instead of the fast s-only surrogate.
+
+Run:  python examples/sto3g_study.py
+"""
+
+from repro import water_cluster
+from repro.analysis import cost_statistics
+from repro.chemistry import ScfProblem
+from repro.chemistry.scf import run_scf
+from repro.core import StudyConfig, format_table, run_study
+
+
+def main() -> None:
+    # 1. Literature-anchored SCF.
+    mol = water_cluster(1)
+    problem = ScfProblem.build(mol, block_size=4, tau=0.0, basis_set="sto-3g")
+    result = run_scf(mol, problem=problem, accelerator="diis")
+    print(
+        f"RHF/STO-3G water: E = {result.energy:.6f} Ha in {result.n_iterations} "
+        f"DIIS iterations (literature ~ -74.963 at this geometry)"
+    )
+
+    # 2. The scheduling study on an s+p workload.
+    cluster = water_cluster(3, seed=0)
+    study_problem = ScfProblem.build(cluster, block_size=4, tau=1.0e-10, basis_set="sto-3g")
+    stats = cost_statistics(study_problem.graph.costs)
+    print(
+        f"\nwater_cluster(3)/STO-3G: {study_problem.basis.n_basis} basis functions "
+        f"({sum(1 for sh in study_problem.basis.shells if sh.angular_momentum > 0)} p components), "
+        f"{study_problem.graph.n_tasks} tasks, cost cv = {stats['cv']:.2f}"
+    )
+    config = StudyConfig(
+        models=("static_block", "static_cyclic", "counter_dynamic", "work_stealing"),
+        n_ranks=(16, 64),
+        seed=0,
+    )
+    report = run_study(config, problem=study_problem)
+    print(
+        format_table(
+            report.rows(),
+            columns=["model", "P", "makespan_ms", "speedup", "utilization", "imbalance"],
+            title="Execution models on the STO-3G workload",
+        )
+    )
+    print(
+        f"\nwork stealing vs static block @64: "
+        f"{report.improvement('work_stealing', 'static_block', 64):.2f}x"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy-path shim so ``pip install -e .`` works without the ``wheel``
+package (PEP 660 editable installs need it; air-gapped environments often
+lack it). All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

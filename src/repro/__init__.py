@@ -1,0 +1,40 @@
+"""repro: execution-model case study on a computational chemistry kernel.
+
+A from-scratch reproduction of *"On the Impact of Execution Models: A Case
+Study in Computational Chemistry"* (IPDPSW 2015): a Hartree-Fock Fock-build
+task kernel, a discrete-event HPC cluster simulator with a Global-Arrays
+style one-sided runtime, four families of execution models (static,
+inspector-executor, centralized dynamic counter, distributed work stealing,
+persistence-based), and semi-matching / hypergraph-partitioning / greedy
+load balancers — plus the benchmark harness that regenerates the paper's
+evaluation.
+
+Typical entry points:
+
+>>> from repro import water_cluster, ScfProblem
+>>> from repro.core import StudyConfig, run_study
+>>> problem = ScfProblem.build(water_cluster(4), block_size=8)
+>>> report = run_study(StudyConfig(models=("static_block", "work_stealing"),
+...                                n_ranks=(64,)), problem=problem)
+"""
+
+from repro.chemistry import (
+    Molecule,
+    water_cluster,
+    linear_alkane,
+    random_cluster,
+    ScfProblem,
+    run_scf,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Molecule",
+    "water_cluster",
+    "linear_alkane",
+    "random_cluster",
+    "ScfProblem",
+    "run_scf",
+    "__version__",
+]

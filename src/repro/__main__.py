@@ -1,0 +1,184 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``info``     — library/version/model/preset inventory.
+- ``study``    — run an execution-model sweep on a generated molecule.
+- ``scf``      — converge an SCF and report the energy.
+- ``validate`` — simulate one model and numerically validate its schedule.
+- ``workload`` — build a task graph and print its cost-distribution report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import __version__
+
+
+def _add_molecule_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--molecule", choices=("water", "alkane"), default="water",
+        help="workload family (default: water)",
+    )
+    parser.add_argument("--size", type=int, default=4, help="monomers / carbons")
+    parser.add_argument("--block-size", type=int, default=6)
+    parser.add_argument("--tau", type=float, default=1.0e-10)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _build_molecule(args: argparse.Namespace):
+    from repro import linear_alkane, water_cluster
+
+    if args.molecule == "water":
+        return water_cluster(args.size, seed=args.seed)
+    return linear_alkane(args.size)
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    from repro.core import MACHINE_PRESETS
+    from repro.exec_models import MODEL_NAMES
+
+    print(f"repro {__version__} — execution-model case study (IPDPSW'15 reproduction)")
+    print(f"\nexecution models ({len(MODEL_NAMES)}):")
+    for name in MODEL_NAMES:
+        print(f"  {name}")
+    print(f"\nmachine presets: {', '.join(MACHINE_PRESETS)}")
+    print("\nexperiments: pytest benchmarks/ --benchmark-only   (tables in benchmarks/results/)")
+    return 0
+
+
+def cmd_study(args: argparse.Namespace) -> int:
+    from repro.chemistry import ScfProblem
+    from repro.core import StudyConfig, format_table, run_study
+
+    problem = ScfProblem.build(
+        _build_molecule(args), block_size=args.block_size, tau=args.tau
+    )
+    print(
+        f"{args.molecule}({args.size}): {problem.basis.n_basis} basis functions, "
+        f"{problem.graph.n_tasks} tasks"
+    )
+    config = StudyConfig(
+        models=tuple(args.models),
+        n_ranks=tuple(args.ranks),
+        machine=args.machine,
+        seed=args.seed,
+    )
+    report = run_study(config, problem=problem)
+    print(format_table(report.rows(), title="study results"))
+    return 0
+
+
+def cmd_scf(args: argparse.Namespace) -> int:
+    from repro import run_scf
+    from repro.chemistry import ScfProblem
+    from repro.parallel import SharedMemoryFockBuilder
+
+    problem = ScfProblem.build(
+        _build_molecule(args), block_size=args.block_size, tau=args.tau
+    )
+    g_builder = None
+    if args.workers > 1:
+        builder = SharedMemoryFockBuilder(
+            problem, n_workers=args.workers, mode=args.backend
+        )
+        g_builder = builder.build
+    result = run_scf(problem.molecule, problem=problem, g_builder=g_builder)
+    status = "converged" if result.converged else "NOT converged"
+    print(
+        f"E = {result.energy:.10f} Ha  ({status} in {result.n_iterations} iterations, "
+        f"E_nuc = {result.nuclear_repulsion:.6f})"
+    )
+    return 0 if result.converged else 1
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    from repro.chemistry import ScfProblem
+    from repro.core import MACHINE_PRESETS, validate_run
+    from repro.exec_models import make_model
+
+    problem = ScfProblem.build(
+        _build_molecule(args), block_size=args.block_size, tau=args.tau
+    )
+    machine = MACHINE_PRESETS[args.machine](args.ranks[0])
+    result = make_model(args.model).run(problem.graph, machine, seed=args.seed)
+    report = validate_run(problem, result)
+    print(
+        f"{result.model} on P={result.n_ranks}: makespan {result.makespan * 1e3:.3f} ms, "
+        f"utilization {result.mean_utilization:.3f}"
+    )
+    print(
+        f"numerical validation: max |error| = {report.max_abs_error:.3e} "
+        f"(scale {report.reference_scale:.3e}) -> {'PASS' if report.passed else 'FAIL'}"
+    )
+    return 0 if report.passed else 1
+
+
+def cmd_workload(args: argparse.Namespace) -> int:
+    from repro.analysis import ascii_histogram, cost_statistics
+    from repro.chemistry import ScfProblem
+
+    problem = ScfProblem.build(
+        _build_molecule(args), block_size=args.block_size, tau=args.tau
+    )
+    graph = problem.graph
+    stats = cost_statistics(graph.costs)
+    print(
+        f"{args.molecule}({args.size}), block_size={args.block_size}, tau={args.tau:g}: "
+        f"{graph.n_tasks} tasks"
+    )
+    for key in ("mean", "median", "max", "cv", "gini", "top10_share"):
+        print(f"  {key:12s} {stats[key]:.4g}")
+    print("\ncost distribution (flops, log bins):")
+    print(ascii_histogram(graph.costs, bins=10, width=44))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    from repro.core import MACHINE_PRESETS
+    from repro.exec_models import MODEL_NAMES
+
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="library inventory").set_defaults(func=cmd_info)
+
+    p_study = sub.add_parser("study", help="execution-model sweep")
+    _add_molecule_args(p_study)
+    p_study.add_argument("--ranks", type=int, nargs="+", default=[16, 64])
+    p_study.add_argument(
+        "--models", nargs="+", choices=MODEL_NAMES, metavar="MODEL",
+        default=["static_block", "counter_dynamic", "work_stealing"],
+    )
+    p_study.add_argument("--machine", choices=tuple(MACHINE_PRESETS), default="commodity")
+    p_study.set_defaults(func=cmd_study)
+
+    p_scf = sub.add_parser("scf", help="converge an SCF")
+    _add_molecule_args(p_scf)
+    p_scf.add_argument("--workers", type=int, default=1, help="thread workers (>1 = parallel)")
+    p_scf.add_argument("--backend", choices=("static", "counter", "stealing"), default="stealing")
+    p_scf.set_defaults(func=cmd_scf)
+
+    p_val = sub.add_parser("validate", help="simulate a model and validate numerically")
+    _add_molecule_args(p_val)
+    p_val.add_argument("--model", choices=MODEL_NAMES, default="work_stealing")
+    p_val.add_argument("--ranks", type=int, nargs=1, default=[16])
+    p_val.add_argument("--machine", choices=tuple(MACHINE_PRESETS), default="commodity")
+    p_val.set_defaults(func=cmd_validate)
+
+    p_wl = sub.add_parser("workload", help="task-graph cost report")
+    _add_molecule_args(p_wl)
+    p_wl.set_defaults(func=cmd_workload)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

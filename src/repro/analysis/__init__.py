@@ -1,0 +1,32 @@
+"""Post-run analysis: timelines, distributions, structured export.
+
+Everything here consumes :class:`~repro.exec_models.base.RunResult` (or a
+plain cost array) and produces either terminal-friendly text or
+JSON-serializable dictionaries — no plotting dependencies.
+"""
+
+from repro.analysis.timeline import ascii_gantt, rank_timeline
+from repro.analysis.distribution import (
+    ascii_histogram,
+    cost_statistics,
+    gini_coefficient,
+)
+from repro.analysis.export import result_to_dict, save_result_json, load_result_json
+from repro.analysis.bounds import MakespanBounds, makespan_bounds, bound_efficiency
+from repro.analysis.svg import timeline_svg, save_timeline_svg
+
+__all__ = [
+    "timeline_svg",
+    "save_timeline_svg",
+    "MakespanBounds",
+    "makespan_bounds",
+    "bound_efficiency",
+    "ascii_gantt",
+    "rank_timeline",
+    "ascii_histogram",
+    "cost_statistics",
+    "gini_coefficient",
+    "result_to_dict",
+    "save_result_json",
+    "load_result_json",
+]

@@ -1,0 +1,63 @@
+"""Makespan bounds: how close did a schedule get to the machine's limit?
+
+Two lower bounds on any execution of a task graph over a machine:
+
+- **work bound** — total modeled flops spread perfectly over all ranks at
+  nominal speed;
+- **critical-task bound** — the single most expensive task cannot be
+  split.
+
+``bound_efficiency`` reports measured makespan against the tighter of the
+two; it is the "how much was left on the table" number that complements
+per-category breakdowns (a model can be 100% utilized and still slow if
+it moved work to slow ranks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chemistry.tasks import TaskGraph
+from repro.exec_models.base import RunResult
+from repro.simulate.machine import MachineSpec
+from repro.util import ConfigurationError
+
+
+@dataclass(frozen=True)
+class MakespanBounds:
+    """Lower bounds (seconds) for one (graph, machine) pair."""
+
+    work_bound: float
+    critical_task_bound: float
+
+    @property
+    def tightest(self) -> float:
+        return max(self.work_bound, self.critical_task_bound)
+
+
+def makespan_bounds(graph: TaskGraph, machine: MachineSpec) -> MakespanBounds:
+    """Compute both lower bounds at nominal rank speed."""
+    costs = graph.costs
+    rate = machine.flops_per_second
+    if costs.size == 0:
+        return MakespanBounds(0.0, 0.0)
+    return MakespanBounds(
+        work_bound=float(costs.sum() / (machine.n_ranks * rate)),
+        critical_task_bound=float(costs.max() / rate),
+    )
+
+
+def bound_efficiency(result: RunResult, graph: TaskGraph, machine: MachineSpec) -> float:
+    """``tightest_lower_bound / makespan`` in (0, 1]; 1 is unimprovable.
+
+    Only meaningful on a homogeneous machine at nominal speed (variability
+    shifts the true bound; the nominal bound then underestimates).
+    """
+    if result.n_tasks != graph.n_tasks:
+        raise ConfigurationError(
+            f"result covers {result.n_tasks} tasks, graph has {graph.n_tasks}"
+        )
+    if result.makespan <= 0:
+        return 0.0
+    bounds = makespan_bounds(graph, machine)
+    return min(1.0, bounds.tightest / result.makespan)

@@ -1,0 +1,81 @@
+"""Task-cost distribution analysis.
+
+The screening-induced heavy tail is the physical cause of every load-
+balancing effect in the study; these helpers quantify and display it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util import ConfigurationError, check_positive
+
+
+def cost_statistics(costs: np.ndarray) -> dict[str, float]:
+    """Summary statistics of a cost distribution.
+
+    Returns count, total, mean, median, max, coefficient of variation,
+    Gini coefficient, and the share of total cost carried by the top 10%
+    of tasks (the tail-dominance number).
+    """
+    costs = np.asarray(costs, dtype=np.float64)
+    if costs.size == 0:
+        return {
+            "count": 0.0, "total": 0.0, "mean": 0.0, "median": 0.0,
+            "max": 0.0, "cv": 0.0, "gini": 0.0, "top10_share": 0.0,
+        }
+    if np.any(costs < 0):
+        raise ConfigurationError("costs must be non-negative")
+    total = float(costs.sum())
+    ordered = np.sort(costs)[::-1]
+    top_k = max(1, costs.size // 10)
+    return {
+        "count": float(costs.size),
+        "total": total,
+        "mean": float(costs.mean()),
+        "median": float(np.median(costs)),
+        "max": float(costs.max()),
+        "cv": float(costs.std() / costs.mean()) if costs.mean() > 0 else 0.0,
+        "gini": gini_coefficient(costs),
+        "top10_share": float(ordered[:top_k].sum() / total) if total > 0 else 0.0,
+    }
+
+
+def gini_coefficient(costs: np.ndarray) -> float:
+    """Gini coefficient of a non-negative distribution (0 = uniform)."""
+    costs = np.sort(np.asarray(costs, dtype=np.float64))
+    if costs.size == 0 or costs.sum() == 0:
+        return 0.0
+    if np.any(costs < 0):
+        raise ConfigurationError("costs must be non-negative")
+    n = costs.size
+    ranks = np.arange(1, n + 1)
+    return float((2.0 * (ranks * costs).sum()) / (n * costs.sum()) - (n + 1.0) / n)
+
+
+def ascii_histogram(
+    costs: np.ndarray,
+    bins: int = 12,
+    width: int = 50,
+    log_bins: bool = True,
+) -> str:
+    """Terminal histogram of task costs (log-spaced bins by default)."""
+    check_positive("bins", bins)
+    check_positive("width", width)
+    costs = np.asarray(costs, dtype=np.float64)
+    if costs.size == 0:
+        return "(no tasks)"
+    positive = costs[costs > 0]
+    if log_bins and positive.size and positive.max() > positive.min():
+        edges = np.geomspace(positive.min(), positive.max(), bins + 1)
+        data = positive
+    else:
+        edges = np.linspace(costs.min(), costs.max() + 1e-300, bins + 1)
+        data = costs
+    counts, edges = np.histogram(data, bins=edges)
+    peak = counts.max() if counts.max() > 0 else 1
+    lines = []
+    for i, count in enumerate(counts):
+        bar = "#" * int(round(width * count / peak))
+        lines.append(f"{edges[i]:>12.3e} - {edges[i + 1]:>12.3e} |{bar:<{width}}| {count}")
+    return "\n".join(lines)

@@ -1,0 +1,75 @@
+"""Structured export of run results (JSON round-trip).
+
+Keeps downstream tooling (plotting notebooks, regression dashboards) out
+of the library: a :class:`~repro.exec_models.base.RunResult` serializes
+to plain JSON and loads back with full numeric fidelity.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any
+
+import numpy as np
+
+from repro.exec_models.base import RunResult
+from repro.util import ConfigurationError
+
+_SCHEMA_VERSION = 1
+
+
+def result_to_dict(result: RunResult) -> dict[str, Any]:
+    """JSON-serializable dictionary of one run (intervals included if kept)."""
+    return {
+        "schema": _SCHEMA_VERSION,
+        "model": result.model,
+        "n_ranks": result.n_ranks,
+        "n_tasks": result.n_tasks,
+        "makespan": result.makespan,
+        "breakdown": {k: v.tolist() for k, v in result.breakdown.items()},
+        "assignment": result.assignment.tolist(),
+        "task_starts": result.task_starts.tolist(),
+        "task_durations": result.task_durations.tolist(),
+        "finish_times": result.finish_times.tolist(),
+        "counters": dict(result.counters),
+        "network": dict(result.network),
+        "total_flops": result.total_flops,
+        "nominal_flops_per_second": result.nominal_flops_per_second,
+        "intervals": result.intervals,
+    }
+
+
+def result_from_dict(data: dict[str, Any]) -> RunResult:
+    """Inverse of :func:`result_to_dict`."""
+    if data.get("schema") != _SCHEMA_VERSION:
+        raise ConfigurationError(
+            f"unsupported result schema {data.get('schema')!r}"
+        )
+    intervals = data.get("intervals")
+    return RunResult(
+        model=data["model"],
+        n_ranks=int(data["n_ranks"]),
+        n_tasks=int(data["n_tasks"]),
+        makespan=float(data["makespan"]),
+        breakdown={k: np.asarray(v) for k, v in data["breakdown"].items()},
+        assignment=np.asarray(data["assignment"], dtype=np.int64),
+        task_starts=np.asarray(data["task_starts"]),
+        task_durations=np.asarray(data["task_durations"]),
+        finish_times=np.asarray(data["finish_times"]),
+        counters=dict(data["counters"]),
+        network=dict(data["network"]),
+        total_flops=float(data["total_flops"]),
+        nominal_flops_per_second=float(data["nominal_flops_per_second"]),
+        intervals=[tuple(iv) for iv in intervals] if intervals is not None else None,
+    )
+
+
+def save_result_json(result: RunResult, path: str | pathlib.Path) -> None:
+    """Write one run result as JSON."""
+    pathlib.Path(path).write_text(json.dumps(result_to_dict(result)))
+
+
+def load_result_json(path: str | pathlib.Path) -> RunResult:
+    """Load a run result saved by :func:`save_result_json`."""
+    return result_from_dict(json.loads(pathlib.Path(path).read_text()))

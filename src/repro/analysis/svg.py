@@ -1,0 +1,118 @@
+"""SVG execution-timeline export (no plotting dependencies).
+
+Produces a self-contained SVG Gantt chart from an interval-traced
+:class:`~repro.exec_models.base.RunResult`: one lane per rank, colored by
+activity category, with a time axis and a legend — the publication-grade
+sibling of :func:`repro.analysis.timeline.ascii_gantt`.
+"""
+
+from __future__ import annotations
+
+import html
+import pathlib
+
+import numpy as np
+
+from repro.exec_models.base import RunResult
+from repro.runtime.trace import COMM, COMPUTE, IDLE, OVERHEAD
+from repro.util import ConfigurationError, check_positive
+
+_COLORS = {
+    COMPUTE: "#2f7ed8",
+    COMM: "#8bbc21",
+    OVERHEAD: "#f28f43",
+    IDLE: "#e8e8e8",
+}
+_LANE_HEIGHT = 14
+_LANE_GAP = 3
+_MARGIN_LEFT = 56
+_MARGIN_TOP = 42
+_AXIS_HEIGHT = 26
+
+
+def timeline_svg(
+    result: RunResult, width: int = 900, max_ranks: int = 64
+) -> str:
+    """Render one run's per-rank timeline as an SVG document string."""
+    check_positive("width", width)
+    check_positive("max_ranks", max_ranks)
+    if result.intervals is None:
+        raise ConfigurationError(
+            "run was not traced with trace_intervals=True; re-run the model "
+            "with trace_intervals=True to export SVG timelines"
+        )
+    makespan = result.makespan
+    if makespan <= 0:
+        raise ConfigurationError("empty run: nothing to render")
+    if result.n_ranks <= max_ranks:
+        ranks = list(range(result.n_ranks))
+    else:
+        ranks = sorted({int(r) for r in np.linspace(0, result.n_ranks - 1, max_ranks)})
+    lane_of = {rank: idx for idx, rank in enumerate(ranks)}
+    plot_width = width - _MARGIN_LEFT - 12
+    height = (
+        _MARGIN_TOP + len(ranks) * (_LANE_HEIGHT + _LANE_GAP) + _AXIS_HEIGHT
+    )
+    scale = plot_width / makespan
+
+    parts: list[str] = []
+    parts.append(
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="monospace" font-size="10">'
+    )
+    title = html.escape(
+        f"{result.model} - makespan {makespan * 1e3:.3f} ms, "
+        f"utilization {result.mean_utilization:.2f}"
+    )
+    parts.append(f'<text x="{_MARGIN_LEFT}" y="14" font-size="12">{title}</text>')
+    # Legend.
+    x = _MARGIN_LEFT
+    for cat in (COMPUTE, COMM, OVERHEAD, IDLE):
+        parts.append(
+            f'<rect x="{x}" y="20" width="10" height="10" fill="{_COLORS[cat]}"/>'
+            f'<text x="{x + 13}" y="29">{cat}</text>'
+        )
+        x += 13 + 8 * len(cat) + 16
+
+    # Idle background lanes.
+    for rank in ranks:
+        y = _MARGIN_TOP + lane_of[rank] * (_LANE_HEIGHT + _LANE_GAP)
+        parts.append(
+            f'<text x="4" y="{y + _LANE_HEIGHT - 3}">r{rank}</text>'
+            f'<rect x="{_MARGIN_LEFT}" y="{y}" width="{plot_width:.2f}" '
+            f'height="{_LANE_HEIGHT}" fill="{_COLORS[IDLE]}"/>'
+        )
+    # Activity rectangles.
+    for rank, category, start, end in result.intervals:
+        if rank not in lane_of or end <= start:
+            continue
+        y = _MARGIN_TOP + lane_of[rank] * (_LANE_HEIGHT + _LANE_GAP)
+        x0 = _MARGIN_LEFT + start * scale
+        w = max((end - start) * scale, 0.3)
+        parts.append(
+            f'<rect x="{x0:.2f}" y="{y}" width="{w:.2f}" '
+            f'height="{_LANE_HEIGHT}" fill="{_COLORS[category]}"/>'
+        )
+    # Time axis.
+    axis_y = _MARGIN_TOP + len(ranks) * (_LANE_HEIGHT + _LANE_GAP) + 12
+    parts.append(
+        f'<line x1="{_MARGIN_LEFT}" y1="{axis_y - 8}" '
+        f'x2="{_MARGIN_LEFT + plot_width}" y2="{axis_y - 8}" stroke="#888"/>'
+    )
+    for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+        x0 = _MARGIN_LEFT + frac * plot_width
+        label = f"{frac * makespan * 1e3:.2f} ms"
+        parts.append(
+            f'<line x1="{x0:.1f}" y1="{axis_y - 11}" x2="{x0:.1f}" '
+            f'y2="{axis_y - 5}" stroke="#888"/>'
+            f'<text x="{x0:.1f}" y="{axis_y + 4}" text-anchor="middle">{label}</text>'
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def save_timeline_svg(
+    result: RunResult, path: str | pathlib.Path, width: int = 900, max_ranks: int = 64
+) -> None:
+    """Write the SVG timeline to ``path``."""
+    pathlib.Path(path).write_text(timeline_svg(result, width, max_ranks))

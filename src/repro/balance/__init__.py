@@ -1,0 +1,64 @@
+"""Load-balancing algorithms for the inspector-executor execution model.
+
+The paper's second claim (C2) is that a **semi-matching** balancer matches
+the schedule quality of a **hypergraph-partitioning** balancer at a small
+fraction of its computational cost. This package implements both from
+scratch, plus the greedy baselines they are judged against:
+
+- :mod:`repro.balance.metrics` -- imbalance, makespan bounds,
+  communication volume.
+- :mod:`repro.balance.greedy` -- LPT list scheduling, capacity-aware LPT,
+  locality-greedy.
+- :mod:`repro.balance.semi_matching` -- bipartite semi-matching on the
+  task x rank locality graph (greedy, optimal unit-weight via
+  cost-reducing paths, weighted with refinement).
+- :mod:`repro.balance.hypergraph` -- the task/data-block hypergraph model.
+- :mod:`repro.balance.partition` -- a multilevel recursive-bisection
+  hypergraph partitioner (heavy-connectivity coarsening, greedy initial
+  partitions, FM refinement).
+
+All balancers share one signature::
+
+    balancer(graph: TaskGraph, n_ranks: int,
+             distribution: BlockDistribution | None) -> np.ndarray
+
+returning a ``(n_tasks,)`` task->rank assignment.
+"""
+
+from repro.balance.metrics import (
+    rank_loads,
+    imbalance,
+    makespan_lower_bound,
+    communication_volume,
+)
+from repro.balance.greedy import lpt, capacity_lpt, locality_greedy, lpt_balancer
+from repro.balance.semi_matching import (
+    build_eligibility,
+    greedy_semi_matching,
+    optimal_semi_matching,
+    weighted_semi_matching,
+    semi_matching_balancer,
+)
+from repro.balance.hypergraph import Hypergraph, fock_hypergraph, connectivity_cut
+from repro.balance.partition import partition_hypergraph, hypergraph_balancer
+
+__all__ = [
+    "rank_loads",
+    "imbalance",
+    "makespan_lower_bound",
+    "communication_volume",
+    "lpt",
+    "capacity_lpt",
+    "locality_greedy",
+    "lpt_balancer",
+    "build_eligibility",
+    "greedy_semi_matching",
+    "optimal_semi_matching",
+    "weighted_semi_matching",
+    "semi_matching_balancer",
+    "Hypergraph",
+    "fock_hypergraph",
+    "connectivity_cut",
+    "partition_hypergraph",
+    "hypergraph_balancer",
+]

@@ -1,0 +1,62 @@
+"""Schedule-quality metrics shared by all balancers and benchmarks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.chemistry.tasks import TaskGraph
+from repro.runtime.garrays import BlockDistribution
+from repro.util import ConfigurationError, check_positive
+
+
+def rank_loads(costs: np.ndarray, assignment: np.ndarray, n_ranks: int) -> np.ndarray:
+    """``(n_ranks,)`` total assigned cost per rank."""
+    check_positive("n_ranks", n_ranks)
+    costs = np.asarray(costs, dtype=np.float64)
+    assignment = np.asarray(assignment, dtype=np.int64)
+    if costs.shape != assignment.shape:
+        raise ConfigurationError(
+            f"costs {costs.shape} and assignment {assignment.shape} differ"
+        )
+    if assignment.size and (assignment.min() < 0 or assignment.max() >= n_ranks):
+        raise ConfigurationError(f"assignment references ranks outside [0, {n_ranks})")
+    return np.bincount(assignment, weights=costs, minlength=n_ranks)
+
+
+def imbalance(costs: np.ndarray, assignment: np.ndarray, n_ranks: int) -> float:
+    """Load-imbalance factor lambda = max load / mean load (>= 1)."""
+    loads = rank_loads(costs, assignment, n_ranks)
+    mean = loads.mean()
+    return float(loads.max() / mean) if mean > 0 else 1.0
+
+
+def makespan_lower_bound(costs: np.ndarray, n_ranks: int) -> float:
+    """max(total/P, largest task): no schedule can beat this."""
+    check_positive("n_ranks", n_ranks)
+    costs = np.asarray(costs, dtype=np.float64)
+    if costs.size == 0:
+        return 0.0
+    return float(max(costs.sum() / n_ranks, costs.max()))
+
+
+def communication_volume(
+    graph: TaskGraph, assignment: np.ndarray, distribution: BlockDistribution
+) -> int:
+    """Total remote bytes moved by a schedule.
+
+    Sums the size of every density get and Fock accumulate whose block
+    owner differs from the executing rank — the locality objective the
+    semi-matching and hypergraph balancers trade against pure balance.
+    """
+    assignment = np.asarray(assignment, dtype=np.int64)
+    if assignment.size != graph.n_tasks:
+        raise ConfigurationError(
+            f"assignment covers {assignment.size} tasks, graph has {graph.n_tasks}"
+        )
+    total = 0
+    for task in graph.tasks:
+        rank = int(assignment[task.tid])
+        for ref in (*task.reads, *task.writes):
+            if distribution.owner(ref) != rank:
+                total += graph.block_bytes(ref)
+    return total

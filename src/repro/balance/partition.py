@@ -1,0 +1,478 @@
+"""Multilevel hypergraph partitioner (recursive bisection + FM).
+
+A from-scratch implementation of the standard multilevel stack
+(PaToH/hMETIS class), the "traditional, computationally expensive"
+comparator of the paper's claim C2:
+
+1. **Coarsening** — heavy-connectivity matching: vertices pair with the
+   unmatched neighbor sharing the most net weight (normalized by net
+   size); matched pairs contract, identical nets merge, single-pin nets
+   drop. Repeats until the hypergraph is small or contraction stalls.
+2. **Initial bisection** — greedy weight-balanced placement on the
+   coarsest hypergraph, best of several randomized starts.
+3. **Uncoarsening** — project the bisection through each level and refine
+   with Fiduccia-Mattheyses passes: exact delta-gain updates on critical
+   nets, gain-ordered moves under a balance constraint, rollback to the
+   best feasible prefix.
+
+k-way partitions come from recursive bisection with proportional weight
+targets (handles non-power-of-two k).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.balance.hypergraph import Hypergraph, fock_hypergraph
+from repro.chemistry.tasks import TaskGraph
+from repro.runtime.garrays import BlockDistribution
+from repro.util import PartitionError, check_positive, spawn_rng
+
+#: Stop coarsening at this many vertices.
+_COARSEN_TARGET = 80
+#: Nets larger than this are ignored while scoring matches (standard
+#: heuristic: huge nets carry almost no locality signal per pin).
+_MAX_NET_MATCH = 64
+#: Maximum FM passes per level.
+_FM_PASSES = 4
+#: Randomized initial-bisection restarts.
+_INIT_TRIES = 4
+
+
+def partition_hypergraph(
+    hg: Hypergraph, k: int, eps: float = 0.05, seed: int = 0
+) -> np.ndarray:
+    """Partition ``hg`` into ``k`` parts balancing vertex weight.
+
+    Args:
+        eps: per-bisection balance slack (fraction of total weight).
+
+    Returns:
+        ``(n_vertices,)`` part ids in ``[0, k)``.
+    """
+    check_positive("k", k)
+    if eps < 0:
+        raise PartitionError(f"eps must be >= 0, got {eps}")
+    parts = np.zeros(hg.n_vertices, dtype=np.int64)
+    rng = spawn_rng(seed, "hypergraph_partition", k)
+    # Bisection slack compounds multiplicatively down the recursion tree;
+    # scale the per-level budget so the k-way result lands near eps.
+    levels = max(1, int(np.ceil(np.log2(k))) ) if k > 1 else 1
+    eps_level = max(0.015, eps / levels)
+    _recurse(hg, np.arange(hg.n_vertices), k, 0, parts, eps_level, rng)
+    if k > 1:
+        _kway_repair(hg, parts, k, eps)
+    return parts
+
+
+def _kway_repair(hg: Hypergraph, parts: np.ndarray, k: int, eps: float) -> None:
+    """Greedy balance repair: drain overloaded parts with min-damage moves.
+
+    Moves the cheapest-to-move vertices (by connectivity damage per unit
+    weight) from parts above ``(1 + eps) * ideal`` to the lightest part,
+    in place. A bounded number of moves guards against pathological
+    weight distributions where balance is unattainable (e.g. one vertex
+    heavier than ideal).
+    """
+    weights = hg.vertex_weights
+    loads = np.bincount(parts, weights=weights, minlength=k)
+    ideal = weights.sum() / k
+    limit = (1.0 + eps) * ideal
+    incidence = hg.vertex_nets()
+    budget = 4 * hg.n_vertices
+    while budget > 0:
+        src = int(np.argmax(loads))
+        if loads[src] <= limit + 1e-12:
+            break
+        dst = int(np.argmin(loads))
+        members = np.nonzero(parts == src)[0]
+        if members.size <= 1:
+            break
+        overload = loads[src] - ideal
+        best_v = -1
+        best_key: tuple[float, float] | None = None
+        for v in members:
+            w = weights[v]
+            if w <= 0 or w > overload + ideal - loads[dst]:
+                continue
+            damage = 0.0
+            for eid in incidence[v]:
+                pins = parts[hg.nets[eid]]
+                if not np.any(pins == dst):
+                    damage += hg.net_weights[eid]
+                if np.count_nonzero(pins == src) == 1:
+                    damage -= hg.net_weights[eid]
+            key = (damage / w, -w)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_v = int(v)
+        if best_v < 0:
+            break
+        parts[best_v] = dst
+        loads[src] -= weights[best_v]
+        loads[dst] += weights[best_v]
+        budget -= 1
+
+
+def hypergraph_balancer(
+    graph: TaskGraph,
+    n_ranks: int,
+    distribution: BlockDistribution | None = None,
+    eps: float = 0.05,
+    seed: int = 0,
+) -> np.ndarray:
+    """Balancer-signature entry point: partition the Fock hypergraph."""
+    hg = fock_hypergraph(graph)
+    return partition_hypergraph(hg, n_ranks, eps=eps, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# Recursive bisection
+# ----------------------------------------------------------------------
+def _recurse(
+    hg: Hypergraph,
+    vertex_ids: np.ndarray,
+    k: int,
+    part_offset: int,
+    parts: np.ndarray,
+    eps: float,
+    rng: np.random.Generator,
+) -> None:
+    if k == 1 or hg.n_vertices == 0:
+        parts[vertex_ids] = part_offset
+        return
+    k0 = k // 2
+    frac0 = k0 / k
+    side = _multilevel_bisect(hg, frac0, eps, rng)
+    for side_value, sub_k, sub_offset in (
+        (0, k0, part_offset),
+        (1, k - k0, part_offset + k0),
+    ):
+        mask = side == side_value
+        if not mask.any():
+            continue
+        sub_hg = _induce(hg, mask)
+        _recurse(sub_hg, vertex_ids[mask], sub_k, sub_offset, parts, eps, rng)
+
+
+def _induce(hg: Hypergraph, mask: np.ndarray) -> Hypergraph:
+    """Sub-hypergraph on ``mask`` vertices (drops nets with < 2 pins)."""
+    remap = -np.ones(hg.n_vertices, dtype=np.int64)
+    remap[mask] = np.arange(int(mask.sum()))
+    nets: list[np.ndarray] = []
+    weights: list[float] = []
+    for net, w in zip(hg.nets, hg.net_weights):
+        pins = remap[net]
+        pins = pins[pins >= 0]
+        if pins.size >= 2:
+            nets.append(np.sort(pins))
+            weights.append(float(w))
+    return Hypergraph(hg.vertex_weights[mask], nets, np.array(weights))
+
+
+# ----------------------------------------------------------------------
+# Multilevel bisection
+# ----------------------------------------------------------------------
+def _multilevel_bisect(
+    hg: Hypergraph, frac0: float, eps: float, rng: np.random.Generator
+) -> np.ndarray:
+    levels: list[tuple[Hypergraph, np.ndarray]] = []  # (fine_hg, fine->coarse map)
+    current = hg
+    while current.n_vertices > _COARSEN_TARGET:
+        match = _heavy_connectivity_matching(current, rng)
+        coarse, vmap = _contract(current, match)
+        if coarse.n_vertices > 0.95 * current.n_vertices:
+            break
+        levels.append((current, vmap))
+        current = coarse
+
+    side = _initial_bisection(current, frac0, rng)
+    side = _fm_refine(current, side, frac0, eps)
+    for fine_hg, vmap in reversed(levels):
+        side = side[vmap]
+        side = _fm_refine(fine_hg, side, frac0, eps)
+    return side
+
+
+def _heavy_connectivity_matching(
+    hg: Hypergraph, rng: np.random.Generator
+) -> np.ndarray:
+    """Pair vertices by shared net weight; returns partner (or self)."""
+    n = hg.n_vertices
+    match = -np.ones(n, dtype=np.int64)
+    incidence = hg.vertex_nets()
+    weight_cap = 1.5 * hg.total_vertex_weight / max(_COARSEN_TARGET, 1)
+    for v in rng.permutation(n):
+        v = int(v)
+        if match[v] >= 0:
+            continue
+        scores: dict[int, float] = {}
+        for eid in incidence[v]:
+            net = hg.nets[eid]
+            if net.size > _MAX_NET_MATCH or net.size < 2:
+                continue
+            score = hg.net_weights[eid] / (net.size - 1)
+            for u in net:
+                u = int(u)
+                if u != v and match[u] < 0:
+                    scores[u] = scores.get(u, 0.0) + score
+        partner = -1
+        best = 0.0
+        wv = hg.vertex_weights[v]
+        for u, s in scores.items():
+            if s > best and wv + hg.vertex_weights[u] <= weight_cap:
+                best = s
+                partner = u
+        if partner >= 0:
+            match[v] = partner
+            match[partner] = v
+        else:
+            match[v] = v
+    return match
+
+
+def _contract(hg: Hypergraph, match: np.ndarray) -> tuple[Hypergraph, np.ndarray]:
+    """Contract matched pairs; merge identical nets; drop singletons."""
+    n = hg.n_vertices
+    vmap = -np.ones(n, dtype=np.int64)
+    next_id = 0
+    for v in range(n):
+        if vmap[v] >= 0:
+            continue
+        vmap[v] = next_id
+        partner = int(match[v])
+        if partner != v and vmap[partner] < 0:
+            vmap[partner] = next_id
+        next_id += 1
+    weights = np.bincount(vmap, weights=hg.vertex_weights, minlength=next_id)
+    merged: dict[tuple[int, ...], float] = {}
+    for net, w in zip(hg.nets, hg.net_weights):
+        pins = np.unique(vmap[net])
+        if pins.size < 2:
+            continue
+        key = tuple(int(p) for p in pins)
+        merged[key] = merged.get(key, 0.0) + float(w)
+    nets = [np.array(key, dtype=np.int64) for key in merged]
+    net_weights = np.array(list(merged.values()))
+    return Hypergraph(weights, nets, net_weights), vmap
+
+
+def _initial_bisection(
+    hg: Hypergraph, frac0: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Best of several randomized starts: BFS region growing (contiguous
+    regions, low cut) plus one greedy weight-balanced scatter (robust when
+    the hypergraph has no locality)."""
+    total = hg.total_vertex_weight
+    target0 = frac0 * total
+    candidates = [_grow_region(hg, target0, rng) for _ in range(_INIT_TRIES)]
+    candidates.append(_weight_scatter(hg, target0, total, rng))
+    best_side: np.ndarray | None = None
+    best_key: tuple[float, float] | None = None
+    for side in candidates:
+        w0 = float(hg.vertex_weights[side == 0].sum())
+        key = (_cut2(hg, side), abs(w0 - target0))
+        if best_key is None or key < best_key:
+            best_key = key
+            best_side = side
+    assert best_side is not None
+    return best_side
+
+
+def _grow_region(
+    hg: Hypergraph, target0: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Grow side 0 from a random seed by strongest net connectivity."""
+    n = hg.n_vertices
+    side = np.ones(n, dtype=np.int8)
+    incidence = hg.vertex_nets()
+    scores: dict[int, float] = {}
+    in_region = np.zeros(n, dtype=bool)
+    w0 = 0.0
+    current = int(rng.integers(0, n))
+    while True:
+        side[current] = 0
+        in_region[current] = True
+        w0 += hg.vertex_weights[current]
+        scores.pop(current, None)
+        if w0 >= target0:
+            break
+        for eid in incidence[current]:
+            w = hg.net_weights[eid]
+            for u in hg.nets[eid]:
+                u = int(u)
+                if not in_region[u]:
+                    scores[u] = scores.get(u, 0.0) + w
+        if scores:
+            current = max(scores, key=lambda u: (scores[u], -u))
+        else:
+            remaining = np.nonzero(~in_region)[0]
+            if remaining.size == 0:
+                break
+            current = int(remaining[rng.integers(0, remaining.size)])
+    return side
+
+
+def _weight_scatter(
+    hg: Hypergraph, target0: float, total: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Greedy deficit placement in decreasing-weight order."""
+    order = np.argsort(-hg.vertex_weights + rng.uniform(0, 1e-9, hg.n_vertices))
+    side = np.zeros(hg.n_vertices, dtype=np.int8)
+    w0 = 0.0
+    w1 = 0.0
+    for v in order:
+        v = int(v)
+        if target0 - w0 >= (total - target0) - w1:
+            w0 += hg.vertex_weights[v]
+        else:
+            side[v] = 1
+            w1 += hg.vertex_weights[v]
+    return side
+
+
+def _cut2(hg: Hypergraph, side: np.ndarray) -> float:
+    """2-way cut: total weight of nets with pins on both sides."""
+    total = 0.0
+    for net, w in zip(hg.nets, hg.net_weights):
+        s = side[net]
+        if s.min() != s.max():
+            total += w
+    return float(total)
+
+
+# ----------------------------------------------------------------------
+# FM refinement
+# ----------------------------------------------------------------------
+def _fm_refine(
+    hg: Hypergraph, side: np.ndarray, frac0: float, eps: float
+) -> np.ndarray:
+    side = side.astype(np.int8).copy()
+    total = hg.total_vertex_weight
+    target0 = frac0 * total
+    lo = max(target0 - eps * total, 0.0)
+    hi = min(target0 + eps * total, total)
+    for _ in range(_FM_PASSES):
+        improved, side = _fm_pass(hg, side, lo, hi, target0)
+        if not improved:
+            break
+    return side
+
+
+def _fm_pass(
+    hg: Hypergraph,
+    side: np.ndarray,
+    lo: float,
+    hi: float,
+    target0: float,
+) -> tuple[bool, np.ndarray]:
+    n = hg.n_vertices
+    incidence = hg.vertex_nets()
+    vw = hg.vertex_weights
+    w0 = float(vw[side == 0].sum())
+
+    # Pin counts per net per side.
+    cnt = np.zeros((hg.n_nets, 2), dtype=np.int64)
+    for eid, net in enumerate(hg.nets):
+        ones = int(side[net].sum())
+        cnt[eid, 1] = ones
+        cnt[eid, 0] = net.size - ones
+
+    gains = np.zeros(n)
+    for v in range(n):
+        s = int(side[v])
+        g = 0.0
+        for eid in incidence[v]:
+            if cnt[eid, s] == 1:
+                g += hg.net_weights[eid]
+            if cnt[eid, 1 - s] == 0:
+                g -= hg.net_weights[eid]
+        gains[v] = g
+
+    stamps = np.zeros(n, dtype=np.int64)
+    heap: list[tuple[float, int, int]] = [(-gains[v], v, 0) for v in range(n)]
+    heapq.heapify(heap)
+    locked = np.zeros(n, dtype=bool)
+
+    def allowed(v: int) -> bool:
+        new_w0 = w0 - vw[v] if side[v] == 0 else w0 + vw[v]
+        if lo <= new_w0 <= hi:
+            return True
+        return abs(new_w0 - target0) < abs(w0 - target0)
+
+    moves: list[int] = []
+    cum = 0.0
+
+    def state_key(w0_now: float, cum_now: float) -> tuple[int, float, float]:
+        # Lexicographic: feasible beats infeasible, then larger cut gain,
+        # then closer to the weight target (drives balance repair even
+        # when no cut improvement exists).
+        feasible = lo - 1e-12 <= w0_now <= hi + 1e-12
+        return (0 if feasible else 1, -cum_now, abs(w0_now - target0))
+
+    initial_key = state_key(w0, 0.0)
+    best_key = initial_key
+    best_idx = 0  # number of moves in the best prefix
+    deferred: list[tuple[float, int, int]] = []
+
+    while heap or deferred:
+        if not heap:
+            break
+        neg_gain, v, stamp = heapq.heappop(heap)
+        if locked[v] or stamp != stamps[v]:
+            continue
+        if not allowed(v):
+            deferred.append((neg_gain, v, stamp))
+            continue
+        # Apply the move.
+        src = int(side[v])
+        dst = 1 - src
+        for eid in incidence[v]:
+            w = hg.net_weights[eid]
+            net = hg.nets[eid]
+            if cnt[eid, dst] == 0:
+                for u in net:
+                    if not locked[u] and u != v:
+                        gains[u] += w
+                        stamps[u] += 1
+                        heapq.heappush(heap, (-gains[u], int(u), int(stamps[u])))
+            elif cnt[eid, dst] == 1:
+                for u in net:
+                    if side[u] == dst and not locked[u]:
+                        gains[u] -= w
+                        stamps[u] += 1
+                        heapq.heappush(heap, (-gains[u], int(u), int(stamps[u])))
+            cnt[eid, src] -= 1
+            cnt[eid, dst] += 1
+            if cnt[eid, src] == 0:
+                for u in net:
+                    if not locked[u] and u != v:
+                        gains[u] -= w
+                        stamps[u] += 1
+                        heapq.heappush(heap, (-gains[u], int(u), int(stamps[u])))
+            elif cnt[eid, src] == 1:
+                for u in net:
+                    if side[u] == src and not locked[u] and u != v:
+                        gains[u] += w
+                        stamps[u] += 1
+                        heapq.heappush(heap, (-gains[u], int(u), int(stamps[u])))
+        cum += -neg_gain
+        side[v] = dst
+        w0 = w0 - vw[v] if src == 0 else w0 + vw[v]
+        locked[v] = True
+        moves.append(v)
+        key = state_key(w0, cum)
+        if key < best_key:
+            best_key = key
+            best_idx = len(moves)
+        # Balance state changed; deferred vertices may be movable now.
+        for entry in deferred:
+            heapq.heappush(heap, entry)
+        deferred.clear()
+
+    # Roll back to the best prefix.
+    for v in moves[best_idx:]:
+        side[v] = 1 - side[v]
+    return best_key < initial_key, side

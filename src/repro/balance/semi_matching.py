@@ -1,0 +1,264 @@
+"""Semi-matching load balancing on the task x rank locality graph.
+
+A *semi-matching* of a bipartite graph (tasks U, machines V) assigns every
+task to one of its eligible machines; an **optimal** semi-matching
+minimizes the maximum machine load (equivalently, it admits no
+*cost-reducing path* — an alternating walk machine -> assigned task ->
+eligible machine ending at a machine at least two units lighter; Harvey et
+al. 2003). The paper's novelty claim is that this machinery, run on the
+Fock task graph with eligibility = "ranks owning part of the task's data
+footprint", balances as well as hypergraph partitioning at a tiny fraction
+of its cost.
+
+Three solvers:
+
+- :func:`greedy_semi_matching` -- weighted greedy (decreasing cost, least
+  loaded eligible rank); O(n log n).
+- :func:`optimal_semi_matching` -- exact for unit weights, by repeatedly
+  flipping cost-reducing paths found with BFS.
+- :func:`weighted_semi_matching` -- greedy + relocation/swap refinement
+  sweeps for real-valued costs (optimality is NP-hard there).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.chemistry.tasks import TaskGraph
+from repro.runtime.garrays import BlockDistribution
+from repro.util import ConfigurationError, PartitionError, check_positive, spawn_rng
+
+
+def build_eligibility(
+    graph: TaskGraph,
+    n_ranks: int,
+    distribution: BlockDistribution,
+    extra_degree: int = 0,
+    seed: int = 0,
+) -> list[list[int]]:
+    """Eligible ranks per task: owners of its data blocks (+ random extras).
+
+    ``extra_degree`` appends that many random additional ranks per task,
+    loosening locality to guarantee balance feasibility on adversarial
+    footprint distributions (the paper's bounded-degree relaxation).
+    """
+    check_positive("n_ranks", n_ranks)
+    if extra_degree < 0:
+        raise ConfigurationError(f"extra_degree must be >= 0, got {extra_degree}")
+    rng = spawn_rng(seed, "eligibility", n_ranks)
+    out: list[list[int]] = []
+    for task in graph.tasks:
+        owners = {distribution.owner(ref) for ref in (*task.reads, *task.writes)}
+        if extra_degree:
+            extras = rng.choice(n_ranks, size=min(extra_degree, n_ranks), replace=False)
+            owners.update(int(r) for r in extras)
+        out.append(sorted(owners))
+    return out
+
+
+def _validate_eligibility(eligibility: list[list[int]], n_ranks: int) -> None:
+    for tid, ranks in enumerate(eligibility):
+        if not ranks:
+            raise ConfigurationError(f"task {tid} has an empty eligibility list")
+        for r in ranks:
+            if not 0 <= r < n_ranks:
+                raise ConfigurationError(
+                    f"task {tid} eligible for rank {r} outside [0, {n_ranks})"
+                )
+
+
+def greedy_semi_matching(
+    costs: np.ndarray, eligibility: list[list[int]], n_ranks: int
+) -> np.ndarray:
+    """Decreasing-cost greedy: each task to its least-loaded eligible rank."""
+    check_positive("n_ranks", n_ranks)
+    costs = np.asarray(costs, dtype=np.float64)
+    if costs.size != len(eligibility):
+        raise ConfigurationError(
+            f"{costs.size} costs but {len(eligibility)} eligibility lists"
+        )
+    _validate_eligibility(eligibility, n_ranks)
+    loads = np.zeros(n_ranks)
+    assignment = np.empty(costs.size, dtype=np.int64)
+    for tid in np.argsort(-costs, kind="stable"):
+        ranks = eligibility[tid]
+        rank = min(ranks, key=lambda r: loads[r])
+        assignment[tid] = rank
+        loads[rank] += costs[tid]
+    return assignment
+
+
+def optimal_semi_matching(
+    eligibility: list[list[int]], n_ranks: int, max_flips: int | None = None
+) -> np.ndarray:
+    """Optimal unit-weight semi-matching via cost-reducing paths.
+
+    Starts from the greedy solution and BFS-searches, from each overloaded
+    machine, for an alternating path to a machine at least two tasks
+    lighter; flipping the path moves one task along each edge, strictly
+    decreasing ``sum(load^2)``. When no machine admits a cost-reducing
+    path, the assignment is optimal (minimizes max load, and in fact the
+    whole load profile lexicographically).
+
+    Args:
+        max_flips: safety cap on path flips (default ``8 * n_tasks``).
+
+    Raises:
+        PartitionError: if the flip cap is hit (would indicate a bug —
+            the potential argument guarantees termination).
+    """
+    check_positive("n_ranks", n_ranks)
+    _validate_eligibility(eligibility, n_ranks)
+    n_tasks = len(eligibility)
+    unit = np.ones(n_tasks)
+    assignment = greedy_semi_matching(unit, eligibility, n_ranks)
+    loads = np.bincount(assignment, minlength=n_ranks).astype(np.int64)
+
+    # tasks_on[r]: set of task ids currently on rank r.
+    tasks_on: list[set[int]] = [set() for _ in range(n_ranks)]
+    for tid, rank in enumerate(assignment):
+        tasks_on[rank].add(tid)
+
+    cap = max_flips if max_flips is not None else 8 * max(n_tasks, 1)
+    flips = 0
+    while True:
+        # Scan machines from most loaded; a flip changes reachability
+        # globally, so restart the scan after each one. Termination: every
+        # flip strictly decreases sum(load^2).
+        found = False
+        for start in np.argsort(-loads, kind="stable"):
+            path = _cost_reducing_path(int(start), loads, tasks_on, eligibility)
+            if path is None:
+                continue
+            # path = [m0, t0, m1, t1, ..., mk]; move ti from mi to mi+1.
+            for idx in range(1, len(path), 2):
+                tid = path[idx]
+                src = path[idx - 1]
+                dst = path[idx + 1]
+                tasks_on[src].discard(tid)
+                tasks_on[dst].add(tid)
+                assignment[tid] = dst
+            loads[path[0]] -= 1
+            loads[path[-1]] += 1
+            flips += 1
+            if flips > cap:
+                raise PartitionError("optimal semi-matching exceeded its flip cap")
+            found = True
+            break
+        if not found:
+            return assignment
+
+
+def _cost_reducing_path(
+    start: int,
+    loads: np.ndarray,
+    tasks_on: list[set[int]],
+    eligibility: list[list[int]],
+) -> list[int] | None:
+    """BFS for an alternating path from ``start`` to a machine with
+    ``load <= load[start] - 2``; returns [m0, t0, m1, ..., mk] or None."""
+    target_load = loads[start] - 2
+    if target_load < 0:
+        return None
+    parent: dict[int, tuple[int, int]] = {}  # machine -> (prev_machine, task)
+    visited = {start}
+    queue = deque([start])
+    while queue:
+        machine = queue.popleft()
+        for tid in tasks_on[machine]:
+            for nxt in eligibility[tid]:
+                if nxt in visited:
+                    continue
+                visited.add(nxt)
+                parent[nxt] = (machine, tid)
+                if loads[nxt] <= target_load:
+                    # Reconstruct path back to start.
+                    path: list[int] = [nxt]
+                    cur = nxt
+                    while cur != start:
+                        prev, task = parent[cur]
+                        path.extend([task, prev])
+                        cur = prev
+                    path.reverse()
+                    return path
+                queue.append(nxt)
+    return None
+
+
+def weighted_semi_matching(
+    costs: np.ndarray,
+    eligibility: list[list[int]],
+    n_ranks: int,
+    sweeps: int = 4,
+) -> np.ndarray:
+    """Greedy weighted semi-matching plus relocation refinement.
+
+    Each sweep scans ranks from most to least loaded and tries to relocate
+    tasks off the heaviest ranks onto lighter eligible ranks whenever that
+    lowers the maximum of the pair; sweeps stop early at a fixed point.
+    """
+    check_positive("n_ranks", n_ranks)
+    if sweeps < 0:
+        raise ConfigurationError(f"sweeps must be >= 0, got {sweeps}")
+    costs = np.asarray(costs, dtype=np.float64)
+    assignment = greedy_semi_matching(costs, eligibility, n_ranks)
+    loads = np.bincount(assignment, weights=costs, minlength=n_ranks)
+    tasks_on: list[list[int]] = [[] for _ in range(n_ranks)]
+    for tid, rank in enumerate(assignment):
+        tasks_on[rank].append(tid)
+
+    for _ in range(sweeps):
+        moved = False
+        for rank in np.argsort(-loads):
+            rank = int(rank)
+            # Try big tasks first: moving them helps the most.
+            for tid in sorted(tasks_on[rank], key=lambda t: -costs[t]):
+                best_dst = None
+                best_peak = loads[rank]
+                for dst in eligibility[tid]:
+                    if dst == rank:
+                        continue
+                    peak = max(loads[rank] - costs[tid], loads[dst] + costs[tid])
+                    if peak < best_peak - 1e-12:
+                        best_peak = peak
+                        best_dst = dst
+                if best_dst is not None:
+                    tasks_on[rank].remove(tid)
+                    tasks_on[best_dst].append(tid)
+                    loads[rank] -= costs[tid]
+                    loads[best_dst] += costs[tid]
+                    assignment[tid] = best_dst
+                    moved = True
+        if not moved:
+            break
+    return assignment
+
+
+def semi_matching_balancer(
+    graph: TaskGraph,
+    n_ranks: int,
+    distribution: BlockDistribution | None = None,
+    mode: str = "weighted",
+    extra_degree: int = 2,
+    sweeps: int = 4,
+    seed: int = 0,
+) -> np.ndarray:
+    """Balancer-signature entry point for semi-matching.
+
+    Args:
+        mode: ``"weighted"`` (default), ``"greedy"``, or ``"optimal_unit"``
+            (ignores costs; exact on task counts).
+        extra_degree: random extra eligible ranks per task.
+    """
+    if mode not in ("weighted", "greedy", "optimal_unit"):
+        raise ConfigurationError(f"unknown semi-matching mode {mode!r}")
+    if distribution is None:
+        distribution = BlockDistribution(graph.blocks.n_blocks, n_ranks)
+    eligibility = build_eligibility(graph, n_ranks, distribution, extra_degree, seed)
+    if mode == "greedy":
+        return greedy_semi_matching(graph.costs, eligibility, n_ranks)
+    if mode == "optimal_unit":
+        return optimal_semi_matching(eligibility, n_ranks)
+    return weighted_semi_matching(graph.costs, eligibility, n_ranks, sweeps)

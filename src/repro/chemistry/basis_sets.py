@@ -1,0 +1,62 @@
+"""Standard basis sets with angular momentum: STO-3G.
+
+STO-3G data (EMSL / original Hehre-Stewart-Pople fits): every first-row
+atom shares the same contraction-coefficient pattern; only the exponents
+scale. The 2sp shells share exponents between the 2s and 2p contractions,
+as published.
+
+Cartesian p components expand to three shells (p_x, p_y, p_z), keeping
+the library-wide invariant ``n_basis == n_shells``.
+"""
+
+from __future__ import annotations
+
+from repro.chemistry.basis import BasisSet, Shell, _normalize_shell
+from repro.chemistry.molecules import Molecule
+from repro.util import ConfigurationError
+
+_S_COEFS_1S = (0.15432897, 0.53532814, 0.44463454)
+_S_COEFS_2S = (-0.09996723, 0.39951283, 0.70011547)
+_P_COEFS_2P = (0.15591627, 0.60768372, 0.39195739)
+
+#: element -> list of (shell_type, exponents) with shell_type in
+#: {"1s", "2sp"}; coefficients follow the universal STO-3G patterns.
+_STO3G_EXPONENTS: dict[str, list[tuple[str, tuple[float, float, float]]]] = {
+    "H": [("1s", (3.42525091, 0.62391373, 0.16885540))],
+    "C": [
+        ("1s", (71.6168370, 13.0450960, 3.5305122)),
+        ("2sp", (2.9412494, 0.6834831, 0.2222899)),
+    ],
+    "N": [
+        ("1s", (99.1061690, 18.0523120, 4.8856602)),
+        ("2sp", (3.7804559, 0.8784966, 0.2857144)),
+    ],
+    "O": [
+        ("1s", (130.7093200, 23.8088610, 6.4436083)),
+        ("2sp", (5.0331513, 1.1695961, 0.3803890)),
+    ],
+}
+
+_P_POWERS = ((1, 0, 0), (0, 1, 0), (0, 0, 1))
+
+
+def build_basis_sto3g(molecule: Molecule) -> BasisSet:
+    """Construct the STO-3G basis (s and p shells) for a molecule."""
+    shells: list[Shell] = []
+    for atom_idx, symbol in enumerate(molecule.symbols):
+        if symbol not in _STO3G_EXPONENTS:
+            raise ConfigurationError(f"no STO-3G data for element {symbol!r}")
+        center = molecule.coords[atom_idx]
+        for shell_type, exponents in _STO3G_EXPONENTS[symbol]:
+            if shell_type == "1s":
+                prims = list(zip(exponents, _S_COEFS_1S))
+                shells.append(_normalize_shell(center, prims, atom_idx))
+            else:  # 2sp: one s shell + three Cartesian p shells.
+                s_prims = list(zip(exponents, _S_COEFS_2S))
+                shells.append(_normalize_shell(center, s_prims, atom_idx))
+                p_prims = list(zip(exponents, _P_COEFS_2P))
+                for powers in _P_POWERS:
+                    shells.append(
+                        _normalize_shell(center, p_prims, atom_idx, powers)
+                    )
+    return BasisSet(tuple(shells), molecule)

@@ -1,0 +1,269 @@
+"""General (any angular momentum) integral engine via McMurchie-Davidson.
+
+Drop-in replacement for the s-only :class:`~repro.chemistry.integrals.
+IntegralEngine`, with the same interface contract (``pair_data`` /
+``pair_batch`` / ``eri_pair_pair`` / ``eri_batch_matrix``), so screening,
+task kernels, Fock builds, and every execution model work unchanged on
+bases with p shells (STO-3G and friends).
+
+Representation: a shell pair expands into a flat table of **Hermite
+primitives** — entries ``(p, P, coefficient, (t, u, v))`` where the
+coefficient folds contraction weights and the 3-D Hermite expansion
+coefficient ``E_{tuv}`` (exponential prefactor included). The ERI between
+two tables is then a pure double sum of Hermite Coulomb integrals:
+
+    (ij|kl) = 2 pi^{5/2} sum_{m in bra} sum_{n in ket}
+              c_m c_n (-1)^{|tuv_n|} R_{tuv_m + tuv_n}(alpha, P_m - Q_n)
+              / (p_m q_n sqrt(p_m + q_n))
+
+evaluated in vectorized chunks. For an s-only basis every table entry has
+``tuv = (0,0,0)`` and this reduces exactly to the fast engine's formula
+(tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.chemistry.basis import BasisSet
+from repro.chemistry.mcmurchie import (
+    hermite_coulomb,
+    hermite_expansion,
+    kinetic_prim,
+    nuclear_prim,
+    overlap_prim,
+)
+from repro.chemistry.molecules import Molecule
+
+_TWO_PI_POW = 2.0 * np.pi**2.5
+#: Row-chunk size for the Hermite interaction product (memory bound:
+#: ~n_R_arrays * chunk * n_cols * 8 bytes transient).
+_CHUNK = 32
+
+
+@dataclass(frozen=True)
+class HermitePairData:
+    """Hermite-primitive table of one shell pair."""
+
+    p: np.ndarray
+    center: np.ndarray
+    coef: np.ndarray
+    tuv: np.ndarray  # (n, 3) int
+
+    @property
+    def nprim(self) -> int:
+        return int(self.p.size)
+
+
+@dataclass(frozen=True)
+class HermiteBatch:
+    """Concatenated Hermite tables for a list of shell pairs."""
+
+    p: np.ndarray
+    center: np.ndarray
+    coef: np.ndarray
+    tuv: np.ndarray
+    seg: np.ndarray
+    n_pairs: int
+
+    @property
+    def nprim(self) -> int:
+        return int(self.p.size)
+
+
+class GeneralIntegralEngine:
+    """Caching MD integral evaluator (any Cartesian angular momentum).
+
+    Args:
+        basis: the basis set.
+        prim_cutoff: Hermite-primitive entries with ``|coef|`` below this
+            are dropped (0.0 keeps everything).
+    """
+
+    def __init__(self, basis: BasisSet, prim_cutoff: float = 0.0) -> None:
+        self.basis = basis
+        self.prim_cutoff = float(prim_cutoff)
+        self._pair_cache: dict[tuple[int, int], HermitePairData] = {}
+
+    # ------------------------------------------------------------------
+    def pair_data(self, i: int, j: int) -> HermitePairData:
+        """Hermite table for shell pair ``(i, j)`` (symmetric, cached)."""
+        key = (i, j) if i <= j else (j, i)
+        cached = self._pair_cache.get(key)
+        if cached is not None:
+            return cached
+        sh_i = self.basis.shells[key[0]]
+        sh_j = self.basis.shells[key[1]]
+        ps: list[float] = []
+        centers: list[np.ndarray] = []
+        coefs: list[float] = []
+        tuvs: list[tuple[int, int, int]] = []
+        for a, ca in zip(sh_i.exponents, sh_i.coefficients):
+            for b, cb in zip(sh_j.exponents, sh_j.coefficients):
+                p = a + b
+                center = (a * sh_i.center + b * sh_j.center) / p
+                expansion = hermite_expansion(
+                    sh_i.powers, sh_j.powers, float(a), float(b), sh_i.center, sh_j.center
+                )
+                for tuv, e_val in expansion.items():
+                    coef = ca * cb * e_val
+                    if self.prim_cutoff > 0.0 and abs(coef) < self.prim_cutoff:
+                        continue
+                    ps.append(p)
+                    centers.append(center)
+                    coefs.append(coef)
+                    tuvs.append(tuv)
+        if not ps:
+            # Keep at least a null entry so shapes stay sane.
+            data = HermitePairData(
+                np.ones(1), np.zeros((1, 3)), np.zeros(1), np.zeros((1, 3), dtype=np.int64)
+            )
+        else:
+            data = HermitePairData(
+                np.array(ps),
+                np.vstack(centers),
+                np.array(coefs),
+                np.array(tuvs, dtype=np.int64),
+            )
+        self._pair_cache[key] = data
+        return data
+
+    def pair_batch(self, pairs: list[tuple[int, int]]) -> HermiteBatch:
+        if not pairs:
+            return HermiteBatch(
+                np.empty(0),
+                np.empty((0, 3)),
+                np.empty(0),
+                np.empty((0, 3), dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+                0,
+            )
+        tables = [self.pair_data(i, j) for i, j in pairs]
+        return HermiteBatch(
+            np.concatenate([t.p for t in tables]),
+            np.vstack([t.center for t in tables]),
+            np.concatenate([t.coef for t in tables]),
+            np.vstack([t.tuv for t in tables]),
+            np.concatenate(
+                [np.full(t.nprim, idx, dtype=np.int64) for idx, t in enumerate(tables)]
+            ),
+            len(pairs),
+        )
+
+    # ------------------------------------------------------------------
+    def eri_batch_matrix(self, bra: HermiteBatch, ket: HermiteBatch) -> np.ndarray:
+        """``(bra.n_pairs, ket.n_pairs)`` contracted ERIs."""
+        out = np.zeros((bra.n_pairs, ket.n_pairs))
+        if bra.nprim == 0 or ket.nprim == 0:
+            return out
+        order = int(bra.tuv.sum(axis=1).max() + ket.tuv.sum(axis=1).max())
+        ket_sign = np.where(ket.tuv.sum(axis=1) % 2 == 1, -1.0, 1.0)
+        q = ket.p
+        for lo in range(0, bra.nprim, _CHUNK):
+            hi = min(lo + _CHUNK, bra.nprim)
+            p = bra.p[lo:hi, None]
+            pq = p * q[None, :]
+            alpha = pq / (p + q[None, :])
+            sep = bra.center[lo:hi, None, :] - ket.center[None, :, :]
+            r_table = hermite_coulomb(order, alpha, sep)
+            t_idx = bra.tuv[lo:hi, 0][:, None] + ket.tuv[:, 0][None, :]
+            u_idx = bra.tuv[lo:hi, 1][:, None] + ket.tuv[:, 1][None, :]
+            v_idx = bra.tuv[lo:hi, 2][:, None] + ket.tuv[:, 2][None, :]
+            vals = np.zeros_like(alpha)
+            for (t, u, v), r_vals in r_table.items():
+                mask = (t_idx == t) & (u_idx == u) & (v_idx == v)
+                if mask.any():
+                    vals[mask] = r_vals[mask]
+            vals *= (
+                _TWO_PI_POW
+                / (pq * np.sqrt(p + q[None, :]))
+                * bra.coef[lo:hi, None]
+                * (ket.coef * ket_sign)[None, :]
+            )
+            col_sum = np.zeros((hi - lo, ket.n_pairs))
+            np.add.at(col_sum.T, ket.seg, vals.T)
+            np.add.at(out, bra.seg[lo:hi], col_sum)
+        return out
+
+    def eri_pair_pair(self, bra: HermitePairData, ket: HermitePairData) -> float:
+        """Single contracted ERI from two Hermite tables."""
+        bra_batch = HermiteBatch(
+            bra.p, bra.center, bra.coef, bra.tuv, np.zeros(bra.nprim, dtype=np.int64), 1
+        )
+        ket_batch = HermiteBatch(
+            ket.p, ket.center, ket.coef, ket.tuv, np.zeros(ket.nprim, dtype=np.int64), 1
+        )
+        return float(self.eri_batch_matrix(bra_batch, ket_batch)[0, 0])
+
+    def eri_block(
+        self, bra_pairs: list[tuple[int, int]], ket_pairs: list[tuple[int, int]]
+    ) -> np.ndarray:
+        return self.eri_batch_matrix(self.pair_batch(bra_pairs), self.pair_batch(ket_pairs))
+
+
+# ----------------------------------------------------------------------
+# General one-electron builders (scalar contraction loops; these matrices
+# are built once per problem, not per task).
+# ----------------------------------------------------------------------
+def _contracted(basis: BasisSet, i: int, j: int, prim_fn) -> float:
+    sh_i = basis.shells[i]
+    sh_j = basis.shells[j]
+    total = 0.0
+    for a, ca in zip(sh_i.exponents, sh_i.coefficients):
+        for b, cb in zip(sh_j.exponents, sh_j.coefficients):
+            total += ca * cb * prim_fn(
+                sh_i.powers, sh_j.powers, float(a), float(b), sh_i.center, sh_j.center
+            )
+    return total
+
+
+def overlap_matrix_general(basis: BasisSet) -> np.ndarray:
+    n = basis.n_basis
+    s = np.empty((n, n))
+    for i in range(n):
+        for j in range(i, n):
+            s[i, j] = s[j, i] = _contracted(basis, i, j, overlap_prim)
+    return s
+
+
+def kinetic_matrix_general(basis: BasisSet) -> np.ndarray:
+    n = basis.n_basis
+    t = np.empty((n, n))
+    for i in range(n):
+        for j in range(i, n):
+            t[i, j] = t[j, i] = _contracted(basis, i, j, kinetic_prim)
+    return t
+
+
+def nuclear_attraction_matrix_general(
+    basis: BasisSet, molecule: Molecule | None = None
+) -> np.ndarray:
+    mol = molecule if molecule is not None else basis.molecule
+    charges = mol.atomic_numbers.astype(np.float64)
+    n = basis.n_basis
+    v = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i, n):
+            total = 0.0
+            for z, rc in zip(charges, mol.coords):
+                total -= z * _contracted(
+                    basis,
+                    i,
+                    j,
+                    lambda la, lb, a, b, ra, rb, rc=rc: nuclear_prim(
+                        la, lb, a, b, ra, rb, rc
+                    ),
+                )
+            v[i, j] = v[j, i] = total
+    return v
+
+
+def make_engine(basis: BasisSet, prim_cutoff: float = 0.0):
+    """The right engine for a basis: fast s-only path when possible."""
+    from repro.chemistry.integrals import IntegralEngine
+
+    if basis.max_angular_momentum == 0:
+        return IntegralEngine(basis, prim_cutoff)
+    return GeneralIntegralEngine(basis, prim_cutoff)

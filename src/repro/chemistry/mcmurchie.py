@@ -1,0 +1,279 @@
+"""McMurchie-Davidson machinery for Cartesian Gaussian integrals.
+
+Generalizes the closed-form s-only integrals to arbitrary Cartesian
+angular momentum (the library ships s and p basis sets; the machinery
+itself handles any order):
+
+- :func:`boys` — the Boys functions F_0..F_n, vectorized and stable
+  (regularized lower incomplete gamma, with the small-T limit).
+- :func:`hermite_expansion` — 1-D Hermite Gaussian expansion coefficients
+  E_t^{ij} of a primitive product (the exponential prefactor included in
+  E_0^{00}).
+- :func:`hermite_coulomb` — the auxiliary integrals R^0_{tuv} of the
+  Coulomb interaction between Hermite Gaussians, by downward recursion in
+  the Boys order.
+- scalar reference integrals (:func:`overlap_prim`, :func:`kinetic_prim`,
+  :func:`nuclear_prim`, :func:`eri_prim`) used to validate the vectorized
+  engine and to normalize contracted shells.
+
+Conventions follow Helgaker/Jorgensen/Olsen ("Molecular Electronic-
+Structure Theory", ch. 9): for primitives a at A and b at B,
+
+    p = a + b,  P = (aA + bB)/p,  E_0^{00} = exp(-a b |A-B|^2 / p)  (per dim)
+
+    (ab|cd) = 2 pi^{5/2} / (p q sqrt(p+q)) *
+              sum_{tuv} E^{ab}_{tuv} sum_{TUV} (-1)^{T+U+V} E^{cd}_{TUV}
+              R_{t+T, u+U, v+V}(alpha, P-Q),        alpha = p q / (p + q)
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+from scipy.special import gammainc, gammaln
+
+from repro.util import ConfigurationError
+
+Powers = tuple[int, int, int]
+
+
+def boys(n_max: int, t: np.ndarray | float) -> np.ndarray:
+    """Boys functions ``F_0..F_{n_max}``; shape ``(n_max+1,) + t.shape``.
+
+    Uses ``F_n(T) = gamma(n+1/2) * P(n+1/2, T) / (2 T^{n+1/2})`` with the
+    regularized lower incomplete gamma P, and the Taylor limit
+    ``1/(2n+1) - T/(2n+3)`` below 1e-13.
+    """
+    if n_max < 0:
+        raise ConfigurationError(f"n_max must be >= 0, got {n_max}")
+    t = np.asarray(t, dtype=np.float64)
+    shape = t.shape
+    t = np.atleast_1d(t)
+    out = np.empty((n_max + 1,) + t.shape)
+    small = t < 1.0e-13
+    ts = t[small]
+    tl = t[~small]
+    for n in range(n_max + 1):
+        out[n][small] = 1.0 / (2 * n + 1) - ts / (2 * n + 3)
+        if tl.size:
+            half = n + 0.5
+            out[n][~small] = (
+                np.exp(gammaln(half)) * gammainc(half, tl) / (2.0 * tl**half)
+            )
+    return out.reshape((n_max + 1,) + shape)
+
+
+@lru_cache(maxsize=4096)
+def _hermite_1d_table(i: int, j: int, p: float, pa: float, pb: float) -> tuple[float, ...]:
+    """Uncached helper is below; this caches per (i, j, p, PA, PB) scalars."""
+    return tuple(_hermite_1d(i, j, p, pa, pb))
+
+
+def _hermite_1d(i: int, j: int, p: float, pa: float, pb: float) -> list[float]:
+    """E_t^{ij} for one dimension WITHOUT the exponential prefactor.
+
+    Standard two-term recursion built up one quantum at a time.
+    """
+    # table[(ii, jj)] -> list of E_t, t = 0..ii+jj
+    table: dict[tuple[int, int], list[float]] = {(0, 0): [1.0]}
+
+    def build(ii: int, jj: int) -> list[float]:
+        key = (ii, jj)
+        if key in table:
+            return table[key]
+        if ii > 0:
+            prev = build(ii - 1, jj)
+            src_i, src_j, x = ii - 1, jj, pa
+        else:
+            prev = build(ii, jj - 1)
+            src_i, src_j, x = ii, jj - 1, pb
+        n_t = ii + jj + 1
+        out = [0.0] * n_t
+        for t in range(n_t):
+            val = 0.0
+            if 0 <= t - 1 < len(prev):
+                val += prev[t - 1] / (2.0 * p)
+            if t < len(prev):
+                val += x * prev[t]
+            if t + 1 < len(prev):
+                val += (t + 1) * prev[t + 1]
+            out[t] = val
+        table[key] = out
+        return out
+
+    return build(i, j)
+
+
+def hermite_expansion(
+    la: Powers,
+    lb: Powers,
+    a: float,
+    b: float,
+    ra: np.ndarray,
+    rb: np.ndarray,
+) -> dict[Powers, float]:
+    """3-D Hermite coefficients E_{tuv} of one primitive pair.
+
+    Returns a dict ``(t, u, v) -> coefficient`` including the full 3-D
+    exponential prefactor ``exp(-mu |A-B|^2)``.
+    """
+    p = a + b
+    mu = a * b / p
+    ab = np.asarray(ra, dtype=float) - np.asarray(rb, dtype=float)
+    prefactor = float(np.exp(-mu * (ab**2).sum()))
+    pa = (-(b / p)) * ab  # P - A = -(b/p)(A-B)
+    pb = (a / p) * ab  # P - B = (a/p)(A-B)
+    per_dim = [
+        _hermite_1d_table(la[d], lb[d], p, float(pa[d]), float(pb[d]))
+        for d in range(3)
+    ]
+    out: dict[Powers, float] = {}
+    for t, et in enumerate(per_dim[0]):
+        for u, eu in enumerate(per_dim[1]):
+            for v, ev in enumerate(per_dim[2]):
+                coefficient = prefactor * et * eu * ev
+                if coefficient != 0.0:
+                    out[(t, u, v)] = coefficient
+    return out
+
+
+def hermite_coulomb(
+    order: int, alpha: np.ndarray | float, pq: np.ndarray
+) -> dict[Powers, np.ndarray]:
+    """Auxiliary integrals ``R^0_{tuv}`` for all ``t+u+v <= order``.
+
+    Vectorized over trailing dimensions: ``alpha`` has shape S, ``pq``
+    shape S + (3,); each returned value has shape S.
+
+    Recursion (Helgaker 9.9.18-20), downward in the Boys index n:
+        R^n_{000}   = (-2 alpha)^n F_n(alpha |PQ|^2)
+        R^n_{t+1,u,v} = t R^{n+1}_{t-1,u,v} + X R^{n+1}_{t,u,v}   (etc.)
+    """
+    if order < 0:
+        raise ConfigurationError(f"order must be >= 0, got {order}")
+    alpha = np.asarray(alpha, dtype=np.float64)
+    pq = np.asarray(pq, dtype=np.float64)
+    r2 = (pq**2).sum(axis=-1)
+    fs = boys(order, alpha * r2)
+    # levels[n] holds R^n_{tuv} for t+u+v <= order - n.
+    x, y, z = pq[..., 0], pq[..., 1], pq[..., 2]
+    levels: list[dict[Powers, np.ndarray]] = [dict() for _ in range(order + 1)]
+    for n in range(order, -1, -1):
+        levels[n][(0, 0, 0)] = (-2.0 * alpha) ** n * fs[n]
+        if n == order:
+            continue
+        upper = levels[n + 1]
+        for total in range(1, order - n + 1):
+            for t in range(total + 1):
+                for u in range(total - t + 1):
+                    v = total - t - u
+                    if t > 0:
+                        val = x * upper[(t - 1, u, v)]
+                        if t > 1:
+                            val = val + (t - 1) * upper[(t - 2, u, v)]
+                    elif u > 0:
+                        val = y * upper[(t, u - 1, v)]
+                        if u > 1:
+                            val = val + (u - 1) * upper[(t, u - 2, v)]
+                    else:
+                        val = z * upper[(t, u, v - 1)]
+                        if v > 1:
+                            val = val + (v - 1) * upper[(t, u, v - 2)]
+                    levels[n][(t, u, v)] = val
+    return levels[0]
+
+
+# ----------------------------------------------------------------------
+# Scalar reference primitives (validation + shell normalization)
+# ----------------------------------------------------------------------
+def overlap_prim(
+    la: Powers, lb: Powers, a: float, b: float, ra: np.ndarray, rb: np.ndarray
+) -> float:
+    """<a|b> for unnormalized Cartesian primitives."""
+    p = a + b
+    e = hermite_expansion(la, lb, a, b, ra, rb)
+    return e.get((0, 0, 0), 0.0) * (np.pi / p) ** 1.5
+
+
+def kinetic_prim(
+    la: Powers, lb: Powers, a: float, b: float, ra: np.ndarray, rb: np.ndarray
+) -> float:
+    """<a|-nabla^2/2|b> via the standard Gaussian derivative relation.
+
+    T_ij = b(2(jx+jy+jz)+3) S_ij - 2 b^2 sum_d S_{i,j+2e_d}
+           - (1/2) sum_d j_d (j_d - 1) S_{i,j-2e_d}
+    """
+    jx, jy, jz = lb
+    total = b * (2 * (jx + jy + jz) + 3) * overlap_prim(la, lb, a, b, ra, rb)
+    for d in range(3):
+        raised = list(lb)
+        raised[d] += 2
+        total -= 2.0 * b * b * overlap_prim(la, tuple(raised), a, b, ra, rb)
+        if lb[d] >= 2:
+            lowered = list(lb)
+            lowered[d] -= 2
+            total -= 0.5 * lb[d] * (lb[d] - 1) * overlap_prim(
+                la, tuple(lowered), a, b, ra, rb
+            )
+    return total
+
+
+def nuclear_prim(
+    la: Powers,
+    lb: Powers,
+    a: float,
+    b: float,
+    ra: np.ndarray,
+    rb: np.ndarray,
+    rc: np.ndarray,
+) -> float:
+    """<a| 1/|r - C| |b> (positive; callers multiply by -Z)."""
+    p = a + b
+    rp = (a * np.asarray(ra, dtype=float) + b * np.asarray(rb, dtype=float)) / p
+    e = hermite_expansion(la, lb, a, b, ra, rb)
+    order = sum(la) + sum(lb)
+    r = hermite_coulomb(order, p, rp - np.asarray(rc, dtype=float))
+    total = 0.0
+    for tuv, coefficient in e.items():
+        total += coefficient * float(r[tuv])
+    return (2.0 * np.pi / p) * total
+
+
+def eri_prim(
+    la: Powers,
+    lb: Powers,
+    lc: Powers,
+    ld: Powers,
+    a: float,
+    b: float,
+    c: float,
+    d: float,
+    ra: np.ndarray,
+    rb: np.ndarray,
+    rc: np.ndarray,
+    rd: np.ndarray,
+) -> float:
+    """(ab|cd) for unnormalized Cartesian primitives (scalar reference)."""
+    p = a + b
+    q = c + d
+    rp = (a * np.asarray(ra, float) + b * np.asarray(rb, float)) / p
+    rq = (c * np.asarray(rc, float) + d * np.asarray(rd, float)) / q
+    alpha = p * q / (p + q)
+    e_bra = hermite_expansion(la, lb, a, b, ra, rb)
+    e_ket = hermite_expansion(lc, ld, c, d, rc, rd)
+    order = sum(la) + sum(lb) + sum(lc) + sum(ld)
+    r = hermite_coulomb(order, alpha, rp - rq)
+    total = 0.0
+    for (t, u, v), cb in e_bra.items():
+        for (tt, uu, vv), ck in e_ket.items():
+            sign = -1.0 if (tt + uu + vv) % 2 else 1.0
+            total += cb * ck * sign * float(r[(t + tt, u + uu, v + vv)])
+    return 2.0 * np.pi**2.5 / (p * q * np.sqrt(p + q)) * total
+
+
+def primitive_norm(powers: Powers, exponent: float) -> float:
+    """Normalization constant of one Cartesian primitive."""
+    return 1.0 / np.sqrt(
+        overlap_prim(powers, powers, exponent, exponent, np.zeros(3), np.zeros(3))
+    )

@@ -1,0 +1,114 @@
+"""Cauchy-Schwarz integral screening.
+
+The magnitude of any ERI is bounded by the product of bra and ket Schwarz
+factors:
+
+    |(ij|kl)| <= Q_ij Q_kl,    Q_ij = sqrt((ij|ij)).
+
+Screening is the physical source of the task-cost skew this whole study
+rests on: block quartets of spatially distant shells have tiny bounds, get
+dropped (or keep only a few surviving pairs), and leave behind a
+heavy-tailed distribution of task costs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.chemistry.basis import BasisSet, BlockStructure
+from repro.chemistry.integrals import IntegralEngine
+from repro.util import check_non_negative
+
+
+class SchwarzScreen:
+    """Schwarz bounds for a basis, with block-level aggregates.
+
+    Args:
+        basis: the basis set.
+        engine: integral engine to reuse (pair tables are shared with the
+            Fock kernels); a private one is created if omitted.
+    """
+
+    def __init__(self, basis: BasisSet, engine: IntegralEngine | None = None) -> None:
+        self.basis = basis
+        self.engine = engine if engine is not None else IntegralEngine(basis)
+        self.q = self._build_q()
+
+    def _build_q(self) -> np.ndarray:
+        n = self.basis.n_basis
+        q = np.empty((n, n))
+        for i in range(n):
+            for j in range(i, n):
+                pd = self.engine.pair_data(i, j)
+                val = self.engine.eri_pair_pair(pd, pd)
+                # (ij|ij) is non-negative analytically; clamp fp noise.
+                q[i, j] = q[j, i] = np.sqrt(max(val, 0.0))
+        return q
+
+    @property
+    def q_max(self) -> float:
+        """Largest Schwarz factor in the system."""
+        return float(self.q.max())
+
+    def block_qmax(self, blocks: BlockStructure) -> np.ndarray:
+        """``(n_blocks, n_blocks)`` per-block-pair maximum Schwarz factor."""
+        nb = blocks.n_blocks
+        out = np.empty((nb, nb))
+        for a in range(nb):
+            lo_a, hi_a = blocks.block_range(a)
+            for b in range(a, nb):
+                lo_b, hi_b = blocks.block_range(b)
+                val = float(self.q[lo_a:hi_a, lo_b:hi_b].max())
+                out[a, b] = out[b, a] = val
+        return out
+
+    def surviving_pairs(
+        self,
+        block_i: tuple[int, int],
+        block_j: tuple[int, int],
+        bound: float,
+    ) -> list[tuple[int, int]]:
+        """Shell pairs ``(i, j)`` in a block pair with ``Q_ij >= bound``.
+
+        ``block_i``/``block_j`` are half-open index ranges. ``bound`` is an
+        absolute threshold (callers divide the quartet tolerance by the
+        partner side's Q_max).
+        """
+        check_non_negative("bound", bound)
+        lo_i, hi_i = block_i
+        lo_j, hi_j = block_j
+        sub = self.q[lo_i:hi_i, lo_j:hi_j]
+        ii, jj = np.nonzero(sub >= bound)
+        return [(int(lo_i + a), int(lo_j + b)) for a, b in zip(ii, jj)]
+
+    def pair_weights(self, blocks: BlockStructure, tau: float) -> np.ndarray:
+        """Per-block-pair surviving primitive work ``W[a, b]``.
+
+        ``W[a, b]`` is the total number of primitive products over shell
+        pairs in block pair ``(a, b)`` whose Schwarz factor could survive a
+        quartet tolerance ``tau`` against the system's strongest partner
+        pair (i.e. ``Q_ij * q_max >= tau``). This is the quantity the
+        analytic task-cost model multiplies: the kernel's inner loop is one
+        primitive-interaction evaluation per (bra product, ket product).
+        """
+        check_non_negative("tau", tau)
+        n = self.basis.n_basis
+        bound = tau / self.q_max if self.q_max > 0 else 0.0
+        alive = self.q >= bound
+        # Per-shell-pair table size: primitive products for s pairs,
+        # Hermite entries for pairs with angular momentum — exactly the
+        # inner-loop length of the vectorized kernel either way. Tables
+        # are already cached from the Schwarz bound computation.
+        prim_pairs = np.empty((n, n))
+        for i in range(n):
+            for j in range(i, n):
+                size = self.engine.pair_data(i, j).nprim
+                prim_pairs[i, j] = prim_pairs[j, i] = size
+        prim_pairs = prim_pairs * alive
+        nb = blocks.n_blocks
+        out = np.zeros((nb, nb))
+        off = blocks.offsets
+        for a in range(nb):
+            for b in range(nb):
+                out[a, b] = prim_pairs[off[a] : off[a + 1], off[b] : off[b + 1]].sum()
+        return out

@@ -1,0 +1,25 @@
+"""Study driver: the paper's experiment machinery as a library.
+
+:func:`run_study` sweeps execution models over rank counts on one
+workload and collects uniform results; :mod:`repro.core.report` renders
+them as the text tables the benchmarks print.
+"""
+
+from repro.core.config import StudyConfig, MACHINE_PRESETS
+from repro.core.results import StudyReport
+from repro.core.study import run_study, build_workload, Workload
+from repro.core.report import format_table
+from repro.core.validate import ValidationReport, validate_assignment, validate_run
+
+__all__ = [
+    "ValidationReport",
+    "validate_assignment",
+    "validate_run",
+    "StudyConfig",
+    "MACHINE_PRESETS",
+    "StudyReport",
+    "run_study",
+    "build_workload",
+    "Workload",
+    "format_table",
+]

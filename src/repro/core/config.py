@@ -1,0 +1,71 @@
+"""Study configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.exec_models.registry import MODEL_NAMES
+from repro.simulate.machine import (
+    MachineSpec,
+    commodity_cluster,
+    fast_network_cluster,
+)
+from repro.simulate.network import NetworkModel
+from repro.simulate.noise import VariabilityModel
+from repro.util import ConfigurationError
+
+def _smp16(n_ranks: int) -> MachineSpec:
+    """Commodity interconnect between 16-core SMP nodes."""
+    return MachineSpec(
+        n_ranks=n_ranks, network=NetworkModel(), cores_per_node=16
+    )
+
+
+MACHINE_PRESETS: dict[str, Callable[[int], MachineSpec]] = {
+    "commodity": commodity_cluster,
+    "fast_network": fast_network_cluster,
+    "smp16": _smp16,
+}
+
+
+@dataclass(frozen=True)
+class StudyConfig:
+    """One experiment sweep: models x rank counts on a fixed workload.
+
+    Attributes:
+        models: execution-model registry names (see
+            :data:`repro.exec_models.MODEL_NAMES`).
+        n_ranks: rank counts to sweep.
+        machine: machine preset name (``"commodity"`` or ``"fast_network"``).
+        seed: base seed; each (model, P) cell derives its own stream.
+        variability: optional variability model applied to every machine.
+    """
+
+    models: tuple[str, ...] = ("static_block", "counter_dynamic", "work_stealing")
+    n_ranks: tuple[int, ...] = (16, 64)
+    machine: str = "commodity"
+    seed: int = 0
+    variability: VariabilityModel | None = None
+
+    def __post_init__(self) -> None:
+        if not self.models:
+            raise ConfigurationError("models must be non-empty")
+        for name in self.models:
+            if name not in MODEL_NAMES:
+                raise ConfigurationError(
+                    f"unknown model {name!r}; known: {', '.join(MODEL_NAMES)}"
+                )
+        if not self.n_ranks or any(p <= 0 for p in self.n_ranks):
+            raise ConfigurationError("n_ranks must be non-empty positive integers")
+        if self.machine not in MACHINE_PRESETS:
+            raise ConfigurationError(
+                f"unknown machine preset {self.machine!r}; "
+                f"known: {', '.join(MACHINE_PRESETS)}"
+            )
+
+    def machine_for(self, n_ranks: int) -> MachineSpec:
+        spec = MACHINE_PRESETS[self.machine](n_ranks)
+        if self.variability is not None:
+            spec = spec.with_variability(self.variability)
+        return spec

@@ -1,0 +1,77 @@
+"""Study result collection and summarization."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exec_models.base import RunResult
+from repro.runtime.trace import COMM, COMPUTE, IDLE, OVERHEAD
+from repro.util import ConfigurationError
+
+
+@dataclass
+class StudyReport:
+    """All runs of one study, keyed by (model name, rank count)."""
+
+    results: dict[tuple[str, int], RunResult] = field(default_factory=dict)
+
+    def add(self, result: RunResult) -> None:
+        self.results[(result.model, result.n_ranks)] = result
+
+    def get(self, model: str, n_ranks: int) -> RunResult:
+        try:
+            return self.results[(model, n_ranks)]
+        except KeyError:
+            raise ConfigurationError(
+                f"no result for model={model!r}, n_ranks={n_ranks}"
+            ) from None
+
+    @property
+    def models(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for model, _ in self.results:
+            seen.setdefault(model)
+        return list(seen)
+
+    @property
+    def rank_counts(self) -> list[int]:
+        return sorted({p for _, p in self.results})
+
+    # ------------------------------------------------------------------
+    def rows(self) -> list[dict[str, float | str | int]]:
+        """Flat summary rows (one per run) for table rendering."""
+        out = []
+        for (model, n_ranks), r in sorted(self.results.items(), key=lambda kv: (kv[0][1], kv[0][0])):
+            fracs = r.breakdown_fractions()
+            out.append(
+                {
+                    "model": model,
+                    "P": n_ranks,
+                    "makespan_ms": r.makespan * 1e3,
+                    "speedup": r.speedup,
+                    "efficiency": r.efficiency,
+                    "utilization": r.mean_utilization,
+                    "imbalance": r.compute_imbalance,
+                    "compute%": 100 * fracs[COMPUTE],
+                    "comm%": 100 * fracs[COMM],
+                    "overhead%": 100 * fracs[OVERHEAD],
+                    "idle%": 100 * fracs[IDLE],
+                }
+            )
+        return out
+
+    def series(self, model: str) -> tuple[np.ndarray, np.ndarray]:
+        """(rank counts, makespans) for one model, sorted by P."""
+        points = sorted(
+            (p, r.makespan) for (m, p), r in self.results.items() if m == model
+        )
+        if not points:
+            raise ConfigurationError(f"no results for model {model!r}")
+        ps, ts = zip(*points)
+        return np.array(ps), np.array(ts)
+
+    def improvement(self, better: str, worse: str, n_ranks: int) -> float:
+        """Makespan ratio worse/better at one scale (>1: `better` wins)."""
+        return self.get(worse, n_ranks).makespan / self.get(better, n_ranks).makespan

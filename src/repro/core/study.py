@@ -1,0 +1,73 @@
+"""High-level experiment driver.
+
+Ties the full stack together: molecule -> basis/screening/task graph ->
+(model x rank-count) sweep on the simulated machine -> uniform report.
+This is what the benchmarks and examples call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chemistry.basis import BlockStructure
+from repro.chemistry.molecules import Molecule
+from repro.chemistry.scf import ScfProblem
+from repro.chemistry.tasks import TaskGraph
+from repro.core.config import StudyConfig
+from repro.core.results import StudyReport
+from repro.exec_models.registry import make_model
+from repro.util import ConfigurationError, derive_seed
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named task graph (with its originating problem when available)."""
+
+    name: str
+    graph: TaskGraph
+    problem: ScfProblem | None = None
+
+
+def build_workload(
+    molecule: Molecule,
+    name: str | None = None,
+    block_size: int = 8,
+    tau: float = 1.0e-10,
+    blocks: BlockStructure | None = None,
+) -> Workload:
+    """Build the full chemistry pipeline for one molecule."""
+    problem = ScfProblem.build(molecule, block_size=block_size, tau=tau, blocks=blocks)
+    label = name if name is not None else f"molecule[{molecule.n_atoms} atoms]"
+    return Workload(label, problem.graph, problem)
+
+
+def run_study(
+    config: StudyConfig,
+    workload: Workload | None = None,
+    problem: ScfProblem | None = None,
+    graph: TaskGraph | None = None,
+) -> StudyReport:
+    """Run every (model, rank-count) cell of the study.
+
+    Provide exactly one of ``workload``, ``problem``, or ``graph``.
+    """
+    provided = [x for x in (workload, problem, graph) if x is not None]
+    if len(provided) != 1:
+        raise ConfigurationError(
+            "provide exactly one of workload=, problem=, or graph="
+        )
+    if workload is not None:
+        task_graph = workload.graph
+    elif problem is not None:
+        task_graph = problem.graph
+    else:
+        task_graph = graph
+
+    report = StudyReport()
+    for n_ranks in config.n_ranks:
+        machine = config.machine_for(n_ranks)
+        for model_name in config.models:
+            model = make_model(model_name)
+            seed = derive_seed(config.seed, "study", model_name, n_ranks)
+            report.add(model.run(task_graph, machine, seed=seed))
+    return report

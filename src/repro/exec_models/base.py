@@ -1,0 +1,247 @@
+"""Execution-model base class, run harness, and result record.
+
+The :class:`Harness` wires one simulated run together: engine, network,
+trace recorder, and the distributed density/Fock matrices. Its
+:meth:`Harness.execute_task` generator is the *common task protocol* every
+model uses —
+
+    get density blocks -> compute kernel -> accumulate Fock blocks
+
+so models differ **only** in how tasks are claimed, exactly as the paper's
+methodology demands.
+
+:class:`RunResult` is the uniform outcome record: makespan, per-rank
+activity breakdown, the task->rank assignment (validated for exactly-once
+execution), per-task timings (consumed by persistence-based balancing),
+model-specific counters, and network statistics.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Generator
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.chemistry.tasks import TaskGraph, TaskSpec
+from repro.runtime.comm import RankContext
+from repro.runtime.garrays import BlockDistribution, GlobalBlockedMatrix
+from repro.runtime.trace import COMM, COMPUTE, IDLE, OVERHEAD, TraceRecorder
+from repro.simulate.engine import Engine
+from repro.simulate.machine import MachineSpec
+from repro.simulate.network import Network
+from repro.util import SchedulingError, derive_seed
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulated execution.
+
+    Attributes:
+        model: execution-model name.
+        n_ranks: rank count.
+        n_tasks: task count.
+        makespan: simulated seconds from start to the last rank finishing.
+        breakdown: category -> ``(n_ranks,)`` seconds
+            (compute / comm / overhead / idle).
+        assignment: ``(n_tasks,)`` executing rank per task.
+        task_starts: ``(n_tasks,)`` kernel start time per task.
+        task_durations: ``(n_tasks,)`` kernel compute seconds per task
+            (the persistence balancer's measurement input).
+        finish_times: ``(n_ranks,)`` when each rank's process completed.
+        counters: model-specific statistics (steals, chunks, rounds, ...).
+        network: operation counts and bytes moved.
+        total_flops: task-graph total (for speedup/efficiency).
+        nominal_flops_per_second: machine nominal per-rank rate.
+    """
+
+    model: str
+    n_ranks: int
+    n_tasks: int
+    makespan: float
+    breakdown: dict[str, np.ndarray]
+    assignment: np.ndarray
+    task_starts: np.ndarray
+    task_durations: np.ndarray
+    finish_times: np.ndarray
+    counters: dict[str, float] = field(default_factory=dict)
+    network: dict[str, float] = field(default_factory=dict)
+    total_flops: float = 0.0
+    nominal_flops_per_second: float = 1.0
+    #: Raw (rank, category, start, end) intervals; populated only when the
+    #: run was made with ``trace_intervals=True`` (timeline rendering).
+    intervals: list[tuple[int, str, float, float]] | None = None
+
+    @property
+    def serial_seconds(self) -> float:
+        """Modeled single-rank (nominal-speed, zero-overhead) time."""
+        return self.total_flops / self.nominal_flops_per_second
+
+    @property
+    def speedup(self) -> float:
+        return self.serial_seconds / self.makespan if self.makespan > 0 else 0.0
+
+    @property
+    def efficiency(self) -> float:
+        return self.speedup / self.n_ranks
+
+    @property
+    def mean_utilization(self) -> float:
+        """Mean fraction of makespan ranks spent computing tasks."""
+        if self.makespan <= 0:
+            return 0.0
+        return float(self.breakdown[COMPUTE].mean() / self.makespan)
+
+    @property
+    def compute_imbalance(self) -> float:
+        """max/mean of per-rank compute time (lambda >= 1; 1 is perfect)."""
+        busy = self.breakdown[COMPUTE]
+        mean = busy.mean()
+        return float(busy.max() / mean) if mean > 0 else float("inf")
+
+    def breakdown_fractions(self) -> dict[str, float]:
+        """Machine-wide fraction of rank-seconds per activity category."""
+        total = self.makespan * self.n_ranks
+        if total <= 0:
+            return {cat: 0.0 for cat in (COMPUTE, COMM, OVERHEAD, IDLE)}
+        return {cat: float(vals.sum() / total) for cat, vals in self.breakdown.items()}
+
+
+class Harness:
+    """Shared per-run machinery: engine, network, trace, global arrays."""
+
+    #: Modeled local cost of claiming a task from a rank's own queue.
+    LOCAL_QUEUE_OP = 1.0e-7
+    #: Bytes of one task descriptor when stolen/transferred.
+    TASK_DESCRIPTOR_BYTES = 16
+
+    def __init__(
+        self,
+        graph: TaskGraph,
+        machine: MachineSpec,
+        seed: int = 0,
+        trace_intervals: bool = False,
+        distribution_scheme: str = "cyclic",
+    ) -> None:
+        self.graph = graph
+        self.machine = machine
+        self.seed = int(seed)
+        self.engine = Engine()
+        node_of = machine.node_of if machine.cores_per_node is not None else None
+        self.network = Network(self.engine, machine.network, machine.n_ranks, node_of)
+        self.trace = TraceRecorder(machine.n_ranks)
+        if trace_intervals:
+            self.trace.keep_intervals()
+        dist = BlockDistribution(graph.blocks.n_blocks, machine.n_ranks, distribution_scheme)
+        self.density = GlobalBlockedMatrix("D", graph.blocks, dist)
+        self.fock = GlobalBlockedMatrix("F", graph.blocks, dist)
+        #: Scratch for model-specific statistics, folded into RunResult.
+        self.counters: dict[str, float] = {}
+        #: Per-run model state (schedules, queues, shared counters).
+        self.model_state: dict = {}
+        self._finish_times = np.full(machine.n_ranks, np.nan)
+
+    @property
+    def n_ranks(self) -> int:
+        return self.machine.n_ranks
+
+    def context(self, rank: int) -> RankContext:
+        return RankContext(rank, self.engine, self.network, self.machine, self.trace)
+
+    def rank_seed(self, rank: int, *keys: int | str) -> int:
+        return derive_seed(self.seed, "rank", rank, *keys)
+
+    # ------------------------------------------------------------------
+    def execute_task(self, ctx: RankContext, task: TaskSpec):
+        """The common task protocol: reads, kernel, accumulates."""
+        for ref in task.reads:
+            yield from self.density.get(ctx, ref)
+        yield from ctx.compute(task.flops, tid=task.tid)
+        for ref in task.writes:
+            yield from self.fock.accumulate(ctx, ref)
+
+    def spawn_ranks(self, process_factory) -> None:
+        """Start one process per rank; records per-rank finish times.
+
+        ``process_factory(harness, ctx)`` must return the rank's generator.
+        """
+
+        def wrapped(rank: int) -> Generator:
+            ctx = self.context(rank)
+            yield from process_factory(self, ctx)
+            self._finish_times[rank] = self.engine.now
+
+        for rank in range(self.n_ranks):
+            self.engine.process(wrapped(rank), name=f"rank{rank}")
+
+    def finish(self, model_name: str) -> RunResult:
+        """Drain the engine, validate invariants, assemble the result."""
+        self.engine.run()
+        if np.any(np.isnan(self._finish_times)):
+            raise SchedulingError(
+                f"model {model_name!r}: some ranks never finished"
+            )
+        makespan = float(np.max(self._finish_times))
+        assignment = self.trace.task_assignment(self.graph.n_tasks)
+
+        starts = np.zeros(self.graph.n_tasks)
+        durations = np.zeros(self.graph.n_tasks)
+        for rec in self.trace.tasks:
+            starts[rec.tid] = rec.start
+            durations[rec.tid] = rec.end - rec.start
+
+        stats = self.network.stats
+        return RunResult(
+            model=model_name,
+            n_ranks=self.n_ranks,
+            n_tasks=self.graph.n_tasks,
+            makespan=makespan,
+            breakdown=self.trace.breakdown(makespan),
+            assignment=assignment,
+            task_starts=starts,
+            task_durations=durations,
+            finish_times=self._finish_times.copy(),
+            counters=dict(self.counters),
+            network={
+                "gets": float(stats.gets),
+                "puts": float(stats.puts),
+                "accumulates": float(stats.accumulates),
+                "fetch_adds": float(stats.fetch_adds),
+                "messages": float(stats.messages),
+                "bytes_moved": float(stats.bytes_moved),
+            },
+            total_flops=self.graph.total_flops,
+            nominal_flops_per_second=self.machine.flops_per_second,
+            intervals=self.trace.intervals,
+        )
+
+
+class ExecutionModel(ABC):
+    """Base class: subclasses implement per-rank behaviour.
+
+    A model instance is stateless across runs; all per-run state lives in
+    the harness or in locals of :meth:`rank_process`.
+    """
+
+    name: str = "abstract"
+
+    def run(
+        self,
+        graph: TaskGraph,
+        machine: MachineSpec,
+        seed: int = 0,
+        trace_intervals: bool = False,
+    ) -> RunResult:
+        """Simulate this model on ``graph`` over ``machine``."""
+        harness = Harness(graph, machine, seed=seed, trace_intervals=trace_intervals)
+        self.setup(harness)
+        harness.spawn_ranks(self.rank_process)
+        return harness.finish(self.name)
+
+    def setup(self, harness: Harness) -> None:
+        """Per-run initialization hook (queues, counters, schedules)."""
+
+    @abstractmethod
+    def rank_process(self, harness: Harness, ctx: RankContext):
+        """Generator implementing one rank's behaviour."""

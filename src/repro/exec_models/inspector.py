@@ -1,0 +1,58 @@
+"""Inspector-executor execution model.
+
+The *inspector* runs a load balancer over the task graph's analytic cost
+model (and the data distribution, for locality-aware balancers) to produce
+a static assignment; the *executor* then runs it like any static schedule.
+The balancer's real host-CPU cost is measured and reported in
+``counters["balancer_seconds"]`` — that column is the substance of the
+paper's "hypergraph partitioning is computationally expensive" comparison
+(experiments E3/E4).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Protocol
+
+import numpy as np
+
+from repro.chemistry.tasks import TaskGraph
+from repro.exec_models.base import Harness
+from repro.exec_models.static_ import StaticAssignment
+from repro.runtime.garrays import BlockDistribution
+
+
+class Balancer(Protocol):
+    """Signature every load balancer implements."""
+
+    def __call__(
+        self,
+        graph: TaskGraph,
+        n_ranks: int,
+        distribution: BlockDistribution | None,
+    ) -> np.ndarray: ...
+
+
+class InspectorExecutor(StaticAssignment):
+    """Run ``balancer`` at setup, then execute its static schedule.
+
+    Args:
+        balancer: callable with the :class:`Balancer` signature.
+        name: model name recorded in results (e.g. ``"inspector(semi_matching)"``).
+    """
+
+    def __init__(self, balancer: Callable, name: str = "inspector") -> None:
+        super().__init__(np.zeros(0, dtype=np.int64), name=name)
+        self.balancer = balancer
+        #: Host seconds of the last inspection (also in run counters).
+        self.last_balancer_seconds: float = 0.0
+
+    def setup(self, harness: Harness) -> None:
+        start = time.perf_counter()
+        self.assignment = np.asarray(
+            self.balancer(harness.graph, harness.n_ranks, harness.density.distribution),
+            dtype=np.int64,
+        )
+        self.last_balancer_seconds = time.perf_counter() - start
+        harness.counters["balancer_seconds"] = self.last_balancer_seconds
+        super().setup(harness)

@@ -1,0 +1,151 @@
+"""Persistence-based load balancing across iterations.
+
+SCF is iterative and its task costs barely change between iterations, so
+measured per-task durations from iteration *i* are an excellent cost model
+for iteration *i*+1 — this is "persistence-based" balancing. Iteration 1
+runs a cheap static schedule (paying its imbalance once); every later
+iteration runs a capacity-aware LPT schedule built from the previous
+iteration's *measured* durations and *measured* per-rank throughputs, so
+the scheme adapts to static performance heterogeneity (experiment E7/E8)
+without any runtime scheduling overhead at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.balance.greedy import capacity_lpt
+from repro.chemistry.tasks import TaskGraph
+from repro.exec_models.base import ExecutionModel, Harness, RunResult
+from repro.exec_models.static_ import StaticAssignment, block_assignment, cyclic_assignment
+from repro.runtime.comm import RankContext
+from repro.simulate.machine import MachineSpec
+from repro.util import ConfigurationError, check_positive, derive_seed
+
+
+def _measured_capacities(result: RunResult, graph: TaskGraph) -> np.ndarray:
+    """Per-rank throughput estimate: modeled flops done / compute seconds.
+
+    Ranks that ran no tasks get the mean capacity (no evidence either way).
+    """
+    flops_done = np.bincount(
+        result.assignment, weights=graph.costs, minlength=result.n_ranks
+    )
+    seconds = np.bincount(
+        result.assignment, weights=result.task_durations, minlength=result.n_ranks
+    )
+    capacities = np.ones(result.n_ranks)
+    ran = seconds > 0
+    capacities[ran] = flops_done[ran] / seconds[ran]
+    if ran.any():
+        capacities[~ran] = capacities[ran].mean()
+    return capacities
+
+
+def rebalance_from_measurements(
+    result: RunResult, graph: TaskGraph, capacity_aware: bool = True
+) -> np.ndarray:
+    """Next-iteration assignment from one iteration's measurements."""
+    durations = result.task_durations
+    if capacity_aware:
+        capacities = _measured_capacities(result, graph)
+        # Predicted cost of a task is speed-independent (flops); measured
+        # duration folds in the executing rank's speed, so convert back to
+        # a rank-neutral cost before capacity-aware placement.
+        neutral = durations * capacities[result.assignment]
+        return capacity_lpt(neutral, capacities)
+    return capacity_lpt(durations, np.ones(result.n_ranks))
+
+
+@dataclass
+class PersistenceHistory:
+    """All iterations of a persistence-balanced run."""
+
+    results: list[RunResult]
+
+    @property
+    def makespans(self) -> np.ndarray:
+        return np.array([r.makespan for r in self.results])
+
+    @property
+    def first_iteration(self) -> RunResult:
+        return self.results[0]
+
+    @property
+    def steady_state(self) -> RunResult:
+        return self.results[-1]
+
+    @property
+    def improvement(self) -> float:
+        """Makespan ratio iteration-1 / steady-state (>1 means it helped)."""
+        last = self.results[-1].makespan
+        return self.results[0].makespan / last if last > 0 else float("inf")
+
+
+def run_persistence(
+    graph: TaskGraph,
+    machine: MachineSpec,
+    n_iterations: int = 5,
+    seed: int = 0,
+    initial: str = "block",
+    capacity_aware: bool = True,
+) -> PersistenceHistory:
+    """Simulate ``n_iterations`` Fock builds with persistence rebalancing."""
+    check_positive("n_iterations", n_iterations)
+    if initial not in ("block", "cyclic"):
+        raise ConfigurationError(f"initial must be 'block' or 'cyclic', got {initial!r}")
+    make_initial = block_assignment if initial == "block" else cyclic_assignment
+    assignment = make_initial(graph.n_tasks, machine.n_ranks)
+    results: list[RunResult] = []
+    for iteration in range(n_iterations):
+        model = StaticAssignment(assignment, name=f"persistence[iter={iteration}]")
+        result = model.run(graph, machine, seed=derive_seed(seed, "persist", iteration))
+        results.append(result)
+        assignment = rebalance_from_measurements(result, graph, capacity_aware)
+    return PersistenceHistory(results)
+
+
+class PersistenceModel(ExecutionModel):
+    """Registry-friendly wrapper: runs the iteration loop, reports steady state.
+
+    The returned :class:`RunResult` is the final iteration's, with
+    ``counters`` extended by first-iteration makespan and the improvement
+    ratio so single-result reports still show the adaptation.
+    """
+
+    def __init__(
+        self, n_iterations: int = 4, initial: str = "block", capacity_aware: bool = True
+    ) -> None:
+        check_positive("n_iterations", n_iterations)
+        self.n_iterations = int(n_iterations)
+        self.initial = initial
+        self.capacity_aware = capacity_aware
+        self.name = f"persistence(iters={n_iterations})"
+
+    def run(
+        self,
+        graph: TaskGraph,
+        machine: MachineSpec,
+        seed: int = 0,
+        trace_intervals: bool = False,
+    ) -> RunResult:
+        history = run_persistence(
+            graph,
+            machine,
+            n_iterations=self.n_iterations,
+            seed=seed,
+            initial=self.initial,
+            capacity_aware=self.capacity_aware,
+        )
+        final = history.steady_state
+        final.model = self.name
+        final.counters["first_iteration_makespan"] = history.first_iteration.makespan
+        final.counters["improvement"] = history.improvement
+        return final
+
+    def rank_process(self, harness: Harness, ctx: RankContext):
+        raise NotImplementedError(
+            "PersistenceModel orchestrates whole runs; it has no single rank process"
+        )

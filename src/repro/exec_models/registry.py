@@ -1,0 +1,63 @@
+"""Name-based execution-model factory.
+
+The study driver and the benchmarks refer to models by short names; this
+registry maps them to configured instances, so an experiment sweep is just
+a tuple of strings.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.balance.greedy import locality_greedy, lpt_balancer
+from repro.balance.partition import hypergraph_balancer
+from repro.balance.semi_matching import semi_matching_balancer
+from repro.exec_models.base import ExecutionModel
+from repro.exec_models.counter_dynamic import CounterDynamic
+from repro.exec_models.node_counter import CounterPerNode
+from repro.exec_models.inspector import InspectorExecutor
+from repro.exec_models.persistence import PersistenceModel
+from repro.exec_models.static_ import StaticBlock, StaticCyclic
+from repro.exec_models.work_stealing import WorkStealing
+from repro.util import ConfigurationError
+
+_FACTORIES: dict[str, Callable[[], ExecutionModel]] = {
+    "static_block": StaticBlock,
+    "static_cyclic": StaticCyclic,
+    "counter_dynamic": CounterDynamic,
+    "counter_dynamic_chunk4": lambda: CounterDynamic(chunk=4),
+    "counter_dynamic_chunk16": lambda: CounterDynamic(chunk=16),
+    "counter_dynamic_guided": lambda: CounterDynamic(chunk=1, order="desc_cost"),
+    "counter_per_node": CounterPerNode,
+    "counter_per_node_cost": lambda: CounterPerNode(partition="cost"),
+    "work_stealing": WorkStealing,
+    "work_stealing_hier": lambda: WorkStealing(victim="hierarchical"),
+    "work_stealing_one": lambda: WorkStealing(steal="one"),
+    "work_stealing_half_cost": lambda: WorkStealing(steal="half_cost"),
+    "work_stealing_ring": lambda: WorkStealing(victim="ring"),
+    "work_stealing_cyclic": lambda: WorkStealing(initial="cyclic"),
+    "inspector_lpt": lambda: InspectorExecutor(lpt_balancer, name="inspector(lpt)"),
+    "inspector_locality": lambda: InspectorExecutor(
+        locality_greedy, name="inspector(locality_greedy)"
+    ),
+    "inspector_semi_matching": lambda: InspectorExecutor(
+        semi_matching_balancer, name="inspector(semi_matching)"
+    ),
+    "inspector_hypergraph": lambda: InspectorExecutor(
+        hypergraph_balancer, name="inspector(hypergraph)"
+    ),
+    "persistence": PersistenceModel,
+}
+
+MODEL_NAMES: tuple[str, ...] = tuple(sorted(_FACTORIES))
+
+
+def make_model(name: str) -> ExecutionModel:
+    """Instantiate an execution model by registry name."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown execution model {name!r}; known: {', '.join(MODEL_NAMES)}"
+        ) from None
+    return factory()

@@ -1,0 +1,103 @@
+"""Token-ring termination detection for distributed work stealing.
+
+A double-round dirty-bit token protocol (the ring form of Dijkstra-Safra,
+specialized to work stealing where work moves via one-sided steals rather
+than messages):
+
+- The token carries a count of consecutive *clean* hops. Rank 0 launches it
+  the first time it goes idle.
+- A rank holds the token (it waits in the mailbox) while it has work; it
+  forwards the token only when idle with an empty queue.
+- A rank is **dirty** if it acquired work (a successful steal, or work
+  appearing in its queue by being a steal victim is irrelevant — only
+  *gaining* work matters for the safety argument) since it last forwarded
+  the token. A dirty rank forwards with count reset to 0 and goes clean.
+- When a forward would raise the count to ``2 * n_ranks``, the holder
+  declares termination and broadcasts ``terminate``.
+
+Safety: termination needs 2P consecutive clean idle forwards. Any extant
+task sits in some queue; its holder will not forward the token, so the
+count can never complete the double round while work exists. Steals move
+tasks atomically under the victim's queue lock (no "nowhere" state), and
+the thief marks itself dirty at transfer completion, breaking the classic
+behind-the-token race. Liveness: once all work is done, every rank
+eventually idles, forwards, and the count reaches 2P.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.comm import RankContext
+from repro.util import check_positive
+
+TOKEN_TAG = "token"
+TERMINATE_TAG = "terminate"
+
+
+class TokenRing:
+    """Shared termination-detection state for one run (or one epoch).
+
+    ``epoch`` (optional) is folded into the message tags so that several
+    rings can run back-to-back over one network — the iterative SCF
+    simulation runs one ring per Fock build, and stale tokens from a
+    finished epoch must never match a later epoch's receives.
+    """
+
+    def __init__(self, n_ranks: int, epoch: int | None = None) -> None:
+        check_positive("n_ranks", n_ranks)
+        self.n_ranks = int(n_ranks)
+        self.epoch = epoch
+        self.dirty = [False] * n_ranks
+        self.launched = False
+        self.terminated = False
+        #: Total token forwards (protocol-cost statistic).
+        self.hops = 0
+
+    @property
+    def token_tag(self):
+        return TOKEN_TAG if self.epoch is None else (TOKEN_TAG, self.epoch)
+
+    @property
+    def terminate_tag(self):
+        return TERMINATE_TAG if self.epoch is None else (TERMINATE_TAG, self.epoch)
+
+    def mark_dirty(self, rank: int) -> None:
+        """Call when ``rank`` gains work (successful steal)."""
+        self.dirty[rank] = True
+
+    def maybe_launch(self, ctx: RankContext):
+        """Rank 0 launches the token on first idleness (generator)."""
+        if ctx.rank == 0 and not self.launched and self.n_ranks > 1:
+            self.launched = True
+            yield from ctx.send((ctx.rank + 1) % self.n_ranks, self.token_tag, 0)
+            self.hops += 1
+
+    def handle_token(self, ctx: RankContext, count: int):
+        """Process a received token while idle with an empty queue.
+
+        Returns True if this rank declared termination (generator return
+        value; drive with ``yield from``).
+        """
+        rank = ctx.rank
+        if self.dirty[rank]:
+            count = 0
+            self.dirty[rank] = False
+        else:
+            count += 1
+        if count >= 2 * self.n_ranks:
+            self.terminated = True
+            yield from self.broadcast_terminate(ctx)
+            return True
+        yield from ctx.send((rank + 1) % self.n_ranks, self.token_tag, count)
+        self.hops += 1
+        return False
+
+    def broadcast_terminate(self, ctx: RankContext):
+        """Linear terminate broadcast from the declaring rank.
+
+        The declarer pays one software overhead per destination; deliveries
+        proceed concurrently. (A tree broadcast would shave the last
+        ~P * o_send off the makespan; at the scales studied this is <1%.)
+        """
+        for other in range(self.n_ranks):
+            if other != ctx.rank:
+                yield from ctx.send(other, self.terminate_tag, None)

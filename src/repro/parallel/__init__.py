@@ -1,0 +1,29 @@
+"""Real shared-memory execution of the task graph (host validation).
+
+The simulator answers the performance questions; this package answers the
+"is any of this real?" question: the same task kernels, claimed by the same
+three scheduling disciplines (static / shared counter / work stealing),
+executed by actual Python threads on the host, with the resulting Fock
+matrix checked against the serial reference. It also powers the laptop
+examples and gives SCF a genuinely parallel two-electron builder.
+"""
+
+from repro.parallel.pool import (
+    SharedMemoryFockBuilder,
+    parallel_g_builder,
+    ParallelStats,
+)
+from repro.parallel.processes import (
+    ProcessFockBuilder,
+    process_g_builder,
+    ProcessStats,
+)
+
+__all__ = [
+    "SharedMemoryFockBuilder",
+    "parallel_g_builder",
+    "ParallelStats",
+    "ProcessFockBuilder",
+    "process_g_builder",
+    "ProcessStats",
+]

@@ -1,0 +1,215 @@
+"""Thread-pool Fock builders with pluggable scheduling disciplines.
+
+Workers accumulate into private Fock buffers (summed at the end), so no
+numeric state is shared; only task *claiming* is concurrent:
+
+- ``static``: LPT pre-partition on the analytic cost model; no runtime
+  coordination at all.
+- ``counter``: a shared index behind a lock — the shared-memory analogue
+  of the NXTVAL counter model.
+- ``stealing``: per-worker deques with per-deque locks; idle workers steal
+  half a random victim's queue; termination is a shared remaining-task
+  count (task counts never grow, so count-zero is exact).
+
+Python threads interleave rather than truly parallelize this kernel (the
+GIL; NumPy releases it only inside large ops), so this backend validates
+*correctness under real concurrency* — exactly-once claiming, reduction-
+order independence — not wall-clock scaling. The discrete-event simulator
+is the performance instrument; see DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.balance.greedy import lpt
+from repro.chemistry.scf import GBuilder, ScfProblem
+from repro.util import ConfigurationError, SchedulingError, check_positive, spawn_rng
+
+
+@dataclass
+class ParallelStats:
+    """Observability for one parallel build."""
+
+    mode: str
+    n_workers: int
+    wall_seconds: float = 0.0
+    tasks_per_worker: list[int] = field(default_factory=list)
+    steals: int = 0
+
+
+class SharedMemoryFockBuilder:
+    """Builds the two-electron Fock matrix with a thread pool.
+
+    Args:
+        problem: prebuilt SCF problem (kernel + task graph).
+        n_workers: thread count.
+        mode: ``"static"``, ``"counter"``, or ``"stealing"``.
+        seed: victim-selection seed for stealing.
+    """
+
+    def __init__(
+        self,
+        problem: ScfProblem,
+        n_workers: int = 4,
+        mode: str = "stealing",
+        seed: int = 0,
+    ) -> None:
+        check_positive("n_workers", n_workers)
+        if mode not in ("static", "counter", "stealing"):
+            raise ConfigurationError(
+                f"mode must be 'static', 'counter', or 'stealing', got {mode!r}"
+            )
+        self.problem = problem
+        self.n_workers = int(n_workers)
+        self.mode = mode
+        self.seed = int(seed)
+        self.last_stats: ParallelStats | None = None
+
+    # ------------------------------------------------------------------
+    def build(self, density: np.ndarray) -> np.ndarray:
+        """Compute G(D): the two-electron Fock contribution."""
+        n = self.problem.basis.n_basis
+        if density.shape != (n, n):
+            raise ConfigurationError(f"density must be ({n}, {n}), got {density.shape}")
+        graph = self.problem.graph
+        kernel = self.problem.kernel
+        partials = [np.zeros((n, n)) for _ in range(self.n_workers)]
+        executed = [0] * self.n_workers
+        stats = ParallelStats(self.mode, self.n_workers)
+        start = time.perf_counter()
+
+        if graph.n_tasks:
+            if self.mode == "static":
+                workers = self._static_workers(density, partials, executed)
+            elif self.mode == "counter":
+                workers = self._counter_workers(density, partials, executed)
+            else:
+                workers = self._stealing_workers(density, partials, executed, stats)
+            threads = [
+                threading.Thread(target=w, name=f"fock-worker-{i}", daemon=True)
+                for i, w in enumerate(workers)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+        stats.wall_seconds = time.perf_counter() - start
+        stats.tasks_per_worker = executed
+        self.last_stats = stats
+        if sum(executed) != graph.n_tasks:
+            raise SchedulingError(
+                f"{sum(executed)} tasks executed, expected {graph.n_tasks}"
+            )
+        total = partials[0]
+        for p in partials[1:]:
+            total += p
+        return total
+
+    __call__ = build
+
+    # ------------------------------------------------------------------
+    def _run_task(self, tid: int, density: np.ndarray, fock: np.ndarray) -> None:
+        self.problem.kernel.execute_dense(self.problem.graph.tasks[tid], density, fock)
+
+    def _static_workers(self, density, partials, executed):
+        graph = self.problem.graph
+        assignment = lpt(graph.costs, self.n_workers)
+        lists: list[list[int]] = [[] for _ in range(self.n_workers)]
+        for tid, w in enumerate(assignment):
+            lists[w].append(tid)
+
+        def make(worker: int):
+            def run() -> None:
+                for tid in lists[worker]:
+                    self._run_task(tid, density, partials[worker])
+                    executed[worker] += 1
+
+            return run
+
+        return [make(w) for w in range(self.n_workers)]
+
+    def _counter_workers(self, density, partials, executed):
+        graph = self.problem.graph
+        lock = threading.Lock()
+        state = {"next": 0}
+
+        def make(worker: int):
+            def run() -> None:
+                while True:
+                    with lock:
+                        tid = state["next"]
+                        state["next"] += 1
+                    if tid >= graph.n_tasks:
+                        return
+                    self._run_task(tid, density, partials[worker])
+                    executed[worker] += 1
+
+            return run
+
+        return [make(w) for w in range(self.n_workers)]
+
+    def _stealing_workers(self, density, partials, executed, stats: ParallelStats):
+        graph = self.problem.graph
+        n_workers = self.n_workers
+        queues: list[deque[int]] = [deque() for _ in range(n_workers)]
+        for tid in range(graph.n_tasks):
+            queues[tid % n_workers].append(tid)
+        locks = [threading.Lock() for _ in range(n_workers)]
+        remaining_lock = threading.Lock()
+        state = {"remaining": graph.n_tasks, "steals": 0}
+
+        def make(worker: int):
+            rng = spawn_rng(self.seed, "parallel_steal", worker)
+
+            def run() -> None:
+                my_queue = queues[worker]
+                my_lock = locks[worker]
+                while True:
+                    with remaining_lock:
+                        if state["remaining"] == 0:
+                            stats.steals = state["steals"]
+                            return
+                    tid: int | None = None
+                    with my_lock:
+                        if my_queue:
+                            tid = my_queue.popleft()
+                    if tid is None and n_workers > 1:
+                        victim = int(rng.integers(0, n_workers - 1))
+                        if victim >= worker:
+                            victim += 1
+                        with locks[victim]:
+                            k = (len(queues[victim]) + 1) // 2
+                            loot = [queues[victim].pop() for _ in range(k)]
+                        if loot:
+                            loot.reverse()
+                            with my_lock:
+                                my_queue.extend(loot)
+                            with remaining_lock:
+                                state["steals"] += 1
+                            continue
+                    if tid is None:
+                        time.sleep(1e-5)
+                        continue
+                    self._run_task(tid, density, partials[worker])
+                    executed[worker] += 1
+                    with remaining_lock:
+                        state["remaining"] -= 1
+
+            return run
+
+        return [make(w) for w in range(n_workers)]
+
+
+def parallel_g_builder(
+    problem: ScfProblem, n_workers: int = 4, mode: str = "stealing", seed: int = 0
+) -> GBuilder:
+    """A :func:`repro.chemistry.scf.run_scf`-compatible parallel builder."""
+    builder = SharedMemoryFockBuilder(problem, n_workers=n_workers, mode=mode, seed=seed)
+    return builder.build

@@ -1,0 +1,31 @@
+"""Global-Arrays-style distributed runtime over the simulated network.
+
+This layer gives execution models the abstractions the paper's kernel was
+written against:
+
+- :mod:`repro.runtime.trace` -- per-rank activity accounting
+  (compute / communication / runtime-overhead / idle), the data behind the
+  utilization-breakdown experiment E2.
+- :mod:`repro.runtime.comm` -- :class:`RankContext`, the per-rank facade
+  that wraps network operations with trace recording and speed-aware
+  compute.
+- :mod:`repro.runtime.garrays` -- distributed blocked matrices with
+  ``get``/``accumulate`` on blocks and pluggable block->rank distributions.
+- :mod:`repro.runtime.counter` -- the NXTVAL-style global shared counter.
+"""
+
+from repro.runtime.trace import TraceRecorder, COMPUTE, COMM, OVERHEAD
+from repro.runtime.comm import RankContext
+from repro.runtime.garrays import BlockDistribution, GlobalBlockedMatrix
+from repro.runtime.counter import GlobalCounter
+
+__all__ = [
+    "TraceRecorder",
+    "COMPUTE",
+    "COMM",
+    "OVERHEAD",
+    "RankContext",
+    "BlockDistribution",
+    "GlobalBlockedMatrix",
+    "GlobalCounter",
+]

@@ -1,0 +1,124 @@
+"""Per-rank runtime facade: traced compute and communication.
+
+A :class:`RankContext` is what an execution model's rank process actually
+talks to. It binds together the rank id, the simulation engine, the network,
+the machine's compute-speed model, and the trace recorder, exposing
+generator methods that both *cost* simulated time and *account* it to the
+right trace category.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.simulate.engine import Engine, Timeout
+from repro.simulate.machine import MachineSpec
+from repro.simulate.network import Message, Network, SharedCell
+from repro.runtime.trace import COMM, COMPUTE, OVERHEAD, TraceRecorder
+from repro.util import check_non_negative
+
+
+class RankContext:
+    """One simulated rank's view of the machine."""
+
+    def __init__(
+        self,
+        rank: int,
+        engine: Engine,
+        network: Network,
+        machine: MachineSpec,
+        trace: TraceRecorder,
+    ) -> None:
+        self.rank = int(rank)
+        self.engine = engine
+        self.network = network
+        self.machine = machine
+        self.trace = trace
+
+    @property
+    def now(self) -> float:
+        return self.engine.now
+
+    # ------------------------------------------------------------------
+    # Compute
+    # ------------------------------------------------------------------
+    def compute(self, flops: float, tid: int | None = None):
+        """Run ``flops`` of kernel work; optionally record a task id."""
+        check_non_negative("flops", flops)
+        start = self.now
+        duration = self.machine.compute_seconds(self.rank, flops, start)
+        yield Timeout(duration)
+        self.trace.record(self.rank, COMPUTE, start, self.now)
+        if tid is not None:
+            self.trace.record_task(tid, self.rank, start, self.now)
+
+    def overhead_delay(self, seconds: float):
+        """Pure local scheduling overhead (queue manipulation, bookkeeping)."""
+        start = self.now
+        yield Timeout(check_non_negative("seconds", seconds))
+        self.trace.record(self.rank, OVERHEAD, start, self.now)
+
+    # ------------------------------------------------------------------
+    # Data movement (traced as COMM)
+    # ------------------------------------------------------------------
+    def get(self, owner: int, nbytes: int):
+        start = self.now
+        yield from self.network.get(self.rank, owner, nbytes)
+        self.trace.record(self.rank, COMM, start, self.now)
+
+    def put(self, owner: int, nbytes: int):
+        start = self.now
+        yield from self.network.put(self.rank, owner, nbytes)
+        self.trace.record(self.rank, COMM, start, self.now)
+
+    def accumulate(self, owner: int, nbytes: int):
+        start = self.now
+        yield from self.network.accumulate(self.rank, owner, nbytes)
+        self.trace.record(self.rank, COMM, start, self.now)
+
+    # ------------------------------------------------------------------
+    # Scheduling machinery (traced as OVERHEAD)
+    # ------------------------------------------------------------------
+    def fetch_add(self, home: int, cell: SharedCell, amount: int = 1):
+        start = self.now
+        value = yield from self.network.fetch_add(self.rank, home, cell, amount)
+        self.trace.record(self.rank, OVERHEAD, start, self.now)
+        return value
+
+    def protocol_get(self, owner: int, nbytes: int):
+        """One-sided read used by scheduling protocols (traced OVERHEAD)."""
+        start = self.now
+        yield from self.network.get(self.rank, owner, nbytes)
+        self.trace.record(self.rank, OVERHEAD, start, self.now)
+
+    def protocol_put(self, owner: int, nbytes: int):
+        """One-sided write used by scheduling protocols (traced OVERHEAD)."""
+        start = self.now
+        yield from self.network.put(self.rank, owner, nbytes)
+        self.trace.record(self.rank, OVERHEAD, start, self.now)
+
+    def send(self, dst: int, tag: Any, payload: Any = None, nbytes: int = 64):
+        start = self.now
+        yield from self.network.send(self.rank, dst, tag, payload, nbytes)
+        self.trace.record(self.rank, OVERHEAD, start, self.now)
+
+    def recv(self, tag: Any = None, traced: bool = True):
+        """Blocking receive.
+
+        With ``traced=True`` the wait is accounted as protocol OVERHEAD;
+        with ``traced=False`` it is left unaccounted (i.e. reported as
+        idle time — used when a rank parks waiting for work/termination).
+        """
+        start = self.now
+        message = yield from self.network.recv(self.rank, tag)
+        if traced:
+            self.trace.record(self.rank, OVERHEAD, start, self.now)
+        return message
+
+    def try_recv(self, tag: Any = None) -> Message | None:
+        """Non-blocking mailbox poll (costs no simulated time)."""
+        return self.network.try_recv(self.rank, tag)
+
+    def sleep(self, seconds: float):
+        """Untraced wait; the remainder shows up as idle time."""
+        yield Timeout(check_non_negative("seconds", seconds))

@@ -1,0 +1,40 @@
+"""NXTVAL-style global shared counter.
+
+The centralized dynamic execution model claims tasks by atomically
+incrementing a counter homed on one rank. Its scalability ceiling — the
+home NIC serializes every fetch-and-add — is the subject of experiment E6;
+chunked claiming (``amount > 1``) is the standard mitigation.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.comm import RankContext
+from repro.simulate.network import SharedCell
+from repro.util import ConfigurationError, check_positive
+
+
+class GlobalCounter:
+    """A shared monotonically increasing counter homed on one rank."""
+
+    def __init__(self, home_rank: int = 0) -> None:
+        if home_rank < 0:
+            raise ConfigurationError(f"home_rank must be >= 0, got {home_rank}")
+        self.home_rank = int(home_rank)
+        self.cell = SharedCell(0)
+
+    @property
+    def value(self) -> int:
+        return self.cell.value
+
+    def reset(self) -> None:
+        self.cell.value = 0
+
+    def next(self, ctx: RankContext, amount: int = 1):
+        """Claim ``amount`` consecutive values; returns the first.
+
+        Traced as scheduling OVERHEAD on the calling rank. Contention
+        emerges from NIC serialization at ``home_rank``.
+        """
+        check_positive("amount", amount)
+        first = yield from ctx.fetch_add(self.home_rank, self.cell, amount)
+        return first

@@ -1,0 +1,117 @@
+"""Per-rank activity accounting.
+
+Every simulated rank classifies its time into three recorded categories —
+``compute`` (task kernels), ``comm`` (data movement: density gets, Fock
+accumulates), and ``overhead`` (scheduling machinery: counter fetch-adds,
+steal protocol, termination detection) — with **idle** defined as the
+unaccounted remainder of the makespan. The utilization-breakdown experiment
+(E2) and all efficiency metrics read straight from this recorder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util import ConfigurationError, SimulationError, check_positive
+
+COMPUTE = "compute"
+COMM = "comm"
+OVERHEAD = "overhead"
+IDLE = "idle"
+
+_CATEGORIES = (COMPUTE, COMM, OVERHEAD)
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """One executed task: who ran it and when the kernel computed."""
+
+    tid: int
+    rank: int
+    start: float
+    end: float
+
+
+class TraceRecorder:
+    """Accumulates activity intervals and task records for all ranks."""
+
+    def __init__(self, n_ranks: int) -> None:
+        check_positive("n_ranks", n_ranks)
+        self.n_ranks = int(n_ranks)
+        self._totals = {cat: np.zeros(n_ranks) for cat in _CATEGORIES}
+        self.tasks: list[TaskRecord] = []
+        #: Optional full interval log (enabled via `keep_intervals`).
+        self.intervals: list[tuple[int, str, float, float]] | None = None
+
+    def keep_intervals(self) -> None:
+        """Enable retention of individual intervals (timeline plots)."""
+        if self.intervals is None:
+            self.intervals = []
+
+    def record(self, rank: int, category: str, start: float, end: float) -> None:
+        """Account ``[start, end)`` on ``rank`` to ``category``."""
+        if category not in _CATEGORIES:
+            raise ConfigurationError(
+                f"category must be one of {_CATEGORIES}, got {category!r}"
+            )
+        if end < start:
+            raise SimulationError(f"interval ends before it starts: [{start}, {end})")
+        self._totals[category][rank] += end - start
+        if self.intervals is not None:
+            self.intervals.append((rank, category, start, end))
+
+    def record_task(self, tid: int, rank: int, start: float, end: float) -> None:
+        self.tasks.append(TaskRecord(tid, rank, start, end))
+
+    # ------------------------------------------------------------------
+    def total(self, category: str) -> np.ndarray:
+        """``(n_ranks,)`` seconds accounted to ``category``."""
+        return self._totals[category].copy()
+
+    def breakdown(self, makespan: float) -> dict[str, np.ndarray]:
+        """Per-rank seconds by category, with idle as the remainder.
+
+        Raises:
+            SimulationError: if any rank's accounted time exceeds the
+                makespan (an accounting bug).
+        """
+        accounted = sum(self._totals[cat] for cat in _CATEGORIES)
+        idle = makespan - accounted
+        if np.any(idle < -1.0e-9 * max(makespan, 1.0)):
+            worst = int(np.argmin(idle))
+            raise SimulationError(
+                f"rank {worst} accounted {accounted[worst]:.6g}s "
+                f"> makespan {makespan:.6g}s"
+            )
+        out = {cat: self._totals[cat].copy() for cat in _CATEGORIES}
+        out[IDLE] = np.maximum(idle, 0.0)
+        return out
+
+    def utilization(self, makespan: float) -> np.ndarray:
+        """Per-rank fraction of the makespan spent in task compute."""
+        if makespan <= 0:
+            return np.zeros(self.n_ranks)
+        return self._totals[COMPUTE] / makespan
+
+    def task_assignment(self, n_tasks: int) -> np.ndarray:
+        """``(n_tasks,)`` executing rank per task.
+
+        Raises:
+            SimulationError: if any task was executed zero or multiple
+                times — the core scheduling invariant.
+        """
+        assignment = np.full(n_tasks, -1, dtype=np.int64)
+        for rec in self.tasks:
+            if not 0 <= rec.tid < n_tasks:
+                raise SimulationError(f"task id {rec.tid} out of range")
+            if assignment[rec.tid] != -1:
+                raise SimulationError(f"task {rec.tid} executed more than once")
+            assignment[rec.tid] = rec.rank
+        missing = np.nonzero(assignment < 0)[0]
+        if missing.size:
+            raise SimulationError(
+                f"{missing.size} tasks never executed (first: {missing[:5].tolist()})"
+            )
+        return assignment

@@ -1,0 +1,60 @@
+"""Discrete-event simulation of an HPC cluster.
+
+The paper's measurements were taken on a physical cluster with a one-sided
+(Global Arrays / ARMCI) communication runtime. Python cannot reproduce that
+platform time-faithfully (the repro calibration notes that interpreter
+overheads would distort a live performance study), so this package provides
+the substitute substrate: a deterministic discrete-event simulator in which
+
+- per-rank compute time comes from the chemistry kernel's analytic flop
+  model divided by a (possibly time-varying) rank speed,
+- communication time comes from a LogGP-style latency/bandwidth/occupancy
+  model, and
+- contention (the centralized-counter bottleneck of experiment E6) emerges
+  from FIFO serialization at each rank's NIC agent.
+
+Components:
+
+- :mod:`repro.simulate.engine` -- event heap, generator-based processes,
+  resources, one-shot events, deadlock detection.
+- :mod:`repro.simulate.network` -- the network model and NIC resources.
+- :mod:`repro.simulate.machine` -- cluster specifications and presets.
+- :mod:`repro.simulate.noise` -- performance-variability models.
+"""
+
+from repro.simulate.engine import Engine, Process, Timeout, Resource, SimEvent
+from repro.simulate.network import NetworkModel, Network
+from repro.simulate.machine import (
+    MachineSpec,
+    commodity_cluster,
+    fast_network_cluster,
+    hierarchical_cluster,
+)
+from repro.simulate.noise import (
+    VariabilityModel,
+    NoVariability,
+    StaticHeterogeneity,
+    RandomStaticVariability,
+    TransientSlowdown,
+    PeriodicThrottle,
+)
+
+__all__ = [
+    "Engine",
+    "Process",
+    "Timeout",
+    "Resource",
+    "SimEvent",
+    "NetworkModel",
+    "Network",
+    "MachineSpec",
+    "commodity_cluster",
+    "fast_network_cluster",
+    "hierarchical_cluster",
+    "VariabilityModel",
+    "NoVariability",
+    "StaticHeterogeneity",
+    "RandomStaticVariability",
+    "TransientSlowdown",
+    "PeriodicThrottle",
+]

@@ -1,0 +1,238 @@
+"""Discrete-event simulation core.
+
+A tiny SimPy-like engine, purpose-built for this study:
+
+- **Deterministic.** Events at equal timestamps fire in schedule order (a
+  monotone sequence number breaks ties), so a run is a pure function of its
+  inputs and seed — a property the reproducibility tests assert.
+- **Generator processes.** A simulated activity is a Python generator that
+  yields :class:`Request` objects (timeouts, resource acquisitions, event
+  waits). Sub-activities compose with ``yield from``, which is how the
+  network layer builds get/put/accumulate out of primitives.
+- **Deadlock detection.** :meth:`Engine.run` raises
+  :class:`~repro.util.errors.SimulationError` if the event heap drains
+  while non-daemon processes are still blocked — this is how tests catch
+  broken termination-detection protocols instead of hanging.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from collections import deque
+from collections.abc import Generator
+from typing import Any, Callable
+
+from repro.util import SimulationError, check_non_negative
+
+
+class Request:
+    """Base class for things a process can ``yield``.
+
+    Subclasses implement :meth:`activate`, arranging for
+    ``process.resume(value)`` to be called when the request completes.
+    """
+
+    def activate(self, engine: "Engine", process: "Process") -> None:
+        raise NotImplementedError
+
+
+class Engine:
+    """The event loop: a heap of ``(time, seq, callback)`` entries."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self._processes: list[Process] = []
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at ``now + delay`` (FIFO among equal times)."""
+        check_non_negative("delay", delay)
+        heapq.heappush(self._heap, (self.now + delay, next(self._seq), callback))
+
+    def process(
+        self,
+        generator: Generator[Request, Any, Any],
+        name: str = "process",
+        daemon: bool = False,
+    ) -> "Process":
+        """Register and start a process from a generator."""
+        proc = Process(self, generator, name=name, daemon=daemon)
+        self._processes.append(proc)
+        self.schedule(0.0, lambda: proc.resume(None))
+        return proc
+
+    def run(self, until: float = math.inf) -> float:
+        """Drain the event heap (up to time ``until``); return final time.
+
+        Raises:
+            SimulationError: on deadlock — the heap drained before all
+                non-daemon processes finished.
+        """
+        while self._heap:
+            time, _, callback = self._heap[0]
+            if time > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._heap)
+            self.now = time
+            callback()
+        stuck = [p.name for p in self._processes if not p.done and not p.daemon]
+        if stuck:
+            raise SimulationError(
+                f"deadlock at t={self.now:.6g}: processes still blocked: {stuck[:10]}"
+                + ("..." if len(stuck) > 10 else "")
+            )
+        return self.now
+
+
+class Process:
+    """A generator-driven simulated activity.
+
+    Attributes:
+        done: True once the generator has returned.
+        result: the generator's return value (``StopIteration.value``).
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        generator: Generator[Request, Any, Any],
+        name: str = "process",
+        daemon: bool = False,
+    ) -> None:
+        self.engine = engine
+        self.generator = generator
+        self.name = name
+        self.daemon = daemon
+        self.done = False
+        self.result: Any = None
+        self._completion: SimEvent | None = None
+
+    def resume(self, value: Any) -> None:
+        """Advance the generator; route the next request or finish."""
+        if self.done:
+            raise SimulationError(f"process {self.name!r} resumed after completion")
+        try:
+            request = self.generator.send(value)
+        except StopIteration as stop:
+            self.done = True
+            self.result = stop.value
+            if self._completion is not None:
+                self._completion.fire(stop.value)
+            return
+        if not isinstance(request, Request):
+            raise SimulationError(
+                f"process {self.name!r} yielded {request!r}; processes must "
+                "yield Request instances (Timeout, acquire(), wait(), ...)"
+            )
+        request.activate(self.engine, self)
+
+    def join(self) -> Request:
+        """Request that completes when this process finishes."""
+        if self._completion is None:
+            self._completion = SimEvent()
+            if self.done:
+                self._completion.fire(self.result)
+        return self._completion.wait()
+
+
+class Timeout(Request):
+    """Resume the process after a fixed simulated delay."""
+
+    def __init__(self, delay: float) -> None:
+        self.delay = check_non_negative("delay", delay)
+
+    def activate(self, engine: Engine, process: Process) -> None:
+        engine.schedule(self.delay, lambda: process.resume(None))
+
+
+class SimEvent:
+    """A one-shot event carrying a value; late waiters resume immediately."""
+
+    def __init__(self) -> None:
+        self.fired = False
+        self.value: Any = None
+        self._waiters: list[Process] = []
+
+    def fire(self, value: Any = None) -> None:
+        if self.fired:
+            raise SimulationError("SimEvent fired twice")
+        self.fired = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            proc.engine.schedule(0.0, lambda p=proc: p.resume(value))
+
+    def wait(self) -> Request:
+        return _EventWait(self)
+
+
+class _EventWait(Request):
+    def __init__(self, event: SimEvent) -> None:
+        self.event = event
+
+    def activate(self, engine: Engine, process: Process) -> None:
+        if self.event.fired:
+            engine.schedule(0.0, lambda: process.resume(self.event.value))
+        else:
+            self.event._waiters.append(process)
+
+
+class Resource:
+    """A FIFO resource with integer capacity (e.g. a NIC, a core).
+
+    ``yield resource.acquire()`` blocks until a slot is free; the holder
+    must call :meth:`release` exactly once. FIFO granting makes queueing
+    delay — the contention signal of experiment E6 — deterministic.
+    """
+
+    def __init__(self, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.in_use = 0
+        self._queue: deque[Process] = deque()
+        #: Total processes that ever waited (contention statistic).
+        self.total_waits = 0
+        #: Total acquisitions granted.
+        self.total_acquisitions = 0
+
+    def acquire(self) -> Request:
+        return _ResourceAcquire(self)
+
+    def release(self) -> None:
+        if self.in_use <= 0:
+            raise SimulationError("release() without a matching acquire()")
+        if self._queue:
+            proc = self._queue.popleft()
+            self.total_acquisitions += 1
+            proc.engine.schedule(0.0, lambda: proc.resume(None))
+        else:
+            self.in_use -= 1
+
+
+class _ResourceAcquire(Request):
+    def __init__(self, resource: Resource) -> None:
+        self.resource = resource
+
+    def activate(self, engine: Engine, process: Process) -> None:
+        res = self.resource
+        if res.in_use < res.capacity:
+            res.in_use += 1
+            res.total_acquisitions += 1
+            engine.schedule(0.0, lambda: process.resume(None))
+        else:
+            res.total_waits += 1
+            res._queue.append(process)
+
+
+def hold(resource: Resource, duration: float) -> Generator[Request, Any, None]:
+    """Acquire ``resource``, hold it for ``duration``, release it."""
+    yield resource.acquire()
+    try:
+        yield Timeout(duration)
+    finally:
+        resource.release()

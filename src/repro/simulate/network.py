@@ -1,0 +1,310 @@
+"""LogGP-style network model with NIC serialization.
+
+Cost model for a remote operation from *src* to *dst* carrying ``n`` bytes:
+
+- initiator CPU overhead ``o`` (software_overhead),
+- one-way wire latency ``L`` each direction,
+- occupancy at the target NIC: per-op gap ``g`` plus payload streaming
+  ``n / bandwidth`` (plus reduction time for accumulates, plus
+  ``atomic_service`` for fetch-and-add).
+
+The target NIC is a capacity-1 FIFO :class:`~repro.simulate.engine.Resource`
+— *this serialization is where contention comes from*: when 512 ranks
+hammer one counter, queueing delay at its home NIC grows without any
+explicit "contention model", reproducing the centralized-dynamic-scheduling
+bottleneck the paper discusses (experiment E6).
+
+Two-sided messages (used by steal requests/responses and termination
+tokens) are active messages delivered into per-rank mailboxes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.simulate.engine import Engine, Resource, SimEvent, Timeout, hold
+from repro.util import ConfigurationError, check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Network parameters (seconds and bytes/second).
+
+    Attributes:
+        latency: one-way wire latency L.
+        bandwidth: payload streaming rate.
+        software_overhead: initiator CPU time o per operation.
+        nic_occupancy: per-op gap g at the target NIC.
+        atomic_service: extra NIC service time for a fetch-and-add
+            (read-modify-write at the memory controller).
+        accumulate_bandwidth: effective rate for the reduction computation
+            of an accumulate (adds ``n / accumulate_bandwidth`` occupancy).
+        local_bandwidth: intra-rank memory copy rate for self-ops.
+    """
+
+    latency: float = 1.5e-6
+    bandwidth: float = 5.0e9
+    software_overhead: float = 0.4e-6
+    nic_occupancy: float = 0.2e-6
+    atomic_service: float = 0.25e-6
+    accumulate_bandwidth: float = 8.0e9
+    local_bandwidth: float = 2.0e10
+    #: Same-node (shared-memory) path, used when the Network is built with
+    #: a node topology: one cache-coherent hop instead of the wire.
+    intra_latency: float = 0.15e-6
+    intra_bandwidth: float = 1.2e10
+
+    def __post_init__(self) -> None:
+        for name in (
+            "latency",
+            "bandwidth",
+            "software_overhead",
+            "nic_occupancy",
+            "atomic_service",
+            "accumulate_bandwidth",
+            "local_bandwidth",
+            "intra_latency",
+            "intra_bandwidth",
+        ):
+            check_non_negative(name, getattr(self, name))
+        check_positive("bandwidth", self.bandwidth)
+        check_positive("intra_bandwidth", self.intra_bandwidth)
+
+    def transfer(self, nbytes: int) -> float:
+        return nbytes / self.bandwidth
+
+
+@dataclass
+class Message:
+    """A two-sided active message."""
+
+    src: int
+    tag: Any
+    payload: Any
+
+
+class _Mailbox:
+    """Per-rank message store with tag-filtered blocking receive."""
+
+    def __init__(self) -> None:
+        self.messages: deque[Message] = deque()
+        self.waiters: list[tuple[Any, SimEvent]] = []
+
+    def deliver(self, message: Message) -> None:
+        for idx, (tag, event) in enumerate(self.waiters):
+            if tag is None or tag == message.tag:
+                del self.waiters[idx]
+                event.fire(message)
+                return
+        self.messages.append(message)
+
+    def take(self, tag: Any) -> Message | None:
+        for idx, message in enumerate(self.messages):
+            if tag is None or message.tag == tag:
+                del self.messages[idx]
+                return message
+        return None
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate operation counts and bytes moved."""
+
+    gets: int = 0
+    puts: int = 0
+    accumulates: int = 0
+    fetch_adds: int = 0
+    messages: int = 0
+    bytes_moved: int = 0
+    per_rank_bytes: np.ndarray = field(default_factory=lambda: np.zeros(0))
+
+
+class Network:
+    """The simulated interconnect: one NIC resource + mailbox per rank.
+
+    All operation methods are *generator functions*; rank processes drive
+    them with ``yield from``, e.g.::
+
+        value = yield from net.fetch_add(rank, home, counter)
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        model: NetworkModel,
+        n_ranks: int,
+        node_of: "Callable[[int], int] | None" = None,
+    ) -> None:
+        check_positive("n_ranks", n_ranks)
+        self.engine = engine
+        self.model = model
+        self.n_ranks = int(n_ranks)
+        self.node_of = node_of
+        self.nics = [Resource(1) for _ in range(n_ranks)]
+        self._mailboxes = [_Mailbox() for _ in range(n_ranks)]
+        self.stats = NetworkStats(per_rank_bytes=np.zeros(n_ranks))
+
+    def same_node(self, a: int, b: int) -> bool:
+        """Whether two ranks share a node (False without a topology)."""
+        if a == b:
+            return True
+        if self.node_of is None:
+            return False
+        return self.node_of(a) == self.node_of(b)
+
+    def _check_rank(self, rank: int) -> int:
+        if not 0 <= rank < self.n_ranks:
+            raise ConfigurationError(f"rank {rank} out of range [0, {self.n_ranks})")
+        return rank
+
+    def _account(self, src: int, nbytes: int) -> None:
+        self.stats.bytes_moved += nbytes
+        self.stats.per_rank_bytes[src] += nbytes
+
+    # ------------------------------------------------------------------
+    # One-sided operations
+    # ------------------------------------------------------------------
+    def _rma(self, src: int, dst: int, nbytes: int):
+        """Common cost shape of a synchronous one-sided read/write.
+
+        Three tiers: self (memcpy), same node (shared memory, no NIC),
+        remote (wire latency + target NIC occupancy).
+        """
+        self._check_rank(src)
+        self._check_rank(dst)
+        m = self.model
+        self._account(src, nbytes)
+        if src == dst:
+            yield Timeout(m.software_overhead + nbytes / m.local_bandwidth)
+            return
+        if self.same_node(src, dst):
+            yield Timeout(
+                m.software_overhead + 2 * m.intra_latency + nbytes / m.intra_bandwidth
+            )
+            return
+        yield Timeout(m.software_overhead)
+        yield Timeout(m.latency)
+        yield from hold(self.nics[dst], m.nic_occupancy + m.transfer(nbytes))
+        yield Timeout(m.latency)
+
+    def get(self, src: int, dst: int, nbytes: int):
+        """Synchronous one-sided read of ``nbytes`` from ``dst``'s memory."""
+        self.stats.gets += 1
+        yield from self._rma(src, dst, nbytes)
+
+    def put(self, src: int, dst: int, nbytes: int):
+        """Synchronous one-sided write (completion acknowledged)."""
+        self.stats.puts += 1
+        yield from self._rma(src, dst, nbytes)
+
+    def accumulate(self, src: int, dst: int, nbytes: int):
+        """One-sided accumulate: remote read-modify-write of a block."""
+        self._check_rank(src)
+        self._check_rank(dst)
+        m = self.model
+        self.stats.accumulates += 1
+        self._account(src, nbytes)
+        reduce_time = nbytes / m.accumulate_bandwidth
+        if src == dst:
+            yield Timeout(m.software_overhead + nbytes / m.local_bandwidth + reduce_time)
+            return
+        if self.same_node(src, dst):
+            yield Timeout(
+                m.software_overhead
+                + 2 * m.intra_latency
+                + nbytes / m.intra_bandwidth
+                + reduce_time
+            )
+            return
+        yield Timeout(m.software_overhead)
+        yield Timeout(m.latency)
+        yield from hold(self.nics[dst], m.nic_occupancy + m.transfer(nbytes) + reduce_time)
+        yield Timeout(m.latency)
+
+    def fetch_add(self, src: int, dst: int, counter: "SharedCell", amount: int = 1):
+        """Atomic fetch-and-add on a cell homed at ``dst``; returns old value.
+
+        The read-modify-write happens while the target NIC is held, so
+        concurrent updates serialize exactly as hardware atomics at a
+        memory controller would.
+        """
+        self._check_rank(src)
+        self._check_rank(dst)
+        m = self.model
+        self.stats.fetch_adds += 1
+        # Wire latency only across nodes; the read-modify-write always
+        # serializes at the home memory controller (the NIC resource),
+        # local or not — that is what makes a counter a counter.
+        wire = 0.0 if self.same_node(src, dst) else m.latency
+        intra = m.intra_latency if (src != dst and wire == 0.0) else 0.0
+        yield Timeout(m.software_overhead)
+        if wire or intra:
+            yield Timeout(wire + intra)
+        yield self.nics[dst].acquire()
+        old = counter.value
+        counter.value += amount
+        try:
+            yield Timeout(m.atomic_service)
+        finally:
+            self.nics[dst].release()
+        if wire or intra:
+            yield Timeout(wire + intra)
+        return old
+
+    # ------------------------------------------------------------------
+    # Two-sided messages
+    # ------------------------------------------------------------------
+    def send(self, src: int, dst: int, tag: Any, payload: Any = None, nbytes: int = 64):
+        """Fire-and-forget active message: initiator pays only ``o``.
+
+        Delivery (latency + NIC occupancy at the target) proceeds as a
+        daemon process; ordering between same-pair sends is preserved by
+        the deterministic event queue.
+        """
+        self._check_rank(src)
+        self._check_rank(dst)
+        m = self.model
+        self.stats.messages += 1
+        self._account(src, nbytes)
+        message = Message(src=src, tag=tag, payload=payload)
+        intra = self.same_node(src, dst)
+
+        def delivery():
+            if intra:
+                yield Timeout(2 * m.intra_latency + nbytes / m.intra_bandwidth)
+            else:
+                yield Timeout(m.latency)
+                yield from hold(self.nics[dst], m.nic_occupancy + m.transfer(nbytes))
+            self._mailboxes[dst].deliver(message)
+
+        self.engine.process(delivery(), name=f"deliver({src}->{dst})", daemon=True)
+        yield Timeout(m.software_overhead)
+
+    def recv(self, rank: int, tag: Any = None):
+        """Blocking receive of the next message matching ``tag`` (None=any)."""
+        self._check_rank(rank)
+        box = self._mailboxes[rank]
+        ready = box.take(tag)
+        if ready is not None:
+            yield Timeout(0.0)
+            return ready
+        event = SimEvent()
+        box.waiters.append((tag, event))
+        message = yield event.wait()
+        return message
+
+    def try_recv(self, rank: int, tag: Any = None) -> Message | None:
+        """Non-blocking receive: pop a matching message or return None."""
+        self._check_rank(rank)
+        return self._mailboxes[rank].take(tag)
+
+
+@dataclass
+class SharedCell:
+    """A word of remotely-addressable memory (for fetch-and-add targets)."""
+
+    value: int = 0

@@ -1,0 +1,131 @@
+"""Performance-variability models (the paper's "energy-induced" dynamics).
+
+Experiment E7 injects rank slowdowns and measures how each execution model
+absorbs them. A variability model maps ``(rank, time) -> speed multiplier``
+(1.0 = nominal; 0.5 = half speed). Compute durations divide by the
+multiplier sampled at task start.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.util import ConfigurationError, check_positive, spawn_rng
+
+
+class VariabilityModel(ABC):
+    """Maps (rank, simulated time) to a speed multiplier."""
+
+    @abstractmethod
+    def speed(self, rank: int, time: float) -> float:
+        """Speed multiplier for ``rank`` at ``time``; must be > 0."""
+
+
+class NoVariability(VariabilityModel):
+    """Homogeneous machine: every rank runs at nominal speed."""
+
+    def speed(self, rank: int, time: float) -> float:
+        return 1.0
+
+
+class StaticHeterogeneity(VariabilityModel):
+    """A fixed set of ranks runs at a fixed fraction of nominal speed.
+
+    This is the classic "slow node" scenario: e.g. 4 of 128 ranks at 0.5x
+    models thermally throttled sockets.
+    """
+
+    def __init__(self, slow_ranks: Iterable[int], factor: float) -> None:
+        check_positive("factor", factor)
+        self.slow_ranks = frozenset(int(r) for r in slow_ranks)
+        self.factor = float(factor)
+
+    def speed(self, rank: int, time: float) -> float:
+        return self.factor if rank in self.slow_ranks else 1.0
+
+
+class RandomStaticVariability(VariabilityModel):
+    """Per-rank lognormal speed multipliers, fixed over time.
+
+    ``sigma`` is the standard deviation of log-speed; multipliers are
+    normalized so their mean is 1.0 (total machine capacity is conserved,
+    only its distribution varies).
+    """
+
+    def __init__(self, n_ranks: int, sigma: float, seed: int = 0) -> None:
+        check_positive("n_ranks", n_ranks)
+        if sigma < 0:
+            raise ConfigurationError(f"sigma must be >= 0, got {sigma}")
+        rng = spawn_rng(seed, "random_static_variability", n_ranks)
+        speeds = np.exp(rng.normal(0.0, sigma, size=n_ranks))
+        self._speeds = speeds / speeds.mean()
+
+    def speed(self, rank: int, time: float) -> float:
+        return float(self._speeds[rank])
+
+
+class PeriodicThrottle(VariabilityModel):
+    """DVFS-style duty cycling: ranks periodically drop to a lower speed.
+
+    Each affected rank runs at ``factor`` for the first ``duty`` fraction
+    of every ``period`` seconds, at nominal speed otherwise. Per-rank
+    phase offsets are derived from the seed so throttling windows are
+    decorrelated across the machine — the "energy-induced performance
+    variability" regime of the paper's conclusion in its most literal
+    form.
+    """
+
+    def __init__(
+        self,
+        n_ranks: int,
+        period: float,
+        duty: float,
+        factor: float,
+        seed: int = 0,
+        affected: Iterable[int] | None = None,
+    ) -> None:
+        check_positive("n_ranks", n_ranks)
+        check_positive("period", period)
+        check_positive("factor", factor)
+        if not 0.0 <= duty <= 1.0:
+            raise ConfigurationError(f"duty must be in [0, 1], got {duty}")
+        self.period = float(period)
+        self.duty = float(duty)
+        self.factor = float(factor)
+        self.affected = (
+            frozenset(range(n_ranks)) if affected is None else frozenset(affected)
+        )
+        rng = spawn_rng(seed, "periodic_throttle", n_ranks)
+        self._phases = rng.uniform(0.0, self.period, size=n_ranks)
+
+    def speed(self, rank: int, time: float) -> float:
+        if rank not in self.affected:
+            return 1.0
+        position = (time + self._phases[rank]) % self.period
+        return self.factor if position < self.duty * self.period else 1.0
+
+
+class TransientSlowdown(VariabilityModel):
+    """Time-windowed slowdowns: ``(rank, t_start, t_end, factor)`` tuples.
+
+    Outside its windows a rank runs at nominal speed; overlapping windows
+    multiply (two 0.5x windows give 0.25x).
+    """
+
+    def __init__(self, windows: Iterable[tuple[int, float, float, float]]) -> None:
+        self.windows: list[tuple[int, float, float, float]] = []
+        for rank, t0, t1, factor in windows:
+            if t1 <= t0:
+                raise ConfigurationError(f"window end {t1} must exceed start {t0}")
+            check_positive("factor", factor)
+            self.windows.append((int(rank), float(t0), float(t1), float(factor)))
+
+    def speed(self, rank: int, time: float) -> float:
+        mult = 1.0
+        for wrank, t0, t1, factor in self.windows:
+            if wrank == rank and t0 <= time < t1:
+                mult *= factor
+        return mult

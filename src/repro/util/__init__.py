@@ -1,0 +1,30 @@
+"""Shared utilities: error types, validation, deterministic RNG helpers."""
+
+from repro.util.errors import (
+    ReproError,
+    ConfigurationError,
+    SimulationError,
+    SchedulingError,
+    PartitionError,
+)
+from repro.util.validation import (
+    check_positive,
+    check_non_negative,
+    check_probability,
+    check_in,
+)
+from repro.util.rng import spawn_rng, derive_seed
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    "SchedulingError",
+    "PartitionError",
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+    "check_in",
+    "spawn_rng",
+    "derive_seed",
+]

@@ -1,0 +1,32 @@
+"""Exception hierarchy for the repro package.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base type. Subclasses partition failures by subsystem: configuration,
+simulation engine, scheduling/execution models, and partitioning/balancing.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A user-supplied parameter or configuration object is invalid."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class SchedulingError(ReproError, RuntimeError):
+    """An execution model violated a scheduling invariant.
+
+    Examples: a task executed twice, a task never executed, or an
+    execution model finished while work remained queued.
+    """
+
+
+class PartitionError(ReproError, RuntimeError):
+    """A load balancer or partitioner produced an invalid assignment."""

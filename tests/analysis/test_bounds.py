@@ -1,0 +1,64 @@
+import numpy as np
+import pytest
+
+from repro.analysis import bound_efficiency, makespan_bounds
+from repro.chemistry.tasks import TaskGraph, synthetic_task_graph
+from repro.exec_models import StaticBlock, make_model
+from repro.simulate import commodity_cluster
+from repro.util import ConfigurationError
+
+
+class TestMakespanBounds:
+    def test_work_bound(self):
+        graph = synthetic_task_graph(100, 8, seed=0, skew=0.0, mean_cost=6.0e9)
+        machine = commodity_cluster(10)
+        bounds = makespan_bounds(graph, machine)
+        assert bounds.work_bound == pytest.approx(
+            graph.total_flops / (10 * 6.0e9)
+        )
+
+    def test_critical_task_bound(self):
+        graph = synthetic_task_graph(50, 4, seed=1, skew=2.0)
+        machine = commodity_cluster(4)
+        bounds = makespan_bounds(graph, machine)
+        assert bounds.critical_task_bound == pytest.approx(
+            graph.costs.max() / 6.0e9
+        )
+
+    def test_tightest_picks_max(self):
+        graph = synthetic_task_graph(4, 2, seed=0, skew=3.0)
+        machine = commodity_cluster(64)  # few huge tasks: critical binds
+        bounds = makespan_bounds(graph, machine)
+        assert bounds.tightest == bounds.critical_task_bound
+
+    def test_empty_graph(self):
+        graph = TaskGraph((), synthetic_task_graph(1, 2).blocks, 0.0)
+        bounds = makespan_bounds(graph, commodity_cluster(4))
+        assert bounds.tightest == 0.0
+
+
+class TestBoundEfficiency:
+    def test_no_schedule_beats_the_bound(self):
+        graph = synthetic_task_graph(300, 8, seed=2, skew=1.0)
+        machine = commodity_cluster(16)
+        for model_name in ("static_block", "counter_dynamic", "work_stealing"):
+            result = make_model(model_name).run(graph, machine, seed=1)
+            eff = bound_efficiency(result, graph, machine)
+            assert 0.0 < eff <= 1.0
+
+    def test_dynamic_models_closer_to_bound(self):
+        graph = synthetic_task_graph(300, 8, seed=2, skew=1.2)
+        machine = commodity_cluster(16)
+        static = make_model("static_block").run(graph, machine, seed=1)
+        dynamic = make_model("counter_dynamic").run(graph, machine, seed=1)
+        assert bound_efficiency(dynamic, graph, machine) > bound_efficiency(
+            static, graph, machine
+        )
+
+    def test_mismatched_graph_rejected(self):
+        graph = synthetic_task_graph(50, 4, seed=0)
+        other = synthetic_task_graph(60, 4, seed=0)
+        machine = commodity_cluster(4)
+        result = StaticBlock().run(graph, machine)
+        with pytest.raises(ConfigurationError):
+            bound_efficiency(result, other, machine)

@@ -1,0 +1,92 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import ascii_histogram, cost_statistics, gini_coefficient
+from repro.util import ConfigurationError
+
+cost_arrays = st.lists(st.floats(0.0, 1e6), min_size=1, max_size=100).map(np.array)
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini_coefficient(np.full(100, 3.0)) == pytest.approx(0.0, abs=1e-12)
+
+    def test_single_winner_approaches_one(self):
+        costs = np.zeros(1000)
+        costs[0] = 1.0
+        assert gini_coefficient(costs) > 0.99
+
+    def test_empty_is_zero(self):
+        assert gini_coefficient(np.array([])) == 0.0
+
+    @given(cost_arrays)
+    @settings(max_examples=50, deadline=None)
+    def test_bounded(self, costs):
+        g = gini_coefficient(costs)
+        assert -1e-9 <= g < 1.0
+
+    @given(cost_arrays, st.floats(0.1, 10.0))
+    @settings(max_examples=30, deadline=None)
+    def test_scale_invariant(self, costs, scale):
+        if costs.sum() == 0:
+            return
+        assert gini_coefficient(costs * scale) == pytest.approx(
+            gini_coefficient(costs), abs=1e-9
+        )
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            gini_coefficient(np.array([-1.0, 2.0]))
+
+
+class TestCostStatistics:
+    def test_keys(self):
+        stats = cost_statistics(np.array([1.0, 2.0, 3.0]))
+        assert set(stats) == {
+            "count", "total", "mean", "median", "max", "cv", "gini", "top10_share",
+        }
+
+    def test_values(self):
+        stats = cost_statistics(np.array([1.0, 2.0, 3.0, 10.0]))
+        assert stats["count"] == 4
+        assert stats["total"] == 16.0
+        assert stats["max"] == 10.0
+
+    def test_top10_share_heavy_tail(self):
+        costs = np.ones(100)
+        costs[:10] = 100.0
+        stats = cost_statistics(costs)
+        assert stats["top10_share"] == pytest.approx(1000.0 / 1090.0)
+
+    def test_empty(self):
+        assert cost_statistics(np.array([]))["count"] == 0.0
+
+    def test_screened_chemistry_is_heavy_tailed(self, medium_graph):
+        stats = cost_statistics(medium_graph.costs)
+        assert stats["gini"] > 0.15
+        assert stats["top10_share"] > 0.15
+
+
+class TestAsciiHistogram:
+    def test_line_count(self):
+        out = ascii_histogram(np.random.default_rng(0).random(500), bins=10)
+        assert len(out.splitlines()) == 10
+
+    def test_counts_sum(self):
+        data = np.random.default_rng(0).lognormal(size=400)
+        out = ascii_histogram(data, bins=8)
+        counts = [int(line.rsplit(" ", 1)[-1]) for line in out.splitlines()]
+        assert sum(counts) == 400
+
+    def test_empty(self):
+        assert ascii_histogram(np.array([])) == "(no tasks)"
+
+    def test_constant_data(self):
+        out = ascii_histogram(np.full(10, 5.0), bins=4)
+        assert "10" in out
+
+    def test_linear_bins_option(self):
+        data = np.linspace(1, 100, 200)
+        out = ascii_histogram(data, bins=5, log_bins=False)
+        assert len(out.splitlines()) == 5

@@ -1,0 +1,55 @@
+import numpy as np
+import pytest
+
+from repro.analysis import load_result_json, result_to_dict, save_result_json
+from repro.analysis.export import result_from_dict
+from repro.chemistry.tasks import synthetic_task_graph
+from repro.exec_models import WorkStealing
+from repro.simulate import commodity_cluster
+from repro.util import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def result():
+    graph = synthetic_task_graph(120, 8, seed=2, skew=1.0)
+    return WorkStealing().run(graph, commodity_cluster(8), seed=4, trace_intervals=True)
+
+
+class TestRoundTrip:
+    def test_json_round_trip_preserves_everything(self, result, tmp_path):
+        path = tmp_path / "run.json"
+        save_result_json(result, path)
+        loaded = load_result_json(path)
+        assert loaded.model == result.model
+        assert loaded.makespan == result.makespan
+        np.testing.assert_array_equal(loaded.assignment, result.assignment)
+        np.testing.assert_array_equal(loaded.task_durations, result.task_durations)
+        for key in result.breakdown:
+            np.testing.assert_array_equal(loaded.breakdown[key], result.breakdown[key])
+        assert loaded.counters == result.counters
+        assert loaded.intervals == result.intervals
+
+    def test_derived_metrics_survive(self, result, tmp_path):
+        path = tmp_path / "run.json"
+        save_result_json(result, path)
+        loaded = load_result_json(path)
+        assert loaded.speedup == pytest.approx(result.speedup)
+        assert loaded.mean_utilization == pytest.approx(result.mean_utilization)
+
+    def test_dict_is_json_safe(self, result):
+        import json
+
+        json.dumps(result_to_dict(result))  # must not raise
+
+    def test_intervals_optional(self):
+        graph = synthetic_task_graph(30, 4, seed=0)
+        res = WorkStealing().run(graph, commodity_cluster(4))
+        data = result_to_dict(res)
+        assert data["intervals"] is None
+        assert result_from_dict(data).intervals is None
+
+    def test_unknown_schema_rejected(self, result):
+        data = result_to_dict(result)
+        data["schema"] = 99
+        with pytest.raises(ConfigurationError, match="schema"):
+            result_from_dict(data)

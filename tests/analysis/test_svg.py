@@ -1,0 +1,59 @@
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.analysis import save_timeline_svg, timeline_svg
+from repro.chemistry.tasks import synthetic_task_graph
+from repro.exec_models import StaticBlock, WorkStealing
+from repro.simulate import commodity_cluster
+from repro.util import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def traced_result():
+    graph = synthetic_task_graph(150, 8, seed=3, skew=1.0)
+    return StaticBlock().run(graph, commodity_cluster(8), trace_intervals=True)
+
+
+class TestTimelineSvg:
+    def test_is_well_formed_xml(self, traced_result):
+        root = ET.fromstring(timeline_svg(traced_result))
+        assert root.tag.endswith("svg")
+
+    def test_one_background_lane_per_rank(self, traced_result):
+        svg = timeline_svg(traced_result)
+        # Background lanes use the idle color (+1 for the legend swatch).
+        assert svg.count('fill="#e8e8e8"') == traced_result.n_ranks + 1
+
+    def test_contains_model_and_legend(self, traced_result):
+        svg = timeline_svg(traced_result)
+        assert "static_block" in svg
+        for cat in ("compute", "comm", "overhead", "idle"):
+            assert cat in svg
+
+    def test_compute_rectangles_present(self, traced_result):
+        svg = timeline_svg(traced_result)
+        assert svg.count('fill="#2f7ed8"') >= traced_result.n_tasks // 2
+
+    def test_untraced_run_rejected(self):
+        graph = synthetic_task_graph(20, 4, seed=0)
+        result = StaticBlock().run(graph, commodity_cluster(4))
+        with pytest.raises(ConfigurationError, match="trace_intervals"):
+            timeline_svg(result)
+
+    def test_rank_subsampling(self):
+        graph = synthetic_task_graph(300, 8, seed=0)
+        result = WorkStealing().run(
+            graph, commodity_cluster(64), trace_intervals=True
+        )
+        svg = timeline_svg(result, max_ranks=8)
+        assert svg.count('fill="#e8e8e8"') <= 8 + 1
+
+    def test_save_writes_file(self, traced_result, tmp_path):
+        path = tmp_path / "timeline.svg"
+        save_timeline_svg(traced_result, path)
+        assert path.read_text().startswith("<svg")
+
+    def test_time_axis_spans_makespan(self, traced_result):
+        svg = timeline_svg(traced_result)
+        assert f"{traced_result.makespan * 1e3:.2f} ms" in svg

@@ -1,0 +1,71 @@
+import numpy as np
+import pytest
+
+from repro.analysis import ascii_gantt, rank_timeline
+from repro.chemistry.tasks import synthetic_task_graph
+from repro.exec_models import StaticBlock, WorkStealing, make_model
+from repro.simulate import commodity_cluster
+from repro.util import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def traced_result():
+    graph = synthetic_task_graph(200, 8, seed=3, skew=1.0)
+    return StaticBlock().run(graph, commodity_cluster(8), trace_intervals=True)
+
+
+class TestRankTimeline:
+    def test_width_respected(self, traced_result):
+        assert len(rank_timeline(traced_result, 0, width=60)) == 60
+
+    def test_untraced_run_rejected(self):
+        graph = synthetic_task_graph(50, 4, seed=0)
+        result = StaticBlock().run(graph, commodity_cluster(4))
+        with pytest.raises(ConfigurationError, match="trace_intervals"):
+            rank_timeline(result, 0)
+
+    def test_rank_out_of_range(self, traced_result):
+        with pytest.raises(ConfigurationError):
+            rank_timeline(traced_result, 99)
+
+    def test_busy_rank_mostly_compute(self, traced_result):
+        # With a block schedule the most loaded rank computes nearly the
+        # whole makespan.
+        busiest = int(np.argmax(traced_result.breakdown["compute"]))
+        strip = rank_timeline(traced_result, busiest, width=100)
+        assert strip.count("#") > 70
+
+    def test_underloaded_rank_shows_idle_tail(self, traced_result):
+        laziest = int(np.argmin(traced_result.breakdown["compute"]))
+        strip = rank_timeline(traced_result, laziest, width=100)
+        assert strip.endswith(".")
+
+    def test_glyph_alphabet(self, traced_result):
+        strip = rank_timeline(traced_result, 0, width=80)
+        assert set(strip) <= {"#", "-", "o", "."}
+
+
+class TestAsciiGantt:
+    def test_one_row_per_rank(self, traced_result):
+        out = ascii_gantt(traced_result, width=40)
+        assert len(out.splitlines()) == 1 + traced_result.n_ranks
+
+    def test_subsampling_large_machines(self):
+        graph = synthetic_task_graph(300, 8, seed=1)
+        result = WorkStealing().run(graph, commodity_cluster(64), trace_intervals=True)
+        out = ascii_gantt(result, width=40, max_ranks=8)
+        assert len(out.splitlines()) <= 1 + 8
+
+    def test_header_has_model_and_makespan(self, traced_result):
+        out = ascii_gantt(traced_result, width=40)
+        assert "static_block" in out.splitlines()[0]
+        assert "ms" in out.splitlines()[0]
+
+    def test_stealing_less_idle_than_static(self):
+        graph = synthetic_task_graph(300, 8, seed=5, skew=1.5)
+        machine = commodity_cluster(8)
+        static = StaticBlock().run(graph, machine, trace_intervals=True)
+        stealing = WorkStealing().run(graph, machine, trace_intervals=True)
+        dots_static = ascii_gantt(static, width=60).count(".")
+        dots_stealing = ascii_gantt(stealing, width=60).count(".")
+        assert dots_stealing < dots_static

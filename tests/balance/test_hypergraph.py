@@ -1,0 +1,112 @@
+import numpy as np
+import pytest
+
+from repro.balance import Hypergraph, connectivity_cut, fock_hypergraph
+from repro.balance.hypergraph import part_weights
+from repro.chemistry.tasks import synthetic_task_graph
+from repro.util import ConfigurationError
+
+
+def small_hg():
+    return Hypergraph(
+        vertex_weights=np.array([1.0, 2.0, 3.0, 4.0]),
+        nets=[np.array([0, 1]), np.array([1, 2, 3]), np.array([0, 3])],
+        net_weights=np.array([1.0, 2.0, 3.0]),
+    )
+
+
+class TestHypergraph:
+    def test_counts(self):
+        hg = small_hg()
+        assert hg.n_vertices == 4
+        assert hg.n_nets == 3
+        assert hg.n_pins == 7
+        assert hg.total_vertex_weight == 10.0
+
+    def test_vertex_nets_incidence(self):
+        hg = small_hg()
+        incidence = hg.vertex_nets()
+        assert incidence[0] == [0, 2]
+        assert incidence[1] == [0, 1]
+        assert incidence[3] == [1, 2]
+
+    def test_duplicate_pins_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            Hypergraph(np.ones(2), [np.array([0, 0])], np.ones(1))
+
+    def test_empty_net_rejected(self):
+        with pytest.raises(ConfigurationError, match="no pins"):
+            Hypergraph(np.ones(2), [np.array([], dtype=int)], np.ones(1))
+
+    def test_pin_range_validated(self):
+        with pytest.raises(ConfigurationError):
+            Hypergraph(np.ones(2), [np.array([0, 5])], np.ones(1))
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Hypergraph(np.array([-1.0]), [], np.array([]))
+        with pytest.raises(ConfigurationError):
+            Hypergraph(np.ones(2), [np.array([0, 1])], np.array([-1.0]))
+
+    def test_net_weight_count_validated(self):
+        with pytest.raises(ConfigurationError):
+            Hypergraph(np.ones(2), [np.array([0, 1])], np.ones(2))
+
+
+class TestConnectivityCut:
+    def test_uncut_is_zero(self):
+        hg = small_hg()
+        assert connectivity_cut(hg, np.zeros(4, dtype=int)) == 0.0
+
+    def test_fully_cut(self):
+        hg = small_hg()
+        # Each vertex its own part: every net has lambda = its pin count.
+        parts = np.arange(4)
+        expected = 1.0 * (2 - 1) + 2.0 * (3 - 1) + 3.0 * (2 - 1)
+        assert connectivity_cut(hg, parts) == expected
+
+    def test_partial_cut(self):
+        hg = small_hg()
+        parts = np.array([0, 0, 1, 1])
+        # net0 {0,1}: lambda 1; net1 {1,2,3}: lambda 2; net2 {0,3}: lambda 2.
+        assert connectivity_cut(hg, parts) == 2.0 + 3.0
+
+    def test_shape_validated(self):
+        with pytest.raises(ConfigurationError):
+            connectivity_cut(small_hg(), np.zeros(3, dtype=int))
+
+
+class TestPartWeights:
+    def test_sums(self):
+        hg = small_hg()
+        w = part_weights(hg, np.array([0, 1, 0, 1]), 2)
+        np.testing.assert_allclose(w, [4.0, 6.0])
+
+    def test_range_validated(self):
+        with pytest.raises(ConfigurationError):
+            part_weights(small_hg(), np.array([0, 0, 0, 5]), 2)
+
+
+class TestFockHypergraph:
+    def test_vertices_are_tasks(self, synthetic_graph):
+        hg = fock_hypergraph(synthetic_graph)
+        assert hg.n_vertices == synthetic_graph.n_tasks
+        np.testing.assert_allclose(hg.vertex_weights, synthetic_graph.costs)
+
+    def test_one_net_per_data_block(self, synthetic_graph):
+        hg = fock_hypergraph(synthetic_graph)
+        assert hg.n_nets == len(synthetic_graph.data_blocks())
+
+    def test_net_weights_are_block_bytes(self):
+        graph = synthetic_task_graph(30, 3, seed=0, block_size=4)
+        hg = fock_hypergraph(graph)
+        assert set(np.unique(hg.net_weights)) == {4 * 4 * 8}
+
+    def test_pins_cover_footprints(self):
+        graph = synthetic_task_graph(50, 4, seed=1)
+        hg = fock_hypergraph(graph)
+        blocks = sorted(graph.data_blocks())
+        for task in graph.tasks:
+            for ref in (*task.reads, *task.writes):
+                net = hg.nets[blocks.index(ref)]
+                assert task.tid in net

@@ -1,0 +1,131 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.balance import (
+    Hypergraph,
+    connectivity_cut,
+    fock_hypergraph,
+    hypergraph_balancer,
+    partition_hypergraph,
+    rank_loads,
+)
+from repro.balance.hypergraph import part_weights
+from repro.balance.partition import _fm_refine, _induce
+from repro.chemistry.tasks import synthetic_task_graph
+from repro.util import PartitionError
+
+
+def chain_hypergraph(n=40, weight=1.0):
+    """Vertices in a chain, nets joining consecutive pairs: an obvious
+    min-cut structure (one cut net for a contiguous bisection)."""
+    nets = [np.array([i, i + 1]) for i in range(n - 1)]
+    return Hypergraph(np.full(n, weight), nets, np.ones(n - 1))
+
+
+class TestPartitionValidity:
+    @given(st.integers(1, 9), st.integers(0, 50))
+    @settings(max_examples=20, deadline=None)
+    def test_parts_in_range_and_total(self, k, seed):
+        graph = synthetic_task_graph(120, 8, seed=seed)
+        hg = fock_hypergraph(graph)
+        parts = partition_hypergraph(hg, k, seed=seed)
+        assert parts.shape == (hg.n_vertices,)
+        assert parts.min() >= 0 and parts.max() < k
+
+    def test_k_equals_one(self):
+        hg = chain_hypergraph()
+        parts = partition_hypergraph(hg, 1)
+        assert set(parts) == {0}
+
+    def test_deterministic(self):
+        graph = synthetic_task_graph(150, 8, seed=2)
+        hg = fock_hypergraph(graph)
+        a = partition_hypergraph(hg, 4, seed=9)
+        b = partition_hypergraph(hg, 4, seed=9)
+        np.testing.assert_array_equal(a, b)
+
+    def test_negative_eps_rejected(self):
+        with pytest.raises(PartitionError):
+            partition_hypergraph(chain_hypergraph(), 2, eps=-0.1)
+
+
+class TestPartitionQuality:
+    def test_chain_bisection_near_optimal(self):
+        hg = chain_hypergraph(64)
+        parts = partition_hypergraph(hg, 2, seed=0)
+        # Optimal cut for a chain bisection is 1 net; accept <= 3.
+        assert connectivity_cut(hg, parts) <= 3.0
+
+    def test_balance_respected(self):
+        graph = synthetic_task_graph(400, 12, seed=3, skew=1.0)
+        hg = fock_hypergraph(graph)
+        for k in (2, 4, 8):
+            parts = partition_hypergraph(hg, k, eps=0.05, seed=1)
+            weights = part_weights(hg, parts, k)
+            assert weights.max() <= 1.10 * hg.total_vertex_weight / k
+
+    def test_beats_random_cut(self):
+        graph = synthetic_task_graph(300, 10, seed=4)
+        hg = fock_hypergraph(graph)
+        parts = partition_hypergraph(hg, 4, seed=0)
+        rng = np.random.default_rng(0)
+        random_parts = rng.integers(0, 4, size=hg.n_vertices)
+        assert connectivity_cut(hg, parts) < connectivity_cut(hg, random_parts)
+
+    def test_two_clusters_separated(self):
+        """Two internally-dense clusters with one weak link must split
+        along the link."""
+        nets = []
+        for base in (0, 20):
+            for i in range(19):
+                nets.append(np.array([base + i, base + i + 1]))
+                nets.append(np.array([base, base + i + 1]))
+        nets.append(np.array([5, 25]))  # the weak bridge
+        hg = Hypergraph(np.ones(40), nets, np.ones(len(nets)))
+        parts = partition_hypergraph(hg, 2, seed=0)
+        assert connectivity_cut(hg, parts) <= 2.0
+        # All of cluster 1 on one side.
+        assert len(set(parts[:20])) == 1
+        assert len(set(parts[20:])) == 1
+
+
+class TestFmRefine:
+    def test_never_increases_cut(self):
+        rng = np.random.default_rng(5)
+        graph = synthetic_task_graph(200, 8, seed=5)
+        hg = fock_hypergraph(graph)
+        side = rng.integers(0, 2, size=hg.n_vertices).astype(np.int8)
+        before = connectivity_cut(hg, side.astype(np.int64))
+        refined = _fm_refine(hg, side, frac0=0.5, eps=0.05)
+        after = connectivity_cut(hg, refined.astype(np.int64))
+        assert after <= before + 1e-9
+
+    def test_repairs_gross_imbalance(self):
+        hg = chain_hypergraph(60)
+        side = np.zeros(60, dtype=np.int8)  # everything on side 0
+        refined = _fm_refine(hg, side, frac0=0.5, eps=0.05)
+        w1 = hg.vertex_weights[refined == 1].sum()
+        assert 0.4 * 60 <= w1 <= 0.6 * 60
+
+
+class TestInduce:
+    def test_subgraph_structure(self):
+        hg = small = Hypergraph(
+            np.array([1.0, 2.0, 3.0, 4.0]),
+            [np.array([0, 1, 2]), np.array([2, 3]), np.array([0, 3])],
+            np.array([1.0, 2.0, 3.0]),
+        )
+        sub = _induce(hg, np.array([True, True, True, False]))
+        assert sub.n_vertices == 3
+        # Net {2,3} and {0,3} lose a pin and drop below 2 pins -> removed.
+        assert sub.n_nets == 1
+        np.testing.assert_array_equal(sub.nets[0], [0, 1, 2])
+
+
+class TestBalancerEntryPoint:
+    def test_assignment_balances_cost(self):
+        graph = synthetic_task_graph(250, 10, seed=6, skew=0.8)
+        assignment = hypergraph_balancer(graph, 8, seed=0)
+        loads = rank_loads(graph.costs, assignment, 8)
+        assert loads.max() / loads.mean() < 1.25

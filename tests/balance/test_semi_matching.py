@@ -1,0 +1,170 @@
+from itertools import product
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.balance import (
+    build_eligibility,
+    greedy_semi_matching,
+    optimal_semi_matching,
+    rank_loads,
+    semi_matching_balancer,
+    weighted_semi_matching,
+)
+from repro.chemistry.tasks import synthetic_task_graph
+from repro.runtime.garrays import BlockDistribution
+from repro.util import ConfigurationError
+
+
+def random_eligibility(n_tasks, n_ranks, seed, max_degree=3):
+    rng = np.random.default_rng(seed)
+    out = []
+    for _ in range(n_tasks):
+        degree = int(rng.integers(1, max_degree + 1))
+        out.append(sorted(rng.choice(n_ranks, size=min(degree, n_ranks), replace=False).tolist()))
+    return out
+
+
+class TestBuildEligibility:
+    def test_owners_included(self, synthetic_graph):
+        dist = BlockDistribution(synthetic_graph.blocks.n_blocks, 8)
+        elig = build_eligibility(synthetic_graph, 8, dist, extra_degree=0)
+        for task in synthetic_graph.tasks[:40]:
+            owners = {dist.owner(ref) for ref in (*task.reads, *task.writes)}
+            assert owners == set(elig[task.tid])
+
+    def test_extra_degree_adds_ranks(self, synthetic_graph):
+        dist = BlockDistribution(synthetic_graph.blocks.n_blocks, 32)
+        base = build_eligibility(synthetic_graph, 32, dist, extra_degree=0)
+        extra = build_eligibility(synthetic_graph, 32, dist, extra_degree=3)
+        assert sum(map(len, extra)) > sum(map(len, base))
+
+    def test_deterministic(self, synthetic_graph):
+        dist = BlockDistribution(synthetic_graph.blocks.n_blocks, 8)
+        a = build_eligibility(synthetic_graph, 8, dist, extra_degree=2, seed=5)
+        b = build_eligibility(synthetic_graph, 8, dist, extra_degree=2, seed=5)
+        assert a == b
+
+    def test_negative_extra_rejected(self, synthetic_graph):
+        dist = BlockDistribution(synthetic_graph.blocks.n_blocks, 8)
+        with pytest.raises(ConfigurationError):
+            build_eligibility(synthetic_graph, 8, dist, extra_degree=-1)
+
+
+class TestGreedySemiMatching:
+    def test_respects_eligibility(self):
+        elig = random_eligibility(50, 6, seed=0)
+        a = greedy_semi_matching(np.ones(50), elig, 6)
+        for tid, rank in enumerate(a):
+            assert rank in elig[tid]
+
+    def test_single_rank_eligibility_forced(self):
+        elig = [[2]] * 10
+        a = greedy_semi_matching(np.ones(10), elig, 4)
+        assert set(a) == {2}
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            greedy_semi_matching(np.ones(3), [[0]] * 2, 2)
+
+    def test_empty_eligibility_rejected(self):
+        with pytest.raises(ConfigurationError, match="empty"):
+            greedy_semi_matching(np.ones(1), [[]], 2)
+
+    def test_out_of_range_rank_rejected(self):
+        with pytest.raises(ConfigurationError):
+            greedy_semi_matching(np.ones(1), [[7]], 2)
+
+
+class TestOptimalSemiMatching:
+    @given(st.integers(0, 200))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_brute_force_max_load(self, seed):
+        rng = np.random.default_rng(seed)
+        n_tasks = int(rng.integers(3, 9))
+        n_ranks = int(rng.integers(2, 5))
+        elig = random_eligibility(n_tasks, n_ranks, seed + 1)
+        opt = optimal_semi_matching(elig, n_ranks)
+        got = np.bincount(opt, minlength=n_ranks).max()
+        best = min(
+            np.bincount(list(choice), minlength=n_ranks).max()
+            for choice in product(*[tuple(e) for e in elig])
+        )
+        assert got == best
+
+    def test_never_worse_than_greedy(self):
+        for seed in range(10):
+            elig = random_eligibility(60, 8, seed)
+            greedy = greedy_semi_matching(np.ones(60), elig, 8)
+            opt = optimal_semi_matching(elig, 8)
+            assert (
+                np.bincount(opt, minlength=8).max()
+                <= np.bincount(greedy, minlength=8).max()
+            )
+
+    def test_respects_eligibility(self):
+        elig = random_eligibility(40, 6, seed=3)
+        a = optimal_semi_matching(elig, 6)
+        for tid, rank in enumerate(a):
+            assert rank in elig[tid]
+
+    def test_complete_bipartite_perfectly_balanced(self):
+        elig = [list(range(4))] * 12
+        a = optimal_semi_matching(elig, 4)
+        assert np.bincount(a, minlength=4).tolist() == [3, 3, 3, 3]
+
+
+class TestWeightedSemiMatching:
+    def test_never_worse_than_greedy(self):
+        rng = np.random.default_rng(0)
+        for seed in range(6):
+            elig = random_eligibility(80, 8, seed)
+            costs = np.exp(rng.normal(size=80))
+            g = greedy_semi_matching(costs, elig, 8)
+            w = weighted_semi_matching(costs, elig, 8)
+            assert (
+                rank_loads(costs, w, 8).max() <= rank_loads(costs, g, 8).max() + 1e-9
+            )
+
+    def test_zero_sweeps_equals_greedy(self):
+        elig = random_eligibility(40, 4, seed=1)
+        costs = np.linspace(1, 5, 40)
+        np.testing.assert_array_equal(
+            weighted_semi_matching(costs, elig, 4, sweeps=0),
+            greedy_semi_matching(costs, elig, 4),
+        )
+
+    def test_respects_eligibility(self):
+        elig = random_eligibility(40, 6, seed=4)
+        costs = np.linspace(1, 3, 40)
+        a = weighted_semi_matching(costs, elig, 6)
+        for tid, rank in enumerate(a):
+            assert rank in elig[tid]
+
+    def test_negative_sweeps_rejected(self):
+        with pytest.raises(ConfigurationError):
+            weighted_semi_matching(np.ones(2), [[0], [0]], 1, sweeps=-1)
+
+
+class TestBalancerEntryPoint:
+    def test_weighted_mode_quality(self, synthetic_graph):
+        from repro.balance import makespan_lower_bound
+
+        a = semi_matching_balancer(synthetic_graph, 16)
+        loads = rank_loads(synthetic_graph.costs, a, 16)
+        lb = makespan_lower_bound(synthetic_graph.costs, 16)
+        assert loads.max() <= 1.1 * lb
+
+    def test_all_modes_run(self, synthetic_graph):
+        for mode in ("weighted", "greedy", "optimal_unit"):
+            a = semi_matching_balancer(synthetic_graph, 8, mode=mode)
+            assert a.shape == (synthetic_graph.n_tasks,)
+
+    def test_unknown_mode_rejected(self, synthetic_graph):
+        with pytest.raises(ConfigurationError):
+            semi_matching_balancer(synthetic_graph, 8, mode="perfect")
+
+    def test_default_distribution_constructed(self, synthetic_graph):
+        a = semi_matching_balancer(synthetic_graph, 8, distribution=None)
+        assert a.max() < 8

@@ -1,0 +1,125 @@
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.chemistry.basis import BasisSet, BlockStructure, Shell, build_basis
+from repro.chemistry.molecules import Molecule, water_cluster
+from repro.util import ConfigurationError
+
+
+class TestShell:
+    def test_nprim(self):
+        sh = Shell(np.zeros(3), np.array([1.0, 2.0]), np.array([0.5, 0.5]), 0)
+        assert sh.nprim == 2
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ConfigurationError):
+            Shell(np.zeros(3), np.array([1.0, 2.0]), np.array([0.5]), 0)
+
+    def test_rejects_non_positive_exponent(self):
+        with pytest.raises(ConfigurationError, match="positive"):
+            Shell(np.zeros(3), np.array([-1.0]), np.array([1.0]), 0)
+
+    def test_rejects_bad_center(self):
+        with pytest.raises(ConfigurationError):
+            Shell(np.zeros(2), np.array([1.0]), np.array([1.0]), 0)
+
+    def test_arrays_read_only(self):
+        sh = Shell(np.zeros(3), np.array([1.0]), np.array([1.0]), 0)
+        with pytest.raises(ValueError):
+            sh.exponents[0] = 2.0
+
+
+class TestBuildBasis:
+    def test_water_shell_count(self):
+        basis = build_basis(water_cluster(1))
+        # O: 3 shells, H: 2 shells each.
+        assert basis.n_basis == 3 + 2 + 2
+
+    def test_atom_indices_assigned(self):
+        basis = build_basis(water_cluster(1))
+        assert [sh.atom_index for sh in basis.shells] == [0, 0, 0, 1, 1, 2, 2]
+
+    def test_shells_centered_on_atoms(self):
+        mol = water_cluster(1)
+        basis = build_basis(mol)
+        for sh in basis.shells:
+            np.testing.assert_allclose(sh.center, mol.coords[sh.atom_index])
+
+    def test_normalization_unit_self_overlap(self):
+        basis = build_basis(water_cluster(1))
+        for sh in basis.shells:
+            p = sh.exponents[:, None] + sh.exponents[None, :]
+            s = (
+                sh.coefficients[:, None]
+                * sh.coefficients[None, :]
+                * (np.pi / p) ** 1.5
+            ).sum()
+            assert s == pytest.approx(1.0)
+
+    def test_missing_element_raises(self):
+        with pytest.raises(ConfigurationError, match="no basis"):
+            build_basis(water_cluster(1), basis={"H": [[(1.0, 1.0)]]})
+
+    def test_primitive_counts(self):
+        basis = build_basis(water_cluster(1))
+        assert basis.primitive_counts.tolist() == [6, 3, 1, 3, 1, 3, 1]
+
+
+class TestBlockStructure:
+    def test_uniform_tiling(self):
+        blocks = BlockStructure.uniform(10, 4)
+        assert blocks.n_blocks == 3
+        assert blocks.offsets.tolist() == [0, 4, 8, 10]
+
+    def test_exact_division(self):
+        blocks = BlockStructure.uniform(12, 4)
+        assert blocks.sizes().tolist() == [4, 4, 4]
+
+    def test_block_size_larger_than_n(self):
+        blocks = BlockStructure.uniform(5, 100)
+        assert blocks.n_blocks == 1
+        assert blocks.block_size(0) == 5
+
+    def test_block_of(self):
+        blocks = BlockStructure.uniform(10, 4)
+        assert [blocks.block_of(i) for i in range(10)] == [0] * 4 + [1] * 4 + [2] * 2
+
+    def test_block_of_out_of_range(self):
+        blocks = BlockStructure.uniform(10, 4)
+        with pytest.raises(ConfigurationError):
+            blocks.block_of(10)
+
+    def test_block_range(self):
+        blocks = BlockStructure.uniform(10, 4)
+        assert blocks.block_range(2) == (8, 10)
+
+    def test_rejects_non_monotone_offsets(self):
+        with pytest.raises(ConfigurationError):
+            BlockStructure(np.array([0, 5, 5, 10]))
+
+    def test_rejects_nonzero_start(self):
+        with pytest.raises(ConfigurationError):
+            BlockStructure(np.array([1, 5]))
+
+    def test_by_atom(self):
+        basis = build_basis(water_cluster(1))
+        blocks = BlockStructure.by_atom(basis)
+        assert blocks.n_blocks == 3
+        assert blocks.sizes().tolist() == [3, 2, 2]
+
+    @given(st.integers(1, 200), st.integers(1, 50))
+    def test_uniform_covers_everything(self, n, bs):
+        blocks = BlockStructure.uniform(n, bs)
+        assert blocks.n_basis == n
+        assert blocks.sizes().sum() == n
+        assert all(blocks.block_size(b) >= 1 for b in range(blocks.n_blocks))
+
+    @given(st.integers(1, 200), st.integers(1, 50), st.integers(0, 199))
+    def test_block_of_consistent_with_ranges(self, n, bs, idx):
+        if idx >= n:
+            idx = idx % n
+        blocks = BlockStructure.uniform(n, bs)
+        b = blocks.block_of(idx)
+        lo, hi = blocks.block_range(b)
+        assert lo <= idx < hi

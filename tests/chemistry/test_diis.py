@@ -1,0 +1,53 @@
+import numpy as np
+import pytest
+
+from repro.chemistry.scf import run_scf
+from repro.util import ConfigurationError
+
+
+class TestDiis:
+    def test_same_energy_as_damping(self, small_problem):
+        damped = run_scf(small_problem.molecule, problem=small_problem)
+        diis = run_scf(small_problem.molecule, problem=small_problem, accelerator="diis")
+        assert diis.converged
+        assert diis.energy == pytest.approx(damped.energy, abs=1e-8)
+
+    def test_converges_faster(self, small_problem):
+        damped = run_scf(small_problem.molecule, problem=small_problem)
+        diis = run_scf(small_problem.molecule, problem=small_problem, accelerator="diis")
+        assert diis.n_iterations < damped.n_iterations
+
+    def test_tiny_system(self, tiny_problem):
+        diis = run_scf(tiny_problem.molecule, problem=tiny_problem, accelerator="diis")
+        assert diis.converged
+        damped = run_scf(tiny_problem.molecule, problem=tiny_problem)
+        assert diis.energy == pytest.approx(damped.energy, abs=1e-8)
+
+    def test_depth_one_still_converges(self, tiny_problem):
+        result = run_scf(
+            tiny_problem.molecule, problem=tiny_problem,
+            accelerator="diis", diis_depth=1,
+        )
+        assert result.converged
+
+    def test_unknown_accelerator_rejected(self, tiny_problem):
+        with pytest.raises(ConfigurationError, match="accelerator"):
+            run_scf(tiny_problem.molecule, problem=tiny_problem, accelerator="magnets")
+
+    def test_invalid_depth_rejected(self, tiny_problem):
+        with pytest.raises(ValueError):
+            run_scf(
+                tiny_problem.molecule, problem=tiny_problem,
+                accelerator="diis", diis_depth=0,
+            )
+
+    def test_diis_with_parallel_builder(self, tiny_problem):
+        from repro.parallel import parallel_g_builder
+
+        g = parallel_g_builder(tiny_problem, n_workers=2, mode="stealing")
+        result = run_scf(
+            tiny_problem.molecule, problem=tiny_problem,
+            accelerator="diis", g_builder=g,
+        )
+        serial = run_scf(tiny_problem.molecule, problem=tiny_problem)
+        assert result.energy == pytest.approx(serial.energy, abs=1e-8)

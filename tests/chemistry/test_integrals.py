@@ -1,0 +1,196 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.chemistry.basis import build_basis
+from repro.chemistry.integrals import (
+    IntegralEngine,
+    boys_f0,
+    eri_tensor,
+    kinetic_matrix,
+    nuclear_attraction_matrix,
+    overlap_matrix,
+)
+from repro.chemistry.molecules import Molecule, water_cluster
+
+
+@pytest.fixture(scope="module")
+def water_basis():
+    return build_basis(water_cluster(1))
+
+
+@pytest.fixture(scope="module")
+def h2_basis():
+    mol = Molecule(("H", "H"), np.array([[0.0, 0, 0], [1.4, 0, 0]]))
+    return build_basis(mol)
+
+
+class TestBoysF0:
+    def test_at_zero(self):
+        assert boys_f0(0.0) == pytest.approx(1.0)
+
+    def test_large_t_asymptotic(self):
+        t = 50.0
+        assert boys_f0(t) == pytest.approx(0.5 * np.sqrt(np.pi / t))
+
+    def test_series_matches_closed_form_at_crossover(self):
+        # Continuity across the small-t switch at 1e-12.
+        below = boys_f0(0.99e-12)
+        above = boys_f0(1.01e-12)
+        assert abs(below - above) < 1e-12
+
+    @given(st.floats(min_value=0.0, max_value=1e4, allow_nan=False))
+    def test_bounded_in_unit_interval(self, t):
+        value = float(boys_f0(t))
+        assert 0.0 < value <= 1.0
+
+    def test_monotone_decreasing(self):
+        t = np.linspace(0.0, 30.0, 500)
+        values = boys_f0(t)
+        assert np.all(np.diff(values) <= 0)
+
+    def test_vectorized_matches_scalar(self):
+        t = np.array([0.0, 1e-13, 0.5, 3.0])
+        np.testing.assert_allclose(boys_f0(t), [float(boys_f0(x)) for x in t])
+
+
+class TestOneElectron:
+    def test_overlap_symmetric_unit_diagonal(self, water_basis):
+        s = overlap_matrix(water_basis)
+        np.testing.assert_allclose(s, s.T)
+        np.testing.assert_allclose(np.diag(s), 1.0)
+
+    def test_overlap_positive_definite(self, water_basis):
+        s = overlap_matrix(water_basis)
+        assert np.linalg.eigvalsh(s).min() > 0
+
+    def test_overlap_decays_with_distance(self):
+        near = Molecule(("H", "H"), np.array([[0.0, 0, 0], [1.0, 0, 0]]))
+        far = Molecule(("H", "H"), np.array([[0.0, 0, 0], [6.0, 0, 0]]))
+        s_near = overlap_matrix(build_basis(near))
+        s_far = overlap_matrix(build_basis(far))
+        assert abs(s_far[0, 2]) < abs(s_near[0, 2])
+
+    def test_kinetic_symmetric_positive_diagonal(self, water_basis):
+        t = kinetic_matrix(water_basis)
+        np.testing.assert_allclose(t, t.T)
+        assert np.all(np.diag(t) > 0)
+
+    def test_kinetic_single_primitive_closed_form(self):
+        # For a single normalized s primitive, <T> = 3a/2.
+        basis = build_basis(
+            Molecule(("H",), np.zeros((1, 3))), basis={"H": [[(0.8, 1.0)]]}
+        )
+        t = kinetic_matrix(basis)
+        assert t[0, 0] == pytest.approx(1.5 * 0.8)
+
+    def test_nuclear_attraction_negative_diagonal(self, water_basis):
+        v = nuclear_attraction_matrix(water_basis)
+        np.testing.assert_allclose(v, v.T)
+        assert np.all(np.diag(v) < 0)
+
+    def test_nuclear_single_primitive_closed_form(self):
+        # <s|-Z/r|s> for a normalized primitive at its own nucleus (Z=1):
+        # -(2*pi/p) * norm^2 * F0(0) with p = 2a, norm^2 = (2a/pi)^{3/2}
+        # = -2 * sqrt(2a/pi).
+        a = 0.7
+        basis = build_basis(
+            Molecule(("H",), np.zeros((1, 3))), basis={"H": [[(a, 1.0)]]}
+        )
+        v = nuclear_attraction_matrix(basis)
+        assert v[0, 0] == pytest.approx(-2.0 * np.sqrt(2.0 * a / np.pi))
+
+
+class TestPairData:
+    def test_symmetric_in_shell_order(self, water_basis):
+        engine = IntegralEngine(water_basis)
+        a = engine.pair_data(0, 3)
+        b = engine.pair_data(3, 0)
+        assert a is b  # same cached object
+
+    def test_prim_count_is_product(self, water_basis):
+        engine = IntegralEngine(water_basis)
+        pd = engine.pair_data(0, 1)  # 6-prim and 3-prim shells
+        assert pd.nprim == 18
+
+    def test_cutoff_drops_small_products(self):
+        mol = Molecule(("H", "H"), np.array([[0.0, 0, 0], [8.0, 0, 0]]))
+        basis = build_basis(mol)
+        loose = IntegralEngine(basis, prim_cutoff=0.0).pair_data(0, 2)
+        tight = IntegralEngine(basis, prim_cutoff=1e-6).pair_data(0, 2)
+        assert tight.nprim < loose.nprim
+
+    def test_cutoff_never_empties_table(self):
+        mol = Molecule(("H", "H"), np.array([[0.0, 0, 0], [30.0, 0, 0]]))
+        basis = build_basis(mol)
+        pd = IntegralEngine(basis, prim_cutoff=1e-2).pair_data(0, 2)
+        assert pd.nprim >= 1
+
+
+class TestEri:
+    def test_single_primitive_closed_form(self):
+        # (ss|ss), all four functions identical primitives at the origin:
+        # (aa|aa) = 2^{?}... evaluates to sqrt(2/pi) * ... ; check against
+        # the independent formula 2*pi^{5/2}/(p*q*sqrt(p+q)) * norm^4 with
+        # p=q=2a, F0(0)=1.
+        a = 0.9
+        basis = build_basis(
+            Molecule(("H",), np.zeros((1, 3))), basis={"H": [[(a, 1.0)]]}
+        )
+        engine = IntegralEngine(basis)
+        pd = engine.pair_data(0, 0)
+        val = engine.eri_pair_pair(pd, pd)
+        norm = (2.0 * a / np.pi) ** 0.75
+        p = 2.0 * a
+        expected = 2.0 * np.pi**2.5 / (p * p * np.sqrt(2 * p)) * norm**4
+        assert val == pytest.approx(expected)
+
+    def test_tensor_eightfold_symmetry(self, h2_basis):
+        g = eri_tensor(h2_basis)
+        np.testing.assert_allclose(g, g.transpose(1, 0, 2, 3), atol=1e-14)
+        np.testing.assert_allclose(g, g.transpose(0, 1, 3, 2), atol=1e-14)
+        np.testing.assert_allclose(g, g.transpose(2, 3, 0, 1), atol=1e-14)
+
+    def test_tensor_entries_match_pairwise(self, h2_basis):
+        engine = IntegralEngine(h2_basis)
+        g = eri_tensor(h2_basis, engine)
+        val = engine.eri_pair_pair(engine.pair_data(0, 1), engine.pair_data(2, 3))
+        assert g[0, 1, 2, 3] == pytest.approx(val, rel=1e-12)
+
+    def test_diagonal_non_negative(self, water_basis):
+        engine = IntegralEngine(water_basis)
+        n = water_basis.n_basis
+        for i in range(n):
+            for j in range(i, n):
+                pd = engine.pair_data(i, j)
+                assert engine.eri_pair_pair(pd, pd) >= -1e-14
+
+    def test_batch_matrix_matches_pairwise(self, water_basis):
+        engine = IntegralEngine(water_basis)
+        pairs = [(0, 1), (2, 3), (4, 6)]
+        batch = engine.pair_batch(pairs)
+        mat = engine.eri_batch_matrix(batch, batch)
+        for a, pa in enumerate(pairs):
+            for b, pb in enumerate(pairs):
+                expected = engine.eri_pair_pair(
+                    engine.pair_data(*pa), engine.pair_data(*pb)
+                )
+                assert mat[a, b] == pytest.approx(expected, rel=1e-12, abs=1e-15)
+
+    def test_empty_batch(self, water_basis):
+        engine = IntegralEngine(water_basis)
+        empty = engine.pair_batch([])
+        full = engine.pair_batch([(0, 1)])
+        assert engine.eri_batch_matrix(empty, full).shape == (0, 1)
+        assert engine.eri_batch_matrix(full, empty).shape == (1, 0)
+
+    def test_chunking_invariance(self, water_basis, monkeypatch):
+        import repro.chemistry.integrals as integrals
+
+        engine = IntegralEngine(water_basis)
+        pairs = [(i, j) for i in range(4) for j in range(4)]
+        batch = engine.pair_batch(pairs)
+        full = engine.eri_batch_matrix(batch, batch)
+        monkeypatch.setattr(integrals, "_ERI_CHUNK", 7)
+        chunked = engine.eri_batch_matrix(batch, batch)
+        np.testing.assert_allclose(chunked, full, rtol=1e-13)

@@ -1,0 +1,174 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.chemistry.integrals import boys_f0
+from repro.chemistry.mcmurchie import (
+    boys,
+    eri_prim,
+    hermite_coulomb,
+    hermite_expansion,
+    kinetic_prim,
+    nuclear_prim,
+    overlap_prim,
+    primitive_norm,
+)
+
+A = np.array([0.0, 0.0, 0.0])
+B = np.array([0.5, -0.3, 0.8])
+C = np.array([1.0, 0.2, 0.0])
+D = np.array([-0.3, 0.7, 0.5])
+S = (0, 0, 0)
+PX = (1, 0, 0)
+PY = (0, 1, 0)
+
+
+class TestBoys:
+    def test_f0_matches_closed_form(self):
+        t = np.array([0.0, 1e-14, 0.3, 2.0, 40.0])
+        np.testing.assert_allclose(boys(0, t)[0], boys_f0(t), rtol=1e-12)
+
+    def test_known_value(self):
+        # F_1(1) = (F_0(1) - e^{-1}) / 2 by the recurrence.
+        f = boys(1, 1.0)
+        assert f[1] == pytest.approx((f[0] - np.exp(-1.0)) / 2.0, rel=1e-10)
+
+    @given(st.floats(0.0, 200.0), st.integers(0, 6))
+    @settings(max_examples=60, deadline=None)
+    def test_downward_recurrence_satisfied(self, t, n):
+        f = boys(n + 1, t)
+        # F_n = (2T F_{n+1} + e^{-T}) / (2n+1)
+        lhs = float(f[n])
+        rhs = (2.0 * t * float(f[n + 1]) + np.exp(-t)) / (2 * n + 1)
+        assert lhs == pytest.approx(rhs, rel=1e-9, abs=1e-12)
+
+    @given(st.floats(0.0, 100.0))
+    @settings(max_examples=40, deadline=None)
+    def test_decreasing_in_order(self, t):
+        f = boys(4, t)
+        assert np.all(np.diff(f[:, None].ravel()) <= 1e-15)
+
+    def test_zero_limit(self):
+        f = boys(3, 0.0)
+        np.testing.assert_allclose(f.ravel(), [1.0, 1 / 3, 1 / 5, 1 / 7])
+
+
+class TestHermiteExpansion:
+    def test_ss_is_prefactor(self):
+        e = hermite_expansion(S, S, 0.7, 1.3, A, B)
+        mu = 0.7 * 1.3 / 2.0
+        assert e[(0, 0, 0)] == pytest.approx(np.exp(-mu * ((A - B) ** 2).sum()))
+        assert set(e) == {(0, 0, 0)}
+
+    def test_symmetric_under_pair_swap(self):
+        e1 = hermite_expansion(PX, S, 0.7, 1.3, A, B)
+        e2 = hermite_expansion(S, PX, 1.3, 0.7, B, A)
+        assert set(e1) == set(e2)
+        for key in e1:
+            assert e1[key] == pytest.approx(e2[key], rel=1e-12)
+
+    def test_px_s_term_count(self):
+        e = hermite_expansion(PX, S, 0.7, 1.3, A, B)
+        # t_x in {0, 1}: exactly the (0,0,0) and (1,0,0) Hermite terms.
+        assert set(e) <= {(0, 0, 0), (1, 0, 0)}
+        assert (1, 0, 0) in e
+
+    def test_overlap_from_e000(self):
+        # S_ab = E_000 (pi/p)^{3/2} must equal overlap_prim.
+        e = hermite_expansion(PX, PY, 0.9, 0.4, A, B)
+        p = 1.3
+        assert e.get((0, 0, 0), 0.0) * (np.pi / p) ** 1.5 == pytest.approx(
+            overlap_prim(PX, PY, 0.9, 0.4, A, B), rel=1e-12
+        )
+
+
+class TestHermiteCoulomb:
+    def test_r000_is_boys0(self):
+        alpha = np.array([0.8])
+        pq = np.array([[0.3, -0.2, 0.5]])
+        r = hermite_coulomb(0, alpha, pq)
+        expected = boys(0, alpha * (pq**2).sum(-1))[0]
+        np.testing.assert_allclose(r[(0, 0, 0)], expected)
+
+    def test_first_derivative_relation(self):
+        """R_100 = dR_000/dX, checked by finite differences."""
+        alpha = 0.8
+
+        def r000(x):
+            return float(
+                hermite_coulomb(0, np.array(alpha), np.array([x, 0.2, -0.1]))[(0, 0, 0)]
+            )
+
+        eps = 1e-6
+        fd = (r000(0.5 + eps) - r000(0.5 - eps)) / (2 * eps)
+        r = hermite_coulomb(1, np.array(alpha), np.array([0.5, 0.2, -0.1]))
+        assert float(r[(1, 0, 0)]) == pytest.approx(fd, rel=1e-6)
+
+    def test_all_orders_present(self):
+        r = hermite_coulomb(3, np.array(1.0), np.array([0.1, 0.2, 0.3]))
+        combos = {(t, u, v) for t in range(4) for u in range(4) for v in range(4)
+                  if t + u + v <= 3}
+        assert set(r) == combos
+
+
+class TestPrimitiveIntegrals:
+    def test_eri_permutational_symmetries(self):
+        args = (0.7, 1.3, 0.9, 0.4, A, B, C, D)
+        base = eri_prim(PX, S, PY, S, *args)
+        swapped_bra = eri_prim(S, PX, PY, S, 1.3, 0.7, 0.9, 0.4, B, A, C, D)
+        assert base == pytest.approx(swapped_bra, rel=1e-10)
+        swapped_braket = eri_prim(PY, S, PX, S, 0.9, 0.4, 0.7, 1.3, C, D, A, B)
+        assert base == pytest.approx(swapped_braket, rel=1e-10)
+
+    def test_translation_invariance(self):
+        shift = np.array([2.1, -0.7, 1.3])
+        v1 = eri_prim(PX, S, PY, S, 0.7, 1.3, 0.9, 0.4, A, B, C, D)
+        v2 = eri_prim(PX, S, PY, S, 0.7, 1.3, 0.9, 0.4, A + shift, B + shift, C + shift, D + shift)
+        assert v1 == pytest.approx(v2, rel=1e-10)
+
+    def test_eri_derivative_generates_p(self):
+        """d/dAx (ss|ss) = 2a (p_x s|ss)."""
+        a = 0.7
+        eps = 1e-6
+
+        def f(ax):
+            a2 = A.copy()
+            a2[0] = ax
+            return eri_prim(S, S, S, S, a, 1.3, 0.9, 0.4, a2, B, C, D)
+
+        fd = (f(A[0] + eps) - f(A[0] - eps)) / (2 * eps)
+        assert fd == pytest.approx(
+            2 * a * eri_prim(PX, S, S, S, a, 1.3, 0.9, 0.4, A, B, C, D), rel=1e-5
+        )
+
+    def test_kinetic_derivative_generates_p(self):
+        a = 0.7
+        eps = 1e-6
+
+        def f(ax):
+            a2 = A.copy()
+            a2[0] = ax
+            return kinetic_prim(S, S, a, 1.3, a2, B)
+
+        fd = (f(A[0] + eps) - f(A[0] - eps)) / (2 * eps)
+        assert fd == pytest.approx(2 * a * kinetic_prim(PX, S, a, 1.3, A, B), rel=1e-5)
+
+    def test_nuclear_positive_for_s(self):
+        assert nuclear_prim(S, S, 0.7, 1.3, A, B, C) > 0
+
+    def test_kinetic_p_diagonal_closed_form(self):
+        # Normalized p primitive: <T> = 5a/2.
+        a = 0.8
+        norm = primitive_norm(PX, a)
+        val = norm**2 * kinetic_prim(PX, PX, a, a, A, A)
+        assert val == pytest.approx(2.5 * a, rel=1e-10)
+
+    def test_p_norm_closed_form(self):
+        a = 0.8
+        assert primitive_norm(PX, a) == pytest.approx(
+            (2 * a / np.pi) ** 0.75 * 2.0 * np.sqrt(a), rel=1e-12
+        )
+
+    def test_orthogonal_p_components(self):
+        # <p_x | p_y> on the same center vanishes by symmetry.
+        assert overlap_prim(PX, PY, 0.8, 0.6, A, A) == pytest.approx(0.0, abs=1e-14)

@@ -1,0 +1,95 @@
+import numpy as np
+import pytest
+
+from repro.chemistry.basis import BlockStructure, build_basis
+from repro.chemistry.integrals import IntegralEngine, eri_tensor
+from repro.chemistry.molecules import Molecule, linear_alkane, water_cluster
+from repro.chemistry.screening import SchwarzScreen
+
+
+@pytest.fixture(scope="module")
+def water_screen():
+    basis = build_basis(water_cluster(1))
+    return SchwarzScreen(basis)
+
+
+class TestSchwarzBounds:
+    def test_q_symmetric_non_negative(self, water_screen):
+        q = water_screen.q
+        np.testing.assert_allclose(q, q.T)
+        assert np.all(q >= 0)
+
+    def test_bound_dominates_all_integrals(self, water_screen):
+        """The Cauchy-Schwarz inequality itself: |(ij|kl)| <= Q_ij Q_kl."""
+        basis = water_screen.basis
+        g = eri_tensor(basis, water_screen.engine)
+        q = water_screen.q
+        bound = q[:, :, None, None] * q[None, None, :, :]
+        assert np.all(np.abs(g) <= bound + 1e-12)
+
+    def test_distant_pairs_have_small_q(self):
+        mol = Molecule(
+            ("H", "H", "H", "H"),
+            np.array([[0.0, 0, 0], [1.4, 0, 0], [20.0, 0, 0], [21.4, 0, 0]]),
+        )
+        screen = SchwarzScreen(build_basis(mol))
+        # Shells 0-1 belong to the near H pair; 4-5 to the far one.
+        near_q = screen.q[0, 1]
+        cross_q = screen.q[0, 4]
+        assert cross_q < 1e-8 * near_q
+
+    def test_q_max(self, water_screen):
+        assert water_screen.q_max == pytest.approx(water_screen.q.max())
+
+
+class TestBlockAggregates:
+    def test_block_qmax_is_blockwise_max(self, water_screen):
+        blocks = BlockStructure.uniform(water_screen.basis.n_basis, 3)
+        qb = water_screen.block_qmax(blocks)
+        for a in range(blocks.n_blocks):
+            for b in range(blocks.n_blocks):
+                lo_a, hi_a = blocks.block_range(a)
+                lo_b, hi_b = blocks.block_range(b)
+                assert qb[a, b] == pytest.approx(
+                    water_screen.q[lo_a:hi_a, lo_b:hi_b].max()
+                )
+
+    def test_surviving_pairs_threshold_zero_keeps_all(self, water_screen):
+        pairs = water_screen.surviving_pairs((0, 3), (3, 5), 0.0)
+        assert len(pairs) == 6
+
+    def test_surviving_pairs_filters(self, water_screen):
+        q01 = water_screen.q[0, 3]
+        pairs = water_screen.surviving_pairs((0, 3), (3, 5), q01 * 1.0001)
+        assert (0, 3) not in pairs
+
+    def test_surviving_pairs_absolute_indices(self, water_screen):
+        pairs = water_screen.surviving_pairs((3, 5), (5, 7), 0.0)
+        assert all(3 <= i < 5 and 5 <= j < 7 for i, j in pairs)
+
+
+class TestPairWeights:
+    def test_tau_zero_counts_all_products(self, water_screen):
+        blocks = BlockStructure.uniform(water_screen.basis.n_basis, 3)
+        w = water_screen.pair_weights(blocks, 0.0)
+        nprim = water_screen.basis.primitive_counts
+        expected_total = float(np.outer(nprim, nprim).sum())
+        assert w.sum() == pytest.approx(expected_total)
+
+    def test_weights_decrease_with_tau(self):
+        basis = build_basis(linear_alkane(4))
+        screen = SchwarzScreen(basis)
+        blocks = BlockStructure.uniform(basis.n_basis, 5)
+        loose = screen.pair_weights(blocks, 0.0).sum()
+        tight = screen.pair_weights(blocks, 1e-6).sum()
+        assert tight < loose
+
+    def test_alkane_screening_kills_far_blocks(self):
+        basis = build_basis(linear_alkane(8))
+        screen = SchwarzScreen(basis)
+        blocks = BlockStructure.uniform(basis.n_basis, 4)
+        w = screen.pair_weights(blocks, 1e-8)
+        # Some spatially distant block pairs must be fully screened out
+        # while diagonal blocks keep all their work.
+        assert (w == 0.0).any()
+        assert w[0, 0] > 0.0

@@ -1,0 +1,183 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.chemistry.fock import fock_reference_tasks
+from repro.chemistry.symmetry import (
+    SymmetricTaskKernel,
+    build_symmetric_task_graph,
+    canonical_quartet,
+    fock_reference_symmetric,
+    quartet_images,
+)
+from repro.chemistry.tasks import build_task_graph
+from repro.util import ConfigurationError
+
+quartets = st.tuples(*(st.integers(0, 5) for _ in range(4)))
+
+
+class TestCanonicalQuartet:
+    @given(quartets)
+    def test_idempotent(self, q):
+        assert canonical_quartet(canonical_quartet(q)) == canonical_quartet(q)
+
+    @given(quartets)
+    def test_orbit_invariant(self, q):
+        canon = canonical_quartet(q)
+        for image in quartet_images(q):
+            assert canonical_quartet(image) == canon
+
+    @given(quartets)
+    def test_constraints_hold(self, q):
+        a, b, c, d = canonical_quartet(q)
+        assert a >= b
+        assert c >= d
+        assert (a, b) >= (c, d)
+
+    @given(quartets)
+    def test_canonical_is_an_image(self, q):
+        assert canonical_quartet(q) in quartet_images(q)
+
+
+class TestQuartetImages:
+    def test_generic_quartet_has_eight(self):
+        assert len(quartet_images((3, 2, 1, 0))) == 8
+
+    def test_fully_diagonal_has_one(self):
+        assert quartet_images((1, 1, 1, 1)) == [(1, 1, 1, 1)]
+
+    def test_bra_diagonal_has_four(self):
+        # (A,A,C,D): bra swap is identity, so 4 distinct images.
+        assert len(quartet_images((2, 2, 1, 0))) == 4
+
+    def test_bra_equals_ket_has_four(self):
+        # (A,B,A,B): bra-ket exchange is identity.
+        assert len(quartet_images((2, 1, 2, 1))) == 4
+
+    @given(quartets)
+    def test_images_partition_orbit(self, q):
+        images = quartet_images(q)
+        assert len(images) == len(set(images))
+        assert len(images) in (1, 2, 4, 8)
+
+
+class TestSymmetricGraph:
+    def test_task_count_reduced(self, small_problem):
+        full = small_problem.graph
+        sym = build_symmetric_task_graph(
+            small_problem.basis, small_problem.blocks, small_problem.screen,
+            tau=small_problem.graph.tau,
+        )
+        # The fold is ~8x (exactly the canonical count for tau=0).
+        assert sym.n_tasks < full.n_tasks / 4
+
+    def test_canonical_count_exact_unscreened(self, tiny_problem):
+        sym = build_symmetric_task_graph(
+            tiny_problem.basis, tiny_problem.blocks, tiny_problem.screen, tau=0.0
+        )
+        nb = tiny_problem.blocks.n_blocks
+        expected = len(
+            {
+                canonical_quartet((a, b, c, d))
+                for a in range(nb)
+                for b in range(nb)
+                for c in range(nb)
+                for d in range(nb)
+            }
+        )
+        assert sym.n_tasks == expected
+
+    def test_all_tasks_canonical(self, small_problem):
+        sym = build_symmetric_task_graph(
+            small_problem.basis, small_problem.blocks, small_problem.screen, tau=0.0
+        )
+        for task in sym.tasks:
+            assert canonical_quartet(task.quartet) == task.quartet
+
+    def test_total_integral_flops_reduced(self, tiny_problem):
+        full = tiny_problem.graph
+        sym = build_symmetric_task_graph(
+            tiny_problem.basis, tiny_problem.blocks, tiny_problem.screen, tau=0.0
+        )
+        # Integral work dominates; folding must cut total flops hard.
+        assert sym.total_flops < 0.45 * full.total_flops
+
+    def test_footprints_cover_all_images(self, tiny_problem):
+        sym = build_symmetric_task_graph(
+            tiny_problem.basis, tiny_problem.blocks, tiny_problem.screen, tau=0.0
+        )
+        for task in sym.tasks:
+            for a, b, c, d in quartet_images(task.quartet):
+                assert (c, d) in task.reads
+                assert (b, d) in task.reads
+                assert (a, b) in task.writes
+                assert (a, c) in task.writes
+
+
+class TestSymmetricKernelCorrectness:
+    def test_matches_full_loop_unscreened(self, tiny_problem):
+        rng = np.random.default_rng(3)
+        n = tiny_problem.basis.n_basis
+        density = rng.normal(size=(n, n))
+        density = 0.5 * (density + density.T)
+        full = fock_reference_tasks(tiny_problem.kernel, tiny_problem.graph, density)
+        sym_graph = build_symmetric_task_graph(
+            tiny_problem.basis, tiny_problem.blocks, tiny_problem.screen, tau=0.0
+        )
+        sym = fock_reference_symmetric(tiny_problem.kernel, sym_graph, density)
+        np.testing.assert_allclose(sym, full, atol=1e-11)
+
+    def test_matches_full_loop_screened(self, small_problem):
+        rng = np.random.default_rng(4)
+        n = small_problem.basis.n_basis
+        density = rng.normal(size=(n, n))
+        density = 0.5 * (density + density.T)
+        tau = small_problem.graph.tau
+        full = fock_reference_tasks(small_problem.kernel, small_problem.graph, density)
+        sym_graph = build_symmetric_task_graph(
+            small_problem.basis, small_problem.blocks, small_problem.screen, tau=tau
+        )
+        sym = fock_reference_symmetric(small_problem.kernel, sym_graph, density)
+        scale = np.abs(full).max()
+        assert np.abs(sym - full).max() < 1e-9 * scale
+
+    def test_non_canonical_task_rejected(self, tiny_problem):
+        from repro.chemistry.tasks import TaskSpec
+
+        sym = SymmetricTaskKernel(tiny_problem.kernel)
+        bad = TaskSpec(0, (0, 1, 2, 2), 1.0, ((0, 0),), ((0, 0),))
+        n = tiny_problem.basis.n_basis
+        with pytest.raises(ConfigurationError, match="not canonical"):
+            sym.execute_dense(bad, np.zeros((n, n)), np.zeros((n, n)))
+
+    def test_wrong_density_shape_rejected(self, tiny_problem):
+        sym_graph = build_symmetric_task_graph(
+            tiny_problem.basis, tiny_problem.blocks, tiny_problem.screen, tau=0.0
+        )
+        with pytest.raises(ConfigurationError, match="density"):
+            fock_reference_symmetric(
+                tiny_problem.kernel, sym_graph, np.zeros((2, 2))
+            )
+
+
+class TestSymmetricGraphScheduling:
+    def test_runs_on_execution_models(self, small_problem, machine16):
+        from repro.exec_models import make_model
+
+        sym_graph = build_symmetric_task_graph(
+            small_problem.basis, small_problem.blocks, small_problem.screen,
+            tau=small_problem.graph.tau,
+        )
+        for model_name in ("static_block", "work_stealing"):
+            result = make_model(model_name).run(sym_graph, machine16, seed=0)
+            assert result.n_tasks == sym_graph.n_tasks
+
+    def test_higher_cost_variance_than_full(self, small_problem):
+        """Folding makes tasks fatter and more size-varied (image-count
+        dependent), shifting the granularity trade-off."""
+        sym_graph = build_symmetric_task_graph(
+            small_problem.basis, small_problem.blocks, small_problem.screen, tau=0.0
+        )
+        assert (
+            sym_graph.cost_summary()["mean"] > small_problem.graph.cost_summary()["mean"]
+        )

@@ -1,0 +1,136 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.chemistry.basis import BlockStructure, build_basis
+from repro.chemistry.molecules import linear_alkane, water_cluster
+from repro.chemistry.screening import SchwarzScreen
+from repro.chemistry.tasks import (
+    TaskGraph,
+    TaskSpec,
+    build_task_graph,
+    synthetic_task_graph,
+)
+from repro.util import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def water_setup():
+    basis = build_basis(water_cluster(2))
+    blocks = BlockStructure.uniform(basis.n_basis, 4)
+    screen = SchwarzScreen(basis)
+    return basis, blocks, screen
+
+
+class TestBuildTaskGraph:
+    def test_tau_zero_enumerates_all_quartets(self, water_setup):
+        basis, blocks, screen = water_setup
+        graph = build_task_graph(basis, blocks, screen, tau=0.0)
+        assert graph.n_tasks == blocks.n_blocks**4
+
+    def test_screening_reduces_tasks(self):
+        basis = build_basis(linear_alkane(6))
+        blocks = BlockStructure.uniform(basis.n_basis, 4)
+        screen = SchwarzScreen(basis)
+        full = build_task_graph(basis, blocks, screen, tau=0.0)
+        screened = build_task_graph(basis, blocks, screen, tau=1e-8)
+        assert 0 < screened.n_tasks < full.n_tasks
+
+    def test_task_ids_dense_and_ordered(self, water_setup):
+        basis, blocks, screen = water_setup
+        graph = build_task_graph(basis, blocks, screen, tau=1e-10)
+        assert [t.tid for t in graph.tasks] == list(range(graph.n_tasks))
+
+    def test_footprints_follow_quartet(self, water_setup):
+        basis, blocks, screen = water_setup
+        graph = build_task_graph(basis, blocks, screen, tau=1e-10)
+        for task in graph.tasks[:50]:
+            a, b, c, d = task.quartet
+            assert set(task.reads) == {(c, d), (b, d)}
+            assert set(task.writes) == {(a, b), (a, c)}
+
+    def test_footprints_deduplicated(self):
+        graph = synthetic_task_graph(200, 3, seed=0)
+        for task in graph.tasks:
+            assert len(task.reads) == len(set(task.reads))
+            assert len(task.writes) == len(set(task.writes))
+
+    def test_costs_positive(self, water_setup):
+        basis, blocks, screen = water_setup
+        graph = build_task_graph(basis, blocks, screen, tau=1e-10)
+        assert np.all(graph.costs > 0)
+
+    def test_cost_skew_grows_with_screening(self):
+        basis = build_basis(linear_alkane(8))
+        blocks = BlockStructure.uniform(basis.n_basis, 4)
+        screen = SchwarzScreen(basis)
+        flat = build_task_graph(basis, blocks, screen, tau=0.0)
+        skewed = build_task_graph(basis, blocks, screen, tau=1e-9)
+        assert skewed.cost_summary()["cv"] > 0.1
+
+    def test_mismatched_blocks_rejected(self, water_setup):
+        basis, _, screen = water_setup
+        wrong = BlockStructure.uniform(basis.n_basis + 1, 4)
+        with pytest.raises(ConfigurationError, match="covers"):
+            build_task_graph(basis, wrong, screen)
+
+    def test_negative_tau_rejected(self, water_setup):
+        basis, blocks, screen = water_setup
+        with pytest.raises(ConfigurationError):
+            build_task_graph(basis, blocks, screen, tau=-1.0)
+
+
+class TestTaskGraph:
+    def test_block_bytes(self):
+        graph = synthetic_task_graph(10, 4, seed=0, block_size=8)
+        assert graph.block_bytes((0, 1)) == 8 * 8 * 8
+
+    def test_total_flops(self):
+        graph = synthetic_task_graph(100, 4, seed=0)
+        assert graph.total_flops == pytest.approx(graph.costs.sum())
+
+    def test_data_blocks_covers_footprints(self):
+        graph = synthetic_task_graph(50, 4, seed=1)
+        blocks = graph.data_blocks()
+        for task in graph.tasks:
+            for ref in (*task.reads, *task.writes):
+                assert ref in blocks
+
+    def test_non_dense_ids_rejected(self):
+        t = TaskSpec(5, (0, 0, 0, 0), 1.0, ((0, 0),), ((0, 0),))
+        with pytest.raises(ConfigurationError, match="dense"):
+            TaskGraph((t,), BlockStructure.uniform(4, 4), 0.0)
+
+    def test_cost_summary_empty_graph(self):
+        graph = TaskGraph((), BlockStructure.uniform(4, 4), 0.0)
+        assert graph.cost_summary()["n_tasks"] == 0
+
+
+class TestSyntheticTaskGraph:
+    def test_shape(self):
+        graph = synthetic_task_graph(500, 10, seed=0)
+        assert graph.n_tasks == 500
+        assert graph.blocks.n_blocks == 10
+
+    def test_seed_reproducible(self):
+        a = synthetic_task_graph(100, 8, seed=5)
+        b = synthetic_task_graph(100, 8, seed=5)
+        np.testing.assert_array_equal(a.costs, b.costs)
+
+    def test_skew_controls_cv(self):
+        flat = synthetic_task_graph(2000, 8, seed=0, skew=0.1)
+        spiky = synthetic_task_graph(2000, 8, seed=0, skew=2.0)
+        assert spiky.cost_summary()["cv"] > flat.cost_summary()["cv"]
+
+    @given(st.integers(1, 100), st.integers(1, 10))
+    @settings(max_examples=20, deadline=None)
+    def test_quartets_in_range(self, n_tasks, n_blocks):
+        graph = synthetic_task_graph(n_tasks, n_blocks, seed=0)
+        for task in graph.tasks:
+            assert all(0 <= b < n_blocks for b in task.quartet)
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            synthetic_task_graph(0, 4)
+        with pytest.raises(ConfigurationError):
+            synthetic_task_graph(4, 0)

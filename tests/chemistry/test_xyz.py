@@ -1,0 +1,66 @@
+import numpy as np
+import pytest
+
+from repro.chemistry import Molecule, from_xyz, to_xyz, water_cluster
+from repro.util import ConfigurationError
+
+
+class TestXyzRoundTrip:
+    def test_round_trip_preserves_geometry(self):
+        mol = water_cluster(2, seed=3)
+        back = from_xyz(to_xyz(mol))
+        assert back.symbols == mol.symbols
+        np.testing.assert_allclose(back.coords, mol.coords, atol=1e-9)
+
+    def test_comment_line(self):
+        text = to_xyz(water_cluster(1), comment="one water")
+        assert text.splitlines()[1] == "one water"
+
+    def test_charge_preserved_via_argument(self):
+        mol = Molecule(("O",), np.zeros((1, 3)), charge=-2)
+        back = from_xyz(to_xyz(mol), charge=-2)
+        assert back.n_electrons == mol.n_electrons
+
+    def test_multiline_comment_rejected(self):
+        with pytest.raises(ConfigurationError, match="single line"):
+            to_xyz(water_cluster(1), comment="a\nb")
+
+
+class TestXyzParsing:
+    def test_parses_hand_written(self):
+        text = "2\nhydrogen molecule\nH 0.0 0.0 0.0\nH 0.74 0.0 0.0\n"
+        mol = from_xyz(text)
+        assert mol.symbols == ("H", "H")
+        assert mol.coords[1, 0] == pytest.approx(0.74 * 1.8897259886)
+
+    def test_extra_columns_ignored(self):
+        text = "1\n\nO 0.0 0.0 0.0 extra stuff\n"
+        assert from_xyz(text).symbols == ("O",)
+
+    def test_trailing_blank_lines_ok(self):
+        text = "1\n\nO 0.0 0.0 0.0\n\n\n"
+        assert from_xyz(text).n_atoms == 1
+
+    def test_too_few_lines_rejected(self):
+        with pytest.raises(ConfigurationError, match="count line"):
+            from_xyz("3")
+
+    def test_bad_count_rejected(self):
+        with pytest.raises(ConfigurationError, match="atom count"):
+            from_xyz("three\n\nO 0 0 0\n")
+
+    def test_missing_atoms_rejected(self):
+        with pytest.raises(ConfigurationError, match="declares 2"):
+            from_xyz("2\n\nO 0 0 0\n")
+
+    def test_bad_coordinate_rejected(self):
+        with pytest.raises(ConfigurationError, match="coordinate line"):
+            from_xyz("1\n\nO 0 zero 0\n")
+
+    def test_short_coordinate_line_rejected(self):
+        with pytest.raises(ConfigurationError, match="coordinate line"):
+            from_xyz("1\n\nO 0 0\n")
+
+    def test_unknown_element_propagates(self):
+        with pytest.raises(ConfigurationError, match="unsupported"):
+            from_xyz("1\n\nZz 0 0 0\n")

@@ -1,0 +1,47 @@
+import pytest
+
+from repro.core import MACHINE_PRESETS, StudyConfig
+from repro.simulate import StaticHeterogeneity
+from repro.util import ConfigurationError
+
+
+class TestStudyConfig:
+    def test_defaults_valid(self):
+        config = StudyConfig()
+        assert "work_stealing" in config.models
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown model"):
+            StudyConfig(models=("warp_drive",))
+
+    def test_empty_models_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StudyConfig(models=())
+
+    def test_bad_rank_counts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StudyConfig(n_ranks=(0,))
+        with pytest.raises(ConfigurationError):
+            StudyConfig(n_ranks=())
+
+    def test_unknown_machine_rejected(self):
+        with pytest.raises(ConfigurationError, match="preset"):
+            StudyConfig(machine="quantum")
+
+    def test_machine_for_builds_spec(self):
+        config = StudyConfig(n_ranks=(8,))
+        spec = config.machine_for(8)
+        assert spec.n_ranks == 8
+
+    def test_variability_applied(self):
+        config = StudyConfig(variability=StaticHeterogeneity([0], 0.5))
+        spec = config.machine_for(4)
+        assert spec.compute_seconds(0, 1e9, 0) == 2 * spec.compute_seconds(1, 1e9, 0)
+
+    def test_presets_registered(self):
+        assert set(MACHINE_PRESETS) == {"commodity", "fast_network", "smp16"}
+
+    def test_smp16_preset_has_topology(self):
+        spec = MACHINE_PRESETS["smp16"](64)
+        assert spec.cores_per_node == 16
+        assert spec.n_nodes == 4

@@ -1,0 +1,30 @@
+from repro.core import format_table
+
+
+class TestFormatTable:
+    def test_empty(self):
+        assert "(empty)" in format_table([])
+
+    def test_title_included(self):
+        out = format_table([{"a": 1}], title="My Table")
+        assert out.startswith("My Table")
+
+    def test_columns_aligned(self):
+        out = format_table([{"name": "x", "value": 1.0}, {"name": "longer", "value": 22.5}])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert len(set(map(len, lines[2:]))) <= 2  # padded rows
+
+    def test_explicit_column_selection(self):
+        out = format_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in out.splitlines()[0]
+
+    def test_float_formatting(self):
+        out = format_table([{"x": 0.000123456, "y": 123456.7, "z": 1.5}])
+        assert "1.235e-04" in out
+        assert "1.235e+05" in out
+        assert "1.5" in out
+
+    def test_missing_cell_blank(self):
+        out = format_table([{"a": 1}, {"b": 2}], columns=["a", "b"])
+        assert out  # renders without KeyError

@@ -1,0 +1,58 @@
+import numpy as np
+import pytest
+
+from repro.core import StudyConfig, StudyReport, run_study
+from repro.util import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def report(synthetic_graph_module):
+    config = StudyConfig(
+        models=("static_block", "work_stealing"), n_ranks=(4, 8), seed=0
+    )
+    return run_study(config, graph=synthetic_graph_module)
+
+
+@pytest.fixture(scope="module")
+def synthetic_graph_module():
+    from repro.chemistry.tasks import synthetic_task_graph
+
+    return synthetic_task_graph(300, 12, seed=7, skew=1.3)
+
+
+class TestStudyReport:
+    def test_models_listed(self, report):
+        assert set(report.models) == {"static_block", "work_stealing"}
+
+    def test_missing_cell_raises(self, report):
+        with pytest.raises(ConfigurationError, match="no result"):
+            report.get("static_block", 999)
+
+    def test_rows_have_expected_columns(self, report):
+        rows = report.rows()
+        assert len(rows) == 4
+        for row in rows:
+            for col in ("model", "P", "makespan_ms", "speedup", "imbalance"):
+                assert col in row
+
+    def test_breakdown_percentages_sum_to_100(self, report):
+        for row in report.rows():
+            total = row["compute%"] + row["comm%"] + row["overhead%"] + row["idle%"]
+            assert total == pytest.approx(100.0, abs=0.01)
+
+    def test_series_sorted_by_rank_count(self, report):
+        ps, ts = report.series("work_stealing")
+        np.testing.assert_array_equal(ps, [4, 8])
+        assert np.all(ts > 0)
+
+    def test_series_unknown_model_raises(self, report):
+        with pytest.raises(ConfigurationError):
+            report.series("nope")
+
+    def test_improvement_ratio(self, report):
+        ratio = report.improvement("work_stealing", "static_block", 8)
+        assert ratio > 1.0
+
+    def test_makespan_decreases_with_ranks(self, report):
+        _, ts = report.series("work_stealing")
+        assert ts[1] < ts[0]

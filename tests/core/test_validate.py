@@ -1,0 +1,68 @@
+import numpy as np
+import pytest
+
+from repro.chemistry import build_symmetric_task_graph
+from repro.core import validate_assignment, validate_run
+from repro.exec_models import make_model
+from repro.simulate import commodity_cluster
+from repro.util import ConfigurationError, SchedulingError
+
+
+class TestValidateAssignment:
+    def test_valid_schedule_passes(self, small_problem):
+        rng = np.random.default_rng(0)
+        assignment = rng.integers(0, 6, size=small_problem.graph.n_tasks)
+        report = validate_assignment(small_problem, assignment, 6)
+        assert report.passed
+        assert report.max_abs_error < 1e-10 * max(report.reference_scale, 1.0)
+
+    def test_symmetric_schedule_passes(self, small_problem):
+        folded = build_symmetric_task_graph(
+            small_problem.basis, small_problem.blocks, small_problem.screen,
+            tau=small_problem.graph.tau,
+        )
+        rng = np.random.default_rng(1)
+        assignment = rng.integers(0, 4, size=folded.n_tasks)
+        report = validate_assignment(
+            small_problem, assignment, 4, graph=folded, symmetric=True
+        )
+        assert report.passed
+
+    def test_wrong_shape_rejected(self, small_problem):
+        with pytest.raises(ConfigurationError):
+            validate_assignment(small_problem, np.zeros(3, dtype=int), 2)
+
+    def test_out_of_range_rank_rejected(self, small_problem):
+        assignment = np.zeros(small_problem.graph.n_tasks, dtype=int)
+        assignment[0] = 9
+        with pytest.raises(SchedulingError):
+            validate_assignment(small_problem, assignment, 4)
+
+    def test_explicit_density_used(self, small_problem):
+        n = small_problem.basis.n_basis
+        density = np.eye(n) * 0.5
+        assignment = np.zeros(small_problem.graph.n_tasks, dtype=int)
+        report = validate_assignment(small_problem, assignment, 1, density=density)
+        assert report.passed
+
+    def test_bad_density_shape_rejected(self, small_problem):
+        assignment = np.zeros(small_problem.graph.n_tasks, dtype=int)
+        with pytest.raises(ConfigurationError, match="density"):
+            validate_assignment(small_problem, assignment, 1, density=np.zeros((2, 2)))
+
+    def test_deterministic_given_seed(self, small_problem):
+        assignment = np.zeros(small_problem.graph.n_tasks, dtype=int)
+        a = validate_assignment(small_problem, assignment, 1, seed=7)
+        b = validate_assignment(small_problem, assignment, 1, seed=7)
+        assert a.max_abs_error == b.max_abs_error
+
+
+class TestValidateRun:
+    @pytest.mark.parametrize("model_name", ["work_stealing", "counter_dynamic"])
+    def test_simulated_runs_validate(self, small_problem, model_name):
+        machine = commodity_cluster(8)
+        result = make_model(model_name).run(small_problem.graph, machine, seed=2)
+        report = validate_run(small_problem, result)
+        assert report.passed
+        assert report.n_ranks == 8
+        assert report.n_tasks == small_problem.graph.n_tasks

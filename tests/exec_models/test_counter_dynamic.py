@@ -1,0 +1,74 @@
+import numpy as np
+import pytest
+
+from repro.chemistry.tasks import synthetic_task_graph
+from repro.exec_models import CounterDynamic, StaticBlock
+from repro.simulate import commodity_cluster
+from repro.util import ConfigurationError
+
+
+class TestCounterDynamic:
+    def test_all_tasks_execute(self, synthetic_graph, machine16):
+        result = CounterDynamic().run(synthetic_graph, machine16)
+        assert result.assignment.min() >= 0  # validated exactly-once by harness
+
+    def test_balances_better_than_static_block(self, synthetic_graph, machine16):
+        static = StaticBlock().run(synthetic_graph, machine16)
+        dynamic = CounterDynamic().run(synthetic_graph, machine16)
+        assert dynamic.compute_imbalance < static.compute_imbalance
+
+    def test_chunking_reduces_claims(self, synthetic_graph, machine16):
+        fine = CounterDynamic(chunk=1).run(synthetic_graph, machine16)
+        coarse = CounterDynamic(chunk=8).run(synthetic_graph, machine16)
+        assert coarse.counters["claims"] < fine.counters["claims"]
+
+    def test_chunk_claim_count_bound(self, synthetic_graph, machine16):
+        chunk = 8
+        result = CounterDynamic(chunk=chunk).run(synthetic_graph, machine16)
+        n = synthetic_graph.n_tasks
+        # ceil(n/chunk) useful claims plus at most one overflow claim/rank.
+        assert result.counters["claims"] <= -(-n // chunk) + 16
+
+    def test_fetch_add_count_matches_claims(self, synthetic_graph, machine16):
+        result = CounterDynamic(chunk=4).run(synthetic_graph, machine16)
+        assert result.network["fetch_adds"] == result.counters["claims"]
+
+    def test_desc_cost_order_executes_heavy_first(self, machine4):
+        graph = synthetic_task_graph(60, 4, seed=1, skew=1.5)
+        result = CounterDynamic(order="desc_cost").run(graph, machine4)
+        heavy = int(np.argmax(graph.costs))
+        # The single heaviest task must be among the first claimed.
+        start_rank = np.argsort(result.task_starts)
+        assert heavy in start_rank[:4]
+
+    def test_overhead_traced(self, synthetic_graph, machine16):
+        result = CounterDynamic().run(synthetic_graph, machine16)
+        assert result.breakdown["overhead"].sum() > 0
+
+    def test_contention_grows_with_ranks(self):
+        graph = synthetic_task_graph(3000, 16, seed=0, skew=0.3)
+        overheads = []
+        for p in (8, 64):
+            r = CounterDynamic().run(graph, commodity_cluster(p))
+            overheads.append(r.breakdown_fractions()["overhead"])
+        assert overheads[1] > overheads[0]
+
+    def test_home_rank_configurable(self, synthetic_graph, machine16):
+        result = CounterDynamic(home_rank=7).run(synthetic_graph, machine16)
+        assert result.makespan > 0
+
+    def test_invalid_home_rank_rejected(self, synthetic_graph, machine4):
+        with pytest.raises(ConfigurationError, match="home_rank"):
+            CounterDynamic(home_rank=10).run(synthetic_graph, machine4)
+
+    def test_invalid_chunk_rejected(self):
+        with pytest.raises(ValueError):
+            CounterDynamic(chunk=0)
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CounterDynamic(order="random")
+
+    def test_single_rank_runs(self, synthetic_graph):
+        result = CounterDynamic().run(synthetic_graph, commodity_cluster(1))
+        assert result.mean_utilization > 0.5

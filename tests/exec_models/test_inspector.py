@@ -1,0 +1,64 @@
+import numpy as np
+import pytest
+
+from repro.balance import lpt
+from repro.exec_models import InspectorExecutor, StaticBlock, make_model
+from repro.util import ConfigurationError
+
+
+class TestInspectorExecutor:
+    def test_uses_balancer_assignment(self, synthetic_graph, machine16):
+        def balancer(graph, n_ranks, distribution):
+            return lpt(graph.costs, n_ranks)
+
+        model = InspectorExecutor(balancer, name="inspector(test)")
+        result = model.run(synthetic_graph, machine16)
+        np.testing.assert_array_equal(result.assignment, lpt(synthetic_graph.costs, 16))
+
+    def test_balancer_cost_measured(self, synthetic_graph, machine16):
+        model = InspectorExecutor(lambda g, p, d: lpt(g.costs, p))
+        result = model.run(synthetic_graph, machine16)
+        assert result.counters["balancer_seconds"] > 0
+        assert model.last_balancer_seconds == result.counters["balancer_seconds"]
+
+    def test_balancer_receives_distribution(self, synthetic_graph, machine16):
+        seen = {}
+
+        def balancer(graph, n_ranks, distribution):
+            seen["dist"] = distribution
+            return lpt(graph.costs, n_ranks)
+
+        InspectorExecutor(balancer).run(synthetic_graph, machine16)
+        assert seen["dist"].n_ranks == 16
+        assert seen["dist"].n_blocks == synthetic_graph.blocks.n_blocks
+
+    def test_beats_static_block_on_skew(self, synthetic_graph, machine16):
+        static = StaticBlock().run(synthetic_graph, machine16)
+        inspector = make_model("inspector_lpt").run(synthetic_graph, machine16)
+        assert inspector.makespan < static.makespan
+
+    def test_bad_balancer_output_rejected(self, synthetic_graph, machine16):
+        model = InspectorExecutor(
+            lambda g, p, d: np.zeros(3, dtype=np.int64), name="broken"
+        )
+        with pytest.raises(Exception, match="covers"):
+            model.run(synthetic_graph, machine16)
+
+
+class TestRegisteredInspectors:
+    @pytest.mark.parametrize(
+        "name",
+        ["inspector_lpt", "inspector_locality", "inspector_semi_matching"],
+    )
+    def test_registered_inspectors_run(self, name, synthetic_graph, machine16):
+        result = make_model(name).run(synthetic_graph, machine16)
+        assert result.n_tasks == synthetic_graph.n_tasks
+        assert result.compute_imbalance < 1.5
+
+    def test_hypergraph_inspector_runs_small(self, machine4):
+        from repro.chemistry.tasks import synthetic_task_graph
+
+        graph = synthetic_task_graph(120, 8, seed=2)
+        result = make_model("inspector_hypergraph").run(graph, machine4)
+        assert result.n_tasks == 120
+        assert result.counters["balancer_seconds"] > 0

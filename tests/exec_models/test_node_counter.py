@@ -1,0 +1,101 @@
+import numpy as np
+import pytest
+
+from repro.chemistry.tasks import TaskGraph, TaskSpec, synthetic_task_graph
+from repro.exec_models import CounterDynamic, CounterPerNode, make_model
+from repro.simulate import commodity_cluster, hierarchical_cluster
+from repro.util import ConfigurationError
+
+
+@pytest.fixture
+def smp_machine():
+    return hierarchical_cluster(4, cores_per_node=4)  # 16 ranks
+
+
+class TestCounterPerNode:
+    def test_all_tasks_execute(self, synthetic_graph, smp_machine):
+        result = CounterPerNode().run(synthetic_graph, smp_machine)
+        assert result.n_tasks == synthetic_graph.n_tasks
+
+    def test_requires_topology(self, synthetic_graph):
+        with pytest.raises(ConfigurationError, match="node topology"):
+            CounterPerNode().run(synthetic_graph, commodity_cluster(16))
+
+    def test_node_partition_respected(self, synthetic_graph, smp_machine):
+        result = CounterPerNode().run(synthetic_graph, smp_machine)
+        n_tasks = synthetic_graph.n_tasks
+        bounds = np.linspace(0, n_tasks, 5).astype(int)
+        for node in range(4):
+            lo, hi = bounds[node], bounds[node + 1]
+            ranks = set(result.assignment[lo:hi])
+            assert ranks <= set(range(node * 4, node * 4 + 4))
+
+    def test_less_overhead_than_central_counter(self, smp_machine):
+        graph = synthetic_task_graph(4000, 16, seed=3, skew=0.4, mean_cost=1e5)
+        central = CounterDynamic().run(graph, smp_machine)
+        per_node = CounterPerNode().run(graph, smp_machine)
+        assert (
+            per_node.breakdown_fractions()["overhead"]
+            < central.breakdown_fractions()["overhead"]
+        )
+
+    def test_loses_global_balance_under_correlated_skew(self, smp_machine):
+        """The paper's point: hierarchical counters fix contention but
+        forfeit global dynamic balancing."""
+        base = synthetic_task_graph(800, 16, seed=5, skew=0.0)
+        # First quarter of the task range is 8x heavier: node 0 drowns.
+        tasks = [
+            TaskSpec(t.tid, t.quartet, 8.0e6 if t.tid < 200 else 1.0e6, t.reads, t.writes)
+            for t in base.tasks
+        ]
+        graph = TaskGraph(tuple(tasks), base.blocks, 0.0)
+        central = CounterDynamic().run(graph, smp_machine)
+        per_node = CounterPerNode().run(graph, smp_machine)
+        assert per_node.makespan > 1.5 * central.makespan
+
+    def test_cost_partition_fixes_known_skew(self, smp_machine):
+        base = synthetic_task_graph(800, 16, seed=5, skew=0.0)
+        tasks = [
+            TaskSpec(t.tid, t.quartet, 8.0e6 if t.tid < 200 else 1.0e6, t.reads, t.writes)
+            for t in base.tasks
+        ]
+        graph = TaskGraph(tuple(tasks), base.blocks, 0.0)
+        naive = CounterPerNode(partition="block").run(graph, smp_machine)
+        informed = CounterPerNode(partition="cost").run(graph, smp_machine)
+        assert informed.makespan < 0.7 * naive.makespan
+
+    def test_invalid_partition_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CounterPerNode(partition="random")
+
+    def test_registry_names(self, synthetic_graph, smp_machine):
+        for name in ("counter_per_node", "counter_per_node_cost"):
+            result = make_model(name).run(synthetic_graph, smp_machine)
+            assert result.n_tasks == synthetic_graph.n_tasks
+
+
+class TestHierarchicalStealing:
+    def test_runs_and_completes(self, synthetic_graph, smp_machine):
+        result = make_model("work_stealing_hier").run(synthetic_graph, smp_machine)
+        assert result.n_tasks == synthetic_graph.n_tasks
+
+    def test_prefers_local_victims(self, smp_machine):
+        from repro.exec_models import WorkStealing
+
+        graph = synthetic_task_graph(600, 16, seed=9, skew=1.5)
+        result = WorkStealing(victim="hierarchical").run(graph, smp_machine, seed=2)
+        # Steal traffic exists and the run is correct; locality preference
+        # shows up as cheaper protocol time vs pure-random at same scale.
+        flat = WorkStealing(victim="random").run(graph, smp_machine, seed=2)
+        assert result.counters["steal_successes"] > 0
+        assert (
+            result.breakdown["overhead"].sum() <= flat.breakdown["overhead"].sum() * 1.2
+        )
+
+    def test_flat_machine_falls_back_to_random(self, synthetic_graph):
+        from repro.exec_models import WorkStealing
+
+        result = WorkStealing(victim="hierarchical").run(
+            synthetic_graph, commodity_cluster(8), seed=1
+        )
+        assert result.n_tasks == synthetic_graph.n_tasks

@@ -1,0 +1,128 @@
+"""Direct tests of the token-ring termination protocol, driven by
+scripted rank processes (no work stealing involved)."""
+
+import pytest
+
+from repro.exec_models.termination import TERMINATE_TAG, TOKEN_TAG, TokenRing
+from repro.runtime.comm import RankContext
+from repro.runtime.trace import TraceRecorder
+from repro.simulate.engine import Engine
+from repro.simulate.machine import MachineSpec
+from repro.simulate.network import Network
+
+
+def make_world(n_ranks):
+    engine = Engine()
+    machine = MachineSpec(n_ranks=n_ranks)
+    network = Network(engine, machine.network, n_ranks)
+    trace = TraceRecorder(n_ranks)
+    ctxs = [RankContext(r, engine, network, machine, trace) for r in range(n_ranks)]
+    return engine, ctxs
+
+
+def idle_rank(ring, ctx, declared):
+    """A rank that is permanently idle: launches/forwards tokens until
+    termination."""
+    yield from ring.maybe_launch(ctx)
+    while True:
+        message = yield from ctx.recv(traced=False)
+        if message.tag == TERMINATE_TAG:
+            return
+        if message.tag == TOKEN_TAG:
+            done = yield from ring.handle_token(ctx, message.payload)
+            if done:
+                declared.append(ctx.rank)
+                return
+
+
+class TestAllIdleTerminates:
+    @pytest.mark.parametrize("n_ranks", [2, 3, 8])
+    def test_clean_system_terminates(self, n_ranks):
+        engine, ctxs = make_world(n_ranks)
+        ring = TokenRing(n_ranks)
+        declared = []
+        for ctx in ctxs:
+            engine.process(idle_rank(ring, ctx, declared), name=f"rank{ctx.rank}")
+        engine.run()
+        assert ring.terminated
+        assert len(declared) == 1
+
+    def test_hop_count_bounded(self):
+        n = 6
+        engine, ctxs = make_world(n)
+        ring = TokenRing(n)
+        declared = []
+        for ctx in ctxs:
+            engine.process(idle_rank(ring, ctx, declared), name=f"rank{ctx.rank}")
+        engine.run()
+        # Exactly 2 clean rounds (2n hops) when nothing is ever dirty.
+        assert ring.hops == 2 * n
+
+
+class TestDirtyDelaysTermination:
+    def test_dirty_rank_resets_count(self):
+        n = 4
+        engine, ctxs = make_world(n)
+        ring = TokenRing(n)
+        declared = []
+
+        def dirty_once_rank(ctx):
+            yield from ring.maybe_launch(ctx)
+            first = True
+            while True:
+                message = yield from ctx.recv(traced=False)
+                if message.tag == TERMINATE_TAG:
+                    return
+                if message.tag == TOKEN_TAG:
+                    if first and ctx.rank == 2:
+                        ring.mark_dirty(ctx.rank)
+                        first = False
+                    done = yield from ring.handle_token(ctx, message.payload)
+                    if done:
+                        declared.append(ctx.rank)
+                        return
+
+        for ctx in ctxs:
+            engine.process(dirty_once_rank(ctx), name=f"rank{ctx.rank}")
+        engine.run()
+        assert ring.terminated
+        # One reset forces more than the minimal 2n hops.
+        assert ring.hops > 2 * n
+
+    def test_busy_rank_holds_token(self):
+        """A rank that stays busy for a while stalls the token; termination
+        happens only after it goes idle."""
+        n = 3
+        engine, ctxs = make_world(n)
+        ring = TokenRing(n)
+        declared = []
+        busy_until = 0.01
+
+        def busy_rank(ctx):
+            # Busy: do not touch the mailbox until busy_until.
+            yield from ctx.sleep(busy_until)
+            yield from idle_rank(ring, ctx, declared)
+
+        engine.process(idle_rank(ring, ctxs[0], declared), name="rank0")
+        engine.process(busy_rank(ctxs[1]), name="rank1")
+        engine.process(idle_rank(ring, ctxs[2], declared), name="rank2")
+        end = engine.run()
+        assert ring.terminated
+        assert end >= busy_until
+
+
+class TestValidation:
+    def test_positive_ranks_required(self):
+        with pytest.raises(ValueError):
+            TokenRing(0)
+
+    def test_single_rank_never_launches(self):
+        engine, ctxs = make_world(1)
+        ring = TokenRing(1)
+
+        def proc(ctx):
+            yield from ring.maybe_launch(ctx)
+
+        engine.process(proc(ctxs[0]))
+        engine.run()
+        assert not ring.launched

@@ -1,0 +1,95 @@
+import pytest
+
+from repro.runtime.comm import RankContext
+from repro.runtime.counter import GlobalCounter
+from repro.runtime.trace import OVERHEAD, TraceRecorder
+from repro.simulate.engine import Engine
+from repro.simulate.machine import MachineSpec
+from repro.simulate.network import Network
+from repro.util import ConfigurationError
+
+
+def make_world(n_ranks=4):
+    engine = Engine()
+    machine = MachineSpec(n_ranks=n_ranks)
+    network = Network(engine, machine.network, n_ranks)
+    trace = TraceRecorder(n_ranks)
+    ctxs = [RankContext(r, engine, network, machine, trace) for r in range(n_ranks)]
+    return engine, ctxs, trace
+
+
+class TestGlobalCounter:
+    def test_sequential_claims(self):
+        engine, ctxs, _ = make_world()
+        counter = GlobalCounter(0)
+        claimed = []
+
+        def proc(ctx):
+            for _ in range(3):
+                value = yield from counter.next(ctx)
+                claimed.append(value)
+
+        engine.process(proc(ctxs[1]))
+        engine.run()
+        assert claimed == [0, 1, 2]
+
+    def test_concurrent_claims_unique(self):
+        engine, ctxs, _ = make_world(8)
+        counter = GlobalCounter(0)
+        claimed = []
+
+        def proc(ctx):
+            value = yield from counter.next(ctx)
+            claimed.append(value)
+
+        for ctx in ctxs:
+            engine.process(proc(ctx))
+        engine.run()
+        assert sorted(claimed) == list(range(8))
+
+    def test_chunked_claiming(self):
+        engine, ctxs, _ = make_world()
+        counter = GlobalCounter(0)
+        firsts = []
+
+        def proc(ctx):
+            for _ in range(2):
+                first = yield from counter.next(ctx, amount=10)
+                firsts.append(first)
+
+        engine.process(proc(ctxs[0]))
+        engine.run()
+        assert firsts == [0, 10]
+        assert counter.value == 20
+
+    def test_reset(self):
+        counter = GlobalCounter(0)
+        counter.cell.value = 99
+        counter.reset()
+        assert counter.value == 0
+
+    def test_claims_traced_as_overhead(self):
+        engine, ctxs, trace = make_world()
+        counter = GlobalCounter(0)
+
+        def proc(ctx):
+            yield from counter.next(ctx)
+
+        engine.process(proc(ctxs[2]))
+        engine.run()
+        assert trace.total(OVERHEAD)[2] > 0
+
+    def test_invalid_amount_rejected(self):
+        engine, ctxs, _ = make_world()
+        counter = GlobalCounter(0)
+
+        def proc(ctx):
+            yield from counter.next(ctx, amount=0)
+
+        engine.process(proc(ctxs[0]))
+        with pytest.raises(ConfigurationError):
+            engine.run()
+
+    def test_negative_home_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GlobalCounter(-1)

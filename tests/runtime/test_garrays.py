@@ -1,0 +1,78 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.chemistry.basis import BlockStructure
+from repro.runtime.garrays import BlockDistribution, GlobalBlockedMatrix
+from repro.util import ConfigurationError
+
+
+class TestBlockDistribution:
+    def test_cyclic_covers_all_ranks(self):
+        dist = BlockDistribution(8, 4, "cyclic")
+        owners = {dist.owner((i, j)) for i in range(8) for j in range(8)}
+        assert owners == set(range(4))
+
+    def test_cyclic_formula(self):
+        dist = BlockDistribution(5, 3, "cyclic")
+        assert dist.owner((1, 2)) == (1 * 5 + 2) % 3
+
+    def test_row_scheme_contiguous(self):
+        dist = BlockDistribution(8, 4, "row")
+        for i in range(8):
+            owner = dist.owner((i, 0))
+            assert owner == min(i // 2, 3)
+            # Whole row has one owner.
+            assert all(dist.owner((i, j)) == owner for j in range(8))
+
+    def test_row_scheme_more_ranks_than_rows(self):
+        dist = BlockDistribution(2, 8, "row")
+        assert {dist.owner((i, j)) for i in range(2) for j in range(2)} <= {0, 1}
+
+    def test_out_of_range_block_rejected(self):
+        dist = BlockDistribution(4, 2)
+        with pytest.raises(ConfigurationError):
+            dist.owner((4, 0))
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BlockDistribution(4, 2, scheme="diagonal")
+
+    @given(st.integers(1, 20), st.integers(1, 64))
+    @settings(max_examples=30, deadline=None)
+    def test_owner_always_valid(self, n_blocks, n_ranks):
+        dist = BlockDistribution(n_blocks, n_ranks)
+        for i in range(min(n_blocks, 5)):
+            for j in range(min(n_blocks, 5)):
+                assert 0 <= dist.owner((i, j)) < n_ranks
+
+    def test_owner_matrix_matches_owner(self):
+        dist = BlockDistribution(5, 3)
+        mat = dist.owner_matrix()
+        for i in range(5):
+            for j in range(5):
+                assert mat[i, j] == dist.owner((i, j))
+
+    def test_cyclic_balance(self):
+        dist = BlockDistribution(12, 8, "cyclic")
+        counts = np.bincount(dist.owner_matrix().ravel(), minlength=8)
+        assert counts.max() - counts.min() <= 1
+
+
+class TestGlobalBlockedMatrix:
+    def test_nbytes(self):
+        blocks = BlockStructure.uniform(10, 4)  # sizes 4,4,2
+        ga = GlobalBlockedMatrix("D", blocks, BlockDistribution(3, 2))
+        assert ga.nbytes((0, 1)) == 4 * 4 * 8
+        assert ga.nbytes((2, 2)) == 2 * 2 * 8
+
+    def test_distribution_size_mismatch_rejected(self):
+        blocks = BlockStructure.uniform(10, 4)
+        with pytest.raises(ConfigurationError, match="covers"):
+            GlobalBlockedMatrix("D", blocks, BlockDistribution(5, 2))
+
+    def test_owner_delegates(self):
+        blocks = BlockStructure.uniform(8, 4)
+        dist = BlockDistribution(2, 2)
+        ga = GlobalBlockedMatrix("F", blocks, dist)
+        assert ga.owner((1, 0)) == dist.owner((1, 0))

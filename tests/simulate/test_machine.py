@@ -1,0 +1,53 @@
+import pytest
+
+from repro.simulate import (
+    MachineSpec,
+    StaticHeterogeneity,
+    commodity_cluster,
+    fast_network_cluster,
+)
+from repro.util import ConfigurationError
+
+
+class TestMachineSpec:
+    def test_compute_seconds_nominal(self):
+        spec = MachineSpec(n_ranks=4, flops_per_second=2.0e9)
+        assert spec.compute_seconds(0, 4.0e9, 0.0) == pytest.approx(2.0)
+
+    def test_compute_seconds_respects_variability(self):
+        spec = MachineSpec(
+            n_ranks=4,
+            flops_per_second=1.0e9,
+            variability=StaticHeterogeneity([2], 0.5),
+        )
+        assert spec.compute_seconds(2, 1.0e9, 0.0) == pytest.approx(2.0)
+        assert spec.compute_seconds(0, 1.0e9, 0.0) == pytest.approx(1.0)
+
+    def test_rejects_non_positive_ranks(self):
+        with pytest.raises(ConfigurationError):
+            MachineSpec(n_ranks=0)
+
+    def test_with_ranks_copies(self):
+        spec = commodity_cluster(8)
+        bigger = spec.with_ranks(64)
+        assert bigger.n_ranks == 64
+        assert bigger.network == spec.network
+        assert spec.n_ranks == 8  # original untouched
+
+    def test_with_variability_copies(self):
+        spec = commodity_cluster(8)
+        het = spec.with_variability(StaticHeterogeneity([0], 0.5))
+        assert het.compute_seconds(0, 1e9, 0) == 2 * spec.compute_seconds(0, 1e9, 0)
+
+
+class TestPresets:
+    def test_commodity_shape(self):
+        spec = commodity_cluster(128)
+        assert spec.n_ranks == 128
+        assert spec.flops_per_second > 0
+
+    def test_fast_network_is_faster(self):
+        slow = commodity_cluster(4).network
+        fast = fast_network_cluster(4).network
+        assert fast.latency < slow.latency
+        assert fast.bandwidth > slow.bandwidth

@@ -1,0 +1,81 @@
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.simulate.noise import (
+    NoVariability,
+    RandomStaticVariability,
+    StaticHeterogeneity,
+    TransientSlowdown,
+)
+from repro.util import ConfigurationError
+
+
+class TestNoVariability:
+    @given(st.integers(0, 1000), st.floats(0, 1e6, allow_nan=False))
+    def test_always_unity(self, rank, time):
+        assert NoVariability().speed(rank, time) == 1.0
+
+
+class TestStaticHeterogeneity:
+    def test_slow_ranks_scaled(self):
+        model = StaticHeterogeneity([1, 3], 0.5)
+        assert model.speed(1, 0.0) == 0.5
+        assert model.speed(3, 99.0) == 0.5
+
+    def test_other_ranks_nominal(self):
+        model = StaticHeterogeneity([1], 0.5)
+        assert model.speed(0, 0.0) == 1.0
+
+    def test_zero_factor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StaticHeterogeneity([0], 0.0)
+
+
+class TestRandomStaticVariability:
+    def test_mean_normalized(self):
+        model = RandomStaticVariability(64, sigma=0.4, seed=3)
+        speeds = np.array([model.speed(r, 0.0) for r in range(64)])
+        assert speeds.mean() == pytest.approx(1.0)
+
+    def test_sigma_zero_is_homogeneous(self):
+        model = RandomStaticVariability(8, sigma=0.0, seed=0)
+        assert all(model.speed(r, 0.0) == pytest.approx(1.0) for r in range(8))
+
+    def test_deterministic_per_seed(self):
+        a = RandomStaticVariability(8, 0.3, seed=1)
+        b = RandomStaticVariability(8, 0.3, seed=1)
+        assert [a.speed(r, 0) for r in range(8)] == [b.speed(r, 0) for r in range(8)]
+
+    def test_seeds_differ(self):
+        a = RandomStaticVariability(8, 0.3, seed=1)
+        b = RandomStaticVariability(8, 0.3, seed=2)
+        assert [a.speed(r, 0) for r in range(8)] != [b.speed(r, 0) for r in range(8)]
+
+    def test_time_invariant(self):
+        model = RandomStaticVariability(4, 0.3, seed=1)
+        assert model.speed(2, 0.0) == model.speed(2, 1e6)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RandomStaticVariability(4, -0.1)
+
+
+class TestTransientSlowdown:
+    def test_window_applies_only_inside(self):
+        model = TransientSlowdown([(0, 1.0, 2.0, 0.5)])
+        assert model.speed(0, 0.5) == 1.0
+        assert model.speed(0, 1.5) == 0.5
+        assert model.speed(0, 2.0) == 1.0  # half-open interval
+
+    def test_other_rank_unaffected(self):
+        model = TransientSlowdown([(0, 1.0, 2.0, 0.5)])
+        assert model.speed(1, 1.5) == 1.0
+
+    def test_overlapping_windows_multiply(self):
+        model = TransientSlowdown([(0, 0.0, 10.0, 0.5), (0, 5.0, 10.0, 0.5)])
+        assert model.speed(0, 7.0) == pytest.approx(0.25)
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ConfigurationError, match="exceed start"):
+            TransientSlowdown([(0, 2.0, 1.0, 0.5)])

@@ -1,0 +1,64 @@
+import numpy as np
+import pytest
+
+from repro.simulate.noise import PeriodicThrottle
+from repro.util import ConfigurationError
+
+
+class TestPeriodicThrottle:
+    def test_duty_zero_never_throttles(self):
+        model = PeriodicThrottle(4, period=1.0, duty=0.0, factor=0.5)
+        times = np.linspace(0, 5, 50)
+        assert all(model.speed(1, t) == 1.0 for t in times)
+
+    def test_duty_one_always_throttles(self):
+        model = PeriodicThrottle(4, period=1.0, duty=1.0, factor=0.5)
+        times = np.linspace(0, 5, 50)
+        assert all(model.speed(1, t) == 0.5 for t in times)
+
+    def test_duty_fraction_of_time_throttled(self):
+        model = PeriodicThrottle(1, period=1.0, duty=0.25, factor=0.5, seed=3)
+        times = np.linspace(0, 100, 100_000)
+        speeds = np.array([model.speed(0, t) for t in times])
+        throttled_fraction = (speeds == 0.5).mean()
+        assert throttled_fraction == pytest.approx(0.25, abs=0.01)
+
+    def test_periodicity(self):
+        model = PeriodicThrottle(2, period=2.0, duty=0.5, factor=0.3, seed=1)
+        for t in (0.1, 0.7, 1.3, 1.9):
+            assert model.speed(0, t) == model.speed(0, t + 2.0)
+
+    def test_phases_decorrelated_across_ranks(self):
+        model = PeriodicThrottle(32, period=1.0, duty=0.5, factor=0.5, seed=0)
+        at_zero = [model.speed(r, 0.0) for r in range(32)]
+        assert len(set(at_zero)) == 2  # some throttled, some not
+
+    def test_affected_subset(self):
+        model = PeriodicThrottle(
+            8, period=1.0, duty=1.0, factor=0.5, affected=[2, 3]
+        )
+        assert model.speed(0, 0.0) == 1.0
+        assert model.speed(2, 0.0) == 0.5
+
+    def test_invalid_duty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PeriodicThrottle(4, period=1.0, duty=1.5, factor=0.5)
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ValueError):
+            PeriodicThrottle(4, period=0.0, duty=0.5, factor=0.5)
+
+    def test_integrates_with_execution_models(self):
+        from repro.chemistry.tasks import synthetic_task_graph
+        from repro.exec_models import make_model
+        from repro.simulate import commodity_cluster
+
+        graph = synthetic_task_graph(200, 8, seed=0, skew=0.8)
+        machine = commodity_cluster(
+            8,
+            variability=PeriodicThrottle(8, period=2e-3, duty=0.4, factor=0.5, seed=2),
+        )
+        clean = make_model("work_stealing").run(graph, commodity_cluster(8), seed=1)
+        noisy = make_model("work_stealing").run(graph, machine, seed=1)
+        assert noisy.makespan > clean.makespan  # throttling costs time
+        assert noisy.n_tasks == 200

@@ -1,0 +1,64 @@
+"""CLI smoke tests: every subcommand runs and reports sanely."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["study", "--models", "not_a_model"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["study"])
+        assert args.molecule == "water"
+        assert args.machine == "commodity"
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "execution models" in out
+        assert "work_stealing" in out
+
+    def test_workload(self, capsys):
+        assert main(["workload", "--size", "1", "--block-size", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "tasks" in out
+        assert "gini" in out
+
+    def test_study(self, capsys):
+        code = main(
+            [
+                "study", "--size", "1", "--block-size", "3",
+                "--ranks", "4", "--models", "static_block", "work_stealing",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "makespan_ms" in out
+        assert "work_stealing" in out
+
+    def test_scf_serial(self, capsys):
+        assert main(["scf", "--size", "1", "--block-size", "3"]) == 0
+        assert "converged" in capsys.readouterr().out
+
+    def test_scf_parallel(self, capsys):
+        code = main(["scf", "--size", "1", "--block-size", "3", "--workers", "2"])
+        assert code == 0
+
+    def test_validate(self, capsys):
+        code = main(
+            ["validate", "--size", "1", "--block-size", "3", "--ranks", "4"]
+        )
+        assert code == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_alkane_workload(self, capsys):
+        assert main(["workload", "--molecule", "alkane", "--size", "3"]) == 0

@@ -1,0 +1,108 @@
+"""The paper's four abstract claims as fast regression tests.
+
+The benchmark suite regenerates the full evaluation; these are compact
+versions sized for the unit-test run, so `pytest tests/` alone certifies
+that the reproduction's headline findings still hold. Claim mapping and
+full-size measurements: DESIGN.md / EXPERIMENTS.md.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.balance import (
+    hypergraph_balancer,
+    makespan_lower_bound,
+    rank_loads,
+    semi_matching_balancer,
+)
+from repro.core import StudyConfig, run_study
+from repro.exec_models import CounterDynamic, make_model
+from repro.runtime.garrays import BlockDistribution
+from repro.simulate import StaticHeterogeneity, commodity_cluster
+
+
+@pytest.fixture(scope="module")
+def study_graph(medium_problem):
+    return medium_problem.graph
+
+
+class TestClaimC1WorkStealingBeatsStatic:
+    """'a 50 percent improvement in performance by using work stealing
+    relative to a more traditional static scheduling approach'"""
+
+    def test_improvement_at_scale(self, study_graph):
+        report = run_study(
+            StudyConfig(models=("static_block", "work_stealing"), n_ranks=(32,), seed=0),
+            graph=study_graph,
+        )
+        assert report.improvement("work_stealing", "static_block", 32) > 1.3
+
+    def test_improvement_robust_across_seeds(self, study_graph):
+        machine = commodity_cluster(32)
+        static = make_model("static_block").run(study_graph, machine, seed=0)
+        gains = []
+        for seed in range(3):
+            stealing = make_model("work_stealing").run(study_graph, machine, seed=seed)
+            gains.append(static.makespan / stealing.makespan)
+        assert min(gains) > 1.25
+
+
+class TestClaimC2SemiMatching:
+    """'a novel semi-matching technique ... comparable performance to a
+    traditional hypergraph-based partitioning implementation, which is
+    computationally expensive'"""
+
+    def test_quality_comparable_cost_tiny(self, study_graph):
+        n_ranks = 24
+        dist = BlockDistribution(study_graph.blocks.n_blocks, n_ranks)
+        lb = makespan_lower_bound(study_graph.costs, n_ranks)
+
+        start = time.perf_counter()
+        sm = semi_matching_balancer(study_graph, n_ranks, dist)
+        sm_time = time.perf_counter() - start
+
+        start = time.perf_counter()
+        hg = hypergraph_balancer(study_graph, n_ranks, dist)
+        hg_time = time.perf_counter() - start
+
+        sm_quality = rank_loads(study_graph.costs, sm, n_ranks).max() / lb
+        hg_quality = rank_loads(study_graph.costs, hg, n_ranks).max() / lb
+        assert sm_quality <= hg_quality * 1.1 + 0.02
+        assert sm_time < hg_time / 5
+
+
+class TestClaimC3GranularityAndOverheads:
+    """'finding the correct balance between available work units and
+    different system and runtime overheads'"""
+
+    def test_counter_contention_and_chunk_mitigation(self):
+        from repro.chemistry.tasks import synthetic_task_graph
+
+        graph = synthetic_task_graph(8000, 16, seed=1, skew=0.4, mean_cost=5e4)
+        machine = commodity_cluster(128)
+        fine = CounterDynamic(chunk=1).run(graph, machine, seed=0)
+        chunked = CounterDynamic(chunk=16).run(graph, machine, seed=0)
+        fine_overhead = fine.breakdown_fractions()["overhead"]
+        chunked_overhead = chunked.breakdown_fractions()["overhead"]
+        assert fine_overhead > 0.15  # the counter saturates
+        assert chunked_overhead < fine_overhead / 3  # chunking mitigates
+        assert chunked.makespan < fine.makespan
+
+
+class TestClaimC4VariabilityRobustness:
+    """'emerging dynamic platforms with energy-induced performance
+    variability'"""
+
+    def test_dynamic_absorbs_slow_ranks(self, study_graph):
+        clean = commodity_cluster(32)
+        noisy = commodity_cluster(32, variability=StaticHeterogeneity(range(4), 0.4))
+        degradation = {}
+        for model_name in ("static_cyclic", "work_stealing"):
+            base = make_model(model_name).run(study_graph, clean, seed=2)
+            slowed = make_model(model_name).run(study_graph, noisy, seed=2)
+            degradation[model_name] = slowed.makespan / base.makespan
+        assert degradation["static_cyclic"] > 1.8
+        assert degradation["work_stealing"] < 1.3
+        assert degradation["work_stealing"] < degradation["static_cyclic"]

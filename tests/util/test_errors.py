@@ -1,0 +1,26 @@
+import pytest
+
+from repro.util import (
+    ConfigurationError,
+    PartitionError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+)
+
+
+@pytest.mark.parametrize(
+    "exc", [ConfigurationError, SimulationError, SchedulingError, PartitionError]
+)
+def test_all_derive_from_repro_error(exc):
+    assert issubclass(exc, ReproError)
+
+
+def test_configuration_error_is_value_error():
+    assert issubclass(ConfigurationError, ValueError)
+
+
+def test_runtime_family_are_runtime_errors():
+    assert issubclass(SimulationError, RuntimeError)
+    assert issubclass(SchedulingError, RuntimeError)
+    assert issubclass(PartitionError, RuntimeError)
