@@ -1,0 +1,112 @@
+"""E16: fault tolerance as an execution-model property.
+
+The dependability extension of claim C3: the same RMA/work-stealing
+machinery that absorbs performance *noise* also absorbs outright
+*failures*, while a static schedule can at best detect them. Three
+scenarios on one workload:
+
+- **baseline** — no faults, both fault-tolerant variants must reproduce
+  their plain counterparts bit for bit (the zero-overhead guarantee);
+- **crash** — one rank fail-stops ~30% in: ft_work_stealing replays the
+  orphans and still finishes everything (paying visible recovery
+  overhead), ft_static_block completes degraded;
+- **hostile** — a crash plus a straggler stall plus 1% message drop:
+  recovery must survive lost tokens and terminate messages too.
+"""
+
+import pytest
+
+from repro.chemistry.tasks import synthetic_task_graph
+from repro.core import format_table
+from repro.exec_models import make_model
+from repro.faults import FaultPlan, MessageFaults, RankCrash, StallWindow
+from repro.simulate import commodity_cluster
+
+N_RANKS = 16
+MODELS = ("ft_static_block", "ft_work_stealing")
+
+
+def build_graph():
+    return synthetic_task_graph(2000, 24, seed=7, skew=0.8)
+
+
+def scenarios(base_makespan: float):
+    t = base_makespan
+    return {
+        "baseline": None,
+        "crash": FaultPlan(crashes=(RankCrash(rank=3, time=0.3 * t),)),
+        "hostile": FaultPlan(
+            crashes=(RankCrash(rank=3, time=0.3 * t),),
+            stalls=(StallWindow(rank=7, start=0.1 * t, end=0.25 * t),),
+            message_faults=MessageFaults(drop=0.01),
+            seed=16,
+        ),
+    }
+
+
+def run_sweep():
+    graph = build_graph()
+    machine = commodity_cluster(N_RANKS)
+    # Scale crash/stall times off the fault-free stealing makespan.
+    base = make_model("work_stealing").run(graph, machine, seed=2)
+    rows = []
+    results = {}
+    for scenario, plan in scenarios(base.makespan).items():
+        for name in MODELS:
+            r = make_model(name).run(graph, machine, seed=2, faults=plan)
+            results[(scenario, name)] = r
+            fracs = r.breakdown_fractions()
+            rows.append(
+                {
+                    "scenario": scenario,
+                    "model": name,
+                    "makespan_ms": r.makespan * 1e3,
+                    "completion": r.completion_rate,
+                    "failed%": 100 * fracs["failed"],
+                    "replayed": r.counters.get("tasks_replayed", 0.0),
+                    "recovered": r.counters.get("tasks_recovered", 0.0),
+                    "degraded": "yes" if r.degraded else "",
+                }
+            )
+    return base, rows, results
+
+
+@pytest.mark.benchmark(group="e16")
+def test_e16_fault_tolerance(benchmark, emit):
+    base, rows, results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    emit(
+        "e16_faults",
+        format_table(
+            rows,
+            columns=[
+                "scenario",
+                "model",
+                "makespan_ms",
+                "completion",
+                "failed%",
+                "replayed",
+                "recovered",
+                "degraded",
+            ],
+            title=f"E16: fault tolerance, P={N_RANKS} (2000 tasks, crash at 30%)",
+        ),
+    )
+
+    # Zero-fault FT work stealing == plain work stealing, bit for bit.
+    ft_base = results[("baseline", "ft_work_stealing")]
+    assert ft_base.makespan == base.makespan
+    assert (ft_base.assignment == base.assignment).all()
+
+    # Crash: work stealing recovers everything; static cannot.
+    ws_crash = results[("crash", "ft_work_stealing")]
+    st_crash = results[("crash", "ft_static_block")]
+    assert ws_crash.completion_rate == 1.0 and not ws_crash.degraded
+    assert ws_crash.counters["tasks_recovered"] > 0
+    assert st_crash.completion_rate < 1.0 and st_crash.degraded
+    # Recovery costs something but not everything: one crashed rank out
+    # of 16 should not double the makespan.
+    assert ws_crash.makespan < 2.0 * base.makespan
+
+    # Hostile scenario: still completes despite stall + message loss.
+    ws_hostile = results[("hostile", "ft_work_stealing")]
+    assert ws_hostile.completion_rate == 1.0

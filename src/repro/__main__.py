@@ -60,11 +60,27 @@ def cmd_study(args: argparse.Namespace) -> int:
         f"{args.molecule}({args.size}): {problem.basis.n_basis} basis functions, "
         f"{problem.graph.n_tasks} tasks"
     )
+    faults = None
+    if args.faults:
+        from repro.core import MACHINE_PRESETS
+        from repro.faults import plan_from_spec
+
+        # Crash/stall times in the spec are fractions of the estimated
+        # ideal makespan at the smallest swept rank count (total work
+        # spread perfectly over P nominal-speed ranks), so "crash:2@0.3"
+        # means "rank 2 dies about 30% into the run".
+        machine = MACHINE_PRESETS[args.machine](min(args.ranks))
+        scale = problem.graph.total_flops / (
+            machine.flops_per_second * min(args.ranks)
+        )
+        faults = plan_from_spec(args.faults, time_scale=scale)
+        print(f"fault plan: {args.faults} (time scale {scale * 1e3:.3f} ms)")
     config = StudyConfig(
         models=tuple(args.models),
         n_ranks=tuple(args.ranks),
         machine=args.machine,
         seed=args.seed,
+        faults=faults,
     )
     report = run_study(config, problem=problem)
     print(format_table(report.rows(), title="study results"))
@@ -153,6 +169,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=["static_block", "counter_dynamic", "work_stealing"],
     )
     p_study.add_argument("--machine", choices=tuple(MACHINE_PRESETS), default="commodity")
+    p_study.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="fault scenario, e.g. 'crash:2@0.3,stall:1@0.2-0.4,drop:0.01' "
+        "(crash/stall times are fractions of the estimated ideal makespan)",
+    )
     p_study.set_defaults(func=cmd_study)
 
     p_scf = sub.add_parser("scf", help="converge an SCF")

@@ -14,7 +14,7 @@ import pathlib
 import numpy as np
 
 from repro.exec_models.base import RunResult
-from repro.runtime.trace import COMM, COMPUTE, IDLE, OVERHEAD
+from repro.runtime.trace import COMM, COMPUTE, FAILED, IDLE, OVERHEAD
 from repro.util import ConfigurationError, check_positive
 
 _COLORS = {
@@ -22,6 +22,7 @@ _COLORS = {
     COMM: "#8bbc21",
     OVERHEAD: "#f28f43",
     IDLE: "#e8e8e8",
+    FAILED: "#c0392b",
 }
 _LANE_HEIGHT = 14
 _LANE_GAP = 3
@@ -67,7 +68,7 @@ def timeline_svg(
     parts.append(f'<text x="{_MARGIN_LEFT}" y="14" font-size="12">{title}</text>')
     # Legend.
     x = _MARGIN_LEFT
-    for cat in (COMPUTE, COMM, OVERHEAD, IDLE):
+    for cat in (COMPUTE, COMM, OVERHEAD, IDLE, FAILED):
         parts.append(
             f'<rect x="{x}" y="20" width="10" height="10" fill="{_COLORS[cat]}"/>'
             f'<text x="{x + 13}" y="29">{cat}</text>'
@@ -82,9 +83,10 @@ def timeline_svg(
             f'<rect x="{_MARGIN_LEFT}" y="{y}" width="{plot_width:.2f}" '
             f'height="{_LANE_HEIGHT}" fill="{_COLORS[IDLE]}"/>'
         )
-    # Activity rectangles.
+    # Activity rectangles. Explicit IDLE intervals are skipped — the
+    # idle-colored background lane already shows them.
     for rank, category, start, end in result.intervals:
-        if rank not in lane_of or end <= start:
+        if rank not in lane_of or end <= start or category == IDLE:
             continue
         y = _MARGIN_TOP + lane_of[rank] * (_LANE_HEIGHT + _LANE_GAP)
         x0 = _MARGIN_LEFT + start * scale

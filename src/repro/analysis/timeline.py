@@ -5,11 +5,12 @@ Requires the run to have been made with ``trace_intervals=True`` so the
 rank becomes one row of width ``width``; every column shows the activity
 that dominated that time slice:
 
-    # compute      - communication      o scheduling overhead      . idle
+    # compute   - communication   o scheduling overhead   . idle   x failed
 
 These are the pictures behind experiment E2's numbers: a static-block run
 shows a staircase of ``.`` tails, a stealing run shows near-solid ``#``
-with sparse ``o`` flecks.
+with sparse ``o`` flecks. Fault runs (E16) add ``x`` stretches: RMA
+timeouts against dead ranks, and the dead span of a crashed rank itself.
 """
 
 from __future__ import annotations
@@ -17,13 +18,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exec_models.base import RunResult
-from repro.runtime.trace import COMM, COMPUTE, IDLE, OVERHEAD
+from repro.runtime.trace import COMM, COMPUTE, FAILED, IDLE, OVERHEAD
 from repro.util import ConfigurationError, check_positive
 
-_GLYPHS = {COMPUTE: "#", COMM: "-", OVERHEAD: "o", IDLE: "."}
+_GLYPHS = {COMPUTE: "#", COMM: "-", OVERHEAD: "o", IDLE: ".", FAILED: "x"}
 #: Priority when a slice holds several activities: show the busiest
 #: non-idle one; idle only when nothing else happened.
-_PRIORITY = (COMPUTE, COMM, OVERHEAD, IDLE)
+_PRIORITY = (COMPUTE, COMM, OVERHEAD, FAILED, IDLE)
 
 
 def rank_timeline(result: RunResult, rank: int, width: int = 80) -> str:
@@ -39,11 +40,13 @@ def rank_timeline(result: RunResult, rank: int, width: int = 80) -> str:
     makespan = result.makespan
     if makespan <= 0:
         return "." * width
-    # Accumulate per-slice seconds by category.
-    totals = {cat: np.zeros(width) for cat in (COMPUTE, COMM, OVERHEAD)}
+    # Accumulate per-slice seconds by category. Explicit IDLE intervals
+    # are skipped: idle is the default glyph for empty columns, and the
+    # busiest-wins rule should never let idle mask real activity.
+    totals = {cat: np.zeros(width) for cat in (COMPUTE, COMM, OVERHEAD, FAILED)}
     scale = width / makespan
     for irank, category, start, end in result.intervals:
-        if irank != rank:
+        if irank != rank or category == IDLE:
             continue
         lo = start * scale
         hi = min(end * scale, width)
@@ -80,7 +83,8 @@ def ascii_gantt(
         f"{result.model}: makespan {result.makespan * 1e3:.3f} ms, "
         f"utilization {result.mean_utilization:.2f}   "
         f"[{_GLYPHS[COMPUTE]}=compute {_GLYPHS[COMM]}=comm "
-        f"{_GLYPHS[OVERHEAD]}=overhead {_GLYPHS[IDLE]}=idle]"
+        f"{_GLYPHS[OVERHEAD]}=overhead {_GLYPHS[IDLE]}=idle "
+        f"{_GLYPHS[FAILED]}=failed]"
     )
     lines = [header]
     for rank in ranks:

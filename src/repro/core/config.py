@@ -6,6 +6,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.exec_models.registry import MODEL_NAMES
+from repro.faults import FaultPlan
 from repro.simulate.machine import (
     MachineSpec,
     commodity_cluster,
@@ -40,6 +41,9 @@ class StudyConfig:
         machine: machine preset name (``"commodity"`` or ``"fast_network"``).
         seed: base seed; each (model, P) cell derives its own stream.
         variability: optional variability model applied to every machine.
+        faults: optional fault plan injected into every run (E16). An
+            empty plan is inert; a plan referencing ranks beyond the
+            smallest swept rank count fails at run time.
     """
 
     models: tuple[str, ...] = ("static_block", "counter_dynamic", "work_stealing")
@@ -47,6 +51,7 @@ class StudyConfig:
     machine: str = "commodity"
     seed: int = 0
     variability: VariabilityModel | None = None
+    faults: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         if not self.models:

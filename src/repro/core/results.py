@@ -7,7 +7,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.exec_models.base import RunResult
-from repro.runtime.trace import COMM, COMPUTE, IDLE, OVERHEAD
+from repro.runtime.trace import COMM, COMPUTE, FAILED, IDLE, OVERHEAD
 from repro.util import ConfigurationError
 
 
@@ -41,25 +41,37 @@ class StudyReport:
 
     # ------------------------------------------------------------------
     def rows(self) -> list[dict[str, float | str | int]]:
-        """Flat summary rows (one per run) for table rendering."""
+        """Flat summary rows (one per run) for table rendering.
+
+        Fault-affected runs additionally carry ``failed%`` (fraction of
+        rank-seconds lost to failures), ``completion`` (fraction of tasks
+        executed), and a ``degraded`` marker; for fault-free runs these
+        are 0 / 1 / blank.
+        """
         out = []
+        faulty = any(
+            r.failed_ranks or r.degraded for r in self.results.values()
+        )
         for (model, n_ranks), r in sorted(self.results.items(), key=lambda kv: (kv[0][1], kv[0][0])):
             fracs = r.breakdown_fractions()
-            out.append(
-                {
-                    "model": model,
-                    "P": n_ranks,
-                    "makespan_ms": r.makespan * 1e3,
-                    "speedup": r.speedup,
-                    "efficiency": r.efficiency,
-                    "utilization": r.mean_utilization,
-                    "imbalance": r.compute_imbalance,
-                    "compute%": 100 * fracs[COMPUTE],
-                    "comm%": 100 * fracs[COMM],
-                    "overhead%": 100 * fracs[OVERHEAD],
-                    "idle%": 100 * fracs[IDLE],
-                }
-            )
+            row: dict[str, float | str | int] = {
+                "model": model,
+                "P": n_ranks,
+                "makespan_ms": r.makespan * 1e3,
+                "speedup": r.speedup,
+                "efficiency": r.efficiency,
+                "utilization": r.mean_utilization,
+                "imbalance": r.compute_imbalance,
+                "compute%": 100 * fracs[COMPUTE],
+                "comm%": 100 * fracs[COMM],
+                "overhead%": 100 * fracs[OVERHEAD],
+                "idle%": 100 * fracs[IDLE],
+            }
+            if faulty:
+                row["failed%"] = 100 * fracs.get(FAILED, 0.0)
+                row["completion"] = r.completion_rate
+                row["degraded"] = "yes" if r.degraded else ""
+            out.append(row)
         return out
 
     def series(self, model: str) -> tuple[np.ndarray, np.ndarray]:

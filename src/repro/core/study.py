@@ -69,5 +69,7 @@ def run_study(
         for model_name in config.models:
             model = make_model(model_name)
             seed = derive_seed(config.seed, "study", model_name, n_ranks)
-            report.add(model.run(task_graph, machine, seed=seed))
+            report.add(
+                model.run(task_graph, machine, seed=seed, faults=config.faults)
+            )
     return report

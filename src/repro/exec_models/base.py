@@ -25,13 +25,14 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.chemistry.tasks import TaskGraph, TaskSpec
+from repro.faults import FailureDetector, FaultInjector, FaultPlan
 from repro.runtime.comm import RankContext
 from repro.runtime.garrays import BlockDistribution, GlobalBlockedMatrix
-from repro.runtime.trace import COMM, COMPUTE, IDLE, OVERHEAD, TraceRecorder
-from repro.simulate.engine import Engine
+from repro.runtime.trace import COMM, COMPUTE, FAILED, IDLE, OVERHEAD, TraceRecorder
+from repro.simulate.engine import Engine, Process
 from repro.simulate.machine import MachineSpec
 from repro.simulate.network import Network
-from repro.util import SchedulingError, derive_seed
+from repro.util import SchedulingError, SimulationError, derive_seed
 
 
 @dataclass
@@ -54,6 +55,9 @@ class RunResult:
         network: operation counts and bytes moved.
         total_flops: task-graph total (for speedup/efficiency).
         nominal_flops_per_second: machine nominal per-rank rate.
+        failed_ranks: ranks that crashed during the run (fault plans).
+        completion_rate: fraction of tasks that executed at least once
+            (1.0 for fault-free runs; < 1.0 marks a degraded run).
     """
 
     model: str
@@ -69,9 +73,16 @@ class RunResult:
     network: dict[str, float] = field(default_factory=dict)
     total_flops: float = 0.0
     nominal_flops_per_second: float = 1.0
+    failed_ranks: tuple[int, ...] = ()
+    completion_rate: float = 1.0
     #: Raw (rank, category, start, end) intervals; populated only when the
     #: run was made with ``trace_intervals=True`` (timeline rendering).
     intervals: list[tuple[int, str, float, float]] | None = None
+
+    @property
+    def degraded(self) -> bool:
+        """True when some tasks were lost to failures (no recovery)."""
+        return self.completion_rate < 1.0
 
     @property
     def serial_seconds(self) -> float:
@@ -104,7 +115,7 @@ class RunResult:
         """Machine-wide fraction of rank-seconds per activity category."""
         total = self.makespan * self.n_ranks
         if total <= 0:
-            return {cat: 0.0 for cat in (COMPUTE, COMM, OVERHEAD, IDLE)}
+            return {cat: 0.0 for cat in (COMPUTE, COMM, OVERHEAD, IDLE, FAILED)}
         return {cat: float(vals.sum() / total) for cat, vals in self.breakdown.items()}
 
 
@@ -123,6 +134,7 @@ class Harness:
         seed: int = 0,
         trace_intervals: bool = False,
         distribution_scheme: str = "cyclic",
+        faults: FaultPlan | None = None,
     ) -> None:
         self.graph = graph
         self.machine = machine
@@ -141,13 +153,59 @@ class Harness:
         #: Per-run model state (schedules, queues, shared counters).
         self.model_state: dict = {}
         self._finish_times = np.full(machine.n_ranks, np.nan)
+        #: Fault machinery; all None for fault-free runs. An *empty*
+        #: FaultPlan is treated exactly like no plan at all, so zero-fault
+        #: runs are bit-for-bit identical to the baseline.
+        self.injector: FaultInjector | None = None
+        self.detector: FailureDetector | None = None
+        if faults is not None and not faults.empty:
+            self.injector = FaultInjector(faults, self.engine, self.network)
+            self.network.faults = self.injector
+            self.detector = FailureDetector(self.injector)
 
     @property
     def n_ranks(self) -> int:
         return self.machine.n_ranks
 
     def context(self, rank: int) -> RankContext:
-        return RankContext(rank, self.engine, self.network, self.machine, self.trace)
+        return RankContext(
+            rank, self.engine, self.network, self.machine, self.trace,
+            faults=self.injector,
+        )
+
+    # ------------------------------------------------------------------
+    # Fault-tolerance helpers (no-ops without an armed fault plan)
+    # ------------------------------------------------------------------
+    def next_alive(self, rank: int) -> int:
+        """First rank at or after ``rank`` (cyclically) not suspected dead."""
+        if self.detector is None:
+            return rank % self.n_ranks
+        for k in range(self.n_ranks):
+            cand = (rank + k) % self.n_ranks
+            if not self.detector.is_suspected(cand):
+                return cand
+        return rank % self.n_ranks
+
+    def enable_data_failover(self) -> None:
+        """Redirect block ownership away from suspected-dead ranks.
+
+        Models the replicated/recoverable data store fault-tolerant
+        runtimes keep (e.g. a parity copy of density/Fock blocks): once a
+        rank is *suspected*, its blocks are served by the next live rank.
+        Operations against a dead-but-unsuspected owner still fail fast
+        and must be retried after reporting — that window is the modeled
+        detection cost.
+        """
+        if self.detector is None:
+            return
+
+        def failover(owner: int) -> int:
+            if self.detector.is_suspected(owner):
+                return self.next_alive((owner + 1) % self.n_ranks)
+            return owner
+
+        self.density.failover = failover
+        self.fock.failover = failover
 
     def rank_seed(self, rank: int, *keys: int | str) -> int:
         return derive_seed(self.seed, "rank", rank, *keys)
@@ -165,6 +223,8 @@ class Harness:
         """Start one process per rank; records per-rank finish times.
 
         ``process_factory(harness, ctx)`` must return the rank's generator.
+        With a fault plan, also arms the injector so scheduled crashes can
+        cancel the right processes.
         """
 
         def wrapped(rank: int) -> Generator:
@@ -172,24 +232,72 @@ class Harness:
             yield from process_factory(self, ctx)
             self._finish_times[rank] = self.engine.now
 
+        procs: dict[int, Process] = {}
         for rank in range(self.n_ranks):
-            self.engine.process(wrapped(rank), name=f"rank{rank}")
+            procs[rank] = self.engine.process(wrapped(rank), name=f"rank{rank}")
+        if self.injector is not None:
+            self.injector.arm(procs)
+
+    def _tolerant_assignment(self) -> tuple[np.ndarray, int, int]:
+        """Task assignment under faults: last record wins.
+
+        Replay makes duplicate task records legitimate (tasks are
+        idempotent; re-execution overwrites), and a crash can lose tasks
+        outright under non-recovering models. Returns
+        ``(assignment, tasks_lost, tasks_replayed)`` — lost tasks keep
+        rank -1.
+        """
+        n_tasks = self.graph.n_tasks
+        assignment = np.full(n_tasks, -1, dtype=np.int64)
+        replays = 0
+        for rec in self.trace.tasks:
+            if not 0 <= rec.tid < n_tasks:
+                raise SimulationError(f"task id {rec.tid} out of range")
+            if assignment[rec.tid] != -1:
+                replays += 1
+            assignment[rec.tid] = rec.rank
+        lost = int(np.count_nonzero(assignment < 0))
+        return assignment, lost, replays
 
     def finish(self, model_name: str) -> RunResult:
         """Drain the engine, validate invariants, assemble the result."""
         self.engine.run()
+        crashed: tuple[int, ...] = ()
+        if self.injector is not None:
+            crashed = self.injector.failed_ranks
+            for rank in crashed:
+                if np.isnan(self._finish_times[rank]):
+                    self._finish_times[rank] = self.injector.dead_since[rank]
         if np.any(np.isnan(self._finish_times)):
             raise SchedulingError(
                 f"model {model_name!r}: some ranks never finished"
             )
         makespan = float(np.max(self._finish_times))
-        assignment = self.trace.task_assignment(self.graph.n_tasks)
+        if self.injector is not None:
+            # A crashed rank's remaining makespan is failed time, not idle.
+            for rank in crashed:
+                since = self.injector.dead_since[rank]
+                if makespan > since:
+                    self.trace.record(rank, FAILED, since, makespan)
+        if self.injector is None:
+            assignment = self.trace.task_assignment(self.graph.n_tasks)
+            tasks_lost = tasks_replayed = 0
+        else:
+            assignment, tasks_lost, tasks_replayed = self._tolerant_assignment()
 
         starts = np.zeros(self.graph.n_tasks)
         durations = np.zeros(self.graph.n_tasks)
         for rec in self.trace.tasks:
             starts[rec.tid] = rec.start
             durations[rec.tid] = rec.end - rec.start
+
+        counters = dict(self.counters)
+        if self.injector is not None:
+            counters.update(self.injector.stats)
+            counters["tasks_lost"] = float(tasks_lost)
+            counters["tasks_replayed"] = float(tasks_replayed)
+        n_tasks = self.graph.n_tasks
+        completion = 1.0 if n_tasks == 0 else (n_tasks - tasks_lost) / n_tasks
 
         stats = self.network.stats
         return RunResult(
@@ -202,7 +310,7 @@ class Harness:
             task_starts=starts,
             task_durations=durations,
             finish_times=self._finish_times.copy(),
-            counters=dict(self.counters),
+            counters=counters,
             network={
                 "gets": float(stats.gets),
                 "puts": float(stats.puts),
@@ -213,6 +321,8 @@ class Harness:
             },
             total_flops=self.graph.total_flops,
             nominal_flops_per_second=self.machine.flops_per_second,
+            failed_ranks=crashed,
+            completion_rate=float(completion),
             intervals=self.trace.intervals,
         )
 
@@ -232,9 +342,16 @@ class ExecutionModel(ABC):
         machine: MachineSpec,
         seed: int = 0,
         trace_intervals: bool = False,
+        faults: FaultPlan | None = None,
     ) -> RunResult:
-        """Simulate this model on ``graph`` over ``machine``."""
-        harness = Harness(graph, machine, seed=seed, trace_intervals=trace_intervals)
+        """Simulate this model on ``graph`` over ``machine``.
+
+        ``faults`` injects a :class:`~repro.faults.FaultPlan`; an empty
+        plan is inert (bit-for-bit identical to passing None).
+        """
+        harness = Harness(
+            graph, machine, seed=seed, trace_intervals=trace_intervals, faults=faults
+        )
         self.setup(harness)
         harness.spawn_ranks(self.rank_process)
         return harness.finish(self.name)

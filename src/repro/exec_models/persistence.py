@@ -130,7 +130,13 @@ class PersistenceModel(ExecutionModel):
         machine: MachineSpec,
         seed: int = 0,
         trace_intervals: bool = False,
+        faults=None,
     ) -> RunResult:
+        if faults is not None and not faults.empty:
+            raise ConfigurationError(
+                "the persistence model does not support fault injection; "
+                "use ft_work_stealing or ft_static_block for fault studies"
+            )
         history = run_persistence(
             graph,
             machine,

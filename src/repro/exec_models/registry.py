@@ -14,6 +14,7 @@ from repro.balance.partition import hypergraph_balancer
 from repro.balance.semi_matching import semi_matching_balancer
 from repro.exec_models.base import ExecutionModel
 from repro.exec_models.counter_dynamic import CounterDynamic
+from repro.exec_models.ft import FaultTolerantStatic, FaultTolerantWorkStealing
 from repro.exec_models.node_counter import CounterPerNode
 from repro.exec_models.inspector import InspectorExecutor
 from repro.exec_models.persistence import PersistenceModel
@@ -30,6 +31,8 @@ _FACTORIES: dict[str, Callable[[], ExecutionModel]] = {
     "counter_dynamic_guided": lambda: CounterDynamic(chunk=1, order="desc_cost"),
     "counter_per_node": CounterPerNode,
     "counter_per_node_cost": lambda: CounterPerNode(partition="cost"),
+    "ft_work_stealing": FaultTolerantWorkStealing,
+    "ft_static_block": FaultTolerantStatic,
     "work_stealing": WorkStealing,
     "work_stealing_hier": lambda: WorkStealing(victim="hierarchical"),
     "work_stealing_one": lambda: WorkStealing(steal="one"),

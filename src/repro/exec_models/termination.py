@@ -101,3 +101,104 @@ class TokenRing:
         for other in range(self.n_ranks):
             if other != ctx.rank:
                 yield from ctx.send(other, self.terminate_tag, None)
+
+
+class FaultTolerantTokenRing(TokenRing):
+    """Token ring that survives member crashes and lost tokens.
+
+    Three extensions over the plain ring (the "ring healing" of E16):
+
+    - **Healing:** tokens are forwarded to the next rank *not suspected
+      dead*, so the ring contracts around crashed members.
+    - **Regeneration:** the lowest-numbered live rank reissues the token
+      with count 0 when none has been seen for ``token_timeout`` —
+      covering tokens lost to message drops or to dying holders. (Launch
+      duty likewise falls to the lowest live rank, not rank 0.)
+    - **Replay barrier:** a ``work_remains`` callback (queued or orphaned
+      in-flight work anywhere) resets the count and gates the declaration,
+      so termination can never be declared while crash recovery is
+      replaying tasks. Regeneration can put several tokens in flight at
+      once, which breaks the classic two-round safety argument on its own;
+      the declare-time ``work_remains`` check is what restores safety.
+
+    The clean-hop threshold stays ``2 * n_ranks`` (the original member
+    count) — conservative on a contracted ring, never unsafe.
+    """
+
+    def __init__(
+        self,
+        n_ranks: int,
+        detector,
+        epoch: int | None = None,
+        work_remains=None,
+        token_timeout: float = 1.0e-3,
+    ) -> None:
+        super().__init__(n_ranks, epoch)
+        self.detector = detector
+        self.work_remains = work_remains
+        check_positive("token_timeout", token_timeout)
+        self.token_timeout = float(token_timeout)
+        #: Simulated time the token was last launched/handled/reissued.
+        self.last_seen = 0.0
+        #: Tokens reissued after a timeout (observability counter).
+        self.regenerations = 0
+
+    # ------------------------------------------------------------------
+    def next_alive(self, rank: int) -> int:
+        """Next ring member after ``rank`` not suspected dead."""
+        for k in range(1, self.n_ranks + 1):
+            cand = (rank + k) % self.n_ranks
+            if not self.detector.is_suspected(cand):
+                return cand
+        return rank
+
+    def lowest_alive(self) -> int:
+        for rank in range(self.n_ranks):
+            if not self.detector.is_suspected(rank):
+                return rank
+        return 0
+
+    def _work_remains(self) -> bool:
+        return self.work_remains is not None and bool(self.work_remains())
+
+    # ------------------------------------------------------------------
+    def maybe_launch(self, ctx: RankContext):
+        """The lowest live rank launches the token on first idleness."""
+        if (
+            not self.launched
+            and self.n_ranks > 1
+            and ctx.rank == self.lowest_alive()
+        ):
+            self.launched = True
+            self.last_seen = ctx.now
+            yield from ctx.send(self.next_alive(ctx.rank), self.token_tag, 0)
+            self.hops += 1
+
+    def handle_token(self, ctx: RankContext, count: int):
+        rank = ctx.rank
+        self.last_seen = ctx.now
+        if self.dirty[rank] or self._work_remains():
+            count = 0
+            self.dirty[rank] = False
+        else:
+            count += 1
+        if count >= 2 * self.n_ranks and not self._work_remains():
+            self.terminated = True
+            yield from self.broadcast_terminate(ctx)
+            return True
+        yield from ctx.send(self.next_alive(rank), self.token_tag, count)
+        self.hops += 1
+        return False
+
+    def maybe_regenerate(self, ctx: RankContext):
+        """Reissue the token if it has been silent too long (generator)."""
+        if (
+            self.launched
+            and not self.terminated
+            and ctx.rank == self.lowest_alive()
+            and ctx.now - self.last_seen > self.token_timeout
+        ):
+            self.last_seen = ctx.now
+            self.regenerations += 1
+            yield from ctx.send(self.next_alive(ctx.rank), self.token_tag, 0)
+            self.hops += 1

@@ -180,13 +180,17 @@ class WorkStealing(ExecutionModel):
             stolen = [queues[victim].pop() for _ in range(k)]
         finally:
             locks[victim].release()
-        # Unlock write (after release so a waiting thief proceeds now).
-        yield from ctx.protocol_put(victim, _LOCK_BYTES)
+        # Commit the transfer before the unlock write: the descriptors are
+        # already local after the get above, and a thief or victim dying
+        # under the unlock must not leave tasks outside every queue
+        # (crash recovery only scans queues and in-flight lists).
         stolen.reverse()
         queues[ctx.rank].extend(stolen)
         ring.mark_dirty(ctx.rank)
         harness.counters["steal_successes"] += 1.0
         harness.counters["tasks_stolen"] += float(k)
+        # Unlock write (after release so a waiting thief proceeds now).
+        yield from ctx.protocol_put(victim, _LOCK_BYTES)
         return k
 
     # ------------------------------------------------------------------

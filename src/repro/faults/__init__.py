@@ -1,0 +1,48 @@
+"""Fault injection and failure detection for the simulated machine.
+
+The paper's claim C1/C3 axis — execution models differ in how they absorb
+disturbance — extends past performance noise (:mod:`repro.simulate.noise`)
+to outright failures. This package turns the simulator into a
+dependability model:
+
+- :mod:`repro.faults.plan` -- declarative, frozen fault descriptions
+  (rank crashes, stall windows, message loss/duplication) plus the CLI
+  spec parser.
+- :mod:`repro.faults.injector` -- binds a plan to an engine + network:
+  schedules crashes (killing rank processes cleanly), answers dead-rank
+  queries, samples message fates deterministically.
+- :mod:`repro.faults.detector` -- the runtime's *view* of failures:
+  heartbeat-latency visibility plus fail-fast on-contact reporting.
+- :mod:`repro.faults.retry` -- capped-exponential retry/backoff with
+  deterministic jitter, used by fault-tolerant execution models.
+
+A ``FaultPlan()`` with no faults is guaranteed inert: the harness skips
+injector construction entirely, so zero-fault runs are bit-for-bit
+identical to runs with no plan at all.
+"""
+
+from repro.faults.plan import (
+    FaultPlan,
+    MessageFaults,
+    RankCrash,
+    StallWindow,
+    plan_from_spec,
+)
+from repro.faults.injector import DELIVER, DROP, DUPLICATE, FaultInjector
+from repro.faults.detector import FailureDetector
+from repro.faults.retry import RetryPolicy, with_retries
+
+__all__ = [
+    "FaultPlan",
+    "RankCrash",
+    "StallWindow",
+    "MessageFaults",
+    "plan_from_spec",
+    "FaultInjector",
+    "FailureDetector",
+    "RetryPolicy",
+    "with_retries",
+    "DELIVER",
+    "DROP",
+    "DUPLICATE",
+]

@@ -1,0 +1,149 @@
+"""Binding a :class:`~repro.faults.plan.FaultPlan` to a live simulation.
+
+The injector is the single runtime authority on "what has failed":
+
+- it schedules crash events on the engine and, when one fires, kills the
+  rank's process (generator close -> ``finally`` blocks release held
+  resources) and wipes its mailbox;
+- the network consults it before/during every operation (dead-target
+  RMA failures, message drop/duplication, deliveries to dead ranks);
+- :class:`RankContext` consults it at compute start for stall windows;
+- execution models consult it (through a
+  :class:`~repro.faults.detector.FailureDetector`) for failure
+  *detection*, which is deliberately separate from failure *occurrence*.
+
+Everything is deterministic: crash/stall times come from the plan,
+message fates from a plan-seeded stream consumed in (deterministic)
+delivery order.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.faults.plan import FaultPlan
+from repro.util import ConfigurationError, spawn_rng
+
+if TYPE_CHECKING:  # circular-import guard: engine/network know the injector only as an attribute
+    from repro.simulate.engine import Engine, Process
+    from repro.simulate.network import Network
+
+#: Message fates returned by :meth:`FaultInjector.message_fate`.
+DELIVER = "deliver"
+DROP = "drop"
+DUPLICATE = "duplicate"
+
+
+class FaultInjector:
+    """Runtime fault state for one simulated run.
+
+    Attributes:
+        plan: the immutable fault description.
+        dead_since: ``rank -> crash time`` for ranks that have crashed
+            so far (crashes scheduled in the future are absent).
+        stats: observability counters (messages dropped/duplicated,
+            failed RMA contacts, processes killed).
+    """
+
+    def __init__(self, plan: FaultPlan, engine: "Engine", network: "Network") -> None:
+        if plan.max_rank() >= network.n_ranks:
+            raise ConfigurationError(
+                f"fault plan references rank {plan.max_rank()}, "
+                f"machine has {network.n_ranks} ranks"
+            )
+        if len(plan.crashed_ranks) >= network.n_ranks:
+            raise ConfigurationError("fault plan crashes every rank")
+        self.plan = plan
+        self.engine = engine
+        self.network = network
+        self.dead_since: dict[int, float] = {}
+        self.stats: dict[str, float] = {
+            "messages_dropped": 0.0,
+            "messages_duplicated": 0.0,
+            "rma_failures": 0.0,
+            "ranks_crashed": 0.0,
+        }
+        self._procs: dict[int, "Process"] = {}
+        self._stalls: dict[int, list[tuple[float, float]]] = {}
+        for window in plan.stalls:
+            self._stalls.setdefault(window.rank, []).append((window.start, window.end))
+        for windows in self._stalls.values():
+            windows.sort()
+        mf = plan.message_faults
+        self._msg_rng = (
+            spawn_rng(plan.seed, "fault-plan", "message-fates")
+            if mf is not None and mf.active
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    # Crash lifecycle
+    # ------------------------------------------------------------------
+    def arm(self, rank_processes: dict[int, "Process"]) -> None:
+        """Register rank processes and schedule the plan's crash events.
+
+        Must be called before the engine runs (crash times are absolute).
+        """
+        self._procs.update(rank_processes)
+        for crash in self.plan.crashes:
+            delay = crash.time - self.engine.now
+            self.engine.schedule(max(delay, 0.0), lambda c=crash: self._fire_crash(c.rank))
+
+    def _fire_crash(self, rank: int) -> None:
+        if rank in self.dead_since:
+            return
+        self.dead_since[rank] = self.engine.now
+        self.stats["ranks_crashed"] += 1.0
+        proc = self._procs.get(rank)
+        if proc is not None:
+            proc.cancel()
+        self.network.drop_mailbox(rank)
+
+    def is_dead(self, rank: int) -> bool:
+        """Whether ``rank`` has crashed *as of the current simulated time*."""
+        return rank in self.dead_since
+
+    @property
+    def failed_ranks(self) -> tuple[int, ...]:
+        return tuple(sorted(self.dead_since))
+
+    # ------------------------------------------------------------------
+    # Stalls
+    # ------------------------------------------------------------------
+    def stall_until(self, rank: int, now: float) -> float:
+        """End of the stall covering ``rank`` at ``now`` (``now`` if none).
+
+        Chained/overlapping windows extend each other: the returned time
+        is a fixpoint, i.e. not itself inside another window.
+        """
+        windows = self._stalls.get(rank)
+        if not windows:
+            return now
+        end = now
+        changed = True
+        while changed:
+            changed = False
+            for t0, t1 in windows:
+                if t0 <= end < t1:
+                    end = t1
+                    changed = True
+        return end
+
+    # ------------------------------------------------------------------
+    # Messages
+    # ------------------------------------------------------------------
+    def message_fate(self, src: int, dst: int) -> str:
+        """Sample the fate of one delivery: DELIVER, DROP, or DUPLICATE."""
+        mf = self.plan.message_faults
+        if self._msg_rng is None or mf is None or not mf.applies(src, dst):
+            return DELIVER
+        if mf.drop > 0.0 and self._msg_rng.random() < mf.drop:
+            self.stats["messages_dropped"] += 1.0
+            return DROP
+        if mf.duplicate > 0.0 and self._msg_rng.random() < mf.duplicate:
+            self.stats["messages_duplicated"] += 1.0
+            return DUPLICATE
+        return DELIVER
+
+    def note_rma_failure(self) -> None:
+        self.stats["rma_failures"] += 1.0

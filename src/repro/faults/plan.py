@@ -1,0 +1,212 @@
+"""Declarative fault plans.
+
+A :class:`FaultPlan` is a *pure description* of the disturbances one run
+should suffer: rank crashes at fixed simulated times, transient stall
+windows (a rank freezes — GC pause, OS jitter, a hung NFS mount — then
+resumes), and per-link message loss/duplication with deterministic seeded
+sampling. Plans are frozen dataclasses so a (seed, plan) pair fully
+determines a run — the property the determinism-under-faults tests assert.
+
+Plans carry no runtime state; :class:`repro.faults.injector.FaultInjector`
+binds a plan to a live engine + network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util import ConfigurationError, check_non_negative, check_probability
+
+
+@dataclass(frozen=True)
+class RankCrash:
+    """Rank ``rank`` fail-stops at simulated time ``time`` (seconds).
+
+    A crash is permanent: the rank's process is killed (its generator is
+    closed, releasing held locks/NIC slots), its mailbox contents are
+    lost, and every later operation targeting it fails.
+    """
+
+    rank: int
+    time: float
+
+    def __post_init__(self) -> None:
+        check_non_negative("time", self.time)
+        if self.rank < 0:
+            raise ConfigurationError(f"rank must be >= 0, got {self.rank}")
+
+
+@dataclass(frozen=True)
+class StallWindow:
+    """Rank ``rank`` freezes during ``[start, end)`` — a straggler, not a death.
+
+    A stalled rank makes no compute progress while the window covers the
+    current time; it resumes (and its queued work remains stealable)
+    afterwards. Overlapping/chained windows on one rank extend the stall.
+    """
+
+    rank: int
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        check_non_negative("start", self.start)
+        if self.end <= self.start:
+            raise ConfigurationError(
+                f"stall window end {self.end} must exceed start {self.start}"
+            )
+        if self.rank < 0:
+            raise ConfigurationError(f"rank must be >= 0, got {self.rank}")
+
+
+@dataclass(frozen=True)
+class MessageFaults:
+    """Two-sided message disturbance: i.i.d. drop / duplication per delivery.
+
+    Attributes:
+        drop: probability a message is silently lost in flight.
+        duplicate: probability a delivered message arrives twice.
+        links: restrict faults to these ``(src, dst)`` pairs
+            (``None`` = every link).
+    """
+
+    drop: float = 0.0
+    duplicate: float = 0.0
+    links: frozenset[tuple[int, int]] | None = None
+
+    def __post_init__(self) -> None:
+        check_probability("drop", self.drop)
+        check_probability("duplicate", self.duplicate)
+
+    @property
+    def active(self) -> bool:
+        return self.drop > 0.0 or self.duplicate > 0.0
+
+    def applies(self, src: int, dst: int) -> bool:
+        return self.links is None or (src, dst) in self.links
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything that will go wrong in one run, declared up front.
+
+    Attributes:
+        crashes: permanent rank fail-stops.
+        stalls: transient per-rank freeze windows.
+        message_faults: per-link message drop/duplication model.
+        seed: root seed of the plan's own random stream (message-fate
+            sampling); independent of the run seed so the same plan
+            misbehaves identically across model/seed sweeps.
+        rma_timeout: extra time a one-sided operation burns discovering
+            its target is dead before :class:`~repro.util.RankFailedError`
+            is raised (models an RMA completion timeout).
+        detection_latency: heartbeat period — how long after a crash the
+            failure becomes visible to ranks that have not touched the
+            dead rank directly.
+    """
+
+    crashes: tuple[RankCrash, ...] = ()
+    stalls: tuple[StallWindow, ...] = ()
+    message_faults: MessageFaults | None = None
+    seed: int = 0
+    rma_timeout: float = 2.5e-5
+    detection_latency: float = 2.0e-4
+
+    def __post_init__(self) -> None:
+        check_non_negative("rma_timeout", self.rma_timeout)
+        if self.detection_latency <= 0:
+            raise ConfigurationError(
+                f"detection_latency must be positive, got {self.detection_latency}"
+            )
+        seen: set[int] = set()
+        for crash in self.crashes:
+            if crash.rank in seen:
+                raise ConfigurationError(
+                    f"rank {crash.rank} crashes more than once in one plan"
+                )
+            seen.add(crash.rank)
+
+    @property
+    def empty(self) -> bool:
+        """True if the plan injects nothing (machinery must stay dormant)."""
+        return (
+            not self.crashes
+            and not self.stalls
+            and (self.message_faults is None or not self.message_faults.active)
+        )
+
+    @property
+    def crashed_ranks(self) -> frozenset[int]:
+        return frozenset(c.rank for c in self.crashes)
+
+    def max_rank(self) -> int:
+        """Highest rank referenced by any fault (-1 if none)."""
+        ranks = [c.rank for c in self.crashes] + [s.rank for s in self.stalls]
+        if self.message_faults is not None and self.message_faults.links:
+            for src, dst in self.message_faults.links:
+                ranks.extend((src, dst))
+        return max(ranks, default=-1)
+
+
+def plan_from_spec(spec: str, time_scale: float = 1.0) -> FaultPlan:
+    """Parse a compact CLI fault spec into a :class:`FaultPlan`.
+
+    Grammar — comma-separated terms:
+
+    - ``crash:R@T``      rank R crashes at time T
+    - ``stall:R@T0-T1``  rank R freezes during [T0, T1)
+    - ``drop:P``         message drop probability P
+    - ``dup:P``          message duplication probability P
+    - ``seed:N``         plan seed
+    - ``timeout:T``      RMA dead-target timeout (seconds, *not* scaled)
+    - ``detect:T``       heartbeat detection latency (seconds, *not* scaled)
+
+    Times in ``crash``/``stall`` terms are multiplied by ``time_scale``,
+    so a caller can pass fractions of an estimated makespan and scale
+    them here (what ``python -m repro study --faults`` does).
+    """
+    crashes: list[RankCrash] = []
+    stalls: list[StallWindow] = []
+    drop = 0.0
+    duplicate = 0.0
+    seed = 0
+    extra: dict[str, float] = {}
+    for raw in spec.split(","):
+        term = raw.strip()
+        if not term:
+            continue
+        try:
+            kind, _, rest = term.partition(":")
+            if kind == "crash":
+                rank, _, when = rest.partition("@")
+                crashes.append(RankCrash(int(rank), float(when) * time_scale))
+            elif kind == "stall":
+                rank, _, window = rest.partition("@")
+                t0, _, t1 = window.partition("-")
+                stalls.append(
+                    StallWindow(int(rank), float(t0) * time_scale, float(t1) * time_scale)
+                )
+            elif kind == "drop":
+                drop = float(rest)
+            elif kind == "dup":
+                duplicate = float(rest)
+            elif kind == "seed":
+                seed = int(rest)
+            elif kind == "timeout":
+                extra["rma_timeout"] = float(rest)
+            elif kind == "detect":
+                extra["detection_latency"] = float(rest)
+            else:
+                raise ConfigurationError(f"unknown fault term {term!r}")
+        except (ValueError, TypeError) as err:
+            raise ConfigurationError(f"malformed fault term {term!r}: {err}") from None
+    message_faults = (
+        MessageFaults(drop=drop, duplicate=duplicate) if (drop or duplicate) else None
+    )
+    return FaultPlan(
+        crashes=tuple(crashes),
+        stalls=tuple(stalls),
+        message_faults=message_faults,
+        seed=seed,
+        **extra,
+    )

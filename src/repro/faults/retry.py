@@ -1,0 +1,81 @@
+"""Retry with capped exponential backoff and deterministic jitter.
+
+The recovery helper fault-tolerant models use when an operation hits a
+dead (or dying) rank: retry a bounded number of times, sleeping a
+capped-exponential, jittered delay between attempts. Jitter comes from a
+caller-supplied :func:`~repro.util.spawn_rng` stream, so retries are as
+deterministic as everything else in the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator
+
+import numpy as np
+
+from repro.util import ConfigurationError, RankFailedError, check_positive
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff: ``min(base * 2^attempt, cap) * jitter``.
+
+    Attributes:
+        max_attempts: total tries (first attempt included).
+        base_delay: backoff before the second attempt (seconds).
+        max_delay: backoff cap (seconds).
+        jitter: fractional jitter; the sampled delay is uniform in
+            ``[d, d * (1 + jitter)]``.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 5.0e-6
+    max_delay: float = 1.0e-4
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        check_positive("max_attempts", self.max_attempts)
+        check_positive("base_delay", self.base_delay)
+        check_positive("max_delay", self.max_delay)
+        if self.max_delay < self.base_delay:
+            raise ConfigurationError("max_delay must be >= base_delay")
+        if self.jitter < 0:
+            raise ConfigurationError(f"jitter must be >= 0, got {self.jitter}")
+
+    def delay(self, attempt: int, rng: np.random.Generator) -> float:
+        """Backoff after failed attempt number ``attempt`` (0-based)."""
+        base = min(self.base_delay * (2.0**attempt), self.max_delay)
+        if self.jitter == 0.0:
+            return base
+        return base * (1.0 + self.jitter * float(rng.random()))
+
+
+def with_retries(
+    ctx,
+    op: Callable[[], Generator],
+    policy: RetryPolicy,
+    rng: np.random.Generator,
+    on_failure: Callable[[int], None] | None = None,
+):
+    """Drive ``op()`` (a generator factory), retrying on ``RankFailedError``.
+
+    ``on_failure(rank)`` runs after each failed attempt — fault-tolerant
+    models hook failure *reporting* here so the retry sees re-routed
+    ownership. The final failure propagates. Backoff sleeps accrue to the
+    rank's idle time. Returns the operation's return value; drive with
+    ``yield from``.
+    """
+    last_error: RankFailedError | None = None
+    for attempt in range(policy.max_attempts):
+        if attempt > 0:
+            yield from ctx.sleep(policy.delay(attempt - 1, rng))
+        try:
+            result = yield from op()
+            return result
+        except RankFailedError as err:
+            last_error = err
+            if on_failure is not None:
+                on_failure(err.rank)
+    assert last_error is not None
+    raise last_error

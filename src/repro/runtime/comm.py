@@ -2,9 +2,14 @@
 
 A :class:`RankContext` is what an execution model's rank process actually
 talks to. It binds together the rank id, the simulation engine, the network,
-the machine's compute-speed model, and the trace recorder, exposing
-generator methods that both *cost* simulated time and *account* it to the
-right trace category.
+the machine's compute-speed model, the trace recorder, and (optionally) the
+fault injector, exposing generator methods that both *cost* simulated time
+and *account* it to the right trace category.
+
+Fault accounting: an operation that discovers its target rank is dead
+(raising :class:`~repro.util.RankFailedError` from the network) records the
+wasted wait as ``FAILED`` before re-raising, so recovery cost is visible in
+breakdowns rather than smeared into idle time.
 """
 
 from __future__ import annotations
@@ -14,8 +19,8 @@ from typing import Any
 from repro.simulate.engine import Engine, Timeout
 from repro.simulate.machine import MachineSpec
 from repro.simulate.network import Message, Network, SharedCell
-from repro.runtime.trace import COMM, COMPUTE, OVERHEAD, TraceRecorder
-from repro.util import check_non_negative
+from repro.runtime.trace import COMM, COMPUTE, FAILED, IDLE, OVERHEAD, TraceRecorder
+from repro.util import RankFailedError, check_non_negative
 
 
 class RankContext:
@@ -28,12 +33,15 @@ class RankContext:
         network: Network,
         machine: MachineSpec,
         trace: TraceRecorder,
+        faults=None,
     ) -> None:
         self.rank = int(rank)
         self.engine = engine
         self.network = network
         self.machine = machine
         self.trace = trace
+        #: Optional :class:`repro.faults.FaultInjector` (None = no faults).
+        self.faults = faults
 
     @property
     def now(self) -> float:
@@ -43,8 +51,22 @@ class RankContext:
     # Compute
     # ------------------------------------------------------------------
     def compute(self, flops: float, tid: int | None = None):
-        """Run ``flops`` of kernel work; optionally record a task id."""
+        """Run ``flops`` of kernel work; optionally record a task id.
+
+        Under a fault plan, a stall window covering the start freezes the
+        rank until the window ends (recorded as IDLE — the core is up but
+        making no progress) before the kernel runs. Stalls gate task
+        *starts*; a window opening mid-kernel does not stretch it
+        (documented approximation, same spirit as sampling variability at
+        task start).
+        """
         check_non_negative("flops", flops)
+        if self.faults is not None:
+            stall_end = self.faults.stall_until(self.rank, self.now)
+            if stall_end > self.now:
+                stall_start = self.now
+                yield Timeout(stall_end - stall_start)
+                self.trace.record(self.rank, IDLE, stall_start, self.now)
         start = self.now
         duration = self.machine.compute_seconds(self.rank, flops, start)
         yield Timeout(duration)
@@ -59,60 +81,64 @@ class RankContext:
         self.trace.record(self.rank, OVERHEAD, start, self.now)
 
     # ------------------------------------------------------------------
-    # Data movement (traced as COMM)
+    # Data movement (traced as COMM; dead-target waits traced as FAILED)
     # ------------------------------------------------------------------
-    def get(self, owner: int, nbytes: int):
+    def _traced(self, operation, category: str):
+        """Drive a network generator, accounting to ``category`` on
+        success and to FAILED on a dead-target error (generator)."""
         start = self.now
-        yield from self.network.get(self.rank, owner, nbytes)
-        self.trace.record(self.rank, COMM, start, self.now)
+        try:
+            result = yield from operation
+        except RankFailedError:
+            self.trace.record(self.rank, FAILED, start, self.now)
+            raise
+        self.trace.record(self.rank, category, start, self.now)
+        return result
+
+    def get(self, owner: int, nbytes: int):
+        yield from self._traced(self.network.get(self.rank, owner, nbytes), COMM)
 
     def put(self, owner: int, nbytes: int):
-        start = self.now
-        yield from self.network.put(self.rank, owner, nbytes)
-        self.trace.record(self.rank, COMM, start, self.now)
+        yield from self._traced(self.network.put(self.rank, owner, nbytes), COMM)
 
     def accumulate(self, owner: int, nbytes: int):
-        start = self.now
-        yield from self.network.accumulate(self.rank, owner, nbytes)
-        self.trace.record(self.rank, COMM, start, self.now)
+        yield from self._traced(self.network.accumulate(self.rank, owner, nbytes), COMM)
 
     # ------------------------------------------------------------------
     # Scheduling machinery (traced as OVERHEAD)
     # ------------------------------------------------------------------
     def fetch_add(self, home: int, cell: SharedCell, amount: int = 1):
-        start = self.now
-        value = yield from self.network.fetch_add(self.rank, home, cell, amount)
-        self.trace.record(self.rank, OVERHEAD, start, self.now)
+        value = yield from self._traced(
+            self.network.fetch_add(self.rank, home, cell, amount), OVERHEAD
+        )
         return value
 
     def protocol_get(self, owner: int, nbytes: int):
         """One-sided read used by scheduling protocols (traced OVERHEAD)."""
-        start = self.now
-        yield from self.network.get(self.rank, owner, nbytes)
-        self.trace.record(self.rank, OVERHEAD, start, self.now)
+        yield from self._traced(self.network.get(self.rank, owner, nbytes), OVERHEAD)
 
     def protocol_put(self, owner: int, nbytes: int):
         """One-sided write used by scheduling protocols (traced OVERHEAD)."""
-        start = self.now
-        yield from self.network.put(self.rank, owner, nbytes)
-        self.trace.record(self.rank, OVERHEAD, start, self.now)
+        yield from self._traced(self.network.put(self.rank, owner, nbytes), OVERHEAD)
 
     def send(self, dst: int, tag: Any, payload: Any = None, nbytes: int = 64):
-        start = self.now
-        yield from self.network.send(self.rank, dst, tag, payload, nbytes)
-        self.trace.record(self.rank, OVERHEAD, start, self.now)
+        yield from self._traced(
+            self.network.send(self.rank, dst, tag, payload, nbytes), OVERHEAD
+        )
 
-    def recv(self, tag: Any = None, traced: bool = True):
+    def recv(self, tag: Any = None, traced: bool = True, timeout: float | None = None):
         """Blocking receive.
 
         With ``traced=True`` the wait is accounted as protocol OVERHEAD;
-        with ``traced=False`` it is left unaccounted (i.e. reported as
-        idle time — used when a rank parks waiting for work/termination).
+        with ``traced=False`` it is recorded as explicit IDLE (a rank
+        parked waiting for work/termination) so breakdowns still sum to
+        wall-clock. With ``timeout`` set, returns ``None`` after that
+        many simulated seconds if nothing matching arrived — the
+        heartbeat-period parking primitive of fault-tolerant models.
         """
         start = self.now
-        message = yield from self.network.recv(self.rank, tag)
-        if traced:
-            self.trace.record(self.rank, OVERHEAD, start, self.now)
+        message = yield from self.network.recv(self.rank, tag, timeout=timeout)
+        self.trace.record(self.rank, OVERHEAD if traced else IDLE, start, self.now)
         return message
 
     def try_recv(self, tag: Any = None) -> Message | None:
@@ -120,5 +146,7 @@ class RankContext:
         return self.network.try_recv(self.rank, tag)
 
     def sleep(self, seconds: float):
-        """Untraced wait; the remainder shows up as idle time."""
+        """Deliberate wait (backoff, parking); recorded as explicit IDLE."""
+        start = self.now
         yield Timeout(check_non_negative("seconds", seconds))
+        self.trace.record(self.rank, IDLE, start, self.now)

@@ -82,9 +82,16 @@ class GlobalBlockedMatrix:
         self.name = name
         self.blocks = blocks
         self.distribution = distribution
+        #: Optional rank-redirection hook installed by fault-tolerant
+        #: harnesses: maps the nominal owner to a live replica holder when
+        #: the owner has crashed (Callable[[int], int]).
+        self.failover = None
 
     def owner(self, ref: BlockRef) -> int:
-        return self.distribution.owner(ref)
+        nominal = self.distribution.owner(ref)
+        if self.failover is None:
+            return nominal
+        return self.failover(nominal)
 
     def nbytes(self, ref: BlockRef) -> int:
         i, j = ref

@@ -1,11 +1,15 @@
 """Per-rank activity accounting.
 
-Every simulated rank classifies its time into three recorded categories —
+Every simulated rank classifies its time into recorded categories —
 ``compute`` (task kernels), ``comm`` (data movement: density gets, Fock
-accumulates), and ``overhead`` (scheduling machinery: counter fetch-adds,
-steal protocol, termination detection) — with **idle** defined as the
-unaccounted remainder of the makespan. The utilization-breakdown experiment
-(E2) and all efficiency metrics read straight from this recorder.
+accumulates), ``overhead`` (scheduling machinery: counter fetch-adds,
+steal protocol, termination detection), ``idle`` (explicitly recorded
+waits: parked receives, backoff sleeps), and ``failed`` (time lost to
+failures: RMA timeouts against dead ranks, and a crashed rank's remaining
+makespan) — with any *unaccounted* remainder of the makespan folded into
+``idle``. The utilization-breakdown experiment (E2) and all efficiency
+metrics read straight from this recorder; with explicit idle recording the
+per-rank breakdown sums to wall-clock by construction.
 """
 
 from __future__ import annotations
@@ -20,8 +24,11 @@ COMPUTE = "compute"
 COMM = "comm"
 OVERHEAD = "overhead"
 IDLE = "idle"
+FAILED = "failed"
 
-_CATEGORIES = (COMPUTE, COMM, OVERHEAD)
+#: Categories that can be recorded explicitly. ``IDLE`` additionally
+#: absorbs the unaccounted remainder in :meth:`TraceRecorder.breakdown`.
+_CATEGORIES = (COMPUTE, COMM, OVERHEAD, IDLE, FAILED)
 
 
 @dataclass(frozen=True)
@@ -71,22 +78,22 @@ class TraceRecorder:
         return self._totals[category].copy()
 
     def breakdown(self, makespan: float) -> dict[str, np.ndarray]:
-        """Per-rank seconds by category, with idle as the remainder.
+        """Per-rank seconds by category; unaccounted time is added to idle.
 
         Raises:
             SimulationError: if any rank's accounted time exceeds the
                 makespan (an accounting bug).
         """
         accounted = sum(self._totals[cat] for cat in _CATEGORIES)
-        idle = makespan - accounted
-        if np.any(idle < -1.0e-9 * max(makespan, 1.0)):
-            worst = int(np.argmin(idle))
+        remainder = makespan - accounted
+        if np.any(remainder < -1.0e-9 * max(makespan, 1.0)):
+            worst = int(np.argmin(remainder))
             raise SimulationError(
                 f"rank {worst} accounted {accounted[worst]:.6g}s "
                 f"> makespan {makespan:.6g}s"
             )
         out = {cat: self._totals[cat].copy() for cat in _CATEGORIES}
-        out[IDLE] = np.maximum(idle, 0.0)
+        out[IDLE] = self._totals[IDLE] + np.maximum(remainder, 0.0)
         return out
 
     def utilization(self, makespan: float) -> np.ndarray:

@@ -67,6 +67,14 @@ class Engine:
     def run(self, until: float = math.inf) -> float:
         """Drain the event heap (up to time ``until``); return final time.
 
+        The deadlock check only runs when the heap drains *completely*:
+        a bounded ``run(until=...)`` that stops because the next event
+        lies beyond ``until`` returns normally even if processes are
+        blocked — they may legitimately be waiting for events scheduled
+        past the horizon. After a bounded run, call :meth:`blocked` to
+        see which non-daemon processes have not finished; with an empty
+        heap a non-empty :meth:`blocked` list *is* a deadlock.
+
         Raises:
             SimulationError: on deadlock — the heap drained before all
                 non-daemon processes finished.
@@ -79,7 +87,7 @@ class Engine:
             heapq.heappop(self._heap)
             self.now = time
             callback()
-        stuck = [p.name for p in self._processes if not p.done and not p.daemon]
+        stuck = [p.name for p in self.blocked()]
         if stuck:
             raise SimulationError(
                 f"deadlock at t={self.now:.6g}: processes still blocked: {stuck[:10]}"
@@ -87,12 +95,27 @@ class Engine:
             )
         return self.now
 
+    def blocked(self) -> list["Process"]:
+        """Non-daemon processes that have not finished (nor been cancelled).
+
+        After ``run(until=t)`` returns at the time horizon this is merely
+        "still in flight"; after an unbounded ``run()`` (or once the heap
+        is empty) any entry here is genuinely stuck.
+        """
+        return [p for p in self._processes if not p.done and not p.daemon]
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still scheduled (0 = the heap has drained)."""
+        return len(self._heap)
+
 
 class Process:
     """A generator-driven simulated activity.
 
     Attributes:
-        done: True once the generator has returned.
+        done: True once the generator has returned (or was cancelled).
+        cancelled: True if the process was killed via :meth:`cancel`.
         result: the generator's return value (``StopIteration.value``).
     """
 
@@ -108,11 +131,31 @@ class Process:
         self.name = name
         self.daemon = daemon
         self.done = False
+        self.cancelled = False
         self.result: Any = None
         self._completion: SimEvent | None = None
 
+    def cancel(self) -> None:
+        """Kill the process immediately (fault injection: a rank crash).
+
+        Closes the generator — ``finally`` blocks run, so held resources
+        (NIC slots, queue locks) are released rather than leaked — and
+        marks the process done. Late wake-ups (a queued resource grant, a
+        message delivery) find ``cancelled`` set and are ignored instead
+        of deadlocking the heap. Joiners are resumed with ``None``.
+        """
+        if self.done:
+            return
+        self.done = True
+        self.cancelled = True
+        self.generator.close()
+        if self._completion is not None and not self._completion.fired:
+            self._completion.fire(None)
+
     def resume(self, value: Any) -> None:
         """Advance the generator; route the next request or finish."""
+        if self.cancelled:
+            return  # a wake-up raced with cancellation; drop it
         if self.done:
             raise SimulationError(f"process {self.name!r} resumed after completion")
         try:
@@ -206,12 +249,28 @@ class Resource:
     def release(self) -> None:
         if self.in_use <= 0:
             raise SimulationError("release() without a matching acquire()")
-        if self._queue:
+        while self._queue:
             proc = self._queue.popleft()
+            if proc.done:
+                continue  # cancelled while queued; the slot passes it by
             self.total_acquisitions += 1
-            proc.engine.schedule(0.0, lambda: proc.resume(None))
+            self._schedule_grant(proc)
+            return
+        self.in_use -= 1
+
+    def _schedule_grant(self, proc: Process) -> None:
+        """Hand the (already counted) slot to ``proc`` at the next tick.
+
+        If ``proc`` is cancelled between the grant and the wake-up, the
+        slot is released again instead of being held by a dead process.
+        """
+        proc.engine.schedule(0.0, lambda: self._deliver_grant(proc))
+
+    def _deliver_grant(self, proc: Process) -> None:
+        if proc.done:
+            self.release()
         else:
-            self.in_use -= 1
+            proc.resume(None)
 
 
 class _ResourceAcquire(Request):
@@ -223,7 +282,7 @@ class _ResourceAcquire(Request):
         if res.in_use < res.capacity:
             res.in_use += 1
             res.total_acquisitions += 1
-            engine.schedule(0.0, lambda: process.resume(None))
+            res._schedule_grant(process)
         else:
             res.total_waits += 1
             res._queue.append(process)

@@ -26,8 +26,14 @@ from typing import Any, Callable
 
 import numpy as np
 
+from repro.faults.injector import DELIVER, DROP, DUPLICATE
 from repro.simulate.engine import Engine, Resource, SimEvent, Timeout, hold
-from repro.util import ConfigurationError, check_non_negative, check_positive
+from repro.util import (
+    ConfigurationError,
+    RankFailedError,
+    check_non_negative,
+    check_positive,
+)
 
 
 @dataclass(frozen=True)
@@ -147,6 +153,10 @@ class Network:
         self.nics = [Resource(1) for _ in range(n_ranks)]
         self._mailboxes = [_Mailbox() for _ in range(n_ranks)]
         self.stats = NetworkStats(per_rank_bytes=np.zeros(n_ranks))
+        #: Optional :class:`repro.faults.FaultInjector`; ``None`` (the
+        #: default) keeps every fault check on a single attribute test, so
+        #: fault-free runs take exactly the pre-fault-subsystem code path.
+        self.faults = None
 
     def same_node(self, a: int, b: int) -> bool:
         """Whether two ranks share a node (False without a topology)."""
@@ -165,6 +175,25 @@ class Network:
         self.stats.bytes_moved += nbytes
         self.stats.per_rank_bytes[src] += nbytes
 
+    def _dead_target_check(self, src: int, dst: int, operation: str):
+        """Fail an operation whose remote target has crashed (generator).
+
+        The initiator burns software overhead plus the plan's RMA timeout
+        discovering the death, then gets :class:`RankFailedError` — the
+        on-contact detection path. Self-ops never fail (a dead rank's own
+        process is already cancelled).
+        """
+        if self.faults is not None and src != dst and self.faults.is_dead(dst):
+            self.faults.note_rma_failure()
+            yield Timeout(self.model.software_overhead + self.faults.plan.rma_timeout)
+            raise RankFailedError(dst, operation)
+
+    def drop_mailbox(self, rank: int) -> None:
+        """Discard a crashed rank's queued and in-flight-awaited messages."""
+        box = self._mailboxes[self._check_rank(rank)]
+        box.messages.clear()
+        box.waiters.clear()
+
     # ------------------------------------------------------------------
     # One-sided operations
     # ------------------------------------------------------------------
@@ -176,6 +205,8 @@ class Network:
         """
         self._check_rank(src)
         self._check_rank(dst)
+        if self.faults is not None:
+            yield from self._dead_target_check(src, dst, "rma")
         m = self.model
         self._account(src, nbytes)
         if src == dst:
@@ -205,6 +236,8 @@ class Network:
         """One-sided accumulate: remote read-modify-write of a block."""
         self._check_rank(src)
         self._check_rank(dst)
+        if self.faults is not None:
+            yield from self._dead_target_check(src, dst, "accumulate")
         m = self.model
         self.stats.accumulates += 1
         self._account(src, nbytes)
@@ -234,6 +267,8 @@ class Network:
         """
         self._check_rank(src)
         self._check_rank(dst)
+        if self.faults is not None:
+            yield from self._dead_target_check(src, dst, "fetch_add")
         m = self.model
         self.stats.fetch_adds += 1
         # Wire latency only across nodes; the read-modify-write always
@@ -264,6 +299,10 @@ class Network:
         Delivery (latency + NIC occupancy at the target) proceeds as a
         daemon process; ordering between same-pair sends is preserved by
         the deterministic event queue.
+
+        Under an active fault plan a message may be dropped (link loss,
+        or the target died) or duplicated; the *sender* never learns —
+        fire-and-forget means the initiator cost is identical either way.
         """
         self._check_rank(src)
         self._check_rank(dst)
@@ -272,6 +311,7 @@ class Network:
         self._account(src, nbytes)
         message = Message(src=src, tag=tag, payload=payload)
         intra = self.same_node(src, dst)
+        fate = DELIVER if self.faults is None else self.faults.message_fate(src, dst)
 
         def delivery():
             if intra:
@@ -279,13 +319,25 @@ class Network:
             else:
                 yield Timeout(m.latency)
                 yield from hold(self.nics[dst], m.nic_occupancy + m.transfer(nbytes))
+            if self.faults is not None and self.faults.is_dead(dst):
+                self.faults.stats["messages_dropped"] += 1.0
+                return
             self._mailboxes[dst].deliver(message)
+            if fate == DUPLICATE:
+                self._mailboxes[dst].deliver(Message(src=src, tag=tag, payload=payload))
 
-        self.engine.process(delivery(), name=f"deliver({src}->{dst})", daemon=True)
+        if fate != DROP:
+            self.engine.process(delivery(), name=f"deliver({src}->{dst})", daemon=True)
         yield Timeout(m.software_overhead)
 
-    def recv(self, rank: int, tag: Any = None):
-        """Blocking receive of the next message matching ``tag`` (None=any)."""
+    def recv(self, rank: int, tag: Any = None, timeout: float | None = None):
+        """Blocking receive of the next message matching ``tag`` (None=any).
+
+        With ``timeout`` set, gives up after that many simulated seconds
+        and returns ``None`` — the primitive under heartbeat-period
+        parking in fault-tolerant models (an indefinite receive can wait
+        forever on a message a dead rank will never send).
+        """
         self._check_rank(rank)
         box = self._mailboxes[rank]
         ready = box.take(tag)
@@ -293,7 +345,20 @@ class Network:
             yield Timeout(0.0)
             return ready
         event = SimEvent()
-        box.waiters.append((tag, event))
+        entry = (tag, event)
+        box.waiters.append(entry)
+        if timeout is not None:
+            check_non_negative("timeout", timeout)
+
+            def expire() -> None:
+                if not event.fired:
+                    try:
+                        box.waiters.remove(entry)
+                    except ValueError:
+                        pass
+                    event.fire(None)
+
+            self.engine.schedule(timeout, expire)
         message = yield event.wait()
         return message
 

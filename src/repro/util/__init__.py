@@ -6,6 +6,7 @@ from repro.util.errors import (
     SimulationError,
     SchedulingError,
     PartitionError,
+    RankFailedError,
 )
 from repro.util.validation import (
     check_positive,
@@ -21,6 +22,7 @@ __all__ = [
     "SimulationError",
     "SchedulingError",
     "PartitionError",
+    "RankFailedError",
     "check_positive",
     "check_non_negative",
     "check_probability",

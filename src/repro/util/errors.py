@@ -30,3 +30,18 @@ class SchedulingError(ReproError, RuntimeError):
 
 class PartitionError(ReproError, RuntimeError):
     """A load balancer or partitioner produced an invalid assignment."""
+
+
+class RankFailedError(ReproError, RuntimeError):
+    """A communication operation targeted a crashed rank.
+
+    Raised by the network layer after the operation's timeout elapses;
+    fault-tolerant execution models catch it (on-contact failure
+    detection) and re-route, while non-tolerant models let it propagate
+    and abort the run. ``rank`` identifies the dead target.
+    """
+
+    def __init__(self, rank: int, operation: str = "operation") -> None:
+        super().__init__(f"{operation} targeted failed rank {rank}")
+        self.rank = int(rank)
+        self.operation = operation

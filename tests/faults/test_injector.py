@@ -1,0 +1,137 @@
+"""FaultInjector runtime behaviour against a live engine + network."""
+
+import pytest
+
+from repro.faults import (
+    DELIVER,
+    FaultInjector,
+    FaultPlan,
+    MessageFaults,
+    RankCrash,
+    StallWindow,
+)
+from repro.simulate.engine import Engine, Timeout
+from repro.simulate.network import Network, NetworkModel
+from repro.util import ConfigurationError, RankFailedError
+
+
+def make_sim(n_ranks=4):
+    engine = Engine()
+    network = Network(engine, NetworkModel(), n_ranks)
+    return engine, network
+
+
+class TestValidation:
+    def test_plan_rank_beyond_machine_rejected(self):
+        engine, network = make_sim(4)
+        with pytest.raises(ConfigurationError, match="rank 7"):
+            FaultInjector(FaultPlan(crashes=(RankCrash(7, 1.0),)), engine, network)
+
+    def test_crashing_every_rank_rejected(self):
+        engine, network = make_sim(2)
+        plan = FaultPlan(crashes=(RankCrash(0, 1.0), RankCrash(1, 1.0)))
+        with pytest.raises(ConfigurationError, match="every rank"):
+            FaultInjector(plan, engine, network)
+
+
+class TestCrash:
+    def test_crash_fires_at_plan_time(self):
+        engine, network = make_sim()
+        plan = FaultPlan(crashes=(RankCrash(1, 2.0),))
+        injector = FaultInjector(plan, engine, network)
+
+        def victim():
+            yield Timeout(100.0)
+
+        proc = engine.process(victim(), name="victim", daemon=True)
+        injector.arm({1: proc})
+        engine.run(until=1.0)
+        assert not injector.is_dead(1)
+        engine.run(until=3.0)
+        assert injector.is_dead(1)
+        assert injector.dead_since[1] == pytest.approx(2.0)
+        assert proc.cancelled
+        assert injector.failed_ranks == (1,)
+        assert injector.stats["ranks_crashed"] == 1.0
+
+    def test_crash_wipes_mailbox(self):
+        engine, network = make_sim()
+        plan = FaultPlan(crashes=(RankCrash(1, 1.0),))
+        injector = FaultInjector(plan, engine, network)
+
+        def sender():
+            yield from network.send(0, 1, "tag", None, 64)
+
+        engine.process(sender(), daemon=True)
+        injector.arm({})
+        engine.run()
+        assert network.try_recv(1, "tag") is None
+
+    def test_dead_rma_target_raises_after_timeout(self):
+        engine, network = make_sim()
+        plan = FaultPlan(crashes=(RankCrash(2, 0.0),), rma_timeout=1.0)
+        injector = FaultInjector(plan, engine, network)
+        network.faults = injector
+        injector.arm({})
+        caught = []
+
+        def prober():
+            yield Timeout(0.5)  # let the crash fire
+            start = engine.now
+            try:
+                yield from network.get(0, 2, 1024)
+            except RankFailedError as err:
+                caught.append((err.rank, engine.now - start))
+
+        engine.process(prober())
+        engine.run()
+        assert caught and caught[0][0] == 2
+        assert caught[0][1] >= 1.0  # burned at least the RMA timeout
+        assert injector.stats["rma_failures"] == 1.0
+
+
+class TestStalls:
+    def test_stall_until_inside_window(self):
+        engine, network = make_sim()
+        plan = FaultPlan(stalls=(StallWindow(0, 1.0, 2.0),))
+        injector = FaultInjector(plan, engine, network)
+        assert injector.stall_until(0, 1.5) == 2.0
+        assert injector.stall_until(0, 0.5) == 0.5
+        assert injector.stall_until(0, 2.0) == 2.0
+        assert injector.stall_until(1, 1.5) == 1.5
+
+    def test_chained_windows_extend(self):
+        engine, network = make_sim()
+        plan = FaultPlan(
+            stalls=(StallWindow(0, 1.0, 2.0), StallWindow(0, 1.9, 3.0))
+        )
+        injector = FaultInjector(plan, engine, network)
+        assert injector.stall_until(0, 1.2) == 3.0
+
+
+class TestMessageFates:
+    def test_deterministic_sequence(self):
+        fates = []
+        for _ in range(2):
+            engine, network = make_sim()
+            plan = FaultPlan(
+                message_faults=MessageFaults(drop=0.3, duplicate=0.3), seed=5
+            )
+            injector = FaultInjector(plan, engine, network)
+            fates.append([injector.message_fate(0, 1) for _ in range(200)])
+        assert fates[0] == fates[1]
+        assert len(set(fates[0])) == 3  # all three outcomes occur
+
+    def test_no_faults_always_deliver(self):
+        engine, network = make_sim()
+        injector = FaultInjector(FaultPlan(), engine, network)
+        assert all(injector.message_fate(0, 1) == DELIVER for _ in range(50))
+
+    def test_link_filter_respected(self):
+        engine, network = make_sim()
+        plan = FaultPlan(
+            message_faults=MessageFaults(drop=1.0, links=frozenset({(0, 1)}))
+        )
+        injector = FaultInjector(plan, engine, network)
+        assert injector.message_fate(2, 3) == DELIVER
+        assert injector.message_fate(0, 1) != DELIVER

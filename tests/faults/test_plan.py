@@ -1,0 +1,96 @@
+"""FaultPlan construction, validation, and the CLI spec parser."""
+
+import pytest
+
+from repro.faults import (
+    FaultPlan,
+    MessageFaults,
+    RankCrash,
+    StallWindow,
+    plan_from_spec,
+)
+from repro.util import ConfigurationError
+
+
+class TestFaultPlan:
+    def test_default_plan_is_empty(self):
+        assert FaultPlan().empty
+
+    def test_crash_makes_plan_non_empty(self):
+        assert not FaultPlan(crashes=(RankCrash(0, 1.0),)).empty
+
+    def test_stall_makes_plan_non_empty(self):
+        assert not FaultPlan(stalls=(StallWindow(0, 0.0, 1.0),)).empty
+
+    def test_inactive_message_faults_stay_empty(self):
+        plan = FaultPlan(message_faults=MessageFaults(drop=0.0, duplicate=0.0))
+        assert plan.empty
+
+    def test_active_message_faults_non_empty(self):
+        assert not FaultPlan(message_faults=MessageFaults(drop=0.1)).empty
+
+    def test_duplicate_crash_rank_rejected(self):
+        with pytest.raises(ConfigurationError, match="more than once"):
+            FaultPlan(crashes=(RankCrash(2, 1.0), RankCrash(2, 2.0)))
+
+    def test_crashed_ranks(self):
+        plan = FaultPlan(crashes=(RankCrash(4, 1.0), RankCrash(1, 2.0)))
+        assert plan.crashed_ranks == frozenset({1, 4})
+
+    def test_max_rank_spans_all_fault_kinds(self):
+        plan = FaultPlan(
+            crashes=(RankCrash(2, 1.0),),
+            stalls=(StallWindow(7, 0.0, 1.0),),
+            message_faults=MessageFaults(drop=0.1, links=frozenset({(0, 9)})),
+        )
+        assert plan.max_rank() == 9
+
+    def test_negative_rank_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RankCrash(-1, 1.0)
+
+    def test_backwards_stall_window_rejected(self):
+        with pytest.raises(ConfigurationError, match="exceed"):
+            StallWindow(0, 2.0, 1.0)
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MessageFaults(drop=1.5)
+
+    def test_link_filter(self):
+        mf = MessageFaults(drop=0.5, links=frozenset({(0, 1)}))
+        assert mf.applies(0, 1)
+        assert not mf.applies(1, 0)
+
+
+class TestPlanFromSpec:
+    def test_full_spec(self):
+        plan = plan_from_spec(
+            "crash:2@0.3, stall:1@0.1-0.2, drop:0.01, dup:0.02, seed:9,"
+            " timeout:1e-5, detect:3e-4",
+            time_scale=10.0,
+        )
+        assert plan.crashes == (RankCrash(2, 3.0),)
+        assert plan.stalls == (StallWindow(1, 1.0, 2.0),)
+        assert plan.message_faults.drop == 0.01
+        assert plan.message_faults.duplicate == 0.02
+        assert plan.seed == 9
+        assert plan.rma_timeout == 1e-5
+        assert plan.detection_latency == 3e-4
+
+    def test_timeout_and_detect_not_scaled(self):
+        plan = plan_from_spec("crash:0@1.0,timeout:1e-5,detect:1e-3", time_scale=100.0)
+        assert plan.crashes[0].time == 100.0
+        assert plan.rma_timeout == 1e-5
+        assert plan.detection_latency == 1e-3
+
+    def test_empty_spec_gives_empty_plan(self):
+        assert plan_from_spec("").empty
+
+    def test_unknown_term_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown fault term"):
+            plan_from_spec("explode:3")
+
+    def test_malformed_term_rejected(self):
+        with pytest.raises(ConfigurationError, match="malformed"):
+            plan_from_spec("crash:abc@x")

@@ -1,0 +1,173 @@
+"""Process cancellation and the cancel-safe Resource (fault substrate)."""
+
+import pytest
+
+from repro.simulate.engine import Engine, Resource, SimulationError, Timeout
+
+
+class TestProcessCancel:
+    def test_cancel_stops_execution(self):
+        engine = Engine()
+        steps = []
+
+        def proc():
+            steps.append("a")
+            yield Timeout(1.0)
+            steps.append("b")
+
+        p = engine.process(proc())
+        engine.schedule(0.5, p.cancel)
+        engine.run()
+        assert steps == ["a"]
+        assert p.done and p.cancelled
+
+    def test_cancel_runs_finally_blocks(self):
+        engine = Engine()
+        cleaned = []
+
+        def proc():
+            try:
+                yield Timeout(10.0)
+            finally:
+                cleaned.append(True)
+
+        p = engine.process(proc())
+        engine.schedule(1.0, p.cancel)
+        engine.run()
+        assert cleaned == [True]
+
+    def test_cancelled_process_not_deadlock(self):
+        """A cancelled process never counts as blocked."""
+        engine = Engine()
+        resource = Resource(1)
+
+        def holder():
+            yield resource.acquire()
+            yield Timeout(5.0)
+            resource.release()
+
+        def waiter():
+            yield resource.acquire()
+            resource.release()
+
+        engine.process(holder())
+        w = engine.process(waiter())
+        engine.schedule(1.0, w.cancel)
+        engine.run()  # must not raise deadlock
+
+    def test_cancel_releases_held_resource(self):
+        """finally-based release lets a queued waiter proceed."""
+        engine = Engine()
+        resource = Resource(1)
+        got = []
+
+        def holder():
+            yield resource.acquire()
+            try:
+                yield Timeout(100.0)
+            finally:
+                resource.release()
+
+        def waiter():
+            yield resource.acquire()
+            got.append(engine.now)
+            resource.release()
+
+        h = engine.process(holder())
+        engine.process(waiter())
+        engine.schedule(2.0, h.cancel)
+        engine.run()
+        assert got and got[0] == pytest.approx(2.0)
+
+    def test_cancel_while_queued_skips_grant(self):
+        """A waiter cancelled in the queue must not swallow the slot."""
+        engine = Engine()
+        resource = Resource(1)
+        winners = []
+
+        def holder():
+            yield resource.acquire()
+            yield Timeout(5.0)
+            resource.release()
+
+        def waiter(name):
+            yield resource.acquire()
+            winners.append(name)
+            resource.release()
+
+        engine.process(holder())
+        doomed = engine.process(waiter("doomed"))
+        engine.process(waiter("survivor"))
+        engine.schedule(1.0, doomed.cancel)
+        engine.run()
+        assert winners == ["survivor"]
+        assert resource.in_use == 0
+
+    def test_double_cancel_harmless(self):
+        engine = Engine()
+
+        def proc():
+            yield Timeout(10.0)
+
+        p = engine.process(proc())
+        engine.schedule(1.0, p.cancel)
+        engine.schedule(2.0, p.cancel)
+        engine.run()
+        assert p.cancelled
+
+
+class TestBlockedIntrospection:
+    def test_blocked_lists_unfinished(self):
+        engine = Engine()
+
+        def fast():
+            yield Timeout(1.0)
+
+        def slow():
+            yield Timeout(10.0)
+
+        engine.process(fast(), name="fast")
+        engine.process(slow(), name="slow")
+        engine.run(until=5.0)
+        names = [p.name for p in engine.blocked()]
+        assert names == ["slow"]
+
+    def test_blocked_empty_after_full_run(self):
+        engine = Engine()
+
+        def fine():
+            yield Timeout(1.0)
+
+        engine.process(fine())
+        engine.run()
+        assert engine.blocked() == []
+
+    def test_daemons_never_blocked(self):
+        engine = Engine()
+
+        def forever():
+            while True:
+                yield Timeout(1.0)
+
+        engine.process(forever(), daemon=True)
+        engine.run(until=3.0)
+        assert engine.blocked() == []
+
+    def test_bounded_run_skips_deadlock_check(self):
+        """run(until=...) stopping at the horizon must not raise even
+        with blocked processes — documented early-return semantics."""
+        engine = Engine()
+
+        def slow():
+            yield Timeout(10.0)
+
+        engine.process(slow())
+        engine.run(until=1.0)  # must not raise
+        assert len(engine.blocked()) == 1
+        engine.run()  # completes normally
+        assert engine.blocked() == []
+
+    def test_release_without_acquire_still_raises(self):
+        resource = Resource(1)
+        with pytest.raises(SimulationError, match="release"):
+            resource.release()

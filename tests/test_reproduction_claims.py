@@ -3,7 +3,9 @@
 The benchmark suite regenerates the full evaluation; these are compact
 versions sized for the unit-test run, so `pytest tests/` alone certifies
 that the reproduction's headline findings still hold. Claim mapping and
-full-size measurements: DESIGN.md / EXPERIMENTS.md.
+full-size measurements: DESIGN.md / EXPERIMENTS.md. C5 extends C3/C4 to
+outright failures (E16): the dynamic model's machinery recovers from
+crashes that the static model can only detect.
 """
 
 import time
@@ -106,3 +108,64 @@ class TestClaimC4VariabilityRobustness:
         assert degradation["static_cyclic"] > 1.8
         assert degradation["work_stealing"] < 1.3
         assert degradation["work_stealing"] < degradation["static_cyclic"]
+
+
+class TestClaimC5FaultTolerance:
+    """Execution models differ in how they absorb *failures*, not just
+    noise: work stealing recovers a crashed rank's tasks, a static
+    schedule cannot (E16)."""
+
+    @pytest.fixture(scope="class")
+    def crash_setup(self, study_graph):
+        from repro.faults import FaultPlan, RankCrash
+
+        machine = commodity_cluster(16)
+        base = make_model("ft_work_stealing").run(study_graph, machine, seed=1)
+        plan = FaultPlan(crashes=(RankCrash(3, 0.3 * base.makespan),))
+        return machine, base, plan
+
+    def test_zero_fault_plan_reproduces_baseline_bitwise(self, study_graph):
+        from repro.faults import FaultPlan
+
+        machine = commodity_cluster(16)
+        for name, plain_name in (
+            ("ft_work_stealing", "work_stealing"),
+            ("ft_static_block", "static_block"),
+        ):
+            plain = make_model(plain_name).run(study_graph, machine, seed=1)
+            ft = make_model(name).run(
+                study_graph, machine, seed=1, faults=FaultPlan()
+            )
+            assert ft.makespan == plain.makespan
+            assert (ft.assignment == plain.assignment).all()
+            assert (ft.finish_times == plain.finish_times).all()
+            for cat in plain.breakdown:
+                assert (ft.breakdown[cat] == plain.breakdown[cat]).all()
+
+    def test_stealing_recovers_static_degrades(self, study_graph, crash_setup):
+        machine, base, plan = crash_setup
+        ws = make_model("ft_work_stealing").run(
+            study_graph, machine, seed=1, faults=plan
+        )
+        st = make_model("ft_static_block").run(
+            study_graph, machine, seed=1, faults=plan
+        )
+        assert ws.completion_rate == 1.0 and not ws.degraded
+        assert ws.counters["tasks_recovered"] > 0
+        # Recovery costs real time but far less than losing the rank's work.
+        assert base.makespan < ws.makespan < 2.0 * base.makespan
+        assert st.degraded and st.completion_rate < 1.0
+        assert st.counters["tasks_lost"] > 0
+
+    def test_same_seed_same_plan_identical_runs(self, study_graph, crash_setup):
+        machine, _, plan = crash_setup
+        a = make_model("ft_work_stealing").run(
+            study_graph, machine, seed=1, faults=plan
+        )
+        b = make_model("ft_work_stealing").run(
+            study_graph, machine, seed=1, faults=plan
+        )
+        assert a.makespan == b.makespan
+        assert (a.assignment == b.assignment).all()
+        assert a.counters == b.counters
+        assert a.failed_ranks == b.failed_ranks
