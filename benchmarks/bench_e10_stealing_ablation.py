@@ -7,41 +7,55 @@ model *details* (not just the family) move performance.
 
 import pytest
 
-from repro.core import format_table
-from repro.exec_models import WorkStealing
-from repro.simulate import commodity_cluster
+from repro.api import SweepCell, commodity_cluster, format_table
 
+#: (label, registry model) — each ablation point is a registry entry, so
+#: the sweep cache can address it by name alone.
 CONFIGS = (
-    ("half/random/block", dict(steal="half", victim="random", initial="block")),
-    ("one/random/block", dict(steal="one", victim="random", initial="block")),
-    ("half/ring/block", dict(steal="half", victim="ring", initial="block")),
-    ("half/random/cyclic", dict(steal="half", victim="random", initial="cyclic")),
+    ("half/random/block", "work_stealing"),
+    ("one/random/block", "work_stealing_one"),
+    ("half/ring/block", "work_stealing_ring"),
+    ("half/random/cyclic", "work_stealing_cyclic"),
 )
 RANKS = (64, 256)
 
 
-def run_ablation(graph):
+def run_ablation(graph, runner):
+    grid = [
+        (n_ranks, label, model_name)
+        for n_ranks in RANKS
+        for label, model_name in CONFIGS
+    ]
+    cells = [
+        SweepCell(
+            model=model_name,
+            graph=graph,
+            machine=commodity_cluster(n_ranks),
+            seed=6,
+            tag=label,
+        )
+        for n_ranks, label, model_name in grid
+    ]
     rows = []
-    for n_ranks in RANKS:
-        machine = commodity_cluster(n_ranks)
-        for label, kwargs in CONFIGS:
-            result = WorkStealing(**kwargs).run(graph, machine, seed=6)
-            rows.append(
-                {
-                    "P": n_ranks,
-                    "config": label,
-                    "makespan_ms": result.makespan * 1e3,
-                    "steals": result.counters["steal_successes"],
-                    "failed": result.counters["failed_steals"],
-                    "stolen_tasks": result.counters["tasks_stolen"],
-                }
-            )
+    for (n_ranks, label, _), result in zip(grid, runner.run_cells(cells)):
+        rows.append(
+            {
+                "P": n_ranks,
+                "config": label,
+                "makespan_ms": result.makespan * 1e3,
+                "steals": result.counters["steal_successes"],
+                "failed": result.counters["failed_steals"],
+                "stolen_tasks": result.counters["tasks_stolen"],
+            }
+        )
     return rows
 
 
 @pytest.mark.benchmark(group="e10")
-def test_e10_stealing_ablation(benchmark, water8_graph, emit):
-    rows = benchmark.pedantic(run_ablation, args=(water8_graph,), rounds=1, iterations=1)
+def test_e10_stealing_ablation(benchmark, water8_graph, sweep_runner, emit):
+    rows = benchmark.pedantic(
+        run_ablation, args=(water8_graph, sweep_runner), rounds=1, iterations=1
+    )
     emit(
         "e10_stealing_ablation",
         format_table(

@@ -10,43 +10,55 @@ parallel slack costs more at high rank counts relative to its own ideal.
 
 import pytest
 
-from repro.chemistry import ScfProblem, build_symmetric_task_graph, water_cluster
-from repro.core import format_table
-from repro.exec_models import make_model
-from repro.simulate import commodity_cluster
+from repro.api import ScfProblem, SweepCell, commodity_cluster, format_table, water_cluster
+from repro.chemistry import build_symmetric_task_graph
 
 MODELS = ("static_cyclic", "counter_dynamic", "work_stealing")
 RANKS = (64, 256)
 
 
-def run_comparison():
+def run_comparison(runner):
     problem = ScfProblem.build(water_cluster(6, seed=0), block_size=6, tau=1.0e-10)
     full = problem.graph
     folded = build_symmetric_task_graph(
         problem.basis, problem.blocks, problem.screen, tau=1.0e-10
     )
+    grid = [
+        (label, graph, n_ranks, model_name)
+        for label, graph in (("full", full), ("folded", folded))
+        for n_ranks in RANKS
+        for model_name in MODELS
+    ]
+    cells = [
+        SweepCell(
+            model=model_name,
+            graph=graph,
+            machine=commodity_cluster(n_ranks),
+            seed=7,
+            tag=f"{label}/{model_name}",
+        )
+        for label, graph, n_ranks, model_name in grid
+    ]
     rows = []
-    for label, graph in (("full", full), ("folded", folded)):
-        for n_ranks in RANKS:
-            machine = commodity_cluster(n_ranks)
-            for model_name in MODELS:
-                result = make_model(model_name).run(graph, machine, seed=7)
-                rows.append(
-                    {
-                        "formulation": label,
-                        "n_tasks": graph.n_tasks,
-                        "P": n_ranks,
-                        "model": model_name,
-                        "makespan_ms": result.makespan * 1e3,
-                        "efficiency": result.efficiency,
-                    }
-                )
+    for (label, graph, n_ranks, model_name), result in zip(grid, runner.run_cells(cells)):
+        rows.append(
+            {
+                "formulation": label,
+                "n_tasks": graph.n_tasks,
+                "P": n_ranks,
+                "model": model_name,
+                "makespan_ms": result.makespan * 1e3,
+                "efficiency": result.efficiency,
+            }
+        )
     return rows, full, folded
 
 
 @pytest.mark.benchmark(group="e11")
-def test_e11_symmetry_formulation(benchmark, emit):
-    rows, full, folded = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+def test_e11_symmetry_formulation(benchmark, sweep_runner, emit):
+    rows, full, folded = benchmark.pedantic(
+        run_comparison, args=(sweep_runner,), rounds=1, iterations=1
+    )
     emit(
         "e11_symmetry",
         format_table(

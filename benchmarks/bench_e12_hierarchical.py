@@ -15,9 +15,7 @@ space splits again:
 
 import pytest
 
-from repro.core import format_table
-from repro.exec_models import make_model
-from repro.simulate import hierarchical_cluster
+from repro.api import SweepCell, format_table, hierarchical_cluster
 
 MODELS = (
     "counter_dynamic",
@@ -30,28 +28,36 @@ NODES = (4, 16)
 CORES = 16
 
 
-def run_sweep(graph):
+def run_sweep(graph, runner):
+    grid = [
+        (n_nodes, hierarchical_cluster(n_nodes, CORES), model_name)
+        for n_nodes in NODES
+        for model_name in MODELS
+    ]
+    cells = [
+        SweepCell(model=model_name, graph=graph, machine=machine, seed=9)
+        for _, machine, model_name in grid
+    ]
     rows = []
-    for n_nodes in NODES:
-        machine = hierarchical_cluster(n_nodes, CORES)
-        for model_name in MODELS:
-            result = make_model(model_name).run(graph, machine, seed=9)
-            rows.append(
-                {
-                    "nodes": n_nodes,
-                    "P": machine.n_ranks,
-                    "model": model_name,
-                    "makespan_ms": result.makespan * 1e3,
-                    "overhead%": 100 * result.breakdown_fractions()["overhead"],
-                    "idle%": 100 * result.breakdown_fractions()["idle"],
-                }
-            )
+    for (n_nodes, machine, model_name), result in zip(grid, runner.run_cells(cells)):
+        rows.append(
+            {
+                "nodes": n_nodes,
+                "P": machine.n_ranks,
+                "model": model_name,
+                "makespan_ms": result.makespan * 1e3,
+                "overhead%": 100 * result.breakdown_fractions()["overhead"],
+                "idle%": 100 * result.breakdown_fractions()["idle"],
+            }
+        )
     return rows
 
 
 @pytest.mark.benchmark(group="e12")
-def test_e12_hierarchical_models(benchmark, water8_graph, emit):
-    rows = benchmark.pedantic(run_sweep, args=(water8_graph,), rounds=1, iterations=1)
+def test_e12_hierarchical_models(benchmark, water8_graph, sweep_runner, emit):
+    rows = benchmark.pedantic(
+        run_sweep, args=(water8_graph, sweep_runner), rounds=1, iterations=1
+    )
     emit(
         "e12_hierarchical",
         format_table(

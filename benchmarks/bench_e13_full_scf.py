@@ -11,22 +11,31 @@ measurements (it pays zero runtime scheduling overhead).
 
 import pytest
 
-from repro.core import format_table
-from repro.exec_models import ScfSimulation
+from repro.api import SweepCell, commodity_cluster, format_table
 from repro.exec_models.scf_simulation import MODES
-from repro.simulate import RandomStaticVariability, commodity_cluster
+from repro.simulate import RandomStaticVariability
 
 N_RANKS = 64
 N_ITERATIONS = 6
 
 
-def run_sweep(graph):
+def run_sweep(graph, runner):
     machine = commodity_cluster(
         N_RANKS, variability=RandomStaticVariability(N_RANKS, sigma=0.3, seed=13)
     )
+    cells = [
+        SweepCell(
+            model=mode,
+            graph=graph,
+            machine=machine,
+            seed=3,
+            kind="scf_sim",
+            options=(("n_iterations", N_ITERATIONS),),
+        )
+        for mode in MODES
+    ]
     rows = []
-    for mode in MODES:
-        result = ScfSimulation(mode).run(graph, machine, n_iterations=N_ITERATIONS, seed=3)
+    for mode, result in zip(MODES, runner.run_cells(cells)):
         rows.append(
             {
                 "mode": mode,
@@ -40,8 +49,10 @@ def run_sweep(graph):
 
 
 @pytest.mark.benchmark(group="e13")
-def test_e13_full_scf(benchmark, water6_problem, emit):
-    rows = benchmark.pedantic(run_sweep, args=(water6_problem.graph,), rounds=1, iterations=1)
+def test_e13_full_scf(benchmark, water6_problem, sweep_runner, emit):
+    rows = benchmark.pedantic(
+        run_sweep, args=(water6_problem.graph, sweep_runner), rounds=1, iterations=1
+    )
     emit(
         "e13_full_scf",
         format_table(

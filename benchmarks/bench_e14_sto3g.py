@@ -12,8 +12,7 @@ artifact of the simplified s-only basis.
 import pytest
 
 from repro.analysis import cost_statistics
-from repro.chemistry import ScfProblem, water_cluster
-from repro.core import StudyConfig, format_table, run_study
+from repro.api import ScfProblem, StudyConfig, format_table, water_cluster
 
 MODELS = ("static_block", "static_cyclic", "counter_dynamic", "work_stealing")
 # water_cluster(3) keeps the (expensive) STO-3G setup affordable, so the
@@ -22,7 +21,7 @@ MODELS = ("static_block", "static_cyclic", "counter_dynamic", "work_stealing")
 RANKS = (16, 64)
 
 
-def run_comparison():
+def run_comparison(runner):
     molecule = water_cluster(3, seed=0)
     rows = []
     reports = {}
@@ -32,7 +31,7 @@ def run_comparison():
         )
         stats = cost_statistics(problem.graph.costs)
         config = StudyConfig(models=MODELS, n_ranks=RANKS, seed=5)
-        report = run_study(config, problem=problem)
+        report = runner.run_study(config, problem)
         reports[basis_set] = report
         for p in RANKS:
             for model in MODELS:
@@ -51,8 +50,10 @@ def run_comparison():
 
 
 @pytest.mark.benchmark(group="e14")
-def test_e14_sto3g_workload(benchmark, emit):
-    rows, reports = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+def test_e14_sto3g_workload(benchmark, sweep_runner, emit):
+    rows, reports = benchmark.pedantic(
+        run_comparison, args=(sweep_runner,), rounds=1, iterations=1
+    )
     emit(
         "e14_sto3g",
         format_table(

@@ -14,10 +14,7 @@ not let you do.
 
 import pytest
 
-from repro.chemistry import ScfProblem, water_cluster
-from repro.core import format_table
-from repro.exec_models import make_model
-from repro.simulate import commodity_cluster
+from repro.api import ScfProblem, SweepCell, commodity_cluster, format_table, water_cluster
 
 MODELS = ("static_block", "counter_dynamic", "work_stealing")
 #: (n_waters, n_ranks) pairs; the task count grows ~quartically in the
@@ -25,37 +22,54 @@ MODELS = ("static_block", "counter_dynamic", "work_stealing")
 STEPS = ((2, 8), (4, 80), (6, 480))
 
 
-def run_sweep():
+def run_sweep(runner):
+    graphs = {
+        n_waters: ScfProblem.build(
+            water_cluster(n_waters, seed=0), block_size=4, tau=1.0e-10
+        ).graph
+        for n_waters, _ in STEPS
+    }
+    grid = [
+        (n_waters, n_ranks, model_name)
+        for n_waters, n_ranks in STEPS
+        for model_name in MODELS
+    ]
+    cells = [
+        SweepCell(
+            model=model_name,
+            graph=graphs[n_waters],
+            machine=commodity_cluster(n_ranks),
+            seed=8,
+        )
+        for n_waters, n_ranks, model_name in grid
+    ]
     rows = []
     base: dict[str, tuple[float, float]] = {}
-    for n_waters, n_ranks in STEPS:
-        problem = ScfProblem.build(water_cluster(n_waters, seed=0), block_size=4, tau=1.0e-10)
-        machine = commodity_cluster(n_ranks)
-        work_per_rank = problem.graph.total_flops / n_ranks
-        for model_name in MODELS:
-            result = make_model(model_name).run(problem.graph, machine, seed=8)
-            if model_name not in base:
-                base[model_name] = (result.makespan, work_per_rank)
-            t0, w0 = base[model_name]
-            # Weak efficiency normalized by the actual per-rank work
-            # ratio (the molecule family cannot scale work perfectly).
-            weak_eff = (work_per_rank / w0) / (result.makespan / t0)
-            rows.append(
-                {
-                    "waters": n_waters,
-                    "P": n_ranks,
-                    "tasks/rank": problem.graph.n_tasks / n_ranks,
-                    "model": model_name,
-                    "makespan_ms": result.makespan * 1e3,
-                    "weak_eff": weak_eff,
-                }
-            )
+    for (n_waters, n_ranks, model_name), result in zip(grid, runner.run_cells(cells)):
+        graph = graphs[n_waters]
+        work_per_rank = graph.total_flops / n_ranks
+        if model_name not in base:
+            base[model_name] = (result.makespan, work_per_rank)
+        t0, w0 = base[model_name]
+        # Weak efficiency normalized by the actual per-rank work
+        # ratio (the molecule family cannot scale work perfectly).
+        weak_eff = (work_per_rank / w0) / (result.makespan / t0)
+        rows.append(
+            {
+                "waters": n_waters,
+                "P": n_ranks,
+                "tasks/rank": graph.n_tasks / n_ranks,
+                "model": model_name,
+                "makespan_ms": result.makespan * 1e3,
+                "weak_eff": weak_eff,
+            }
+        )
     return rows
 
 
 @pytest.mark.benchmark(group="e15")
-def test_e15_weak_scaling(benchmark, emit):
-    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+def test_e15_weak_scaling(benchmark, sweep_runner, emit):
+    rows = benchmark.pedantic(run_sweep, args=(sweep_runner,), rounds=1, iterations=1)
     emit(
         "e15_weak_scaling",
         format_table(

@@ -16,11 +16,9 @@ scenarios on one workload:
 
 import pytest
 
+from repro.api import FaultPlan, SweepCell, commodity_cluster, format_table
 from repro.chemistry.tasks import synthetic_task_graph
-from repro.core import format_table
-from repro.exec_models import make_model
-from repro.faults import FaultPlan, MessageFaults, RankCrash, StallWindow
-from repro.simulate import commodity_cluster
+from repro.faults import MessageFaults, RankCrash, StallWindow
 
 N_RANKS = 16
 MODELS = ("ft_static_block", "ft_work_stealing")
@@ -44,36 +42,55 @@ def scenarios(base_makespan: float):
     }
 
 
-def run_sweep():
+def run_sweep(runner):
     graph = build_graph()
     machine = commodity_cluster(N_RANKS)
-    # Scale crash/stall times off the fault-free stealing makespan.
-    base = make_model("work_stealing").run(graph, machine, seed=2)
+    # Phase 1: the fault-free stealing makespan sets the crash/stall
+    # times, so it must land before the scenario grid can be built.
+    base = runner.run_cell(
+        SweepCell(model="work_stealing", graph=graph, machine=machine, seed=2)
+    )
+    grid = [
+        (scenario, plan, name)
+        for scenario, plan in scenarios(base.makespan).items()
+        for name in MODELS
+    ]
+    cells = [
+        SweepCell(
+            model=name,
+            graph=graph,
+            machine=machine,
+            seed=2,
+            faults=plan,
+            tag=f"{scenario}/{name}",
+        )
+        for scenario, plan, name in grid
+    ]
     rows = []
     results = {}
-    for scenario, plan in scenarios(base.makespan).items():
-        for name in MODELS:
-            r = make_model(name).run(graph, machine, seed=2, faults=plan)
-            results[(scenario, name)] = r
-            fracs = r.breakdown_fractions()
-            rows.append(
-                {
-                    "scenario": scenario,
-                    "model": name,
-                    "makespan_ms": r.makespan * 1e3,
-                    "completion": r.completion_rate,
-                    "failed%": 100 * fracs["failed"],
-                    "replayed": r.counters.get("tasks_replayed", 0.0),
-                    "recovered": r.counters.get("tasks_recovered", 0.0),
-                    "degraded": "yes" if r.degraded else "",
-                }
-            )
+    for (scenario, _, name), r in zip(grid, runner.run_cells(cells)):
+        results[(scenario, name)] = r
+        fracs = r.breakdown_fractions()
+        rows.append(
+            {
+                "scenario": scenario,
+                "model": name,
+                "makespan_ms": r.makespan * 1e3,
+                "completion": r.completion_rate,
+                "failed%": 100 * fracs["failed"],
+                "replayed": r.counters.get("tasks_replayed", 0.0),
+                "recovered": r.counters.get("tasks_recovered", 0.0),
+                "degraded": "yes" if r.degraded else "",
+            }
+        )
     return base, rows, results
 
 
 @pytest.mark.benchmark(group="e16")
-def test_e16_fault_tolerance(benchmark, emit):
-    base, rows, results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+def test_e16_fault_tolerance(benchmark, sweep_runner, emit):
+    base, rows, results = benchmark.pedantic(
+        run_sweep, args=(sweep_runner,), rounds=1, iterations=1
+    )
     emit(
         "e16_faults",
         format_table(

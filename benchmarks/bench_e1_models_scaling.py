@@ -8,17 +8,17 @@ and work stealing.
 
 import pytest
 
-from repro.core import StudyConfig, format_table, run_study
+from repro.api import StudyConfig, format_table
 
 MODELS = ("static_block", "static_cyclic", "counter_dynamic", "work_stealing")
 RANKS = (16, 64, 256)
 
 
 @pytest.mark.benchmark(group="e1")
-def test_e1_models_scaling(benchmark, water8_graph, emit):
+def test_e1_models_scaling(benchmark, water8_graph, sweep_runner, emit):
     def experiment():
         config = StudyConfig(models=MODELS, n_ranks=RANKS, seed=1)
-        return run_study(config, graph=water8_graph)
+        return sweep_runner.run_study(config, water8_graph)
 
     report = benchmark.pedantic(experiment, rounds=1, iterations=1)
 

@@ -7,7 +7,7 @@ execution-model overhead trade-offs.
 
 import pytest
 
-from repro.core import StudyConfig, format_table, run_study
+from repro.api import StudyConfig, format_table
 
 MODELS = (
     "static_block",
@@ -19,10 +19,10 @@ MODELS = (
 
 
 @pytest.mark.benchmark(group="e2")
-def test_e2_breakdown(benchmark, water8_graph, emit):
+def test_e2_breakdown(benchmark, water8_graph, sweep_runner, emit):
     def experiment():
         config = StudyConfig(models=MODELS, n_ranks=(128,), seed=2)
-        return run_study(config, graph=water8_graph)
+        return sweep_runner.run_study(config, water8_graph)
 
     report = benchmark.pedantic(experiment, rounds=1, iterations=1)
     rows = report.rows()

@@ -19,7 +19,7 @@ from repro.balance import (
     rank_loads,
     semi_matching_balancer,
 )
-from repro.core import format_table
+from repro.api import format_table
 from repro.runtime.garrays import BlockDistribution
 
 BALANCERS = (

@@ -10,8 +10,8 @@ import time
 import pytest
 
 from repro.balance import hypergraph_balancer, lpt_balancer, semi_matching_balancer
+from repro.api import format_table
 from repro.chemistry.tasks import synthetic_task_graph
-from repro.core import format_table
 from repro.runtime.garrays import BlockDistribution
 
 SIZES = (500, 1000, 2000, 4000)

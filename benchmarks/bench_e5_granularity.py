@@ -9,34 +9,38 @@ each model bottoms out at a different block size.
 
 import pytest
 
-from repro.chemistry import ScfProblem, water_cluster
-from repro.core import format_table
-from repro.exec_models import make_model
-from repro.simulate import commodity_cluster
+from repro.api import ScfProblem, SweepCell, commodity_cluster, format_table, water_cluster
 
 BLOCK_SIZES = (2, 3, 4, 7, 10, 14)
 MODELS = ("static_cyclic", "counter_dynamic", "work_stealing")
 N_RANKS = 64
 
 
-def run_sweep():
+def run_sweep(runner):
     molecule = water_cluster(4, seed=0)
     machine = commodity_cluster(N_RANKS)
+    graphs = [
+        ScfProblem.build(molecule, block_size=block_size, tau=1.0e-10).graph
+        for block_size in BLOCK_SIZES
+    ]
+    cells = [
+        SweepCell(model=model_name, graph=graph, machine=machine, seed=3)
+        for graph in graphs
+        for model_name in MODELS
+    ]
+    results = iter(runner.run_cells(cells))
     rows = []
-    for block_size in BLOCK_SIZES:
-        problem = ScfProblem.build(molecule, block_size=block_size, tau=1.0e-10)
-        graph = problem.graph
+    for block_size, graph in zip(BLOCK_SIZES, graphs):
         row = {"block_size": block_size, "n_tasks": graph.n_tasks}
         for model_name in MODELS:
-            result = make_model(model_name).run(graph, machine, seed=3)
-            row[f"{model_name}_ms"] = result.makespan * 1e3
+            row[f"{model_name}_ms"] = next(results).makespan * 1e3
         rows.append(row)
     return rows
 
 
 @pytest.mark.benchmark(group="e5")
-def test_e5_granularity_tradeoff(benchmark, emit):
-    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+def test_e5_granularity_tradeoff(benchmark, sweep_runner, emit):
+    rows = benchmark.pedantic(run_sweep, args=(sweep_runner,), rounds=1, iterations=1)
     emit(
         "e5_granularity",
         format_table(

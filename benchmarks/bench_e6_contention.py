@@ -9,39 +9,47 @@ imbalance.
 
 import pytest
 
+from repro.api import SweepCell, commodity_cluster, format_table
 from repro.chemistry.tasks import synthetic_task_graph
-from repro.core import format_table
-from repro.exec_models import CounterDynamic
-from repro.simulate import commodity_cluster
 
 RANKS = (16, 64, 256)
 CHUNKS = (1, 4, 16)
 
 
-def run_sweep():
+def run_sweep(runner):
     # Deliberately fine tasks: ~8 us each, so claim rate is the bottleneck.
     graph = synthetic_task_graph(20_000, 24, seed=5, skew=0.5, mean_cost=5.0e4)
+    cells = [
+        SweepCell(
+            model="counter_dynamic",
+            graph=graph,
+            machine=commodity_cluster(n_ranks),
+            seed=1,
+            options=(("chunk", chunk),),
+            tag=f"counter_chunk{chunk}",
+        )
+        for n_ranks in RANKS
+        for chunk in CHUNKS
+    ]
     rows = []
-    for n_ranks in RANKS:
-        machine = commodity_cluster(n_ranks)
-        for chunk in CHUNKS:
-            result = CounterDynamic(chunk=chunk).run(graph, machine, seed=1)
-            rows.append(
-                {
-                    "P": n_ranks,
-                    "chunk": chunk,
-                    "makespan_ms": result.makespan * 1e3,
-                    "overhead%": 100 * result.breakdown_fractions()["overhead"],
-                    "idle%": 100 * result.breakdown_fractions()["idle"],
-                    "claims": result.counters["claims"],
-                }
-            )
+    grid = [(n_ranks, chunk) for n_ranks in RANKS for chunk in CHUNKS]
+    for (n_ranks, chunk), result in zip(grid, runner.run_cells(cells)):
+        rows.append(
+            {
+                "P": n_ranks,
+                "chunk": chunk,
+                "makespan_ms": result.makespan * 1e3,
+                "overhead%": 100 * result.breakdown_fractions()["overhead"],
+                "idle%": 100 * result.breakdown_fractions()["idle"],
+                "claims": result.counters["claims"],
+            }
+        )
     return rows
 
 
 @pytest.mark.benchmark(group="e6")
-def test_e6_counter_contention(benchmark, emit):
-    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+def test_e6_counter_contention(benchmark, sweep_runner, emit):
+    rows = benchmark.pedantic(run_sweep, args=(sweep_runner,), rounds=1, iterations=1)
     emit(
         "e6_contention",
         format_table(

@@ -8,9 +8,8 @@ slowest rank; dynamic models route work around it.
 
 import pytest
 
-from repro.core import format_table
-from repro.exec_models import make_model
-from repro.simulate import StaticHeterogeneity, commodity_cluster
+from repro.api import SweepCell, commodity_cluster, format_table
+from repro.simulate import StaticHeterogeneity
 
 N_RANKS = 64
 SLOW_COUNT = 8
@@ -18,18 +17,24 @@ FACTORS = (1.0, 0.67, 0.5, 0.33)
 MODELS = ("static_cyclic", "counter_dynamic", "work_stealing")
 
 
-def run_sweep(graph):
-    rows = []
-    baselines = {}
+def run_sweep(graph, runner):
+    cells = []
     for factor in FACTORS:
         variability = (
             None if factor == 1.0 else StaticHeterogeneity(range(SLOW_COUNT), factor)
         )
         machine = commodity_cluster(N_RANKS, variability=variability)
+        cells.extend(
+            SweepCell(model=model_name, graph=graph, machine=machine, seed=4)
+            for model_name in MODELS
+        )
+    results = iter(runner.run_cells(cells))
+    rows = []
+    baselines = {}
+    for factor in FACTORS:
         row = {"slow_factor": factor}
         for model_name in MODELS:
-            result = make_model(model_name).run(graph, machine, seed=4)
-            ms = result.makespan * 1e3
+            ms = next(results).makespan * 1e3
             if factor == 1.0:
                 baselines[model_name] = ms
             row[f"{model_name}_ms"] = ms
@@ -39,8 +44,10 @@ def run_sweep(graph):
 
 
 @pytest.mark.benchmark(group="e7")
-def test_e7_variability_robustness(benchmark, water8_graph, emit):
-    rows = benchmark.pedantic(run_sweep, args=(water8_graph,), rounds=1, iterations=1)
+def test_e7_variability_robustness(benchmark, water8_graph, sweep_runner, emit):
+    rows = benchmark.pedantic(
+        run_sweep, args=(water8_graph, sweep_runner), rounds=1, iterations=1
+    )
     emit(
         "e7_variability",
         format_table(

@@ -9,20 +9,30 @@ overhead at all.
 
 import pytest
 
-from repro.core import format_table
-from repro.exec_models import make_model, run_persistence
-from repro.simulate import RandomStaticVariability, commodity_cluster
+from repro.api import SweepCell, commodity_cluster, format_table
+from repro.simulate import RandomStaticVariability
 
 N_RANKS = 64
 N_ITERATIONS = 6
 
 
-def run_experiment(graph):
+def run_experiment(graph, runner):
     machine = commodity_cluster(
         N_RANKS, variability=RandomStaticVariability(N_RANKS, sigma=0.3, seed=8)
     )
-    history = run_persistence(graph, machine, n_iterations=N_ITERATIONS, seed=2)
-    stealing = make_model("work_stealing").run(graph, machine, seed=2)
+    history, stealing = runner.run_cells(
+        [
+            SweepCell(
+                model="persistence",
+                graph=graph,
+                machine=machine,
+                seed=2,
+                kind="persistence",
+                options=(("n_iterations", N_ITERATIONS),),
+            ),
+            SweepCell(model="work_stealing", graph=graph, machine=machine, seed=2),
+        ]
+    )
     rows = [
         {
             "iteration": i + 1,
@@ -36,9 +46,9 @@ def run_experiment(graph):
 
 
 @pytest.mark.benchmark(group="e8")
-def test_e8_persistence_iterations(benchmark, water6_problem, emit):
+def test_e8_persistence_iterations(benchmark, water6_problem, sweep_runner, emit):
     rows, history, stealing = benchmark.pedantic(
-        run_experiment, args=(water6_problem.graph,), rounds=1, iterations=1
+        run_experiment, args=(water6_problem.graph, sweep_runner), rounds=1, iterations=1
     )
     table = format_table(
         rows,

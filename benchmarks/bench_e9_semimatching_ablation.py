@@ -19,8 +19,8 @@ from repro.balance import (
     rank_loads,
     weighted_semi_matching,
 )
+from repro.api import format_table
 from repro.chemistry.tasks import synthetic_task_graph
-from repro.core import format_table
 from repro.runtime.garrays import BlockDistribution
 
 N_RANKS = 32

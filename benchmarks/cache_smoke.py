@@ -1,0 +1,75 @@
+"""CI cache smoke: run a two-benchmark miniature twice, demand warm hits.
+
+Exercises the whole sweep stack end to end — grid expansion, cell
+execution, content-addressed store, cache probe — on a workload small
+enough for a CI minute: an E1-style model-scaling grid and an E2-style
+breakdown grid on water_cluster(4). The second pass must be served almost
+entirely (>= 90%) from the cache, and its report rows must equal the
+first pass's rows bit for bit.
+
+Usage: PYTHONPATH=src python benchmarks/cache_smoke.py
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+
+from repro.api import StudyConfig, SweepRunner, water_cluster, ScfProblem
+
+HIT_RATE_FLOOR = 0.90
+
+
+def run_suite(runner: SweepRunner, problem: ScfProblem) -> list[dict]:
+    e1 = StudyConfig(
+        models=("static_block", "static_cyclic", "counter_dynamic", "work_stealing"),
+        n_ranks=(16, 64),
+        seed=1,
+    )
+    e2 = StudyConfig(
+        models=("static_block", "work_stealing", "inspector_semi_matching"),
+        n_ranks=(128,),
+        seed=2,
+    )
+    rows: list[dict] = []
+    for config in (e1, e2):
+        rows.extend(runner.run_study(config, problem).rows())
+    return rows
+
+
+def main() -> int:
+    problem = ScfProblem.build(water_cluster(4, seed=0), block_size=6, tau=1.0e-10)
+    with tempfile.TemporaryDirectory(prefix="repro-cache-smoke-") as cache_dir:
+        cold = SweepRunner(cache=cache_dir)
+        cold_rows = run_suite(cold, problem)
+        print(
+            f"cold pass: {cold.stats.cells} cells, "
+            f"{cold.stats.cached} cached, {cold.stats.computed} computed"
+        )
+        if cold.stats.cached:
+            print("FAIL: cold pass hit a supposedly fresh cache", file=sys.stderr)
+            return 1
+
+        warm = SweepRunner(cache=cache_dir)
+        warm_rows = run_suite(warm, problem)
+        print(
+            f"warm pass: {warm.stats.cells} cells, "
+            f"{warm.stats.cached} cached, {warm.stats.computed} computed "
+            f"(hit rate {warm.stats.hit_rate:.0%})"
+        )
+        if warm.stats.hit_rate < HIT_RATE_FLOOR:
+            print(
+                f"FAIL: warm hit rate {warm.stats.hit_rate:.0%} "
+                f"< {HIT_RATE_FLOOR:.0%}",
+                file=sys.stderr,
+            )
+            return 1
+        if warm_rows != cold_rows:
+            print("FAIL: cached rows differ from freshly computed rows", file=sys.stderr)
+            return 1
+    print("cache smoke OK: warm pass bit-for-bit equal to cold pass")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

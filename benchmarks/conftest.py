@@ -7,10 +7,12 @@ capture; EXPERIMENTS.md quotes those files.
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
 
+from repro.api import SweepRunner
 from repro.chemistry import ScfProblem, linear_alkane, water_cluster
 from repro.chemistry.tasks import synthetic_task_graph
 
@@ -27,6 +29,31 @@ def emit():
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
 
     return _emit
+
+
+@pytest.fixture(scope="session")
+def sweep_runner():
+    """One shared sweep orchestrator for every experiment in the session.
+
+    ``REPRO_SWEEP_JOBS=N`` fans cache-miss cells over N forked workers
+    (default serial); ``REPRO_SWEEP_CACHE=0`` disables the on-disk result
+    cache at ``benchmarks/results/cache`` (also reachable via
+    ``REPRO_CACHE_DIR``). Cached and fresh cells are bit-for-bit
+    identical, so the experiment tables never depend on these knobs.
+    """
+    jobs = int(os.environ.get("REPRO_SWEEP_JOBS", "1"))
+    cache: pathlib.Path | None = RESULTS_DIR / "cache"
+    if os.environ.get("REPRO_SWEEP_CACHE", "1") == "0":
+        cache = None
+    runner = SweepRunner(jobs=jobs, cache=cache)
+    yield runner
+    stats = runner.stats
+    if stats.cells:
+        print(
+            f"\n[sweep] {stats.cells} cells: {stats.cached} cached, "
+            f"{stats.computed} computed (hit rate {stats.hit_rate:.0%}, "
+            f"jobs={jobs})"
+        )
 
 
 @pytest.fixture(scope="session")

@@ -12,7 +12,7 @@ Run:  python examples/balancer_showdown.py
 
 import time
 
-from repro import ScfProblem, water_cluster
+from repro.api import ScfProblem, commodity_cluster, format_table, water_cluster
 from repro.balance import (
     communication_volume,
     hypergraph_balancer,
@@ -20,10 +20,8 @@ from repro.balance import (
     rank_loads,
     semi_matching_balancer,
 )
-from repro.core import format_table
 from repro.exec_models import InspectorExecutor
 from repro.runtime.garrays import BlockDistribution
-from repro.simulate import commodity_cluster
 
 N_RANKS = 64
 

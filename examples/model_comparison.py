@@ -13,9 +13,17 @@ Run:
 
 import argparse
 
-from repro import ScfProblem, linear_alkane, water_cluster
-from repro.core import StudyConfig, format_table, run_study
-from repro.exec_models import MODEL_NAMES
+from repro.api import (
+    MODEL_NAMES,
+    ScfProblem,
+    StudyConfig,
+    default_cache_dir,
+    format_table,
+    linear_alkane,
+    print_progress,
+    sweep,
+    water_cluster,
+)
 
 
 def parse_args() -> argparse.Namespace:
@@ -38,6 +46,14 @@ def parse_args() -> argparse.Namespace:
     )
     parser.add_argument("--machine", choices=("commodity", "fast_network"), default="commodity")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the sweep (default: serial)",
+    )
+    parser.add_argument(
+        "--cache", action="store_true",
+        help="reuse/store cell results in the shared result cache",
+    )
     return parser.parse_args()
 
 
@@ -62,7 +78,13 @@ def main() -> None:
         machine=args.machine,
         seed=args.seed,
     )
-    report = run_study(config, problem=problem)
+    report = sweep(
+        config,
+        problem,
+        jobs=args.jobs,
+        cache=default_cache_dir() if args.cache else None,
+        progress=print_progress if args.jobs > 1 or args.cache else None,
+    )
     print(format_table(report.rows(), title="Execution-model comparison"))
 
     if "static_block" in args.models:

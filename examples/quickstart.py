@@ -9,8 +9,7 @@ experiment in miniature.
 Run:  python examples/quickstart.py
 """
 
-from repro import ScfProblem, water_cluster
-from repro.core import StudyConfig, format_table, run_study
+from repro.api import ScfProblem, StudyConfig, format_table, run_study, water_cluster
 
 
 def main() -> None:
@@ -25,7 +24,7 @@ def main() -> None:
     )
 
     # 2. Real chemistry: converge the SCF.
-    from repro import run_scf
+    from repro.api import run_scf
 
     scf = run_scf(molecule, problem=problem)
     print(
@@ -39,7 +38,7 @@ def main() -> None:
         n_ranks=(64,),
         seed=0,
     )
-    report = run_study(config, problem=problem)
+    report = run_study(config, problem)
     print(
         format_table(
             report.rows(),

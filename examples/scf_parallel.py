@@ -12,7 +12,7 @@ Run:  python examples/scf_parallel.py [n_waters] [n_workers]
 
 import sys
 
-from repro import ScfProblem, run_scf, water_cluster
+from repro.api import ScfProblem, run_scf, water_cluster
 from repro.parallel import SharedMemoryFockBuilder
 
 

@@ -9,11 +9,15 @@ basis instead of the fast s-only surrogate.
 Run:  python examples/sto3g_study.py
 """
 
-from repro import water_cluster
 from repro.analysis import cost_statistics
-from repro.chemistry import ScfProblem
-from repro.chemistry.scf import run_scf
-from repro.core import StudyConfig, format_table, run_study
+from repro.api import (
+    ScfProblem,
+    StudyConfig,
+    format_table,
+    run_scf,
+    run_study,
+    water_cluster,
+)
 
 
 def main() -> None:
@@ -40,7 +44,7 @@ def main() -> None:
         n_ranks=(16, 64),
         seed=0,
     )
-    report = run_study(config, problem=study_problem)
+    report = run_study(config, study_problem)
     print(
         format_table(
             report.rows(),

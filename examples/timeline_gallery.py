@@ -9,11 +9,9 @@ one simulated schedule against the real kernel.
 Run:  python examples/timeline_gallery.py
 """
 
-from repro import ScfProblem, water_cluster
 from repro.analysis import ascii_gantt, ascii_histogram, cost_statistics
+from repro.api import ScfProblem, commodity_cluster, run_model, water_cluster
 from repro.core import validate_run
-from repro.exec_models import make_model
-from repro.simulate import commodity_cluster
 
 N_RANKS = 16
 MODELS = ("static_block", "static_cyclic", "counter_dynamic", "work_stealing")
@@ -34,7 +32,7 @@ def main() -> None:
     machine = commodity_cluster(N_RANKS)
     last = None
     for model_name in MODELS:
-        result = make_model(model_name).run(graph, machine, seed=1, trace_intervals=True)
+        result = run_model(model_name, graph, machine, seed=1, trace_intervals=True)
         print(ascii_gantt(result, width=72))
         print()
         last = result

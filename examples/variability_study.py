@@ -10,10 +10,9 @@ adapting over SCF iterations on a statically heterogeneous machine.
 Run:  python examples/variability_study.py
 """
 
-from repro import ScfProblem, water_cluster
-from repro.core import format_table
-from repro.exec_models import make_model, run_persistence
-from repro.simulate import RandomStaticVariability, StaticHeterogeneity, commodity_cluster
+from repro.api import ScfProblem, commodity_cluster, format_table, run_model, water_cluster
+from repro.exec_models import run_persistence
+from repro.simulate import RandomStaticVariability, StaticHeterogeneity
 
 N_RANKS = 64
 MODELS = ("static_cyclic", "counter_dynamic", "work_stealing")
@@ -32,7 +31,7 @@ def main() -> None:
         machine = commodity_cluster(N_RANKS, variability=variability)
         row = {"slow_factor": factor}
         for model_name in MODELS:
-            result = make_model(model_name).run(graph, machine, seed=7)
+            result = run_model(model_name, graph, machine, seed=7)
             if factor == 1.0:
                 baseline[model_name] = result.makespan
             row[model_name + "_deg"] = result.makespan / baseline[model_name]

@@ -9,13 +9,15 @@ persistence-based), and semi-matching / hypergraph-partitioning / greedy
 load balancers — plus the benchmark harness that regenerates the paper's
 evaluation.
 
-Typical entry points:
+Typical entry points (the :mod:`repro.api` facade is the stable surface):
 
->>> from repro import water_cluster, ScfProblem
->>> from repro.core import StudyConfig, run_study
->>> problem = ScfProblem.build(water_cluster(4), block_size=8)
->>> report = run_study(StudyConfig(models=("static_block", "work_stealing"),
-...                                n_ranks=(64,)), problem=problem)
+>>> from repro import api
+>>> problem = api.ScfProblem.build(api.water_cluster(4), block_size=8)
+>>> config = api.StudyConfig(models=("static_block", "work_stealing"),
+...                          n_ranks=(64,))
+>>> report = api.run_study(config, problem)
+>>> cached = api.sweep(config, problem, jobs=4,
+...                    cache=api.default_cache_dir())  # parallel + cached
 """
 
 from repro.chemistry import (

@@ -50,10 +50,9 @@ def cmd_info(args: argparse.Namespace) -> int:
 
 
 def cmd_study(args: argparse.Namespace) -> int:
-    from repro.chemistry import ScfProblem
-    from repro.core import StudyConfig, format_table, run_study
+    from repro import api
 
-    problem = ScfProblem.build(
+    problem = api.ScfProblem.build(
         _build_molecule(args), block_size=args.block_size, tau=args.tau
     )
     print(
@@ -75,15 +74,22 @@ def cmd_study(args: argparse.Namespace) -> int:
         )
         faults = plan_from_spec(args.faults, time_scale=scale)
         print(f"fault plan: {args.faults} (time scale {scale * 1e3:.3f} ms)")
-    config = StudyConfig(
+    config = api.StudyConfig(
         models=tuple(args.models),
         n_ranks=tuple(args.ranks),
         machine=args.machine,
         seed=args.seed,
         faults=faults,
     )
-    report = run_study(config, problem=problem)
-    print(format_table(report.rows(), title="study results"))
+    cache = None if args.no_cache else (args.cache_dir or api.default_cache_dir())
+    progress = api.print_progress if args.progress else None
+    report = api.sweep(
+        config, problem, jobs=args.jobs, cache=cache, progress=progress
+    )
+    print(api.format_table(report.rows(), title="study results"))
+    if cache is not None:
+        cached = sum(1 for p in report.provenance.values() if p == "cached")
+        print(f"cache: {cached}/{len(report.provenance)} cells reused from {cache}")
     return 0
 
 
@@ -173,6 +179,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--faults", default=None, metavar="SPEC",
         help="fault scenario, e.g. 'crash:2@0.3,stall:1@0.2-0.4,drop:0.01' "
         "(crash/stall times are fractions of the estimated ideal makespan)",
+    )
+    p_study.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run sweep cells across N worker processes (default: 1, serial)",
+    )
+    p_study.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute every cell instead of reusing the result cache",
+    )
+    p_study.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result cache directory (default: $REPRO_CACHE_DIR "
+        "or benchmarks/results/cache)",
+    )
+    p_study.add_argument(
+        "--progress", action="store_true",
+        help="print one line per cell as it completes (cached/done counts)",
     )
     p_study.set_defaults(func=cmd_study)
 

@@ -11,7 +11,16 @@ from repro.analysis.distribution import (
     cost_statistics,
     gini_coefficient,
 )
-from repro.analysis.export import result_to_dict, save_result_json, load_result_json
+from repro.analysis.export import (
+    load_report_json,
+    load_result_json,
+    merge_reports,
+    report_from_dict,
+    report_to_dict,
+    result_to_dict,
+    save_report_json,
+    save_result_json,
+)
 from repro.analysis.bounds import MakespanBounds, makespan_bounds, bound_efficiency
 from repro.analysis.svg import timeline_svg, save_timeline_svg
 
@@ -29,4 +38,9 @@ __all__ = [
     "result_to_dict",
     "save_result_json",
     "load_result_json",
+    "report_to_dict",
+    "report_from_dict",
+    "save_report_json",
+    "load_report_json",
+    "merge_reports",
 ]

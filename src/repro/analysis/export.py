@@ -13,6 +13,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.core.results import StudyReport
 from repro.exec_models.base import RunResult
 from repro.util import ConfigurationError
 
@@ -36,6 +37,8 @@ def result_to_dict(result: RunResult) -> dict[str, Any]:
         "network": dict(result.network),
         "total_flops": result.total_flops,
         "nominal_flops_per_second": result.nominal_flops_per_second,
+        "failed_ranks": list(result.failed_ranks),
+        "completion_rate": result.completion_rate,
         "intervals": result.intervals,
     }
 
@@ -61,6 +64,8 @@ def result_from_dict(data: dict[str, Any]) -> RunResult:
         network=dict(data["network"]),
         total_flops=float(data["total_flops"]),
         nominal_flops_per_second=float(data["nominal_flops_per_second"]),
+        failed_ranks=tuple(int(r) for r in data.get("failed_ranks", ())),
+        completion_rate=float(data.get("completion_rate", 1.0)),
         intervals=[tuple(iv) for iv in intervals] if intervals is not None else None,
     )
 
@@ -73,3 +78,62 @@ def save_result_json(result: RunResult, path: str | pathlib.Path) -> None:
 def load_result_json(path: str | pathlib.Path) -> RunResult:
     """Load a run result saved by :func:`save_result_json`."""
     return result_from_dict(json.loads(pathlib.Path(path).read_text()))
+
+
+# ----------------------------------------------------------------------
+# Whole-report round-trip (the sweep path's merge/export unit)
+# ----------------------------------------------------------------------
+
+def report_to_dict(report: StudyReport) -> dict[str, Any]:
+    """JSON-serializable form of a whole study report.
+
+    Provenance ("cached"/"fresh" per cell, when the report came from a
+    sweep) rides along so dashboards can show cache behaviour; it never
+    affects the numeric payload.
+    """
+    return {
+        "schema": _SCHEMA_VERSION,
+        "cells": [
+            {
+                "provenance": report.provenance.get(key),
+                "result": result_to_dict(result),
+            }
+            for key, result in sorted(report.results.items(), key=lambda kv: (kv[0][1], kv[0][0]))
+        ],
+    }
+
+
+def report_from_dict(data: dict[str, Any]) -> StudyReport:
+    """Inverse of :func:`report_to_dict`."""
+    if data.get("schema") != _SCHEMA_VERSION:
+        raise ConfigurationError(
+            f"unsupported report schema {data.get('schema')!r}"
+        )
+    report = StudyReport()
+    for cell in data["cells"]:
+        report.add(result_from_dict(cell["result"]), provenance=cell.get("provenance"))
+    return report
+
+
+def save_report_json(report: StudyReport, path: str | pathlib.Path) -> None:
+    """Write a whole study report as JSON."""
+    pathlib.Path(path).write_text(json.dumps(report_to_dict(report)))
+
+
+def load_report_json(path: str | pathlib.Path) -> StudyReport:
+    """Load a report saved by :func:`save_report_json`."""
+    return report_from_dict(json.loads(pathlib.Path(path).read_text()))
+
+
+def merge_reports(*reports: StudyReport) -> StudyReport:
+    """Combine several (partial) reports into one; later reports win ties.
+
+    The sweep workflow shards a large grid across benchmark files or CI
+    jobs and stitches the saved partial reports back together here —
+    cached and fresh cells merge transparently because they are
+    bit-for-bit identical.
+    """
+    merged = StudyReport()
+    for report in reports:
+        merged.merge(report)
+    return merged

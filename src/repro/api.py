@@ -1,0 +1,198 @@
+"""The unified public facade: one import, one signature family.
+
+Everything a study, benchmark, example, or CLI command needs lives here
+under a single consistent calling convention:
+
+- the *thing being studied* (a ``Workload``, ``ScfProblem``, or
+  ``TaskGraph``) is always the positional ``source`` argument;
+- every tuning knob is keyword-only;
+- model options use one shared vocabulary
+  (:func:`~repro.exec_models.registry.normalize_model_options`) across
+  :func:`make_model`, :func:`run_model`, and :func:`simulate_scf`.
+
+The sweep entry points (:func:`sweep`, :class:`SweepRunner`) add
+process-parallel execution and content-addressed result caching on top;
+``sweep(...)`` with default arguments is behaviourally identical to
+``run_study(...)`` — same seeds, same rows, bit for bit.
+
+``repro.api.__all__`` is the documented stable surface (see
+``docs/api_tour.md``); anything importable elsewhere is an internal
+layer that may move between releases.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.chemistry.molecules import (
+    Molecule,
+    linear_alkane,
+    random_cluster,
+    water_cluster,
+)
+from repro.chemistry.scf import ScfProblem, ScfResult
+from repro.chemistry.scf import run_scf as _run_scf
+from repro.chemistry.tasks import TaskGraph
+from repro.core.cache import (
+    CACHE_SALT,
+    CacheStats,
+    ResultCache,
+    default_cache_dir,
+    fingerprint,
+)
+from repro.core.config import MACHINE_PRESETS, StudyConfig
+from repro.core.report import format_table
+from repro.core.results import StudyReport
+from repro.core.study import (
+    Workload,
+    build_workload,
+    resolve_source,
+    run_study,
+)
+from repro.core.sweep import (
+    SweepCell,
+    SweepProgress,
+    SweepRunner,
+    SweepStats,
+    print_progress,
+    study_cells,
+)
+from repro.exec_models.base import RunResult
+from repro.exec_models.registry import (
+    MODEL_NAMES,
+    make_model,
+    normalize_model_options,
+)
+from repro.exec_models.scf_simulation import ScfSimResult, ScfSimulation
+from repro.faults import FaultPlan
+from repro.simulate.machine import (
+    MachineSpec,
+    commodity_cluster,
+    fast_network_cluster,
+    hierarchical_cluster,
+)
+
+__all__ = [
+    # workload construction
+    "Molecule",
+    "water_cluster",
+    "linear_alkane",
+    "random_cluster",
+    "ScfProblem",
+    "TaskGraph",
+    "Workload",
+    "build_workload",
+    "resolve_source",
+    # machines
+    "MachineSpec",
+    "MACHINE_PRESETS",
+    "commodity_cluster",
+    "fast_network_cluster",
+    "hierarchical_cluster",
+    # single runs
+    "run_scf",
+    "ScfResult",
+    "run_model",
+    "simulate_scf",
+    "make_model",
+    "normalize_model_options",
+    "MODEL_NAMES",
+    "RunResult",
+    "ScfSimulation",
+    "ScfSimResult",
+    "FaultPlan",
+    # studies and sweeps
+    "StudyConfig",
+    "StudyReport",
+    "run_study",
+    "sweep",
+    "study_cells",
+    "SweepRunner",
+    "SweepCell",
+    "SweepProgress",
+    "SweepStats",
+    "print_progress",
+    # caching
+    "ResultCache",
+    "CacheStats",
+    "default_cache_dir",
+    "fingerprint",
+    "CACHE_SALT",
+    # rendering
+    "format_table",
+]
+
+
+def run_scf(molecule: Molecule, **options: Any) -> ScfResult:
+    """Converge a restricted Hartree-Fock calculation.
+
+    Facade spelling of :func:`repro.chemistry.scf.run_scf` with every
+    option keyword-only (``problem=``, ``g_builder=``, ``accelerator=``,
+    ``max_iterations=``, ...).
+    """
+    return _run_scf(molecule, **options)
+
+
+def run_model(
+    model: str,
+    source: Any,
+    machine: MachineSpec,
+    *,
+    seed: int = 0,
+    faults: FaultPlan | None = None,
+    trace_intervals: bool = False,
+    **options: Any,
+) -> RunResult:
+    """Simulate one execution model on one workload and machine.
+
+    ``source`` is a ``Workload``, ``ScfProblem``, or ``TaskGraph``;
+    ``options`` are model knobs in the shared vocabulary, e.g.
+    ``run_model("work_stealing", graph, machine, steal_policy="one")``.
+    """
+    return make_model(model, **options).run(
+        resolve_source(source),
+        machine,
+        seed=seed,
+        faults=faults,
+        trace_intervals=trace_intervals,
+    )
+
+
+def simulate_scf(
+    mode: str,
+    source: Any,
+    machine: MachineSpec,
+    *,
+    n_iterations: int = 5,
+    seed: int = 0,
+    **options: Any,
+) -> ScfSimResult:
+    """Simulate a whole multi-iteration SCF under one discipline.
+
+    Facade spelling of :class:`~repro.exec_models.ScfSimulation` with the
+    same ``source`` polymorphism and option vocabulary as
+    :func:`run_model`.
+    """
+    return ScfSimulation(mode, **options).run(
+        resolve_source(source), machine, n_iterations=n_iterations, seed=seed
+    )
+
+
+def sweep(
+    config: StudyConfig,
+    source: Any,
+    *,
+    jobs: int = 1,
+    cache: ResultCache | str | None = None,
+    progress: Callable[[SweepProgress], None] | None = None,
+) -> StudyReport:
+    """Run a study grid through the parallel, cached sweep orchestrator.
+
+    Identical results to ``run_study(config, source)`` — the sweep only
+    changes *how* cells execute (worker processes, cache reuse), never
+    what they compute. Pass ``cache=default_cache_dir()`` (or any
+    directory) to persist results across runs; ``jobs=N`` to fan
+    cache-miss cells across N forked workers.
+    """
+    runner = SweepRunner(jobs=jobs, cache=cache, progress=progress)
+    return runner.run_study(config, source)

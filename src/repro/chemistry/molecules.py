@@ -71,6 +71,18 @@ class Molecule:
     def n_electrons(self) -> int:
         return int(self.atomic_numbers.sum()) - self.charge
 
+    @property
+    def formula(self) -> str:
+        """Hill-convention molecular formula, e.g. ``"C4H10"``, ``"H16O8"``."""
+        counts: dict[str, int] = {}
+        for symbol in self.symbols:
+            counts[symbol] = counts.get(symbol, 0) + 1
+        ordered = [s for s in ("C", "H") if s in counts]
+        ordered += sorted(s for s in counts if s not in ("C", "H"))
+        return "".join(
+            f"{s}{counts[s]}" if counts[s] > 1 else s for s in ordered
+        )
+
     def translated(self, shift: np.ndarray) -> "Molecule":
         """Return a copy translated by ``shift`` (Bohr)."""
         return Molecule(self.symbols, self.coords + np.asarray(shift), self.charge)

@@ -1,13 +1,38 @@
 """Study driver: the paper's experiment machinery as a library.
 
 :func:`run_study` sweeps execution models over rank counts on one
-workload and collects uniform results; :mod:`repro.core.report` renders
-them as the text tables the benchmarks print.
+workload and collects uniform results; :mod:`repro.core.sweep` executes
+the same grids in parallel with content-addressed result caching;
+:mod:`repro.core.report` renders results as the text tables the
+benchmarks print. Prefer importing through the :mod:`repro.api` facade.
 """
 
+from repro.core.cache import (
+    CACHE_SALT,
+    CacheStats,
+    ResultCache,
+    cache_key,
+    default_cache_dir,
+    fingerprint,
+)
 from repro.core.config import StudyConfig, MACHINE_PRESETS
 from repro.core.results import StudyReport
-from repro.core.study import run_study, build_workload, Workload
+from repro.core.study import (
+    Workload,
+    build_workload,
+    resolve_source,
+    run_study,
+    workload_label,
+)
+from repro.core.sweep import (
+    SweepCell,
+    SweepProgress,
+    SweepRunner,
+    SweepStats,
+    execute_cell,
+    print_progress,
+    study_cells,
+)
 from repro.core.report import format_table
 from repro.core.validate import ValidationReport, validate_assignment, validate_run
 
@@ -20,6 +45,21 @@ __all__ = [
     "StudyReport",
     "run_study",
     "build_workload",
+    "resolve_source",
+    "workload_label",
     "Workload",
     "format_table",
+    "SweepCell",
+    "SweepProgress",
+    "SweepRunner",
+    "SweepStats",
+    "execute_cell",
+    "print_progress",
+    "study_cells",
+    "ResultCache",
+    "CacheStats",
+    "cache_key",
+    "default_cache_dir",
+    "fingerprint",
+    "CACHE_SALT",
 ]

@@ -1,0 +1,250 @@
+"""Content-addressed on-disk cache for sweep cell results.
+
+A sweep cell is a pure function of its inputs: the task graph, the
+machine, the model configuration, the seed, and the fault plan — the
+simulator has no hidden state and never reads the wall clock. That makes
+every cell result cacheable under a *content address*: a stable hash of
+the canonical form of all inputs plus a code-version salt. Re-running a
+benchmark with unchanged inputs loads the stored result instead of
+re-simulating, and the loaded result is bit-for-bit identical to a fresh
+computation (pickle round-trips NumPy arrays and Python floats exactly).
+
+Key scheme (see ``docs/sweep.md``):
+
+    sha256(salt | graph fp | machine fp | model + options | seed |
+           faults fp | cell kind | trace flag)
+
+where each fingerprint is itself a sha256 over a canonical encoding that
+is stable across processes and Python versions: floats are hex-encoded,
+sets are sorted, arrays hash their raw bytes, and dataclasses/objects
+fold in their class name and field values. ``hash()`` is never used (it
+is salted per process).
+
+Invalidation is by *salt*: :data:`CACHE_SALT` must be bumped whenever a
+change alters simulation semantics (engine, network, models, seeding).
+Stale entries are then simply never addressed again; the directory can be
+deleted at any time with no effect other than recomputation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pathlib
+import pickle
+from dataclasses import dataclass, field, fields, is_dataclass
+from typing import Any
+
+import numpy as np
+
+#: Code-version salt folded into every cache key. Bump when simulator or
+#: execution-model semantics change (anything that would alter a cell's
+#: result for identical inputs), so stale entries can never be served.
+CACHE_SALT = "repro-sweep-v1"
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> pathlib.Path:
+    """The default on-disk cache location.
+
+    ``$REPRO_CACHE_DIR`` when set, otherwise ``benchmarks/results/cache``
+    relative to the current working directory (the layout the benchmark
+    suite uses; the directory is git-ignored).
+    """
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return pathlib.Path(env)
+    return pathlib.Path("benchmarks") / "results" / "cache"
+
+
+# ----------------------------------------------------------------------
+# Canonical encoding + fingerprints
+# ----------------------------------------------------------------------
+
+def _canonical(obj: Any, out: list[str], depth: int = 0) -> None:
+    """Append a canonical, process-stable encoding of ``obj`` to ``out``."""
+    if depth > 32:
+        raise ValueError("fingerprint recursion too deep (cyclic object?)")
+    if obj is None or isinstance(obj, (bool, str)):
+        out.append(repr(obj))
+    elif isinstance(obj, (int, np.integer)):
+        out.append(repr(int(obj)))
+    elif isinstance(obj, (float, np.floating)):
+        out.append(float(obj).hex())
+    elif isinstance(obj, bytes):
+        out.append("b" + hashlib.sha256(obj).hexdigest())
+    elif isinstance(obj, np.ndarray):
+        arr = np.ascontiguousarray(obj)
+        out.append(f"nd{arr.dtype.str}{arr.shape}")
+        out.append(hashlib.sha256(arr.tobytes()).hexdigest())
+    elif isinstance(obj, (tuple, list)):
+        out.append("[")
+        for item in obj:
+            _canonical(item, out, depth + 1)
+        out.append("]")
+    elif isinstance(obj, (set, frozenset)):
+        out.append("{")
+        for item in sorted(obj, key=repr):
+            _canonical(item, out, depth + 1)
+        out.append("}")
+    elif isinstance(obj, dict):
+        out.append("<")
+        for key in sorted(obj, key=repr):
+            _canonical(key, out, depth + 1)
+            _canonical(obj[key], out, depth + 1)
+        out.append(">")
+    elif is_dataclass(obj) and not isinstance(obj, type):
+        out.append(f"dc:{type(obj).__module__}.{type(obj).__qualname__}(")
+        for f in fields(obj):
+            out.append(f.name + "=")
+            _canonical(getattr(obj, f.name), out, depth + 1)
+        out.append(")")
+    elif callable(obj) and hasattr(obj, "__qualname__"):
+        out.append(f"fn:{obj.__module__}.{obj.__qualname__}")
+    elif hasattr(obj, "__dict__"):
+        out.append(f"obj:{type(obj).__module__}.{type(obj).__qualname__}(")
+        for key in sorted(vars(obj)):
+            out.append(key + "=")
+            _canonical(vars(obj)[key], out, depth + 1)
+        out.append(")")
+    else:
+        raise TypeError(
+            f"cannot fingerprint {type(obj).__qualname__!r} deterministically"
+        )
+
+
+def fingerprint(obj: Any) -> str:
+    """A sha256 hex digest of ``obj``'s canonical encoding.
+
+    Stable across processes, machines, and Python versions for the
+    library's value types (dataclasses, NumPy arrays, plain containers,
+    variability/fault models). Two objects with equal canonical content
+    share a fingerprint; any semantic difference changes it.
+    """
+    out: list[str] = []
+    _canonical(obj, out)
+    return hashlib.sha256("\x1f".join(out).encode("utf-8")).hexdigest()
+
+
+def cache_key(
+    *,
+    graph_fp: str,
+    machine_fp: str,
+    model: str,
+    seed: int,
+    faults_fp: str,
+    kind: str = "model",
+    options_fp: str = "",
+    trace_intervals: bool = False,
+    salt: str = CACHE_SALT,
+) -> str:
+    """Assemble the content address of one sweep cell."""
+    parts = (
+        f"salt={salt}",
+        f"graph={graph_fp}",
+        f"machine={machine_fp}",
+        f"model={model}",
+        f"seed={int(seed)}",
+        f"faults={faults_fp}",
+        f"kind={kind}",
+        f"options={options_fp}",
+        f"trace={bool(trace_intervals)}",
+    )
+    return hashlib.sha256("|".join(parts).encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# The on-disk store
+# ----------------------------------------------------------------------
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store counters for one :class:`ResultCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    errors: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+@dataclass
+class ResultCache:
+    """Content-addressed pickle store under one directory.
+
+    Entries are written atomically (temp file + rename), so concurrent
+    sweep workers and even concurrent benchmark processes can share one
+    cache directory; a torn or corrupt entry reads as a miss and is
+    removed. Values round-trip through pickle, which preserves NumPy
+    arrays and floats exactly — a cache hit is bit-for-bit identical to
+    the fresh computation it replaced.
+    """
+
+    root: pathlib.Path = field(default_factory=default_cache_dir)
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.root = pathlib.Path(self.root)
+
+    def path_for(self, key: str) -> pathlib.Path:
+        # Two-level fan-out keeps directory listings manageable.
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Any | None:
+        """The stored value for ``key``, or None on miss/corruption."""
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as fh:
+                value = pickle.load(fh)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            # Torn write or entry from an incompatible code state: treat
+            # as a miss and clear it so it cannot keep failing.
+            self.stats.misses += 1
+            self.stats.errors += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` under ``key`` atomically."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "wb") as fh:
+            pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+        self.stats.stores += 1
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.pkl"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if self.root.is_dir():
+            for entry in self.root.glob("*/*.pkl"):
+                try:
+                    entry.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed

@@ -13,12 +13,32 @@ from repro.util import ConfigurationError
 
 @dataclass
 class StudyReport:
-    """All runs of one study, keyed by (model name, rank count)."""
+    """All runs of one study, keyed by (model name, rank count).
+
+    ``provenance`` optionally records, per key, whether the result was
+    computed fresh or served from the sweep cache (``"fresh"`` /
+    ``"cached"``). It is bookkeeping only: cached and fresh results are
+    bit-for-bit identical, so nothing downstream may branch on it.
+    """
 
     results: dict[tuple[str, int], RunResult] = field(default_factory=dict)
+    provenance: dict[tuple[str, int], str] = field(default_factory=dict)
 
-    def add(self, result: RunResult) -> None:
+    def add(self, result: RunResult, provenance: str | None = None) -> None:
         self.results[(result.model, result.n_ranks)] = result
+        if provenance is not None:
+            self.provenance[(result.model, result.n_ranks)] = provenance
+
+    def merge(self, other: "StudyReport") -> "StudyReport":
+        """Fold ``other``'s cells into this report (other wins ties).
+
+        The sweep path uses this to combine cached and freshly computed
+        cells — and callers use it to stitch partial sweeps (e.g. two
+        benchmark shards) into one table. Returns ``self`` for chaining.
+        """
+        self.results.update(other.results)
+        self.provenance.update(other.provenance)
+        return self
 
     def get(self, model: str, n_ranks: int) -> RunResult:
         try:

@@ -2,21 +2,32 @@
 
 Ties the full stack together: molecule -> basis/screening/task graph ->
 (model x rank-count) sweep on the simulated machine -> uniform report.
-This is what the benchmarks and examples call.
+This is what the benchmarks and examples call (through the
+:mod:`repro.api` facade).
+
+:func:`run_study` takes the workload as a single positional ``source``
+accepting any of ``Workload | ScfProblem | TaskGraph``; the historical
+"exactly one of ``workload=``/``problem=``/``graph=``" keyword convention
+still works but emits :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
+from typing import Any, Callable
 
 from repro.chemistry.basis import BlockStructure
 from repro.chemistry.molecules import Molecule
 from repro.chemistry.scf import ScfProblem
 from repro.chemistry.tasks import TaskGraph
+from repro.core.cache import ResultCache, fingerprint
 from repro.core.config import StudyConfig
 from repro.core.results import StudyReport
-from repro.exec_models.registry import make_model
-from repro.util import ConfigurationError, derive_seed
+from repro.util import ConfigurationError
+
+#: The types :func:`resolve_source` accepts as a study workload.
+StudySource = "Workload | ScfProblem | TaskGraph"
 
 
 @dataclass(frozen=True)
@@ -28,6 +39,18 @@ class Workload:
     problem: ScfProblem | None = None
 
 
+def workload_label(molecule: Molecule) -> str:
+    """A default label unique to the molecule's actual content.
+
+    Includes the molecular formula and a content digest of the geometry,
+    so two different molecules with equal atom counts (or even equal
+    formulas at different geometries) never share a label — labels feed
+    cache keys and report rows, where collisions are silent corruption.
+    """
+    digest = fingerprint(molecule)[:8]
+    return f"{molecule.formula}[{molecule.n_atoms} atoms, {digest}]"
+
+
 def build_workload(
     molecule: Molecule,
     name: str | None = None,
@@ -37,39 +60,84 @@ def build_workload(
 ) -> Workload:
     """Build the full chemistry pipeline for one molecule."""
     problem = ScfProblem.build(molecule, block_size=block_size, tau=tau, blocks=blocks)
-    label = name if name is not None else f"molecule[{molecule.n_atoms} atoms]"
+    label = name if name is not None else workload_label(molecule)
     return Workload(label, problem.graph, problem)
+
+
+def resolve_source(source: Any) -> TaskGraph:
+    """The task graph behind any accepted study source.
+
+    Accepts a :class:`Workload`, an :class:`~repro.chemistry.scf.ScfProblem`,
+    or a bare :class:`~repro.chemistry.tasks.TaskGraph`.
+    """
+    if isinstance(source, Workload):
+        return source.graph
+    if isinstance(source, ScfProblem):
+        return source.graph
+    if isinstance(source, TaskGraph):
+        return source
+    raise ConfigurationError(
+        "study source must be a Workload, ScfProblem, or TaskGraph, "
+        f"got {type(source).__qualname__}"
+    )
+
+
+def _reconcile_source(
+    source: Any,
+    workload: Workload | None,
+    problem: ScfProblem | None,
+    graph: TaskGraph | None,
+) -> Any:
+    """Merge the positional source with the deprecated keyword trio."""
+    legacy = [
+        (kw, value)
+        for kw, value in (("workload", workload), ("problem", problem), ("graph", graph))
+        if value is not None
+    ]
+    if legacy:
+        names = ", ".join(f"{kw}=" for kw, _ in legacy)
+        warnings.warn(
+            f"run_study({names}...) is deprecated; pass the workload as the "
+            "positional `source` argument (Workload | ScfProblem | TaskGraph)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    provided = ([("source", source)] if source is not None else []) + legacy
+    if len(provided) != 1:
+        raise ConfigurationError(
+            "provide exactly one of source, workload=, problem=, or graph="
+        )
+    return provided[0][1]
 
 
 def run_study(
     config: StudyConfig,
+    source: Any | None = None,
+    *,
     workload: Workload | None = None,
     problem: ScfProblem | None = None,
     graph: TaskGraph | None = None,
+    jobs: int = 1,
+    cache: ResultCache | str | None = None,
+    progress: Callable | None = None,
 ) -> StudyReport:
     """Run every (model, rank-count) cell of the study.
 
-    Provide exactly one of ``workload``, ``problem``, or ``graph``.
+    Args:
+        config: the sweep grid (models x rank counts, machine, seed).
+        source: the workload — a ``Workload``, ``ScfProblem``, or
+            ``TaskGraph``.
+        workload / problem / graph: deprecated spellings of ``source``.
+        jobs: worker processes for the sweep (1 = serial in-process;
+            results are identical either way).
+        cache: optional content-addressed result cache (a
+            :class:`~repro.core.cache.ResultCache` or a directory path);
+            None disables caching.
+        progress: optional per-cell progress callback (see
+            :class:`~repro.core.sweep.SweepProgress`).
     """
-    provided = [x for x in (workload, problem, graph) if x is not None]
-    if len(provided) != 1:
-        raise ConfigurationError(
-            "provide exactly one of workload=, problem=, or graph="
-        )
-    if workload is not None:
-        task_graph = workload.graph
-    elif problem is not None:
-        task_graph = problem.graph
-    else:
-        task_graph = graph
+    from repro.core.sweep import SweepRunner
 
-    report = StudyReport()
-    for n_ranks in config.n_ranks:
-        machine = config.machine_for(n_ranks)
-        for model_name in config.models:
-            model = make_model(model_name)
-            seed = derive_seed(config.seed, "study", model_name, n_ranks)
-            report.add(
-                model.run(task_graph, machine, seed=seed, faults=config.faults)
-            )
-    return report
+    resolved = _reconcile_source(source, workload, problem, graph)
+    runner = SweepRunner(jobs=jobs, cache=cache, progress=progress)
+    return runner.run_study(config, resolve_source(resolved))

@@ -1,0 +1,320 @@
+"""Parallel sweep orchestration with content-addressed result caching.
+
+The paper's claims are all *sweep-shaped*: model x rank-count x machine x
+granularity grids of independent simulation cells. This module is the
+scheduler for that meta-workload — the same leverage the task runtimes
+under study get from independent work units, applied to the study driver
+itself:
+
+- :class:`SweepCell` — one cell: a model (or SCF-simulation discipline)
+  on one task graph, machine, seed, and fault plan. Cells are frozen,
+  picklable, and content-addressable.
+- :class:`SweepRunner` — expands a :class:`~repro.core.config.StudyConfig`
+  (or an explicit list of cells) into jobs, serves already-computed cells
+  from a :class:`~repro.core.cache.ResultCache`, and fans the rest out
+  across forked worker processes (:func:`repro.parallel.parallel_imap`).
+
+Determinism guarantees (tested): cell seeds are derived exactly as the
+serial study driver derives them, simulation never reads the wall clock,
+and cached results pickle round-trip bit-for-bit — so serial, parallel,
+cold, and warm sweeps all produce identical
+:class:`~repro.core.results.StudyReport` rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Sequence
+
+from repro.core.cache import CACHE_SALT, ResultCache, cache_key, fingerprint
+from repro.core.config import StudyConfig
+from repro.core.results import StudyReport
+from repro.chemistry.tasks import TaskGraph
+from repro.faults import FaultPlan
+from repro.parallel.executor import parallel_imap
+from repro.simulate.machine import MachineSpec
+from repro.util import ConfigurationError, derive_seed
+
+#: Cell kinds the orchestrator knows how to execute.
+CELL_KINDS = ("model", "scf_sim", "persistence")
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One independent unit of sweep work.
+
+    Attributes:
+        model: registry model name (``kind="model"``), ScfSimulation mode
+            (``kind="scf_sim"``), or ignored (``kind="persistence"``).
+        graph: the task graph to schedule.
+        machine: the simulated cluster (carries rank count, network,
+            variability).
+        seed: the cell's own seed (already derived; the runner does not
+            re-derive).
+        faults: optional fault plan (``kind="model"`` only).
+        trace_intervals: keep raw trace intervals (timeline rendering).
+        kind: one of :data:`CELL_KINDS`.
+        options: extra model/simulation options as a sorted tuple of
+            ``(name, value)`` pairs — tuple, not dict, so the cell stays
+            hashable and its fingerprint is order-independent.
+        tag: caller's display/bookkeeping label (defaults to ``model``).
+    """
+
+    model: str
+    graph: TaskGraph
+    machine: MachineSpec
+    seed: int = 0
+    faults: FaultPlan | None = None
+    trace_intervals: bool = False
+    kind: str = "model"
+    options: tuple[tuple[str, Any], ...] = ()
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in CELL_KINDS:
+            raise ConfigurationError(
+                f"cell kind must be one of {CELL_KINDS}, got {self.kind!r}"
+            )
+        if self.options != tuple(sorted(self.options)):
+            object.__setattr__(self, "options", tuple(sorted(self.options)))
+
+    @property
+    def label(self) -> str:
+        base = self.tag or self.model
+        return f"{base}@P={self.machine.n_ranks}"
+
+
+def execute_cell(cell: SweepCell) -> Any:
+    """Run one cell to completion (in-process; also the worker entry)."""
+    options = dict(cell.options)
+    if cell.kind == "model":
+        from repro.exec_models.registry import make_model
+
+        model = make_model(cell.model, **options)
+        return model.run(
+            cell.graph,
+            cell.machine,
+            seed=cell.seed,
+            trace_intervals=cell.trace_intervals,
+            faults=cell.faults,
+        )
+    if cell.kind == "scf_sim":
+        from repro.exec_models.scf_simulation import ScfSimulation
+
+        n_iterations = options.pop("n_iterations", 5)
+        sim = ScfSimulation(cell.model, **options)
+        return sim.run(cell.graph, cell.machine, n_iterations=n_iterations, seed=cell.seed)
+    # kind == "persistence" (validated at construction)
+    from repro.exec_models.persistence import run_persistence
+
+    return run_persistence(cell.graph, cell.machine, seed=cell.seed, **options)
+
+
+@dataclass
+class SweepProgress:
+    """One progress event handed to the runner's ``progress`` callback."""
+
+    status: str  #: "cached" | "done"
+    label: str  #: the cell's display label
+    completed: int  #: cells finished so far (cached + computed)
+    cached: int  #: of those, served from cache
+    running: int  #: cells still outstanding
+    total: int  #: cells in this sweep
+
+
+def print_progress(event: SweepProgress) -> None:
+    """A ready-made ``progress`` callback: one line per finished cell."""
+    print(
+        f"[{event.completed}/{event.total}] {event.status:>6} {event.label}"
+        f"  ({event.cached} cached, {event.running} running)",
+        flush=True,
+    )
+
+
+@dataclass
+class SweepStats:
+    """Cumulative cell accounting across a runner's lifetime."""
+
+    cells: int = 0
+    cached: int = 0
+    computed: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cached / self.cells if self.cells else 0.0
+
+
+def study_cells(config: StudyConfig, graph: TaskGraph) -> list[SweepCell]:
+    """Expand a study grid into cells, in the serial driver's order.
+
+    Seed derivation (``derive_seed(seed, "study", model, P)``) matches
+    :func:`repro.core.study.run_study` exactly, so sweep results are
+    bit-for-bit the serial driver's results.
+    """
+    return [
+        SweepCell(
+            model=model_name,
+            graph=graph,
+            machine=config.machine_for(n_ranks),
+            seed=derive_seed(config.seed, "study", model_name, n_ranks),
+            faults=config.faults,
+            tag=model_name,
+        )
+        for n_ranks in config.n_ranks
+        for model_name in config.models
+    ]
+
+
+class SweepRunner:
+    """Executes sweep cells with caching and optional process fan-out.
+
+    Args:
+        jobs: worker processes for cache-miss cells (1 = in-process
+            serial; the simulator is deterministic, so results are
+            identical either way).
+        cache: a :class:`ResultCache`, a directory path for one, or None
+            to disable caching entirely.
+        progress: callback receiving :class:`SweepProgress` events (e.g.
+            :func:`print_progress`); None = silent.
+        salt: cache-key code-version salt (tests override it to model
+            invalidation).
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: ResultCache | str | Any | None = None,
+        progress: Callable[[SweepProgress], None] | None = None,
+        salt: str = CACHE_SALT,
+    ) -> None:
+        if jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = int(jobs)
+        if cache is not None and not isinstance(cache, ResultCache):
+            cache = ResultCache(cache)
+        self.cache = cache
+        self.progress = progress
+        self.salt = salt
+        self.stats = SweepStats()
+        #: Provenance ("cached" | "fresh") per cell of the *last* run_cells
+        #: call, in cell order.
+        self.last_provenance: list[str] = []
+        self._graph_fps: dict[int, tuple[TaskGraph, str]] = {}
+
+    # ------------------------------------------------------------------
+    def _graph_fingerprint(self, graph: TaskGraph) -> str:
+        """Fingerprint a graph, memoized by identity within this runner."""
+        entry = self._graph_fps.get(id(graph))
+        if entry is not None and entry[0] is graph:
+            return entry[1]
+        fp = fingerprint(graph)
+        self._graph_fps[id(graph)] = (graph, fp)
+        return fp
+
+    def cell_key(self, cell: SweepCell) -> str:
+        """The content address of one cell under this runner's salt."""
+        return cache_key(
+            graph_fp=self._graph_fingerprint(cell.graph),
+            machine_fp=fingerprint(cell.machine),
+            model=cell.model,
+            seed=cell.seed,
+            faults_fp=fingerprint(cell.faults),
+            kind=cell.kind,
+            options_fp=fingerprint(cell.options),
+            trace_intervals=cell.trace_intervals,
+            salt=self.salt,
+        )
+
+    # ------------------------------------------------------------------
+    def run_cells(self, cells: Sequence[SweepCell]) -> list[Any]:
+        """Execute every cell (cache-first), returning results in order."""
+        cells = list(cells)
+        total = len(cells)
+        results: list[Any] = [None] * total
+        provenance = ["fresh"] * total
+        cached_count = 0
+
+        misses: list[int] = []
+        keys: list[str | None] = [None] * total
+        for index, cell in enumerate(cells):
+            if self.cache is not None:
+                keys[index] = self.cell_key(cell)
+                hit = self.cache.get(keys[index])
+                if hit is not None:
+                    results[index] = hit
+                    provenance[index] = "cached"
+                    cached_count += 1
+                    continue
+            misses.append(index)
+
+        completed = cached_count
+        if self.progress is not None:
+            for index in range(total):
+                if provenance[index] == "cached" and results[index] is not None:
+                    self.progress(
+                        SweepProgress(
+                            status="cached",
+                            label=cells[index].label,
+                            completed=completed,
+                            cached=cached_count,
+                            running=len(misses),
+                            total=total,
+                        )
+                    )
+
+        if misses:
+            jobs = [cells[index] for index in misses]
+            for position, value in parallel_imap(execute_cell, jobs, self.jobs):
+                index = misses[position]
+                results[index] = value
+                if self.cache is not None and keys[index] is not None:
+                    self.cache.put(keys[index], value)
+                completed += 1
+                if self.progress is not None:
+                    self.progress(
+                        SweepProgress(
+                            status="done",
+                            label=cells[index].label,
+                            completed=completed,
+                            cached=cached_count,
+                            running=total - completed,
+                            total=total,
+                        )
+                    )
+
+        self.stats.cells += total
+        self.stats.cached += cached_count
+        self.stats.computed += len(misses)
+        self.last_provenance = provenance
+        return results
+
+    def run_study(self, config: StudyConfig, source: Any) -> StudyReport:
+        """Run every (model, rank-count) cell of a study through the sweep.
+
+        ``source`` is anything :func:`repro.core.study.resolve_source`
+        accepts: a ``Workload``, an ``ScfProblem``, or a ``TaskGraph``.
+        """
+        from repro.core.study import resolve_source
+
+        graph = resolve_source(source)
+        cells = study_cells(config, graph)
+        results = self.run_cells(cells)
+        report = StudyReport()
+        for result in results:
+            report.add(result)
+        # Provenance is keyed the way StudyReport keys results: by the
+        # model's self-reported name, which can differ from the registry
+        # name (e.g. "work_stealing(one,random)").
+        report.provenance = {
+            (result.model, result.n_ranks): prov
+            for result, prov in zip(results, self.last_provenance)
+        }
+        return report
+
+    def run_cell(self, cell: SweepCell) -> Any:
+        """Convenience: execute a single cell through the cache."""
+        return self.run_cells([cell])[0]
+
+    def variant(self, cell: SweepCell, **changes: Any) -> SweepCell:
+        """A copy of ``cell`` with fields replaced (dataclass replace)."""
+        return replace(cell, **changes)

@@ -2,12 +2,17 @@
 
 The study driver and the benchmarks refer to models by short names; this
 registry maps them to configured instances, so an experiment sweep is just
-a tuple of strings.
+a tuple of strings. Each registry entry is a (class, default options)
+pair, and :func:`make_model` accepts extra keyword options on top of the
+defaults — spelled in the *canonical* vocabulary shared with
+:class:`~repro.exec_models.scf_simulation.ScfSimulation` via
+:func:`normalize_model_options`, so the one-shot and whole-SCF surfaces
+take the same option names.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Any, Callable
 
 from repro.balance.greedy import locality_greedy, lpt_balancer
 from repro.balance.partition import hypergraph_balancer
@@ -22,45 +27,123 @@ from repro.exec_models.static_ import StaticBlock, StaticCyclic
 from repro.exec_models.work_stealing import WorkStealing
 from repro.util import ConfigurationError
 
-_FACTORIES: dict[str, Callable[[], ExecutionModel]] = {
-    "static_block": StaticBlock,
-    "static_cyclic": StaticCyclic,
-    "counter_dynamic": CounterDynamic,
-    "counter_dynamic_chunk4": lambda: CounterDynamic(chunk=4),
-    "counter_dynamic_chunk16": lambda: CounterDynamic(chunk=16),
-    "counter_dynamic_guided": lambda: CounterDynamic(chunk=1, order="desc_cost"),
-    "counter_per_node": CounterPerNode,
-    "counter_per_node_cost": lambda: CounterPerNode(partition="cost"),
-    "ft_work_stealing": FaultTolerantWorkStealing,
-    "ft_static_block": FaultTolerantStatic,
-    "work_stealing": WorkStealing,
-    "work_stealing_hier": lambda: WorkStealing(victim="hierarchical"),
-    "work_stealing_one": lambda: WorkStealing(steal="one"),
-    "work_stealing_half_cost": lambda: WorkStealing(steal="half_cost"),
-    "work_stealing_ring": lambda: WorkStealing(victim="ring"),
-    "work_stealing_cyclic": lambda: WorkStealing(initial="cyclic"),
-    "inspector_lpt": lambda: InspectorExecutor(lpt_balancer, name="inspector(lpt)"),
-    "inspector_locality": lambda: InspectorExecutor(
-        locality_greedy, name="inspector(locality_greedy)"
-    ),
-    "inspector_semi_matching": lambda: InspectorExecutor(
-        semi_matching_balancer, name="inspector(semi_matching)"
-    ),
-    "inspector_hypergraph": lambda: InspectorExecutor(
-        hypergraph_balancer, name="inspector(hypergraph)"
-    ),
-    "persistence": PersistenceModel,
+#: Accepted alternative spellings -> canonical constructor keyword. One
+#: normalizer serves every option-taking surface (``make_model``,
+#: ``ScfSimulation``), so callers never have to remember which layer
+#: calls the knob what.
+OPTION_ALIASES: dict[str, str] = {
+    "chunk": "chunk",
+    "chunk_size": "chunk",
+    "order": "order",
+    "claim_order": "order",
+    "home_rank": "home_rank",
+    "steal": "steal",
+    "steal_policy": "steal",
+    "steal_amount": "steal",
+    "victim": "victim",
+    "victim_policy": "victim",
+    "initial": "initial",
+    "initial_distribution": "initial",
+    "min_backoff": "min_backoff",
+    "max_backoff": "max_backoff",
+    "park_after": "park_after",
+    "partition": "partition",
+    "partition_policy": "partition",
+    "balancer": "balancer",
+    "name": "name",
+    "retry": "retry",
+    "token_timeout": "token_timeout",
+    "n_iterations": "n_iterations",
+    "capacity_aware": "capacity_aware",
 }
 
-MODEL_NAMES: tuple[str, ...] = tuple(sorted(_FACTORIES))
+
+def normalize_model_options(options: dict[str, Any]) -> dict[str, Any]:
+    """Map option spellings to canonical constructor keywords.
+
+    Rejects unknown spellings and two spellings of the same canonical
+    option in one call (``steal=`` and ``steal_policy=`` together).
+    """
+    out: dict[str, Any] = {}
+    for key, value in options.items():
+        canonical = OPTION_ALIASES.get(key)
+        if canonical is None:
+            known = ", ".join(sorted(OPTION_ALIASES))
+            raise ConfigurationError(
+                f"unknown model option {key!r}; known spellings: {known}"
+            )
+        if canonical in out:
+            raise ConfigurationError(
+                f"option {canonical!r} given more than once (alias collision on {key!r})"
+            )
+        out[canonical] = value
+    return out
 
 
-def make_model(name: str) -> ExecutionModel:
-    """Instantiate an execution model by registry name."""
+_SPECS: dict[str, tuple[Callable[..., ExecutionModel], dict[str, Any]]] = {
+    "static_block": (StaticBlock, {}),
+    "static_cyclic": (StaticCyclic, {}),
+    "counter_dynamic": (CounterDynamic, {}),
+    "counter_dynamic_chunk4": (CounterDynamic, {"chunk": 4}),
+    "counter_dynamic_chunk16": (CounterDynamic, {"chunk": 16}),
+    "counter_dynamic_guided": (CounterDynamic, {"chunk": 1, "order": "desc_cost"}),
+    "counter_per_node": (CounterPerNode, {}),
+    "counter_per_node_cost": (CounterPerNode, {"partition": "cost"}),
+    "ft_work_stealing": (FaultTolerantWorkStealing, {}),
+    "ft_static_block": (FaultTolerantStatic, {}),
+    "work_stealing": (WorkStealing, {}),
+    "work_stealing_hier": (WorkStealing, {"victim": "hierarchical"}),
+    "work_stealing_one": (WorkStealing, {"steal": "one"}),
+    "work_stealing_half_cost": (WorkStealing, {"steal": "half_cost"}),
+    "work_stealing_ring": (WorkStealing, {"victim": "ring"}),
+    "work_stealing_cyclic": (WorkStealing, {"initial": "cyclic"}),
+    "inspector_lpt": (InspectorExecutor, {"balancer": lpt_balancer, "name": "inspector(lpt)"}),
+    "inspector_locality": (
+        InspectorExecutor,
+        {"balancer": locality_greedy, "name": "inspector(locality_greedy)"},
+    ),
+    "inspector_semi_matching": (
+        InspectorExecutor,
+        {"balancer": semi_matching_balancer, "name": "inspector(semi_matching)"},
+    ),
+    "inspector_hypergraph": (
+        InspectorExecutor,
+        {"balancer": hypergraph_balancer, "name": "inspector(hypergraph)"},
+    ),
+    "persistence": (PersistenceModel, {}),
+}
+
+MODEL_NAMES: tuple[str, ...] = tuple(sorted(_SPECS))
+
+
+def model_defaults(name: str) -> dict[str, Any]:
+    """The registry's configured options for ``name`` (a copy)."""
     try:
-        factory = _FACTORIES[name]
+        return dict(_SPECS[name][1])
     except KeyError:
         raise ConfigurationError(
             f"unknown execution model {name!r}; known: {', '.join(MODEL_NAMES)}"
         ) from None
-    return factory()
+
+
+def make_model(name: str, **options: Any) -> ExecutionModel:
+    """Instantiate an execution model by registry name.
+
+    Extra keyword options (in any spelling
+    :func:`normalize_model_options` accepts) override the registry
+    defaults, e.g. ``make_model("work_stealing", steal_policy="one")``.
+    """
+    try:
+        cls, defaults = _SPECS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown execution model {name!r}; known: {', '.join(MODEL_NAMES)}"
+        ) from None
+    merged = {**defaults, **normalize_model_options(options)}
+    try:
+        return cls(**merged)
+    except TypeError as exc:
+        raise ConfigurationError(
+            f"model {name!r} does not accept options "
+            f"{sorted(set(merged) - set(defaults))}: {exc}"
+        ) from None

@@ -82,13 +82,25 @@ class ScfSimulation:
 
     Args:
         mode: one of :data:`MODES`.
-        chunk: counter-claim chunk (``counter`` mode).
-        steal: steal-amount policy (``work_stealing`` mode).
+        **options: discipline knobs in the same spellings
+            :func:`~repro.exec_models.registry.make_model` accepts
+            (``chunk``/``chunk_size`` for ``counter`` mode,
+            ``steal``/``steal_policy`` for ``work_stealing`` mode).
     """
 
-    def __init__(self, mode: str = "work_stealing", chunk: int = 1, steal: str = "half") -> None:
+    def __init__(self, mode: str = "work_stealing", **options) -> None:
+        from repro.exec_models.registry import normalize_model_options
+
         if mode not in MODES:
             raise ConfigurationError(f"mode must be one of {MODES}, got {mode!r}")
+        normalized = normalize_model_options(options)
+        chunk = normalized.pop("chunk", 1)
+        steal = normalized.pop("steal", "half")
+        if normalized:
+            raise ConfigurationError(
+                f"ScfSimulation({mode!r}) does not accept options "
+                f"{sorted(normalized)}"
+            )
         check_positive("chunk", chunk)
         if steal not in ("half", "one"):
             raise ConfigurationError(f"steal must be 'half' or 'one', got {steal!r}")

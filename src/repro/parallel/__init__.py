@@ -6,8 +6,13 @@ three scheduling disciplines (static / shared counter / work stealing),
 executed by actual Python threads on the host, with the resulting Fock
 matrix checked against the serial reference. It also powers the laptop
 examples and gives SCF a genuinely parallel two-electron builder.
+
+:mod:`repro.parallel.executor` is the coarse-grained counterpart: generic
+fork-based fan-out of independent jobs (the sweep orchestrator's worker
+pool).
 """
 
+from repro.parallel.executor import fork_available, parallel_imap, parallel_map
 from repro.parallel.pool import (
     SharedMemoryFockBuilder,
     parallel_g_builder,
@@ -20,6 +25,9 @@ from repro.parallel.processes import (
 )
 
 __all__ = [
+    "fork_available",
+    "parallel_imap",
+    "parallel_map",
     "SharedMemoryFockBuilder",
     "parallel_g_builder",
     "ParallelStats",

@@ -1,0 +1,76 @@
+"""Host-side process-pool plumbing for coarse-grained job fan-out.
+
+Where :mod:`repro.parallel.processes` forks workers around a single Fock
+build, this module provides the generic piece the sweep orchestrator
+needs: run N independent, picklable jobs across a pool of forked worker
+processes and return their results in submission order.
+
+Uses the ``fork`` start method (POSIX) so workers inherit imported
+modules and any already-built problem state without re-importing; falls
+back to serial in-process execution when forking is unavailable or when
+the job list / worker count makes a pool pointless. Simulated runs are
+deterministic functions of their inputs, so serial and parallel
+execution produce identical results — the pool changes wall-clock time
+only.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.util import check_positive
+
+
+def fork_available() -> bool:
+    """Whether the POSIX ``fork`` start method exists on this host."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def parallel_map(
+    fn: Callable[[Any], Any],
+    jobs: Sequence[Any],
+    n_workers: int = 1,
+) -> list[Any]:
+    """``[fn(job) for job in jobs]`` across forked worker processes.
+
+    Results come back in submission order. With ``n_workers <= 1``, a
+    single job, or no ``fork`` support, runs serially in-process (no
+    pickling, no subprocesses). A worker exception propagates to the
+    caller unchanged in meaning (re-raised from the future).
+    """
+    check_positive("n_workers", n_workers)
+    n_workers = min(int(n_workers), len(jobs))
+    if n_workers <= 1 or len(jobs) <= 1 or not fork_available():
+        return [fn(job) for job in jobs]
+    ctx = multiprocessing.get_context("fork")
+    with ProcessPoolExecutor(max_workers=n_workers, mp_context=ctx) as pool:
+        futures = [pool.submit(fn, job) for job in jobs]
+        return [f.result() for f in futures]
+
+
+def parallel_imap(
+    fn: Callable[[Any], Any],
+    jobs: Sequence[Any],
+    n_workers: int = 1,
+) -> Iterator[tuple[int, Any]]:
+    """Yield ``(index, fn(jobs[index]))`` as each job completes.
+
+    Completion order, not submission order — callers wanting progress
+    reporting consume results as they land and reorder afterwards.
+    Serial fallback rules match :func:`parallel_map`.
+    """
+    check_positive("n_workers", n_workers)
+    n_workers = min(int(n_workers), len(jobs))
+    if n_workers <= 1 or len(jobs) <= 1 or not fork_available():
+        for index, job in enumerate(jobs):
+            yield index, fn(job)
+        return
+    ctx = multiprocessing.get_context("fork")
+    with ProcessPoolExecutor(max_workers=n_workers, mp_context=ctx) as pool:
+        pending = {pool.submit(fn, job): index for index, job in enumerate(jobs)}
+        while pending:
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                yield pending.pop(future), future.result()

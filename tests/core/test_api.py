@@ -1,0 +1,130 @@
+"""The repro.api facade: source polymorphism, shims, option vocabulary."""
+
+import warnings
+
+import pytest
+
+from repro import api
+from repro.util import ConfigurationError
+
+from tests.core.test_cache import assert_results_identical
+
+
+class TestStableSurface:
+    def test_all_importable(self):
+        for name in api.__all__:
+            assert getattr(api, name) is not None, name
+
+    def test_core_entry_points_present(self):
+        for name in ("sweep", "run_study", "build_workload", "run_scf", "run_model"):
+            assert name in api.__all__
+
+
+class TestSourcePolymorphism:
+    def test_resolve_source(self, tiny_problem):
+        graph = tiny_problem.graph
+        workload = api.build_workload(tiny_problem.molecule, block_size=3, tau=0.0)
+        assert api.resolve_source(graph) is graph
+        assert api.resolve_source(tiny_problem) is graph
+        assert api.resolve_source(workload) is workload.graph
+        with pytest.raises(ConfigurationError):
+            api.resolve_source("not a workload")
+
+    def test_run_study_accepts_all_three(self, tiny_problem):
+        config = api.StudyConfig(models=("static_block",), n_ranks=(2,))
+        workload = api.Workload("w", tiny_problem.graph)
+        reports = [
+            api.run_study(config, source)
+            for source in (tiny_problem, tiny_problem.graph, workload)
+        ]
+        makespans = {r.get("static_block", 2).makespan for r in reports}
+        assert len(makespans) == 1
+
+    def test_run_model_accepts_problem(self, tiny_problem):
+        machine = api.commodity_cluster(2)
+        via_problem = api.run_model("static_block", tiny_problem, machine, seed=1)
+        via_graph = api.run_model("static_block", tiny_problem.graph, machine, seed=1)
+        assert_results_identical(via_problem, via_graph)
+
+
+class TestDeprecatedKeywords:
+    def test_legacy_keywords_warn_but_work(self, synthetic_graph):
+        config = api.StudyConfig(models=("static_block",), n_ranks=(4,))
+        new = api.run_study(config, synthetic_graph)
+        with pytest.warns(DeprecationWarning, match="graph="):
+            old = api.run_study(config, graph=synthetic_graph)
+        assert_results_identical(
+            new.get("static_block", 4), old.get("static_block", 4)
+        )
+
+    def test_source_plus_keyword_rejected(self, synthetic_graph):
+        config = api.StudyConfig(models=("static_block",), n_ranks=(4,))
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with pytest.raises(ConfigurationError, match="exactly one"):
+                api.run_study(config, synthetic_graph, graph=synthetic_graph)
+
+
+class TestOptionVocabulary:
+    def test_make_model_aliases(self, synthetic_graph):
+        machine = api.commodity_cluster(4)
+        canonical = api.make_model("work_stealing", steal="one")
+        aliased = api.make_model("work_stealing", steal_policy="one")
+        named = api.make_model("work_stealing_one")
+        runs = [
+            m.run(synthetic_graph, machine, seed=2) for m in (canonical, aliased, named)
+        ]
+        assert_results_identical(runs[0], runs[1])
+        assert_results_identical(runs[0], runs[2])
+
+    def test_scf_simulation_shares_spellings(self):
+        assert api.ScfSimulation("counter", chunk_size=4).chunk == 4
+        assert api.ScfSimulation("counter", chunk=4).chunk == 4
+
+    def test_unknown_option_rejected_everywhere(self, synthetic_graph):
+        machine = api.commodity_cluster(4)
+        with pytest.raises(ConfigurationError, match="unknown model option"):
+            api.make_model("work_stealing", stealing_mode="one")
+        with pytest.raises(ConfigurationError, match="unknown model option"):
+            api.ScfSimulation("counter", chunks=4)
+        with pytest.raises(ConfigurationError, match="unknown model option"):
+            api.run_model("work_stealing", synthetic_graph, machine, bogus=1)
+
+    def test_alias_collision_rejected(self):
+        with pytest.raises(ConfigurationError, match="more than once"):
+            api.make_model("work_stealing", steal="one", steal_policy="half")
+
+    def test_normalize_exported(self):
+        assert api.normalize_model_options({"chunk_size": 8}) == {"chunk": 8}
+
+
+class TestSweepFacade:
+    def test_sweep_matches_run_study(self, synthetic_graph, tmp_path):
+        config = api.StudyConfig(
+            models=("static_block", "work_stealing"), n_ranks=(4,), seed=3
+        )
+        plain = api.run_study(config, synthetic_graph)
+        swept = api.sweep(config, synthetic_graph, cache=tmp_path)
+        rewarmed = api.sweep(config, synthetic_graph, cache=tmp_path)
+        for key in plain.results:
+            assert_results_identical(plain.results[key], swept.results[key])
+            assert_results_identical(plain.results[key], rewarmed.results[key])
+        assert set(rewarmed.provenance.values()) == {"cached"}
+
+    def test_run_study_jobs_and_cache_passthrough(self, synthetic_graph, tmp_path):
+        config = api.StudyConfig(models=("static_block",), n_ranks=(4,))
+        api.run_study(config, synthetic_graph, cache=tmp_path)
+        report = api.run_study(config, synthetic_graph, cache=tmp_path)
+        assert set(report.provenance.values()) == {"cached"}
+
+
+class TestWorkloadLabels:
+    def test_label_includes_formula_and_hash(self):
+        wl = api.build_workload(api.water_cluster(1), block_size=3)
+        assert "3 atoms" in wl.name
+        assert "H2O" in wl.name
+
+    def test_same_atom_count_different_labels(self):
+        a = api.build_workload(api.water_cluster(2, seed=0), block_size=3)
+        b = api.build_workload(api.water_cluster(2, seed=1), block_size=3)
+        assert a.name != b.name

@@ -1,0 +1,167 @@
+"""Content-addressed result cache: round-trips, keys, invalidation."""
+
+import dataclasses
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import ResultCache, SweepCell, SweepRunner, cache_key, fingerprint
+from repro.simulate import commodity_cluster
+
+
+def assert_results_identical(a, b):
+    """Bit-for-bit equality over every RunResult field."""
+    for f in dataclasses.fields(a):
+        va, vb = getattr(a, f.name), getattr(b, f.name)
+        if isinstance(va, np.ndarray):
+            assert va.dtype == vb.dtype and (va == vb).all(), f.name
+        elif isinstance(va, dict) and any(
+            isinstance(v, np.ndarray) for v in va.values()
+        ):
+            assert va.keys() == vb.keys(), f.name
+            for k in va:
+                assert (va[k] == vb[k]).all(), f"{f.name}[{k}]"
+        else:
+            assert va == vb, f.name
+
+
+class TestFingerprint:
+    def test_stable_across_calls(self, synthetic_graph):
+        assert fingerprint(synthetic_graph) == fingerprint(synthetic_graph)
+
+    def test_distinguishes_graphs(self, synthetic_graph, medium_graph):
+        assert fingerprint(synthetic_graph) != fingerprint(medium_graph)
+
+    def test_float_precision_matters(self):
+        assert fingerprint(0.1) != fingerprint(0.1 + 1e-16)
+        assert fingerprint(1.0) != fingerprint(1)
+
+    def test_machine_variability_included(self):
+        from repro.simulate import StaticHeterogeneity
+
+        plain = commodity_cluster(4)
+        noisy = commodity_cluster(4, variability=StaticHeterogeneity(range(2), 0.5))
+        assert fingerprint(plain) != fingerprint(noisy)
+
+
+class TestCacheKey:
+    def test_each_component_changes_key(self):
+        base = dict(
+            graph_fp="g", machine_fp="m", model="work_stealing", seed=0, faults_fp="f"
+        )
+        reference = cache_key(**base)
+        assert cache_key(**base) == reference
+        for change in (
+            {"graph_fp": "g2"},
+            {"machine_fp": "m2"},
+            {"model": "static_block"},
+            {"seed": 1},
+            {"faults_fp": "f2"},
+            {"kind": "scf_sim"},
+            {"options_fp": "o"},
+            {"trace_intervals": True},
+            {"salt": "other"},
+        ):
+            assert cache_key(**{**base, **change}) != reference, change
+
+
+class TestResultCache:
+    def test_roundtrip_identical_row(self, synthetic_graph, tmp_path):
+        cell = SweepCell(
+            model="work_stealing",
+            graph=synthetic_graph,
+            machine=commodity_cluster(4),
+            seed=3,
+        )
+        cold = SweepRunner(cache=tmp_path)
+        fresh = cold.run_cell(cell)
+        assert cold.last_provenance == ["fresh"]
+
+        warm = SweepRunner(cache=tmp_path)
+        cached = warm.run_cell(cell)
+        assert warm.last_provenance == ["cached"]
+        assert warm.stats.hit_rate == 1.0
+        assert_results_identical(fresh, cached)
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"seed": 4},
+            {"model": "static_block"},
+            {"machine": None},  # replaced with a larger machine below
+        ],
+    )
+    def test_changed_input_misses(self, synthetic_graph, tmp_path, change):
+        runner = SweepRunner(cache=tmp_path)
+        cell = SweepCell(
+            model="work_stealing",
+            graph=synthetic_graph,
+            machine=commodity_cluster(4),
+            seed=3,
+        )
+        runner.run_cell(cell)
+        if change.get("machine", "") is None:
+            change = {"machine": commodity_cluster(8)}
+        runner.run_cell(runner.variant(cell, **change))
+        assert runner.stats.cached == 0
+        assert runner.stats.computed == 2
+
+    def test_no_cache_bypasses(self, synthetic_graph, tmp_path):
+        seeded = SweepRunner(cache=tmp_path)
+        cell = SweepCell(
+            model="static_block",
+            graph=synthetic_graph,
+            machine=commodity_cluster(4),
+        )
+        seeded.run_cell(cell)
+        assert len(seeded.cache) == 1
+
+        uncached = SweepRunner(cache=None)
+        uncached.run_cell(cell)
+        assert uncached.stats.cached == 0
+        assert uncached.last_provenance == ["fresh"]
+        assert len(seeded.cache) == 1  # nothing new written either
+
+    def test_salt_invalidates(self, synthetic_graph, tmp_path):
+        cell = SweepCell(
+            model="static_block",
+            graph=synthetic_graph,
+            machine=commodity_cluster(4),
+        )
+        SweepRunner(cache=tmp_path).run_cell(cell)
+        bumped = SweepRunner(cache=tmp_path, salt="repro-sweep-v2-test")
+        bumped.run_cell(cell)
+        assert bumped.stats.cached == 0 and bumped.stats.computed == 1
+
+    def test_corrupt_entry_is_miss_and_removed(self, synthetic_graph, tmp_path):
+        runner = SweepRunner(cache=tmp_path)
+        cell = SweepCell(
+            model="static_block",
+            graph=synthetic_graph,
+            machine=commodity_cluster(4),
+        )
+        runner.run_cell(cell)
+        key = runner.cell_key(cell)
+        path = runner.cache.path_for(key)
+        path.write_bytes(b"not a pickle")
+        assert runner.cache.get(key) is None
+        assert not path.exists()
+        # And the runner recomputes + re-stores transparently.
+        runner.run_cell(cell)
+        assert runner.stats.computed == 2
+        assert pickle.loads(path.read_bytes()) is not None
+
+    def test_clear(self, synthetic_graph, tmp_path):
+        cache = ResultCache(tmp_path)
+        runner = SweepRunner(cache=cache)
+        runner.run_cell(
+            SweepCell(
+                model="static_block",
+                graph=synthetic_graph,
+                machine=commodity_cluster(4),
+            )
+        )
+        assert len(cache) == 1
+        cache.clear()
+        assert len(cache) == 0

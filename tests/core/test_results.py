@@ -10,7 +10,7 @@ def report(synthetic_graph_module):
     config = StudyConfig(
         models=("static_block", "work_stealing"), n_ranks=(4, 8), seed=0
     )
-    return run_study(config, graph=synthetic_graph_module)
+    return run_study(config, synthetic_graph_module)
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,153 @@
+"""Sweep orchestrator: grid expansion, ordering, parallel equivalence."""
+
+import pytest
+
+from repro.core import (
+    StudyConfig,
+    SweepCell,
+    SweepRunner,
+    execute_cell,
+    run_study,
+    study_cells,
+)
+from repro.parallel import fork_available
+from repro.simulate import commodity_cluster
+from repro.util import ConfigurationError
+
+from tests.core.test_cache import assert_results_identical
+
+
+class TestSweepCell:
+    def test_options_canonicalized(self, synthetic_graph):
+        a = SweepCell(
+            model="counter_dynamic",
+            graph=synthetic_graph,
+            machine=commodity_cluster(4),
+            options=(("order", "desc_cost"), ("chunk", 4)),
+        )
+        assert a.options == (("chunk", 4), ("order", "desc_cost"))
+
+    def test_bad_kind_rejected(self, synthetic_graph):
+        with pytest.raises(ConfigurationError, match="kind"):
+            SweepCell(
+                model="static_block",
+                graph=synthetic_graph,
+                machine=commodity_cluster(4),
+                kind="nope",
+            )
+
+    def test_label(self, synthetic_graph):
+        cell = SweepCell(
+            model="static_block",
+            graph=synthetic_graph,
+            machine=commodity_cluster(8),
+            tag="baseline",
+        )
+        assert cell.label == "baseline@P=8"
+
+
+class TestStudyCells:
+    def test_matches_serial_driver(self, synthetic_graph):
+        """Same grid, same seeds, same order as the legacy serial loop."""
+        config = StudyConfig(
+            models=("static_block", "work_stealing"), n_ranks=(4, 8), seed=5
+        )
+        cells = study_cells(config, synthetic_graph)
+        assert [c.label for c in cells] == [
+            "static_block@P=4",
+            "work_stealing@P=4",
+            "static_block@P=8",
+            "work_stealing@P=8",
+        ]
+        report = run_study(config, synthetic_graph)
+        for cell in cells:
+            result = execute_cell(cell)
+            assert_results_identical(result, report.get(result.model, result.n_ranks))
+
+
+class TestSweepRunner:
+    def test_results_in_input_order(self, synthetic_graph):
+        cells = [
+            SweepCell(model=m, graph=synthetic_graph, machine=commodity_cluster(4))
+            for m in ("work_stealing", "static_block", "counter_dynamic")
+        ]
+        results = SweepRunner().run_cells(cells)
+        assert [r.model for r in results] == [
+            "work_stealing",
+            "static_block",
+            "counter_dynamic",
+        ]
+
+    def test_run_study_equals_legacy(self, synthetic_graph):
+        config = StudyConfig(
+            models=("static_block", "work_stealing"), n_ranks=(4, 8), seed=2
+        )
+        legacy = run_study(config, synthetic_graph)
+        swept = SweepRunner().run_study(config, synthetic_graph)
+        assert legacy.results.keys() == swept.results.keys()
+        for key in legacy.results:
+            assert_results_identical(legacy.results[key], swept.results[key])
+        assert set(swept.provenance.values()) == {"fresh"}
+
+    @pytest.mark.skipif(not fork_available(), reason="needs fork start method")
+    def test_parallel_equals_serial(self, synthetic_graph):
+        config = StudyConfig(
+            models=("static_block", "counter_dynamic", "work_stealing"),
+            n_ranks=(4, 8),
+            seed=9,
+        )
+        serial = SweepRunner(jobs=1).run_study(config, synthetic_graph)
+        parallel = SweepRunner(jobs=3).run_study(config, synthetic_graph)
+        assert serial.results.keys() == parallel.results.keys()
+        for key in serial.results:
+            assert_results_identical(serial.results[key], parallel.results[key])
+
+    def test_progress_events(self, synthetic_graph, tmp_path):
+        config = StudyConfig(models=("static_block",), n_ranks=(4, 8))
+        events = []
+        runner = SweepRunner(cache=tmp_path, progress=events.append)
+        runner.run_study(config, synthetic_graph)
+        assert [e.status for e in events] == ["done", "done"]
+        assert events[-1].completed == events[-1].total == 2
+        events.clear()
+        runner.run_study(config, synthetic_graph)
+        assert [e.status for e in events] == ["cached", "cached"]
+        assert events[-1].running == 0
+
+    def test_mixed_cached_and_fresh(self, synthetic_graph, tmp_path):
+        machine = commodity_cluster(4)
+        first = SweepCell(model="static_block", graph=synthetic_graph, machine=machine)
+        second = SweepCell(model="static_cyclic", graph=synthetic_graph, machine=machine)
+        runner = SweepRunner(cache=tmp_path)
+        runner.run_cells([first])
+        results = runner.run_cells([first, second])
+        assert runner.last_provenance == ["cached", "fresh"]
+        assert [r.model for r in results] == ["static_block", "static_cyclic"]
+
+    def test_scf_sim_and_persistence_kinds(self, synthetic_graph, tmp_path):
+        machine = commodity_cluster(4)
+        cells = [
+            SweepCell(
+                model="counter",
+                graph=synthetic_graph,
+                machine=machine,
+                kind="scf_sim",
+                options=(("n_iterations", 2),),
+            ),
+            SweepCell(
+                model="persistence",
+                graph=synthetic_graph,
+                machine=machine,
+                kind="persistence",
+                options=(("n_iterations", 2),),
+            ),
+        ]
+        runner = SweepRunner(cache=tmp_path)
+        sim, history = runner.run_cells(cells)
+        sim2, history2 = SweepRunner(cache=tmp_path).run_cells(cells)
+        assert sim.total_time == sim2.total_time
+        assert (history.makespans == history2.makespans).all()
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(ConfigurationError, match="jobs"):
+            SweepRunner(jobs=0)

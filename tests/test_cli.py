@@ -18,6 +18,17 @@ class TestParser:
         args = build_parser().parse_args(["study"])
         assert args.molecule == "water"
         assert args.machine == "commodity"
+        assert args.jobs == 1
+        assert args.no_cache is False
+        assert args.cache_dir is None
+
+    def test_sweep_flags(self):
+        args = build_parser().parse_args(
+            ["study", "--jobs", "4", "--no-cache", "--progress"]
+        )
+        assert args.jobs == 4
+        assert args.no_cache is True
+        assert args.progress is True
 
 
 class TestCommands:
@@ -33,17 +44,53 @@ class TestCommands:
         assert "tasks" in out
         assert "gini" in out
 
-    def test_study(self, capsys):
+    def test_study(self, capsys, tmp_path):
         code = main(
             [
                 "study", "--size", "1", "--block-size", "3",
                 "--ranks", "4", "--models", "static_block", "work_stealing",
+                "--cache-dir", str(tmp_path),
             ]
         )
         assert code == 0
         out = capsys.readouterr().out
         assert "makespan_ms" in out
         assert "work_stealing" in out
+        assert "cache: 0/2" in out
+
+    def test_study_warm_cache(self, capsys, tmp_path):
+        argv = [
+            "study", "--size", "1", "--block-size", "3",
+            "--ranks", "4", "--models", "static_block",
+            "--cache-dir", str(tmp_path), "--progress",
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "cache: 1/1" in warm
+        assert "cached" in warm
+
+        def table(text):
+            lines = text.splitlines()
+            start = lines.index("study results")
+            return lines[start:start + 4]
+
+        # Cached rows render identically to freshly computed ones.
+        assert table(cold) == table(warm)
+
+    def test_study_no_cache(self, capsys, tmp_path):
+        code = main(
+            [
+                "study", "--size", "1", "--block-size", "3",
+                "--ranks", "4", "--models", "static_block",
+                "--no-cache", "--jobs", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "makespan_ms" in out
+        assert "cache:" not in out
 
     def test_scf_serial(self, capsys):
         assert main(["scf", "--size", "1", "--block-size", "3"]) == 0

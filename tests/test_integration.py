@@ -49,7 +49,7 @@ def test_full_study_on_chemistry_workload(medium_problem):
         n_ranks=(8, 32),
         seed=3,
     )
-    report = run_study(config, problem=medium_problem)
+    report = run_study(config, medium_problem)
     # The headline shape: dynamic models beat static block at scale.
     assert report.improvement("work_stealing", "static_block", 32) > 1.2
     assert report.improvement("counter_dynamic", "static_block", 32) > 1.2

@@ -37,7 +37,7 @@ class TestClaimC1WorkStealingBeatsStatic:
     def test_improvement_at_scale(self, study_graph):
         report = run_study(
             StudyConfig(models=("static_block", "work_stealing"), n_ranks=(32,), seed=0),
-            graph=study_graph,
+            study_graph,
         )
         assert report.improvement("work_stealing", "static_block", 32) > 1.3
 
