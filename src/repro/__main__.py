@@ -7,6 +7,8 @@ Commands:
 - ``scf``      — converge an SCF and report the energy.
 - ``validate`` — simulate one model and numerically validate its schedule.
 - ``workload`` — build a task graph and print its cost-distribution report.
+- ``bench``    — run the perf microbenchmarks, emit ``BENCH_*.json``.
+- ``profile``  — cProfile a study and print the top-N hotspots.
 """
 
 from __future__ import annotations
@@ -158,6 +160,84 @@ def cmd_workload(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Canned workloads for ``python -m repro profile <study>``.
+_PROFILE_PRESETS: dict[str, dict] = {
+    # One hot cell: enough events to dominate profile noise, done in seconds.
+    "quick": {"size": 4, "models": ("work_stealing",), "ranks": (16,)},
+    # The full E1 sweep (the headline experiment): slower, complete picture.
+    "e1": {
+        "size": 8,
+        "models": ("static_block", "static_cyclic", "counter_dynamic", "work_stealing"),
+        "ranks": (16, 64, 256),
+    },
+}
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    import cProfile
+    import pstats
+
+    from repro import api, water_cluster
+
+    preset = _PROFILE_PRESETS[args.study]
+    problem = api.ScfProblem.build(
+        water_cluster(preset["size"], seed=0), block_size=6, tau=1.0e-10
+    )
+    config = api.StudyConfig(
+        models=preset["models"], n_ranks=preset["ranks"], seed=args.seed
+    )
+    print(
+        f"profiling study {args.study!r}: {len(preset['models'])} model(s) x "
+        f"ranks {preset['ranks']} on water_cluster({preset['size']}) "
+        f"({problem.graph.n_tasks} tasks)"
+    )
+    profiler = cProfile.Profile()
+    profiler.enable()
+    api.sweep(config, problem, jobs=1, cache=None)
+    profiler.disable()
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats(args.sort)
+    stats.print_stats(args.top)
+    if args.output:
+        stats.dump_stats(args.output)
+        print(f"full profile written to {args.output} (open with pstats/snakeviz)")
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro import perf
+
+    exit_code = 0
+    for suite in args.suites:
+        print(f"bench suite {suite!r} (median of {args.repeats}):")
+        report = perf.run_suite(suite, repeats=args.repeats, progress=print)
+        out = Path(args.output_dir) / f"BENCH_{suite}.json"
+        perf.write_report(report, out)
+        print(f"  -> {out}")
+        if args.baseline_dir is not None:
+            base_path = Path(args.baseline_dir) / f"BENCH_{suite}.json"
+            if not base_path.exists():
+                print(f"  no baseline at {base_path}; skipping regression check")
+                continue
+            baseline = json.loads(base_path.read_text())
+            failures = perf.check_regression(
+                report, baseline, max_regression=args.max_regression
+            )
+            for failure in failures:
+                print(f"  REGRESSION: {failure}")
+            if failures:
+                exit_code = 1
+            else:
+                print(
+                    f"  throughput within {args.max_regression:.0%} of baseline "
+                    f"({baseline['git_sha'][:12]})"
+                )
+    return exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     from repro.core import MACHINE_PRESETS
     from repro.exec_models import MODEL_NAMES
@@ -215,6 +295,50 @@ def build_parser() -> argparse.ArgumentParser:
     p_wl = sub.add_parser("workload", help="task-graph cost report")
     _add_molecule_args(p_wl)
     p_wl.set_defaults(func=cmd_workload)
+
+    from repro.perf import SUITES
+
+    p_bench = sub.add_parser(
+        "bench", help="perf microbenchmarks -> BENCH_*.json baselines"
+    )
+    p_bench.add_argument(
+        "--suites", nargs="+", choices=tuple(SUITES), default=list(SUITES),
+        metavar="SUITE", help=f"suites to run (default: {' '.join(SUITES)})",
+    )
+    p_bench.add_argument("--repeats", type=int, default=5, help="median-of-k repeats")
+    p_bench.add_argument(
+        "--output-dir", default="benchmarks/results", metavar="DIR",
+        help="where BENCH_<suite>.json files are written",
+    )
+    p_bench.add_argument(
+        "--baseline-dir", default=None, metavar="DIR",
+        help="compare event throughput against BENCH_<suite>.json here; "
+        "exit 1 on regression beyond --max-regression",
+    )
+    p_bench.add_argument(
+        "--max-regression", type=float, default=0.30, metavar="FRAC",
+        help="allowed fractional throughput drop vs baseline (default: 0.30)",
+    )
+    p_bench.set_defaults(func=cmd_bench)
+
+    p_prof = sub.add_parser(
+        "profile", help="cProfile a study, print top-N cumulative hotspots"
+    )
+    p_prof.add_argument(
+        "study", choices=tuple(_PROFILE_PRESETS),
+        help="canned study: 'quick' (one work-stealing cell) or 'e1' (full sweep)",
+    )
+    p_prof.add_argument("--top", type=int, default=25, help="rows to print")
+    p_prof.add_argument(
+        "--sort", default="cumulative",
+        choices=("cumulative", "tottime", "ncalls"), help="pstats sort key",
+    )
+    p_prof.add_argument("--seed", type=int, default=0)
+    p_prof.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="also dump the raw pstats profile here",
+    )
+    p_prof.set_defaults(func=cmd_profile)
     return parser
 
 

@@ -22,6 +22,7 @@ targets (handles non-power-of-two k).
 from __future__ import annotations
 
 import heapq
+import math
 
 import numpy as np
 
@@ -284,7 +285,13 @@ def _initial_bisection(
 def _grow_region(
     hg: Hypergraph, target0: float, rng: np.random.Generator
 ) -> np.ndarray:
-    """Grow side 0 from a random seed by strongest net connectivity."""
+    """Grow side 0 from a random seed by strongest net connectivity.
+
+    Frontier selection scans ``scores.items()`` inline — highest score
+    wins, ties break toward the smaller vertex id — which is exactly the
+    former ``max(scores, key=lambda u: (scores[u], -u))`` without
+    allocating a key tuple and a lambda frame per candidate.
+    """
     n = hg.n_vertices
     side = np.ones(n, dtype=np.int8)
     incidence = hg.vertex_nets()
@@ -292,21 +299,31 @@ def _grow_region(
     in_region = np.zeros(n, dtype=bool)
     w0 = 0.0
     current = int(rng.integers(0, n))
+    nets = hg.nets
+    net_weights = hg.net_weights
+    vertex_weights = hg.vertex_weights
+    scores_get = scores.get
     while True:
         side[current] = 0
         in_region[current] = True
-        w0 += hg.vertex_weights[current]
+        w0 += vertex_weights[current]
         scores.pop(current, None)
         if w0 >= target0:
             break
         for eid in incidence[current]:
-            w = hg.net_weights[eid]
-            for u in hg.nets[eid]:
+            w = net_weights[eid]
+            for u in nets[eid]:
                 u = int(u)
                 if not in_region[u]:
-                    scores[u] = scores.get(u, 0.0) + w
+                    scores[u] = scores_get(u, 0.0) + w
         if scores:
-            current = max(scores, key=lambda u: (scores[u], -u))
+            best_u = -1
+            best_s = -math.inf
+            for u, s in scores.items():
+                if s > best_s or (s == best_s and u < best_u):
+                    best_s = s
+                    best_u = u
+            current = best_u
         else:
             remaining = np.nonzero(~in_region)[0]
             if remaining.size == 0:
@@ -370,34 +387,43 @@ def _fm_pass(
 ) -> tuple[bool, np.ndarray]:
     n = hg.n_vertices
     incidence = hg.vertex_nets()
-    vw = hg.vertex_weights
-    w0 = float(vw[side == 0].sum())
+    vw_arr = hg.vertex_weights
+    w0 = float(vw_arr[side == 0].sum())
 
-    # Pin counts per net per side.
-    cnt = np.zeros((hg.n_nets, 2), dtype=np.int64)
-    for eid, net in enumerate(hg.nets):
+    # Pin counts per net per side. All per-element FM state lives in
+    # plain Python lists: the move loop below touches single elements
+    # millions of times, where ndarray scalar indexing dominates the
+    # pass. Values are the same IEEE doubles in the same order, so the
+    # refinement trajectory is bit-for-bit unchanged.
+    cnt0: list[int] = []
+    cnt1: list[int] = []
+    for net in hg.nets:
         ones = int(side[net].sum())
-        cnt[eid, 1] = ones
-        cnt[eid, 0] = net.size - ones
+        cnt1.append(ones)
+        cnt0.append(net.size - ones)
+    side_l: list[int] = side.tolist()
+    vw: list[float] = vw_arr.tolist()
+    weights: list[float] = hg.net_weights.tolist()
+    nets_l: list[list[int]] = [net.tolist() for net in hg.nets]
 
-    gains = np.zeros(n)
+    gains: list[float] = [0.0] * n
     for v in range(n):
-        s = int(side[v])
+        s = side_l[v]
         g = 0.0
         for eid in incidence[v]:
-            if cnt[eid, s] == 1:
-                g += hg.net_weights[eid]
-            if cnt[eid, 1 - s] == 0:
-                g -= hg.net_weights[eid]
+            if (cnt1[eid] if s else cnt0[eid]) == 1:
+                g += weights[eid]
+            if (cnt0[eid] if s else cnt1[eid]) == 0:
+                g -= weights[eid]
         gains[v] = g
 
-    stamps = np.zeros(n, dtype=np.int64)
+    stamps: list[int] = [0] * n
     heap: list[tuple[float, int, int]] = [(-gains[v], v, 0) for v in range(n)]
     heapq.heapify(heap)
-    locked = np.zeros(n, dtype=bool)
+    locked: list[bool] = [False] * n
 
     def allowed(v: int) -> bool:
-        new_w0 = w0 - vw[v] if side[v] == 0 else w0 + vw[v]
+        new_w0 = w0 - vw[v] if side_l[v] == 0 else w0 + vw[v]
         if lo <= new_w0 <= hi:
             return True
         return abs(new_w0 - target0) < abs(w0 - target0)
@@ -427,39 +453,43 @@ def _fm_pass(
             deferred.append((neg_gain, v, stamp))
             continue
         # Apply the move.
-        src = int(side[v])
+        src = side_l[v]
         dst = 1 - src
+        cnt_src = cnt1 if src else cnt0
+        cnt_dst = cnt0 if src else cnt1
+        push = heapq.heappush
         for eid in incidence[v]:
-            w = hg.net_weights[eid]
-            net = hg.nets[eid]
-            if cnt[eid, dst] == 0:
+            w = weights[eid]
+            net = nets_l[eid]
+            cd = cnt_dst[eid]
+            if cd == 0:
                 for u in net:
                     if not locked[u] and u != v:
-                        gains[u] += w
-                        stamps[u] += 1
-                        heapq.heappush(heap, (-gains[u], int(u), int(stamps[u])))
-            elif cnt[eid, dst] == 1:
+                        gains[u] = g = gains[u] + w
+                        stamps[u] = t = stamps[u] + 1
+                        push(heap, (-g, u, t))
+            elif cd == 1:
                 for u in net:
-                    if side[u] == dst and not locked[u]:
-                        gains[u] -= w
-                        stamps[u] += 1
-                        heapq.heappush(heap, (-gains[u], int(u), int(stamps[u])))
-            cnt[eid, src] -= 1
-            cnt[eid, dst] += 1
-            if cnt[eid, src] == 0:
+                    if side_l[u] == dst and not locked[u]:
+                        gains[u] = g = gains[u] - w
+                        stamps[u] = t = stamps[u] + 1
+                        push(heap, (-g, u, t))
+            cnt_src[eid] = cs = cnt_src[eid] - 1
+            cnt_dst[eid] = cd + 1
+            if cs == 0:
                 for u in net:
                     if not locked[u] and u != v:
-                        gains[u] -= w
-                        stamps[u] += 1
-                        heapq.heappush(heap, (-gains[u], int(u), int(stamps[u])))
-            elif cnt[eid, src] == 1:
+                        gains[u] = g = gains[u] - w
+                        stamps[u] = t = stamps[u] + 1
+                        push(heap, (-g, u, t))
+            elif cs == 1:
                 for u in net:
-                    if side[u] == src and not locked[u] and u != v:
-                        gains[u] += w
-                        stamps[u] += 1
-                        heapq.heappush(heap, (-gains[u], int(u), int(stamps[u])))
+                    if side_l[u] == src and not locked[u] and u != v:
+                        gains[u] = g = gains[u] + w
+                        stamps[u] = t = stamps[u] + 1
+                        push(heap, (-g, u, t))
         cum += -neg_gain
-        side[v] = dst
+        side_l[v] = dst
         w0 = w0 - vw[v] if src == 0 else w0 + vw[v]
         locked[v] = True
         moves.append(v)
@@ -474,5 +504,5 @@ def _fm_pass(
 
     # Roll back to the best prefix.
     for v in moves[best_idx:]:
-        side[v] = 1 - side[v]
-    return best_key < initial_key, side
+        side_l[v] = 1 - side_l[v]
+    return best_key < initial_key, np.array(side_l, dtype=np.int8)

@@ -78,6 +78,14 @@ class RunResult:
     #: Raw (rank, category, start, end) intervals; populated only when the
     #: run was made with ``trace_intervals=True`` (timeline rendering).
     intervals: list[tuple[int, str, float, float]] | None = None
+    #: Deterministic engine/trace volume counters (see ``repro.perf``):
+    #: total events dispatched, events dispatched via the zero-delay
+    #: run-queue, and trace intervals recorded. Kept out of ``counters``
+    #: so experiment tables are unaffected. Plain defaults keep cached
+    #: result pickles from older revisions loadable.
+    sim_events: int = 0
+    sim_ready_events: int = 0
+    trace_records: int = 0
 
     @property
     def degraded(self) -> bool:
@@ -324,6 +332,9 @@ class Harness:
             failed_ranks=crashed,
             completion_rate=float(completion),
             intervals=self.trace.intervals,
+            sim_events=self.engine.events_dispatched,
+            sim_ready_events=self.engine.ready_dispatched,
+            trace_records=self.trace.records,
         )
 
 

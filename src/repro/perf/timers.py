@@ -1,0 +1,97 @@
+"""Wall-clock instrumentation for the perf harness.
+
+Real (host) time, not simulated time: these helpers measure how fast the
+simulator itself runs. All measurements use :func:`time.perf_counter`,
+the highest-resolution monotonic clock CPython exposes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.util import ConfigurationError
+
+__all__ = ["WallTimer", "TimingStats", "median", "time_repeated"]
+
+
+def median(values: list[float] | tuple[float, ...]) -> float:
+    """Median of a non-empty sequence (mean of the middle two for even n)."""
+    if not values:
+        raise ConfigurationError("median of an empty sequence")
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+class WallTimer:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    >>> with WallTimer() as t:
+    ...     do_work()
+    >>> t.elapsed  # seconds
+    """
+
+    __slots__ = ("elapsed", "_t0")
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._t0 = 0.0
+
+    def __enter__(self) -> "WallTimer":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.elapsed = time.perf_counter() - self._t0
+
+
+@dataclass(frozen=True)
+class TimingStats:
+    """Repeated-measurement summary (all values in seconds)."""
+
+    runs: tuple[float, ...]
+
+    @property
+    def median_s(self) -> float:
+        return median(self.runs)
+
+    @property
+    def min_s(self) -> float:
+        return min(self.runs)
+
+    @property
+    def max_s(self) -> float:
+        return max(self.runs)
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "median_s": self.median_s,
+            "min_s": self.min_s,
+            "max_s": self.max_s,
+            "repeats": len(self.runs),
+            "runs_s": list(self.runs),
+        }
+
+
+def time_repeated(
+    fn: Callable[[], Any], repeats: int = 5
+) -> tuple[TimingStats, Any]:
+    """Run ``fn`` ``repeats`` times; return timing stats and the last result.
+
+    Median-of-k is the headline statistic: robust to one-off scheduler
+    hiccups without discarding the spread (kept in ``runs``).
+    """
+    if repeats <= 0:
+        raise ConfigurationError(f"repeats must be positive, got {repeats}")
+    runs: list[float] = []
+    result: Any = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        runs.append(time.perf_counter() - t0)
+    return TimingStats(tuple(runs)), result

@@ -10,11 +10,19 @@ makespan) — with any *unaccounted* remainder of the makespan folded into
 ``idle``. The utilization-breakdown experiment (E2) and all efficiency
 metrics read straight from this recorder; with explicit idle recording the
 per-rank breakdown sums to wall-clock by construction.
+
+Accumulation happens in plain per-rank Python float lists — a list index
+plus a float ``+=`` per interval, the cheapest thing CPython can do —
+and is folded into NumPy arrays only when :meth:`TraceRecorder.breakdown`
+or :meth:`TraceRecorder.total` is read. Python float arithmetic *is*
+IEEE-754 double arithmetic, identical bit-for-bit to the former per-element
+ndarray updates, so recorded totals are unchanged to the last ulp.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 import numpy as np
 
@@ -31,7 +39,7 @@ FAILED = "failed"
 _CATEGORIES = (COMPUTE, COMM, OVERHEAD, IDLE, FAILED)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TaskRecord:
     """One executed task: who ran it and when the kernel computed."""
 
@@ -44,13 +52,19 @@ class TaskRecord:
 class TraceRecorder:
     """Accumulates activity intervals and task records for all ranks."""
 
+    __slots__ = ("n_ranks", "_totals", "tasks", "intervals", "records")
+
     def __init__(self, n_ranks: int) -> None:
         check_positive("n_ranks", n_ranks)
         self.n_ranks = int(n_ranks)
-        self._totals = {cat: np.zeros(n_ranks) for cat in _CATEGORIES}
+        self._totals: dict[str, list[float]] = {
+            cat: [0.0] * self.n_ranks for cat in _CATEGORIES
+        }
         self.tasks: list[TaskRecord] = []
         #: Optional full interval log (enabled via `keep_intervals`).
         self.intervals: list[tuple[int, str, float, float]] | None = None
+        #: Total intervals recorded (deterministic volume counter).
+        self.records = 0
 
     def keep_intervals(self) -> None:
         """Enable retention of individual intervals (timeline plots)."""
@@ -59,15 +73,64 @@ class TraceRecorder:
 
     def record(self, rank: int, category: str, start: float, end: float) -> None:
         """Account ``[start, end)`` on ``rank`` to ``category``."""
-        if category not in _CATEGORIES:
+        totals = self._totals.get(category)
+        if totals is None:
             raise ConfigurationError(
                 f"category must be one of {_CATEGORIES}, got {category!r}"
             )
         if end < start:
             raise SimulationError(f"interval ends before it starts: [{start}, {end})")
-        self._totals[category][rank] += end - start
+        totals[rank] += end - start
+        self.records += 1
         if self.intervals is not None:
             self.intervals.append((rank, category, start, end))
+
+    def record_batch(
+        self, rank: int, category: str, spans: Iterable[tuple[float, float]]
+    ) -> None:
+        """Account many ``(start, end)`` intervals on one rank at once.
+
+        Equivalent to calling :meth:`record` per span in order (same
+        accumulation order, same interval log), amortizing the per-call
+        validation for hot paths that buffer a few intervals.
+        """
+        totals = self._totals.get(category)
+        if totals is None:
+            raise ConfigurationError(
+                f"category must be one of {_CATEGORIES}, got {category!r}"
+            )
+        acc = totals[rank]
+        n = 0
+        intervals = self.intervals
+        for start, end in spans:
+            if end < start:
+                totals[rank] = acc
+                self.records += n
+                raise SimulationError(
+                    f"interval ends before it starts: [{start}, {end})"
+                )
+            acc += end - start
+            n += 1
+            if intervals is not None:
+                intervals.append((rank, category, start, end))
+        totals[rank] = acc
+        self.records += n
+
+    def record_compute(self, rank: int, tid: int | None, start: float, end: float) -> None:
+        """Fused hot path: one kernel interval plus its task record.
+
+        Identical to ``record(rank, COMPUTE, start, end)`` followed by
+        ``record_task(tid, rank, start, end)`` (skipped for ``tid=None``),
+        saving a dispatch and re-validation per executed task.
+        """
+        if end < start:
+            raise SimulationError(f"interval ends before it starts: [{start}, {end})")
+        self._totals[COMPUTE][rank] += end - start
+        self.records += 1
+        if self.intervals is not None:
+            self.intervals.append((rank, COMPUTE, start, end))
+        if tid is not None:
+            self.tasks.append(TaskRecord(tid, rank, start, end))
 
     def record_task(self, tid: int, rank: int, start: float, end: float) -> None:
         self.tasks.append(TaskRecord(tid, rank, start, end))
@@ -75,7 +138,7 @@ class TraceRecorder:
     # ------------------------------------------------------------------
     def total(self, category: str) -> np.ndarray:
         """``(n_ranks,)`` seconds accounted to ``category``."""
-        return self._totals[category].copy()
+        return np.array(self._totals[category])
 
     def breakdown(self, makespan: float) -> dict[str, np.ndarray]:
         """Per-rank seconds by category; unaccounted time is added to idle.
@@ -84,7 +147,8 @@ class TraceRecorder:
             SimulationError: if any rank's accounted time exceeds the
                 makespan (an accounting bug).
         """
-        accounted = sum(self._totals[cat] for cat in _CATEGORIES)
+        arrays = {cat: np.array(vals) for cat, vals in self._totals.items()}
+        accounted = sum(arrays[cat] for cat in _CATEGORIES)
         remainder = makespan - accounted
         if np.any(remainder < -1.0e-9 * max(makespan, 1.0)):
             worst = int(np.argmin(remainder))
@@ -92,15 +156,15 @@ class TraceRecorder:
                 f"rank {worst} accounted {accounted[worst]:.6g}s "
                 f"> makespan {makespan:.6g}s"
             )
-        out = {cat: self._totals[cat].copy() for cat in _CATEGORIES}
-        out[IDLE] = self._totals[IDLE] + np.maximum(remainder, 0.0)
+        out = arrays
+        out[IDLE] = arrays[IDLE] + np.maximum(remainder, 0.0)
         return out
 
     def utilization(self, makespan: float) -> np.ndarray:
         """Per-rank fraction of the makespan spent in task compute."""
         if makespan <= 0:
             return np.zeros(self.n_ranks)
-        return self._totals[COMPUTE] / makespan
+        return np.array(self._totals[COMPUTE]) / makespan
 
     def task_assignment(self, n_tasks: int) -> np.ndarray:
         """``(n_tasks,)`` executing rank per task.

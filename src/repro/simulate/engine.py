@@ -13,15 +13,35 @@ A tiny SimPy-like engine, purpose-built for this study:
   :class:`~repro.util.errors.SimulationError` if the event heap drains
   while non-daemon processes are still blocked — this is how tests catch
   broken termination-detection protocols instead of hanging.
+
+Fast-path design (the perf-critical part):
+
+The majority of events in steal-heavy runs are *zero-delay* wake-ups —
+process starts, resource grants, fired-event notifications, ``Timeout(0)``
+resumes. Pushing those through the heap costs a ``heappush``/``heappop``
+pair plus a fresh closure per event. Instead the engine keeps a plain FIFO
+**run-queue** (:attr:`Engine._ready`) of ``(seq, callback, arg)`` entries
+for events due at the current timestamp. This is *provably
+order-identical* to the all-heap engine: sequence numbers are allocated
+from one global counter regardless of destination, equal-time heap entries
+already fire in seq order (FIFO), and the run loop interleaves the heap
+head against the run-queue head by seq whenever both hold events at the
+current time. Every ready entry is created at the current ``now`` with a
+seq larger than any already-dispatched event, so dispatching by
+``(time, seq)`` across both structures reproduces the heap-only order
+exactly — the bit-for-bit equivalence suite pins this.
+
+Scheduling uses cached bound methods (``process._resume``) instead of
+per-event lambdas, and :meth:`Process.resume` dispatches ``Timeout`` — by
+far the most common request — inline, without the ``activate`` indirection.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
 import math
 from collections import deque
 from collections.abc import Generator
+from heapq import heappop, heappush
 from typing import Any, Callable
 
 from repro.util import SimulationError, check_non_negative
@@ -34,23 +54,61 @@ class Request:
     ``process.resume(value)`` to be called when the request completes.
     """
 
+    __slots__ = ()
+
     def activate(self, engine: "Engine", process: "Process") -> None:
         raise NotImplementedError
 
 
 class Engine:
-    """The event loop: a heap of ``(time, seq, callback)`` entries."""
+    """The event loop: a heap of ``(time, seq, callback)`` entries plus a
+    FIFO run-queue of ``(seq, callback, arg)`` entries due *now*.
+
+    Attributes:
+        events_dispatched: total callbacks fired (heap + run-queue); a
+            deterministic measure of simulated event volume.
+        ready_dispatched: callbacks fired via the zero-delay run-queue
+            (a subset of ``events_dispatched``).
+    """
+
+    __slots__ = (
+        "now",
+        "_heap",
+        "_ready",
+        "_seq",
+        "_processes",
+        "events_dispatched",
+        "ready_dispatched",
+    )
 
     def __init__(self) -> None:
         self.now: float = 0.0
         self._heap: list[tuple[float, int, Callable[[], None]]] = []
-        self._seq = itertools.count()
+        self._ready: deque[tuple[int, Callable[[Any], None], Any]] = deque()
+        self._seq = 0
         self._processes: list[Process] = []
+        self.events_dispatched = 0
+        self.ready_dispatched = 0
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> None:
         """Run ``callback`` at ``now + delay`` (FIFO among equal times)."""
         check_non_negative("delay", delay)
-        heapq.heappush(self._heap, (self.now + delay, next(self._seq), callback))
+        seq = self._seq
+        self._seq = seq + 1
+        heappush(self._heap, (self.now + delay, seq, callback))
+
+    def call_now(self, callback: Callable[[Any], None], arg: Any = None) -> None:
+        """Run ``callback(arg)`` at the current time via the run-queue.
+
+        Order-equivalent to ``schedule(0.0, lambda: callback(arg))`` but
+        without the heap churn or the closure allocation — the entry
+        receives the next global sequence number, so it fires after every
+        already-scheduled event at the current timestamp and before any
+        later-scheduled one, exactly as a zero-delay heap entry would.
+        """
+        seq = self._seq
+        self._seq = seq + 1
+        self._ready.append((seq, callback, arg))
 
     def process(
         self,
@@ -61,7 +119,7 @@ class Engine:
         """Register and start a process from a generator."""
         proc = Process(self, generator, name=name, daemon=daemon)
         self._processes.append(proc)
-        self.schedule(0.0, lambda: proc.resume(None))
+        self.call_now(proc._resume, None)
         return proc
 
     def run(self, until: float = math.inf) -> float:
@@ -79,14 +137,39 @@ class Engine:
             SimulationError: on deadlock — the heap drained before all
                 non-daemon processes finished.
         """
-        while self._heap:
-            time, _, callback = self._heap[0]
-            if time > until:
-                self.now = until
-                return self.now
-            heapq.heappop(self._heap)
-            self.now = time
-            callback()
+        heap = self._heap
+        ready = self._ready
+        dispatched = self.events_dispatched
+        from_ready = self.ready_dispatched
+        try:
+            while True:
+                if ready:
+                    # Heap entries never lie in the past, so ``time <=
+                    # now`` means *at* now; among equal-time events the
+                    # lower seq fires first, matching the all-heap order.
+                    if heap and heap[0][0] <= self.now and heap[0][1] < ready[0][0]:
+                        time, _, callback = heappop(heap)
+                        dispatched += 1
+                        callback()
+                    else:
+                        _, callback, arg = ready.popleft()
+                        dispatched += 1
+                        from_ready += 1
+                        callback(arg)
+                elif heap:
+                    time, _, callback = heap[0]
+                    if time > until:
+                        self.now = until
+                        return self.now
+                    heappop(heap)
+                    self.now = time
+                    dispatched += 1
+                    callback()
+                else:
+                    break
+        finally:
+            self.events_dispatched = dispatched
+            self.ready_dispatched = from_ready
         stuck = [p.name for p in self.blocked()]
         if stuck:
             raise SimulationError(
@@ -106,8 +189,8 @@ class Engine:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still scheduled (0 = the heap has drained)."""
-        return len(self._heap)
+        """Number of events still scheduled (0 = everything has drained)."""
+        return len(self._heap) + len(self._ready)
 
 
 class Process:
@@ -118,6 +201,18 @@ class Process:
         cancelled: True if the process was killed via :meth:`cancel`.
         result: the generator's return value (``StopIteration.value``).
     """
+
+    __slots__ = (
+        "engine",
+        "generator",
+        "name",
+        "daemon",
+        "done",
+        "cancelled",
+        "result",
+        "_completion",
+        "_resume",
+    )
 
     def __init__(
         self,
@@ -134,6 +229,9 @@ class Process:
         self.cancelled = False
         self.result: Any = None
         self._completion: SimEvent | None = None
+        # One bound method reused for every wake-up of this process,
+        # instead of a fresh lambda per scheduled event.
+        self._resume = self.resume
 
     def cancel(self) -> None:
         """Kill the process immediately (fault injection: a rank crash).
@@ -152,7 +250,7 @@ class Process:
         if self._completion is not None and not self._completion.fired:
             self._completion.fire(None)
 
-    def resume(self, value: Any) -> None:
+    def resume(self, value: Any = None) -> None:
         """Advance the generator; route the next request or finish."""
         if self.cancelled:
             return  # a wake-up raced with cancellation; drop it
@@ -165,6 +263,17 @@ class Process:
             self.result = stop.value
             if self._completion is not None:
                 self._completion.fire(stop.value)
+            return
+        if request.__class__ is Timeout:
+            # Inline the dominant request type: skip activate() dispatch.
+            engine = self.engine
+            seq = engine._seq
+            engine._seq = seq + 1
+            delay = request.delay
+            if delay == 0.0:
+                engine._ready.append((seq, self._resume, None))
+            else:
+                heappush(engine._heap, (engine.now + delay, seq, self._resume))
             return
         if not isinstance(request, Request):
             raise SimulationError(
@@ -185,15 +294,23 @@ class Process:
 class Timeout(Request):
     """Resume the process after a fixed simulated delay."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, delay: float) -> None:
-        self.delay = check_non_negative("delay", delay)
+        # `delay < 0` is the only rejected case (matching
+        # check_non_negative); anything else skips the helper call.
+        if delay < 0:
+            check_non_negative("delay", delay)
+        self.delay = delay
 
     def activate(self, engine: Engine, process: Process) -> None:
-        engine.schedule(self.delay, lambda: process.resume(None))
+        engine.schedule(self.delay, process._resume)
 
 
 class SimEvent:
     """A one-shot event carrying a value; late waiters resume immediately."""
+
+    __slots__ = ("fired", "value", "_waiters")
 
     def __init__(self) -> None:
         self.fired = False
@@ -205,23 +322,35 @@ class SimEvent:
             raise SimulationError("SimEvent fired twice")
         self.fired = True
         self.value = value
-        waiters, self._waiters = self._waiters, []
-        for proc in waiters:
-            proc.engine.schedule(0.0, lambda p=proc: p.resume(value))
+        waiters = self._waiters
+        if waiters:
+            self._waiters = []
+            # Registration order == seq order == resume order; each waiter
+            # takes one run-queue slot instead of a heap entry + closure.
+            engine = waiters[0].engine
+            ready = engine._ready
+            seq = engine._seq
+            for proc in waiters:
+                ready.append((seq, proc._resume, value))
+                seq += 1
+            engine._seq = seq
 
     def wait(self) -> Request:
         return _EventWait(self)
 
 
 class _EventWait(Request):
+    __slots__ = ("event",)
+
     def __init__(self, event: SimEvent) -> None:
         self.event = event
 
     def activate(self, engine: Engine, process: Process) -> None:
-        if self.event.fired:
-            engine.schedule(0.0, lambda: process.resume(self.event.value))
+        event = self.event
+        if event.fired:
+            engine.call_now(process._resume, event.value)
         else:
-            self.event._waiters.append(process)
+            event._waiters.append(process)
 
 
 class Resource:
@@ -231,6 +360,8 @@ class Resource:
     must call :meth:`release` exactly once. FIFO granting makes queueing
     delay — the contention signal of experiment E6 — deterministic.
     """
+
+    __slots__ = ("capacity", "in_use", "_queue", "total_waits", "total_acquisitions")
 
     def __init__(self, capacity: int = 1) -> None:
         if capacity < 1:
@@ -249,24 +380,22 @@ class Resource:
     def release(self) -> None:
         if self.in_use <= 0:
             raise SimulationError("release() without a matching acquire()")
-        while self._queue:
-            proc = self._queue.popleft()
+        queue = self._queue
+        while queue:
+            proc = queue.popleft()
             if proc.done:
                 continue  # cancelled while queued; the slot passes it by
             self.total_acquisitions += 1
-            self._schedule_grant(proc)
+            proc.engine.call_now(self._deliver_grant, proc)
             return
         self.in_use -= 1
 
-    def _schedule_grant(self, proc: Process) -> None:
-        """Hand the (already counted) slot to ``proc`` at the next tick.
+    def _deliver_grant(self, proc: Process) -> None:
+        """Hand an already-counted slot to ``proc`` at its wake-up.
 
-        If ``proc`` is cancelled between the grant and the wake-up, the
+        If ``proc`` was cancelled between the grant and the wake-up, the
         slot is released again instead of being held by a dead process.
         """
-        proc.engine.schedule(0.0, lambda: self._deliver_grant(proc))
-
-    def _deliver_grant(self, proc: Process) -> None:
         if proc.done:
             self.release()
         else:
@@ -274,6 +403,8 @@ class Resource:
 
 
 class _ResourceAcquire(Request):
+    __slots__ = ("resource",)
+
     def __init__(self, resource: Resource) -> None:
         self.resource = resource
 
@@ -282,7 +413,7 @@ class _ResourceAcquire(Request):
         if res.in_use < res.capacity:
             res.in_use += 1
             res.total_acquisitions += 1
-            res._schedule_grant(process)
+            engine.call_now(res._deliver_grant, process)
         else:
             res.total_waits += 1
             res._queue.append(process)

@@ -16,6 +16,12 @@ bottleneck the paper discusses (experiment E6).
 
 Two-sided messages (used by steal requests/responses and termination
 tokens) are active messages delivered into per-rank mailboxes.
+
+Hot-path notes: ``get``/``put`` return the shared :meth:`Network._rma`
+generator directly instead of delegating through one more generator frame,
+and the NIC hold is inlined (acquire / timed occupancy / release in a
+``try/finally``) rather than composed via :func:`~repro.simulate.engine.hold`
+— several frames fewer per remote operation, with identical event order.
 """
 
 from __future__ import annotations
@@ -24,10 +30,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-import numpy as np
-
 from repro.faults.injector import DELIVER, DROP, DUPLICATE
-from repro.simulate.engine import Engine, Resource, SimEvent, Timeout, hold
+from repro.simulate.engine import Engine, Resource, SimEvent, Timeout
 from repro.util import (
     ConfigurationError,
     RankFailedError,
@@ -84,7 +88,7 @@ class NetworkModel:
         return nbytes / self.bandwidth
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """A two-sided active message."""
 
@@ -95,6 +99,8 @@ class Message:
 
 class _Mailbox:
     """Per-rank message store with tag-filtered blocking receive."""
+
+    __slots__ = ("messages", "waiters")
 
     def __init__(self) -> None:
         self.messages: deque[Message] = deque()
@@ -126,17 +132,29 @@ class NetworkStats:
     fetch_adds: int = 0
     messages: int = 0
     bytes_moved: int = 0
-    per_rank_bytes: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    #: Per-rank bytes initiated, as a plain float list (cheap ``+=``).
+    per_rank_bytes: list[float] = field(default_factory=list)
 
 
 class Network:
     """The simulated interconnect: one NIC resource + mailbox per rank.
 
-    All operation methods are *generator functions*; rank processes drive
-    them with ``yield from``, e.g.::
+    All operation methods are *generator functions* (or return a driven
+    generator); rank processes drive them with ``yield from``, e.g.::
 
         value = yield from net.fetch_add(rank, home, counter)
     """
+
+    __slots__ = (
+        "engine",
+        "model",
+        "n_ranks",
+        "node_of",
+        "nics",
+        "_mailboxes",
+        "stats",
+        "faults",
+    )
 
     def __init__(
         self,
@@ -152,7 +170,7 @@ class Network:
         self.node_of = node_of
         self.nics = [Resource(1) for _ in range(n_ranks)]
         self._mailboxes = [_Mailbox() for _ in range(n_ranks)]
-        self.stats = NetworkStats(per_rank_bytes=np.zeros(n_ranks))
+        self.stats = NetworkStats(per_rank_bytes=[0.0] * n_ranks)
         #: Optional :class:`repro.faults.FaultInjector`; ``None`` (the
         #: default) keeps every fault check on a single attribute test, so
         #: fault-free runs take exactly the pre-fault-subsystem code path.
@@ -203,12 +221,16 @@ class Network:
         Three tiers: self (memcpy), same node (shared memory, no NIC),
         remote (wire latency + target NIC occupancy).
         """
-        self._check_rank(src)
-        self._check_rank(dst)
+        n = self.n_ranks
+        if not (0 <= src < n and 0 <= dst < n):
+            self._check_rank(src)
+            self._check_rank(dst)
         if self.faults is not None:
             yield from self._dead_target_check(src, dst, "rma")
         m = self.model
-        self._account(src, nbytes)
+        stats = self.stats
+        stats.bytes_moved += nbytes
+        stats.per_rank_bytes[src] += nbytes
         if src == dst:
             yield Timeout(m.software_overhead + nbytes / m.local_bandwidth)
             return
@@ -219,23 +241,30 @@ class Network:
             return
         yield Timeout(m.software_overhead)
         yield Timeout(m.latency)
-        yield from hold(self.nics[dst], m.nic_occupancy + m.transfer(nbytes))
+        nic = self.nics[dst]
+        yield nic.acquire()
+        try:
+            yield Timeout(m.nic_occupancy + nbytes / m.bandwidth)
+        finally:
+            nic.release()
         yield Timeout(m.latency)
 
     def get(self, src: int, dst: int, nbytes: int):
         """Synchronous one-sided read of ``nbytes`` from ``dst``'s memory."""
         self.stats.gets += 1
-        yield from self._rma(src, dst, nbytes)
+        return self._rma(src, dst, nbytes)
 
     def put(self, src: int, dst: int, nbytes: int):
         """Synchronous one-sided write (completion acknowledged)."""
         self.stats.puts += 1
-        yield from self._rma(src, dst, nbytes)
+        return self._rma(src, dst, nbytes)
 
     def accumulate(self, src: int, dst: int, nbytes: int):
         """One-sided accumulate: remote read-modify-write of a block."""
-        self._check_rank(src)
-        self._check_rank(dst)
+        n = self.n_ranks
+        if not (0 <= src < n and 0 <= dst < n):
+            self._check_rank(src)
+            self._check_rank(dst)
         if self.faults is not None:
             yield from self._dead_target_check(src, dst, "accumulate")
         m = self.model
@@ -255,7 +284,12 @@ class Network:
             return
         yield Timeout(m.software_overhead)
         yield Timeout(m.latency)
-        yield from hold(self.nics[dst], m.nic_occupancy + m.transfer(nbytes) + reduce_time)
+        nic = self.nics[dst]
+        yield nic.acquire()
+        try:
+            yield Timeout(m.nic_occupancy + nbytes / m.bandwidth + reduce_time)
+        finally:
+            nic.release()
         yield Timeout(m.latency)
 
     def fetch_add(self, src: int, dst: int, counter: "SharedCell", amount: int = 1):
@@ -318,7 +352,12 @@ class Network:
                 yield Timeout(2 * m.intra_latency + nbytes / m.intra_bandwidth)
             else:
                 yield Timeout(m.latency)
-                yield from hold(self.nics[dst], m.nic_occupancy + m.transfer(nbytes))
+                nic = self.nics[dst]
+                yield nic.acquire()
+                try:
+                    yield Timeout(m.nic_occupancy + nbytes / m.bandwidth)
+                finally:
+                    nic.release()
             if self.faults is not None and self.faults.is_dead(dst):
                 self.faults.stats["messages_dropped"] += 1.0
                 return

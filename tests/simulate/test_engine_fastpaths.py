@@ -1,0 +1,214 @@
+"""Regression coverage for the zero-delay run-queue fast paths.
+
+The optimized engine routes resource grants, event fires, and process
+starts through a same-timestamp FIFO run-queue instead of the heap.
+These tests pin the behaviours that rewrite must preserve: slot
+accounting when a grant meets only cancelled waiters, registration-order
+resume for event waiters, and the exact semantics of bounded runs.
+"""
+
+import pytest
+
+from repro.simulate.engine import Engine, Resource, SimEvent, Timeout
+from repro.util import SimulationError
+
+
+class TestResourceReleaseCancelledQueue:
+    """Satellite (a): release() with a queue of only-cancelled waiters."""
+
+    def test_slot_not_leaked_when_queue_all_cancelled(self):
+        engine = Engine()
+        resource = Resource(capacity=1)
+        order = []
+
+        def holder():
+            yield resource.acquire()
+            order.append("held")
+            yield Timeout(5.0)
+            resource.release()
+            order.append("released")
+
+        def waiter(tag):
+            yield resource.acquire()
+            order.append(tag)  # must never run — cancelled while queued
+            resource.release()
+
+        engine.process(holder(), name="holder")
+        w1 = engine.process(waiter("w1"), name="w1")
+        w2 = engine.process(waiter("w2"), name="w2")
+        # Cancel both waiters while they sit in the FIFO queue.
+        engine.schedule(1.0, w1.cancel)
+        engine.schedule(2.0, w2.cancel)
+        engine.run()
+        assert order == ["held", "released"]
+        # The released slot skipped both cancelled entries and was
+        # returned to the pool, not granted to a dead process.
+        assert resource.in_use == 0
+
+    def test_resource_reusable_after_cancelled_only_release(self):
+        engine = Engine()
+        resource = Resource(capacity=1)
+        got = []
+
+        def holder():
+            yield resource.acquire()
+            yield Timeout(5.0)
+            resource.release()
+
+        def doomed():
+            yield resource.acquire()
+            got.append("doomed")
+
+        def late():
+            yield Timeout(10.0)
+            yield resource.acquire()
+            got.append("late")
+            resource.release()
+
+        engine.process(holder(), name="holder")
+        d = engine.process(doomed(), name="doomed")
+        engine.process(late(), name="late")
+        engine.schedule(1.0, d.cancel)
+        engine.run()
+        # The late acquirer gets the slot the cancelled process passed by.
+        assert got == ["late"]
+        assert resource.in_use == 0
+
+    def test_grant_in_flight_to_cancelled_process_returns_slot(self):
+        """Cancellation *after* the grant was issued but before wake-up."""
+        engine = Engine()
+        resource = Resource(capacity=1)
+        ran = []
+
+        def holder():
+            yield resource.acquire()
+            yield Timeout(1.0)
+            resource.release()
+
+        def victim():
+            yield resource.acquire()
+            ran.append("victim")
+
+        engine.process(holder(), name="holder")
+        v = engine.process(victim(), name="victim")
+        # At t=1.0 release() issues the grant; cancel the victim at the
+        # same timestamp, after the release callback but before the
+        # grant's run-queue entry fires (same-time FIFO ordering).
+        engine.schedule(1.0, v.cancel)
+        engine.run()
+        assert ran == []
+        assert resource.in_use == 0
+
+
+class TestSimEventWaiterOrder:
+    """Satellite (b): fire() resumes waiters in registration order."""
+
+    @pytest.mark.parametrize("n_waiters", [1, 2, 7, 32, 101])
+    def test_n_waiters_resume_in_registration_order(self, n_waiters):
+        engine = Engine()
+        event = SimEvent()
+        resumed = []
+
+        def waiter(idx):
+            value = yield event.wait()
+            resumed.append((idx, value, engine.now))
+
+        for idx in range(n_waiters):
+            engine.process(waiter(idx), name=f"w{idx}")
+        engine.schedule(3.0, lambda: event.fire("payload"))
+        engine.run()
+        assert resumed == [(idx, "payload", 3.0) for idx in range(n_waiters)]
+
+    def test_interleaved_registration_still_fifo(self):
+        """Waiters registered across different times keep arrival order."""
+        engine = Engine()
+        event = SimEvent()
+        resumed = []
+
+        def waiter(idx):
+            yield event.wait()
+            resumed.append(idx)
+
+        def spawner(idx, delay):
+            yield Timeout(delay)
+            engine.process(waiter(idx), name=f"w{idx}")
+
+        for idx, delay in enumerate([0.5, 0.1, 0.3, 0.2, 0.4]):
+            engine.process(spawner(idx, delay), name=f"s{idx}")
+        engine.schedule(1.0, event.fire)
+        engine.run()
+        # Resume order follows wait-registration (= spawn-delay) order.
+        assert resumed == [1, 3, 2, 4, 0]
+
+    def test_fire_uses_run_queue_not_heap(self):
+        """Waiter wake-ups are zero-delay run-queue events."""
+        engine = Engine()
+        event = SimEvent()
+
+        def waiter():
+            yield event.wait()
+
+        for idx in range(5):
+            engine.process(waiter(), name=f"w{idx}")
+        engine.schedule(1.0, event.fire)
+        engine.run()
+        # 5 process starts + 5 event wake-ups, all via the ready queue.
+        assert engine.ready_dispatched == 10
+
+
+class TestRunUntilEdges:
+    """Satellite (c): bounded-run horizon and deadlock reporting."""
+
+    def test_event_exactly_at_horizon_fires(self):
+        engine = Engine()
+        log = []
+        engine.schedule(5.0, lambda: log.append(engine.now))
+        engine.schedule(5.0 + 1e-9, lambda: log.append("late"))
+        final = engine.run(until=5.0)
+        assert log == [5.0]
+        assert final == 5.0 and engine.now == 5.0
+        assert engine.pending_events == 1  # the event past the horizon
+
+    def test_blocked_after_bounded_run_is_not_deadlock(self):
+        engine = Engine()
+
+        def sleeper():
+            yield Timeout(10.0)
+
+        p = engine.process(sleeper(), name="sleeper")
+        final = engine.run(until=1.0)  # returns normally, no deadlock
+        assert final == 1.0
+        assert engine.blocked() == [p]
+        engine.run()  # resuming to completion clears the in-flight set
+        assert engine.blocked() == []
+        assert p.done
+
+    def test_deadlock_message_truncates_after_ten(self):
+        engine = Engine()
+        event = SimEvent()  # never fired
+
+        def stuck(idx):
+            yield event.wait()
+
+        for idx in range(12):
+            engine.process(stuck(idx), name=f"stuck{idx:02d}")
+        with pytest.raises(SimulationError) as err:
+            engine.run()
+        message = str(err.value)
+        for idx in range(10):
+            assert f"stuck{idx:02d}" in message
+        assert "stuck10" not in message and "stuck11" not in message
+        assert message.endswith("...")
+
+    def test_deadlock_message_complete_at_ten_or_fewer(self):
+        engine = Engine()
+        event = SimEvent()
+
+        def stuck():
+            yield event.wait()
+
+        for idx in range(3):
+            engine.process(stuck(), name=f"s{idx}")
+        with pytest.raises(SimulationError) as err:
+            engine.run()
+        assert not str(err.value).endswith("...")

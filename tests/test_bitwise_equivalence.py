@@ -1,0 +1,181 @@
+"""Bit-for-bit equivalence oracle for the simulation core.
+
+The discrete-event engine is allowed to get *faster* but never to get
+*different*: every optimization (run-queue fast paths, bound-method
+scheduling, list-based trace accumulation) must preserve the exact event
+order and the exact floating-point accumulation order. This module pins
+a set of representative runs — covering the static/dynamic/stealing
+model families, hierarchical topologies, variability, fault injection,
+and the interval log — to golden digests captured on the pre-optimization
+engine, and asserts byte identity of every derived array.
+
+Regenerating the goldens (only legitimate after a *semantic* change that
+is itself validated by the benchmark tables):
+
+    PYTHONPATH=src python -m tests.test_bitwise_equivalence
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+
+import numpy as np
+import pytest
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "data" / "golden_runs.json"
+
+
+def _sha(array) -> str:
+    """Short byte-level digest of an ndarray (dtype-normalized)."""
+    a = np.ascontiguousarray(array)
+    return hashlib.sha256(a.tobytes()).hexdigest()[:20]
+
+
+def _build_graph(spec: dict):
+    from repro.chemistry.tasks import synthetic_task_graph
+
+    return synthetic_task_graph(
+        spec["n_tasks"], spec["n_blocks"], seed=spec["seed"], skew=spec["skew"]
+    )
+
+
+def _build_machine(spec: dict):
+    from repro.simulate import StaticHeterogeneity, commodity_cluster
+
+    variability = None
+    if "slow_ranks" in spec:
+        variability = StaticHeterogeneity(range(spec["slow_ranks"]), spec["slow_factor"])
+    return commodity_cluster(spec["n_ranks"], variability=variability)
+
+
+def _build_faults(spec: dict | None):
+    if spec is None:
+        return None
+    from repro.faults import FaultPlan, RankCrash
+
+    return FaultPlan(
+        crashes=tuple(RankCrash(r, t) for r, t in spec["crashes"]),
+    )
+
+
+#: Each case: one simulated run whose full derived state is digested.
+#: Sizes are chosen so the whole module stays in tier-1 time budget.
+CASES = {
+    "work_stealing_p32": {
+        "model": "work_stealing",
+        "graph": {"n_tasks": 1200, "n_blocks": 16, "seed": 7, "skew": 1.0},
+        "machine": {"n_ranks": 32},
+        "seed": 3,
+    },
+    "static_block_p32": {
+        "model": "static_block",
+        "graph": {"n_tasks": 1200, "n_blocks": 16, "seed": 7, "skew": 1.0},
+        "machine": {"n_ranks": 32},
+        "seed": 0,
+    },
+    "counter_dynamic_p64": {
+        "model": "counter_dynamic",
+        "graph": {"n_tasks": 1500, "n_blocks": 16, "seed": 5, "skew": 0.8},
+        "machine": {"n_ranks": 64},
+        "seed": 1,
+    },
+    "counter_chunk16_variability_p16": {
+        "model": "counter_dynamic_chunk16",
+        "graph": {"n_tasks": 900, "n_blocks": 12, "seed": 2, "skew": 1.4},
+        "machine": {"n_ranks": 16, "slow_ranks": 2, "slow_factor": 0.5},
+        "seed": 4,
+    },
+    "static_cyclic_variability_p16": {
+        "model": "static_cyclic",
+        "graph": {"n_tasks": 900, "n_blocks": 12, "seed": 2, "skew": 1.4},
+        "machine": {"n_ranks": 16, "slow_ranks": 2, "slow_factor": 0.5},
+        "seed": 0,
+    },
+    "work_stealing_hier_p32": {
+        "model": "work_stealing_hier",
+        "graph": {"n_tasks": 1000, "n_blocks": 16, "seed": 11, "skew": 1.0},
+        "machine": {"n_ranks": 32},
+        "seed": 6,
+    },
+    "ft_work_stealing_crash_p16": {
+        "model": "ft_work_stealing",
+        "graph": {"n_tasks": 700, "n_blocks": 12, "seed": 9, "skew": 1.0},
+        "machine": {"n_ranks": 16},
+        "seed": 2,
+        "faults": {"crashes": [[3, 0.004]]},
+    },
+    "work_stealing_intervals_p16": {
+        "model": "work_stealing",
+        "graph": {"n_tasks": 600, "n_blocks": 12, "seed": 13, "skew": 0.9},
+        "machine": {"n_ranks": 16},
+        "seed": 5,
+        "trace_intervals": True,
+    },
+}
+
+
+def run_case(case: dict) -> dict:
+    """Execute one pinned run and return its digest record."""
+    from repro.exec_models import make_model
+
+    graph = _build_graph(case["graph"])
+    machine = _build_machine(case["machine"])
+    result = make_model(case["model"]).run(
+        graph,
+        machine,
+        seed=case["seed"],
+        trace_intervals=case.get("trace_intervals", False),
+        faults=_build_faults(case.get("faults")),
+    )
+    record = {
+        "makespan": result.makespan.hex(),
+        "assignment": _sha(result.assignment),
+        "task_starts": _sha(result.task_starts),
+        "task_durations": _sha(result.task_durations),
+        "finish_times": _sha(result.finish_times),
+        "breakdown": {cat: _sha(vals) for cat, vals in sorted(result.breakdown.items())},
+        "counters": {k: repr(v) for k, v in sorted(result.counters.items())},
+        "network": {k: repr(v) for k, v in sorted(result.network.items())},
+        "failed_ranks": list(result.failed_ranks),
+        "completion_rate": result.completion_rate.hex(),
+    }
+    if result.intervals is not None:
+        payload = json.dumps(
+            [[r, c, s.hex(), e.hex()] for r, c, s, e in result.intervals]
+        ).encode()
+        record["intervals"] = hashlib.sha256(payload).hexdigest()[:20]
+        record["n_intervals"] = len(result.intervals)
+    return record
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    assert GOLDEN_PATH.exists(), (
+        "golden digests missing; regenerate with "
+        "`PYTHONPATH=src python -m tests.test_bitwise_equivalence` "
+        "on a trusted engine revision"
+    )
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_run_matches_golden_digest(name: str, golden: dict) -> None:
+    assert name in golden, f"no golden record for case {name!r}"
+    assert run_case(CASES[name]) == golden[name]
+
+
+def test_every_golden_case_still_defined(golden: dict) -> None:
+    assert sorted(golden) == sorted(CASES)
+
+
+def _regenerate() -> None:
+    GOLDEN_PATH.parent.mkdir(exist_ok=True)
+    records = {name: run_case(case) for name, case in sorted(CASES.items())}
+    GOLDEN_PATH.write_text(json.dumps(records, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {len(records)} golden records to {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    _regenerate()
