@@ -9,11 +9,14 @@ Commands:
 - ``workload`` — build a task graph and print its cost-distribution report.
 - ``bench``    — run the perf microbenchmarks, emit ``BENCH_*.json``.
 - ``profile``  — cProfile a study and print the top-N hotspots.
+- ``chaos``    — inject real host faults into a sweep and verify recovery.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import pathlib
 import sys
 
 from repro import __version__
@@ -84,14 +87,44 @@ def cmd_study(args: argparse.Namespace) -> int:
         faults=faults,
     )
     cache = None if args.no_cache else (args.cache_dir or api.default_cache_dir())
+    if args.resume and cache is None:
+        print("error: --resume needs the cache (drop --no-cache)", file=sys.stderr)
+        return 2
     progress = api.print_progress if args.progress else None
+    retry = None
+    if args.max_attempts is not None:
+        retry = dataclasses.replace(
+            api.HOST_RETRY_POLICY, max_attempts=args.max_attempts
+        )
+    # The checkpoint journal lives next to the cache; each sweep grid
+    # gets its own content-addressed journal file inside it.
+    journal = None if cache is None else str(pathlib.Path(cache) / "journal")
     report = api.sweep(
-        config, problem, jobs=args.jobs, cache=cache, progress=progress
+        config,
+        problem,
+        jobs=args.jobs,
+        cache=cache,
+        progress=progress,
+        timeout=args.timeout,
+        retry=retry,
+        on_error="quarantine",
+        journal=journal,
+        resume=args.resume,
     )
     print(api.format_table(report.rows(), title="study results"))
     if cache is not None:
-        cached = sum(1 for p in report.provenance.values() if p == "cached")
-        print(f"cache: {cached}/{len(report.provenance)} cells reused from {cache}")
+        reused = sum(
+            1 for p in report.provenance.values() if p in ("cached", "resumed")
+        )
+        print(f"cache: {reused}/{len(report.provenance)} cells reused from {cache}")
+    if report.failures:
+        print()
+        print(api.format_failures(report.failures))
+        print(
+            f"{len(report.failures)} cell(s) quarantined; results above are partial",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -238,6 +271,22 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.chaos import run_chaos
+
+    report = run_chaos(
+        quick=args.quick,
+        jobs=args.jobs,
+        seed=args.seed,
+        workdir=args.workdir,
+        timeout=args.timeout,
+        log=print,
+    )
+    print()
+    print(report.format())
+    return 0 if report.passed else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     from repro.core import MACHINE_PRESETS
     from repro.exec_models import MODEL_NAMES
@@ -276,6 +325,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_study.add_argument(
         "--progress", action="store_true",
         help="print one line per cell as it completes (cached/done counts)",
+    )
+    p_study.add_argument(
+        "--resume", action="store_true",
+        help="continue an interrupted sweep from its checkpoint journal "
+        "(stored next to the cache; requires caching)",
+    )
+    p_study.add_argument(
+        "--timeout", type=float, default=None, metavar="SEC",
+        help="per-cell wall-clock budget with --jobs > 1; a hung worker "
+        "is killed and the cell retried (default: unlimited)",
+    )
+    p_study.add_argument(
+        "--max-attempts", type=int, default=None, metavar="N",
+        help="tries per cell before it is quarantined (default: "
+        "%(default)s -> policy default of 3)",
     )
     p_study.set_defaults(func=cmd_study)
 
@@ -339,6 +403,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="also dump the raw pstats profile here",
     )
     p_prof.set_defaults(func=cmd_profile)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="inject real host faults (SIGKILL, hangs, disk corruption) "
+        "into a sweep and verify bit-for-bit recovery",
+    )
+    p_chaos.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke configuration: small grid, short timeout",
+    )
+    p_chaos.add_argument("--jobs", type=int, default=3, help="supervised workers")
+    p_chaos.add_argument("--seed", type=int, default=0)
+    p_chaos.add_argument(
+        "--timeout", type=float, default=2.0, metavar="SEC",
+        help="per-cell wall-clock budget for the disturbed sweeps",
+    )
+    p_chaos.add_argument(
+        "--workdir", default=None, metavar="DIR",
+        help="keep chaos artifacts (caches, journals, markers) here "
+        "instead of a throwaway temp dir",
+    )
+    p_chaos.set_defaults(func=cmd_chaos)
     return parser
 
 

@@ -41,7 +41,8 @@ from repro.core.cache import (
     fingerprint,
 )
 from repro.core.config import MACHINE_PRESETS, StudyConfig
-from repro.core.report import format_table
+from repro.core.journal import JournalEntry, SweepJournal
+from repro.core.report import format_failures, format_table
 from repro.core.results import StudyReport
 from repro.core.study import (
     Workload,
@@ -64,7 +65,9 @@ from repro.exec_models.registry import (
     normalize_model_options,
 )
 from repro.exec_models.scf_simulation import ScfSimResult, ScfSimulation
-from repro.faults import FaultPlan
+from repro.faults import FaultPlan, RetryPolicy
+from repro.parallel.executor import WorkerError
+from repro.parallel.supervisor import HOST_RETRY_POLICY, CellFailure
 from repro.simulate.machine import (
     MachineSpec,
     commodity_cluster,
@@ -118,8 +121,16 @@ __all__ = [
     "default_cache_dir",
     "fingerprint",
     "CACHE_SALT",
+    # fault tolerance (host layer)
+    "CellFailure",
+    "WorkerError",
+    "RetryPolicy",
+    "HOST_RETRY_POLICY",
+    "SweepJournal",
+    "JournalEntry",
     # rendering
     "format_table",
+    "format_failures",
 ]
 
 
@@ -185,14 +196,37 @@ def sweep(
     jobs: int = 1,
     cache: ResultCache | str | None = None,
     progress: Callable[[SweepProgress], None] | None = None,
+    timeout: float | None = None,
+    retry: RetryPolicy | None = None,
+    on_error: str = "raise",
+    journal: SweepJournal | str | None = None,
+    resume: bool = False,
 ) -> StudyReport:
     """Run a study grid through the parallel, cached sweep orchestrator.
 
     Identical results to ``run_study(config, source)`` — the sweep only
-    changes *how* cells execute (worker processes, cache reuse), never
-    what they compute. Pass ``cache=default_cache_dir()`` (or any
-    directory) to persist results across runs; ``jobs=N`` to fan
-    cache-miss cells across N forked workers.
+    changes *how* cells execute (worker processes, cache reuse, crash
+    recovery), never what they compute. Pass
+    ``cache=default_cache_dir()`` (or any directory) to persist results
+    across runs; ``jobs=N`` to fan cache-miss cells across N supervised
+    forked workers.
+
+    Host-level fault tolerance (see ``docs/sweep.md``): ``timeout``
+    bounds each cell's wall clock (hung workers are killed and the cell
+    retried), ``retry`` sets the attempt budget/backoff,
+    ``on_error="quarantine"`` records poison cells on
+    ``report.failures`` instead of aborting, and ``journal``/``resume``
+    checkpoint completed cells so an interrupted sweep continues where
+    it stopped.
     """
-    runner = SweepRunner(jobs=jobs, cache=cache, progress=progress)
+    runner = SweepRunner(
+        jobs=jobs,
+        cache=cache,
+        progress=progress,
+        timeout=timeout,
+        retry=retry,
+        on_error=on_error,
+        journal=journal,
+        resume=resume,
+    )
     return runner.run_study(config, source)

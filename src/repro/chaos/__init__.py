@@ -1,0 +1,32 @@
+"""Real-process chaos harness for the sweep execution layer.
+
+Where :mod:`repro.faults` injects failures into the *simulated* machine,
+this package injects them into the *host* machine actually running the
+sweep: live worker processes are SIGKILLed mid-cell, cells are hung past
+their wall-clock timeout, on-disk cache entries and journal lines are
+truncated or corrupted, and a sweep is interrupted and resumed. The
+harness then asserts the one property the whole fault-tolerant layer
+exists to provide: **the disturbed sweep completes with result rows
+bit-for-bit identical to a fault-free serial run**.
+
+Entry points: :func:`run_chaos` (library) and ``python -m repro chaos``
+(CLI; ``--quick`` is the CI smoke configuration).
+"""
+
+from repro.chaos.harness import (
+    ChaosPlan,
+    ChaosReport,
+    ScenarioResult,
+    chaos_execute_cell,
+    results_identical,
+    run_chaos,
+)
+
+__all__ = [
+    "ChaosPlan",
+    "ChaosReport",
+    "ScenarioResult",
+    "chaos_execute_cell",
+    "results_identical",
+    "run_chaos",
+]

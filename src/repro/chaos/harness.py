@@ -1,0 +1,480 @@
+"""Chaos scenarios: real host faults against the real sweep stack.
+
+Every scenario shares one shape: compute a fault-free serial *reference*
+sweep, disturb a second sweep with genuine host-level faults, and demand
+the disturbed sweep's results be **bit-for-bit identical** (every field
+of every :class:`~repro.exec_models.base.RunResult`, NumPy arrays
+included) to the reference. No tolerance windows, no "close enough" —
+the execution layer either preserved the computation exactly or it
+failed.
+
+Fault injection is *real*, not mocked: the kill fault SIGKILLs the live
+worker process from inside the cell it is executing, the hang fault
+sleeps a cell past the supervisor's wall-clock budget (so the supervisor
+must kill the worker from outside), and corruption faults rewrite actual
+cache/journal bytes on disk. First-attempt-only faults coordinate across
+processes through marker files created with ``O_CREAT | O_EXCL`` — a
+mechanism that survives the worker being SIGKILLed a microsecond later.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import os
+import signal
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.chemistry.tasks import synthetic_task_graph
+from repro.core.cache import ResultCache
+from repro.core.config import StudyConfig
+from repro.core.journal import SweepJournal
+from repro.core.sweep import SweepCell, SweepRunner, execute_cell, study_cells
+from repro.faults.retry import RetryPolicy
+from repro.parallel.supervisor import CellFailure
+
+
+# ----------------------------------------------------------------------
+# Fault injection (runs inside worker processes)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """Host-level faults to inject into sweep cells, keyed by cell label.
+
+    Attributes:
+        marker_dir: directory for cross-process first-attempt markers
+            (must exist; shared by parent and workers).
+        kill: labels whose worker SIGKILLs *itself* mid-cell on the
+            first attempt — a real crash, indistinguishable from an OOM
+            kill from the supervisor's point of view.
+        hang: labels that sleep ``hang_seconds`` on the first attempt —
+            a stuck cell the supervisor must detect by wall-clock
+            timeout and kill from outside.
+        fail: labels that raise on **every** attempt — poison cells that
+            must end up quarantined, never retried forever.
+        hang_seconds: how long a hung cell sleeps (set it well past the
+            sweep timeout).
+    """
+
+    marker_dir: str
+    kill: tuple[str, ...] = ()
+    hang: tuple[str, ...] = ()
+    fail: tuple[str, ...] = ()
+    hang_seconds: float = 30.0
+
+
+def _first_attempt(marker_dir: str, tag: str, label: str) -> bool:
+    """Atomically claim the first attempt of (tag, label) across processes.
+
+    ``O_CREAT | O_EXCL`` is atomic on POSIX and the marker outlives a
+    SIGKILLed worker, so exactly one attempt — the first — sees True.
+    """
+    marker = os.path.join(
+        marker_dir, f"{tag}-{label.replace('/', '_').replace('@', '_')}"
+    )
+    try:
+        fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    os.close(fd)
+    return True
+
+
+def chaos_execute_cell(plan: ChaosPlan, cell: SweepCell) -> Any:
+    """Worker entry: inject the plan's fault for this cell, then compute.
+
+    The computation itself is exactly :func:`execute_cell` — faults
+    disturb *when/whether* the worker survives, never *what* it
+    computes, which is what makes the bit-for-bit assertion meaningful.
+    """
+    label = cell.label
+    if label in plan.kill and _first_attempt(plan.marker_dir, "kill", label):
+        os.kill(os.getpid(), signal.SIGKILL)
+    if label in plan.hang and _first_attempt(plan.marker_dir, "hang", label):
+        time.sleep(plan.hang_seconds)
+    if label in plan.fail:
+        raise RuntimeError(f"chaos poison cell {label}")
+    return execute_cell(cell)
+
+
+# ----------------------------------------------------------------------
+# Bit-for-bit comparison
+# ----------------------------------------------------------------------
+
+def diff_results(a: Any, b: Any) -> list[str]:
+    """Field names on which two results differ (empty = identical).
+
+    Compares every dataclass field exactly: ndarray dtype + contents,
+    dicts of ndarrays element-wise, everything else by ``==``.
+    """
+    if type(a) is not type(b):
+        return [f"type: {type(a).__name__} != {type(b).__name__}"]
+    out: list[str] = []
+    for f in dataclasses.fields(a):
+        va, vb = getattr(a, f.name), getattr(b, f.name)
+        if isinstance(va, np.ndarray):
+            if (
+                not isinstance(vb, np.ndarray)
+                or va.dtype != vb.dtype
+                or va.shape != vb.shape
+                or not (va == vb).all()
+            ):
+                out.append(f.name)
+        elif isinstance(va, dict) and any(
+            isinstance(v, np.ndarray) for v in va.values()
+        ):
+            if not isinstance(vb, dict) or va.keys() != vb.keys():
+                out.append(f.name)
+                continue
+            for k in va:
+                eq = va[k] == vb[k]
+                if not (eq.all() if isinstance(eq, np.ndarray) else eq):
+                    out.append(f"{f.name}[{k}]")
+                    break
+        elif va != vb:
+            out.append(f.name)
+    return out
+
+
+def results_identical(a: Any, b: Any) -> bool:
+    """Whether two cell results are bit-for-bit identical."""
+    return not diff_results(a, b)
+
+
+def _compare_rows(
+    reference: Sequence[Any], disturbed: Sequence[Any], skip: set[int] = frozenset()
+) -> list[str]:
+    """Mismatch descriptions between two result lists (empty = pass)."""
+    problems: list[str] = []
+    for index, (ref, got) in enumerate(zip(reference, disturbed)):
+        if index in skip:
+            continue
+        if isinstance(got, CellFailure):
+            problems.append(f"cell {index}: unexpected quarantine ({got})")
+            continue
+        diffs = diff_results(ref, got)
+        if diffs:
+            problems.append(f"cell {index}: fields differ: {', '.join(diffs)}")
+    if len(reference) != len(disturbed):
+        problems.append(
+            f"row count {len(disturbed)} != reference {len(reference)}"
+        )
+    return problems
+
+
+# ----------------------------------------------------------------------
+# Disk corruption helpers (run in the parent, between sweep phases)
+# ----------------------------------------------------------------------
+
+def _truncate_file(path: Path, keep_fraction: float = 0.5) -> None:
+    data = path.read_bytes()
+    path.write_bytes(data[: max(1, int(len(data) * keep_fraction))])
+
+
+def _corrupt_cache_entries(cache: ResultCache, keys: Sequence[str]) -> int:
+    """Truncate / zero / garbage the on-disk entries for ``keys``."""
+    corruptions = 0
+    for index, key in enumerate(keys):
+        path = cache.path_for(key)
+        if not path.exists():
+            continue
+        if index % 3 == 0:
+            _truncate_file(path)
+        elif index % 3 == 1:
+            path.write_bytes(b"")
+        else:
+            path.write_bytes(b'{"not": "a pickle"}')
+        corruptions += 1
+    return corruptions
+
+
+def _corrupt_journal(journal_path: Path) -> None:
+    """Append a garbage line and tear the last valid line in half."""
+    data = journal_path.read_bytes()
+    lines = data.splitlines(keepends=True)
+    torn = lines[-1][: max(1, len(lines[-1]) // 2)] if lines else b""
+    journal_path.write_bytes(
+        b"".join(lines[:-1]) + b"#### chaos garbage, not json ####\n" + torn
+    )
+
+
+# ----------------------------------------------------------------------
+# Scenarios
+# ----------------------------------------------------------------------
+
+@dataclass
+class ScenarioResult:
+    name: str
+    passed: bool
+    detail: str = ""
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one chaos run: per-scenario verdicts + fault counts."""
+
+    scenarios: list[ScenarioResult] = field(default_factory=list)
+    cells: int = 0  #: grid size the scenarios ran against
+
+    @property
+    def passed(self) -> bool:
+        return all(s.passed for s in self.scenarios)
+
+    def format(self) -> str:
+        lines = [f"chaos report: {self.cells}-cell grid"]
+        for s in self.scenarios:
+            status = "PASS" if s.passed else "FAIL"
+            lines.append(f"  [{status}] {s.name}" + (f" — {s.detail}" if s.detail else ""))
+        lines.append("chaos verdict: " + ("PASS" if self.passed else "FAIL"))
+        return "\n".join(lines)
+
+
+def _scenario(
+    report: ChaosReport, name: str, fn: Callable[[], str]
+) -> None:
+    """Run one scenario; any exception or problem string fails it."""
+    try:
+        detail = fn()
+    except Exception as exc:  # noqa: BLE001 - verdict, not crash
+        report.scenarios.append(
+            ScenarioResult(name, False, f"{type(exc).__name__}: {exc}")
+        )
+        return
+    report.scenarios.append(ScenarioResult(name, True, detail))
+
+
+def run_chaos(
+    quick: bool = True,
+    jobs: int = 3,
+    seed: int = 0,
+    workdir: str | os.PathLike | None = None,
+    timeout: float = 2.0,
+    log: Callable[[str], None] | None = None,
+) -> ChaosReport:
+    """Run the full chaos suite; returns a verdict per scenario.
+
+    Scenarios (all compare bit-for-bit against one fault-free serial
+    reference sweep):
+
+    1. **crash + hang + corrupt cache** — pre-warmed cache entries are
+       truncated/zeroed/garbage'd, one worker is SIGKILLed mid-cell, one
+       cell hangs past the timeout; the sweep must self-heal and match.
+    2. **interrupt + corrupt journal + resume** — a sweep is interrupted
+       partway (KeyboardInterrupt), its journal gets a garbage line and
+       a torn final line, then ``resume=True`` must restore exactly the
+       journaled cells (minus the torn one) and recompute only the rest.
+    3. **poison quarantine** — a cell failing every attempt must end up
+       quarantined as a :class:`CellFailure` while every other cell
+       still matches the reference.
+
+    Args:
+        quick: CI-sized grid (6 cells) vs the fuller 9-cell grid.
+        jobs: supervised workers for the disturbed sweeps.
+        seed: study seed (any value works; determinism is per-seed).
+        workdir: where caches/journals/markers live (a fresh temp dir by
+            default; pass a path to inspect artifacts afterwards).
+        timeout: per-cell wall-clock budget for the disturbed sweeps.
+        log: optional progress sink (e.g. ``print``).
+    """
+    say = log if log is not None else (lambda _msg: None)
+    base = Path(workdir) if workdir is not None else Path(
+        tempfile.mkdtemp(prefix="repro-chaos-")
+    )
+    base.mkdir(parents=True, exist_ok=True)
+
+    if quick:
+        graph = synthetic_task_graph(150, 8, seed=3, skew=1.2)
+        config = StudyConfig(
+            models=("static_block", "counter_dynamic", "work_stealing"),
+            n_ranks=(4, 8),
+            seed=seed,
+        )
+    else:
+        graph = synthetic_task_graph(600, 16, seed=3, skew=1.3)
+        config = StudyConfig(
+            models=("static_block", "counter_dynamic", "work_stealing"),
+            n_ranks=(4, 8, 16),
+            seed=seed,
+        )
+    cells = study_cells(config, graph)
+    labels = [cell.label for cell in cells]
+    retry = RetryPolicy(max_attempts=3, base_delay=0.05, max_delay=0.2, jitter=0.0)
+    report = ChaosReport(cells=len(cells))
+
+    say(f"chaos: {len(cells)} cells, jobs={jobs}, timeout={timeout:g}s")
+    say("chaos: computing fault-free serial reference ...")
+    reference = SweepRunner(jobs=1, cache=None).run_cells(cells)
+
+    # -- scenario 1: crash + hang + corrupted cache ---------------------
+    def crash_hang_corrupt() -> str:
+        work = base / "s1"
+        markers = work / "markers"
+        markers.mkdir(parents=True, exist_ok=True)
+        warm = SweepRunner(cache=work / "cache")
+        warm.run_cells(cells[:3])
+        corrupted = _corrupt_cache_entries(
+            warm.cache, [warm.cell_key(c) for c in cells[:3]]
+        )
+        plan = ChaosPlan(
+            marker_dir=str(markers),
+            kill=(labels[1],),
+            hang=(labels[2],),
+            hang_seconds=max(10.0, timeout * 5),
+        )
+        runner = SweepRunner(
+            jobs=jobs,
+            cache=work / "cache",
+            timeout=timeout,
+            retry=retry,
+            on_error="quarantine",
+            journal=work / "journal",
+            cell_fn=functools.partial(chaos_execute_cell, plan),
+        )
+        disturbed = runner.run_cells(cells)
+        problems = _compare_rows(reference, disturbed)
+        stats = runner.supervisor_stats
+        if corrupted < 3:
+            problems.append(f"only corrupted {corrupted}/3 cache entries")
+        if runner.cache.stats.errors < corrupted:
+            problems.append(
+                f"cache detected {runner.cache.stats.errors} corruptions, "
+                f"expected >= {corrupted}"
+            )
+        if stats.crashes < 1:
+            problems.append("no worker crash observed (SIGKILL not injected?)")
+        if stats.timeouts < 1:
+            problems.append("no cell timeout observed (hang not injected?)")
+        if runner.last_failures:
+            problems.append(f"unexpected quarantines: {runner.last_failures}")
+        if problems:
+            raise AssertionError("; ".join(problems))
+        return (
+            f"{corrupted} corrupt entries healed, {stats.crashes} crash(es), "
+            f"{stats.timeouts} timeout(s), {stats.retries} retries; rows identical"
+        )
+
+    # -- scenario 2: interrupt + corrupt journal + resume ---------------
+    def interrupt_resume() -> str:
+        work = base / "s2"
+        cache_dir = work / "cache"
+        journal_dir = work / "journal"
+        stop_after = max(2, len(cells) // 2)
+        ticks = {"n": 0}
+
+        def interrupter(event) -> None:
+            ticks["n"] += 1
+            if ticks["n"] >= stop_after:
+                raise KeyboardInterrupt
+
+        first = SweepRunner(
+            cache=cache_dir, journal=journal_dir, progress=interrupter
+        )
+        interrupted = False
+        try:
+            first.run_cells(cells)
+        except KeyboardInterrupt:
+            interrupted = True
+        if not interrupted:
+            raise AssertionError("sweep was not interrupted")
+        done_before = first.stats.computed
+        if done_before < stop_after:
+            raise AssertionError(
+                f"only {done_before} cells journaled before interrupt"
+            )
+        pending = first.last_provenance.count("pending")
+        if pending == 0:
+            raise AssertionError("interrupt left nothing pending")
+
+        journal_files = sorted(journal_dir.glob("sweep-*.jsonl"))
+        if len(journal_files) != 1:
+            raise AssertionError(f"expected 1 journal, found {journal_files}")
+        _corrupt_journal(journal_files[0])
+
+        second = SweepRunner(
+            jobs=jobs,
+            cache=cache_dir,
+            timeout=timeout,
+            retry=retry,
+            journal=journal_dir,
+            resume=True,
+        )
+        resumed_results = second.run_cells(cells)
+        problems = _compare_rows(reference, resumed_results)
+        # The torn final journal line loses exactly one entry; that cell
+        # falls back to the cache. Nothing already-complete recomputes.
+        if second.stats.resumed != done_before - 1:
+            problems.append(
+                f"resumed {second.stats.resumed}, expected {done_before - 1}"
+            )
+        if second.stats.cached != 1:
+            problems.append(
+                f"cache hits {second.stats.cached}, expected 1 (torn line)"
+            )
+        if second.stats.computed != len(cells) - done_before:
+            problems.append(
+                f"recomputed {second.stats.computed}, expected "
+                f"{len(cells) - done_before} unfinished cells"
+            )
+        if problems:
+            raise AssertionError("; ".join(problems))
+        return (
+            f"interrupted after {done_before}, resumed {second.stats.resumed} "
+            f"from corrupted journal + 1 from cache, recomputed "
+            f"{second.stats.computed}; rows identical"
+        )
+
+    # -- scenario 3: poison-cell quarantine -----------------------------
+    def poison_quarantine() -> str:
+        work = base / "s3"
+        markers = work / "markers"
+        markers.mkdir(parents=True, exist_ok=True)
+        poison_label = labels[-1]
+        plan = ChaosPlan(marker_dir=str(markers), fail=(poison_label,))
+        runner = SweepRunner(
+            jobs=jobs,
+            cache=None,
+            timeout=timeout,
+            retry=retry,
+            on_error="quarantine",
+            cell_fn=functools.partial(chaos_execute_cell, plan),
+        )
+        disturbed = runner.run_cells(cells)
+        poison_index = labels.index(poison_label)
+        problems = _compare_rows(reference, disturbed, skip={poison_index})
+        failure = disturbed[poison_index]
+        if not isinstance(failure, CellFailure):
+            problems.append(f"poison cell not quarantined: {failure!r}")
+        else:
+            if failure.attempts != retry.max_attempts:
+                problems.append(
+                    f"poison retried {failure.attempts} times, expected "
+                    f"{retry.max_attempts}"
+                )
+            if failure.label != poison_label:
+                problems.append(f"failure label {failure.label!r}")
+        if runner.stats.failed != 1:
+            problems.append(f"stats.failed == {runner.stats.failed}")
+        if problems:
+            raise AssertionError("; ".join(problems))
+        return (
+            f"poison cell {poison_label} quarantined after "
+            f"{retry.max_attempts} attempts; other rows identical"
+        )
+
+    for name, fn in (
+        ("worker SIGKILL + hung cell + corrupted cache, bit-for-bit", crash_hang_corrupt),
+        ("SIGINT interrupt + corrupted journal + --resume, bit-for-bit", interrupt_resume),
+        ("poison cell quarantined, sweep completes", poison_quarantine),
+    ):
+        say(f"chaos: scenario: {name} ...")
+        _scenario(report, name, fn)
+        say(f"chaos:   -> {'PASS' if report.scenarios[-1].passed else 'FAIL'}"
+            f" {report.scenarios[-1].detail}")
+    return report

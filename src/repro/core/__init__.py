@@ -16,6 +16,7 @@ from repro.core.cache import (
     fingerprint,
 )
 from repro.core.config import StudyConfig, MACHINE_PRESETS
+from repro.core.journal import JournalEntry, SweepJournal, sweep_id
 from repro.core.results import StudyReport
 from repro.core.study import (
     Workload,
@@ -33,7 +34,7 @@ from repro.core.sweep import (
     print_progress,
     study_cells,
 )
-from repro.core.report import format_table
+from repro.core.report import format_failures, format_table
 from repro.core.validate import ValidationReport, validate_assignment, validate_run
 
 __all__ = [
@@ -49,6 +50,10 @@ __all__ = [
     "workload_label",
     "Workload",
     "format_table",
+    "format_failures",
+    "SweepJournal",
+    "JournalEntry",
+    "sweep_id",
     "SweepCell",
     "SweepProgress",
     "SweepRunner",

@@ -29,6 +29,7 @@ deleted at any time with no effect other than recomputation.
 from __future__ import annotations
 
 import hashlib
+import itertools
 import os
 import pathlib
 import pickle
@@ -159,6 +160,17 @@ def cache_key(
 # The on-disk store
 # ----------------------------------------------------------------------
 
+#: Envelope magic written with every entry. ``get`` rejects any payload
+#: that is not ``(_ENTRY_MAGIC, key, value)`` with a matching key, so a
+#: wrong-schema file (hand-edited, renamed, foreign pickle, JSON text)
+#: degrades to a miss instead of returning garbage as a result.
+_ENTRY_MAGIC = "repro-cache-entry-v1"
+
+#: Per-process counter distinguishing temp files of concurrent writers in
+#: the same process (threads) — pid alone is not unique there.
+_tmp_counter = itertools.count()
+
+
 @dataclass
 class CacheStats:
     """Hit/miss/store counters for one :class:`ResultCache` instance."""
@@ -200,36 +212,69 @@ class ResultCache:
         return self.root / key[:2] / f"{key}.pkl"
 
     def get(self, key: str) -> Any | None:
-        """The stored value for ``key``, or None on miss/corruption."""
+        """The stored value for ``key``, or None on miss/corruption.
+
+        "Corruption" covers every observed failure shape: a zero-byte or
+        truncated entry, non-pickle bytes (e.g. JSON text), a valid
+        pickle that is not this cache's ``(magic, key, value)`` envelope,
+        and an envelope recorded under the wrong key. All degrade to a
+        miss, the offending file is unlinked so it cannot keep failing,
+        and the next ``put`` self-heals the entry. ``get`` never raises.
+        """
         path = self.path_for(key)
         try:
             with open(path, "rb") as fh:
-                value = pickle.load(fh)
+                payload = pickle.load(fh)
         except FileNotFoundError:
             self.stats.misses += 1
             return None
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-                ImportError, IndexError):
-            # Torn write or entry from an incompatible code state: treat
-            # as a miss and clear it so it cannot keep failing.
-            self.stats.misses += 1
-            self.stats.errors += 1
-            try:
-                path.unlink()
-            except OSError:
-                pass
-            return None
+        except Exception:
+            # Torn write, truncation, or an entry from an incompatible
+            # code state: treat as a miss and clear it.
+            return self._corrupt_miss(path)
+        if (
+            not isinstance(payload, tuple)
+            or len(payload) != 3
+            or payload[0] != _ENTRY_MAGIC
+            or payload[1] != key
+        ):
+            return self._corrupt_miss(path)
         self.stats.hits += 1
-        return value
+        return payload[2]
+
+    def _corrupt_miss(self, path: pathlib.Path) -> None:
+        self.stats.misses += 1
+        self.stats.errors += 1
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None
 
     def put(self, key: str, value: Any) -> None:
-        """Store ``value`` under ``key`` atomically."""
+        """Store ``value`` under ``key`` atomically.
+
+        Concurrent writers of the same key are safe: each writes its own
+        temp file (pid + per-process counter) and the final ``rename`` is
+        atomic, so readers only ever observe a complete entry — the last
+        rename wins, with identical bytes for identical inputs.
+        """
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        with open(tmp, "wb") as fh:
-            pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
-        os.replace(tmp, path)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}.{next(_tmp_counter)}")
+        try:
+            with open(tmp, "wb") as fh:
+                pickle.dump(
+                    (_ENTRY_MAGIC, key, value),
+                    fh,
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+            os.replace(tmp, path)
+        finally:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
         self.stats.stores += 1
 
     def __len__(self) -> int:

@@ -1,0 +1,224 @@
+"""Durable sweep checkpoint journal: append-only, fsynced JSONL.
+
+The result cache (:mod:`repro.core.cache`) makes individual cell results
+durable; the journal makes *sweep progress* durable. Each completed cell
+appends one JSON line — the cell's content key, label, status, attempt
+count, and a pointer to the stored result — flushed and fsynced before
+the sweep moves on. An interrupted sweep (SIGINT, SIGTERM, power loss,
+crash) can then be resumed bit-for-bit: ``--resume`` replays the journal,
+loads the recorded results from the store, and recomputes only the cells
+with no valid entry.
+
+Robustness properties (all tested):
+
+- **Torn writes are harmless.** A kill mid-append leaves at most one
+  partial trailing line; :meth:`SweepJournal.load` skips any line that
+  is not valid JSON or fails schema validation, so a corrupted or
+  truncated journal degrades to "fewer cells resumed", never an error.
+- **Entries are content-addressed.** A journal line names a cell by the
+  same sha256 content key the cache uses, so resuming with a *different*
+  grid, seed, or code salt simply matches nothing — stale journals
+  cannot inject wrong results.
+- **Append is signal-deferred.** The sweep wraps each
+  store-write + journal-append in :func:`deferred_signals`, so SIGINT
+  and SIGTERM are held until the entry is durable and then re-raised —
+  the journal never records a cell whose result did not reach the store.
+
+File naming: one journal per sweep, keyed by :func:`sweep_id` (a sha256
+over the sorted cell keys), so concurrent different sweeps sharing one
+cache directory never collide and ``--resume`` needs no bookkeeping from
+the user.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import pathlib
+import signal
+import threading
+from dataclasses import asdict, dataclass
+from hashlib import sha256
+from typing import Iterable, Iterator
+
+#: Journal format version; bump on incompatible line-schema changes.
+JOURNAL_VERSION = 1
+
+#: Statuses a journal entry may carry.
+ENTRY_STATUSES = ("done", "failed")
+
+
+def sweep_id(keys: Iterable[str]) -> str:
+    """A stable identity for one sweep: sha256 over its sorted cell keys.
+
+    Order-independent, so the same grid always resumes the same journal
+    regardless of cell enumeration order.
+    """
+    digest = sha256()
+    for key in sorted(keys):
+        digest.update(key.encode("ascii"))
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    """One durable fact: cell ``key`` reached ``status``.
+
+    ``result_path`` is informational — the pointer into the result store
+    where the value was written; resume loads through the store's own
+    (validating) ``get``, never by trusting this path blindly.
+    """
+
+    key: str
+    label: str
+    status: str  #: "done" | "failed"
+    attempts: int = 1
+    result_path: str = ""
+    error: str = ""  #: for "failed": "ErrorType: message"
+
+
+class SweepJournal:
+    """Append-only JSONL checkpoint log for one sweep.
+
+    Args:
+        path: the journal file (created on first append; parent
+            directories are created as needed).
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = pathlib.Path(path)
+        self.appended = 0  #: entries written by this instance
+        self._tail_checked = False
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_sweep(
+        cls, directory: str | os.PathLike, keys: Iterable[str]
+    ) -> "SweepJournal":
+        """The canonical per-sweep journal file inside ``directory``."""
+        name = f"sweep-{sweep_id(keys)[:16]}.jsonl"
+        return cls(pathlib.Path(directory) / name)
+
+    # ------------------------------------------------------------------
+    def append(self, entry: JournalEntry) -> None:
+        """Durably record one entry: single write, flush, fsync."""
+        record = {"v": JOURNAL_VERSION, **asdict(entry)}
+        line = json.dumps(record, separators=(",", ":")) + "\n"
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if not self._tail_checked:
+            # A torn trailing write has no newline; terminate it so the
+            # first entry of this session cannot merge into the fragment
+            # (which would corrupt a valid line too).
+            try:
+                with open(self.path, "rb") as fh:
+                    fh.seek(0, os.SEEK_END)
+                    if fh.tell() > 0:
+                        fh.seek(-1, os.SEEK_END)
+                        if fh.read(1) != b"\n":
+                            line = "\n" + line
+            except FileNotFoundError:
+                pass
+            self._tail_checked = True
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(line)
+            fh.flush()
+            os.fsync(fh.fileno())
+        self.appended += 1
+
+    def load(self) -> dict[str, JournalEntry]:
+        """Valid entries by cell key (later lines win); missing file = {}.
+
+        Malformed lines — torn trailing writes, corruption, foreign
+        schema versions — are skipped silently: the journal is a
+        performance artifact, and the worst case of a lost line is one
+        recomputed cell.
+        """
+        entries: dict[str, JournalEntry] = {}
+        try:
+            text = self.path.read_text(encoding="utf-8", errors="replace")
+        except (FileNotFoundError, OSError):
+            return entries
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if not isinstance(record, dict):
+                continue
+            if record.get("v") != JOURNAL_VERSION:
+                continue
+            key = record.get("key")
+            status = record.get("status")
+            if not isinstance(key, str) or status not in ENTRY_STATUSES:
+                continue
+            try:
+                entries[key] = JournalEntry(
+                    key=key,
+                    label=str(record.get("label", "")),
+                    status=status,
+                    attempts=int(record.get("attempts", 1)),
+                    result_path=str(record.get("result_path", "")),
+                    error=str(record.get("error", "")),
+                )
+            except (TypeError, ValueError):
+                continue
+        return entries
+
+    def rotate(self) -> None:
+        """Discard any prior journal (fresh, non-resumed sweeps)."""
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass
+        self.appended = 0
+
+    def __len__(self) -> int:
+        return len(self.load())
+
+
+@contextlib.contextmanager
+def deferred_signals(
+    signals: tuple[int, ...] = (signal.SIGINT, signal.SIGTERM)
+) -> Iterator[None]:
+    """Hold SIGINT/SIGTERM across a critical section, re-raise after.
+
+    Guards the store-write + journal-append pair so an interrupt can
+    never tear them apart. Outside the main thread (where handlers
+    cannot be installed) this is a no-op — worker pools deliver results
+    to the main thread in this codebase, so the guarantee holds where it
+    matters.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+    received: list[tuple[int, object]] = []
+    previous = {}
+    try:
+        for signum in signals:
+            previous[signum] = signal.signal(
+                signum, lambda s, frame: received.append((s, frame))
+            )
+    except (ValueError, OSError):
+        # Exotic contexts (no signal support): run unguarded.
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        yield
+        return
+    try:
+        yield
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        for signum, frame in received:
+            handler = previous[signum]
+            if callable(handler):
+                handler(signum, frame)
+            elif signum == signal.SIGINT:
+                raise KeyboardInterrupt
+            else:
+                signal.raise_signal(signum)

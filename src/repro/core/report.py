@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from typing import Any, Iterable, Sequence
 
 
 def _fmt(value: Any) -> str:
@@ -38,3 +38,22 @@ def format_table(
     for r in cells:
         lines.append("  ".join(v.ljust(w) for v, w in zip(r, widths)))
     return "\n".join(lines)
+
+
+def format_failures(failures: Iterable[Any], title: str = "quarantined cells") -> str:
+    """Render quarantined sweep cells (``CellFailure``) as a table.
+
+    One row per failed cell: its label, attempts consumed, and the final
+    error. The sweep records these instead of aborting; this renderer is
+    how the CLI surfaces them next to the (partial) result table.
+    """
+    rows = [
+        {
+            "cell": f.label,
+            "attempts": f.attempts,
+            "error": f.error_type,
+            "message": f.message,
+        }
+        for f in failures
+    ]
+    return format_table(rows, title=title)

@@ -15,14 +15,21 @@ from repro.util import ConfigurationError
 class StudyReport:
     """All runs of one study, keyed by (model name, rank count).
 
-    ``provenance`` optionally records, per key, whether the result was
-    computed fresh or served from the sweep cache (``"fresh"`` /
-    ``"cached"``). It is bookkeeping only: cached and fresh results are
-    bit-for-bit identical, so nothing downstream may branch on it.
+    ``provenance`` optionally records, per key, how the result was
+    obtained: computed fresh, served from the sweep cache, or restored
+    from a checkpoint journal (``"fresh"`` / ``"cached"`` /
+    ``"resumed"``). It is bookkeeping only: all three are bit-for-bit
+    identical, so nothing downstream may branch on it.
+
+    ``failures`` collects quarantined sweep cells
+    (:class:`~repro.parallel.CellFailure`): cells that exhausted their
+    host-level retry budget under ``on_error="quarantine"``. They have no
+    result row; a report with failures is *partial*, not wrong.
     """
 
     results: dict[tuple[str, int], RunResult] = field(default_factory=dict)
     provenance: dict[tuple[str, int], str] = field(default_factory=dict)
+    failures: list = field(default_factory=list)
 
     def add(self, result: RunResult, provenance: str | None = None) -> None:
         self.results[(result.model, result.n_ranks)] = result
@@ -38,7 +45,13 @@ class StudyReport:
         """
         self.results.update(other.results)
         self.provenance.update(other.provenance)
+        self.failures.extend(other.failures)
         return self
+
+    @property
+    def complete(self) -> bool:
+        """Whether every attempted cell produced a result (no failures)."""
+        return not self.failures
 
     def get(self, model: str, n_ranks: int) -> RunResult:
         try:

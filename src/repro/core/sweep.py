@@ -1,4 +1,4 @@
-"""Parallel sweep orchestration with content-addressed result caching.
+"""Parallel sweep orchestration: caching, supervision, checkpointing.
 
 The paper's claims are all *sweep-shaped*: model x rank-count x machine x
 granularity grids of independent simulation cells. This module is the
@@ -12,26 +12,43 @@ itself:
 - :class:`SweepRunner` — expands a :class:`~repro.core.config.StudyConfig`
   (or an explicit list of cells) into jobs, serves already-computed cells
   from a :class:`~repro.core.cache.ResultCache`, and fans the rest out
-  across forked worker processes (:func:`repro.parallel.parallel_imap`).
+  across *supervised* worker processes
+  (:func:`repro.parallel.supervised_imap`): per-cell wall-clock
+  timeouts, crash detection and worker respawn, bounded retry with
+  backoff, and poison-cell quarantine
+  (:class:`~repro.parallel.CellFailure`).
+- an optional durable checkpoint journal
+  (:class:`~repro.core.journal.SweepJournal`): every completed cell is
+  fsynced to an append-only JSONL log, so an interrupted sweep resumes
+  (``resume=True`` / ``python -m repro study --resume``) recomputing
+  only unfinished cells.
 
 Determinism guarantees (tested): cell seeds are derived exactly as the
 serial study driver derives them, simulation never reads the wall clock,
 and cached results pickle round-trip bit-for-bit — so serial, parallel,
-cold, and warm sweeps all produce identical
+cold, warm, chaos-disturbed, and resumed sweeps all produce identical
 :class:`~repro.core.results.StudyReport` rows.
 """
 
 from __future__ import annotations
 
+import contextlib
+import pathlib
 from dataclasses import dataclass, replace
 from typing import Any, Callable, Sequence
 
 from repro.core.cache import CACHE_SALT, ResultCache, cache_key, fingerprint
 from repro.core.config import StudyConfig
+from repro.core.journal import JournalEntry, SweepJournal, deferred_signals
 from repro.core.results import StudyReport
 from repro.chemistry.tasks import TaskGraph
-from repro.faults import FaultPlan
-from repro.parallel.executor import parallel_imap
+from repro.faults import FaultPlan, RetryPolicy
+from repro.parallel.supervisor import (
+    HOST_RETRY_POLICY,
+    CellFailure,
+    SupervisorStats,
+    supervised_imap,
+)
 from repro.simulate.machine import MachineSpec
 from repro.util import ConfigurationError, derive_seed
 
@@ -114,10 +131,10 @@ def execute_cell(cell: SweepCell) -> Any:
 class SweepProgress:
     """One progress event handed to the runner's ``progress`` callback."""
 
-    status: str  #: "cached" | "done"
+    status: str  #: "cached" | "resumed" | "done" | "failed"
     label: str  #: the cell's display label
-    completed: int  #: cells finished so far (cached + computed)
-    cached: int  #: of those, served from cache
+    completed: int  #: cells finished so far (cached + resumed + computed)
+    cached: int  #: of those, served from cache or journal resume
     running: int  #: cells still outstanding
     total: int  #: cells in this sweep
 
@@ -125,7 +142,7 @@ class SweepProgress:
 def print_progress(event: SweepProgress) -> None:
     """A ready-made ``progress`` callback: one line per finished cell."""
     print(
-        f"[{event.completed}/{event.total}] {event.status:>6} {event.label}"
+        f"[{event.completed}/{event.total}] {event.status:>7} {event.label}"
         f"  ({event.cached} cached, {event.running} running)",
         flush=True,
     )
@@ -135,9 +152,11 @@ def print_progress(event: SweepProgress) -> None:
 class SweepStats:
     """Cumulative cell accounting across a runner's lifetime."""
 
-    cells: int = 0
-    cached: int = 0
-    computed: int = 0
+    cells: int = 0  #: cells settled (cached + resumed + computed + failed)
+    cached: int = 0  #: served from the result cache
+    resumed: int = 0  #: restored from the checkpoint journal
+    computed: int = 0  #: executed this session
+    failed: int = 0  #: quarantined after exhausting retries
 
     @property
     def hit_rate(self) -> float:
@@ -166,7 +185,7 @@ def study_cells(config: StudyConfig, graph: TaskGraph) -> list[SweepCell]:
 
 
 class SweepRunner:
-    """Executes sweep cells with caching and optional process fan-out.
+    """Executes sweep cells with caching, supervision, and checkpointing.
 
     Args:
         jobs: worker processes for cache-miss cells (1 = in-process
@@ -178,6 +197,26 @@ class SweepRunner:
             :func:`print_progress`); None = silent.
         salt: cache-key code-version salt (tests override it to model
             invalidation).
+        timeout: per-cell wall-clock budget in seconds for worker
+            execution (``jobs > 1`` only — a hung cell's worker is
+            SIGKILLed and the cell retried); None disables.
+        retry: host-level retry policy for failed/crashed/timed-out
+            cells (:data:`~repro.parallel.HOST_RETRY_POLICY` default).
+        on_error: ``"raise"`` (default) re-raises a cell's final failure
+            (as :class:`~repro.parallel.WorkerError` from workers);
+            ``"quarantine"`` records a
+            :class:`~repro.parallel.CellFailure` in the results instead,
+            so one poison cell cannot abort the sweep.
+        journal: checkpoint journal — a :class:`SweepJournal`, a
+            ``*.jsonl`` file path, or a directory (one journal per sweep
+            grid is derived inside it); None disables checkpointing.
+        resume: replay the journal before executing: cells already
+            recorded as done are restored from the result store and only
+            the rest run. Requires ``journal``.
+        cell_fn: the worker entry (default :func:`execute_cell`). Must
+            compute exactly what ``execute_cell`` computes — this hook
+            exists for wrappers that add host-fault injection or
+            instrumentation around the same computation (chaos harness).
     """
 
     def __init__(
@@ -186,19 +225,43 @@ class SweepRunner:
         cache: ResultCache | str | Any | None = None,
         progress: Callable[[SweepProgress], None] | None = None,
         salt: str = CACHE_SALT,
+        *,
+        timeout: float | None = None,
+        retry: RetryPolicy | None = None,
+        on_error: str = "raise",
+        journal: SweepJournal | str | Any | None = None,
+        resume: bool = False,
+        cell_fn: Callable[[SweepCell], Any] | None = None,
     ) -> None:
         if jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        if resume and journal is None:
+            raise ConfigurationError(
+                "resume=True requires a journal (a SweepJournal, file, or "
+                "directory) to replay"
+            )
         self.jobs = int(jobs)
         if cache is not None and not isinstance(cache, ResultCache):
             cache = ResultCache(cache)
         self.cache = cache
         self.progress = progress
         self.salt = salt
+        self.timeout = timeout
+        self.retry = retry if retry is not None else HOST_RETRY_POLICY
+        self.on_error = on_error
+        self.journal = journal
+        self.resume = resume
+        self.cell_fn = cell_fn if cell_fn is not None else execute_cell
         self.stats = SweepStats()
-        #: Provenance ("cached" | "fresh") per cell of the *last* run_cells
-        #: call, in cell order.
+        #: Host-fault accounting from the supervised pool (crashes,
+        #: timeouts, retries, quarantines), cumulative over this runner.
+        self.supervisor_stats = SupervisorStats()
+        #: Provenance ("cached" | "resumed" | "fresh" | "failed" |
+        #: "pending") per cell of the *last* run_cells call, in cell
+        #: order. "pending" appears only when the sweep was interrupted.
         self.last_provenance: list[str] = []
+        #: Quarantined cells of the last run_cells call.
+        self.last_failures: list[CellFailure] = []
         self._graph_fps: dict[int, tuple[TaskGraph, str]] = {}
 
     # ------------------------------------------------------------------
@@ -226,66 +289,167 @@ class SweepRunner:
         )
 
     # ------------------------------------------------------------------
+    def _journal_for(self, keys: Sequence[str]) -> SweepJournal | None:
+        """Resolve the journal spec against this sweep's cell keys."""
+        if self.journal is None:
+            return None
+        if isinstance(self.journal, SweepJournal):
+            return self.journal
+        path = pathlib.Path(self.journal)
+        if path.suffix == ".jsonl":
+            return SweepJournal(path)
+        return SweepJournal.for_sweep(path, keys)
+
+    def _store_for(self, journal: SweepJournal | None) -> ResultCache | None:
+        """Where durable results live: the cache, or a journal sidecar."""
+        if self.cache is not None:
+            return self.cache
+        if journal is not None:
+            return ResultCache(journal.path.parent / "objects")
+        return None
+
+    # ------------------------------------------------------------------
     def run_cells(self, cells: Sequence[SweepCell]) -> list[Any]:
-        """Execute every cell (cache-first), returning results in order."""
+        """Execute every cell (journal/cache-first), returning results in
+        cell order; quarantined cells yield a
+        :class:`~repro.parallel.CellFailure` in place of a result.
+
+        Progress, provenance, and :class:`SweepStats` are flushed in a
+        ``finally`` block, so an interrupted or failed sweep still
+        reports the cells that did complete (``last_provenance`` marks
+        unfinished cells ``"pending"``).
+        """
         cells = list(cells)
         total = len(cells)
         results: list[Any] = [None] * total
-        provenance = ["fresh"] * total
-        cached_count = 0
+        provenance = ["pending"] * total
+        settled = {"cached": 0, "resumed": 0, "computed": 0, "failed": 0}
+        completed = 0
+
+        need_keys = self.cache is not None or self.journal is not None
+        keys: list[str | None] = [
+            self.cell_key(cell) if need_keys else None for cell in cells
+        ]
+        journal = self._journal_for([k for k in keys if k is not None])
+        store = self._store_for(journal)
+        journaled: dict[str, JournalEntry] = {}
+        if journal is not None:
+            if self.resume:
+                journaled = journal.load()
+            else:
+                journal.rotate()
+
+        def emit(status: str, index: int) -> None:
+            if self.progress is not None:
+                self.progress(
+                    SweepProgress(
+                        status=status,
+                        label=cells[index].label,
+                        completed=completed,
+                        cached=settled["cached"] + settled["resumed"],
+                        running=total - completed,
+                        total=total,
+                    )
+                )
 
         misses: list[int] = []
-        keys: list[str | None] = [None] * total
-        for index, cell in enumerate(cells):
-            if self.cache is not None:
-                keys[index] = self.cell_key(cell)
-                hit = self.cache.get(keys[index])
-                if hit is not None:
-                    results[index] = hit
-                    provenance[index] = "cached"
-                    cached_count += 1
+        try:
+            for index, cell in enumerate(cells):
+                key = keys[index]
+                hit = None
+                how = ""
+                if key is not None:
+                    entry = journaled.get(key)
+                    if (
+                        entry is not None
+                        and entry.status == "done"
+                        and store is not None
+                    ):
+                        hit = store.get(key)
+                        how = "resumed"
+                    if hit is None and self.cache is not None:
+                        hit = self.cache.get(key)
+                        how = "cached"
+                if hit is None:
+                    misses.append(index)
                     continue
-            misses.append(index)
-
-        completed = cached_count
-        if self.progress is not None:
-            for index in range(total):
-                if provenance[index] == "cached" and results[index] is not None:
-                    self.progress(
-                        SweepProgress(
-                            status="cached",
-                            label=cells[index].label,
-                            completed=completed,
-                            cached=cached_count,
-                            running=len(misses),
-                            total=total,
-                        )
-                    )
-
-        if misses:
-            jobs = [cells[index] for index in misses]
-            for position, value in parallel_imap(execute_cell, jobs, self.jobs):
-                index = misses[position]
-                results[index] = value
-                if self.cache is not None and keys[index] is not None:
-                    self.cache.put(keys[index], value)
+                results[index] = hit
+                provenance[index] = how
+                settled[how] += 1
                 completed += 1
-                if self.progress is not None:
-                    self.progress(
-                        SweepProgress(
-                            status="done",
-                            label=cells[index].label,
-                            completed=completed,
-                            cached=cached_count,
-                            running=total - completed,
-                            total=total,
-                        )
-                    )
+                emit(how, index)
 
-        self.stats.cells += total
-        self.stats.cached += cached_count
-        self.stats.computed += len(misses)
-        self.last_provenance = provenance
+            if misses:
+                jobs = [cells[index] for index in misses]
+                labels = [cells[index].label for index in misses]
+                # Hold SIGINT/SIGTERM across the store-write +
+                # journal-append pair so the journal never names a result
+                # that didn't land (no-op guard when not checkpointing).
+                guard = deferred_signals if journal is not None else contextlib.nullcontext
+                for position, outcome in supervised_imap(
+                    self.cell_fn,
+                    jobs,
+                    self.jobs,
+                    timeout=self.timeout,
+                    retry=self.retry,
+                    on_error=self.on_error,
+                    labels=labels,
+                    stats=self.supervisor_stats,
+                ):
+                    index = misses[position]
+                    key = keys[index]
+                    with guard():
+                        if isinstance(outcome, CellFailure):
+                            results[index] = outcome
+                            provenance[index] = "failed"
+                            settled["failed"] += 1
+                            if journal is not None and key is not None:
+                                journal.append(
+                                    JournalEntry(
+                                        key=key,
+                                        label=cells[index].label,
+                                        status="failed",
+                                        attempts=outcome.attempts,
+                                        error=f"{outcome.error_type}: "
+                                        f"{outcome.message}",
+                                    )
+                                )
+                        else:
+                            results[index] = outcome
+                            provenance[index] = "fresh"
+                            settled["computed"] += 1
+                            if store is not None and key is not None:
+                                store.put(key, outcome)
+                            if journal is not None and key is not None:
+                                journal.append(
+                                    JournalEntry(
+                                        key=key,
+                                        label=cells[index].label,
+                                        status="done",
+                                        result_path=str(store.path_for(key))
+                                        if store is not None
+                                        else "",
+                                    )
+                                )
+                        completed += 1
+                    emit(
+                        "failed"
+                        if isinstance(results[index], CellFailure)
+                        else "done",
+                        index,
+                    )
+        finally:
+            # Flush accounting even when a cell raised or the sweep was
+            # interrupted: completed work stays reported and journaled.
+            self.stats.cells += completed
+            self.stats.cached += settled["cached"]
+            self.stats.resumed += settled["resumed"]
+            self.stats.computed += settled["computed"]
+            self.stats.failed += settled["failed"]
+            self.last_provenance = provenance
+            self.last_failures = [
+                r for r in results if isinstance(r, CellFailure)
+            ]
         return results
 
     def run_study(self, config: StudyConfig, source: Any) -> StudyReport:
@@ -293,6 +457,8 @@ class SweepRunner:
 
         ``source`` is anything :func:`repro.core.study.resolve_source`
         accepts: a ``Workload``, an ``ScfProblem``, or a ``TaskGraph``.
+        Quarantined cells (``on_error="quarantine"``) are collected on
+        ``report.failures`` instead of aborting the study.
         """
         from repro.core.study import resolve_source
 
@@ -300,15 +466,15 @@ class SweepRunner:
         cells = study_cells(config, graph)
         results = self.run_cells(cells)
         report = StudyReport()
-        for result in results:
+        for result, prov in zip(results, self.last_provenance):
+            if isinstance(result, CellFailure):
+                report.failures.append(result)
+                continue
             report.add(result)
-        # Provenance is keyed the way StudyReport keys results: by the
-        # model's self-reported name, which can differ from the registry
-        # name (e.g. "work_stealing(one,random)").
-        report.provenance = {
-            (result.model, result.n_ranks): prov
-            for result, prov in zip(results, self.last_provenance)
-        }
+            # Provenance is keyed the way StudyReport keys results: by
+            # the model's self-reported name, which can differ from the
+            # registry name (e.g. "work_stealing(one,random)").
+            report.provenance[(result.model, result.n_ranks)] = prov
         return report
 
     def run_cell(self, cell: SweepCell) -> Any:

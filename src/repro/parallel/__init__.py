@@ -8,11 +8,25 @@ matrix checked against the serial reference. It also powers the laptop
 examples and gives SCF a genuinely parallel two-electron builder.
 
 :mod:`repro.parallel.executor` is the coarse-grained counterpart: generic
-fork-based fan-out of independent jobs (the sweep orchestrator's worker
-pool).
+fork-based fan-out of independent jobs; :mod:`repro.parallel.supervisor`
+wraps it in host-level fault tolerance (per-job timeouts, crash
+recovery, retry/backoff, poison-job quarantine) — the worker pool the
+sweep orchestrator actually runs on.
 """
 
-from repro.parallel.executor import fork_available, parallel_imap, parallel_map
+from repro.parallel.executor import (
+    WorkerError,
+    fork_available,
+    parallel_imap,
+    parallel_map,
+)
+from repro.parallel.supervisor import (
+    HOST_RETRY_POLICY,
+    CellFailure,
+    SupervisedPool,
+    SupervisorStats,
+    supervised_imap,
+)
 from repro.parallel.pool import (
     SharedMemoryFockBuilder,
     parallel_g_builder,
@@ -28,6 +42,12 @@ __all__ = [
     "fork_available",
     "parallel_imap",
     "parallel_map",
+    "WorkerError",
+    "supervised_imap",
+    "SupervisedPool",
+    "SupervisorStats",
+    "CellFailure",
+    "HOST_RETRY_POLICY",
     "SharedMemoryFockBuilder",
     "parallel_g_builder",
     "ParallelStats",

@@ -12,15 +12,68 @@ the job list / worker count makes a pool pointless. Simulated runs are
 deterministic functions of their inputs, so serial and parallel
 execution produce identical results — the pool changes wall-clock time
 only.
+
+Failure semantics: a job exception inside a worker comes back as a
+:class:`WorkerError` that names the job (label + index) and carries the
+remote traceback text, instead of the bare unpickled exception whose
+traceback points into ``concurrent.futures`` plumbing. A worker that
+dies outright (SIGKILL, OOM) breaks the whole ``ProcessPoolExecutor``;
+:func:`parallel_imap` absorbs a bounded number of such pool breakages by
+respawning the pool and re-submitting only the jobs that never finished.
+For per-cell timeouts, retry/backoff, and poison-job quarantine, use the
+full supervisor layer (:mod:`repro.parallel.supervisor`) instead.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Iterator, Sequence
 
-from repro.util import check_positive
+from repro.util import ReproError, check_positive
+
+
+class WorkerError(ReproError, RuntimeError):
+    """A job raised inside a pool worker process.
+
+    Exceptions that cross a process boundary lose their real traceback
+    (the re-raised object points into executor plumbing), so this wrapper
+    preserves what the caller actually needs: which job failed (``label``
+    and ``index`` into the submitted job list), the original exception
+    class name, and the remote traceback text as captured in the worker.
+    The unpickled original (when available) is chained as ``__cause__``.
+    """
+
+    def __init__(
+        self,
+        label: str,
+        index: int,
+        error_type: str,
+        message: str,
+        remote_traceback: str = "",
+    ) -> None:
+        super().__init__(
+            f"job {label!r} (index {index}) failed in worker: "
+            f"{error_type}: {message}"
+        )
+        self.label = label
+        self.index = int(index)
+        self.error_type = error_type
+        self.remote_traceback = remote_traceback
+
+
+def _remote_traceback(exc: BaseException) -> str:
+    """The worker-side traceback text for an exception from a future.
+
+    ``ProcessPoolExecutor`` chains the worker's formatted traceback as a
+    ``_RemoteTraceback`` cause; fall back to formatting the local chain.
+    """
+    cause = exc.__cause__
+    if cause is not None and type(cause).__name__ == "_RemoteTraceback":
+        return str(cause)
+    return "".join(traceback.format_exception(type(exc), exc, exc.__traceback__))
 
 
 def fork_available() -> bool:
@@ -28,38 +81,50 @@ def fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
 
 
+def _job_label(labels: Sequence[str] | None, index: int) -> str:
+    if labels is not None and index < len(labels):
+        return labels[index]
+    return f"job[{index}]"
+
+
 def parallel_map(
     fn: Callable[[Any], Any],
     jobs: Sequence[Any],
     n_workers: int = 1,
+    labels: Sequence[str] | None = None,
 ) -> list[Any]:
     """``[fn(job) for job in jobs]`` across forked worker processes.
 
     Results come back in submission order. With ``n_workers <= 1``, a
     single job, or no ``fork`` support, runs serially in-process (no
-    pickling, no subprocesses). A worker exception propagates to the
-    caller unchanged in meaning (re-raised from the future).
+    pickling, no subprocesses, exceptions propagate unchanged). In the
+    pool path a job exception surfaces as a :class:`WorkerError` naming
+    the failed job.
     """
-    check_positive("n_workers", n_workers)
-    n_workers = min(int(n_workers), len(jobs))
-    if n_workers <= 1 or len(jobs) <= 1 or not fork_available():
-        return [fn(job) for job in jobs]
-    ctx = multiprocessing.get_context("fork")
-    with ProcessPoolExecutor(max_workers=n_workers, mp_context=ctx) as pool:
-        futures = [pool.submit(fn, job) for job in jobs]
-        return [f.result() for f in futures]
+    ordered: list[Any] = [None] * len(jobs)
+    for index, value in parallel_imap(fn, jobs, n_workers, labels=labels):
+        ordered[index] = value
+    return ordered
 
 
 def parallel_imap(
     fn: Callable[[Any], Any],
     jobs: Sequence[Any],
     n_workers: int = 1,
+    labels: Sequence[str] | None = None,
+    max_pool_restarts: int = 2,
 ) -> Iterator[tuple[int, Any]]:
     """Yield ``(index, fn(jobs[index]))`` as each job completes.
 
     Completion order, not submission order — callers wanting progress
     reporting consume results as they land and reorder afterwards.
     Serial fallback rules match :func:`parallel_map`.
+
+    A job exception in a worker is re-raised as :class:`WorkerError`
+    carrying the job's label, index, and remote traceback. A dead worker
+    (SIGKILL/OOM) breaks the entire executor; the pool is respawned and
+    the unfinished jobs re-submitted, up to ``max_pool_restarts`` times,
+    after which the breakage propagates as the final ``WorkerError``.
     """
     check_positive("n_workers", n_workers)
     n_workers = min(int(n_workers), len(jobs))
@@ -68,9 +133,43 @@ def parallel_imap(
             yield index, fn(job)
         return
     ctx = multiprocessing.get_context("fork")
-    with ProcessPoolExecutor(max_workers=n_workers, mp_context=ctx) as pool:
-        pending = {pool.submit(fn, job): index for index, job in enumerate(jobs)}
-        while pending:
-            done, _ = wait(pending, return_when=FIRST_COMPLETED)
-            for future in done:
-                yield pending.pop(future), future.result()
+    remaining = dict(enumerate(jobs))
+    restarts = 0
+    while remaining:
+        try:
+            with ProcessPoolExecutor(max_workers=n_workers, mp_context=ctx) as pool:
+                pending = {
+                    pool.submit(fn, job): index for index, job in remaining.items()
+                }
+                while pending:
+                    done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        index = pending.pop(future)
+                        try:
+                            value = future.result()
+                        except BrokenProcessPool:
+                            raise
+                        except Exception as exc:
+                            raise WorkerError(
+                                _job_label(labels, index),
+                                index,
+                                type(exc).__name__,
+                                str(exc),
+                                _remote_traceback(exc),
+                            ) from exc
+                        remaining.pop(index, None)
+                        yield index, value
+            return
+        except BrokenProcessPool as exc:
+            # A worker died hard (SIGKILL, OOM): every in-flight future is
+            # poisoned. Respawn the pool and re-run only unfinished jobs.
+            restarts += 1
+            if restarts > max_pool_restarts:
+                index = min(remaining)
+                raise WorkerError(
+                    _job_label(labels, index),
+                    index,
+                    type(exc).__name__,
+                    f"process pool broke {restarts} times; giving up with "
+                    f"{len(remaining)} job(s) unfinished",
+                ) from exc

@@ -1,0 +1,584 @@
+"""Supervised worker pool: timeouts, crash recovery, retry, quarantine.
+
+:func:`repro.parallel.parallel_imap` fans jobs out but inherits
+``ProcessPoolExecutor``'s failure semantics: a hung job blocks forever, a
+SIGKILLed worker poisons every in-flight future, and a poison job aborts
+the whole batch. This module is the fault-tolerant replacement the sweep
+orchestrator runs on — the host-layer mirror of the *simulated* fault
+tolerance in :mod:`repro.faults`:
+
+- **One duplex pipe per worker.** The supervisor assigns exactly one job
+  to a worker at a time over its own pipe, so it always knows which
+  worker is running which job — no shared queue whose lock a dying
+  worker can corrupt, and a SIGKILL surfaces as an EOF on that worker's
+  pipe (or its process sentinel), never as a poisoned pool.
+- **Per-job wall-clock timeouts.** A job that exceeds ``timeout``
+  seconds is treated as hung: its worker is SIGKILLed and respawned, and
+  the job is retried like any other failure.
+- **Bounded retry with backoff**, reusing the same
+  :class:`~repro.faults.retry.RetryPolicy` the simulated fault-tolerant
+  models use (host-scale delays via :data:`HOST_RETRY_POLICY`).
+- **Poison-job quarantine.** A job that fails ``max_attempts`` times is
+  reported as a structured :class:`CellFailure` result instead of
+  aborting the batch (``on_error="quarantine"``), or re-raised as a
+  :class:`~repro.parallel.executor.WorkerError` (``on_error="raise"``).
+- **Graceful degradation.** No ``fork``, one worker, one job, or a pool
+  that fails to spawn ⇒ the same jobs run serially in-process through
+  the identical retry/quarantine logic (timeouts cannot be enforced
+  without process isolation and are ignored serially).
+
+Jobs are assumed *idempotent and deterministic* (sweep cells are pure
+functions of their inputs), so re-running a job after a crash or timeout
+yields the result the lost attempt would have produced.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+import traceback
+import warnings
+from collections import deque
+from dataclasses import dataclass
+from multiprocessing import connection
+from typing import Any, Callable, Iterator, Sequence
+
+import numpy as np
+
+from repro.faults.retry import RetryPolicy
+from repro.parallel.executor import WorkerError, fork_available
+from repro.util import ConfigurationError, check_positive
+
+#: Default host-side retry policy: three attempts, capped ~0.5 s backoff.
+#: (The simulated models use microsecond-scale delays; host faults —
+#: crashed workers, killed cells — deserve human-scale ones.)
+HOST_RETRY_POLICY = RetryPolicy(
+    max_attempts=3, base_delay=0.05, max_delay=0.5, jitter=0.0
+)
+
+#: ``on_error`` modes: quarantine poison jobs as :class:`CellFailure`
+#: results, or re-raise the final failure as a ``WorkerError``.
+ON_ERROR_MODES = ("quarantine", "raise")
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """A job that exhausted its retry budget, quarantined not fatal.
+
+    Appears *in place of* a result so one poison cell cannot abort a
+    million-cell sweep; the sweep layer records these on the report
+    (``StudyReport.failures``) and the CLI renders them as a table.
+    """
+
+    index: int  #: position in the submitted job list
+    label: str  #: the job's display label (cell label for sweeps)
+    attempts: int  #: attempts consumed (== the policy's max_attempts)
+    error_type: str  #: exception class name (or "CellTimeout"/"WorkerCrash")
+    message: str  #: str() of the final error
+    traceback_text: str = ""  #: remote traceback of the final attempt, if any
+
+    def __str__(self) -> str:
+        return (
+            f"{self.label} (index {self.index}): {self.error_type}: "
+            f"{self.message} [after {self.attempts} attempt(s)]"
+        )
+
+
+@dataclass
+class SupervisorStats:
+    """Fault accounting across one :class:`SupervisedPool` lifetime."""
+
+    completed: int = 0  #: jobs that produced a result
+    retries: int = 0  #: attempts re-dispatched after a failure
+    crashes: int = 0  #: worker deaths observed (SIGKILL/OOM/hard exit)
+    timeouts: int = 0  #: jobs killed for exceeding the wall-clock budget
+    quarantined: int = 0  #: jobs that exhausted retries -> CellFailure
+    respawns: int = 0  #: replacement workers forked
+
+
+class _Task:
+    __slots__ = ("index", "job", "attempts", "not_before", "last_error")
+
+    def __init__(self, index: int, job: Any) -> None:
+        self.index = index
+        self.job = job
+        self.attempts = 0
+        self.not_before = 0.0
+        self.last_error: tuple[str, str, str] | None = None
+
+
+def _worker_main(fn: Callable[[Any], Any], conn) -> None:
+    """Worker child: serve one job at a time over the duplex pipe."""
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            return
+        if msg is None:  # orderly shutdown sentinel
+            return
+        index, job = msg
+        try:
+            payload = (index, "ok", fn(job), True)
+        except (KeyboardInterrupt, SystemExit):
+            return
+        except BaseException as exc:  # noqa: BLE001 - forwarded to parent
+            retryable = not isinstance(exc, ConfigurationError)
+            payload = (
+                index,
+                "err",
+                (type(exc).__name__, str(exc), traceback.format_exc()),
+                retryable,
+            )
+        try:
+            conn.send(payload)
+        except (BrokenPipeError, OSError):
+            return
+        except Exception as exc:  # unpicklable result: report, keep serving
+            conn.send(
+                (
+                    index,
+                    "err",
+                    (type(exc).__name__, f"result not picklable: {exc}", ""),
+                    False,
+                )
+            )
+
+
+class _Slot:
+    """One supervised worker: its process, pipe, and current assignment."""
+
+    __slots__ = ("process", "conn", "task", "dispatched_at")
+
+    def __init__(self, process, conn) -> None:
+        self.process = process
+        self.conn = conn
+        self.task: _Task | None = None
+        self.dispatched_at = 0.0
+
+
+class SupervisedPool:
+    """A crash-tolerant, timeout-enforcing pool of forked workers.
+
+    Args:
+        fn: the job function (must be importable/picklable-compatible;
+            with ``fork`` it is inherited at spawn time).
+        n_workers: worker processes (>= 1).
+        timeout: per-job wall-clock budget in seconds; None disables.
+        retry: attempt budget and backoff schedule
+            (:data:`HOST_RETRY_POLICY` by default).
+        on_error: ``"quarantine"`` yields :class:`CellFailure` for jobs
+            that exhaust retries; ``"raise"`` re-raises a
+            :class:`WorkerError` instead. Non-retryable errors
+            (:class:`ConfigurationError`) always raise immediately.
+        labels: display labels per job index (for errors/failures).
+        on_dispatch: test/chaos hook called as ``on_dispatch(index, pid)``
+            each time a job lands on a worker.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[[Any], Any],
+        n_workers: int,
+        *,
+        timeout: float | None = None,
+        retry: RetryPolicy = HOST_RETRY_POLICY,
+        on_error: str = "quarantine",
+        labels: Sequence[str] | None = None,
+        on_dispatch: Callable[[int, int], None] | None = None,
+    ) -> None:
+        check_positive("n_workers", n_workers)
+        if timeout is not None and timeout <= 0:
+            raise ConfigurationError(f"timeout must be > 0, got {timeout}")
+        if on_error not in ON_ERROR_MODES:
+            raise ConfigurationError(
+                f"on_error must be one of {ON_ERROR_MODES}, got {on_error!r}"
+            )
+        self.fn = fn
+        self.n_workers = int(n_workers)
+        self.timeout = timeout
+        self.retry = retry
+        self.on_error = on_error
+        self.labels = labels
+        self.on_dispatch = on_dispatch
+        self.stats = SupervisorStats()
+        self._ctx = multiprocessing.get_context("fork")
+        self._rng = np.random.default_rng(0)  # backoff jitter stream
+        self._slots: list[_Slot] = []
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self, n_slots: int) -> None:
+        """Fork the initial workers (raises ``OSError`` when fork fails)."""
+        self._slots = []
+        try:
+            for _ in range(n_slots):
+                self._slots.append(self._spawn_slot())
+        except OSError:
+            self._shutdown()
+            raise
+
+    def _spawn_slot(self) -> _Slot:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_worker_main, args=(self.fn, child_conn), daemon=True
+        )
+        process.start()
+        child_conn.close()
+        self.stats.respawns += 1
+        return _Slot(process, parent_conn)
+
+    def _retire_slot(self, slot: _Slot, *, kill: bool = False) -> None:
+        try:
+            slot.conn.close()
+        except OSError:
+            pass
+        if kill and slot.process.is_alive():
+            slot.process.kill()
+        slot.process.join(timeout=5.0)
+        if slot.process.is_alive():  # pragma: no cover - last resort
+            slot.process.kill()
+            slot.process.join(timeout=5.0)
+        slot.process.close()
+
+    def worker_pids(self) -> list[int]:
+        """PIDs of the current worker processes (chaos/testing hook)."""
+        return [
+            slot.process.pid
+            for slot in self._slots
+            if slot.process.pid is not None
+        ]
+
+    def busy_pids(self) -> list[int]:
+        """PIDs of workers currently executing a job."""
+        return [
+            slot.process.pid
+            for slot in self._slots
+            if slot.task is not None and slot.process.pid is not None
+        ]
+
+    # -- helpers -------------------------------------------------------
+    def _label(self, index: int) -> str:
+        if self.labels is not None and index < len(self.labels):
+            return self.labels[index]
+        return f"job[{index}]"
+
+    def _fail_attempt(
+        self,
+        task: _Task,
+        error: tuple[str, str, str],
+        queue: deque[_Task],
+        now: float,
+    ) -> CellFailure | None:
+        """Record a failed attempt: requeue with backoff, or give up.
+
+        Returns the :class:`CellFailure` when the retry budget is spent
+        (quarantine mode); raises in ``on_error="raise"`` mode.
+        """
+        task.attempts += 1
+        task.last_error = error
+        if task.attempts < self.retry.max_attempts:
+            task.not_before = now + self.retry.delay(task.attempts - 1, self._rng)
+            self.stats.retries += 1
+            queue.append(task)
+            return None
+        self.stats.quarantined += 1
+        failure = CellFailure(
+            index=task.index,
+            label=self._label(task.index),
+            attempts=task.attempts,
+            error_type=error[0],
+            message=error[1],
+            traceback_text=error[2],
+        )
+        if self.on_error == "raise":
+            raise WorkerError(
+                failure.label,
+                failure.index,
+                failure.error_type,
+                f"{failure.message} [after {failure.attempts} attempt(s)]",
+                failure.traceback_text,
+            )
+        return failure
+
+    def _raise_non_retryable(self, task: _Task, error: tuple[str, str, str]):
+        raise WorkerError(
+            self._label(task.index), task.index, error[0], error[1], error[2]
+        )
+
+    # -- the supervision loop ------------------------------------------
+    def run(self, jobs: Sequence[Any]) -> Iterator[tuple[int, Any]]:
+        """Yield ``(index, result-or-CellFailure)`` in completion order."""
+        queue: deque[_Task] = deque(
+            _Task(index, job) for index, job in enumerate(jobs)
+        )
+        outstanding = len(queue)
+        try:
+            if not self._slots:
+                self.start(min(self.n_workers, len(jobs)))
+            while outstanding:
+                now = time.monotonic()
+
+                # Kill and account jobs that blew their wall-clock budget.
+                if self.timeout is not None:
+                    for slot in self._slots:
+                        if (
+                            slot.task is not None
+                            and now - slot.dispatched_at > self.timeout
+                        ):
+                            task = slot.task
+                            slot.task = None
+                            self.stats.timeouts += 1
+                            self._retire_slot(slot, kill=True)
+                            self._replace(slot)
+                            failure = self._fail_attempt(
+                                task,
+                                (
+                                    "CellTimeout",
+                                    f"exceeded {self.timeout:g}s wall-clock "
+                                    f"budget; worker killed",
+                                    "",
+                                ),
+                                queue,
+                                now,
+                            )
+                            if failure is not None:
+                                outstanding -= 1
+                                yield task.index, failure
+
+                # Dispatch ready tasks onto idle workers.
+                for position in range(len(self._slots)):
+                    slot = self._slots[position]
+                    if slot.task is not None or not queue:
+                        continue
+                    task = self._next_ready(queue, now)
+                    if task is None:
+                        break
+                    if not slot.process.is_alive():
+                        self._retire_slot(slot)
+                        self._replace(slot)
+                        slot = self._slots[position]
+                    try:
+                        slot.conn.send((task.index, task.job))
+                    except (BrokenPipeError, OSError):
+                        # Worker died between jobs; replace and count the
+                        # dispatch as a failed attempt of this task.
+                        self.stats.crashes += 1
+                        self._retire_slot(slot, kill=True)
+                        self._replace(slot)
+                        failure = self._fail_attempt(
+                            task,
+                            ("WorkerCrash", "worker unreachable at dispatch", ""),
+                            queue,
+                            now,
+                        )
+                        if failure is not None:
+                            outstanding -= 1
+                            yield task.index, failure
+                        continue
+                    slot.task = task
+                    slot.dispatched_at = now
+                    if self.on_dispatch is not None:
+                        self.on_dispatch(task.index, slot.process.pid)
+
+                busy = [slot for slot in self._slots if slot.task is not None]
+                if not busy and not queue:
+                    break  # nothing left anywhere (all yielded)
+                if not busy:
+                    # Only backoff-delayed retries remain: sleep until due.
+                    wake = min(task.not_before for task in queue)
+                    time.sleep(max(0.0, wake - now))
+                    continue
+
+                ready = connection.wait(
+                    [slot.conn for slot in busy]
+                    + [slot.process.sentinel for slot in busy],
+                    timeout=self._wait_timeout(queue, busy, now),
+                )
+                conn_to_slot = {slot.conn: slot for slot in busy}
+                sentinel_to_slot = {slot.process.sentinel: slot for slot in busy}
+                handled: set[int] = set()
+                for obj in ready:
+                    slot = conn_to_slot.get(obj) or sentinel_to_slot.get(obj)
+                    if slot is None or id(slot) in handled or slot.task is None:
+                        continue
+                    handled.add(id(slot))
+                    outstanding -= self._reap(slot, queue, yield_to := [])
+                    for index, outcome in yield_to:
+                        yield index, outcome
+        finally:
+            self._shutdown()
+
+    def _replace(self, dead: _Slot) -> None:
+        self._slots[self._slots.index(dead)] = self._spawn_slot()
+
+    def _next_ready(self, queue: deque[_Task], now: float) -> _Task | None:
+        """Pop the first task whose backoff delay has elapsed."""
+        for _ in range(len(queue)):
+            task = queue.popleft()
+            if task.not_before <= now:
+                return task
+            queue.append(task)
+        return None
+
+    def _wait_timeout(
+        self, queue: deque[_Task], busy: list[_Slot], now: float
+    ) -> float | None:
+        deadlines = []
+        if self.timeout is not None:
+            deadlines += [
+                slot.dispatched_at + self.timeout for slot in busy
+            ]
+        deadlines += [task.not_before for task in queue if task.not_before > now]
+        if not deadlines:
+            return None
+        return max(0.0, min(deadlines) - now) + 0.005
+
+    def _reap(
+        self,
+        slot: _Slot,
+        queue: deque[_Task],
+        out: list[tuple[int, Any]],
+    ) -> int:
+        """Collect one worker's message (or death); returns jobs settled."""
+        task = slot.task
+        assert task is not None
+        now = time.monotonic()
+        try:
+            if slot.conn.poll(0):
+                index, status, payload, retryable = slot.conn.recv()
+            elif not slot.process.is_alive():
+                raise EOFError  # died without a message
+            else:
+                return 0  # sentinel raced a still-alive worker; wait more
+        except (EOFError, OSError):
+            # Hard death mid-job: SIGKILL, OOM kill, or interpreter abort.
+            slot.task = None
+            self.stats.crashes += 1
+            self._retire_slot(slot, kill=True)
+            self._replace(slot)
+            failure = self._fail_attempt(
+                task,
+                (
+                    "WorkerCrash",
+                    "worker process died mid-job (SIGKILL/OOM?)",
+                    "",
+                ),
+                queue,
+                now,
+            )
+            if failure is not None:
+                out.append((task.index, failure))
+                return 1
+            return 0
+        slot.task = None
+        if status == "ok":
+            self.stats.completed += 1
+            out.append((index, payload))
+            return 1
+        if not retryable:
+            self._raise_non_retryable(task, payload)
+        failure = self._fail_attempt(task, payload, queue, now)
+        if failure is not None:
+            out.append((task.index, failure))
+            return 1
+        return 0
+
+    def _shutdown(self) -> None:
+        for slot in self._slots:
+            try:
+                slot.conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+            self._retire_slot(slot, kill=True)
+        self._slots = []
+
+
+def _serial_supervised(
+    fn: Callable[[Any], Any],
+    jobs: Sequence[Any],
+    retry: RetryPolicy,
+    on_error: str,
+    labels: Sequence[str] | None,
+) -> Iterator[tuple[int, Any]]:
+    """In-process degradation path: same retry/quarantine, no isolation."""
+    rng = np.random.default_rng(0)
+    for index, job in enumerate(jobs):
+        attempts = 0
+        while True:
+            try:
+                yield index, fn(job)
+                break
+            except (KeyboardInterrupt, SystemExit, ConfigurationError):
+                raise
+            except Exception as exc:
+                attempts += 1
+                if attempts < retry.max_attempts:
+                    time.sleep(retry.delay(attempts - 1, rng))
+                    continue
+                if on_error == "raise":
+                    raise
+                label = labels[index] if labels and index < len(labels) else f"job[{index}]"
+                yield index, CellFailure(
+                    index=index,
+                    label=label,
+                    attempts=attempts,
+                    error_type=type(exc).__name__,
+                    message=str(exc),
+                    traceback_text=traceback.format_exc(),
+                )
+                break
+
+
+def supervised_imap(
+    fn: Callable[[Any], Any],
+    jobs: Sequence[Any],
+    n_workers: int = 1,
+    *,
+    timeout: float | None = None,
+    retry: RetryPolicy = HOST_RETRY_POLICY,
+    on_error: str = "quarantine",
+    labels: Sequence[str] | None = None,
+    on_dispatch: Callable[[int, int], None] | None = None,
+    stats: SupervisorStats | None = None,
+) -> Iterator[tuple[int, Any]]:
+    """Fault-tolerant :func:`~repro.parallel.parallel_imap`.
+
+    Yields ``(index, outcome)`` in completion order, where ``outcome`` is
+    the job's result or a :class:`CellFailure` for quarantined jobs.
+    Falls back to serial in-process execution (identical retry and
+    quarantine semantics, no timeouts) with ``n_workers <= 1``, a single
+    job, no ``fork`` support, or a pool that fails to start.
+
+    Pass a :class:`SupervisorStats` as ``stats`` to receive the pool's
+    fault accounting (crashes, timeouts, retries, quarantines).
+    """
+    check_positive("n_workers", n_workers)
+    n_workers = min(int(n_workers), len(jobs))
+    if n_workers > 1 and len(jobs) > 1 and fork_available():
+        pool = SupervisedPool(
+            fn,
+            n_workers,
+            timeout=timeout,
+            retry=retry,
+            on_error=on_error,
+            labels=labels,
+            on_dispatch=on_dispatch,
+        )
+        if stats is not None:
+            pool.stats = stats
+        try:
+            # Fork eagerly so setup failure degrades *before* any result
+            # is yielded (a mid-run fallback would re-run yielded jobs).
+            pool.start(n_workers)
+        except OSError as exc:
+            warnings.warn(
+                f"supervised pool unavailable ({exc}); degrading to serial "
+                "execution",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        else:
+            yield from pool.run(jobs)
+            return
+    yield from _serial_supervised(fn, jobs, retry, on_error, labels)

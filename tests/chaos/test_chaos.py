@@ -1,0 +1,124 @@
+"""Chaos harness: real host faults must not change sweep results."""
+
+import functools
+
+import pytest
+
+from repro.chaos import (
+    ChaosPlan,
+    chaos_execute_cell,
+    results_identical,
+    run_chaos,
+)
+from repro.chaos.harness import diff_results
+from repro.chemistry.tasks import synthetic_task_graph
+from repro.core import StudyConfig, SweepRunner, study_cells
+from repro.faults import RetryPolicy
+from repro.parallel import CellFailure
+
+FAST_RETRY = RetryPolicy(max_attempts=3, base_delay=0.01, max_delay=0.05, jitter=0.0)
+
+
+@pytest.fixture(scope="module")
+def tiny_cells():
+    graph = synthetic_task_graph(60, 8, seed=5, skew=1.2)
+    config = StudyConfig(
+        models=("static_block", "work_stealing"), n_ranks=(4,), seed=0
+    )
+    return study_cells(config, graph)
+
+
+@pytest.fixture(scope="module")
+def reference(tiny_cells):
+    return SweepRunner(jobs=1, cache=None).run_cells(tiny_cells)
+
+
+class TestResultsIdentical:
+    def test_identical_runs_compare_equal(self, tiny_cells, reference):
+        again = SweepRunner(jobs=1, cache=None).run_cells(tiny_cells)
+        for a, b in zip(reference, again):
+            assert results_identical(a, b)
+            assert diff_results(a, b) == []
+
+    def test_different_cells_differ(self, reference):
+        assert not results_identical(reference[0], reference[1])
+        assert diff_results(reference[0], reference[1])
+
+    def test_array_mutation_detected(self, reference):
+        import copy
+
+        mutated = copy.deepcopy(reference[0])
+        mutated.task_starts[0] += 1e-9
+        assert "task_starts" in diff_results(reference[0], mutated)
+
+    def test_type_mismatch_reported(self, reference):
+        assert not results_identical(reference[0], "not a result")
+
+
+class TestChaosExecuteCell:
+    def test_no_plan_faults_is_plain_execution(self, tiny_cells, reference, tmp_path):
+        plan = ChaosPlan(marker_dir=str(tmp_path))
+        got = chaos_execute_cell(plan, tiny_cells[0])
+        assert results_identical(reference[0], got)
+
+    def test_poison_label_raises_every_attempt(self, tiny_cells, tmp_path):
+        plan = ChaosPlan(marker_dir=str(tmp_path), fail=(tiny_cells[0].label,))
+        for _ in range(3):  # not first-attempt-gated
+            with pytest.raises(RuntimeError, match="chaos poison"):
+                chaos_execute_cell(plan, tiny_cells[0])
+
+    def test_hang_fires_once(self, tiny_cells, reference, tmp_path):
+        plan = ChaosPlan(
+            marker_dir=str(tmp_path),
+            hang=(tiny_cells[0].label,),
+            hang_seconds=0.2,  # short: verify the marker gating in-process
+        )
+        first = chaos_execute_cell(plan, tiny_cells[0])
+        second = chaos_execute_cell(plan, tiny_cells[0])
+        assert results_identical(reference[0], first)
+        assert results_identical(reference[0], second)
+        assert len(list(tmp_path.iterdir())) == 1  # one marker, one firing
+
+
+class TestChaosSweeps:
+    def test_sigkill_mid_cell_bit_for_bit(self, tiny_cells, reference, tmp_path):
+        plan = ChaosPlan(
+            marker_dir=str(tmp_path), kill=(tiny_cells[0].label,)
+        )
+        runner = SweepRunner(
+            jobs=2,
+            cache=None,
+            retry=FAST_RETRY,
+            on_error="quarantine",
+            cell_fn=functools.partial(chaos_execute_cell, plan),
+        )
+        got = runner.run_cells(tiny_cells)
+        assert runner.supervisor_stats.crashes >= 1
+        assert not runner.last_failures
+        for ref, result in zip(reference, got):
+            assert results_identical(ref, result)
+
+    def test_poison_cell_quarantined_rest_identical(
+        self, tiny_cells, reference, tmp_path
+    ):
+        poison = tiny_cells[1].label
+        plan = ChaosPlan(marker_dir=str(tmp_path), fail=(poison,))
+        runner = SweepRunner(
+            jobs=2,
+            cache=None,
+            retry=FAST_RETRY,
+            on_error="quarantine",
+            cell_fn=functools.partial(chaos_execute_cell, plan),
+        )
+        got = runner.run_cells(tiny_cells)
+        assert isinstance(got[1], CellFailure)
+        assert got[1].attempts == FAST_RETRY.max_attempts
+        assert runner.stats.failed == 1
+        assert results_identical(reference[0], got[0])
+
+
+@pytest.mark.slow
+def test_full_quick_chaos_suite(tmp_path):
+    report = run_chaos(quick=True, workdir=tmp_path)
+    assert report.passed, report.format()
+    assert len(report.scenarios) == 3

@@ -152,6 +152,114 @@ class TestResultCache:
         assert runner.stats.computed == 2
         assert pickle.loads(path.read_bytes()) is not None
 
+    def test_truncated_entry_is_miss_and_removed(self, synthetic_graph, tmp_path):
+        runner = SweepRunner(cache=tmp_path)
+        cell = SweepCell(
+            model="static_block",
+            graph=synthetic_graph,
+            machine=commodity_cluster(4),
+        )
+        fresh = runner.run_cell(cell)
+        key = runner.cell_key(cell)
+        path = runner.cache.path_for(key)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])  # torn write
+        assert runner.cache.get(key) is None
+        assert not path.exists()
+        # Self-heals: the next run recomputes and re-stores a valid entry.
+        healed = runner.run_cell(cell)
+        assert_results_identical(fresh, healed)
+        assert runner.cache.get(key) is not None
+
+    def test_zero_byte_entry_is_miss(self, synthetic_graph, tmp_path):
+        runner = SweepRunner(cache=tmp_path)
+        cell = SweepCell(
+            model="static_block",
+            graph=synthetic_graph,
+            machine=commodity_cluster(4),
+        )
+        runner.run_cell(cell)
+        key = runner.cell_key(cell)
+        path = runner.cache.path_for(key)
+        path.write_bytes(b"")
+        errors_before = runner.cache.stats.errors
+        assert runner.cache.get(key) is None
+        assert runner.cache.stats.errors == errors_before + 1
+        assert not path.exists()
+
+    def test_json_text_entry_is_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("k" * 64, {"x": 1})
+        path = cache.path_for("k" * 64)
+        path.write_bytes(b'{"looks": "like json, not pickle"}')
+        assert cache.get("k" * 64) is None
+        assert not path.exists()
+
+    def test_wrong_schema_pickle_is_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "a" * 64
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # A perfectly valid pickle that is not the cache's envelope:
+        # unpickles fine but must be rejected, not returned as a result.
+        path.write_bytes(pickle.dumps({"makespan": 1.0}))
+        assert cache.get(key) is None
+        assert not path.exists()
+        assert cache.stats.errors == 1
+
+    def test_wrong_key_envelope_is_miss(self, tmp_path):
+        # An entry copied/renamed to another key's path: the envelope's
+        # recorded key disagrees with the address, so it must not be
+        # served (it would be the wrong cell's result).
+        cache = ResultCache(tmp_path)
+        cache.put("b" * 64, "value-for-b")
+        wrong = cache.path_for("c" * 64)
+        wrong.parent.mkdir(parents=True, exist_ok=True)
+        wrong.write_bytes(cache.path_for("b" * 64).read_bytes())
+        assert cache.get("c" * 64) is None
+        assert cache.get("b" * 64) == "value-for-b"
+
+    def test_get_never_raises_on_corruption(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "d" * 64
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        for garbage in (b"", b"\x80", b"\x80\x05garbage", b"x" * 1000):
+            path.write_bytes(garbage)
+            assert cache.get(key) is None  # must not raise
+
+    def test_concurrent_writers_same_key(self, tmp_path):
+        # Many threads racing put() on one key: every temp file is
+        # unique (pid + counter), the final rename is atomic, and get()
+        # always observes a complete, valid entry.
+        import threading
+
+        cache = ResultCache(tmp_path)
+        key = "e" * 64
+        value = {"arr": np.arange(512), "tag": "race"}
+        errors = []
+
+        def writer():
+            try:
+                for _ in range(20):
+                    cache.put(key, value)
+                    got = cache.get(key)
+                    if got is not None and got["tag"] != "race":
+                        errors.append("partial read")
+            except Exception as exc:  # pragma: no cover - the failure case
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        got = cache.get(key)
+        assert got is not None and (got["arr"] == value["arr"]).all()
+        # No temp-file litter left behind.
+        assert not list(tmp_path.glob("**/*.tmp.*"))
+
     def test_clear(self, synthetic_graph, tmp_path):
         cache = ResultCache(tmp_path)
         runner = SweepRunner(cache=cache)

@@ -1,0 +1,124 @@
+"""Checkpoint journal: durability, corruption tolerance, resume."""
+
+import json
+import signal
+
+import pytest
+
+from repro.core import JournalEntry, SweepJournal, sweep_id
+from repro.core.journal import deferred_signals
+
+
+def entry(key, status="done", **kw):
+    return JournalEntry(key=key, label=f"label-{key}", status=status, **kw)
+
+
+class TestSweepId:
+    def test_order_independent(self):
+        assert sweep_id(["a", "b", "c"]) == sweep_id(["c", "a", "b"])
+
+    def test_content_sensitive(self):
+        assert sweep_id(["a", "b"]) != sweep_id(["a", "b2"])
+        assert sweep_id(["a"]) != sweep_id(["a", "a"])
+
+
+class TestSweepJournal:
+    def test_append_load_roundtrip(self, tmp_path):
+        journal = SweepJournal(tmp_path / "j.jsonl")
+        journal.append(entry("k1", attempts=2, result_path="/tmp/x"))
+        journal.append(entry("k2", status="failed", error="ValueError: boom"))
+        loaded = journal.load()
+        assert set(loaded) == {"k1", "k2"}
+        assert loaded["k1"].attempts == 2
+        assert loaded["k1"].result_path == "/tmp/x"
+        assert loaded["k2"].status == "failed"
+        assert loaded["k2"].error == "ValueError: boom"
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert SweepJournal(tmp_path / "nope.jsonl").load() == {}
+
+    def test_later_lines_win(self, tmp_path):
+        journal = SweepJournal(tmp_path / "j.jsonl")
+        journal.append(entry("k", status="failed", error="first try"))
+        journal.append(entry("k", status="done"))
+        assert journal.load()["k"].status == "done"
+
+    def test_torn_trailing_line_skipped(self, tmp_path):
+        journal = SweepJournal(tmp_path / "j.jsonl")
+        journal.append(entry("k1"))
+        journal.append(entry("k2"))
+        data = journal.path.read_bytes()
+        journal.path.write_bytes(data[:-15])  # tear the final line
+        assert set(journal.load()) == {"k1"}
+
+    def test_garbage_lines_skipped(self, tmp_path):
+        journal = SweepJournal(tmp_path / "j.jsonl")
+        journal.append(entry("k1"))
+        with open(journal.path, "a") as fh:
+            fh.write("#### not json ####\n")
+            fh.write('"a json string, not an object"\n')
+            fh.write('{"v": 99, "key": "alien", "status": "done"}\n')
+            fh.write('{"v": 1, "key": "k3", "status": "exploded"}\n')
+        journal.append(entry("k2"))
+        assert set(journal.load()) == {"k1", "k2"}
+
+    def test_append_heals_torn_tail(self, tmp_path):
+        # A torn write leaves no trailing newline; the next append must
+        # not merge its entry into the fragment (losing both lines).
+        path = tmp_path / "j.jsonl"
+        first = SweepJournal(path)
+        first.append(entry("k1"))
+        data = path.read_bytes()
+        path.write_bytes(data + b'{"v":1,"key":"torn')  # no newline
+        second = SweepJournal(path)
+        second.append(entry("k2"))
+        assert set(second.load()) == {"k1", "k2"}
+
+    def test_rotate_discards(self, tmp_path):
+        journal = SweepJournal(tmp_path / "j.jsonl")
+        journal.append(entry("k1"))
+        journal.rotate()
+        assert journal.load() == {}
+        assert len(journal) == 0
+        journal.rotate()  # idempotent on a missing file
+
+    def test_for_sweep_keyed_by_grid(self, tmp_path):
+        a = SweepJournal.for_sweep(tmp_path, ["k1", "k2"])
+        same = SweepJournal.for_sweep(tmp_path, ["k2", "k1"])
+        other = SweepJournal.for_sweep(tmp_path, ["k1", "k3"])
+        assert a.path == same.path
+        assert a.path != other.path
+        assert a.path.parent == tmp_path
+
+    def test_lines_are_json_with_version(self, tmp_path):
+        journal = SweepJournal(tmp_path / "j.jsonl")
+        journal.append(entry("k1"))
+        record = json.loads(journal.path.read_text().strip())
+        assert record["v"] == 1
+        assert record["key"] == "k1"
+        assert record["status"] == "done"
+
+
+class TestDeferredSignals:
+    def test_sigint_held_until_exit(self):
+        reached_end = False
+        with pytest.raises(KeyboardInterrupt):
+            with deferred_signals():
+                signal.raise_signal(signal.SIGINT)
+                reached_end = True  # the critical section completes
+        assert reached_end
+
+    def test_no_signal_no_effect(self):
+        with deferred_signals():
+            pass  # nothing raised, handlers restored
+
+    def test_custom_handler_redelivered(self):
+        hits = []
+        previous = signal.signal(signal.SIGUSR1, lambda s, f: hits.append(s))
+        try:
+            with deferred_signals(signals=(signal.SIGUSR1,)):
+                signal.raise_signal(signal.SIGUSR1)
+                assert hits == []  # held inside the section
+            assert hits == [signal.SIGUSR1]  # delivered on exit
+        finally:
+            signal.signal(signal.SIGUSR1, previous)

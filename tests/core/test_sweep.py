@@ -1,5 +1,7 @@
 """Sweep orchestrator: grid expansion, ordering, parallel equivalence."""
 
+import functools
+
 import pytest
 
 from repro.core import (
@@ -10,6 +12,7 @@ from repro.core import (
     run_study,
     study_cells,
 )
+from repro.faults import RetryPolicy
 from repro.parallel import fork_available
 from repro.simulate import commodity_cluster
 from repro.util import ConfigurationError
@@ -151,3 +154,140 @@ class TestSweepRunner:
     def test_bad_jobs_rejected(self):
         with pytest.raises(ConfigurationError, match="jobs"):
             SweepRunner(jobs=0)
+
+    def test_resume_requires_journal(self):
+        with pytest.raises(ConfigurationError, match="resume"):
+            SweepRunner(resume=True)
+
+
+def _fail_label(label):
+    """Picklable cell_fn factory: poison exactly one cell label."""
+    return functools.partial(_fail_label_fn, label)
+
+
+def _fail_label_fn(label, cell):
+    if cell.label == label:
+        raise RuntimeError(f"injected failure for {label}")
+    return execute_cell(cell)
+
+
+class TestQuarantine:
+    def test_failed_cell_recorded_not_raised(self, synthetic_graph):
+        config = StudyConfig(
+            models=("static_block", "work_stealing"), n_ranks=(4,), seed=1
+        )
+        runner = SweepRunner(
+            on_error="quarantine",
+            retry=RetryPolicy(max_attempts=2, base_delay=0.01, max_delay=0.02),
+            cell_fn=_fail_label("work_stealing@P=4"),
+        )
+        report = runner.run_study(config, synthetic_graph)
+        assert len(report.failures) == 1
+        assert not report.complete
+        failure = report.failures[0]
+        assert failure.label == "work_stealing@P=4"
+        assert failure.attempts == 2
+        assert runner.stats.failed == 1
+        assert runner.last_provenance == ["fresh", "failed"]
+        # The surviving cell still matches an undisturbed run.
+        clean = run_study(
+            StudyConfig(models=("static_block",), n_ranks=(4,), seed=1),
+            synthetic_graph,
+        )
+        assert_results_identical(
+            report.get("static_block", 4), clean.get("static_block", 4)
+        )
+
+    def test_raise_mode_propagates(self, synthetic_graph):
+        config = StudyConfig(models=("static_block",), n_ranks=(4,), seed=1)
+        runner = SweepRunner(
+            on_error="raise",
+            retry=RetryPolicy(max_attempts=2, base_delay=0.01, max_delay=0.02),
+            cell_fn=_fail_label("static_block@P=4"),
+        )
+        with pytest.raises(RuntimeError, match="injected failure"):
+            runner.run_study(config, synthetic_graph)
+        # Accounting still flushed by the finally block.
+        assert runner.last_provenance == ["pending"]
+
+
+class TestJournalResume:
+    def _interrupting_runner(self, stop_after, **kw):
+        ticks = {"n": 0}
+
+        def interrupter(event):
+            ticks["n"] += 1
+            if ticks["n"] >= stop_after:
+                raise KeyboardInterrupt
+
+        return SweepRunner(progress=interrupter, **kw)
+
+    def test_interrupt_then_resume_recomputes_only_unfinished(
+        self, synthetic_graph, tmp_path
+    ):
+        config = StudyConfig(
+            models=("static_block", "counter_dynamic", "work_stealing"),
+            n_ranks=(4, 8),
+            seed=4,
+        )
+        cache = tmp_path / "cache"
+        journal = tmp_path / "journal"
+        first = self._interrupting_runner(3, cache=cache, journal=journal)
+        with pytest.raises(KeyboardInterrupt):
+            first.run_study(config, synthetic_graph)
+        assert first.stats.computed == 3
+        assert first.last_provenance.count("pending") == 3
+
+        second = SweepRunner(cache=cache, journal=journal, resume=True)
+        report = second.run_study(config, synthetic_graph)
+        assert second.stats.resumed == 3
+        assert second.stats.computed == 3
+        assert second.stats.cached == 0
+        assert sorted(report.provenance.values()) == [
+            "fresh", "fresh", "fresh", "resumed", "resumed", "resumed",
+        ]
+        clean = run_study(config, synthetic_graph)
+        for key in clean.results:
+            assert_results_identical(clean.results[key], report.results[key])
+
+    def test_journal_without_cache_uses_sidecar_store(
+        self, synthetic_graph, tmp_path
+    ):
+        config = StudyConfig(models=("static_block",), n_ranks=(4, 8), seed=4)
+        journal = tmp_path / "journal"
+        first = self._interrupting_runner(1, cache=None, journal=journal)
+        with pytest.raises(KeyboardInterrupt):
+            first.run_study(config, synthetic_graph)
+        # Results land in the journal's sidecar object store.
+        assert list((journal / "objects").glob("*/*.pkl"))
+
+        second = SweepRunner(cache=None, journal=journal, resume=True)
+        report = second.run_study(config, synthetic_graph)
+        assert second.stats.resumed == 1
+        assert second.stats.computed == 1
+        clean = run_study(config, synthetic_graph)
+        for key in clean.results:
+            assert_results_identical(clean.results[key], report.results[key])
+
+    def test_fresh_run_rotates_stale_journal(self, synthetic_graph, tmp_path):
+        config = StudyConfig(models=("static_block",), n_ranks=(4,), seed=4)
+        journal = tmp_path / "journal"
+        SweepRunner(journal=journal).run_study(config, synthetic_graph)
+        # Without resume=True, the second run starts a fresh journal and
+        # recomputes (the journal is a checkpoint, not a cache).
+        runner = SweepRunner(journal=journal)
+        runner.run_study(config, synthetic_graph)
+        assert runner.stats.resumed == 0
+        assert runner.stats.computed == 1
+
+    def test_stale_journal_matches_nothing(self, synthetic_graph, tmp_path):
+        journal = tmp_path / "journal"
+        old = StudyConfig(models=("static_block",), n_ranks=(4,), seed=4)
+        SweepRunner(journal=journal).run_study(old, synthetic_graph)
+        # A different grid resumes a *different* (empty) journal file:
+        # content-addressed naming means no cross-grid contamination.
+        new = StudyConfig(models=("static_block",), n_ranks=(8,), seed=4)
+        runner = SweepRunner(journal=journal, resume=True)
+        runner.run_study(new, synthetic_graph)
+        assert runner.stats.resumed == 0
+        assert runner.stats.computed == 1

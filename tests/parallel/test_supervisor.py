@@ -1,0 +1,260 @@
+"""Supervised pool: crash recovery, timeouts, retry, quarantine."""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.faults import RetryPolicy
+from repro.parallel import (
+    CellFailure,
+    SupervisedPool,
+    SupervisorStats,
+    WorkerError,
+    supervised_imap,
+)
+from repro.util import ConfigurationError
+
+#: Fast retries so failure-path tests don't sleep human-scale backoffs.
+FAST_RETRY = RetryPolicy(max_attempts=3, base_delay=0.01, max_delay=0.05, jitter=0.0)
+
+
+def square(x):
+    return x * x
+
+
+def _first_attempt(marker: str) -> bool:
+    try:
+        fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    os.close(fd)
+    return True
+
+
+def crash_once(job):
+    """SIGKILL our own worker process on the first attempt of job[0]."""
+    value, marker = job
+    if value == 0 and _first_attempt(marker):
+        os.kill(os.getpid(), signal.SIGKILL)
+    return value * 10
+
+
+def hang_once(job):
+    """Sleep far past the pool timeout on the first attempt of job[0]."""
+    value, marker = job
+    if value == 0 and _first_attempt(marker):
+        time.sleep(60.0)
+    return value * 10
+
+
+def poison(job):
+    value = job[0] if isinstance(job, tuple) else job
+    if value == 2:
+        raise ValueError(f"poison {value}")
+    return value * 10
+
+
+def bad_config(job):
+    if job == 1:
+        raise ConfigurationError("unusable cell")
+    return job
+
+
+def flaky_then_ok(job):
+    value, marker = job
+    if _first_attempt(marker):
+        raise RuntimeError("transient")
+    return value + 100
+
+
+def collect(iterator, n):
+    """Materialize (index, outcome) pairs into a results list."""
+    results = [None] * n
+    for index, outcome in iterator:
+        results[index] = outcome
+    return results
+
+
+class TestSupervisedImapParallel:
+    def test_matches_serial(self):
+        jobs = list(range(8))
+        got = collect(supervised_imap(square, jobs, n_workers=4), len(jobs))
+        assert got == [square(x) for x in jobs]
+
+    def test_worker_sigkill_recovered(self, tmp_path):
+        jobs = [(i, str(tmp_path / "kill")) for i in range(6)]
+        stats = SupervisorStats()
+        got = collect(
+            supervised_imap(
+                crash_once, jobs, n_workers=3, retry=FAST_RETRY, stats=stats
+            ),
+            len(jobs),
+        )
+        assert got == [i * 10 for i in range(6)]
+        assert stats.crashes >= 1
+        assert stats.retries >= 1
+        assert stats.respawns > 3  # initial forks plus the replacement
+
+    def test_hung_job_times_out_and_retries(self, tmp_path):
+        jobs = [(i, str(tmp_path / "hang")) for i in range(4)]
+        stats = SupervisorStats()
+        start = time.monotonic()
+        got = collect(
+            supervised_imap(
+                hang_once,
+                jobs,
+                n_workers=2,
+                timeout=1.0,
+                retry=FAST_RETRY,
+                stats=stats,
+            ),
+            len(jobs),
+        )
+        elapsed = time.monotonic() - start
+        assert got == [i * 10 for i in range(4)]
+        assert stats.timeouts >= 1
+        assert elapsed < 30.0  # the 60s sleep was cut short by the kill
+
+    def test_poison_job_quarantined(self):
+        jobs = list(range(5))
+        stats = SupervisorStats()
+        got = collect(
+            supervised_imap(
+                poison,
+                jobs,
+                n_workers=2,
+                retry=FAST_RETRY,
+                on_error="quarantine",
+                labels=[f"cell-{i}" for i in jobs],
+                stats=stats,
+            ),
+            len(jobs),
+        )
+        failure = got[2]
+        assert isinstance(failure, CellFailure)
+        assert failure.label == "cell-2"
+        assert failure.attempts == FAST_RETRY.max_attempts
+        assert failure.error_type == "ValueError"
+        assert "poison" in failure.message
+        assert [g for i, g in enumerate(got) if i != 2] == [0, 10, 30, 40]
+        assert stats.quarantined == 1
+
+    def test_poison_job_raises_worker_error(self):
+        with pytest.raises(WorkerError) as excinfo:
+            collect(
+                supervised_imap(
+                    poison,
+                    list(range(4)),
+                    n_workers=2,
+                    retry=FAST_RETRY,
+                    on_error="raise",
+                    labels=["a", "b", "c", "d"],
+                ),
+                4,
+            )
+        assert excinfo.value.label == "c"
+        assert excinfo.value.index == 2
+        assert "3 attempt(s)" in str(excinfo.value)
+
+    def test_non_retryable_raises_immediately(self):
+        stats = SupervisorStats()
+        with pytest.raises(WorkerError) as excinfo:
+            collect(
+                supervised_imap(
+                    bad_config,
+                    [0, 1, 2],
+                    n_workers=2,
+                    retry=FAST_RETRY,
+                    on_error="quarantine",
+                    stats=stats,
+                ),
+                3,
+            )
+        assert excinfo.value.error_type == "ConfigurationError"
+        assert stats.retries == 0  # never retried, never quarantined
+
+    def test_transient_errors_retried(self, tmp_path):
+        jobs = [(i, str(tmp_path / f"flake-{i}")) for i in range(4)]
+        stats = SupervisorStats()
+        got = collect(
+            supervised_imap(
+                flaky_then_ok, jobs, n_workers=2, retry=FAST_RETRY, stats=stats
+            ),
+            len(jobs),
+        )
+        assert got == [100, 101, 102, 103]
+        assert stats.retries == 4  # every job failed exactly once
+
+    def test_on_dispatch_reports_worker_pids(self):
+        seen = []
+        collect(
+            supervised_imap(
+                square,
+                list(range(6)),
+                n_workers=2,
+                on_dispatch=lambda index, pid: seen.append((index, pid)),
+            ),
+            6,
+        )
+        assert sorted(index for index, _ in seen) == list(range(6))
+        assert all(pid != os.getpid() for _, pid in seen)
+
+
+class TestSerialFallback:
+    def test_single_worker_is_serial(self):
+        got = collect(supervised_imap(square, [1, 2, 3], n_workers=1), 3)
+        assert got == [1, 4, 9]
+
+    def test_serial_retry_and_quarantine(self):
+        got = collect(
+            supervised_imap(
+                poison,
+                list(range(4)),
+                n_workers=1,
+                retry=FAST_RETRY,
+                on_error="quarantine",
+            ),
+            4,
+        )
+        assert isinstance(got[2], CellFailure)
+        assert got[2].attempts == FAST_RETRY.max_attempts
+        assert got[2].traceback_text  # serial path captures the traceback
+
+    def test_serial_raise_mode_raises_original(self):
+        with pytest.raises(ValueError, match="poison"):
+            collect(
+                supervised_imap(
+                    poison, list(range(4)), n_workers=1,
+                    retry=FAST_RETRY, on_error="raise",
+                ),
+                4,
+            )
+
+    def test_serial_configuration_error_propagates(self):
+        with pytest.raises(ConfigurationError):
+            collect(
+                supervised_imap(
+                    bad_config, [0, 1], n_workers=1, retry=FAST_RETRY
+                ),
+                2,
+            )
+
+
+class TestSupervisedPoolValidation:
+    def test_bad_on_error_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SupervisedPool(square, 2, on_error="explode")
+
+    def test_bad_timeout_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SupervisedPool(square, 2, timeout=0.0)
+
+    def test_cell_failure_str(self):
+        failure = CellFailure(
+            index=3, label="ws@P=8", attempts=3,
+            error_type="ValueError", message="boom",
+        )
+        text = str(failure)
+        assert "ws@P=8" in text and "ValueError" in text and "3 attempt(s)" in text

@@ -111,6 +111,68 @@ class TestCommands:
         assert main(["workload", "--molecule", "alkane", "--size", "3"]) == 0
 
 
+class TestFaultToleranceFlags:
+    def test_resume_flag_defaults(self):
+        args = build_parser().parse_args(["study"])
+        assert args.resume is False
+        assert args.timeout is None
+        assert args.max_attempts is None
+
+    def test_resume_needs_cache(self, capsys):
+        code = main(
+            ["study", "--size", "1", "--block-size", "3",
+             "--ranks", "4", "--models", "static_block",
+             "--no-cache", "--resume"]
+        )
+        assert code == 2
+        assert "--resume" in capsys.readouterr().err
+
+    def test_study_resume_reuses_journal(self, capsys, tmp_path):
+        argv = [
+            "study", "--size", "1", "--block-size", "3",
+            "--ranks", "4", "--models", "static_block", "work_stealing",
+            "--cache-dir", str(tmp_path), "--progress",
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        # The journal lives next to the cache, one file per sweep grid.
+        assert list((tmp_path / "journal").glob("sweep-*.jsonl"))
+        assert main(argv + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "resumed" in out
+        assert "cache: 2/2" in out
+
+    def test_quarantine_renders_and_exits_nonzero(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        import repro.core.sweep as sweep_mod
+
+        def fail_work_stealing(cell):
+            if cell.model == "work_stealing":
+                raise RuntimeError("injected CLI failure")
+            return sweep_mod.execute_cell(cell)
+
+        monkeypatch.setattr(sweep_mod, "execute_cell", fail_work_stealing)
+        code = main(
+            ["study", "--size", "1", "--block-size", "3",
+             "--ranks", "4", "--models", "static_block", "work_stealing",
+             "--cache-dir", str(tmp_path), "--max-attempts", "1"]
+        )
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "quarantined cells" in captured.out
+        assert "work_stealing@P=4" in captured.out
+        assert "static_block" in captured.out  # partial results still shown
+        assert "partial" in captured.err
+
+    def test_chaos_parser_defaults(self):
+        args = build_parser().parse_args(["chaos", "--quick"])
+        assert args.quick is True
+        assert args.jobs == 3
+        assert args.timeout == 2.0
+        assert args.workdir is None
+
+
 class TestPerfCommands:
     def test_bench_parser_defaults(self):
         args = build_parser().parse_args(["bench"])
