@@ -1,0 +1,97 @@
+"""CI artifact-cache smoke: warm rebuild must hit the store, rows identical.
+
+Runs a two-cell study (the two inspector models that exercise the whole
+build pipeline: screening -> task graph -> hypergraph partition /
+semi-matching) twice against one on-disk artifact store:
+
+- **cold pass** — a fresh store: every intermediate is a miss, built once,
+  and persisted (``stores == misses``).
+- **warm pass** — a *new* :class:`ArtifactStore` on the same directory
+  (fresh in-process memo, as a new process would see): >= 90% of artifact
+  lookups must be served from disk, and the study rows must equal the
+  cold pass's rows bit for bit.
+
+The result cache is disabled throughout, so the warm speed comes from the
+artifact layer alone.
+
+Usage: PYTHONPATH=src python benchmarks/artifact_smoke.py
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+
+from repro.api import (
+    ArtifactStore,
+    ScfProblem,
+    StudyConfig,
+    SweepRunner,
+    use_store,
+    water_cluster,
+)
+
+HIT_RATE_FLOOR = 0.90
+
+CONFIG = StudyConfig(
+    models=("inspector_semi_matching", "inspector_hypergraph"),
+    n_ranks=(16,),
+    seed=5,
+)
+
+
+def run_pass(store: ArtifactStore) -> list[dict]:
+    """Build the problem and run the 2-cell study under ``store``."""
+    with use_store(store):
+        problem = ScfProblem.build(
+            water_cluster(3, seed=0), block_size=6, tau=1.0e-10
+        )
+        report = SweepRunner(jobs=1, cache=None).run_study(CONFIG, problem)
+    return report.rows()
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-artifact-smoke-") as root:
+        cold = ArtifactStore(root)
+        cold_rows = run_pass(cold)
+        print(
+            f"cold pass: {cold.stats.lookups} artifact lookups, "
+            f"{cold.stats.misses} built, {cold.stats.stores} persisted, "
+            f"{cold.stats.memo_hits} memo hits"
+        )
+        if cold.stats.disk_hits:
+            print("FAIL: cold pass hit a supposedly fresh store", file=sys.stderr)
+            return 1
+        if not cold.stats.stores:
+            print("FAIL: cold pass persisted nothing", file=sys.stderr)
+            return 1
+
+        warm = ArtifactStore(root)  # same disk, empty memo
+        warm_rows = run_pass(warm)
+        rebuild_rate = warm.stats.disk_hits / max(
+            warm.stats.disk_hits + warm.stats.misses, 1
+        )
+        print(
+            f"warm pass: {warm.stats.lookups} artifact lookups, "
+            f"{warm.stats.disk_hits} disk hits, {warm.stats.misses} rebuilt "
+            f"(disk-hit rate {rebuild_rate:.0%})"
+        )
+        if rebuild_rate < HIT_RATE_FLOOR:
+            print(
+                f"FAIL: warm disk-hit rate {rebuild_rate:.0%} "
+                f"< {HIT_RATE_FLOOR:.0%}",
+                file=sys.stderr,
+            )
+            return 1
+        if warm_rows != cold_rows:
+            print(
+                "FAIL: warm-pass rows differ from cold-pass rows",
+                file=sys.stderr,
+            )
+            return 1
+    print("artifact smoke OK: warm pass served from the store, rows identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -57,6 +57,13 @@ def cmd_info(args: argparse.Namespace) -> int:
 def cmd_study(args: argparse.Namespace) -> int:
     from repro import api
 
+    cache = None if args.no_cache else (args.cache_dir or api.default_cache_dir())
+    # Configure the artifact store before the problem builds: screening,
+    # task-graph, and balancer intermediates all route through it.
+    if not args.artifact_cache:
+        api.configure_artifacts(enabled=False)
+    elif cache is not None:
+        api.configure_artifacts(pathlib.Path(cache) / "artifacts")
     problem = api.ScfProblem.build(
         _build_molecule(args), block_size=args.block_size, tau=args.tau
     )
@@ -86,7 +93,6 @@ def cmd_study(args: argparse.Namespace) -> int:
         seed=args.seed,
         faults=faults,
     )
-    cache = None if args.no_cache else (args.cache_dir or api.default_cache_dir())
     if args.resume and cache is None:
         print("error: --resume needs the cache (drop --no-cache)", file=sys.stderr)
         return 2
@@ -316,6 +322,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_study.add_argument(
         "--no-cache", action="store_true",
         help="recompute every cell instead of reusing the result cache",
+    )
+    p_study.add_argument(
+        "--artifact-cache", action=argparse.BooleanOptionalAction, default=True,
+        help="memoize screening/task-graph/balancer intermediates "
+        "(on disk under <cache>/artifacts when caching; "
+        "--no-artifact-cache rebuilds everything)",
     )
     p_study.add_argument(
         "--cache-dir", default=None, metavar="DIR",

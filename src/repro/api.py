@@ -33,6 +33,14 @@ from repro.chemistry.molecules import (
 from repro.chemistry.scf import ScfProblem, ScfResult
 from repro.chemistry.scf import run_scf as _run_scf
 from repro.chemistry.tasks import TaskGraph
+from repro.core.artifacts import (
+    ArtifactStats,
+    ArtifactStore,
+    artifact_key,
+    configure_artifacts,
+    default_store,
+    use_store,
+)
 from repro.core.cache import (
     CACHE_SALT,
     CacheStats,
@@ -121,6 +129,13 @@ __all__ = [
     "default_cache_dir",
     "fingerprint",
     "CACHE_SALT",
+    # artifact store (memoized workload/hypergraph/partition builds)
+    "ArtifactStore",
+    "ArtifactStats",
+    "artifact_key",
+    "configure_artifacts",
+    "default_store",
+    "use_store",
     # fault tolerance (host layer)
     "CellFailure",
     "WorkerError",

@@ -9,6 +9,12 @@ that block. A k-way partition with small *connectivity-1* cut
 co-locates tasks that share data, minimizing replicated block traffic —
 the classic (and computationally expensive) formulation the paper compares
 semi-matching against.
+
+Internally the pin structure is CSR-style: one concatenated ``pins``
+array plus ``xpins`` segment offsets. Construction, validation, incidence
+and the cut metrics all run as NumPy segment operations; ``nets`` (the
+list-of-arrays view the partitioner's inner loops iterate) is materialized
+lazily as zero-copy slices of ``pins``.
 """
 
 from __future__ import annotations
@@ -19,13 +25,24 @@ from repro.chemistry.tasks import TaskGraph
 from repro.util import ConfigurationError
 
 
+def _store():
+    # Call-time import: repro.core's package init reaches back into this
+    # layer, so a module-level import would be circular.
+    from repro.core.artifacts import default_store
+
+    return default_store()
+
+
 class Hypergraph:
     """An immutable weighted hypergraph.
 
     Attributes:
         vertex_weights: ``(n_vertices,)`` float weights.
-        nets: list of 1-D int arrays of distinct vertex ids (pins).
+        nets: list of 1-D int arrays of distinct vertex ids (pins);
+            zero-copy views into ``pins``.
         net_weights: ``(n_nets,)`` float weights.
+        pins: ``(n_pins,)`` concatenated pin array (CSR values).
+        xpins: ``(n_nets + 1,)`` segment offsets into ``pins``.
     """
 
     def __init__(
@@ -40,24 +57,72 @@ class Hypergraph:
         if np.any(self.vertex_weights < 0):
             raise ConfigurationError("vertex weights must be non-negative")
         n = self.vertex_weights.size
-        self.nets = []
-        for idx, net in enumerate(nets):
-            pins = np.asarray(net, dtype=np.int64)
-            if pins.size == 0:
-                raise ConfigurationError(f"net {idx} has no pins")
-            if pins.size != np.unique(pins).size:
+        pin_arrays = [np.asarray(net, dtype=np.int64).reshape(-1) for net in nets]
+        sizes = np.fromiter(
+            (p.size for p in pin_arrays), dtype=np.int64, count=len(pin_arrays)
+        )
+        if np.any(sizes == 0):
+            idx = int(np.flatnonzero(sizes == 0)[0])
+            raise ConfigurationError(f"net {idx} has no pins")
+        pins = (
+            np.concatenate(pin_arrays) if pin_arrays else np.empty(0, dtype=np.int64)
+        )
+        xpins = np.zeros(len(pin_arrays) + 1, dtype=np.int64)
+        np.cumsum(sizes, out=xpins[1:])
+        if pins.size:
+            seg = np.repeat(np.arange(len(pin_arrays)), sizes)
+            out_of_range = (pins < 0) | (pins >= n)
+            if np.any(out_of_range):
+                idx = int(seg[np.flatnonzero(out_of_range)[0]])
+                raise ConfigurationError(
+                    f"net {idx} references vertices outside [0, {n})"
+                )
+            order = np.lexsort((pins, seg))
+            sv = pins[order]
+            dup = (seg[1:] == seg[:-1]) & (sv[1:] == sv[:-1])
+            if np.any(dup):
+                idx = int(seg[np.flatnonzero(dup)[0] + 1])
                 raise ConfigurationError(f"net {idx} has duplicate pins")
-            if pins.min() < 0 or pins.max() >= n:
-                raise ConfigurationError(f"net {idx} references vertices outside [0, {n})")
-            self.nets.append(pins)
+        self.pins = pins
+        self.xpins = xpins
+        self._nets: list[np.ndarray] | None = pin_arrays
         self.net_weights = np.asarray(net_weights, dtype=np.float64)
-        if self.net_weights.shape != (len(self.nets),):
+        if self.net_weights.shape != (len(pin_arrays),):
             raise ConfigurationError(
-                f"{len(self.nets)} nets but net_weights has shape {self.net_weights.shape}"
+                f"{len(pin_arrays)} nets but net_weights has shape {self.net_weights.shape}"
             )
         if np.any(self.net_weights < 0):
             raise ConfigurationError("net weights must be non-negative")
         self._vertex_nets: list[list[int]] | None = None
+
+    @classmethod
+    def from_csr(
+        cls,
+        vertex_weights: np.ndarray,
+        xpins: np.ndarray,
+        pins: np.ndarray,
+        net_weights: np.ndarray,
+    ) -> "Hypergraph":
+        """Trusted constructor from CSR arrays (no validation).
+
+        For internal producers whose output is correct by construction
+        (the vectorized Fock builder, contraction, induction, the
+        artifact-store codec); skips the per-net validation pass.
+        """
+        hg = cls.__new__(cls)
+        hg.vertex_weights = np.asarray(vertex_weights, dtype=np.float64)
+        hg.xpins = np.asarray(xpins, dtype=np.int64)
+        hg.pins = np.asarray(pins, dtype=np.int64)
+        hg.net_weights = np.asarray(net_weights, dtype=np.float64)
+        hg._nets = None
+        hg._vertex_nets = None
+        return hg
+
+    @property
+    def nets(self) -> list[np.ndarray]:
+        if self._nets is None:
+            self._nets = np.split(self.pins, self.xpins[1:-1])
+        return self._nets
 
     @property
     def n_vertices(self) -> int:
@@ -65,40 +130,118 @@ class Hypergraph:
 
     @property
     def n_nets(self) -> int:
-        return len(self.nets)
+        return self.xpins.size - 1
 
     @property
     def n_pins(self) -> int:
-        return int(sum(net.size for net in self.nets))
+        return int(self.pins.size)
+
+    @property
+    def net_sizes(self) -> np.ndarray:
+        return np.diff(self.xpins)
 
     @property
     def total_vertex_weight(self) -> float:
         return float(self.vertex_weights.sum())
 
     def vertex_nets(self) -> list[list[int]]:
-        """Incidence: for each vertex, the net ids containing it (cached)."""
+        """Incidence: for each vertex, the net ids containing it (cached).
+
+        Built by one stable argsort over the pin array; within each
+        vertex's list, net ids appear in ascending order — exactly the
+        append order of the former per-net Python loop.
+        """
         if self._vertex_nets is None:
-            incidence: list[list[int]] = [[] for _ in range(self.n_vertices)]
-            for eid, net in enumerate(self.nets):
-                for v in net:
-                    incidence[v].append(eid)
-            self._vertex_nets = incidence
+            if self.n_vertices == 0:
+                self._vertex_nets = []
+            else:
+                eids = np.repeat(np.arange(self.n_nets), self.net_sizes)
+                order = np.argsort(self.pins, kind="stable")
+                counts = np.bincount(self.pins, minlength=self.n_vertices)
+                self._vertex_nets = [
+                    chunk.tolist()
+                    for chunk in np.split(eids[order], np.cumsum(counts[:-1]))
+                ]
         return self._vertex_nets
 
 
 def fock_hypergraph(graph: TaskGraph) -> Hypergraph:
-    """Build the task/data-block hypergraph for a Fock task graph."""
-    pins_by_block: dict[tuple[int, int], list[int]] = {}
-    for task in graph.tasks:
-        for ref in dict.fromkeys((*task.reads, *task.writes)):
-            pins_by_block.setdefault(ref, []).append(task.tid)
-    nets: list[np.ndarray] = []
-    weights: list[float] = []
-    for ref in sorted(pins_by_block):
-        pins = pins_by_block[ref]
-        nets.append(np.array(sorted(set(pins)), dtype=np.int64))
-        weights.append(float(graph.block_bytes(ref)))
-    return Hypergraph(graph.costs, nets, np.array(weights))
+    """Build the task/data-block hypergraph for a Fock task graph.
+
+    Vectorized: the four block refs of every task — ``(C,D), (B,D),
+    (A,B), (A,C)`` in footprint order, first-occurrence-deduplicated
+    within the task — are encoded as integers, grouped by one stable
+    sort, and split into CSR segments. Net order (sorted refs) and pin
+    order (ascending task id) are identical to the former dict-of-lists
+    construction.
+    """
+    store = _store()
+    if store is not None:
+        # Content-addressed by the graph: the CSR arrays round-trip
+        # losslessly, and a memo hit shares one Hypergraph instance —
+        # including its cached incidence lists — across every consumer.
+        return store.fetch(
+            store.key("fock_hypergraph", graph.content_key),
+            lambda: _fock_hypergraph(graph),
+            encode=lambda hg: (
+                {
+                    "vertex_weights": hg.vertex_weights,
+                    "xpins": hg.xpins,
+                    "pins": hg.pins,
+                    "net_weights": hg.net_weights,
+                },
+                {},
+            ),
+            decode=lambda arrays, _meta: Hypergraph.from_csr(
+                arrays["vertex_weights"],
+                arrays["xpins"],
+                arrays["pins"],
+                arrays["net_weights"],
+            ),
+        )
+    return _fock_hypergraph(graph)
+
+
+def _fock_hypergraph(graph: TaskGraph) -> Hypergraph:
+    nb = graph.blocks.n_blocks
+    n = graph.n_tasks
+    q = graph.quartet_array
+    if n == 0:
+        return Hypergraph.from_csr(
+            graph.costs,
+            np.zeros(1, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float64),
+        )
+    a, b, c, d = q[:, 0], q[:, 1], q[:, 2], q[:, 3]
+    # Ref columns in dict.fromkeys((*reads, *writes)) order.
+    r1 = np.stack([c, b, a, a], axis=1)
+    r2 = np.stack([d, d, b, c], axis=1)
+    code = r1 * nb + r2
+    keep = np.empty((n, 4), dtype=bool)
+    keep[:, 0] = True
+    keep[:, 1] = code[:, 1] != code[:, 0]
+    keep[:, 2] = (code[:, 2] != code[:, 0]) & (code[:, 2] != code[:, 1])
+    keep[:, 3] = (
+        (code[:, 3] != code[:, 0])
+        & (code[:, 3] != code[:, 1])
+        & (code[:, 3] != code[:, 2])
+    )
+    tids = np.broadcast_to(np.arange(n, dtype=np.int64)[:, None], (n, 4))
+    codes_f = code[keep]
+    tids_f = tids[keep]
+    order = np.argsort(codes_f, kind="stable")
+    sorted_codes = codes_f[order]
+    pins = tids_f[order]
+    new_net = np.ones(sorted_codes.size, dtype=bool)
+    new_net[1:] = sorted_codes[1:] != sorted_codes[:-1]
+    starts = np.flatnonzero(new_net)
+    xpins = np.concatenate([starts, [sorted_codes.size]]).astype(np.int64)
+    refs = sorted_codes[starts]
+    ra, rb = np.divmod(refs, nb)
+    sizes = graph.blocks.sizes()
+    weights = (sizes[ra] * sizes[rb] * 8).astype(np.float64)
+    return Hypergraph.from_csr(graph.costs, xpins, pins, weights)
 
 
 def connectivity_cut(hg: Hypergraph, parts: np.ndarray) -> float:
@@ -108,10 +251,21 @@ def connectivity_cut(hg: Hypergraph, parts: np.ndarray) -> float:
         raise ConfigurationError(
             f"parts must be ({hg.n_vertices},), got {parts.shape}"
         )
+    if hg.n_nets == 0:
+        return 0.0
+    # lambda per net: distinct part count, via one segment sort.
+    vals = parts[hg.pins]
+    seg = np.repeat(np.arange(hg.n_nets), hg.net_sizes)
+    order = np.lexsort((vals, seg))
+    sv = vals[order]
+    first = np.ones(sv.size, dtype=bool)
+    first[1:] = (seg[1:] != seg[:-1]) | (sv[1:] != sv[:-1])
+    lam = np.bincount(seg[first], minlength=hg.n_nets)
+    # Net-order sequential accumulation keeps the exact FP sum of the
+    # former per-net loop.
     total = 0.0
-    for net, weight in zip(hg.nets, hg.net_weights):
-        lam = np.unique(parts[net]).size
-        total += weight * (lam - 1)
+    for contrib in (hg.net_weights * (lam - 1)).tolist():
+        total += contrib
     return float(total)
 
 

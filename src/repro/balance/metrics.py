@@ -53,10 +53,16 @@ def communication_volume(
         raise ConfigurationError(
             f"assignment covers {assignment.size} tasks, graph has {graph.n_tasks}"
         )
-    total = 0
-    for task in graph.tasks:
-        rank = int(assignment[task.tid])
-        for ref in (*task.reads, *task.writes):
-            if distribution.owner(ref) != rank:
-                total += graph.block_bytes(ref)
-    return total
+    rows, cols, tids = graph.footprint_arrays
+    if rows.size == 0:
+        return 0
+    nb = distribution.n_blocks
+    bad = (rows < 0) | (rows >= nb) | (cols < 0) | (cols >= nb)
+    if np.any(bad):
+        k = int(np.flatnonzero(bad)[0])
+        ref = (int(rows[k]), int(cols[k]))
+        raise ConfigurationError(f"block {ref} out of range for {nb} blocks")
+    remote = distribution.owner_matrix()[rows, cols] != assignment[tids]
+    sizes = graph.blocks.sizes()
+    # Exact integer arithmetic, so summation order is irrelevant.
+    return int(np.sum(sizes[rows] * sizes[cols] * 8 * remote))

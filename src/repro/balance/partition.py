@@ -42,6 +42,14 @@ _FM_PASSES = 4
 _INIT_TRIES = 4
 
 
+def _store():
+    # Call-time import: repro.core's package init reaches back into this
+    # layer, so a module-level import would be circular.
+    from repro.core.artifacts import default_store
+
+    return default_store()
+
+
 def partition_hypergraph(
     hg: Hypergraph, k: int, eps: float = 0.05, seed: int = 0
 ) -> np.ndarray:
@@ -124,9 +132,27 @@ def hypergraph_balancer(
     eps: float = 0.05,
     seed: int = 0,
 ) -> np.ndarray:
-    """Balancer-signature entry point: partition the Fock hypergraph."""
-    hg = fock_hypergraph(graph)
-    return partition_hypergraph(hg, n_ranks, eps=eps, seed=seed)
+    """Balancer-signature entry point: partition the Fock hypergraph.
+
+    The assignment is content-addressed by (graph, k, eps, seed), so the
+    multilevel partitioner runs at most once per distinct configuration
+    per process — and not at all on a warm on-disk store. Hits return a
+    fresh copy (callers may mutate the parts array).
+    """
+    store = _store()
+    if store is None:
+        return partition_hypergraph(fock_hypergraph(graph), n_ranks, eps=eps, seed=seed)
+    return store.fetch(
+        store.key(
+            "hypergraph_balancer", graph.content_key, int(n_ranks), float(eps), int(seed)
+        ),
+        lambda: partition_hypergraph(
+            fock_hypergraph(graph), n_ranks, eps=eps, seed=seed
+        ),
+        encode=lambda parts: ({"parts": parts}, {}),
+        decode=lambda arrays, _meta: arrays["parts"],
+        copy_on_hit=np.copy,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -159,18 +185,35 @@ def _recurse(
 
 
 def _induce(hg: Hypergraph, mask: np.ndarray) -> Hypergraph:
-    """Sub-hypergraph on ``mask`` vertices (drops nets with < 2 pins)."""
+    """Sub-hypergraph on ``mask`` vertices (drops nets with < 2 pins).
+
+    One segment filter + sort over the CSR pin array replaces the former
+    per-net Python loop; surviving nets keep their order and their
+    ascending-pin layout, so the result is identical.
+    """
     remap = -np.ones(hg.n_vertices, dtype=np.int64)
     remap[mask] = np.arange(int(mask.sum()))
-    nets: list[np.ndarray] = []
-    weights: list[float] = []
-    for net, w in zip(hg.nets, hg.net_weights):
-        pins = remap[net]
-        pins = pins[pins >= 0]
-        if pins.size >= 2:
-            nets.append(np.sort(pins))
-            weights.append(float(w))
-    return Hypergraph(hg.vertex_weights[mask], nets, np.array(weights))
+    n_nets = hg.n_nets
+    mapped = remap[hg.pins]
+    seg = np.repeat(np.arange(n_nets), hg.net_sizes)
+    valid = mapped >= 0
+    mapped = mapped[valid]
+    seg = seg[valid]
+    counts = np.bincount(seg, minlength=n_nets)
+    keep = counts >= 2
+    order = np.lexsort((mapped, seg))
+    sorted_pins = mapped[order]
+    sorted_seg = seg[order]
+    pin_keep = keep[sorted_seg] if sorted_seg.size else np.zeros(0, dtype=bool)
+    new_sizes = counts[keep]
+    xpins = np.zeros(new_sizes.size + 1, dtype=np.int64)
+    np.cumsum(new_sizes, out=xpins[1:])
+    return Hypergraph.from_csr(
+        hg.vertex_weights[mask],
+        xpins,
+        sorted_pins[pin_keep],
+        hg.net_weights[keep],
+    )
 
 
 # ----------------------------------------------------------------------
@@ -200,32 +243,61 @@ def _multilevel_bisect(
 def _heavy_connectivity_matching(
     hg: Hypergraph, rng: np.random.Generator
 ) -> np.ndarray:
-    """Pair vertices by shared net weight; returns partner (or self)."""
+    """Pair vertices by shared net weight; returns partner (or self).
+
+    Per-vertex scoring runs on a dense buffer: contributions land via
+    ``np.add.at`` in the dict accumulation's event order, candidates are
+    enumerated in first-touch order (the dict's insertion order), and
+    the strict-``>`` scan becomes a first-maximum argmax over that
+    ordering — same winner, bit for bit, including the weight-cap rule
+    (a capped candidate never updated ``best``, which is exactly what
+    pre-filtering achieves).
+    """
     n = hg.n_vertices
     match = -np.ones(n, dtype=np.int64)
     incidence = hg.vertex_nets()
+    nets = hg.nets
+    net_weights = hg.net_weights
+    vertex_weights = hg.vertex_weights
     weight_cap = 1.5 * hg.total_vertex_weight / max(_COARSEN_TARGET, 1)
+    scores = np.zeros(n, dtype=np.float64)
     for v in rng.permutation(n):
         v = int(v)
         if match[v] >= 0:
             continue
-        scores: dict[int, float] = {}
+        pin_lists: list[np.ndarray] = []
+        per_pin: list[float] = []
         for eid in incidence[v]:
-            net = hg.nets[eid]
+            net = nets[eid]
             if net.size > _MAX_NET_MATCH or net.size < 2:
                 continue
-            score = hg.net_weights[eid] / (net.size - 1)
-            for u in net:
-                u = int(u)
-                if u != v and match[u] < 0:
-                    scores[u] = scores.get(u, 0.0) + score
+            pin_lists.append(net)
+            per_pin.append(net_weights[eid] / (net.size - 1))
         partner = -1
-        best = 0.0
-        wv = hg.vertex_weights[v]
-        for u, s in scores.items():
-            if s > best and wv + hg.vertex_weights[u] <= weight_cap:
-                best = s
-                partner = u
+        if pin_lists:
+            cat = (
+                pin_lists[0]
+                if len(pin_lists) == 1
+                else np.concatenate(pin_lists)
+            )
+            wrep = np.repeat(
+                np.array(per_pin), [p.size for p in pin_lists]
+            )
+            np.add.at(scores, cat, wrep)
+            uniq, first = np.unique(cat, return_index=True)
+            cand = uniq[np.argsort(first)]
+            ok = (
+                (cand != v)
+                & (match[cand] < 0)
+                & (vertex_weights[v] + vertex_weights[cand] <= weight_cap)
+            )
+            cand = cand[ok]
+            if cand.size:
+                cand_scores = scores[cand]
+                i = int(np.argmax(cand_scores))
+                if cand_scores[i] > 0.0:
+                    partner = int(cand[i])
+            scores[uniq] = 0.0
         if partner >= 0:
             match[v] = partner
             match[partner] = v
@@ -235,29 +307,69 @@ def _heavy_connectivity_matching(
 
 
 def _contract(hg: Hypergraph, match: np.ndarray) -> tuple[Hypergraph, np.ndarray]:
-    """Contract matched pairs; merge identical nets; drop singletons."""
+    """Contract matched pairs; merge identical nets; drop singletons.
+
+    The coarse vertex numbering assigns ids to pair representatives
+    ``min(v, match[v])`` in ascending order — exactly what
+    ``np.unique(..., return_inverse=True)`` produces, since a vertex is
+    numbered at its first (smaller-id) appearance. Per-net pin dedup is
+    one segment sort over the CSR arrays; identical-net merging keeps
+    the first-occurrence net order and FP weight-accumulation order of
+    the former tuple-keyed dict.
+    """
     n = hg.n_vertices
-    vmap = -np.ones(n, dtype=np.int64)
-    next_id = 0
-    for v in range(n):
-        if vmap[v] >= 0:
-            continue
-        vmap[v] = next_id
-        partner = int(match[v])
-        if partner != v and vmap[partner] < 0:
-            vmap[partner] = next_id
-        next_id += 1
+    reps = np.minimum(np.arange(n, dtype=np.int64), match)
+    uniq_reps, vmap = np.unique(reps, return_inverse=True)
+    vmap = vmap.astype(np.int64, copy=False)
+    next_id = uniq_reps.size
     weights = np.bincount(vmap, weights=hg.vertex_weights, minlength=next_id)
-    merged: dict[tuple[int, ...], float] = {}
-    for net, w in zip(hg.nets, hg.net_weights):
-        pins = np.unique(vmap[net])
-        if pins.size < 2:
-            continue
-        key = tuple(int(p) for p in pins)
-        merged[key] = merged.get(key, 0.0) + float(w)
-    nets = [np.array(key, dtype=np.int64) for key in merged]
-    net_weights = np.array(list(merged.values()))
-    return Hypergraph(weights, nets, net_weights), vmap
+    n_nets = hg.n_nets
+    if hg.n_pins == 0:
+        coarse = Hypergraph.from_csr(
+            weights,
+            np.zeros(1, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float64),
+        )
+        return coarse, vmap
+    mapped = vmap[hg.pins]
+    seg = np.repeat(np.arange(n_nets), hg.net_sizes)
+    order = np.lexsort((mapped, seg))
+    sv = mapped[order]
+    first = np.ones(sv.size, dtype=bool)
+    first[1:] = (seg[1:] != seg[:-1]) | (sv[1:] != sv[:-1])
+    dedup_vals = sv[first]
+    dedup_seg = seg[first]
+    new_sizes = np.bincount(dedup_seg, minlength=n_nets)
+    offs = np.zeros(n_nets + 1, dtype=np.int64)
+    np.cumsum(new_sizes, out=offs[1:])
+    keep = np.flatnonzero(new_sizes >= 2)
+    merged: dict[bytes, int] = {}
+    nets_list: list[np.ndarray] = []
+    wlist: list[float] = []
+    w_arr = hg.net_weights
+    for e in keep.tolist():
+        pins_e = dedup_vals[offs[e] : offs[e + 1]]
+        key = pins_e.tobytes()
+        pos = merged.get(key)
+        if pos is None:
+            merged[key] = len(nets_list)
+            nets_list.append(pins_e)
+            wlist.append(0.0 + float(w_arr[e]))
+        else:
+            wlist[pos] += float(w_arr[e])
+    sizes_new = np.fromiter(
+        (p.size for p in nets_list), dtype=np.int64, count=len(nets_list)
+    )
+    xpins = np.zeros(len(nets_list) + 1, dtype=np.int64)
+    np.cumsum(sizes_new, out=xpins[1:])
+    pins_new = (
+        np.concatenate(nets_list) if nets_list else np.empty(0, dtype=np.int64)
+    )
+    coarse = Hypergraph.from_csr(
+        weights, xpins, pins_new, np.array(wlist, dtype=np.float64)
+    )
+    return coarse, vmap
 
 
 def _initial_bisection(
@@ -287,43 +399,50 @@ def _grow_region(
 ) -> np.ndarray:
     """Grow side 0 from a random seed by strongest net connectivity.
 
-    Frontier selection scans ``scores.items()`` inline — highest score
-    wins, ties break toward the smaller vertex id — which is exactly the
-    former ``max(scores, key=lambda u: (scores[u], -u))`` without
-    allocating a key tuple and a lambda frame per candidate.
+    Highest connectivity score wins each absorption step; ties break
+    toward the smaller vertex id.
     """
     n = hg.n_vertices
     side = np.ones(n, dtype=np.int8)
     incidence = hg.vertex_nets()
-    scores: dict[int, float] = {}
-    in_region = np.zeros(n, dtype=bool)
-    w0 = 0.0
-    current = int(rng.integers(0, n))
     nets = hg.nets
     net_weights = hg.net_weights
     vertex_weights = hg.vertex_weights
-    scores_get = scores.get
+    # Dense frontier state replaces the former score dict: ``np.add.at``
+    # applies the per-pin contributions of each absorbed vertex in the
+    # same event order the dict accumulation used, and the masked argmax
+    # picks the first (= smallest-id) maximum — the dict scan's exact
+    # tie-break. Scores accumulated onto vertices already in the region
+    # are dead weight the mask hides; candidates were provably outside
+    # the region at every one of their add events, so their values are
+    # bit-identical.
+    scores = np.zeros(n, dtype=np.float64)
+    touched = np.zeros(n, dtype=bool)
+    in_region = np.zeros(n, dtype=bool)
+    w0 = 0.0
+    current = int(rng.integers(0, n))
     while True:
         side[current] = 0
         in_region[current] = True
         w0 += vertex_weights[current]
-        scores.pop(current, None)
         if w0 >= target0:
             break
-        for eid in incidence[current]:
-            w = net_weights[eid]
-            for u in nets[eid]:
-                u = int(u)
-                if not in_region[u]:
-                    scores[u] = scores_get(u, 0.0) + w
-        if scores:
-            best_u = -1
-            best_s = -math.inf
-            for u, s in scores.items():
-                if s > best_s or (s == best_s and u < best_u):
-                    best_s = s
-                    best_u = u
-            current = best_u
+        eids = incidence[current]
+        if eids:
+            if len(eids) == 1:
+                cat = nets[eids[0]]
+                wrep = np.full(cat.size, net_weights[eids[0]])
+            else:
+                pin_lists = [nets[e] for e in eids]
+                cat = np.concatenate(pin_lists)
+                wrep = np.repeat(
+                    net_weights[eids], [p.size for p in pin_lists]
+                )
+            np.add.at(scores, cat, wrep)
+            touched[cat] = True
+        frontier = touched & ~in_region
+        if frontier.any():
+            current = int(np.argmax(np.where(frontier, scores, -math.inf)))
         else:
             remaining = np.nonzero(~in_region)[0]
             if remaining.size == 0:
@@ -351,12 +470,20 @@ def _weight_scatter(
 
 
 def _cut2(hg: Hypergraph, side: np.ndarray) -> float:
-    """2-way cut: total weight of nets with pins on both sides."""
+    """2-way cut: total weight of nets with pins on both sides.
+
+    Segment min/max over the CSR pin array finds cut nets in one pass;
+    the weight sum then runs sequentially in net order, preserving the
+    exact FP accumulation of the former per-net loop.
+    """
+    if hg.n_nets == 0:
+        return 0.0
+    starts = hg.xpins[:-1]
+    sv = side[hg.pins]
+    cut = np.minimum.reduceat(sv, starts) != np.maximum.reduceat(sv, starts)
     total = 0.0
-    for net, w in zip(hg.nets, hg.net_weights):
-        s = side[net]
-        if s.min() != s.max():
-            total += w
+    for w in hg.net_weights[cut].tolist():
+        total += w
     return float(total)
 
 
@@ -395,38 +522,49 @@ def _fm_pass(
     # millions of times, where ndarray scalar indexing dominates the
     # pass. Values are the same IEEE doubles in the same order, so the
     # refinement trajectory is bit-for-bit unchanged.
-    cnt0: list[int] = []
-    cnt1: list[int] = []
-    for net in hg.nets:
-        ones = int(side[net].sum())
-        cnt1.append(ones)
-        cnt0.append(net.size - ones)
+    sizes_arr = hg.net_sizes
+    if hg.n_nets:
+        ones_arr = np.add.reduceat(
+            side[hg.pins].astype(np.int64), hg.xpins[:-1]
+        )
+    else:
+        ones_arr = np.zeros(0, dtype=np.int64)
+    cnt1: list[int] = ones_arr.tolist()
+    cnt0: list[int] = (sizes_arr - ones_arr).tolist()
     side_l: list[int] = side.tolist()
     vw: list[float] = vw_arr.tolist()
     weights: list[float] = hg.net_weights.tolist()
     nets_l: list[list[int]] = [net.tolist() for net in hg.nets]
 
-    gains: list[float] = [0.0] * n
-    for v in range(n):
-        s = side_l[v]
-        g = 0.0
-        for eid in incidence[v]:
-            if (cnt1[eid] if s else cnt0[eid]) == 1:
-                g += weights[eid]
-            if (cnt0[eid] if s else cnt1[eid]) == 0:
-                g -= weights[eid]
-        gains[v] = g
+    # Initial gains, vectorized: events sorted (vertex-major, net
+    # ascending) replicate the former per-vertex incidence loop, and the
+    # interleaved (+w, -w) event pairs keep its exact FP add order.
+    # ``np.add.at`` applies sequentially; adding 0.0 for non-firing
+    # conditions is an exact no-op (no -0.0 can reach the accumulator).
+    if hg.n_pins:
+        seg = np.repeat(np.arange(hg.n_nets), sizes_arr)
+        order = np.argsort(hg.pins, kind="stable")
+        ev_v = hg.pins[order]
+        ev_net = seg[order]
+        on_one = side[ev_v].astype(bool)
+        c1 = ones_arr[ev_net]
+        c0 = sizes_arr[ev_net] - c1
+        cnt_same = np.where(on_one, c1, c0)
+        cnt_oth = np.where(on_one, c0, c1)
+        w_ev = hg.net_weights[ev_net]
+        ev = np.zeros((ev_v.size, 2), dtype=np.float64)
+        ev[:, 0] = np.where(cnt_same == 1, w_ev, 0.0)
+        ev[:, 1] = np.where(cnt_oth == 0, -w_ev, 0.0)
+        gains_arr = np.zeros(n, dtype=np.float64)
+        np.add.at(gains_arr, np.repeat(ev_v, 2), ev.ravel())
+        gains: list[float] = gains_arr.tolist()
+    else:
+        gains = [0.0] * n
 
     stamps: list[int] = [0] * n
     heap: list[tuple[float, int, int]] = [(-gains[v], v, 0) for v in range(n)]
     heapq.heapify(heap)
     locked: list[bool] = [False] * n
-
-    def allowed(v: int) -> bool:
-        new_w0 = w0 - vw[v] if side_l[v] == 0 else w0 + vw[v]
-        if lo <= new_w0 <= hi:
-            return True
-        return abs(new_w0 - target0) < abs(w0 - target0)
 
     moves: list[int] = []
     cum = 0.0
@@ -441,16 +579,37 @@ def _fm_pass(
     initial_key = state_key(w0, 0.0)
     best_key = initial_key
     best_idx = 0  # number of moves in the best prefix
-    deferred: list[tuple[float, int, int]] = []
 
-    while heap or deferred:
-        if not heap:
+    # Balance-blocked candidates. Entries are appended in pop order, so
+    # ``deferred`` is always sorted; after each applied move they become
+    # candidates again via a lazy two-way merge with the heap instead of
+    # a wholesale re-push. The candidate sequence is identical — merging
+    # two sorted streams yields the same global order the re-pushed heap
+    # produced (entry tuples are unique: stamps grow per vertex) — but
+    # a blocked entry now costs one comparison per round instead of a
+    # heap push + pop.
+    deferred: list[tuple[float, int, int]] = []
+    redeferred: list[tuple[float, int, int]] = []
+    dptr = 0  # deferred entries before dptr were examined this round
+    dev0 = abs(w0 - target0)
+
+    while True:
+        if dptr < len(deferred) and (not heap or deferred[dptr] <= heap[0]):
+            entry = deferred[dptr]
+            dptr += 1
+        elif heap:
+            entry = heapq.heappop(heap)
+        else:
+            # Every candidate of this round is locked, stale, or
+            # balance-blocked: the pass is done (matching the former
+            # ``if not heap: break`` with deferred entries pending).
             break
-        neg_gain, v, stamp = heapq.heappop(heap)
+        neg_gain, v, stamp = entry
         if locked[v] or stamp != stamps[v]:
             continue
-        if not allowed(v):
-            deferred.append((neg_gain, v, stamp))
+        new_w0 = w0 - vw[v] if side_l[v] == 0 else w0 + vw[v]
+        if not (lo <= new_w0 <= hi) and not (abs(new_w0 - target0) < dev0):
+            redeferred.append(entry)
             continue
         # Apply the move.
         src = side_l[v]
@@ -490,17 +649,23 @@ def _fm_pass(
                         push(heap, (-g, u, t))
         cum += -neg_gain
         side_l[v] = dst
-        w0 = w0 - vw[v] if src == 0 else w0 + vw[v]
+        w0 = new_w0
+        dev0 = abs(w0 - target0)
         locked[v] = True
         moves.append(v)
         key = state_key(w0, cum)
         if key < best_key:
             best_key = key
             best_idx = len(moves)
-        # Balance state changed; deferred vertices may be movable now.
-        for entry in deferred:
-            heapq.heappush(heap, entry)
-        deferred.clear()
+        # Balance state changed; blocked vertices may be movable now.
+        # Start the next round's merge from the top of the (still
+        # sorted) blocked list: this round's re-deferrals all precede
+        # the unexamined tail in sort order.
+        if redeferred or dptr:
+            redeferred.extend(deferred[dptr:])
+            deferred = redeferred
+            redeferred = []
+            dptr = 0
 
     # Roll back to the best prefix.
     for v in moves[best_idx:]:

@@ -31,6 +31,14 @@ from repro.runtime.garrays import BlockDistribution
 from repro.util import ConfigurationError, PartitionError, check_positive, spawn_rng
 
 
+def _store():
+    # Call-time import: repro.core's package init reaches back into this
+    # layer, so a module-level import would be circular.
+    from repro.core.artifacts import default_store
+
+    return default_store()
+
+
 def build_eligibility(
     graph: TaskGraph,
     n_ranks: int,
@@ -48,11 +56,21 @@ def build_eligibility(
     if extra_degree < 0:
         raise ConfigurationError(f"extra_degree must be >= 0, got {extra_degree}")
     rng = spawn_rng(seed, "eligibility", n_ranks)
+    # One vectorized owner lookup for every footprint ref, then a cheap
+    # per-task set/sort pass over the precomputed Python ints. The RNG
+    # draw sequence (one choice() per task) is unchanged.
+    rows, cols, tids = graph.footprint_arrays
+    owners_flat = distribution.owner_matrix()[rows, cols].tolist()
+    counts = np.bincount(tids, minlength=graph.n_tasks)
+    offs = np.zeros(graph.n_tasks + 1, dtype=np.int64)
+    np.cumsum(counts, out=offs[1:])
+    offs = offs.tolist()
+    n_extra = min(extra_degree, n_ranks)
     out: list[list[int]] = []
-    for task in graph.tasks:
-        owners = {distribution.owner(ref) for ref in (*task.reads, *task.writes)}
+    for tid in range(graph.n_tasks):
+        owners = set(owners_flat[offs[tid] : offs[tid + 1]])
         if extra_degree:
-            extras = rng.choice(n_ranks, size=min(extra_degree, n_ranks), replace=False)
+            extras = rng.choice(n_ranks, size=n_extra, replace=False)
             owners.update(int(r) for r in extras)
         out.append(sorted(owners))
     return out
@@ -62,11 +80,11 @@ def _validate_eligibility(eligibility: list[list[int]], n_ranks: int) -> None:
     for tid, ranks in enumerate(eligibility):
         if not ranks:
             raise ConfigurationError(f"task {tid} has an empty eligibility list")
-        for r in ranks:
-            if not 0 <= r < n_ranks:
-                raise ConfigurationError(
-                    f"task {tid} eligible for rank {r} outside [0, {n_ranks})"
-                )
+        if min(ranks) < 0 or max(ranks) >= n_ranks:
+            r = next(r for r in ranks if not 0 <= r < n_ranks)
+            raise ConfigurationError(
+                f"task {tid} eligible for rank {r} outside [0, {n_ranks})"
+            )
 
 
 def greedy_semi_matching(
@@ -80,13 +98,16 @@ def greedy_semi_matching(
             f"{costs.size} costs but {len(eligibility)} eligibility lists"
         )
     _validate_eligibility(eligibility, n_ranks)
-    loads = np.zeros(n_ranks)
+    # Python-list load state: the loop reads/writes single elements only,
+    # where ndarray scalar indexing dominates. Same doubles, same
+    # first-minimum tie-break, so the assignment is unchanged.
+    loads = [0.0] * n_ranks
+    costs_l = costs.tolist()
     assignment = np.empty(costs.size, dtype=np.int64)
-    for tid in np.argsort(-costs, kind="stable"):
-        ranks = eligibility[tid]
-        rank = min(ranks, key=lambda r: loads[r])
+    for tid in np.argsort(-costs, kind="stable").tolist():
+        rank = min(eligibility[tid], key=loads.__getitem__)
         assignment[tid] = rank
-        loads[rank] += costs[tid]
+        loads[rank] += costs_l[tid]
     return assignment
 
 
@@ -114,7 +135,11 @@ def optimal_semi_matching(
     n_tasks = len(eligibility)
     unit = np.ones(n_tasks)
     assignment = greedy_semi_matching(unit, eligibility, n_ranks)
-    loads = np.bincount(assignment, minlength=n_ranks).astype(np.int64)
+    # Integer load counts as a Python list: the BFS below reads single
+    # elements millions of times. The set-based ``tasks_on`` structures
+    # are load-bearing — their iteration order steers which reducing
+    # path BFS finds first — and stay exactly as they were.
+    loads: list[int] = np.bincount(assignment, minlength=n_ranks).tolist()
 
     # tasks_on[r]: set of task ids currently on rank r.
     tasks_on: list[set[int]] = [set() for _ in range(n_ranks)]
@@ -128,7 +153,7 @@ def optimal_semi_matching(
         # globally, so restart the scan after each one. Termination: every
         # flip strictly decreases sum(load^2).
         found = False
-        for start in np.argsort(-loads, kind="stable"):
+        for start in np.argsort(-np.array(loads), kind="stable"):
             path = _cost_reducing_path(int(start), loads, tasks_on, eligibility)
             if path is None:
                 continue
@@ -153,7 +178,7 @@ def optimal_semi_matching(
 
 def _cost_reducing_path(
     start: int,
-    loads: np.ndarray,
+    loads: list[int],
     tasks_on: list[set[int]],
     eligibility: list[list[int]],
 ) -> list[int] | None:
@@ -204,31 +229,37 @@ def weighted_semi_matching(
         raise ConfigurationError(f"sweeps must be >= 0, got {sweeps}")
     costs = np.asarray(costs, dtype=np.float64)
     assignment = greedy_semi_matching(costs, eligibility, n_ranks)
-    loads = np.bincount(assignment, weights=costs, minlength=n_ranks)
+    # List-based load/cost state for the element-at-a-time sweep loops;
+    # identical IEEE doubles, so every relocation decision is unchanged.
+    loads: list[float] = np.bincount(
+        assignment, weights=costs, minlength=n_ranks
+    ).tolist()
+    costs_l: list[float] = costs.tolist()
     tasks_on: list[list[int]] = [[] for _ in range(n_ranks)]
     for tid, rank in enumerate(assignment):
         tasks_on[rank].append(tid)
 
     for _ in range(sweeps):
         moved = False
-        for rank in np.argsort(-loads):
-            rank = int(rank)
+        for rank in np.argsort(-np.array(loads)).tolist():
             # Try big tasks first: moving them helps the most.
-            for tid in sorted(tasks_on[rank], key=lambda t: -costs[t]):
+            for tid in sorted(tasks_on[rank], key=lambda t: -costs_l[t]):
                 best_dst = None
-                best_peak = loads[rank]
+                load_r = loads[rank]
+                best_peak = load_r
+                c = costs_l[tid]
                 for dst in eligibility[tid]:
                     if dst == rank:
                         continue
-                    peak = max(loads[rank] - costs[tid], loads[dst] + costs[tid])
+                    peak = max(load_r - c, loads[dst] + c)
                     if peak < best_peak - 1e-12:
                         best_peak = peak
                         best_dst = dst
                 if best_dst is not None:
                     tasks_on[rank].remove(tid)
                     tasks_on[best_dst].append(tid)
-                    loads[rank] -= costs[tid]
-                    loads[best_dst] += costs[tid]
+                    loads[rank] = load_r - c
+                    loads[best_dst] += c
                     assignment[tid] = best_dst
                     moved = True
         if not moved:
@@ -256,9 +287,35 @@ def semi_matching_balancer(
         raise ConfigurationError(f"unknown semi-matching mode {mode!r}")
     if distribution is None:
         distribution = BlockDistribution(graph.blocks.n_blocks, n_ranks)
-    eligibility = build_eligibility(graph, n_ranks, distribution, extra_degree, seed)
-    if mode == "greedy":
-        return greedy_semi_matching(graph.costs, eligibility, n_ranks)
-    if mode == "optimal_unit":
-        return optimal_semi_matching(eligibility, n_ranks)
-    return weighted_semi_matching(graph.costs, eligibility, n_ranks, sweeps)
+
+    def _solve() -> np.ndarray:
+        eligibility = build_eligibility(
+            graph, n_ranks, distribution, extra_degree, seed
+        )
+        if mode == "greedy":
+            return greedy_semi_matching(graph.costs, eligibility, n_ranks)
+        if mode == "optimal_unit":
+            return optimal_semi_matching(eligibility, n_ranks)
+        return weighted_semi_matching(graph.costs, eligibility, n_ranks, sweeps)
+
+    store = _store()
+    if store is None:
+        return _solve()
+    # Content-addressed by every input that steers the solve (the
+    # distribution fields pin eligibility); hits return a fresh copy.
+    return store.fetch(
+        store.key(
+            "semi_matching",
+            graph.content_key,
+            int(n_ranks),
+            (distribution.n_blocks, distribution.n_ranks, distribution.scheme),
+            mode,
+            int(extra_degree),
+            int(sweeps),
+            int(seed),
+        ),
+        _solve,
+        encode=lambda assign: ({"assignment": assign}, {}),
+        decode=lambda arrays, _meta: arrays["assignment"],
+        copy_on_hit=np.copy,
+    )

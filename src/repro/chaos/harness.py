@@ -273,6 +273,10 @@ def run_chaos(
     3. **poison quarantine** — a cell failing every attempt must end up
        quarantined as a :class:`CellFailure` while every other cell
        still matches the reference.
+    4. **corrupted artifact store** — every on-disk artifact entry
+       (hypergraph, semi-matching assignment) is truncated/zeroed/
+       garbage'd; rebuilds must detect each corruption, reproduce the
+       uncached reference bit for bit, and re-store servable entries.
 
     Args:
         quick: CI-sized grid (6 cells) vs the fuller 9-cell grid.
@@ -468,10 +472,72 @@ def run_chaos(
             f"{retry.max_attempts} attempts; other rows identical"
         )
 
+    # -- scenario 4: corrupted artifact store ---------------------------
+    def corrupted_artifacts() -> str:
+        from repro.balance.hypergraph import fock_hypergraph
+        from repro.balance.semi_matching import semi_matching_balancer
+        from repro.core.artifacts import ArtifactStore, use_store
+
+        root = base / "s4" / "artifacts"
+        n_ranks = config.n_ranks[-1]
+        with use_store(None):  # ground truth: no memoization at all
+            ref_hg = fock_hypergraph(graph)
+            ref_assign = semi_matching_balancer(graph, n_ranks, seed=seed)
+        seeded = ArtifactStore(root)
+        with use_store(seeded):
+            fock_hypergraph(graph)
+            semi_matching_balancer(graph, n_ranks, seed=seed)
+        entries = sorted(root.glob("*/*.npz"))
+        if len(entries) < 2:
+            raise AssertionError(f"expected >= 2 artifact entries, got {len(entries)}")
+        for index, path in enumerate(entries):
+            if index % 3 == 0:
+                _truncate_file(path)
+            elif index % 3 == 1:
+                path.write_bytes(b"")
+            else:
+                path.write_bytes(b"PK\x03\x04 chaos garbage, not an npz")
+        healed = ArtifactStore(root)  # fresh memo: must consult the disk
+        with use_store(healed):
+            hg = fock_hypergraph(graph)
+            assign = semi_matching_balancer(graph, n_ranks, seed=seed)
+        problems: list[str] = []
+        if healed.stats.errors < len(entries):
+            problems.append(
+                f"detected {healed.stats.errors} corruptions, "
+                f"expected >= {len(entries)}"
+            )
+        if healed.stats.disk_hits:
+            problems.append(
+                f"{healed.stats.disk_hits} disk hit(s) served from corrupt entries"
+            )
+        if not (
+            np.array_equal(hg.pins, ref_hg.pins)
+            and np.array_equal(hg.xpins, ref_hg.xpins)
+            and np.array_equal(hg.net_weights, ref_hg.net_weights)
+            and np.array_equal(assign, ref_assign)
+        ):
+            problems.append("rebuilt artifacts differ from uncached reference")
+        warm = ArtifactStore(root)  # the rebuild must have re-stored cleanly
+        with use_store(warm):
+            fock_hypergraph(graph)
+            semi_matching_balancer(graph, n_ranks, seed=seed)
+        if warm.stats.disk_hits < 2:
+            problems.append(
+                f"re-stored entries not servable ({warm.stats.disk_hits} disk hits)"
+            )
+        if problems:
+            raise AssertionError("; ".join(problems))
+        return (
+            f"{len(entries)} corrupt artifact entries healed, rebuilds "
+            f"bit-identical, re-stored entries warm-servable"
+        )
+
     for name, fn in (
         ("worker SIGKILL + hung cell + corrupted cache, bit-for-bit", crash_hang_corrupt),
         ("SIGINT interrupt + corrupted journal + --resume, bit-for-bit", interrupt_resume),
         ("poison cell quarantined, sweep completes", poison_quarantine),
+        ("corrupted artifact store heals to bit-identical rebuilds", corrupted_artifacts),
     ):
         say(f"chaos: scenario: {name} ...")
         _scenario(report, name, fn)

@@ -13,6 +13,8 @@ heavy-tailed distribution of task costs.
 
 from __future__ import annotations
 
+from functools import cached_property
+
 import numpy as np
 
 from repro.chemistry.basis import BasisSet, BlockStructure
@@ -20,8 +22,22 @@ from repro.chemistry.integrals import IntegralEngine
 from repro.util import check_non_negative
 
 
+def _store():
+    # Call-time import: repro.core pulls in exec_models -> tasks ->
+    # screening, so a module-level import would be circular.
+    from repro.core.artifacts import default_store
+
+    return default_store()
+
+
 class SchwarzScreen:
     """Schwarz bounds for a basis, with block-level aggregates.
+
+    The Q matrix and its block aggregates are pure functions of the basis
+    (and engine family), so they route through the artifact store
+    (:mod:`repro.core.artifacts`): within a process each distinct basis
+    is screened once, and with an on-disk store configured, warm reruns
+    skip the O(n^2) pair-integral loop entirely.
 
     Args:
         basis: the basis set.
@@ -32,7 +48,23 @@ class SchwarzScreen:
     def __init__(self, basis: BasisSet, engine: IntegralEngine | None = None) -> None:
         self.basis = basis
         self.engine = engine if engine is not None else IntegralEngine(basis)
-        self.q = self._build_q()
+        store = _store()
+        if store is None:
+            self.q = self._build_q()
+        else:
+            self.q = store.fetch(
+                store.key("schwarz_q", self.content_key),
+                self._build_q,
+                encode=lambda q: ({"q": q}, {}),
+                decode=lambda arrays, _meta: arrays["q"],
+            )
+
+    @cached_property
+    def content_key(self) -> str:
+        """Fingerprint of the screening inputs: basis + engine family."""
+        from repro.core.cache import fingerprint
+
+        return fingerprint((type(self.engine).__name__, self.basis))
 
     def _build_q(self) -> np.ndarray:
         n = self.basis.n_basis
@@ -52,6 +84,17 @@ class SchwarzScreen:
 
     def block_qmax(self, blocks: BlockStructure) -> np.ndarray:
         """``(n_blocks, n_blocks)`` per-block-pair maximum Schwarz factor."""
+        store = _store()
+        if store is None:
+            return self._block_qmax(blocks)
+        return store.fetch(
+            store.key("block_qmax", self.content_key, blocks.offsets),
+            lambda: self._block_qmax(blocks),
+            encode=lambda out: ({"out": out}, {}),
+            decode=lambda arrays, _meta: arrays["out"],
+        )
+
+    def _block_qmax(self, blocks: BlockStructure) -> np.ndarray:
         nb = blocks.n_blocks
         out = np.empty((nb, nb))
         for a in range(nb):
@@ -92,6 +135,19 @@ class SchwarzScreen:
         primitive-interaction evaluation per (bra product, ket product).
         """
         check_non_negative("tau", tau)
+        store = _store()
+        if store is None:
+            return self._pair_weights(blocks, tau)
+        return store.fetch(
+            store.key(
+                "pair_weights", self.content_key, blocks.offsets, float(tau)
+            ),
+            lambda: self._pair_weights(blocks, tau),
+            encode=lambda out: ({"out": out}, {}),
+            decode=lambda arrays, _meta: arrays["out"],
+        )
+
+    def _pair_weights(self, blocks: BlockStructure, tau: float) -> np.ndarray:
         n = self.basis.n_basis
         bound = tau / self.q_max if self.q_max > 0 else 0.0
         alive = self.q >= bound

@@ -23,7 +23,9 @@ interactions.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 
@@ -39,6 +41,14 @@ FLOPS_PER_INTERACTION = 40.0
 FLOPS_PER_DIGEST = 4.0
 
 BlockRef = tuple[int, int]
+
+
+def _store():
+    # Call-time import: repro.core's package init reaches back into this
+    # layer, so a module-level import would be circular.
+    from repro.core.artifacts import default_store
+
+    return default_store()
 
 
 @dataclass(frozen=True)
@@ -85,10 +95,80 @@ class TaskGraph:
     def n_tasks(self) -> int:
         return len(self.tasks)
 
-    @property
+    @cached_property
     def costs(self) -> np.ndarray:
-        """``(n_tasks,)`` modeled flops per task."""
-        return np.array([t.flops for t in self.tasks], dtype=np.float64)
+        """``(n_tasks,)`` modeled flops per task (cached, read-only).
+
+        Balancers and the simulator read this array on every call; the
+        cache turns an O(n) Python rebuild per access into a one-time
+        cost. ``cached_property`` writes straight into ``__dict__``, so
+        it works on this frozen dataclass.
+        """
+        arr = np.array([t.flops for t in self.tasks], dtype=np.float64)
+        arr.flags.writeable = False
+        return arr
+
+    @cached_property
+    def quartet_array(self) -> np.ndarray:
+        """``(n_tasks, 4)`` block quartets as one int64 array (read-only)."""
+        arr = np.array([t.quartet for t in self.tasks], dtype=np.int64)
+        arr = arr.reshape(self.n_tasks, 4)
+        arr.flags.writeable = False
+        return arr
+
+    @cached_property
+    def content_key(self) -> str:
+        """sha256 content address of this graph (artifact-store keying).
+
+        Hashes the dense array form — quartets, costs, block offsets,
+        tau — which determines every footprint and cost deterministically
+        (reads/writes derive from the quartet).
+        """
+        h = hashlib.sha256()
+        h.update(np.ascontiguousarray(self.quartet_array).tobytes())
+        h.update(np.ascontiguousarray(self.costs).tobytes())
+        h.update(np.ascontiguousarray(self.blocks.offsets).tobytes())
+        h.update(float(self.tau).hex().encode())
+        return h.hexdigest()
+
+    @cached_property
+    def footprint_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Flattened footprints: ``(rows, cols, tids)``, one entry per ref.
+
+        Every task's refs appear in ``(*reads, *writes)`` order with the
+        owning task id alongside — the dense form the vectorized
+        communication-volume and eligibility builders index with. Built
+        from the actual footprints (NOT re-derived from quartets), so
+        symmetry-folded graphs and hand-built tasks stay correct.
+        """
+        rows: list[int] = []
+        cols: list[int] = []
+        tids: list[int] = []
+        for t in self.tasks:
+            for i, j in (*t.reads, *t.writes):
+                rows.append(i)
+                cols.append(j)
+                tids.append(t.tid)
+        return (
+            np.array(rows, dtype=np.int64),
+            np.array(cols, dtype=np.int64),
+            np.array(tids, dtype=np.int64),
+        )
+
+    @cached_property
+    def has_standard_footprints(self) -> bool:
+        """True iff every footprint is the standard quartet derivation.
+
+        Standard-footprint graphs round-trip losslessly through their
+        dense array form (:func:`graph_from_arrays`) — the property the
+        artifact codec and the shared-memory worker handoff rely on.
+        Symmetry-folded graphs (multi-image footprints) and hand-built
+        test graphs are not representable that way and return False.
+        """
+        return all(
+            (t.reads, t.writes) == _task_footprint(*t.quartet)
+            for t in self.tasks
+        )
 
     @property
     def total_flops(self) -> float:
@@ -150,28 +230,90 @@ def build_task_graph(
         raise ConfigurationError(
             f"block structure covers {blocks.n_basis} functions, basis has {basis.n_basis}"
         )
+    store = _store()
+    if store is not None:
+        # The graph is a pure function of (screen, tiling, tau); its dense
+        # array form round-trips losslessly through graph_from_arrays.
+        return store.fetch(
+            store.key(
+                "task_graph", screen.content_key, blocks.offsets, float(tau)
+            ),
+            lambda: _build_task_graph(basis, blocks, screen, tau),
+            encode=lambda g: (
+                {
+                    "quartets": np.asarray(g.quartet_array),
+                    "flops": np.asarray(g.costs),
+                    "offsets": np.asarray(blocks.offsets),
+                },
+                {"tau": float(tau).hex()},
+            ),
+            decode=lambda arrays, meta: graph_from_arrays(
+                arrays["quartets"],
+                arrays["flops"],
+                BlockStructure(arrays["offsets"]),
+                float.fromhex(meta["tau"]),
+            ),
+        )
+    return _build_task_graph(basis, blocks, screen, tau)
+
+
+def _build_task_graph(
+    basis: BasisSet,
+    blocks: BlockStructure,
+    screen: SchwarzScreen,
+    tau: float,
+) -> TaskGraph:
     nb = blocks.n_blocks
     qb = screen.block_qmax(blocks)
     weights = screen.pair_weights(blocks, tau)
     sizes = blocks.sizes()
 
-    # Vectorized survival test over all (A,B) x (C,D) block-pair products.
+    # Vectorized survival test over all (A,B) x (C,D) block-pair products,
+    # then a fully vectorized cost model. The arithmetic below mirrors the
+    # scalar expression term-for-term (same left-associated IEEE order),
+    # so every flops value is bit-identical to the per-task original.
     qb_flat = qb.reshape(-1)
-    survive = np.nonzero(np.outer(qb_flat, qb_flat) >= tau)
-    tasks: list[TaskSpec] = []
+    bra_idx, ket_idx = np.nonzero(np.outer(qb_flat, qb_flat) >= tau)
     w_flat = weights.reshape(-1)
-    for bra_idx, ket_idx in zip(*survive):
-        a, b = divmod(int(bra_idx), nb)
-        c, d = divmod(int(ket_idx), nb)
-        w_bra = w_flat[bra_idx]
-        w_ket = w_flat[ket_idx]
-        if w_bra == 0 or w_ket == 0:
-            continue
-        digest = 2.0 * sizes[a] * sizes[b] * sizes[c] * sizes[d]
-        flops = FLOPS_PER_INTERACTION * w_bra * w_ket + FLOPS_PER_DIGEST * digest
+    w_bra = w_flat[bra_idx]
+    w_ket = w_flat[ket_idx]
+    alive = (w_bra != 0) & (w_ket != 0)
+    bra_idx, ket_idx = bra_idx[alive], ket_idx[alive]
+    w_bra, w_ket = w_bra[alive], w_ket[alive]
+    a, b = np.divmod(bra_idx, nb)
+    c, d = np.divmod(ket_idx, nb)
+    digest = 2.0 * sizes[a] * sizes[b] * sizes[c] * sizes[d]
+    flops = FLOPS_PER_INTERACTION * w_bra * w_ket + FLOPS_PER_DIGEST * digest
+    quartets = np.stack([a, b, c, d], axis=1).astype(np.int64)
+    return graph_from_arrays(quartets, flops.astype(np.float64), blocks, tau)
+
+
+def graph_from_arrays(
+    quartets: np.ndarray, flops: np.ndarray, blocks: BlockStructure, tau: float
+) -> TaskGraph:
+    """Materialize a :class:`TaskGraph` from its dense array form.
+
+    The inverse of ``(graph.quartet_array, graph.costs)``: footprints are
+    re-derived from the quartets, and the array caches are pre-seeded so
+    decoded graphs never pay the per-task rebuild. Used by the builder
+    above, the artifact-store codec, and the shared-memory worker handoff.
+    """
+    quartets = np.ascontiguousarray(quartets, dtype=np.int64).reshape(-1, 4)
+    flops = np.ascontiguousarray(flops, dtype=np.float64)
+    tasks: list[TaskSpec] = []
+    flops_list = flops.tolist()
+    for tid, (a, b, c, d) in enumerate(quartets.tolist()):
         reads, writes = _task_footprint(a, b, c, d)
-        tasks.append(TaskSpec(len(tasks), (a, b, c, d), float(flops), reads, writes))
-    return TaskGraph(tuple(tasks), blocks, tau)
+        tasks.append(
+            TaskSpec(tid, (a, b, c, d), flops_list[tid], reads, writes)
+        )
+    graph = TaskGraph(tuple(tasks), blocks, tau)
+    quartets.flags.writeable = False
+    flops.flags.writeable = False
+    graph.__dict__["quartet_array"] = quartets
+    graph.__dict__["costs"] = flops
+    graph.__dict__["has_standard_footprints"] = True
+    return graph
 
 
 def synthetic_task_graph(
@@ -200,10 +342,5 @@ def synthetic_task_graph(
     quartets = rng.integers(0, n_blocks, size=(n_tasks, 4))
     loc = np.log(mean_cost) - 0.5 * skew**2  # lognormal mean == mean_cost
     costs = np.exp(rng.normal(loc=loc, scale=skew, size=n_tasks))
-    tasks = []
-    for tid in range(n_tasks):
-        a, b, c, d = (int(x) for x in quartets[tid])
-        reads, writes = _task_footprint(a, b, c, d)
-        tasks.append(TaskSpec(tid, (a, b, c, d), float(costs[tid]), reads, writes))
     blocks = BlockStructure.uniform(n_blocks * block_size, block_size)
-    return TaskGraph(tuple(tasks), blocks, 0.0)
+    return graph_from_arrays(quartets.astype(np.int64), costs, blocks, 0.0)

@@ -19,7 +19,7 @@ model-specific counters, and network statistics.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from collections.abc import Generator
+from collections.abc import Callable, Generator
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -235,14 +235,27 @@ class Harness:
         cancel the right processes.
         """
 
-        def wrapped(rank: int) -> Generator:
-            ctx = self.context(rank)
-            yield from process_factory(self, ctx)
-            self._finish_times[rank] = self.engine.now
+        # The finish time is recorded through the process's synchronous
+        # on_finish hook rather than a wrapping generator: one frame fewer
+        # on every event send, same record (engine.now at generator
+        # return), and still skipped on cancellation exactly as the
+        # statement after a ``yield from`` would be.
+        engine = self.engine
+        finish_times = self._finish_times
+
+        def recorder(rank: int) -> Callable[[], None]:
+            def record() -> None:
+                finish_times[rank] = engine.now
+
+            return record
 
         procs: dict[int, Process] = {}
         for rank in range(self.n_ranks):
-            procs[rank] = self.engine.process(wrapped(rank), name=f"rank{rank}")
+            procs[rank] = engine.process(
+                process_factory(self, self.context(rank)),
+                name=f"rank{rank}",
+                on_finish=recorder(rank),
+            )
         if self.injector is not None:
             self.injector.arm(procs)
 

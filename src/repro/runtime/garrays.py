@@ -58,11 +58,15 @@ class BlockDistribution:
 
     def owner_matrix(self) -> np.ndarray:
         """``(n_blocks, n_blocks)`` owner map (for balancer vectorization)."""
-        out = np.empty((self.n_blocks, self.n_blocks), dtype=np.int64)
-        for i in range(self.n_blocks):
-            for j in range(self.n_blocks):
-                out[i, j] = self.owner((i, j))
-        return out
+        nb = self.n_blocks
+        if self.scheme == "cyclic":
+            lin = np.arange(nb * nb, dtype=np.int64).reshape(nb, nb)
+            return lin % self.n_ranks
+        rows_per_rank = -(-nb // self.n_ranks)  # ceil division
+        row_owner = np.minimum(
+            np.arange(nb, dtype=np.int64) // rows_per_rank, self.n_ranks - 1
+        )
+        return np.repeat(row_owner, nb).reshape(nb, nb)
 
 
 class GlobalBlockedMatrix:

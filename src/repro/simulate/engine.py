@@ -115,9 +115,10 @@ class Engine:
         generator: Generator[Request, Any, Any],
         name: str = "process",
         daemon: bool = False,
+        on_finish: Callable[[], None] | None = None,
     ) -> "Process":
         """Register and start a process from a generator."""
-        proc = Process(self, generator, name=name, daemon=daemon)
+        proc = Process(self, generator, name=name, daemon=daemon, on_finish=on_finish)
         self._processes.append(proc)
         self.call_now(proc._resume, None)
         return proc
@@ -139,20 +140,24 @@ class Engine:
         """
         heap = self._heap
         ready = self._ready
+        pop_ready = ready.popleft
         dispatched = self.events_dispatched
         from_ready = self.ready_dispatched
+        # ``now`` only advances in this loop, so a local mirror is safe;
+        # the attribute is kept current for callbacks that read it.
+        now = self.now
         try:
             while True:
                 if ready:
                     # Heap entries never lie in the past, so ``time <=
                     # now`` means *at* now; among equal-time events the
                     # lower seq fires first, matching the all-heap order.
-                    if heap and heap[0][0] <= self.now and heap[0][1] < ready[0][0]:
+                    if heap and heap[0][0] <= now and heap[0][1] < ready[0][0]:
                         time, _, callback = heappop(heap)
                         dispatched += 1
                         callback()
                     else:
-                        _, callback, arg = ready.popleft()
+                        _, callback, arg = pop_ready()
                         dispatched += 1
                         from_ready += 1
                         callback(arg)
@@ -160,9 +165,9 @@ class Engine:
                     time, _, callback = heap[0]
                     if time > until:
                         self.now = until
-                        return self.now
+                        return until
                     heappop(heap)
-                    self.now = time
+                    self.now = now = time
                     dispatched += 1
                     callback()
                 else:
@@ -212,6 +217,8 @@ class Process:
         "result",
         "_completion",
         "_resume",
+        "_send",
+        "_on_finish",
     )
 
     def __init__(
@@ -220,6 +227,7 @@ class Process:
         generator: Generator[Request, Any, Any],
         name: str = "process",
         daemon: bool = False,
+        on_finish: Callable[[], None] | None = None,
     ) -> None:
         self.engine = engine
         self.generator = generator
@@ -230,8 +238,14 @@ class Process:
         self.result: Any = None
         self._completion: SimEvent | None = None
         # One bound method reused for every wake-up of this process,
-        # instead of a fresh lambda per scheduled event.
+        # instead of a fresh lambda per scheduled event — and the
+        # generator's send cached the same way.
         self._resume = self.resume
+        self._send = generator.send
+        # Called synchronously (no event) when the generator returns;
+        # not called on cancellation, mirroring a trailing statement
+        # after ``yield from`` that a close() would skip.
+        self._on_finish = on_finish
 
     def cancel(self) -> None:
         """Kill the process immediately (fault injection: a rank crash).
@@ -252,13 +266,15 @@ class Process:
 
     def resume(self, value: Any = None) -> None:
         """Advance the generator; route the next request or finish."""
-        if self.cancelled:
-            return  # a wake-up raced with cancellation; drop it
         if self.done:
+            if self.cancelled:
+                return  # a wake-up raced with cancellation; drop it
             raise SimulationError(f"process {self.name!r} resumed after completion")
         try:
-            request = self.generator.send(value)
+            request = self._send(value)
         except StopIteration as stop:
+            if self._on_finish is not None:
+                self._on_finish()
             self.done = True
             self.result = stop.value
             if self._completion is not None:

@@ -39,6 +39,11 @@ from repro.util import (
     check_positive,
 )
 
+#: Trace category for time lost discovering a dead target. Must match
+#: :data:`repro.runtime.trace.FAILED`; a literal here keeps ``simulate``
+#: from importing the ``runtime`` layer (which imports this module).
+_FAILED = "failed"
+
 
 @dataclass(frozen=True)
 class NetworkModel:
@@ -322,6 +327,144 @@ class Network:
             self.nics[dst].release()
         if wire or intra:
             yield Timeout(wire + intra)
+        return old
+
+    # ------------------------------------------------------------------
+    # Traced one-sided operations (hot paths)
+    # ------------------------------------------------------------------
+    # These fold :class:`repro.runtime.comm.RankContext`'s interval
+    # recording into the cost-shape generator itself: one generator frame
+    # per operation instead of a wrapper frame plus a cost frame. Every
+    # event send traverses the whole ``yield from`` chain, so on paths
+    # that run millions of times per study the extra frame is measurable.
+    # Cost shapes, stats updates, record values, and failure behaviour are
+    # bit-identical to driving the untraced generator under a recorder.
+
+    def rma_traced(self, src: int, dst: int, nbytes: int, trace, category: str):
+        """:meth:`_rma` with the caller's interval tracing inlined."""
+        n = self.n_ranks
+        if not (0 <= src < n and 0 <= dst < n):
+            self._check_rank(src)
+            self._check_rank(dst)
+        engine = self.engine
+        start = engine.now
+        m = self.model
+        faults = self.faults
+        if faults is not None and src != dst and faults.is_dead(dst):
+            faults.note_rma_failure()
+            yield Timeout(m.software_overhead + faults.plan.rma_timeout)
+            trace.record(src, _FAILED, start, engine.now)
+            raise RankFailedError(dst, "rma")
+        stats = self.stats
+        stats.bytes_moved += nbytes
+        stats.per_rank_bytes[src] += nbytes
+        if src == dst:
+            yield Timeout(m.software_overhead + nbytes / m.local_bandwidth)
+            trace.record(src, category, start, engine.now)
+            return
+        if self.same_node(src, dst):
+            yield Timeout(
+                m.software_overhead + 2 * m.intra_latency + nbytes / m.intra_bandwidth
+            )
+            trace.record(src, category, start, engine.now)
+            return
+        yield Timeout(m.software_overhead)
+        yield Timeout(m.latency)
+        nic = self.nics[dst]
+        yield nic.acquire()
+        try:
+            yield Timeout(m.nic_occupancy + nbytes / m.bandwidth)
+        finally:
+            nic.release()
+        yield Timeout(m.latency)
+        trace.record(src, category, start, engine.now)
+
+    def accumulate_traced(
+        self, src: int, dst: int, nbytes: int, trace, category: str
+    ):
+        """:meth:`accumulate` with the caller's interval tracing inlined."""
+        n = self.n_ranks
+        if not (0 <= src < n and 0 <= dst < n):
+            self._check_rank(src)
+            self._check_rank(dst)
+        engine = self.engine
+        start = engine.now
+        m = self.model
+        faults = self.faults
+        if faults is not None and src != dst and faults.is_dead(dst):
+            faults.note_rma_failure()
+            yield Timeout(m.software_overhead + faults.plan.rma_timeout)
+            trace.record(src, _FAILED, start, engine.now)
+            raise RankFailedError(dst, "accumulate")
+        stats = self.stats
+        stats.accumulates += 1
+        stats.bytes_moved += nbytes
+        stats.per_rank_bytes[src] += nbytes
+        reduce_time = nbytes / m.accumulate_bandwidth
+        if src == dst:
+            yield Timeout(
+                m.software_overhead + nbytes / m.local_bandwidth + reduce_time
+            )
+            trace.record(src, category, start, engine.now)
+            return
+        if self.same_node(src, dst):
+            yield Timeout(
+                m.software_overhead
+                + 2 * m.intra_latency
+                + nbytes / m.intra_bandwidth
+                + reduce_time
+            )
+            trace.record(src, category, start, engine.now)
+            return
+        yield Timeout(m.software_overhead)
+        yield Timeout(m.latency)
+        nic = self.nics[dst]
+        yield nic.acquire()
+        try:
+            yield Timeout(m.nic_occupancy + nbytes / m.bandwidth + reduce_time)
+        finally:
+            nic.release()
+        yield Timeout(m.latency)
+        trace.record(src, category, start, engine.now)
+
+    def fetch_add_traced(
+        self,
+        src: int,
+        dst: int,
+        counter: "SharedCell",
+        amount: int,
+        trace,
+        category: str,
+    ):
+        """:meth:`fetch_add` with the caller's interval tracing inlined."""
+        self._check_rank(src)
+        self._check_rank(dst)
+        engine = self.engine
+        start = engine.now
+        m = self.model
+        faults = self.faults
+        if faults is not None and src != dst and faults.is_dead(dst):
+            faults.note_rma_failure()
+            yield Timeout(m.software_overhead + faults.plan.rma_timeout)
+            trace.record(src, _FAILED, start, engine.now)
+            raise RankFailedError(dst, "fetch_add")
+        self.stats.fetch_adds += 1
+        wire = 0.0 if self.same_node(src, dst) else m.latency
+        intra = m.intra_latency if (src != dst and wire == 0.0) else 0.0
+        yield Timeout(m.software_overhead)
+        if wire or intra:
+            yield Timeout(wire + intra)
+        nic = self.nics[dst]
+        yield nic.acquire()
+        old = counter.value
+        counter.value += amount
+        try:
+            yield Timeout(m.atomic_service)
+        finally:
+            nic.release()
+        if wire or intra:
+            yield Timeout(wire + intra)
+        trace.record(src, category, start, engine.now)
         return old
 
     # ------------------------------------------------------------------

@@ -121,4 +121,4 @@ class TestChaosSweeps:
 def test_full_quick_chaos_suite(tmp_path):
     report = run_chaos(quick=True, workdir=tmp_path)
     assert report.passed, report.format()
-    assert len(report.scenarios) == 3
+    assert len(report.scenarios) == 4

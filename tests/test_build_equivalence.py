@@ -1,0 +1,137 @@
+"""Bit-for-bit equivalence oracle for the workload-construction pipeline.
+
+PR 3 pinned the *simulation* core with golden digests
+(:mod:`tests.test_bitwise_equivalence`); this module does the same for
+the *build* side: task-graph enumeration, Fock hypergraph construction,
+multilevel hypergraph partitioning, and semi-matching. Vectorizing those
+builds (CSR pin arrays, ``np.add.at`` score accumulation, cached cost
+arrays) must preserve the exact floating-point accumulation order, the
+exact tie-breaking, and the exact RNG consumption — so every derived
+array here is pinned to a digest captured on the pre-vectorization code.
+
+Regenerating the goldens (only legitimate after a *semantic* change that
+is itself validated by the benchmark tables):
+
+    PYTHONPATH=src python -m tests.test_build_equivalence
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+
+import numpy as np
+import pytest
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "data" / "golden_builds.json"
+
+#: The three pinned workloads: two chemistry graphs with different
+#: screening structure (cluster vs quasi-1-D chain) and one synthetic
+#: heavy-tailed graph. Sizes keep the module inside the tier-1 budget.
+WORKLOADS = ("water5", "alkane8", "synthetic")
+
+N_RANKS = 8
+
+
+def build_workload(name: str):
+    from repro.chemistry import ScfProblem, linear_alkane, water_cluster
+    from repro.chemistry.tasks import synthetic_task_graph
+
+    if name == "water5":
+        return ScfProblem.build(water_cluster(5), block_size=6, tau=1.0e-9).graph
+    if name == "alkane8":
+        return ScfProblem.build(linear_alkane(8), block_size=6, tau=1.0e-9).graph
+    if name == "synthetic":
+        return synthetic_task_graph(1500, 16, seed=7, skew=1.3)
+    raise ValueError(name)
+
+
+def _sha(array) -> str:
+    a = np.ascontiguousarray(array)
+    return hashlib.sha256(a.tobytes()).hexdigest()[:20]
+
+
+def digest_workload(name: str) -> dict:
+    """Build everything derived from one workload and digest it."""
+    from repro.balance.hypergraph import connectivity_cut, fock_hypergraph
+    from repro.balance.metrics import communication_volume
+    from repro.balance.partition import hypergraph_balancer, partition_hypergraph
+    from repro.balance.semi_matching import build_eligibility, semi_matching_balancer
+    from repro.runtime.garrays import BlockDistribution
+
+    graph = build_workload(name)
+    quartets = np.array([t.quartet for t in graph.tasks], dtype=np.int64)
+    record = {
+        "n_tasks": graph.n_tasks,
+        "quartets": _sha(quartets),
+        "costs": _sha(graph.costs),
+    }
+
+    hg = fock_hypergraph(graph)
+    pins_cat = (
+        np.concatenate(hg.nets) if hg.nets else np.empty(0, dtype=np.int64)
+    )
+    sizes = np.array([net.size for net in hg.nets], dtype=np.int64)
+    record.update(
+        {
+            "n_nets": hg.n_nets,
+            "hg_vertex_weights": _sha(hg.vertex_weights),
+            "hg_pins": _sha(pins_cat),
+            "hg_net_sizes": _sha(sizes),
+            "hg_net_weights": _sha(hg.net_weights),
+        }
+    )
+
+    parts = partition_hypergraph(hg, N_RANKS, seed=0)
+    record["partition"] = _sha(parts)
+    record["connectivity_cut"] = connectivity_cut(hg, parts).hex()
+
+    hg_assign = hypergraph_balancer(graph, N_RANKS)
+    record["hypergraph_balancer"] = _sha(hg_assign)
+
+    dist = BlockDistribution(graph.blocks.n_blocks, N_RANKS)
+    eligibility = build_eligibility(graph, N_RANKS, dist, extra_degree=2, seed=0)
+    flat = np.array(
+        [r for ranks in eligibility for r in ranks], dtype=np.int64
+    )
+    lens = np.array([len(ranks) for ranks in eligibility], dtype=np.int64)
+    record["eligibility"] = _sha(flat)
+    record["eligibility_lens"] = _sha(lens)
+
+    for mode in ("weighted", "greedy", "optimal_unit"):
+        assign = semi_matching_balancer(graph, N_RANKS, mode=mode)
+        record[f"semi_{mode}"] = _sha(assign)
+        record[f"comm_{mode}"] = repr(communication_volume(graph, assign, dist))
+    return record
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    assert GOLDEN_PATH.exists(), (
+        "golden build digests missing; regenerate with "
+        "`PYTHONPATH=src python -m tests.test_build_equivalence` "
+        "on a trusted revision"
+    )
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_build_matches_golden_digest(name: str, golden: dict) -> None:
+    assert name in golden, f"no golden record for workload {name!r}"
+    assert digest_workload(name) == golden[name]
+
+
+def test_every_golden_workload_still_defined(golden: dict) -> None:
+    assert sorted(golden) == sorted(WORKLOADS)
+
+
+def _regenerate() -> None:
+    GOLDEN_PATH.parent.mkdir(exist_ok=True)
+    records = {name: digest_workload(name) for name in sorted(WORKLOADS)}
+    GOLDEN_PATH.write_text(json.dumps(records, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {len(records)} golden records to {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    _regenerate()
