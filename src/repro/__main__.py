@@ -10,6 +10,7 @@ Commands:
 - ``bench``    — run the perf microbenchmarks, emit ``BENCH_*.json``.
 - ``profile``  — cProfile a study and print the top-N hotspots.
 - ``chaos``    — inject real host faults into a sweep and verify recovery.
+- ``worker``   — join a distributed sweep fabric as a leased TCP worker.
 """
 
 from __future__ import annotations
@@ -105,18 +106,33 @@ def cmd_study(args: argparse.Namespace) -> int:
     # The checkpoint journal lives next to the cache; each sweep grid
     # gets its own content-addressed journal file inside it.
     journal = None if cache is None else str(pathlib.Path(cache) / "journal")
-    report = api.sweep(
-        config,
-        problem,
-        jobs=args.jobs,
-        cache=cache,
-        progress=progress,
-        timeout=args.timeout,
-        retry=retry,
-        on_error="quarantine",
-        journal=journal,
-        resume=args.resume,
-    )
+    executor = args.executor
+    if executor == "distributed":
+        executor = api.DistributedExecutor(
+            bind=args.bind, lease=args.lease
+        )
+        host, port = executor.endpoint
+        print(
+            f"distributed fabric listening on {host}:{port} — attach workers "
+            f"with: python -m repro worker --connect {host}:{port}"
+        )
+    try:
+        report = api.sweep(
+            config,
+            problem,
+            jobs=args.jobs,
+            cache=cache,
+            progress=progress,
+            timeout=args.timeout,
+            retry=retry,
+            on_error="quarantine",
+            journal=journal,
+            resume=args.resume,
+            executor=executor,
+        )
+    finally:
+        if isinstance(executor, api.DistributedExecutor):
+            executor.close()
     print(api.format_table(report.rows(), title="study results"))
     if cache is not None:
         reused = sum(
@@ -288,9 +304,35 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         timeout=args.timeout,
         log=print,
     )
+    if args.distributed:
+        from repro.chaos.distributed import run_distributed_chaos
+
+        dist_report = run_distributed_chaos(
+            quick=args.quick,
+            seed=args.seed,
+            workdir=args.workdir,
+            log=print,
+        )
+        report.scenarios.extend(dist_report.scenarios)
     print()
     print(report.format())
     return 0 if report.passed else 1
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    from repro.parallel.fabric import parse_endpoint
+    from repro.parallel.worker import run_worker
+
+    host, port = parse_endpoint(args.connect)
+    log = print if args.verbose else None
+    return run_worker(
+        host,
+        port,
+        worker_id=args.id,
+        reconnect_attempts=args.reconnect_attempts,
+        reconnect_delay=args.reconnect_delay,
+        log=log,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -352,6 +394,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-attempts", type=int, default=None, metavar="N",
         help="tries per cell before it is quarantined (default: "
         "%(default)s -> policy default of 3)",
+    )
+    p_study.add_argument(
+        "--executor", choices=("local", "serial", "distributed"),
+        default="local",
+        help="execution backend for cache-miss cells: 'local' supervised "
+        "forked workers (default), 'serial' in-process, 'distributed' "
+        "leased TCP workers (attach them with 'python -m repro worker')",
+    )
+    p_study.add_argument(
+        "--bind", default="127.0.0.1:0", metavar="HOST:PORT",
+        help="with --executor distributed: fabric listen address "
+        "(default: %(default)s, ephemeral loopback port)",
+    )
+    p_study.add_argument(
+        "--lease", type=float, default=30.0, metavar="SEC",
+        help="with --executor distributed: per-cell lease; a cell not "
+        "finished within it is revoked and requeued (default: %(default)s)",
     )
     p_study.set_defaults(func=cmd_study)
 
@@ -436,7 +495,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="keep chaos artifacts (caches, journals, markers) here "
         "instead of a throwaway temp dir",
     )
+    p_chaos.add_argument(
+        "--distributed", action="store_true",
+        help="also run the distributed-fabric scenarios (SIGKILLed / "
+        "frozen / severed / duplicating TCP workers, full remote loss)",
+    )
     p_chaos.set_defaults(func=cmd_chaos)
+
+    p_worker = sub.add_parser(
+        "worker",
+        help="join a distributed sweep fabric (leased TCP worker daemon)",
+    )
+    p_worker.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="fabric endpoint printed by 'repro study --executor distributed'",
+    )
+    p_worker.add_argument(
+        "--id", default=None, metavar="NAME",
+        help="worker identity for logs (default: <hostname>-<pid>)",
+    )
+    p_worker.add_argument(
+        "--reconnect-attempts", type=int, default=5, metavar="N",
+        help="reconnects to tolerate before giving up (default: %(default)s)",
+    )
+    p_worker.add_argument(
+        "--reconnect-delay", type=float, default=0.5, metavar="SEC",
+        help="pause between reconnect attempts (default: %(default)s)",
+    )
+    p_worker.add_argument(
+        "--verbose", action="store_true", help="log connection lifecycle"
+    )
+    p_worker.set_defaults(func=cmd_worker)
     return parser
 
 

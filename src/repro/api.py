@@ -74,7 +74,15 @@ from repro.exec_models.registry import (
 )
 from repro.exec_models.scf_simulation import ScfSimResult, ScfSimulation
 from repro.faults import FaultPlan, RetryPolicy
-from repro.parallel.executor import WorkerError
+from repro.parallel.executor import (
+    CellExecutor,
+    DegradedExecutionWarning,
+    WorkerError,
+    executor_names,
+    make_executor,
+    register_executor,
+)
+from repro.parallel.fabric import DistributedExecutor
 from repro.parallel.supervisor import HOST_RETRY_POLICY, CellFailure
 from repro.simulate.machine import (
     MachineSpec,
@@ -143,6 +151,13 @@ __all__ = [
     "HOST_RETRY_POLICY",
     "SweepJournal",
     "JournalEntry",
+    # executor backends (local pool / serial / distributed TCP fabric)
+    "CellExecutor",
+    "DistributedExecutor",
+    "DegradedExecutionWarning",
+    "make_executor",
+    "register_executor",
+    "executor_names",
     # rendering
     "format_table",
     "format_failures",
@@ -216,6 +231,7 @@ def sweep(
     on_error: str = "raise",
     journal: SweepJournal | str | None = None,
     resume: bool = False,
+    executor: CellExecutor | str = "local",
 ) -> StudyReport:
     """Run a study grid through the parallel, cached sweep orchestrator.
 
@@ -233,6 +249,12 @@ def sweep(
     ``report.failures`` instead of aborting, and ``journal``/``resume``
     checkpoint completed cells so an interrupted sweep continues where
     it stopped.
+
+    ``executor`` selects the execution backend: ``"local"`` (supervised
+    forked workers, the default), ``"serial"``, or a configured
+    :class:`DistributedExecutor` serving ``python -m repro worker``
+    daemons over TCP (see ``docs/distributed.md``). All backends share
+    the same retry/quarantine semantics and produce identical reports.
     """
     runner = SweepRunner(
         jobs=jobs,
@@ -243,5 +265,6 @@ def sweep(
         on_error=on_error,
         journal=journal,
         resume=resume,
+        executor=executor,
     )
     return runner.run_study(config, source)

@@ -10,7 +10,10 @@ exists to provide: **the disturbed sweep completes with result rows
 bit-for-bit identical to a fault-free serial run**.
 
 Entry points: :func:`run_chaos` (library) and ``python -m repro chaos``
-(CLI; ``--quick`` is the CI smoke configuration).
+(CLI; ``--quick`` is the CI smoke configuration). The distributed
+fabric gets its own scenario set — SIGKILLed, frozen, severed, and
+duplicating TCP workers — in :func:`run_distributed_chaos`
+(``--distributed`` on the CLI).
 """
 
 from repro.chaos.harness import (
@@ -21,6 +24,7 @@ from repro.chaos.harness import (
     results_identical,
     run_chaos,
 )
+from repro.chaos.distributed import run_distributed_chaos
 
 __all__ = [
     "ChaosPlan",
@@ -29,4 +33,5 @@ __all__ = [
     "chaos_execute_cell",
     "results_identical",
     "run_chaos",
+    "run_distributed_chaos",
 ]

@@ -45,7 +45,7 @@ from typing import Any, Callable, Iterator
 
 import numpy as np
 
-from repro.core.cache import fingerprint
+from repro.core.cache import atomic_tmp_path, fingerprint
 
 __all__ = [
     "ARTIFACT_SALT",
@@ -79,7 +79,6 @@ _ENTRY_MAGIC = "repro-artifact-v1"
 #: hypergraph are a few MB; this keeps worst-case residency modest).
 _MEMO_LIMIT = 128
 
-_tmp_counter = __import__("itertools").count()
 
 
 @dataclass
@@ -214,7 +213,10 @@ class ArtifactStore:
         payload["__meta__"] = np.frombuffer(header.encode("utf-8"), dtype=np.uint8)
         buf = io.BytesIO()
         np.savez(buf, **payload)
-        tmp = path.parent / f"{key}.tmp.{os.getpid()}.{next(_tmp_counter)}.npz"
+        # Same collision-free temp-name scheme as ResultCache.put(), so
+        # concurrent writers — threads, processes, or remote workers on a
+        # shared filesystem — can never collide on a temp path.
+        tmp = atomic_tmp_path(path, suffix=".npz")
         try:
             tmp.write_bytes(buf.getvalue())
             os.replace(tmp, path)

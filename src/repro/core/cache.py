@@ -33,6 +33,7 @@ import itertools
 import os
 import pathlib
 import pickle
+import secrets
 from dataclasses import dataclass, field, fields, is_dataclass
 from typing import Any
 
@@ -170,6 +171,26 @@ _ENTRY_MAGIC = "repro-cache-entry-v1"
 #: the same process (threads) — pid alone is not unique there.
 _tmp_counter = itertools.count()
 
+#: Per-process random token folded into temp names: pids recur across
+#: *hosts*, so on a shared filesystem (the distributed sweep fabric)
+#: pid+counter alone can collide between writers on different machines.
+_writer_token = secrets.token_hex(4)
+
+
+def atomic_tmp_path(path: pathlib.Path, suffix: str = "") -> pathlib.Path:
+    """A collision-free temp path next to ``path`` for atomic replace.
+
+    The single temp-naming scheme for every store in the repo
+    (:class:`ResultCache`, :class:`~repro.core.artifacts.ArtifactStore`):
+    ``<name>.tmp.<pid>-<token>.<n><suffix>``, unique across threads
+    (counter), processes (pid), and hosts sharing a filesystem (random
+    per-process token). Write to it, then ``os.replace`` onto ``path``.
+    """
+    return path.parent / (
+        f"{path.name}.tmp.{os.getpid()}-{_writer_token}"
+        f".{next(_tmp_counter)}{suffix}"
+    )
+
 
 @dataclass
 class CacheStats:
@@ -254,14 +275,15 @@ class ResultCache:
     def put(self, key: str, value: Any) -> None:
         """Store ``value`` under ``key`` atomically.
 
-        Concurrent writers of the same key are safe: each writes its own
-        temp file (pid + per-process counter) and the final ``rename`` is
+        Concurrent writers of the same key are safe — including writers
+        on *different hosts* sharing the filesystem: each writes its own
+        temp file (:func:`atomic_tmp_path`) and the final ``rename`` is
         atomic, so readers only ever observe a complete entry — the last
         rename wins, with identical bytes for identical inputs.
         """
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}.{next(_tmp_counter)}")
+        tmp = atomic_tmp_path(path)
         try:
             with open(tmp, "wb") as fh:
                 pickle.dump(

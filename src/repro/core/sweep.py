@@ -43,11 +43,11 @@ from repro.core.journal import JournalEntry, SweepJournal, deferred_signals
 from repro.core.results import StudyReport
 from repro.chemistry.tasks import TaskGraph
 from repro.faults import FaultPlan, RetryPolicy
+from repro.parallel.executor import CellExecutor, make_executor
 from repro.parallel.supervisor import (
     HOST_RETRY_POLICY,
     CellFailure,
     SupervisorStats,
-    supervised_imap,
 )
 from repro.simulate.machine import MachineSpec
 from repro.util import ConfigurationError, derive_seed
@@ -224,6 +224,13 @@ class SweepRunner:
             compute exactly what ``execute_cell`` computes — this hook
             exists for wrappers that add host-fault injection or
             instrumentation around the same computation (chaos harness).
+        executor: how cache-miss cells execute — a
+            :class:`~repro.parallel.CellExecutor` instance or a registry
+            name (``"local"`` forked supervised pool, the default;
+            ``"serial"`` in-process; ``"distributed"`` leased TCP
+            workers — see :func:`repro.parallel.make_executor`). Every
+            backend shares the same retry/quarantine semantics, so
+            results are identical across executors.
     """
 
     def __init__(
@@ -239,6 +246,7 @@ class SweepRunner:
         journal: SweepJournal | str | Any | None = None,
         resume: bool = False,
         cell_fn: Callable[[SweepCell], Any] | None = None,
+        executor: CellExecutor | str = "local",
     ) -> None:
         if jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
@@ -259,6 +267,7 @@ class SweepRunner:
         self.journal = journal
         self.resume = resume
         self.cell_fn = cell_fn if cell_fn is not None else execute_cell
+        self.executor = make_executor(executor)
         self.stats = SweepStats()
         #: Host-fault accounting from the supervised pool (crashes,
         #: timeouts, retries, quarantines), cumulative over this runner.
@@ -421,19 +430,22 @@ class SweepRunner:
             if misses:
                 jobs = [cells[index] for index in misses]
                 labels = [cells[index].label for index in misses]
-                if self.jobs > 1:
+                if self.jobs > 1 and self.executor.graph_handoff == "shm":
                     # Zero-copy handoff: publish each distinct large graph
                     # to shared memory once and ship workers a GraphHandle
-                    # instead of re-pickling the graph per dispatch.
+                    # instead of re-pickling the graph per dispatch. Only
+                    # the local forked backend can attach these segments;
+                    # the distributed backend ships its own content-keyed
+                    # graph references instead (graph_handoff == "ref").
                     jobs = self._publish_graphs(jobs, published)
                 # Hold SIGINT/SIGTERM across the store-write +
                 # journal-append pair so the journal never names a result
                 # that didn't land (no-op guard when not checkpointing).
                 guard = deferred_signals if journal is not None else contextlib.nullcontext
-                for position, outcome in supervised_imap(
+                for position, outcome in self.executor.run(
                     self.cell_fn,
                     jobs,
-                    self.jobs,
+                    n_workers=self.jobs,
                     timeout=self.timeout,
                     retry=self.retry,
                     on_error=self.on_error,

@@ -8,25 +8,44 @@ matrix checked against the serial reference. It also powers the laptop
 examples and gives SCF a genuinely parallel two-electron builder.
 
 :mod:`repro.parallel.executor` is the coarse-grained counterpart: generic
-fork-based fan-out of independent jobs; :mod:`repro.parallel.supervisor`
-wraps it in host-level fault tolerance (per-job timeouts, crash
-recovery, retry/backoff, poison-job quarantine) — the worker pool the
-sweep orchestrator actually runs on.
+fork-based fan-out of independent jobs plus the :class:`CellExecutor`
+backend protocol; :mod:`repro.parallel.supervisor` wraps the fan-out in
+host-level fault tolerance (per-job timeouts, crash recovery,
+retry/backoff, poison-job quarantine) — the ``local`` backend the sweep
+orchestrator runs on by default — and :mod:`repro.parallel.fabric` /
+:mod:`repro.parallel.worker` stretch the same supervision across hosts
+as the ``distributed`` backend (leased TCP workers).
 """
 
 from repro.parallel.executor import (
+    CellExecutor,
+    DegradedExecutionWarning,
+    LocalExecutor,
+    SerialExecutor,
     WorkerError,
+    executor_names,
     fork_available,
+    make_executor,
     parallel_imap,
     parallel_map,
+    register_executor,
 )
 from repro.parallel.supervisor import (
     HOST_RETRY_POLICY,
+    AttemptLedger,
     CellFailure,
     SupervisedPool,
     SupervisorStats,
     supervised_imap,
 )
+from repro.parallel.fabric import (
+    DistributedExecutor,
+    FabricServer,
+    GraphRef,
+    NoWorkersError,
+    parse_endpoint,
+)
+from repro.parallel.worker import WorkerChaos, run_worker
 from repro.parallel.pool import (
     SharedMemoryFockBuilder,
     parallel_g_builder,
@@ -47,7 +66,22 @@ __all__ = [
     "SupervisedPool",
     "SupervisorStats",
     "CellFailure",
+    "AttemptLedger",
     "HOST_RETRY_POLICY",
+    "CellExecutor",
+    "LocalExecutor",
+    "SerialExecutor",
+    "DistributedExecutor",
+    "DegradedExecutionWarning",
+    "make_executor",
+    "register_executor",
+    "executor_names",
+    "FabricServer",
+    "GraphRef",
+    "NoWorkersError",
+    "parse_endpoint",
+    "WorkerChaos",
+    "run_worker",
     "SharedMemoryFockBuilder",
     "parallel_g_builder",
     "ParallelStats",

@@ -26,13 +26,16 @@ full supervisor layer (:mod:`repro.parallel.supervisor`) instead.
 
 from __future__ import annotations
 
+import abc
 import multiprocessing
+import signal as _signal
 import traceback
+import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Iterator, Sequence
 
-from repro.util import ReproError, check_positive
+from repro.util import ConfigurationError, ReproError, check_positive
 
 
 class WorkerError(ReproError, RuntimeError):
@@ -79,6 +82,56 @@ def _remote_traceback(exc: BaseException) -> str:
 def fork_available() -> bool:
     """Whether the POSIX ``fork`` start method exists on this host."""
     return "fork" in multiprocessing.get_all_start_methods()
+
+
+class DegradedExecutionWarning(RuntimeWarning):
+    """An executor silently *would* have lost capability — so it didn't.
+
+    Emitted exactly once per (backend, reason) whenever an executor
+    falls back to a weaker mode: the local pool running serially because
+    the platform lacks ``fork``/``SIGKILL``, or the distributed fabric
+    rerouting cells to the local pool after losing every remote worker.
+    Structured: ``backend`` and ``reason`` are attributes, not just
+    message text, so tooling can filter on them.
+    """
+
+    def __init__(self, backend: str, reason: str) -> None:
+        super().__init__(
+            f"{backend} executor degraded: {reason}; falling back to "
+            f"{'serial in-process' if backend == 'local' else 'local'} "
+            "execution"
+        )
+        self.backend = backend
+        self.reason = reason
+
+
+#: (backend, reason) pairs already warned about in this process, so a
+#: million-cell sweep on a forkless platform warns once, not per batch.
+_WARNED_DEGRADATIONS: set[tuple[str, str]] = set()
+
+
+def warn_degraded(backend: str, reason: str, *, once: bool = True) -> None:
+    """Emit the single structured degradation warning for ``reason``."""
+    if once:
+        if (backend, reason) in _WARNED_DEGRADATIONS:
+            return
+        _WARNED_DEGRADATIONS.add((backend, reason))
+    warnings.warn(DegradedExecutionWarning(backend, reason), stacklevel=3)
+
+
+def serial_fallback_reason() -> str | None:
+    """Why parallel supervised execution is impossible here (None = it isn't).
+
+    The supervised pool needs ``fork`` (workers inherit the built
+    problem state) and ``SIGKILL`` (hung workers must be killable
+    unconditionally); a platform missing either runs cells serially
+    in-process instead — with a warning, never silently.
+    """
+    if not fork_available():
+        return "no 'fork' start method on this platform"
+    if not hasattr(_signal, "SIGKILL"):
+        return "no SIGKILL on this platform (hung workers cannot be killed)"
+    return None
 
 
 def _job_label(labels: Sequence[str] | None, index: int) -> str:
@@ -173,3 +226,185 @@ def parallel_imap(
                     f"process pool broke {restarts} times; giving up with "
                     f"{len(remaining)} job(s) unfinished",
                 ) from exc
+
+
+# ----------------------------------------------------------------------
+# The CellExecutor protocol and backend registry
+# ----------------------------------------------------------------------
+
+class CellExecutor(abc.ABC):
+    """How a sweep's cache-miss cells get executed.
+
+    One abstraction, several transports: the sweep orchestrator
+    (:class:`repro.core.sweep.SweepRunner`) hands every backend the same
+    contract — run these jobs through ``fn``, yield ``(index, outcome)``
+    in completion order, where an outcome is the job's result or a
+    :class:`~repro.parallel.supervisor.CellFailure` for jobs that
+    exhausted their retry budget. Fault-tolerance semantics (bounded
+    retry with deterministic jittered backoff, poison-job quarantine,
+    non-retryable ``ConfigurationError``) are shared across backends
+    through :class:`~repro.parallel.supervisor.AttemptLedger`, not
+    reimplemented per transport.
+
+    Built-in backends (see :func:`make_executor`):
+
+    - ``"local"`` — supervised forked workers
+      (:func:`~repro.parallel.supervisor.supervised_imap`): per-job
+      wall-clock timeouts, SIGKILL + respawn of hung workers, crash
+      re-dispatch. Degrades to serial in-process execution where
+      ``fork`` is unavailable.
+    - ``"serial"`` — always in-process, same retry/quarantine logic, no
+      isolation (and therefore no timeouts).
+    - ``"distributed"`` — leased TCP workers
+      (:class:`repro.parallel.fabric.DistributedExecutor`): remote
+      ``python -m repro worker`` daemons pull cells under time-bounded
+      leases and push content-keyed results; losing every remote worker
+      degrades to the local pool mid-sweep.
+    """
+
+    #: Registry name of this backend.
+    name: str = ""
+
+    #: How large task graphs travel to workers: ``"shm"`` (the runner
+    #: publishes shared-memory handles — local forked workers), ``"ref"``
+    #: (the executor ships content-keyed references and workers fetch
+    #: blobs over its own channel), or None (no handoff — in-process).
+    graph_handoff: str | None = None
+
+    @abc.abstractmethod
+    def run(
+        self,
+        fn: Callable[[Any], Any],
+        jobs: Sequence[Any],
+        *,
+        n_workers: int = 1,
+        timeout: float | None = None,
+        retry: Any | None = None,
+        on_error: str = "quarantine",
+        labels: Sequence[str] | None = None,
+        on_dispatch: Callable[[int, int], None] | None = None,
+        stats: Any | None = None,
+    ) -> Iterator[tuple[int, Any]]:
+        """Yield ``(index, result-or-CellFailure)`` in completion order."""
+
+
+class LocalExecutor(CellExecutor):
+    """The forked supervised pool (PR 4 semantics), as a backend."""
+
+    name = "local"
+    graph_handoff = "shm"
+
+    def run(
+        self,
+        fn,
+        jobs,
+        *,
+        n_workers=1,
+        timeout=None,
+        retry=None,
+        on_error="quarantine",
+        labels=None,
+        on_dispatch=None,
+        stats=None,
+    ):
+        from repro.parallel.supervisor import HOST_RETRY_POLICY, supervised_imap
+
+        yield from supervised_imap(
+            fn,
+            jobs,
+            n_workers,
+            timeout=timeout,
+            retry=retry if retry is not None else HOST_RETRY_POLICY,
+            on_error=on_error,
+            labels=labels,
+            on_dispatch=on_dispatch,
+            stats=stats,
+        )
+
+
+class SerialExecutor(CellExecutor):
+    """In-process execution with the shared retry/quarantine semantics.
+
+    What the local backend degrades to; selectable explicitly for
+    debugging (no forking, breakpoints work) and for platforms where
+    process isolation is undesirable. Timeouts require isolation and are
+    ignored.
+    """
+
+    name = "serial"
+    graph_handoff = None
+
+    def run(
+        self,
+        fn,
+        jobs,
+        *,
+        n_workers=1,
+        timeout=None,
+        retry=None,
+        on_error="quarantine",
+        labels=None,
+        on_dispatch=None,
+        stats=None,
+    ):
+        from repro.parallel.supervisor import (
+            HOST_RETRY_POLICY,
+            _serial_supervised,
+        )
+
+        yield from _serial_supervised(
+            fn,
+            jobs,
+            retry if retry is not None else HOST_RETRY_POLICY,
+            on_error,
+            labels,
+        )
+
+
+def _make_distributed(**options: Any) -> CellExecutor:
+    from repro.parallel.fabric import DistributedExecutor
+
+    return DistributedExecutor(**options)
+
+
+#: Backend factories by registry name. Extend with
+#: :func:`register_executor`.
+EXECUTOR_BACKENDS: dict[str, Callable[..., CellExecutor]] = {
+    "local": LocalExecutor,
+    "serial": SerialExecutor,
+    "distributed": _make_distributed,
+}
+
+
+def executor_names() -> tuple[str, ...]:
+    """Registered backend names, sorted."""
+    return tuple(sorted(EXECUTOR_BACKENDS))
+
+
+def register_executor(
+    name: str, factory: Callable[..., CellExecutor], *, replace: bool = False
+) -> None:
+    """Register a backend factory under ``name`` (keyword options only)."""
+    if not replace and name in EXECUTOR_BACKENDS:
+        raise ConfigurationError(f"executor backend {name!r} already registered")
+    EXECUTOR_BACKENDS[name] = factory
+
+
+def make_executor(
+    spec: "str | CellExecutor", **options: Any
+) -> CellExecutor:
+    """Resolve an executor spec: an instance passes through, a name is
+    looked up in the registry and constructed with ``options``."""
+    if isinstance(spec, CellExecutor):
+        if options:
+            raise ConfigurationError(
+                "options only apply when constructing by name; got an "
+                f"instance plus {sorted(options)}"
+            )
+        return spec
+    if spec not in EXECUTOR_BACKENDS:
+        raise ConfigurationError(
+            f"unknown executor backend {spec!r}; registered: "
+            f"{', '.join(executor_names())}"
+        )
+    return EXECUTOR_BACKENDS[spec](**options)

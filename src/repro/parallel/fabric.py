@@ -1,0 +1,778 @@
+"""The distributed sweep fabric: leased TCP workers, one coordination loop.
+
+:mod:`repro.parallel.supervisor` supervises *forked* workers over pipes;
+this module is the same supervision discipline stretched across hosts.
+A :class:`FabricServer` listens on a TCP endpoint; any number of
+``python -m repro worker`` daemons (:mod:`repro.parallel.worker`)
+connect, pull cells under **time-bounded leases**, stream heartbeats
+while computing, and push results tagged with the cell's content key.
+:class:`DistributedExecutor` wraps the server behind the
+:class:`~repro.parallel.executor.CellExecutor` protocol, so the sweep
+orchestrator cannot tell the backends apart.
+
+Design rules, mirroring the local supervisor:
+
+- **One cell per worker at a time.** The server always knows which
+  worker holds which cell; a vanished worker costs exactly its in-flight
+  cell, never the batch.
+- **Leases, not trust.** A dispatched cell carries a wall-clock lease.
+  A cell that overruns it (hung or frozen worker) is revoked and
+  requeued; a worker that stops heartbeating (SIGKILL, network
+  partition, SIGSTOP) has its connection declared dead and its cell
+  requeued. Both paths consume one retry attempt through the *same*
+  :class:`~repro.parallel.supervisor.AttemptLedger` the forked pool
+  uses — requeue, deterministic jittered backoff, quarantine after
+  ``max_attempts``.
+- **Content-keyed transfer, never pickled graphs per cell.** Task
+  graphs and the job function travel once per worker as content-keyed
+  blobs (the cross-host analogue of the shared-memory handoff in
+  :mod:`repro.parallel.shm`): cells are dispatched with a
+  :class:`GraphRef` in place of the graph, and workers ``fetch`` the
+  bytes by key on first use. Results come back tagged with a dispatch
+  key derived from the cell's content, so a **duplicate completion** —
+  a partitioned-then-healed worker pushing a result the server already
+  requeued and recomputed — is deduplicated idempotently (first valid
+  result wins, the rest are counted and dropped).
+- **Graceful degradation.** If no worker ever connects, or every remote
+  worker is lost mid-sweep, the executor reroutes the unfinished cells
+  through the fallback local executor after one structured
+  :class:`~repro.parallel.executor.DegradedExecutionWarning` — a dead
+  fleet costs its in-flight cells, not the sweep.
+
+Wire protocol (version :data:`PROTOCOL_VERSION`): length-prefixed
+pickled tuples; see ``docs/distributed.md`` for the frame and failure
+matrix. Cells are assumed idempotent and deterministic (sweep cells are
+pure functions of their inputs), which is what makes requeue-on-lease-
+expiry and duplicate dedupe *correct*, not merely convenient.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import pickle
+import queue as queue_mod
+import socket
+import struct
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.parallel.executor import (
+    CellExecutor,
+    LocalExecutor,
+    warn_degraded,
+)
+from repro.parallel.supervisor import (
+    HOST_RETRY_POLICY,
+    AttemptLedger,
+    SupervisorStats,
+)
+from repro.util import ConfigurationError
+
+#: Fabric wire-protocol version; a worker with a different version is
+#: turned away at the handshake.
+PROTOCOL_VERSION = 1
+
+#: Hard cap on a single frame (a pickled TaskGraph blob fits well under
+#: this; anything larger is a protocol violation, not a workload).
+MAX_FRAME_BYTES = 1 << 30
+
+_LEN = struct.Struct("!Q")
+
+
+class FabricProtocolError(ConfigurationError):
+    """A malformed or oversized frame on the fabric socket."""
+
+
+class NoWorkersError(RuntimeError):
+    """The fabric has no live workers left; ``pending`` holds the
+    indices of jobs that still need a home."""
+
+    def __init__(self, reason: str, pending: list[int]) -> None:
+        super().__init__(reason)
+        self.reason = reason
+        self.pending = pending
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+
+def send_frame(sock: socket.socket, obj: Any, lock: threading.Lock | None = None) -> None:
+    """Write one length-prefixed pickled frame (thread-safe with ``lock``)."""
+    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    data = _LEN.pack(len(payload)) + payload
+    if lock is not None:
+        with lock:
+            sock.sendall(data)
+    else:
+        sock.sendall(data)
+
+
+def recv_frame(sock: socket.socket) -> Any:
+    """Read one frame; raises ``EOFError`` on a cleanly closed socket."""
+    header = _recv_exact(sock, _LEN.size)
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise FabricProtocolError(f"frame of {length} bytes exceeds cap")
+    return pickle.loads(_recv_exact(sock, length))
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    while n:
+        chunk = sock.recv(min(n, 1 << 20))
+        if not chunk:
+            raise EOFError("fabric peer closed the connection")
+        chunks.append(chunk)
+        n -= len(chunk)
+    return b"".join(chunks)
+
+
+# ----------------------------------------------------------------------
+# Content-keyed references
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class GraphRef:
+    """A content-keyed stand-in for a task graph in a dispatched cell.
+
+    ``key`` is the sha256 of the graph's pickled bytes; workers resolve
+    it through the fabric's ``fetch`` channel, caching per process — the
+    cross-host analogue of :class:`repro.parallel.shm.GraphHandle`.
+    """
+
+    key: str
+    nbytes: int = 0
+
+
+def blob_key(data: bytes) -> str:
+    """The content address of one transferable blob."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def _swap_graph_refs(
+    jobs: Sequence[Any], blobs: dict[str, bytes]
+) -> list[tuple[Any, bytes, str]]:
+    """Prepare jobs for dispatch: pickle each with its graph replaced by
+    a :class:`GraphRef`, registering graph bytes in ``blobs`` once per
+    distinct graph. Returns ``(original_job, payload_bytes, key)`` per
+    job, where ``key`` is the dispatch content key.
+    """
+    graph_keys: dict[int, str] = {}
+    out: list[tuple[Any, bytes, str]] = []
+    for job in jobs:
+        ship = job
+        graph = getattr(job, "graph", None)
+        if (
+            graph is not None
+            and dataclasses.is_dataclass(job)
+            and not isinstance(graph, GraphRef)
+        ):
+            gkey = graph_keys.get(id(graph))
+            if gkey is None:
+                data = pickle.dumps(graph, protocol=pickle.HIGHEST_PROTOCOL)
+                gkey = blob_key(data)
+                blobs.setdefault(gkey, data)
+                graph_keys[id(graph)] = gkey
+            ship = dataclasses.replace(
+                job, graph=GraphRef(key=gkey, nbytes=len(blobs[gkey]))
+            )
+        payload = pickle.dumps(ship, protocol=pickle.HIGHEST_PROTOCOL)
+        out.append((job, payload, blob_key(payload)))
+    return out
+
+
+# ----------------------------------------------------------------------
+# The server
+# ----------------------------------------------------------------------
+
+class _WorkerConn:
+    """One connected worker daemon: socket, identity, and assignment."""
+
+    __slots__ = (
+        "sock", "wlock", "worker_id", "pid", "state",
+        "task", "key", "dispatched_at", "last_seen",
+    )
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self.wlock = threading.Lock()
+        self.worker_id = "?"
+        self.pid = -1
+        # new -> idle <-> busy -> dead; "revoked" = lease taken back but
+        # the worker is still chewing on the old cell (do not redispatch
+        # until it reports ready).
+        self.state = "new"
+        self.task = None  # the _Task currently leased to this worker
+        self.key = ""  # dispatch key of the leased cell
+        self.dispatched_at = 0.0
+        self.last_seen = 0.0
+
+    def send(self, obj: Any) -> None:
+        send_frame(self.sock, obj, self.wlock)
+
+    def close(self) -> None:
+        self.state = "dead"
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class FabricServer:
+    """TCP sweep supervisor: accepts workers, leases cells, collects results.
+
+    Args:
+        host, port: bind address (``port=0`` picks an ephemeral port;
+            read :attr:`endpoint` afterwards).
+        lease: default per-cell wall-clock lease in seconds. A cell not
+            completed within its lease is revoked and requeued.
+        heartbeat: heartbeat interval advertised to workers (default
+            ``lease / 4``, clamped to [0.05, 2.0]).
+        connect_timeout: how long :meth:`run` waits for the *first*
+            worker before giving up on the fabric entirely.
+        degrade_after: grace period with zero live workers (after at
+            least one had connected) before :meth:`run` abandons the
+            fabric mid-sweep.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        lease: float = 30.0,
+        heartbeat: float | None = None,
+        connect_timeout: float = 10.0,
+        degrade_after: float = 5.0,
+    ) -> None:
+        if lease <= 0:
+            raise ConfigurationError(f"lease must be > 0, got {lease}")
+        self.lease = float(lease)
+        self.heartbeat = (
+            float(heartbeat)
+            if heartbeat is not None
+            else min(2.0, max(0.05, self.lease / 4.0))
+        )
+        self.connect_timeout = float(connect_timeout)
+        self.degrade_after = float(degrade_after)
+        self._listener = socket.create_server((host, port), backlog=16)
+        self._listener.settimeout(0.25)
+        self._conns: list[_WorkerConn] = []
+        self._conns_lock = threading.Lock()
+        self._events: queue_mod.Queue = queue_mod.Queue()
+        self._blobs: dict[str, bytes] = {}
+        self._closed = False
+        self._ever_connected = False
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="fabric-accept", daemon=True
+        )
+        self._accept_thread.start()
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def endpoint(self) -> tuple[str, int]:
+        """The ``(host, port)`` workers should connect to."""
+        addr = self._listener.getsockname()
+        return addr[0], addr[1]
+
+    def close(self) -> None:
+        """Shut the fabric down: tell workers to exit, close every socket."""
+        self._closed = True
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        with self._conns_lock:
+            conns = list(self._conns)
+            self._conns.clear()
+        for conn in conns:
+            try:
+                conn.send(("shutdown",))
+            except OSError:
+                pass
+            conn.close()
+
+    def __enter__(self) -> "FabricServer":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # -- connection plumbing (accept + reader threads) ------------------
+    def _accept_loop(self) -> None:
+        while not self._closed:
+            try:
+                sock, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            conn = _WorkerConn(sock)
+            with self._conns_lock:
+                self._conns.append(conn)
+            threading.Thread(
+                target=self._reader_loop,
+                args=(conn,),
+                name="fabric-reader",
+                daemon=True,
+            ).start()
+
+    def _reader_loop(self, conn: _WorkerConn) -> None:
+        while True:
+            try:
+                frame = recv_frame(conn.sock)
+            except (EOFError, OSError, pickle.UnpicklingError, FabricProtocolError) as exc:
+                self._events.put(("gone", conn, repr(exc)))
+                return
+            self._events.put(("frame", conn, frame))
+
+    def live_workers(self) -> list[_WorkerConn]:
+        """Connections that have completed the handshake and not died."""
+        with self._conns_lock:
+            return [
+                c for c in self._conns if c.state in ("idle", "busy", "revoked")
+            ]
+
+    def worker_pids(self) -> list[int]:
+        """Remote daemon PIDs (chaos/testing hook)."""
+        return [c.pid for c in self.live_workers() if c.pid > 0]
+
+    def _drop(self, conn: _WorkerConn) -> None:
+        conn.close()
+        with self._conns_lock:
+            if conn in self._conns:
+                self._conns.remove(conn)
+
+    # -- the supervision loop ------------------------------------------
+    def run(
+        self,
+        fn: Callable[[Any], Any],
+        jobs: Sequence[Any],
+        *,
+        lease: float | None = None,
+        retry: Any = None,
+        on_error: str = "quarantine",
+        labels: Sequence[str] | None = None,
+        on_dispatch: Callable[[int, int], None] | None = None,
+        stats: SupervisorStats | None = None,
+    ) -> Iterator[tuple[int, Any]]:
+        """Yield ``(index, result-or-CellFailure)`` in completion order.
+
+        Raises :class:`NoWorkersError` (carrying the unfinished indices)
+        when the fabric is or becomes workerless — the executor layer
+        turns that into local fallback, so callers of the executor never
+        see it.
+        """
+        ledger = AttemptLedger(
+            retry if retry is not None else HOST_RETRY_POLICY,
+            on_error,
+            labels=labels,
+            stats=stats,
+        )
+        lease_s = float(lease) if lease is not None else self.lease
+        fn_bytes = pickle.dumps(fn, protocol=pickle.HIGHEST_PROTOCOL)
+        fn_key = blob_key(fn_bytes)
+        self._blobs = {fn_key: fn_bytes}
+        prepared = _swap_graph_refs(jobs, self._blobs)
+        payloads = {i: (p, k) for i, (_job, p, k) in enumerate(prepared)}
+        queue = ledger.make_tasks(jobs)
+        tasks = {task.index: task for task in queue}
+        settled: set[int] = set()
+        outstanding = len(queue)
+        started = time.monotonic()
+        last_alive = started
+        hb_timeout = max(3.0 * self.heartbeat, 0.5)
+
+        def revoke(conn: _WorkerConn, error: tuple[str, str, str], *, drop: bool):
+            """Take the leased cell back; returns a quarantine failure or None."""
+            task = conn.task
+            conn.task, conn.key = None, ""
+            if drop:
+                self._drop(conn)
+            else:
+                # Still chewing on the revoked cell; back in rotation
+                # only after it reports ready.
+                conn.state = "revoked"
+            if task is None or task.index in settled:
+                return None
+            return ledger.fail_attempt(task, error, queue, time.monotonic())
+
+        def settle(index: int) -> None:
+            settled.add(index)
+            tasks.pop(index, None)
+
+        while outstanding:
+            now = time.monotonic()
+
+            # Expire leases: overrun cells are revoked (worker kept, it
+            # may just be slow); silent workers are declared dead.
+            for conn in self.live_workers():
+                if conn.state == "revoked":
+                    # Heartbeats continue through a slow cell; a revoked
+                    # worker gone silent is dead (e.g. SIGSTOP forever)
+                    # and must not keep the fabric looking alive.
+                    if now - conn.last_seen > hb_timeout:
+                        ledger.stats.disconnects += 1
+                        self._drop(conn)
+                    continue
+                if conn.state != "busy" or conn.task is None:
+                    continue
+                failure = None
+                if now - conn.dispatched_at > lease_s:
+                    ledger.stats.lease_expiries += 1
+                    ledger.stats.timeouts += 1
+                    failure = revoke(
+                        conn,
+                        (
+                            "LeaseExpired",
+                            f"cell exceeded its {lease_s:g}s lease; requeued",
+                            "",
+                        ),
+                        drop=False,
+                    )
+                elif now - conn.last_seen > hb_timeout:
+                    ledger.stats.lease_expiries += 1
+                    ledger.stats.crashes += 1
+                    ledger.stats.disconnects += 1
+                    failure = revoke(
+                        conn,
+                        (
+                            "WorkerLost",
+                            f"no heartbeat for {hb_timeout:g}s "
+                            "(worker dead or partitioned)",
+                            "",
+                        ),
+                        drop=True,
+                    )
+                if failure is not None:
+                    settle(failure.index)
+                    outstanding -= 1
+                    yield failure.index, failure
+
+            # Dispatch ready cells onto idle workers.
+            for conn in self.live_workers():
+                if conn.state != "idle" or not queue:
+                    continue
+                task = ledger.next_ready(queue, now)
+                if task is None:
+                    break
+                payload, key = payloads[task.index]
+                try:
+                    conn.send(("cell", task.index, key, fn_key, payload))
+                except OSError:
+                    ledger.stats.crashes += 1
+                    ledger.stats.disconnects += 1
+                    self._drop(conn)
+                    failure = ledger.fail_attempt(
+                        task,
+                        ("WorkerCrash", "worker unreachable at dispatch", ""),
+                        queue,
+                        now,
+                    )
+                    if failure is not None:
+                        settle(failure.index)
+                        outstanding -= 1
+                        yield failure.index, failure
+                    continue
+                conn.task, conn.key = task, key
+                conn.state = "busy"
+                conn.dispatched_at = conn.last_seen = now
+                if on_dispatch is not None:
+                    on_dispatch(task.index, conn.pid)
+
+            # Degrade when the fabric is (or became) workerless.
+            alive = self.live_workers()
+            if alive:
+                last_alive = now
+            else:
+                grace = (
+                    self.degrade_after
+                    if self._ever_connected
+                    else self.connect_timeout
+                )
+                anchor = last_alive if self._ever_connected else started
+                if now - anchor > grace:
+                    pending = sorted(
+                        set(tasks) - settled
+                    )
+                    ledger.stats.degraded += len(pending)
+                    raise NoWorkersError(
+                        "no remote workers "
+                        + ("left" if self._ever_connected else "ever connected"),
+                        pending,
+                    )
+
+            # Wait for the next event or deadline.
+            try:
+                kind, conn, body = self._events.get(timeout=0.05)
+            except queue_mod.Empty:
+                continue
+            if kind == "gone":
+                if conn.state == "dead":
+                    continue
+                was_busy = conn.state == "busy"
+                if was_busy:
+                    ledger.stats.crashes += 1
+                ledger.stats.disconnects += 1
+                failure = revoke(
+                    conn,
+                    (
+                        "WorkerCrash",
+                        f"connection lost mid-cell ({body})",
+                        "",
+                    ),
+                    drop=True,
+                ) if was_busy else (self._drop(conn) or None)
+                if failure is not None:
+                    settle(failure.index)
+                    outstanding -= 1
+                    yield failure.index, failure
+                continue
+            # kind == "frame"
+            result = self._handle_frame(
+                conn, body, ledger, queue, tasks, settled, payloads
+            )
+            if result is not None:
+                index, outcome = result
+                settle(index)
+                outstanding -= 1
+                yield index, outcome
+
+    # -- frame handling -------------------------------------------------
+    def _handle_frame(
+        self,
+        conn: _WorkerConn,
+        frame: Any,
+        ledger: AttemptLedger,
+        queue: deque,
+        tasks: dict[int, Any],
+        settled: set[int],
+        payloads: dict[int, tuple[bytes, str]],
+    ) -> tuple[int, Any] | None:
+        """Process one worker frame; returns a settled (index, outcome)."""
+        if not isinstance(frame, tuple) or not frame:
+            self._drop(conn)
+            return None
+        kind = frame[0]
+        now = time.monotonic()
+        conn.last_seen = now
+        if kind == "hello":
+            _, worker_id, version, pid = frame
+            if version != PROTOCOL_VERSION:
+                try:
+                    conn.send(("shutdown",))
+                except OSError:
+                    pass
+                self._drop(conn)
+                return None
+            conn.worker_id = str(worker_id)
+            conn.pid = int(pid)
+            conn.state = "idle"
+            self._ever_connected = True
+            try:
+                conn.send(
+                    (
+                        "welcome",
+                        {
+                            "version": PROTOCOL_VERSION,
+                            "lease": self.lease,
+                            "heartbeat": self.heartbeat,
+                        },
+                    )
+                )
+            except OSError:
+                self._drop(conn)
+            return None
+        if kind == "ready":
+            # Sent after the handshake and after each completion. Only
+            # honour it when no lease is held: the post-handshake ready
+            # can race a dispatch (the server may assign a cell the
+            # moment hello lands), and clearing an active lease here
+            # would orphan the task.
+            if conn.task is None and conn.state != "dead":
+                conn.state = "idle"
+            return None
+        if kind == "heartbeat":
+            return None  # last_seen already refreshed above
+        if kind == "fetch":
+            _, key = frame
+            data = self._blobs.get(key)
+            try:
+                if data is None:
+                    conn.send(("no-blob", key))
+                else:
+                    conn.send(("blob", key, data))
+            except OSError:
+                pass  # reader thread will surface the loss
+            return None
+        if kind in ("result", "error"):
+            index, key = frame[1], frame[2]
+            expected = payloads.get(index)
+            if (
+                index in settled
+                or expected is None
+                or expected[1] != key
+            ):
+                # Duplicate or stale completion (healed partition, dup
+                # delivery, previous run): idempotent — drop and count.
+                ledger.stats.duplicates += 1
+                return None
+            task = tasks.get(index)
+            if task is None:
+                ledger.stats.duplicates += 1
+                return None
+            if conn.task is task:
+                conn.task, conn.key = None, ""
+            else:
+                # A *different* worker holds the current lease — this is
+                # the original leaseholder finishing after revocation.
+                # First valid completion wins; release the other lease.
+                for other in self.live_workers():
+                    if other.task is task:
+                        # The other worker is still computing the now-
+                        # settled cell; its eventual result dedupes.
+                        other.task, other.key = None, ""
+                        other.state = "revoked"
+            if kind == "result":
+                try:
+                    value = pickle.loads(frame[3])
+                except Exception as exc:  # noqa: BLE001 - treat as attempt
+                    failure = ledger.fail_attempt(
+                        task,
+                        ("ResultDecodeError", f"undecodable result: {exc}", ""),
+                        queue,
+                        now,
+                    )
+                    return (index, failure) if failure is not None else None
+                ledger.stats.completed += 1
+                if task in queue:  # healed partition: still queued for retry
+                    queue.remove(task)
+                return index, value
+            _kind, _index, _key, error, retryable = frame
+            if not retryable:
+                ledger.raise_non_retryable(task, error)
+            if task in queue:
+                queue.remove(task)
+            failure = ledger.fail_attempt(task, error, queue, now)
+            return (index, failure) if failure is not None else None
+        # Unknown frame kind: protocol violation; drop the peer.
+        self._drop(conn)
+        return None
+
+
+# ----------------------------------------------------------------------
+# The executor wrapper
+# ----------------------------------------------------------------------
+
+class DistributedExecutor(CellExecutor):
+    """The ``distributed`` backend: a :class:`FabricServer` plus fallback.
+
+    Construct (optionally via ``make_executor("distributed", ...)``),
+    read :attr:`endpoint`, point ``python -m repro worker --connect
+    HOST:PORT`` daemons at it, and hand the executor to
+    :class:`~repro.core.sweep.SweepRunner` (``executor=``). The sweep's
+    ``timeout`` knob becomes the per-cell lease. If the fabric is or
+    becomes workerless, unfinished cells rerun through the fallback
+    local executor (fresh retry budget) after a structured warning.
+    """
+
+    name = "distributed"
+    graph_handoff = "ref"
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        bind: tuple[str, int] | str | None = None,
+        lease: float = 30.0,
+        heartbeat: float | None = None,
+        connect_timeout: float = 10.0,
+        degrade_after: float = 5.0,
+        fallback: CellExecutor | None = None,
+    ) -> None:
+        if bind is not None:
+            host, port = parse_endpoint(bind) if isinstance(bind, str) else bind
+        self.server = FabricServer(
+            host,
+            port,
+            lease=lease,
+            heartbeat=heartbeat,
+            connect_timeout=connect_timeout,
+            degrade_after=degrade_after,
+        )
+        self.fallback = fallback if fallback is not None else LocalExecutor()
+
+    @property
+    def endpoint(self) -> tuple[str, int]:
+        return self.server.endpoint
+
+    def close(self) -> None:
+        self.server.close()
+
+    def __enter__(self) -> "DistributedExecutor":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def run(
+        self,
+        fn,
+        jobs,
+        *,
+        n_workers=1,
+        timeout=None,
+        retry=None,
+        on_error="quarantine",
+        labels=None,
+        on_dispatch=None,
+        stats=None,
+    ):
+        try:
+            yield from self.server.run(
+                fn,
+                jobs,
+                lease=timeout,
+                retry=retry,
+                on_error=on_error,
+                labels=labels,
+                on_dispatch=on_dispatch,
+                stats=stats,
+            )
+        except NoWorkersError as exc:
+            warn_degraded("distributed", exc.reason, once=False)
+            pending = exc.pending
+            sub_labels = (
+                [labels[i] if i < len(labels) else f"job[{i}]" for i in pending]
+                if labels is not None
+                else None
+            )
+            for position, outcome in self.fallback.run(
+                fn,
+                [jobs[i] for i in pending],
+                n_workers=n_workers,
+                timeout=timeout,
+                retry=retry,
+                on_error=on_error,
+                labels=sub_labels,
+                on_dispatch=on_dispatch,
+                stats=stats,
+            ):
+                yield pending[position], outcome
+
+
+def parse_endpoint(spec: str) -> tuple[str, int]:
+    """``"HOST:PORT"`` → ``(host, port)`` (host defaults to loopback)."""
+    host, sep, port = spec.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ConfigurationError(
+            f"endpoint must look like HOST:PORT, got {spec!r}"
+        )
+    return host or "127.0.0.1", int(port)

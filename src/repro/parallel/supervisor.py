@@ -39,7 +39,6 @@ import os
 import signal
 import time
 import traceback
-import warnings
 from collections import deque
 from dataclasses import dataclass
 from multiprocessing import connection
@@ -48,14 +47,23 @@ from typing import Any, Callable, Iterator, Sequence
 import numpy as np
 
 from repro.faults.retry import RetryPolicy
-from repro.parallel.executor import WorkerError, fork_available
+from repro.parallel.executor import (
+    DegradedExecutionWarning,
+    WorkerError,
+    fork_available,
+    serial_fallback_reason,
+    warn_degraded,
+)
 from repro.util import ConfigurationError, check_positive
 
 #: Default host-side retry policy: three attempts, capped ~0.5 s backoff.
 #: (The simulated models use microsecond-scale delays; host faults —
-#: crashed workers, killed cells — deserve human-scale ones.)
+#: crashed workers, killed cells — deserve human-scale ones.) Jitter is
+#: deterministic — every pool seeds its own backoff RNG — and non-zero so
+#: a batch of cells requeued by one dead worker does not retry in
+#: lockstep against the shared cache/journal (thundering herd).
 HOST_RETRY_POLICY = RetryPolicy(
-    max_attempts=3, base_delay=0.05, max_delay=0.5, jitter=0.0
+    max_attempts=3, base_delay=0.05, max_delay=0.5, jitter=0.25
 )
 
 #: ``on_error`` modes: quarantine poison jobs as :class:`CellFailure`
@@ -96,6 +104,12 @@ class SupervisorStats:
     timeouts: int = 0  #: jobs killed for exceeding the wall-clock budget
     quarantined: int = 0  #: jobs that exhausted retries -> CellFailure
     respawns: int = 0  #: replacement workers forked
+    # Distributed-fabric counters (repro.parallel.fabric); zero for the
+    # local backend.
+    lease_expiries: int = 0  #: leases revoked (overrun or missed beats)
+    duplicates: int = 0  #: late/duplicate completions deduped away
+    disconnects: int = 0  #: worker connections lost mid-session
+    degraded: int = 0  #: jobs rerouted to the fallback local executor
 
 
 class _Task:
@@ -107,6 +121,102 @@ class _Task:
         self.attempts = 0
         self.not_before = 0.0
         self.last_error: tuple[str, str, str] | None = None
+
+
+class AttemptLedger:
+    """Retry/quarantine bookkeeping shared by every executor backend.
+
+    One instance owns the attempt budget, deterministic backoff jitter
+    stream, quarantine decision, and fault accounting for a batch of
+    jobs. :class:`SupervisedPool` (the ``local`` backend) and the TCP
+    fabric supervisor (:mod:`repro.parallel.fabric`, the ``distributed``
+    backend) both drive their scheduling loops through the same ledger,
+    so a lease expiry on a remote host consumes an attempt exactly the
+    way a SIGKILLed forked worker does.
+    """
+
+    def __init__(
+        self,
+        retry: RetryPolicy = HOST_RETRY_POLICY,
+        on_error: str = "quarantine",
+        labels: Sequence[str] | None = None,
+        stats: "SupervisorStats | None" = None,
+        seed: int = 0,
+    ) -> None:
+        if on_error not in ON_ERROR_MODES:
+            raise ConfigurationError(
+                f"on_error must be one of {ON_ERROR_MODES}, got {on_error!r}"
+            )
+        self.retry = retry
+        self.on_error = on_error
+        self.labels = labels
+        self.stats = stats if stats is not None else SupervisorStats()
+        self.rng = np.random.default_rng(seed)  # backoff jitter stream
+
+    def make_tasks(self, jobs: Sequence[Any]) -> deque[_Task]:
+        """The work queue: one retryable task per job, in input order."""
+        return deque(_Task(index, job) for index, job in enumerate(jobs))
+
+    def label(self, index: int) -> str:
+        if self.labels is not None and index < len(self.labels):
+            return self.labels[index]
+        return f"job[{index}]"
+
+    def fail_attempt(
+        self,
+        task: _Task,
+        error: tuple[str, str, str],
+        queue: deque[_Task],
+        now: float,
+    ) -> CellFailure | None:
+        """Record a failed attempt: requeue with backoff, or give up.
+
+        Returns the :class:`CellFailure` when the retry budget is spent
+        (quarantine mode); raises in ``on_error="raise"`` mode. The
+        requeue delay is jittered from this ledger's seeded RNG, so
+        simultaneous requeues spread out deterministically instead of
+        retrying in lockstep.
+        """
+        task.attempts += 1
+        task.last_error = error
+        if task.attempts < self.retry.max_attempts:
+            task.not_before = now + self.retry.delay(task.attempts - 1, self.rng)
+            self.stats.retries += 1
+            queue.append(task)
+            return None
+        self.stats.quarantined += 1
+        failure = CellFailure(
+            index=task.index,
+            label=self.label(task.index),
+            attempts=task.attempts,
+            error_type=error[0],
+            message=error[1],
+            traceback_text=error[2],
+        )
+        if self.on_error == "raise":
+            raise WorkerError(
+                failure.label,
+                failure.index,
+                failure.error_type,
+                f"{failure.message} [after {failure.attempts} attempt(s)]",
+                failure.traceback_text,
+            )
+        return failure
+
+    def raise_non_retryable(self, task: _Task, error: tuple[str, str, str]):
+        raise WorkerError(
+            self.label(task.index), task.index, error[0], error[1], error[2]
+        )
+
+    @staticmethod
+    def next_ready(queue: deque[_Task], now: float) -> _Task | None:
+        """Pop the first task whose backoff delay has elapsed."""
+        for _ in range(len(queue)):
+            task = queue.popleft()
+            if task.not_before <= now:
+                return task
+            queue.append(task)
+        return None
 
 
 def _worker_main(fn: Callable[[Any], Any], conn) -> None:
@@ -175,6 +285,7 @@ class SupervisedPool:
         labels: display labels per job index (for errors/failures).
         on_dispatch: test/chaos hook called as ``on_dispatch(index, pid)``
             each time a job lands on a worker.
+        stats: fault-accounting sink (a fresh one by default).
     """
 
     def __init__(
@@ -187,14 +298,11 @@ class SupervisedPool:
         on_error: str = "quarantine",
         labels: Sequence[str] | None = None,
         on_dispatch: Callable[[int, int], None] | None = None,
+        stats: SupervisorStats | None = None,
     ) -> None:
         check_positive("n_workers", n_workers)
         if timeout is not None and timeout <= 0:
             raise ConfigurationError(f"timeout must be > 0, got {timeout}")
-        if on_error not in ON_ERROR_MODES:
-            raise ConfigurationError(
-                f"on_error must be one of {ON_ERROR_MODES}, got {on_error!r}"
-            )
         self.fn = fn
         self.n_workers = int(n_workers)
         self.timeout = timeout
@@ -202,9 +310,11 @@ class SupervisedPool:
         self.on_error = on_error
         self.labels = labels
         self.on_dispatch = on_dispatch
-        self.stats = SupervisorStats()
+        self.ledger = AttemptLedger(
+            retry, on_error, labels=labels, stats=stats
+        )
+        self.stats = self.ledger.stats
         self._ctx = multiprocessing.get_context("fork")
-        self._rng = np.random.default_rng(0)  # backoff jitter stream
         self._slots: list[_Slot] = []
 
     # -- lifecycle -----------------------------------------------------
@@ -258,11 +368,9 @@ class SupervisedPool:
         ]
 
     # -- helpers -------------------------------------------------------
-    def _label(self, index: int) -> str:
-        if self.labels is not None and index < len(self.labels):
-            return self.labels[index]
-        return f"job[{index}]"
-
+    # Retry/quarantine decisions live on the shared AttemptLedger so the
+    # distributed fabric reuses them verbatim; these thin wrappers keep
+    # the supervision loop readable.
     def _fail_attempt(
         self,
         task: _Task,
@@ -270,48 +378,15 @@ class SupervisedPool:
         queue: deque[_Task],
         now: float,
     ) -> CellFailure | None:
-        """Record a failed attempt: requeue with backoff, or give up.
-
-        Returns the :class:`CellFailure` when the retry budget is spent
-        (quarantine mode); raises in ``on_error="raise"`` mode.
-        """
-        task.attempts += 1
-        task.last_error = error
-        if task.attempts < self.retry.max_attempts:
-            task.not_before = now + self.retry.delay(task.attempts - 1, self._rng)
-            self.stats.retries += 1
-            queue.append(task)
-            return None
-        self.stats.quarantined += 1
-        failure = CellFailure(
-            index=task.index,
-            label=self._label(task.index),
-            attempts=task.attempts,
-            error_type=error[0],
-            message=error[1],
-            traceback_text=error[2],
-        )
-        if self.on_error == "raise":
-            raise WorkerError(
-                failure.label,
-                failure.index,
-                failure.error_type,
-                f"{failure.message} [after {failure.attempts} attempt(s)]",
-                failure.traceback_text,
-            )
-        return failure
+        return self.ledger.fail_attempt(task, error, queue, now)
 
     def _raise_non_retryable(self, task: _Task, error: tuple[str, str, str]):
-        raise WorkerError(
-            self._label(task.index), task.index, error[0], error[1], error[2]
-        )
+        self.ledger.raise_non_retryable(task, error)
 
     # -- the supervision loop ------------------------------------------
     def run(self, jobs: Sequence[Any]) -> Iterator[tuple[int, Any]]:
         """Yield ``(index, result-or-CellFailure)`` in completion order."""
-        queue: deque[_Task] = deque(
-            _Task(index, job) for index, job in enumerate(jobs)
-        )
+        queue: deque[_Task] = self.ledger.make_tasks(jobs)
         outstanding = len(queue)
         try:
             if not self._slots:
@@ -413,13 +488,7 @@ class SupervisedPool:
         self._slots[self._slots.index(dead)] = self._spawn_slot()
 
     def _next_ready(self, queue: deque[_Task], now: float) -> _Task | None:
-        """Pop the first task whose backoff delay has elapsed."""
-        for _ in range(len(queue)):
-            task = queue.popleft()
-            if task.not_before <= now:
-                return task
-            queue.append(task)
-        return None
+        return self.ledger.next_ready(queue, now)
 
     def _wait_timeout(
         self, queue: deque[_Task], busy: list[_Slot], now: float
@@ -552,33 +621,40 @@ def supervised_imap(
 
     Pass a :class:`SupervisorStats` as ``stats`` to receive the pool's
     fault accounting (crashes, timeouts, retries, quarantines).
+
+    Degrading to serial execution with ``n_workers > 1`` — because the
+    platform lacks ``fork``/``SIGKILL`` or the pool failed to start —
+    emits one structured :class:`~repro.parallel.executor.
+    DegradedExecutionWarning` naming the reason (never a silent
+    fallback).
     """
     check_positive("n_workers", n_workers)
     n_workers = min(int(n_workers), len(jobs))
-    if n_workers > 1 and len(jobs) > 1 and fork_available():
-        pool = SupervisedPool(
-            fn,
-            n_workers,
-            timeout=timeout,
-            retry=retry,
-            on_error=on_error,
-            labels=labels,
-            on_dispatch=on_dispatch,
-        )
-        if stats is not None:
-            pool.stats = stats
-        try:
-            # Fork eagerly so setup failure degrades *before* any result
-            # is yielded (a mid-run fallback would re-run yielded jobs).
-            pool.start(n_workers)
-        except OSError as exc:
-            warnings.warn(
-                f"supervised pool unavailable ({exc}); degrading to serial "
-                "execution",
-                RuntimeWarning,
-                stacklevel=2,
+    if n_workers > 1 and len(jobs) > 1:
+        reason = serial_fallback_reason()
+        if reason is None:
+            pool = SupervisedPool(
+                fn,
+                n_workers,
+                timeout=timeout,
+                retry=retry,
+                on_error=on_error,
+                labels=labels,
+                on_dispatch=on_dispatch,
+                stats=stats,
             )
+            try:
+                # Fork eagerly so setup failure degrades *before* any
+                # result is yielded (a mid-run fallback would re-run
+                # yielded jobs).
+                pool.start(n_workers)
+            except OSError as exc:
+                warn_degraded(
+                    "local", f"worker pool failed to start: {exc}", once=False
+                )
+            else:
+                yield from pool.run(jobs)
+                return
         else:
-            yield from pool.run(jobs)
-            return
+            warn_degraded("local", reason)
     yield from _serial_supervised(fn, jobs, retry, on_error, labels)

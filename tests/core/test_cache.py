@@ -273,3 +273,38 @@ class TestResultCache:
         assert len(cache) == 1
         cache.clear()
         assert len(cache) == 0
+
+
+class TestAtomicTmpPath:
+    """The shared temp-name scheme behind every atomic cache write."""
+
+    def test_scheme_and_uniqueness(self, tmp_path):
+        import os
+        import re
+
+        from repro.core.cache import atomic_tmp_path
+
+        target = tmp_path / "ab" / "abcdef.pkl"
+        names = {atomic_tmp_path(target).name for _ in range(10)}
+        assert len(names) == 10  # counter makes every call distinct
+        pattern = re.compile(
+            rf"^abcdef\.pkl\.tmp\.{os.getpid()}-[0-9a-f]{{8}}\.\d+$"
+        )
+        for name in names:
+            assert pattern.match(name), name
+
+    def test_suffix_and_parent_preserved(self, tmp_path):
+        from repro.core.cache import atomic_tmp_path
+
+        target = tmp_path / "cd" / "entry.npz"
+        tmp = atomic_tmp_path(target, suffix=".npz")
+        assert tmp.parent == target.parent
+        assert tmp.name.endswith(".npz")
+        assert tmp.name.startswith("entry.npz.tmp.")
+
+    def test_artifact_store_shares_the_scheme(self):
+        # ResultCache.put and ArtifactStore.put_arrays must never drift
+        # apart: both atomic writers go through the same helper.
+        from repro.core import artifacts, cache
+
+        assert artifacts.atomic_tmp_path is cache.atomic_tmp_path

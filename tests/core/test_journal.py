@@ -122,3 +122,56 @@ class TestDeferredSignals:
             assert hits == [signal.SIGUSR1]  # delivered on exit
         finally:
             signal.signal(signal.SIGUSR1, previous)
+
+
+class TestDeferredSignalsDurability:
+    """The guard exists for one pair: store-write + journal-append."""
+
+    def test_sigterm_held_across_store_and_journal(self, tmp_path):
+        from repro.core import ResultCache
+
+        hits = []
+        previous = signal.signal(signal.SIGTERM, lambda s, f: hits.append(s))
+        try:
+            cache = ResultCache(tmp_path / "cache")
+            journal = SweepJournal(tmp_path / "j.jsonl")
+            with deferred_signals():
+                cache.put("deadbeef" * 8, {"row": 1})
+                signal.raise_signal(signal.SIGTERM)  # lands mid-pair
+                journal.append(entry("deadbeef" * 8))
+                assert hits == []  # held through the critical section
+            assert hits == [signal.SIGTERM]  # re-delivered on exit
+        finally:
+            signal.signal(signal.SIGTERM, previous)
+        # Both halves of the pair are durable despite the signal.
+        assert cache.get("deadbeef" * 8) == {"row": 1}
+        assert set(journal.load()) == {"deadbeef" * 8}
+
+    def test_sigint_reraised_after_durable_append(self, tmp_path):
+        from repro.core import ResultCache
+
+        cache = ResultCache(tmp_path / "cache")
+        journal = SweepJournal(tmp_path / "j.jsonl")
+        with pytest.raises(KeyboardInterrupt):
+            with deferred_signals():
+                cache.put("cafef00d" * 8, {"row": 2})
+                signal.raise_signal(signal.SIGINT)
+                journal.append(entry("cafef00d" * 8))
+        assert cache.get("cafef00d" * 8) == {"row": 2}
+        assert set(journal.load()) == {"cafef00d" * 8}
+
+    def test_torn_tail_from_killed_appender_heals(self, tmp_path):
+        # A writer killed mid-append leaves a newline-less fragment; a
+        # resumed sweep must both skip it on load and append past it.
+        path = tmp_path / "j.jsonl"
+        first = SweepJournal(path)
+        first.append(entry("k1"))
+        full_line = json.dumps(
+            {"v": 1, "key": "k2", "label": "l", "status": "done"}
+        )
+        with open(path, "a") as fh:
+            fh.write(full_line[: len(full_line) // 2])  # killed mid-write
+        resumed = SweepJournal(path)
+        assert set(resumed.load()) == {"k1"}  # fragment skipped
+        resumed.append(entry("k3"))
+        assert set(resumed.load()) == {"k1", "k3"}  # fragment sealed off

@@ -291,3 +291,39 @@ class TestJournalResume:
         runner.run_study(new, synthetic_graph)
         assert runner.stats.resumed == 0
         assert runner.stats.computed == 1
+
+
+class TestExecutorSelection:
+    def test_serial_backend_equals_default(self, synthetic_graph):
+        config = StudyConfig(
+            models=("static_block", "work_stealing"), n_ranks=(4,), seed=7
+        )
+        default = SweepRunner(jobs=2).run_study(config, synthetic_graph)
+        serial = SweepRunner(jobs=2, executor="serial").run_study(
+            config, synthetic_graph
+        )
+        assert default.results.keys() == serial.results.keys()
+        for key in default.results:
+            assert_results_identical(default.results[key], serial.results[key])
+
+    def test_executor_instance_accepted(self, synthetic_graph):
+        from repro.parallel import SerialExecutor
+
+        ex = SerialExecutor()
+        runner = SweepRunner(jobs=2, executor=ex)
+        assert runner.executor is ex
+        config = StudyConfig(models=("static_block",), n_ranks=(4,), seed=7)
+        report = runner.run_study(config, synthetic_graph)
+        assert len(report.results) == 1
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown executor"):
+            SweepRunner(executor="telepathy")
+
+    def test_shm_handoff_gated_on_backend(self, synthetic_graph):
+        # The shared-memory graph publish is a local-pool optimization;
+        # the serial backend (graph_handoff=None) must not trigger it.
+        from repro.parallel import SerialExecutor
+
+        assert SweepRunner(executor="local").executor.graph_handoff == "shm"
+        assert SweepRunner(executor=SerialExecutor()).executor.graph_handoff is None

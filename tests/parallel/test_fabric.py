@@ -1,0 +1,353 @@
+"""Distributed fabric: framing, registry, leases, dedupe, degradation.
+
+Workers here are :func:`repro.parallel.worker.run_worker` driven in
+daemon *threads* against an in-process :class:`FabricServer` — the real
+wire protocol over loopback TCP without subprocess spawn cost. Full
+subprocess workers are exercised by the distributed chaos suite
+(``python -m repro chaos --quick --distributed``).
+"""
+
+import pickle
+import socket
+import threading
+import time
+import warnings
+from dataclasses import dataclass
+
+import pytest
+
+from repro.parallel.executor import (
+    EXECUTOR_BACKENDS,
+    CellExecutor,
+    DegradedExecutionWarning,
+    LocalExecutor,
+    SerialExecutor,
+    WorkerError,
+    executor_names,
+    make_executor,
+    register_executor,
+)
+from repro.parallel.fabric import (
+    DistributedExecutor,
+    FabricProtocolError,
+    FabricServer,
+    GraphRef,
+    _swap_graph_refs,
+    blob_key,
+    parse_endpoint,
+    recv_frame,
+    send_frame,
+)
+from repro.parallel.supervisor import CellFailure, SupervisorStats
+from repro.parallel.worker import WorkerChaos, run_worker
+from repro.faults import RetryPolicy
+from repro.util import ConfigurationError
+
+FAST_RETRY = RetryPolicy(max_attempts=3, base_delay=0.01, max_delay=0.05, jitter=0.0)
+
+
+def shout(job):
+    return str(job).upper()
+
+
+def poison(job):
+    if str(job).endswith("-2"):
+        raise ValueError(f"poison {job}")
+    return str(job).upper()
+
+
+def bad_config(job):
+    if str(job).endswith("-1"):
+        raise ConfigurationError("unusable cell")
+    return str(job).upper()
+
+
+def slow_shout(job):
+    time.sleep(2.0)
+    return str(job).upper()
+
+
+@dataclass(frozen=True)
+class FakeCell:
+    """A minimal graph-carrying job (stands in for a SweepCell)."""
+
+    graph: object
+    value: int
+
+    @property
+    def label(self) -> str:
+        return f"cell-{self.value}"
+
+
+def sum_graph(cell):
+    return sum(cell.graph) + cell.value
+
+
+def start_workers(endpoint, n, *, chaos=None, reconnect_attempts=5):
+    """Run ``n`` worker daemons in threads; returns the thread list."""
+    host, port = endpoint
+    threads = []
+    for i in range(n):
+        thread = threading.Thread(
+            target=run_worker,
+            args=(host, port),
+            kwargs=dict(
+                worker_id=f"t{i}",
+                reconnect_attempts=reconnect_attempts,
+                reconnect_delay=0.1,
+                chaos=chaos,
+            ),
+            daemon=True,
+        )
+        thread.start()
+        threads.append(thread)
+    return threads
+
+
+def collect(iterator, n):
+    results = [None] * n
+    for index, outcome in iterator:
+        results[index] = outcome
+    return results
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        a, b = socket.socketpair()
+        try:
+            send_frame(a, ("hello", "w0", 1, 42))
+            assert recv_frame(b) == ("hello", "w0", 1, 42)
+        finally:
+            a.close()
+            b.close()
+
+    def test_eof_raises(self):
+        a, b = socket.socketpair()
+        a.close()
+        try:
+            with pytest.raises(EOFError):
+                recv_frame(b)
+        finally:
+            b.close()
+
+    def test_oversized_frame_rejected(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall((1 << 40).to_bytes(8, "big"))
+            with pytest.raises(FabricProtocolError):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+
+class TestParseEndpoint:
+    def test_host_and_port(self):
+        assert parse_endpoint("10.0.0.7:9100") == ("10.0.0.7", 9100)
+
+    def test_host_defaults_to_loopback(self):
+        assert parse_endpoint(":9100") == ("127.0.0.1", 9100)
+
+    def test_garbage_rejected(self):
+        for bad in ("nope", "host:", "host:abc"):
+            with pytest.raises(ConfigurationError):
+                parse_endpoint(bad)
+
+
+class TestExecutorRegistry:
+    def test_builtin_names(self):
+        assert set(executor_names()) >= {"local", "serial", "distributed"}
+
+    def test_make_by_name(self):
+        assert isinstance(make_executor("serial"), SerialExecutor)
+        assert isinstance(make_executor("local"), LocalExecutor)
+
+    def test_instance_passes_through(self):
+        ex = SerialExecutor()
+        assert make_executor(ex) is ex
+
+    def test_instance_plus_options_rejected(self):
+        with pytest.raises(ConfigurationError, match="instance"):
+            make_executor(SerialExecutor(), lease=5.0)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown executor"):
+            make_executor("carrier-pigeon")
+
+    def test_register_and_replace(self):
+        class Custom(SerialExecutor):
+            name = "custom-test"
+
+        try:
+            register_executor("custom-test", Custom)
+            assert isinstance(make_executor("custom-test"), Custom)
+            with pytest.raises(ConfigurationError, match="already registered"):
+                register_executor("custom-test", Custom)
+            register_executor("custom-test", Custom, replace=True)
+        finally:
+            EXECUTOR_BACKENDS.pop("custom-test", None)
+
+    def test_graph_handoff_attributes(self):
+        assert LocalExecutor.graph_handoff == "shm"
+        assert SerialExecutor.graph_handoff is None
+        assert DistributedExecutor.graph_handoff == "ref"
+
+
+class TestGraphRefs:
+    def test_shared_graph_ships_once(self):
+        graph = [1.0] * 1000
+        jobs = [FakeCell(graph=graph, value=i) for i in range(4)]
+        blobs = {}
+        prepared = _swap_graph_refs(jobs, blobs)
+        assert len(blobs) == 1  # one graph object -> one blob
+        keys = {k for _job, _payload, k in prepared}
+        assert len(keys) == 4  # but four distinct dispatch keys
+        shipped = pickle.loads(prepared[0][1])
+        assert isinstance(shipped.graph, GraphRef)
+        assert shipped.graph.key == blob_key(next(iter(blobs.values())))
+
+    def test_graphless_jobs_untouched(self):
+        blobs = {}
+        prepared = _swap_graph_refs(["a", "b"], blobs)
+        assert blobs == {}
+        assert pickle.loads(prepared[0][1]) == "a"
+
+
+class TestDistributedRoundTrip:
+    def test_matches_serial(self):
+        jobs = [f"job-{i}" for i in range(8)]
+        stats = SupervisorStats()
+        with FabricServer(connect_timeout=20.0) as server:
+            start_workers(server.endpoint, 2)
+            got = collect(
+                server.run(shout, jobs, retry=FAST_RETRY, stats=stats),
+                len(jobs),
+            )
+        assert got == [shout(j) for j in jobs]
+        assert stats.completed == len(jobs)
+        assert stats.duplicates == 0
+
+    def test_graph_fetched_by_key(self):
+        graph = list(range(200))
+        jobs = [FakeCell(graph=graph, value=i) for i in range(5)]
+        with FabricServer(connect_timeout=20.0) as server:
+            start_workers(server.endpoint, 2)
+            got = collect(server.run(sum_graph, jobs, retry=FAST_RETRY), 5)
+        assert got == [sum_graph(j) for j in jobs]
+
+    def test_poison_job_quarantined(self):
+        jobs = [f"job-{i}" for i in range(5)]
+        stats = SupervisorStats()
+        with FabricServer(connect_timeout=20.0) as server:
+            start_workers(server.endpoint, 2)
+            got = collect(
+                server.run(
+                    poison,
+                    jobs,
+                    retry=FAST_RETRY,
+                    on_error="quarantine",
+                    labels=jobs,
+                    stats=stats,
+                ),
+                len(jobs),
+            )
+        failure = got[2]
+        assert isinstance(failure, CellFailure)
+        assert failure.label == "job-2"
+        assert failure.attempts == FAST_RETRY.max_attempts
+        assert failure.error_type == "ValueError"
+        assert [g for i, g in enumerate(got) if i != 2] == [
+            "JOB-0", "JOB-1", "JOB-3", "JOB-4",
+        ]
+        assert stats.quarantined == 1
+
+    def test_non_retryable_raises(self):
+        jobs = [f"job-{i}" for i in range(3)]
+        with FabricServer(connect_timeout=20.0) as server:
+            start_workers(server.endpoint, 1)
+            with pytest.raises(WorkerError) as excinfo:
+                collect(server.run(bad_config, jobs, retry=FAST_RETRY), 3)
+        assert excinfo.value.error_type == "ConfigurationError"
+
+    def test_lease_expiry_requeues(self):
+        # One slow cell on a 0.5s lease: the lease expires, the cell is
+        # requeued to the other worker, and the late result dedupes.
+        jobs = [f"job-{i}" for i in range(3)]
+        stats = SupervisorStats()
+        with FabricServer(lease=0.5, connect_timeout=20.0) as server:
+            start_workers(server.endpoint, 2)
+            got = collect(
+                server.run(slow_shout, jobs, retry=FAST_RETRY, stats=stats),
+                len(jobs),
+            )
+        assert got == [shout(j) for j in jobs]
+        assert stats.lease_expiries >= 1
+        assert stats.retries >= 1
+
+
+class TestChaosHooks:
+    def test_duplicate_delivery_deduped(self):
+        jobs = [f"job-{i}" for i in range(4)]
+        stats = SupervisorStats()
+        chaos = WorkerChaos(dup=["job-0"])  # no marker_dir: fires on match
+        with FabricServer(connect_timeout=20.0) as server:
+            start_workers(server.endpoint, 1, chaos=chaos)
+            got = collect(
+                server.run(shout, jobs, retry=FAST_RETRY, stats=stats),
+                len(jobs),
+            )
+        assert got == [shout(j) for j in jobs]
+        assert stats.duplicates >= 1
+        assert stats.completed == len(jobs)
+
+    def test_severed_upload_requeued(self, tmp_path):
+        jobs = [f"job-{i}" for i in range(4)]
+        stats = SupervisorStats()
+        chaos = WorkerChaos(marker_dir=str(tmp_path), sever=["job-1"])
+        with FabricServer(connect_timeout=20.0) as server:
+            start_workers(server.endpoint, 2, chaos=chaos)
+            got = collect(
+                server.run(shout, jobs, retry=FAST_RETRY, stats=stats),
+                len(jobs),
+            )
+        assert got == [shout(j) for j in jobs]
+        assert stats.disconnects >= 1
+        assert stats.retries >= 1
+
+
+class TestDegradation:
+    def test_no_workers_falls_back_with_warning(self):
+        jobs = [f"job-{i}" for i in range(3)]
+        stats = SupervisorStats()
+        ex = DistributedExecutor(
+            connect_timeout=0.3, degrade_after=0.3, fallback=SerialExecutor()
+        )
+        try:
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                got = collect(
+                    ex.run(shout, jobs, retry=FAST_RETRY, stats=stats),
+                    len(jobs),
+                )
+        finally:
+            ex.close()
+        assert got == [shout(j) for j in jobs]
+        assert stats.degraded == len(jobs)
+        degradations = [
+            w.message
+            for w in caught
+            if isinstance(w.message, DegradedExecutionWarning)
+        ]
+        assert len(degradations) == 1
+        assert degradations[0].backend == "distributed"
+        assert "ever connected" in degradations[0].reason
+
+    def test_executor_protocol_conformance(self):
+        ex = DistributedExecutor(connect_timeout=0.1, degrade_after=0.1)
+        try:
+            assert isinstance(ex, CellExecutor)
+            assert ex.name == "distributed"
+            host, port = ex.endpoint
+            assert port > 0
+        finally:
+            ex.close()

@@ -258,3 +258,58 @@ class TestSupervisedPoolValidation:
         )
         text = str(failure)
         assert "ws@P=8" in text and "ValueError" in text and "3 attempt(s)" in text
+
+
+class TestHostRetryPolicy:
+    def test_jitter_pinned_nonzero(self):
+        # Deterministic *seeded* jitter, not zero: simultaneous requeues
+        # (one dead worker's whole batch) must not retry in lockstep
+        # against the shared cache/journal.
+        from repro.parallel.supervisor import HOST_RETRY_POLICY
+
+        assert HOST_RETRY_POLICY.jitter == 0.25
+        assert HOST_RETRY_POLICY.max_attempts == 3
+
+    def test_backoff_deterministic_across_ledgers(self):
+        # Two fresh ledgers draw identical jitter streams (seeded RNG),
+        # so a resumed sweep reproduces the original backoff schedule.
+        from repro.parallel.supervisor import HOST_RETRY_POLICY, AttemptLedger
+
+        a, b = AttemptLedger(), AttemptLedger()
+        delays_a = [HOST_RETRY_POLICY.delay(i, a.rng) for i in range(6)]
+        delays_b = [HOST_RETRY_POLICY.delay(i, b.rng) for i in range(6)]
+        assert delays_a == delays_b
+        # Jitter is applied: each delay sits strictly inside (d, d*1.25].
+        for attempt, delay in enumerate(delays_a):
+            base = min(
+                HOST_RETRY_POLICY.base_delay * 2.0**attempt,
+                HOST_RETRY_POLICY.max_delay,
+            )
+            assert base < delay <= base * 1.25
+
+
+class TestDegradationWarning:
+    def test_forkless_platform_warns_once(self, monkeypatch):
+        from repro.parallel import executor, supervisor
+
+        reason = "no 'fork' start method on this platform (test)"
+        monkeypatch.setattr(
+            supervisor, "serial_fallback_reason", lambda: reason
+        )
+        monkeypatch.setattr(executor, "_WARNED_DEGRADATIONS", set())
+        import warnings as warnings_mod
+
+        with warnings_mod.catch_warnings(record=True) as caught:
+            warnings_mod.simplefilter("always")
+            got = collect(supervised_imap(square, [1, 2, 3], n_workers=2), 3)
+            # Second batch on the same degraded platform: no new warning.
+            collect(supervised_imap(square, [4, 5], n_workers=2), 2)
+        assert got == [1, 4, 9]
+        degradations = [
+            w.message
+            for w in caught
+            if isinstance(w.message, executor.DegradedExecutionWarning)
+        ]
+        assert len(degradations) == 1
+        assert degradations[0].backend == "local"
+        assert degradations[0].reason == reason
