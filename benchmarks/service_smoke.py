@@ -1,0 +1,155 @@
+"""CI service smoke: boot the real daemon, submit twice, demand dedupe.
+
+Exercises the whole job-service stack end to end the way an operator
+would use it: a genuine ``python -m repro serve`` subprocess on a
+loopback port, a two-cell study POSTed to ``/v1/jobs``, its NDJSON row
+stream consumed live, and the same spec POSTed again. The second submit
+must be a 100% dedupe hit (same job id, no recompute), and the rows
+must equal an in-process serial run of the same spec bit for bit.
+
+The daemon's state dir is kept at ``--workdir`` (default:
+``service-smoke-out``) so CI can upload the job records + journals when
+the smoke fails.
+
+Usage: PYTHONPATH=src python benchmarks/service_smoke.py [--workdir DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import time
+
+SPEC = {
+    "source": {"molecule": "water", "size": 3, "block_size": 6},
+    "models": ["work_stealing"],
+    "ranks": [16, 64],
+    "seed": 1,
+}
+
+
+def boot_daemon(state_dir: pathlib.Path) -> tuple[subprocess.Popen, str, int]:
+    env = dict(os.environ)
+    src = pathlib.Path(__file__).resolve().parent.parent / "src"
+    if src.is_dir():
+        env["PYTHONPATH"] = str(src) + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--bind", "127.0.0.1:0", "--state-dir", str(state_dir)],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            raise SystemExit("FAIL: daemon exited before announcing its endpoint")
+        print(f"  daemon: {line.rstrip()}")
+        if "listening on http://" in line:
+            endpoint = line.split("http://", 1)[1].split(" ", 1)[0].strip()
+            host, port = endpoint.rsplit(":", 1)
+            return proc, host, int(port)
+    raise SystemExit("FAIL: daemon never announced its endpoint")
+
+
+def request(host: str, port: int, method: str, path: str, body=None):
+    conn = http.client.HTTPConnection(host, port, timeout=120)
+    try:
+        conn.request(
+            method, path, body=json.dumps(body) if body is not None else None
+        )
+        response = conn.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        conn.close()
+
+
+def stream_rows(host: str, port: int, job_id: str) -> list[dict]:
+    conn = http.client.HTTPConnection(host, port, timeout=300)
+    try:
+        conn.request("GET", f"/v1/jobs/{job_id}/rows")
+        response = conn.getresponse()
+        return [json.loads(line) for line in response]
+    finally:
+        conn.close()
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--workdir", default="service-smoke-out", metavar="DIR",
+        help="daemon state dir, kept for post-mortem upload (default: %(default)s)",
+    )
+    args = parser.parse_args()
+    state = pathlib.Path(args.workdir)
+    state.mkdir(parents=True, exist_ok=True)
+
+    proc, host, port = boot_daemon(state)
+    try:
+        status, health = request(host, port, "GET", "/v1/health")
+        if status != 200 or not health.get("ok"):
+            print(f"FAIL: health check returned {status}: {health}", file=sys.stderr)
+            return 1
+        print(f"daemon healthy at {host}:{port} (version {health['version']})")
+
+        status, first = request(host, port, "POST", "/v1/jobs", body=SPEC)
+        if status != 202 or first.get("deduped"):
+            print(f"FAIL: first submit should 202 fresh, got {status}: {first}",
+                  file=sys.stderr)
+            return 1
+        job_id = first["job_id"]
+        rows = stream_rows(host, port, job_id)
+        print(f"first submit: job {job_id[:12]} streamed {len(rows)} row(s)")
+        if len(rows) != len(SPEC["models"]) * len(SPEC["ranks"]):
+            print(f"FAIL: expected {len(SPEC['models']) * len(SPEC['ranks'])} rows, "
+                  f"got {len(rows)}", file=sys.stderr)
+            return 1
+
+        status, second = request(host, port, "POST", "/v1/jobs", body=SPEC)
+        if status != 200 or not second.get("deduped") or second["job_id"] != job_id:
+            print(f"FAIL: second submit must be a dedupe hit onto {job_id[:12]}, "
+                  f"got {status}: {second}", file=sys.stderr)
+            return 1
+        status, detail = request(host, port, "GET", f"/v1/jobs/{job_id}")
+        total = detail["progress"]["total"]
+        completed = detail["progress"]["completed"]
+        if detail["status"] != "done" or completed != total:
+            print(f"FAIL: deduped job should stay done ({completed}/{total}): "
+                  f"{detail['status']}", file=sys.stderr)
+            return 1
+        print(f"second submit: 100% dedupe (same job id, status {second['status']}, "
+              f"no recompute)")
+    finally:
+        proc.terminate()
+        try:
+            proc.wait(timeout=15)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+
+    # Reference: the same spec run serially in-process, cache disabled.
+    from repro import api
+
+    spec = api.JobSpec.from_json(SPEC).with_overrides(cache=False)
+    serial = api.run_job(spec, cache=None).rows()
+    streamed = sorted(rows, key=lambda r: (r["P"], r["model"]))
+    if json.dumps(streamed, sort_keys=True) != json.dumps(serial, sort_keys=True):
+        print("FAIL: service rows differ from the serial reference run",
+              file=sys.stderr)
+        for got, want in zip(streamed, serial):
+            if got != want:
+                print(f"  service: {got}\n  serial:  {want}", file=sys.stderr)
+        return 1
+    print(f"rows match the serial reference bit for bit ({len(serial)} row(s))")
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

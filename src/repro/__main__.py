@@ -11,12 +11,12 @@ Commands:
 - ``profile``  — cProfile a study and print the top-N hotspots.
 - ``chaos``    — inject real host faults into a sweep and verify recovery.
 - ``worker``   — join a distributed sweep fabric as a leased TCP worker.
+- ``serve``    — run the persistent study daemon (HTTP job API).
 """
 
 from __future__ import annotations
 
 import argparse
-import dataclasses
 import pathlib
 import sys
 
@@ -58,80 +58,54 @@ def cmd_info(args: argparse.Namespace) -> int:
 def cmd_study(args: argparse.Namespace) -> int:
     from repro import api
 
-    cache = None if args.no_cache else (args.cache_dir or api.default_cache_dir())
+    # Every surface (this CLI, the HTTP service, api.run_job callers)
+    # reduces to one validated JobSpec, so e.g. the --jobs/--executor
+    # interplay rules are checked here instead of failing obscurely
+    # inside a backend.
+    try:
+        spec = api.JobSpec.from_cli_args(args).validate()
+    except api.JobSpecError as exc:
+        print(f"error: {exc.field}: {exc.reason}", file=sys.stderr)
+        return 2
+    if args.resume and not spec.cache:
+        print("error: --resume needs the cache (drop --no-cache)", file=sys.stderr)
+        return 2
+    cache = (spec.cache_dir or api.default_cache_dir()) if spec.cache else None
     # Configure the artifact store before the problem builds: screening,
     # task-graph, and balancer intermediates all route through it.
-    if not args.artifact_cache:
+    if not spec.artifact_cache:
         api.configure_artifacts(enabled=False)
     elif cache is not None:
         api.configure_artifacts(pathlib.Path(cache) / "artifacts")
-    problem = api.ScfProblem.build(
-        _build_molecule(args), block_size=args.block_size, tau=args.tau
-    )
+    problem = spec.source.build()
     print(
         f"{args.molecule}({args.size}): {problem.basis.n_basis} basis functions, "
         f"{problem.graph.n_tasks} tasks"
     )
-    faults = None
-    if args.faults:
-        from repro.core import MACHINE_PRESETS
-        from repro.faults import plan_from_spec
-
-        # Crash/stall times in the spec are fractions of the estimated
-        # ideal makespan at the smallest swept rank count (total work
-        # spread perfectly over P nominal-speed ranks), so "crash:2@0.3"
-        # means "rank 2 dies about 30% into the run".
-        machine = MACHINE_PRESETS[args.machine](min(args.ranks))
-        scale = problem.graph.total_flops / (
-            machine.flops_per_second * min(args.ranks)
-        )
-        faults = plan_from_spec(args.faults, time_scale=scale)
-        print(f"fault plan: {args.faults} (time scale {scale * 1e3:.3f} ms)")
-    config = api.StudyConfig(
-        models=tuple(args.models),
-        n_ranks=tuple(args.ranks),
-        machine=args.machine,
-        seed=args.seed,
-        faults=faults,
-    )
-    if args.resume and cache is None:
-        print("error: --resume needs the cache (drop --no-cache)", file=sys.stderr)
-        return 2
+    if spec.faults:
+        scale = spec.fault_time_scale(problem)
+        print(f"fault plan: {spec.faults} (time scale {scale * 1e3:.3f} ms)")
     progress = api.print_progress if args.progress else None
-    retry = None
-    if args.max_attempts is not None:
-        retry = dataclasses.replace(
-            api.HOST_RETRY_POLICY, max_attempts=args.max_attempts
-        )
-    # The checkpoint journal lives next to the cache; each sweep grid
-    # gets its own content-addressed journal file inside it.
-    journal = None if cache is None else str(pathlib.Path(cache) / "journal")
-    executor = args.executor
-    if executor == "distributed":
-        executor = api.DistributedExecutor(
-            bind=args.bind, lease=args.lease
-        )
+    executor = None
+    if api.parse_executor_spec(spec.executor)[0] == "distributed":
+        # Construct the fabric here so its endpoint can be printed
+        # before the sweep blocks waiting for workers.
+        executor = api.make_executor(spec.executor)
         host, port = executor.endpoint
         print(
             f"distributed fabric listening on {host}:{port} — attach workers "
             f"with: python -m repro worker --connect {host}:{port}"
         )
     try:
-        report = api.sweep(
-            config,
-            problem,
-            jobs=args.jobs,
-            cache=cache,
-            progress=progress,
-            timeout=args.timeout,
-            retry=retry,
-            on_error="quarantine",
-            journal=journal,
-            resume=args.resume,
+        report = api.run_job(
+            spec,
+            source=problem,
             executor=executor,
+            progress=progress,
+            resume=args.resume,
         )
     finally:
-        if isinstance(executor, api.DistributedExecutor):
+        if executor is not None:
             executor.close()
     print(api.format_table(report.rows(), title="study results"))
     if cache is not None:
@@ -319,6 +293,46 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro import api
+    from repro.service import BackendRouter, JobManager, StudyService
+
+    fabric = None
+    if args.fabric:
+        fabric = api.DistributedExecutor(bind=args.fabric, lease=args.lease)
+        host, port = fabric.endpoint
+        print(
+            f"distributed fabric listening on {host}:{port} — attach workers "
+            f"with: python -m repro worker --connect {host}:{port}"
+        )
+    try:
+        router = BackendRouter(args.executor, fabric=fabric)
+        manager = JobManager(args.state_dir, router=router, log=print)
+        service = StudyService(
+            args.state_dir,
+            bind=args.bind,
+            manager=manager,
+            verbose=args.verbose,
+        )
+    except api.JobSpecError as exc:
+        print(f"error: {exc.field}: {exc.reason}", file=sys.stderr)
+        if fabric is not None:
+            fabric.close()
+        return 2
+    host, port = service.endpoint
+    print(f"repro service listening on http://{host}:{port} (state: {args.state_dir})")
+    print(
+        f"submit a study:  curl -s -X POST http://{host}:{port}/v1/jobs "
+        "-d '{\"models\": [\"work_stealing\"], \"ranks\": [16]}'"
+    )
+    try:
+        service.serve_forever()
+    finally:
+        if fabric is not None:
+            fabric.close()
+    return 0
+
+
 def cmd_worker(args: argparse.Namespace) -> int:
     from repro.parallel.fabric import parse_endpoint
     from repro.parallel.worker import run_worker
@@ -396,11 +410,12 @@ def build_parser() -> argparse.ArgumentParser:
         "%(default)s -> policy default of 3)",
     )
     p_study.add_argument(
-        "--executor", choices=("local", "serial", "distributed"),
-        default="local",
-        help="execution backend for cache-miss cells: 'local' supervised "
-        "forked workers (default), 'serial' in-process, 'distributed' "
-        "leased TCP workers (attach them with 'python -m repro worker')",
+        "--executor", default="local", metavar="SPEC",
+        help="execution backend for cache-miss cells, as a spec string: "
+        "'local' supervised forked workers (default), 'serial' "
+        "in-process, 'distributed' leased TCP workers (attach them with "
+        "'python -m repro worker'); options inline as "
+        "'name?opt=val&opt2=val', e.g. 'distributed?lease=10'",
     )
     p_study.add_argument(
         "--bind", default="127.0.0.1:0", metavar="HOST:PORT",
@@ -501,6 +516,43 @@ def build_parser() -> argparse.ArgumentParser:
         "frozen / severed / duplicating TCP workers, full remote loss)",
     )
     p_chaos.set_defaults(func=cmd_chaos)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the persistent study daemon (HTTP job API, see docs/service.md)",
+    )
+    p_serve.add_argument(
+        "--bind", default="127.0.0.1:8750", metavar="HOST:PORT",
+        help="HTTP listen address (default: %(default)s; port 0 picks an "
+        "ephemeral port, printed at startup). The wire carries no "
+        "authentication — bind loopback or a trusted network only.",
+    )
+    p_serve.add_argument(
+        "--state-dir", default="benchmarks/results/service", metavar="DIR",
+        help="durable service state: job records under DIR/jobs, the "
+        "result cache + journals under DIR/cache (default: %(default)s). "
+        "Restarting the daemon on the same state dir resumes unfinished "
+        "jobs from their journals.",
+    )
+    p_serve.add_argument(
+        "--executor", default="local", metavar="SPEC",
+        help="default backend for jobs that say 'auto' (default: "
+        "%(default)s; same spec strings as 'repro study --executor')",
+    )
+    p_serve.add_argument(
+        "--fabric", default=None, metavar="HOST:PORT",
+        help="also bind a daemon-lifetime distributed fabric at this "
+        "address; 'python -m repro worker' daemons attach once and serve "
+        "every job routed to the 'distributed' backend",
+    )
+    p_serve.add_argument(
+        "--lease", type=float, default=30.0, metavar="SEC",
+        help="with --fabric: per-cell worker lease (default: %(default)s)",
+    )
+    p_serve.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
+    p_serve.set_defaults(func=cmd_serve)
 
     p_worker = sub.add_parser(
         "worker",

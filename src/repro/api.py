@@ -24,6 +24,8 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
+from repro import __version__
+
 from repro.chemistry.molecules import (
     Molecule,
     linear_alkane,
@@ -49,6 +51,7 @@ from repro.core.cache import (
     fingerprint,
 )
 from repro.core.config import MACHINE_PRESETS, StudyConfig
+from repro.core.jobspec import JobSpec, JobSpecError, SourceSpec
 from repro.core.journal import JournalEntry, SweepJournal
 from repro.core.report import format_failures, format_table
 from repro.core.results import StudyReport
@@ -79,7 +82,9 @@ from repro.parallel.executor import (
     DegradedExecutionWarning,
     WorkerError,
     executor_names,
+    format_executor_spec,
     make_executor,
+    parse_executor_spec,
     register_executor,
 )
 from repro.parallel.fabric import DistributedExecutor
@@ -92,6 +97,9 @@ from repro.simulate.machine import (
 )
 
 __all__ = [
+    # facade metadata
+    "__version__",
+    "api_surface",
     # workload construction
     "Molecule",
     "water_cluster",
@@ -125,6 +133,10 @@ __all__ = [
     "StudyReport",
     "run_study",
     "sweep",
+    "JobSpec",
+    "SourceSpec",
+    "JobSpecError",
+    "run_job",
     "study_cells",
     "SweepRunner",
     "SweepCell",
@@ -158,10 +170,22 @@ __all__ = [
     "make_executor",
     "register_executor",
     "executor_names",
+    "parse_executor_spec",
+    "format_executor_spec",
     # rendering
     "format_table",
     "format_failures",
 ]
+
+
+def api_surface() -> tuple[str, ...]:
+    """The frozen public surface: ``__all__`` as an immutable tuple.
+
+    Pinned by a test (``tests/core/test_api.py``) so accidental surface
+    growth — a new export sneaking into ``__all__`` without a conscious
+    decision — fails CI instead of shipping.
+    """
+    return tuple(__all__)
 
 
 def run_scf(molecule: Molecule, **options: Any) -> ScfResult:
@@ -232,6 +256,7 @@ def sweep(
     journal: SweepJournal | str | None = None,
     resume: bool = False,
     executor: CellExecutor | str = "local",
+    on_result: Callable[..., None] | None = None,
 ) -> StudyReport:
     """Run a study grid through the parallel, cached sweep orchestrator.
 
@@ -250,11 +275,17 @@ def sweep(
     checkpoint completed cells so an interrupted sweep continues where
     it stopped.
 
-    ``executor`` selects the execution backend: ``"local"`` (supervised
-    forked workers, the default), ``"serial"``, or a configured
+    ``executor`` selects the execution backend via the canonical spec
+    string (:func:`parse_executor_spec`): ``"local"`` (supervised forked
+    workers, the default), ``"serial"``, ``"distributed?bind=...&
+    lease=..."``, or an already-constructed instance such as a
     :class:`DistributedExecutor` serving ``python -m repro worker``
     daemons over TCP (see ``docs/distributed.md``). All backends share
     the same retry/quarantine semantics and produce identical reports.
+
+    ``on_result`` receives every settled cell *with its result* in
+    completion order (see :class:`SweepRunner`); it is how the job
+    service streams rows while a sweep is still running.
     """
     runner = SweepRunner(
         jobs=jobs,
@@ -266,5 +297,67 @@ def sweep(
         journal=journal,
         resume=resume,
         executor=executor,
+        on_result=on_result,
     )
     return runner.run_study(config, source)
+
+
+def run_job(
+    spec: JobSpec,
+    *,
+    source: Any | None = None,
+    executor: CellExecutor | None = None,
+    progress: Callable[[SweepProgress], None] | None = None,
+    on_result: Callable[..., None] | None = None,
+    journal: SweepJournal | str | None = None,
+    resume: bool = False,
+    cache: ResultCache | str | None = None,
+) -> StudyReport:
+    """Execute one :class:`JobSpec` end to end — the one path under
+    every surface (``repro study``, ``repro serve``, and programmatic
+    use all terminate here).
+
+    The spec is validated, its declarative source is materialized into a
+    built problem (through the artifact store when
+    ``spec.artifact_cache``), and the study runs through :func:`sweep`
+    with the spec's executor/jobs/timeout/retry settings and
+    ``on_error="quarantine"`` (a poison cell yields a failure row, not
+    an aborted job).
+
+    ``executor`` overrides the spec's executor string with a live
+    instance (the service's backend router does this — e.g. to reuse a
+    daemon-lifetime distributed fabric). ``cache``/``journal``/``resume``
+    override the spec's cache settings the same way (the service owns
+    its state directory; the CLI derives them from ``--cache-dir``).
+    ``source`` supplies an already-built problem for the spec's source
+    recipe — callers that need the built graph for their own reporting
+    (the CLI prints basis/task counts) pass it to avoid a double build.
+    """
+    import pathlib
+
+    spec.validate()
+    if cache is None and spec.cache:
+        cache = spec.cache_dir or default_cache_dir()
+    cache_root = cache.root if isinstance(cache, ResultCache) else cache
+    if not spec.artifact_cache:
+        configure_artifacts(enabled=False)
+    elif cache_root is not None:
+        configure_artifacts(pathlib.Path(cache_root) / "artifacts")
+    problem = source if source is not None else spec.source.build()
+    config = spec.study_config(problem)
+    if journal is None and cache_root is not None:
+        journal = str(pathlib.Path(cache_root) / "journal")
+    return sweep(
+        config,
+        problem,
+        jobs=spec.jobs,
+        cache=cache,
+        progress=progress,
+        timeout=spec.timeout,
+        retry=spec.retry_policy(),
+        on_error="quarantine",
+        journal=journal,
+        resume=resume,
+        executor=executor if executor is not None else spec.executor,
+        on_result=on_result,
+    )

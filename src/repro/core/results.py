@@ -11,6 +11,39 @@ from repro.runtime.trace import COMM, COMPUTE, FAILED, IDLE, OVERHEAD
 from repro.util import ConfigurationError
 
 
+def result_row(
+    r: RunResult, *, faulty: bool = False
+) -> dict[str, float | str | int]:
+    """The canonical flat summary row for one run.
+
+    The single row schema every surface renders — :meth:`StudyReport.rows`
+    tables, the service's NDJSON row stream — so a row built per-cell
+    while a sweep is still running is byte-identical to the same row in
+    the finished table. ``faulty`` adds the fault-accounting columns
+    (``failed%`` / ``completion`` / ``degraded``); :meth:`StudyReport.rows`
+    sets it when *any* run in the table was fault-affected.
+    """
+    fracs = r.breakdown_fractions()
+    row: dict[str, float | str | int] = {
+        "model": r.model,
+        "P": r.n_ranks,
+        "makespan_ms": r.makespan * 1e3,
+        "speedup": r.speedup,
+        "efficiency": r.efficiency,
+        "utilization": r.mean_utilization,
+        "imbalance": r.compute_imbalance,
+        "compute%": 100 * fracs[COMPUTE],
+        "comm%": 100 * fracs[COMM],
+        "overhead%": 100 * fracs[OVERHEAD],
+        "idle%": 100 * fracs[IDLE],
+    }
+    if faulty:
+        row["failed%"] = 100 * fracs.get(FAILED, 0.0)
+        row["completion"] = r.completion_rate
+        row["degraded"] = "yes" if r.degraded else ""
+    return row
+
+
 @dataclass
 class StudyReport:
     """All runs of one study, keyed by (model name, rank count).
@@ -81,31 +114,15 @@ class StudyReport:
         executed), and a ``degraded`` marker; for fault-free runs these
         are 0 / 1 / blank.
         """
-        out = []
         faulty = any(
             r.failed_ranks or r.degraded for r in self.results.values()
         )
-        for (model, n_ranks), r in sorted(self.results.items(), key=lambda kv: (kv[0][1], kv[0][0])):
-            fracs = r.breakdown_fractions()
-            row: dict[str, float | str | int] = {
-                "model": model,
-                "P": n_ranks,
-                "makespan_ms": r.makespan * 1e3,
-                "speedup": r.speedup,
-                "efficiency": r.efficiency,
-                "utilization": r.mean_utilization,
-                "imbalance": r.compute_imbalance,
-                "compute%": 100 * fracs[COMPUTE],
-                "comm%": 100 * fracs[COMM],
-                "overhead%": 100 * fracs[OVERHEAD],
-                "idle%": 100 * fracs[IDLE],
-            }
-            if faulty:
-                row["failed%"] = 100 * fracs.get(FAILED, 0.0)
-                row["completion"] = r.completion_rate
-                row["degraded"] = "yes" if r.degraded else ""
-            out.append(row)
-        return out
+        return [
+            result_row(r, faulty=faulty)
+            for _key, r in sorted(
+                self.results.items(), key=lambda kv: (kv[0][1], kv[0][0])
+            )
+        ]
 
     def series(self, model: str) -> tuple[np.ndarray, np.ndarray]:
         """(rank counts, makespans) for one model, sorted by P."""

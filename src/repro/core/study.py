@@ -6,14 +6,14 @@ This is what the benchmarks and examples call (through the
 :mod:`repro.api` facade).
 
 :func:`run_study` takes the workload as a single positional ``source``
-accepting any of ``Workload | ScfProblem | TaskGraph``; the historical
+accepting any of ``Workload | ScfProblem | TaskGraph``. The historical
 "exactly one of ``workload=``/``problem=``/``graph=``" keyword convention
-still works but emits :class:`DeprecationWarning`.
+completed its deprecation cycle (DeprecationWarning since the facade
+landed) and now raises a :class:`TypeError` naming the replacement.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Any, Callable
 
@@ -88,26 +88,24 @@ def _reconcile_source(
     problem: ScfProblem | None,
     graph: TaskGraph | None,
 ) -> Any:
-    """Merge the positional source with the deprecated keyword trio."""
+    """Reject the removed keyword trio; require exactly one source."""
     legacy = [
         (kw, value)
         for kw, value in (("workload", workload), ("problem", problem), ("graph", graph))
         if value is not None
     ]
     if legacy:
-        names = ", ".join(f"{kw}=" for kw, _ in legacy)
-        warnings.warn(
-            f"run_study({names}...) is deprecated; pass the workload as the "
-            "positional `source` argument (Workload | ScfProblem | TaskGraph)",
-            DeprecationWarning,
-            stacklevel=3,
+        kw = legacy[0][0]
+        raise TypeError(
+            f"run_study({kw}=...) was removed after its deprecation "
+            f"cycle; pass the workload as the positional `source` "
+            f"argument instead: run_study(config, {kw})"
         )
-    provided = ([("source", source)] if source is not None else []) + legacy
-    if len(provided) != 1:
+    if source is None:
         raise ConfigurationError(
-            "provide exactly one of source, workload=, problem=, or graph="
+            "a study needs a source (Workload | ScfProblem | TaskGraph)"
         )
-    return provided[0][1]
+    return source
 
 
 def run_study(

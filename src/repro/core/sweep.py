@@ -225,12 +225,23 @@ class SweepRunner:
             exists for wrappers that add host-fault injection or
             instrumentation around the same computation (chaos harness).
         executor: how cache-miss cells execute — a
-            :class:`~repro.parallel.CellExecutor` instance or a registry
-            name (``"local"`` forked supervised pool, the default;
-            ``"serial"`` in-process; ``"distributed"`` leased TCP
-            workers — see :func:`repro.parallel.make_executor`). Every
-            backend shares the same retry/quarantine semantics, so
-            results are identical across executors.
+            :class:`~repro.parallel.CellExecutor` instance or an executor
+            spec string (``"local"`` forked supervised pool, the default;
+            ``"serial"`` in-process; ``"distributed?bind=..."`` leased
+            TCP workers — see :func:`repro.parallel.make_executor` /
+            :func:`repro.parallel.parse_executor_spec`). Every backend
+            shares the same retry/quarantine semantics, so results are
+            identical across executors.
+        on_result: callback receiving every *settled* cell as it lands,
+            in completion order: ``on_result(index, cell, key, outcome,
+            how)`` where ``key`` is the cell's content address (None
+            when neither cache nor journal is configured), ``outcome``
+            is the result or a :class:`~repro.parallel.CellFailure`, and
+            ``how`` is ``"cached" | "resumed" | "fresh" | "failed"``.
+            Unlike ``progress`` it carries the actual result — this is
+            the streaming hook the job service uses to emit rows while a
+            sweep is still running. An exception raised by the callback
+            aborts the sweep (completed cells stay journaled).
     """
 
     def __init__(
@@ -247,6 +258,8 @@ class SweepRunner:
         resume: bool = False,
         cell_fn: Callable[[SweepCell], Any] | None = None,
         executor: CellExecutor | str = "local",
+        on_result: Callable[[int, SweepCell, str | None, Any, str], None]
+        | None = None,
     ) -> None:
         if jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
@@ -268,6 +281,7 @@ class SweepRunner:
         self.resume = resume
         self.cell_fn = cell_fn if cell_fn is not None else execute_cell
         self.executor = make_executor(executor)
+        self.on_result = on_result
         self.stats = SweepStats()
         #: Host-fault accounting from the supervised pool (crashes,
         #: timeouts, retries, quarantines), cumulative over this runner.
@@ -425,6 +439,8 @@ class SweepRunner:
                 provenance[index] = how
                 settled[how] += 1
                 completed += 1
+                if self.on_result is not None:
+                    self.on_result(index, cell, key, hit, how)
                 emit(how, index)
 
             if misses:
@@ -488,6 +504,14 @@ class SweepRunner:
                                     )
                                 )
                         completed += 1
+                    if self.on_result is not None:
+                        self.on_result(
+                            index,
+                            cells[index],
+                            key,
+                            results[index],
+                            provenance[index],
+                        )
                     emit(
                         "failed"
                         if isinstance(results[index], CellFailure)

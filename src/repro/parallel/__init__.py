@@ -25,9 +25,11 @@ from repro.parallel.executor import (
     WorkerError,
     executor_names,
     fork_available,
+    format_executor_spec,
     make_executor,
     parallel_imap,
     parallel_map,
+    parse_executor_spec,
     register_executor,
 )
 from repro.parallel.supervisor import (
@@ -76,6 +78,8 @@ __all__ = [
     "make_executor",
     "register_executor",
     "executor_names",
+    "parse_executor_spec",
+    "format_executor_spec",
     "FabricServer",
     "GraphRef",
     "NoWorkersError",

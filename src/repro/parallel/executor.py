@@ -390,11 +390,93 @@ def register_executor(
     EXECUTOR_BACKENDS[name] = factory
 
 
+def _coerce_option(value: str) -> Any:
+    """Type an option value from a spec string: int, float, bool, or str.
+
+    Endpoint-shaped values (``host:port``) contain a colon and fall
+    through to str; ``yes/no/true/false`` become booleans so flags like
+    ``?fallback=no`` read naturally.
+    """
+    lowered = value.lower()
+    if lowered in ("true", "yes", "on"):
+        return True
+    if lowered in ("false", "no", "off"):
+        return False
+    try:
+        return int(value)
+    except ValueError:
+        pass
+    try:
+        return float(value)
+    except ValueError:
+        pass
+    return value
+
+
+def parse_executor_spec(spec: str) -> tuple[str, dict[str, Any]]:
+    """Parse the canonical executor spec string: ``name`` or
+    ``name?opt=val&opt2=val``.
+
+    This is the *one* string form every surface accepts — the
+    ``--executor`` CLI flag, ``api.sweep(executor=...)``, a
+    :class:`~repro.core.jobspec.JobSpec`, and the service's backend
+    router — so a spec like ``"distributed?bind=0.0.0.0:7070&lease=45"``
+    means the same thing everywhere. Option values are typed by shape
+    (int, then float, then bool words, else string; ``host:port`` stays a
+    string). The name must be registered; options are validated by the
+    backend's constructor, not here.
+    """
+    if not isinstance(spec, str) or not spec.strip():
+        raise ConfigurationError(
+            f"executor spec must be a non-empty string, got {spec!r}"
+        )
+    name, qmark, query = spec.partition("?")
+    name = name.strip()
+    if qmark and not query.strip():
+        raise ConfigurationError(
+            f"executor spec {spec!r} has a '?' but no options "
+            "(drop it, or add opt=val terms)"
+        )
+    if name not in EXECUTOR_BACKENDS:
+        raise ConfigurationError(
+            f"unknown executor backend {name!r}; registered: "
+            f"{', '.join(executor_names())}"
+        )
+    options: dict[str, Any] = {}
+    if query:
+        for term in query.split("&"):
+            term = term.strip()
+            if not term:
+                continue
+            key, sep, value = term.partition("=")
+            if not sep or not key:
+                raise ConfigurationError(
+                    f"malformed executor option {term!r} in {spec!r} "
+                    "(expected opt=val)"
+                )
+            if key in options:
+                raise ConfigurationError(
+                    f"executor option {key!r} given more than once in {spec!r}"
+                )
+            options[key] = _coerce_option(value)
+    return name, options
+
+
+def format_executor_spec(name: str, options: dict[str, Any]) -> str:
+    """The inverse of :func:`parse_executor_spec` (canonical, sorted)."""
+    if not options:
+        return name
+    query = "&".join(f"{k}={options[k]}" for k in sorted(options))
+    return f"{name}?{query}"
+
+
 def make_executor(
     spec: "str | CellExecutor", **options: Any
 ) -> CellExecutor:
-    """Resolve an executor spec: an instance passes through, a name is
-    looked up in the registry and constructed with ``options``."""
+    """Resolve an executor spec: an instance passes through; a string is
+    parsed with :func:`parse_executor_spec` (``"name"`` or
+    ``"name?opt=val"``) and constructed from the registry, with keyword
+    ``options`` layered over (and overriding) the spec's own options."""
     if isinstance(spec, CellExecutor):
         if options:
             raise ConfigurationError(
@@ -402,9 +484,6 @@ def make_executor(
                 f"instance plus {sorted(options)}"
             )
         return spec
-    if spec not in EXECUTOR_BACKENDS:
-        raise ConfigurationError(
-            f"unknown executor backend {spec!r}; registered: "
-            f"{', '.join(executor_names())}"
-        )
-    return EXECUTOR_BACKENDS[spec](**options)
+    name, spec_options = parse_executor_spec(spec)
+    spec_options.update(options)
+    return EXECUTOR_BACKENDS[name](**spec_options)

@@ -1,0 +1,21 @@
+"""Persistent study service: HTTP job API over the sweep orchestrator.
+
+``python -m repro serve`` runs the daemon; clients POST
+:class:`~repro.core.jobspec.JobSpec` JSON to ``/v1/jobs`` and stream
+NDJSON result rows as cells settle. See ``docs/service.md``.
+"""
+
+from repro.service.jobs import Job, JobManager, QueueFull
+from repro.service.router import AUTO, BackendRouter
+from repro.service.server import ServiceHandler, StudyService, wait_ready
+
+__all__ = [
+    "AUTO",
+    "BackendRouter",
+    "Job",
+    "JobManager",
+    "QueueFull",
+    "ServiceHandler",
+    "StudyService",
+    "wait_ready",
+]

@@ -1,0 +1,468 @@
+"""Job lifecycle for the study service: queue, run, stream, persist.
+
+One :class:`JobManager` owns every job the daemon has ever accepted:
+
+- **Submit-side dedupe.** A job's identity is its spec's content address
+  (:meth:`~repro.core.jobspec.JobSpec.job_key`), so resubmitting an
+  identical spec returns the *same* job — queued, running, or done —
+  without touching the queue. A million identical POSTs cost one
+  simulation; the cell-level result cache then dedupes even partially
+  overlapping grids below that.
+- **Bounded sequential execution.** Jobs run one at a time on a single
+  worker thread (each job already fans its cells across the executor's
+  workers; stacking concurrent sweeps would just thrash the host), and
+  the queue is bounded — past the limit, submission fails fast with a
+  structured error rather than buffering unboundedly.
+- **Durability.** Every job writes a JSON record under
+  ``<state_dir>/jobs/`` (spec + status + rows when finished), and every
+  sweep checkpoints through the journal machinery from PR 4. A daemon
+  kill + restart reloads the records, re-enqueues anything unfinished
+  with ``resume=True``, and the journal restores already-computed cells
+  bit-for-bit — restart costs only the cells that never settled.
+- **Row streaming.** Completed rows are appended (and watchers woken)
+  as cells settle, via the sweep's ``on_result`` hook — this is what
+  ``GET /v1/jobs/{id}/rows`` serves as NDJSON while the job still runs.
+  When the job finishes, the stored rows are replaced by the finished
+  report's canonical table (same dicts, canonical (P, model) order).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from repro.core.cache import ResultCache, atomic_tmp_path
+from repro.core.jobspec import JobSpec, JobSpecError
+from repro.core.results import result_row
+from repro.parallel.supervisor import CellFailure
+from repro.service.router import BackendRouter
+
+#: Lifecycle states a job moves through (terminal: done/failed/cancelled).
+JOB_STATUSES = ("queued", "running", "done", "failed", "cancelled")
+
+#: Job-record schema version for the on-disk JSON files.
+RECORD_VERSION = 1
+
+
+class JobCancelled(Exception):
+    """Raised inside a running sweep when its job is cancelled."""
+
+
+class QueueFull(JobSpecError):
+    """The bounded job queue is at capacity; submit again later."""
+
+    def __init__(self, limit: int) -> None:
+        super().__init__("queue", f"job queue full ({limit} queued); retry later")
+
+
+@dataclass
+class Job:
+    """One accepted study and everything observable about it."""
+
+    id: str
+    spec: JobSpec
+    status: str = "queued"
+    submitted_at: float = 0.0
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    error: str = ""
+    total_cells: int = 0
+    completed_cells: int = 0
+    cached_cells: int = 0
+    failed_cells: int = 0
+    executor: str = ""  #: resolved executor spec the job ran (or runs) under
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    cells: list[dict[str, Any]] = field(default_factory=list)
+    failures: list[dict[str, Any]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+        self._changed = threading.Condition(self._lock)
+        self._cancel = threading.Event()
+
+    # ------------------------------------------------------------------
+    @property
+    def terminal(self) -> bool:
+        return self.status in ("done", "failed", "cancelled")
+
+    def snapshot(self) -> dict[str, Any]:
+        """A consistent status view (what ``GET /v1/jobs/{id}`` returns)."""
+        with self._lock:
+            return {
+                "id": self.id,
+                "status": self.status,
+                "spec": self.spec.to_json(),
+                "executor": self.executor,
+                "submitted_at": self.submitted_at,
+                "started_at": self.started_at,
+                "finished_at": self.finished_at,
+                "error": self.error,
+                "progress": {
+                    "total": self.total_cells,
+                    "completed": self.completed_cells,
+                    "cached": self.cached_cells,
+                    "failed": self.failed_cells,
+                },
+                "cells": list(self.cells),
+            }
+
+    # ------------------------------------------------------------------
+    def _notify(self) -> None:
+        with self._changed:
+            self._changed.notify_all()
+
+    def stream_rows(self, poll: float = 0.25) -> Iterator[dict[str, Any]]:
+        """Yield row dicts as they land; returns when the job is terminal.
+
+        Safe to call at any point in the job's life: rows already
+        recorded are replayed first, then the iterator blocks on the
+        job's condition until new rows arrive or the job finishes.
+        """
+        served = 0
+        while True:
+            with self._changed:
+                while served >= len(self.rows) and not self.terminal:
+                    self._changed.wait(timeout=poll)
+                batch = self.rows[served:]
+                served += len(batch)
+                finished = self.terminal and served >= len(self.rows)
+            for row in batch:
+                yield row
+            if finished:
+                return
+
+
+class JobManager:
+    """Accepts, queues, executes, and persists jobs for one daemon.
+
+    Args:
+        state_dir: the service's durable root — job records under
+            ``jobs/``, the shared result cache under ``cache/``, sweep
+            journals under ``cache/journal``. The layout matches what
+            ``repro study --cache-dir <state_dir>/cache`` produces, so a
+            hand-run study pointed there shares cells with the daemon.
+        router: backend routing policy (default: local in-process).
+        max_queued: bound on jobs waiting to run.
+        log: optional ``print``-like callable for lifecycle lines.
+    """
+
+    def __init__(
+        self,
+        state_dir: "str | os.PathLike",
+        *,
+        router: BackendRouter | None = None,
+        max_queued: int = 64,
+        log: Callable[[str], None] | None = None,
+    ) -> None:
+        self.state_dir = pathlib.Path(state_dir)
+        self.jobs_dir = self.state_dir / "jobs"
+        self.cache_dir = self.state_dir / "cache"
+        self.jobs_dir.mkdir(parents=True, exist_ok=True)
+        self.router = router if router is not None else BackendRouter()
+        self.max_queued = int(max_queued)
+        self.log = log if log is not None else (lambda _msg: None)
+        self._jobs: dict[str, Job] = {}
+        self._queue: list[str] = []
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._closed = False
+        self._recover()
+        self._worker = threading.Thread(
+            target=self._run_loop, name="repro-job-worker", daemon=True
+        )
+        self._worker.start()
+
+    # ------------------------------------------------------------------
+    # Durable job records
+    # ------------------------------------------------------------------
+    def _record_path(self, job_id: str) -> pathlib.Path:
+        return self.jobs_dir / f"{job_id}.json"
+
+    def _persist(self, job: Job) -> None:
+        """Write the job's durable record atomically (crash-safe)."""
+        record = {
+            "v": RECORD_VERSION,
+            "id": job.id,
+            "spec": job.spec.to_json(),
+            "status": job.status,
+            "submitted_at": job.submitted_at,
+            "started_at": job.started_at,
+            "finished_at": job.finished_at,
+            "error": job.error,
+            "executor": job.executor,
+            "rows": job.rows if job.terminal else [],
+            "failures": job.failures,
+        }
+        path = self._record_path(job.id)
+        tmp = atomic_tmp_path(path)
+        try:
+            tmp.write_text(json.dumps(record, sort_keys=True), encoding="utf-8")
+            os.replace(tmp, path)
+        finally:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    def _recover(self) -> None:
+        """Reload job records; re-enqueue anything the crash interrupted.
+
+        A ``running`` record means the previous daemon died mid-sweep;
+        it goes back on the queue and the sweep's journal restores every
+        cell that settled before the kill. Malformed records are skipped
+        (one lost record = one lost job *description*; the results
+        themselves live in the content-addressed cache regardless).
+        """
+        for path in sorted(self.jobs_dir.glob("*.json")):
+            try:
+                record = json.loads(path.read_text(encoding="utf-8"))
+                if record.get("v") != RECORD_VERSION:
+                    continue
+                spec = JobSpec.from_json(record["spec"])
+                job = Job(
+                    id=str(record["id"]),
+                    spec=spec,
+                    status=str(record.get("status", "queued")),
+                    submitted_at=float(record.get("submitted_at", 0.0)),
+                    started_at=float(record.get("started_at", 0.0)),
+                    finished_at=float(record.get("finished_at", 0.0)),
+                    error=str(record.get("error", "")),
+                    executor=str(record.get("executor", "")),
+                    rows=list(record.get("rows", [])),
+                    failures=list(record.get("failures", [])),
+                )
+            except (OSError, ValueError, KeyError, JobSpecError):
+                continue
+            if job.status not in JOB_STATUSES:
+                continue
+            if job.id != job.spec.job_key():
+                continue  # record does not match its own spec; distrust it
+            if not job.terminal:
+                job.status = "queued"
+                job.rows = []
+                self._queue.append(job.id)
+                self.log(f"recovered unfinished job {job.id[:12]} -> requeued")
+            self._jobs[job.id] = job
+        if self._queue:
+            self.log(f"{len(self._queue)} job(s) resumed from {self.jobs_dir}")
+
+    # ------------------------------------------------------------------
+    # Public API (what the HTTP layer calls)
+    # ------------------------------------------------------------------
+    def submit(self, spec: JobSpec) -> tuple[Job, bool]:
+        """Accept one spec; returns ``(job, deduped)``.
+
+        ``deduped`` is True when an identical spec (same
+        :meth:`~repro.core.jobspec.JobSpec.job_key`) was already known —
+        the existing job is returned untouched, whatever its state.
+        A *cancelled* identical job is revived instead (requeued), since
+        cancellation was an operator choice, not a property of the spec.
+        """
+        normalized = self.router.normalize(spec)
+        job_id = spec.job_key()
+        with self._lock:
+            if self._closed:
+                raise JobSpecError("service", "daemon is shutting down")
+            existing = self._jobs.get(job_id)
+            if existing is not None and existing.status != "cancelled":
+                return existing, True
+            if len(self._queue) >= self.max_queued:
+                raise QueueFull(self.max_queued)
+            revived = existing is not None
+            job = Job(
+                id=job_id,
+                spec=spec,
+                submitted_at=time.time(),
+                executor=self.router.resolve_spec(normalized),
+            )
+            self._jobs[job_id] = job
+            self._queue.append(job_id)
+            self._wake.notify_all()
+        self._persist(job)
+        self.log(
+            f"job {job_id[:12]} {'revived' if revived else 'queued'} "
+            f"({len(spec.models)} model(s) x ranks {list(spec.ranks)})"
+        )
+        return job, False
+
+    def get(self, job_id: str) -> Job | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def list_jobs(self) -> list[Job]:
+        with self._lock:
+            return sorted(self._jobs.values(), key=lambda j: j.submitted_at)
+
+    def cancel(self, job_id: str) -> Job | None:
+        """Cancel a job: dequeue if waiting, interrupt if running.
+
+        Already-terminal jobs are returned unchanged (cancel is
+        idempotent). Cells that settled before the cancel stay journaled
+        and cached — a revived job resumes from them.
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return None
+            if job.terminal:
+                return job
+            if job.status == "queued":
+                try:
+                    self._queue.remove(job_id)
+                except ValueError:
+                    pass
+                job.status = "cancelled"
+                job.finished_at = time.time()
+            else:  # running: the sweep's callbacks notice the event
+                job._cancel.set()
+        if job.status == "cancelled":
+            self._persist(job)
+            job._notify()
+        self.log(f"job {job_id[:12]} cancel requested")
+        return job
+
+    def result_store(self) -> ResultCache:
+        """The shared content-addressed store (artifact fetch endpoint)."""
+        return ResultCache(self.cache_dir)
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            counts = {status: 0 for status in JOB_STATUSES}
+            for job in self._jobs.values():
+                counts[job.status] = counts.get(job.status, 0) + 1
+            counts["queued_depth"] = len(self._queue)
+            return counts
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop accepting work and interrupt the running job (if any)."""
+        with self._lock:
+            self._closed = True
+            for job_id in self._queue:
+                job = self._jobs[job_id]
+                job.status = "cancelled"
+                job.finished_at = time.time()
+                job._notify()
+            cancelled = [self._jobs[j] for j in self._queue]
+            self._queue.clear()
+            for job in self._jobs.values():
+                if job.status == "running":
+                    job._cancel.set()
+            self._wake.notify_all()
+        for job in cancelled:
+            self._persist(job)
+        self._worker.join(timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # The worker loop
+    # ------------------------------------------------------------------
+    def _run_loop(self) -> None:
+        while True:
+            with self._wake:
+                while not self._queue and not self._closed:
+                    self._wake.wait(timeout=0.5)
+                if self._closed and not self._queue:
+                    return
+                job = self._jobs[self._queue.pop(0)]
+            try:
+                self._run_job(job)
+            except Exception as exc:  # the loop must survive anything
+                with job._lock:
+                    if not job.terminal:
+                        job.status = "failed"
+                        job.error = f"{type(exc).__name__}: {exc}"
+                        job.finished_at = time.time()
+                self._persist(job)
+                job._notify()
+                self.log(f"job {job.id[:12]} failed: {job.error}")
+
+    def _run_job(self, job: Job) -> None:
+        from repro import api
+
+        spec = self.router.normalize(job.spec)
+        executor, owned = self.router.executor_for(spec)
+        with job._lock:
+            job.status = "running"
+            job.started_at = time.time()
+            job.executor = self.router.resolve_spec(spec)
+            job.total_cells = len(spec.models) * len(spec.ranks)
+        self._persist(job)
+        job._notify()
+        self.log(f"job {job.id[:12]} running on {job.executor!r}")
+
+        # Whether row dicts carry the fault-accounting columns is a
+        # whole-table property in the finished report; for streaming we
+        # decide it up front from the spec (a fault plan present = fault
+        # columns present). The terminal rows are rebuilt from the
+        # report, so the stored table is canonical regardless.
+        faulty = bool(spec.faults)
+
+        def on_result(index, cell, key, outcome, how):
+            if job._cancel.is_set():
+                raise JobCancelled(job.id)
+            with job._lock:
+                job.completed_cells += 1
+                if how in ("cached", "resumed"):
+                    job.cached_cells += 1
+                cell_info = {
+                    "label": cell.label,
+                    "key": key or "",
+                    "status": how,
+                }
+                job.cells.append(cell_info)
+                if isinstance(outcome, CellFailure):
+                    job.failed_cells += 1
+                    job.failures.append(
+                        {
+                            "label": outcome.label,
+                            "error": f"{outcome.error_type}: {outcome.message}",
+                            "attempts": outcome.attempts,
+                        }
+                    )
+                else:
+                    job.rows.append(result_row(outcome, faulty=faulty))
+            job._notify()
+
+        def progress(event):
+            if job._cancel.is_set():
+                raise JobCancelled(job.id)
+
+        try:
+            report = api.run_job(
+                spec,
+                executor=executor,
+                on_result=on_result,
+                progress=progress,
+                cache=ResultCache(self.cache_dir) if spec.cache else None,
+                journal=str(self.cache_dir / "journal"),
+                resume=True,
+            )
+        except JobCancelled:
+            with job._lock:
+                job.status = "cancelled"
+                job.finished_at = time.time()
+            self.log(f"job {job.id[:12]} cancelled mid-run")
+        else:
+            with job._lock:
+                # Replace streamed rows with the finished report's
+                # canonical table: same dicts, canonical order, and the
+                # fault-column decision made the way StudyReport makes it.
+                job.rows = report.rows()
+                job.status = "done" if report.complete else "failed"
+                if not report.complete:
+                    job.error = (
+                        f"{len(report.failures)} cell(s) quarantined"
+                    )
+                job.finished_at = time.time()
+        finally:
+            if owned:
+                close = getattr(executor, "close", None)
+                if callable(close):
+                    close()
+        self._persist(job)
+        job._notify()
+        self.log(f"job {job.id[:12]} {job.status}")

@@ -1,0 +1,303 @@
+"""The study daemon's HTTP surface: stdlib-only, loopback-friendly.
+
+``python -m repro serve`` binds a :class:`ThreadingHTTPServer` whose
+handler translates a small REST vocabulary onto one
+:class:`~repro.service.jobs.JobManager`:
+
+====== ================================ ======================================
+Method Path                             Meaning
+====== ================================ ======================================
+GET    /v1/health                       liveness + job counters
+GET    /v1/backends                     executor inventory (router view)
+POST   /v1/jobs                         submit a JobSpec (JSON body)
+GET    /v1/jobs                         list all jobs (summaries)
+GET    /v1/jobs/{id}                    full status for one job
+GET    /v1/jobs/{id}/rows              NDJSON result rows, streamed live
+GET    /v1/jobs/{id}/artifacts/{key}   raw cached cell bytes by content key
+DELETE /v1/jobs/{id}                    cancel (idempotent)
+====== ================================ ======================================
+
+The rows endpoint intentionally uses HTTP/1.0-style connection-close
+framing (no ``Content-Length``, no chunked encoding): each row is one
+JSON line flushed as the corresponding sweep cell settles, and the
+stream ends — socket close delimits the body — when the job reaches a
+terminal state. ``curl -N`` and :mod:`http.client` both consume this
+correctly, and it keeps the handler inside the stdlib.
+
+Like the distributed fabric (``docs/distributed.md``), the wire carries
+no authentication: bind loopback (the default) or a trusted network
+only.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro import __version__
+from repro.core.jobspec import JobSpec, JobSpecError
+from repro.service.jobs import JobManager
+
+#: Largest request body accepted, bytes. A JobSpec is a few hundred
+#: bytes; anything near this limit is a client bug, not a bigger study.
+MAX_BODY = 1 << 20
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    """Routes one request; the manager lives on the server object."""
+
+    server_version = f"repro-serve/{__version__}"
+    protocol_version = "HTTP/1.1"
+
+    # The default handler logs every request to stderr; the daemon logs
+    # job lifecycle lines itself, so request noise is opt-in.
+    def log_message(self, format: str, *args: Any) -> None:
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    @property
+    def manager(self) -> JobManager:
+        return self.server.manager  # type: ignore[attr-defined]
+
+    # ------------------------------------------------------------------
+    # Response helpers
+    # ------------------------------------------------------------------
+    def _send_json(self, status: int, payload: Any) -> None:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, reason: str, **extra: Any) -> None:
+        self._send_json(status, {"error": reason, **extra})
+
+    def _read_body(self) -> bytes | None:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            self._error(400, "request body required")
+            return None
+        if length > MAX_BODY:
+            self._error(413, f"body exceeds {MAX_BODY} bytes")
+            return None
+        return self.rfile.read(length)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:
+        parts = [p for p in self.path.split("?", 1)[0].split("/") if p]
+        if parts == ["v1", "health"]:
+            return self._send_json(
+                200,
+                {
+                    "ok": True,
+                    "version": __version__,
+                    "jobs": self.manager.stats(),
+                },
+            )
+        if parts == ["v1", "backends"]:
+            return self._send_json(
+                200, {"backends": self.manager.router.backends()}
+            )
+        if parts == ["v1", "jobs"]:
+            return self._send_json(
+                200,
+                {
+                    "jobs": [
+                        {
+                            "id": job.id,
+                            "status": job.status,
+                            "submitted_at": job.submitted_at,
+                        }
+                        for job in self.manager.list_jobs()
+                    ]
+                },
+            )
+        if len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
+            job = self.manager.get(parts[2])
+            if job is None:
+                return self._error(404, f"no such job: {parts[2]}")
+            return self._send_json(200, job.snapshot())
+        if len(parts) == 4 and parts[:2] == ["v1", "jobs"] and parts[3] == "rows":
+            return self._stream_rows(parts[2])
+        if (
+            len(parts) == 5
+            and parts[:2] == ["v1", "jobs"]
+            and parts[3] == "artifacts"
+        ):
+            return self._send_artifact(parts[2], parts[4])
+        self._error(404, f"unknown path: {self.path}")
+
+    def do_POST(self) -> None:
+        parts = [p for p in self.path.split("?", 1)[0].split("/") if p]
+        if parts != ["v1", "jobs"]:
+            return self._error(404, f"unknown path: {self.path}")
+        body = self._read_body()
+        if body is None:
+            return
+        try:
+            payload = json.loads(body)
+            spec = JobSpec.from_json(payload)
+        except JobSpecError as exc:
+            return self._send_json(400, {"error": str(exc), **exc.to_json()})
+        except (ValueError, TypeError) as exc:
+            return self._error(400, f"malformed JobSpec body: {exc}")
+        try:
+            job, deduped = self.manager.submit(spec)
+        except JobSpecError as exc:
+            status = 503 if exc.field in ("queue", "service") else 400
+            return self._send_json(status, {"error": str(exc), **exc.to_json()})
+        self._send_json(
+            202 if not deduped else 200,
+            {"job_id": job.id, "status": job.status, "deduped": deduped},
+        )
+
+    def do_DELETE(self) -> None:
+        parts = [p for p in self.path.split("?", 1)[0].split("/") if p]
+        if len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
+            job = self.manager.cancel(parts[2])
+            if job is None:
+                return self._error(404, f"no such job: {parts[2]}")
+            return self._send_json(200, {"job_id": job.id, "status": job.status})
+        self._error(404, f"unknown path: {self.path}")
+
+    # ------------------------------------------------------------------
+    # Streaming endpoints
+    # ------------------------------------------------------------------
+    def _stream_rows(self, job_id: str) -> None:
+        """NDJSON rows in completion order; closes when the job settles.
+
+        Connection-close framing: we drop to HTTP/1.0 semantics for this
+        one response (``Connection: close``, no length header) because
+        the body's length is unknowable until the sweep finishes.
+        """
+        job = self.manager.get(job_id)
+        if job is None:
+            return self._error(404, f"no such job: {job_id}")
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        self.close_connection = True
+        try:
+            for row in job.stream_rows():
+                self.wfile.write(
+                    (json.dumps(row, sort_keys=True) + "\n").encode("utf-8")
+                )
+                self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away; the job keeps running
+
+    def _send_artifact(self, job_id: str, key: str) -> None:
+        """Raw cached bytes for one settled cell, by content key."""
+        job = self.manager.get(job_id)
+        if job is None:
+            return self._error(404, f"no such job: {job_id}")
+        known = {c["key"] for c in job.snapshot()["cells"] if c.get("key")}
+        if key not in known:
+            return self._error(404, f"job {job_id} has no cell with key {key}")
+        store = self.manager.result_store()
+        path = store.path_for(key)
+        if not path.is_file():
+            return self._error(404, f"no cached artifact for key {key}")
+        blob = path.read_bytes()
+        self.send_response(200)
+        self.send_header("Content-Type", "application/octet-stream")
+        self.send_header("Content-Length", str(len(blob)))
+        self.end_headers()
+        self.wfile.write(blob)
+
+
+class StudyService:
+    """A bound daemon: HTTP server + job manager, one state directory.
+
+    Context-managed for tests (``with StudyService(...) as svc:``);
+    ``serve_forever`` blocks for the CLI. The server thread pool is the
+    stdlib's (one thread per connection); job *execution* stays on the
+    manager's single worker regardless of how many clients connect.
+    """
+
+    def __init__(
+        self,
+        state_dir: str,
+        *,
+        bind: str = "127.0.0.1:8750",
+        manager: JobManager | None = None,
+        verbose: bool = False,
+        log: Any = None,
+    ) -> None:
+        host, _, port_text = bind.rpartition(":")
+        if not host or not port_text:
+            raise JobSpecError("bind", f"expected HOST:PORT, got {bind!r}")
+        try:
+            port = int(port_text)
+        except ValueError:
+            raise JobSpecError("bind", f"port must be an integer, got {port_text!r}")
+        self.manager = manager if manager is not None else JobManager(
+            state_dir, log=log
+        )
+        self.httpd = ThreadingHTTPServer((host, port), ServiceHandler)
+        self.httpd.daemon_threads = True
+        self.httpd.manager = self.manager  # type: ignore[attr-defined]
+        self.httpd.verbose = verbose  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+
+    @property
+    def endpoint(self) -> tuple[str, int]:
+        """The actually-bound (host, port) — port 0 resolves here."""
+        addr = self.httpd.server_address
+        return str(addr[0]), int(addr[1])
+
+    # ------------------------------------------------------------------
+    def serve_forever(self) -> None:
+        """Block serving requests (the CLI path); Ctrl-C returns."""
+        try:
+            self.httpd.serve_forever(poll_interval=0.2)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.close()
+
+    def start(self) -> "StudyService":
+        """Serve on a background thread (the test/embedding path)."""
+        self._thread = threading.Thread(
+            target=self.httpd.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="repro-serve-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self.manager.close()
+
+    def __enter__(self) -> "StudyService":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+def wait_ready(host: str, port: int, timeout: float = 10.0) -> bool:
+    """Poll until the daemon accepts TCP connections (test helper)."""
+    import time
+
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            with socket.create_connection((host, port), timeout=0.5):
+                return True
+        except OSError:
+            time.sleep(0.05)
+    return False

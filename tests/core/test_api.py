@@ -10,6 +10,33 @@ from repro.util import ConfigurationError
 from tests.core.test_cache import assert_results_identical
 
 
+#: The frozen public surface. Changing it is an API decision: update this
+#: tuple *and* docs/api_tour.md in the same commit, never casually.
+PINNED_SURFACE = (
+    "__version__", "api_surface",
+    "Molecule", "water_cluster", "linear_alkane", "random_cluster",
+    "ScfProblem", "TaskGraph", "Workload", "build_workload", "resolve_source",
+    "MachineSpec", "MACHINE_PRESETS", "commodity_cluster",
+    "fast_network_cluster", "hierarchical_cluster",
+    "run_scf", "ScfResult", "run_model", "simulate_scf", "make_model",
+    "normalize_model_options", "MODEL_NAMES", "RunResult", "ScfSimulation",
+    "ScfSimResult", "FaultPlan",
+    "StudyConfig", "StudyReport", "run_study", "sweep", "JobSpec",
+    "SourceSpec", "JobSpecError", "run_job", "study_cells", "SweepRunner",
+    "SweepCell", "SweepProgress", "SweepStats", "print_progress",
+    "ResultCache", "CacheStats", "default_cache_dir", "fingerprint",
+    "CACHE_SALT",
+    "ArtifactStore", "ArtifactStats", "artifact_key", "configure_artifacts",
+    "default_store", "use_store",
+    "CellFailure", "WorkerError", "RetryPolicy", "HOST_RETRY_POLICY",
+    "SweepJournal", "JournalEntry",
+    "CellExecutor", "DistributedExecutor", "DegradedExecutionWarning",
+    "make_executor", "register_executor", "executor_names",
+    "parse_executor_spec", "format_executor_spec",
+    "format_table", "format_failures",
+)
+
+
 class TestStableSurface:
     def test_all_importable(self):
         for name in api.__all__:
@@ -18,6 +45,17 @@ class TestStableSurface:
     def test_core_entry_points_present(self):
         for name in ("sweep", "run_study", "build_workload", "run_scf", "run_model"):
             assert name in api.__all__
+
+    def test_surface_is_pinned(self):
+        assert api.api_surface() == PINNED_SURFACE
+
+    def test_surface_is_all(self):
+        assert list(api.api_surface()) == api.__all__
+
+    def test_version_exported(self):
+        import repro
+
+        assert api.__version__ == repro.__version__
 
 
 class TestSourcePolymorphism:
@@ -47,22 +85,35 @@ class TestSourcePolymorphism:
         assert_results_identical(via_problem, via_graph)
 
 
-class TestDeprecatedKeywords:
-    def test_legacy_keywords_warn_but_work(self, synthetic_graph):
+class TestRemovedKeywords:
+    """The workload=/problem=/graph= trio finished its deprecation cycle."""
+
+    @pytest.mark.parametrize("kw", ["workload", "problem", "graph"])
+    def test_legacy_keywords_raise_naming_replacement(self, synthetic_graph, kw):
         config = api.StudyConfig(models=("static_block",), n_ranks=(4,))
-        new = api.run_study(config, synthetic_graph)
-        with pytest.warns(DeprecationWarning, match="graph="):
-            old = api.run_study(config, graph=synthetic_graph)
-        assert_results_identical(
-            new.get("static_block", 4), old.get("static_block", 4)
-        )
+        with pytest.raises(TypeError, match=rf"run_study\({kw}=\.\.\.\) was removed"):
+            api.run_study(config, **{kw: synthetic_graph})
+
+    def test_error_names_positional_replacement(self, synthetic_graph):
+        config = api.StudyConfig(models=("static_block",), n_ranks=(4,))
+        with pytest.raises(TypeError, match="positional `source` argument"):
+            api.run_study(config, graph=synthetic_graph)
 
     def test_source_plus_keyword_rejected(self, synthetic_graph):
         config = api.StudyConfig(models=("static_block",), n_ranks=(4,))
+        with pytest.raises(TypeError, match="was removed"):
+            api.run_study(config, synthetic_graph, graph=synthetic_graph)
+
+    def test_missing_source_rejected(self):
+        config = api.StudyConfig(models=("static_block",), n_ranks=(4,))
+        with pytest.raises(ConfigurationError, match="needs a source"):
+            api.run_study(config)
+
+    def test_no_deprecation_warnings_remain(self, synthetic_graph):
+        config = api.StudyConfig(models=("static_block",), n_ranks=(2,))
         with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            with pytest.raises(ConfigurationError, match="exactly one"):
-                api.run_study(config, synthetic_graph, graph=synthetic_graph)
+            warnings.simplefilter("error", DeprecationWarning)
+            api.run_study(config, synthetic_graph)
 
 
 class TestOptionVocabulary:

@@ -40,18 +40,17 @@ class TestRunStudy:
 
     def test_no_source_rejected(self):
         config = StudyConfig(models=("static_block",), n_ranks=(4,))
-        with pytest.raises(ConfigurationError, match="exactly one"):
+        with pytest.raises(ConfigurationError, match="needs a source"):
             run_study(config)
 
     def test_source_plus_legacy_keyword_rejected(self, synthetic_graph):
         config = StudyConfig(models=("static_block",), n_ranks=(4,))
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(ConfigurationError, match="exactly one"):
-                run_study(
-                    config,
-                    synthetic_graph,
-                    workload=Workload("w", synthetic_graph),
-                )
+        with pytest.raises(TypeError, match=r"run_study\(workload=\.\.\.\) was removed"):
+            run_study(
+                config,
+                synthetic_graph,
+                workload=Workload("w", synthetic_graph),
+            )
 
     def test_accepts_workload(self, synthetic_graph):
         config = StudyConfig(models=("static_block",), n_ranks=(4,))
@@ -63,15 +62,10 @@ class TestRunStudy:
         report = run_study(config, tiny_problem)
         assert report.get("static_cyclic", 2).n_tasks == tiny_problem.graph.n_tasks
 
-    def test_legacy_keywords_deprecated_but_equivalent(self, synthetic_graph):
+    def test_legacy_keywords_removed(self, synthetic_graph):
         config = StudyConfig(models=("static_block",), n_ranks=(4,), seed=3)
-        positional = run_study(config, synthetic_graph)
-        with pytest.warns(DeprecationWarning, match="positional"):
-            keyword = run_study(config, graph=synthetic_graph)
-        assert (
-            positional.get("static_block", 4).makespan
-            == keyword.get("static_block", 4).makespan
-        )
+        with pytest.raises(TypeError, match=r"run_study\(graph=\.\.\.\) was removed"):
+            run_study(config, graph=synthetic_graph)
 
     def test_deterministic(self, synthetic_graph):
         config = StudyConfig(models=("work_stealing",), n_ranks=(4,), seed=7)

@@ -24,7 +24,9 @@ from repro.parallel.executor import (
     SerialExecutor,
     WorkerError,
     executor_names,
+    format_executor_spec,
     make_executor,
+    parse_executor_spec,
     register_executor,
 )
 from repro.parallel.fabric import (
@@ -191,6 +193,53 @@ class TestExecutorRegistry:
         assert LocalExecutor.graph_handoff == "shm"
         assert SerialExecutor.graph_handoff is None
         assert DistributedExecutor.graph_handoff == "ref"
+
+
+class TestExecutorSpecStrings:
+    """One grammar for --executor, api.sweep(executor=...), and the service."""
+
+    def test_bare_name(self):
+        assert parse_executor_spec("local") == ("local", {})
+
+    def test_options_with_typing(self):
+        name, options = parse_executor_spec(
+            "distributed?bind=0.0.0.0:9100&lease=7.5&degrade_after=2"
+        )
+        assert name == "distributed"
+        assert options == {"bind": "0.0.0.0:9100", "lease": 7.5, "degrade_after": 2}
+        assert isinstance(options["degrade_after"], int)
+
+    def test_bool_words(self):
+        _, options = parse_executor_spec("serial?flag=true&other=no")
+        assert options == {"flag": True, "other": False}
+
+    def test_format_is_canonical_inverse(self):
+        spec = "distributed?bind=127.0.0.1:0&lease=7.5"
+        name, options = parse_executor_spec(spec)
+        assert format_executor_spec(name, options) == spec
+        assert format_executor_spec("local", {}) == "local"
+        # option order never matters
+        assert format_executor_spec(name, dict(reversed(list(options.items())))) == spec
+
+    def test_malformed_specs_rejected(self):
+        for bad in ("", "?", "local?", "local?x", "local?x=1&x=2", "nope?x=1"):
+            with pytest.raises(ConfigurationError):
+                parse_executor_spec(bad)
+
+    def test_make_executor_accepts_spec_strings(self):
+        ex = make_executor("distributed?bind=127.0.0.1:0&lease=9.0")
+        try:
+            assert isinstance(ex, DistributedExecutor)
+            assert ex.server.lease == 9.0
+        finally:
+            ex.close()
+
+    def test_keyword_options_layer_over_spec(self):
+        ex = make_executor("distributed?bind=127.0.0.1:0&lease=9.0", lease=4.0)
+        try:
+            assert ex.server.lease == 4.0
+        finally:
+            ex.close()
 
 
 class TestGraphRefs:
