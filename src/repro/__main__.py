@@ -246,6 +246,13 @@ def cmd_bench(args: argparse.Namespace) -> int:
         out = Path(args.output_dir) / f"BENCH_{suite}.json"
         perf.write_report(report, out)
         print(f"  -> {out}")
+        # Also drop a copy at the repo root: the latest local run sits
+        # next to README.md while benchmarks/results/ keeps the
+        # committed baselines the regression gate compares against.
+        root_out = Path.cwd() / f"BENCH_{suite}.json"
+        if root_out.resolve() != out.resolve():
+            perf.write_report(report, root_out)
+            print(f"  -> {root_out}")
         if args.baseline_dir is not None:
             base_path = Path(args.baseline_dir) / f"BENCH_{suite}.json"
             if not base_path.exists():
@@ -370,6 +377,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--faults", default=None, metavar="SPEC",
         help="fault scenario, e.g. 'crash:2@0.3,stall:1@0.2-0.4,drop:0.01' "
         "(crash/stall times are fractions of the estimated ideal makespan)",
+    )
+    p_study.add_argument(
+        "--engine", default="auto", metavar="MODE",
+        help="simulation-engine mode: 'auto' (compiled loop when a C "
+        "toolchain is available, else pure Python), 'python', 'bucket' "
+        "(calendar-queue timeline), or 'compiled'; all modes are "
+        "bit-for-bit equivalent (default: %(default)s)",
     )
     p_study.add_argument(
         "--jobs", type=int, default=1, metavar="N",

@@ -335,7 +335,13 @@ def run_job(
     """
     import pathlib
 
+    from repro.simulate.sched import set_engine_mode
+
     spec.validate()
+    # Engine mode is process-wide (forked sweep workers inherit it via
+    # the environment) and performance-only: every mode is bit-for-bit
+    # equivalent, so it is deliberately not part of the job identity.
+    set_engine_mode(spec.engine)
     if cache is None and spec.cache:
         cache = spec.cache_dir or default_cache_dir()
     cache_root = cache.root if isinstance(cache, ResultCache) else cache

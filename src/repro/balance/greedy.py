@@ -26,12 +26,19 @@ def lpt(costs: np.ndarray, n_ranks: int) -> np.ndarray:
     check_positive("n_ranks", n_ranks)
     costs = np.asarray(costs, dtype=np.float64)
     assignment = np.empty(costs.size, dtype=np.int64)
+    # Plain-float heap entries: ``costs[tid]`` is an ndarray scalar, and
+    # carrying it into the heap tuples makes every sift comparison box
+    # and dispatch through np.float64 richcompare — the dominant cost of
+    # this loop. Python floats hold the same IEEE doubles, so the heap
+    # order (and the assignment) is bit-for-bit unchanged.
+    cost_list: list[float] = costs.tolist()
     heap: list[tuple[float, int]] = [(0.0, r) for r in range(n_ranks)]
     heapq.heapify(heap)
-    for tid in np.argsort(-costs, kind="stable"):
-        load, rank = heapq.heappop(heap)
+    heappop, heappush = heapq.heappop, heapq.heappush
+    for tid in np.argsort(-costs, kind="stable").tolist():
+        load, rank = heappop(heap)
         assignment[tid] = rank
-        heapq.heappush(heap, (load + costs[tid], rank))
+        heappush(heap, (load + cost_list[tid], rank))
     return assignment
 
 
@@ -52,12 +59,18 @@ def capacity_lpt(costs: np.ndarray, capacities: np.ndarray) -> np.ndarray:
     loads = np.zeros(n_ranks)
     # Heap keyed on completion time if the task lands there; since the key
     # depends on the task, fall back to a full argmin per task (n_ranks is
-    # small relative to n_tasks, and this stays vectorized).
-    for tid in np.argsort(-costs, kind="stable"):
-        finish = (loads + costs[tid]) / capacities
+    # small relative to n_tasks, and this stays vectorized). Reusing one
+    # scratch buffer avoids two allocations per task; the elementwise adds
+    # and divides are the same operations in the same order.
+    cost_list: list[float] = costs.tolist()
+    finish = np.empty(n_ranks)
+    for tid in np.argsort(-costs, kind="stable").tolist():
+        cost = cost_list[tid]
+        np.add(loads, cost, out=finish)
+        np.divide(finish, capacities, out=finish)
         rank = int(np.argmin(finish))
         assignment[tid] = rank
-        loads[rank] += costs[tid]
+        loads[rank] += cost
     return assignment
 
 
@@ -77,20 +90,30 @@ def locality_greedy(
     if distribution is None:
         return lpt(graph.costs, n_ranks)
     costs = graph.costs
-    ideal = costs.sum() / n_ranks if costs.size else 0.0
+    ideal = float(costs.sum()) / n_ranks if costs.size else 0.0
     limit = (1.0 + slack) * ideal
-    loads = np.zeros(n_ranks)
+    # Loads as a plain-float list: every task does several keyed lookups
+    # plus an argmin over loads, and ndarray scalar indexing would box a
+    # np.float64 per touch. ``min(range(n), key=...)`` returns the first
+    # minimum, exactly like np.argmin. Values are identical IEEE doubles,
+    # so the assignment is unchanged.
+    loads: list[float] = [0.0] * n_ranks
+    cost_list: list[float] = costs.tolist()
+    all_ranks = range(n_ranks)
     assignment = np.empty(graph.n_tasks, dtype=np.int64)
-    for tid in np.argsort(-costs, kind="stable"):
-        task = graph.tasks[tid]
-        owners = {distribution.owner(ref) for ref in (*task.reads, *task.writes)}
-        best_owner = min(owners, key=lambda r: loads[r])
-        if loads[best_owner] + costs[tid] <= limit or ideal == 0.0:
+    owner = distribution.owner
+    tasks = graph.tasks
+    for tid in np.argsort(-costs, kind="stable").tolist():
+        task = tasks[tid]
+        owners = {owner(ref) for ref in (*task.reads, *task.writes)}
+        best_owner = min(owners, key=loads.__getitem__)
+        cost = cost_list[tid]
+        if loads[best_owner] + cost <= limit or ideal == 0.0:
             rank = best_owner
         else:
-            rank = int(np.argmin(loads))
+            rank = min(all_ranks, key=loads.__getitem__)
         assignment[tid] = rank
-        loads[rank] += costs[tid]
+        loads[rank] += cost
     return assignment
 
 

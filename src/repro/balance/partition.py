@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import heapq
 import math
+from bisect import insort
 
 import numpy as np
 
@@ -91,6 +92,12 @@ def _kway_repair(hg: Hypergraph, parts: np.ndarray, k: int, eps: float) -> None:
     limit = (1.0 + eps) * ideal
     incidence = hg.vertex_nets()
     budget = 4 * hg.n_vertices
+    # Plain-float views for the per-vertex scan: ndarray scalar reads
+    # (``weights[v]``, ``net_weights[eid]``) would box one np.float64 per
+    # touch and route every ``key`` comparison through richcompare
+    # dispatch. Same doubles, same accumulation order, same moves.
+    weight_list: list[float] = weights.tolist()
+    net_weight_list: list[float] = hg.net_weights.tolist()
     while budget > 0:
         src = int(np.argmax(loads))
         if loads[src] <= limit + 1e-12:
@@ -100,28 +107,30 @@ def _kway_repair(hg: Hypergraph, parts: np.ndarray, k: int, eps: float) -> None:
         if members.size <= 1:
             break
         overload = loads[src] - ideal
+        headroom = overload + ideal - loads[dst]
         best_v = -1
         best_key: tuple[float, float] | None = None
-        for v in members:
-            w = weights[v]
-            if w <= 0 or w > overload + ideal - loads[dst]:
+        for v in members.tolist():
+            w = weight_list[v]
+            if w <= 0 or w > headroom:
                 continue
             damage = 0.0
             for eid in incidence[v]:
                 pins = parts[hg.nets[eid]]
                 if not np.any(pins == dst):
-                    damage += hg.net_weights[eid]
+                    damage += net_weight_list[eid]
                 if np.count_nonzero(pins == src) == 1:
-                    damage -= hg.net_weights[eid]
+                    damage -= net_weight_list[eid]
             key = (damage / w, -w)
             if best_key is None or key < best_key:
                 best_key = key
-                best_v = int(v)
+                best_v = v
         if best_v < 0:
             break
         parts[best_v] = dst
-        loads[src] -= weights[best_v]
-        loads[dst] += weights[best_v]
+        moved = weight_list[best_v]
+        loads[src] -= moved
+        loads[dst] += moved
         budget -= 1
 
 
@@ -505,6 +514,48 @@ def _fm_refine(
     return side
 
 
+def _fm_state(
+    hg: Hypergraph,
+) -> tuple[
+    list[float],
+    list[float],
+    list[list[int]],
+    np.ndarray,
+    np.ndarray | None,
+    np.ndarray | None,
+    np.ndarray | None,
+]:
+    """Side-independent FM working state, memoized on the hypergraph.
+
+    ``_fm_refine`` runs up to ``_FM_PASSES`` passes over the same
+    (immutable) hypergraph; the list views of weights/pins and the
+    sorted initial-gain event layout are identical every pass, so they
+    are built once and cached like ``nets``/``vertex_nets``.
+    """
+    cache = getattr(hg, "_fm_state", None)
+    if cache is None:
+        sizes_arr = hg.net_sizes
+        if hg.n_pins:
+            seg = np.repeat(np.arange(hg.n_nets), sizes_arr)
+            order = np.argsort(hg.pins, kind="stable")
+            ev_v = hg.pins[order]
+            ev_net = seg[order]
+            ev_idx = np.repeat(ev_v, 2)
+        else:
+            ev_v = ev_net = ev_idx = None
+        cache = (
+            hg.vertex_weights.tolist(),
+            hg.net_weights.tolist(),
+            [net.tolist() for net in hg.nets],
+            sizes_arr,
+            ev_v,
+            ev_net,
+            ev_idx,
+        )
+        hg._fm_state = cache  # type: ignore[attr-defined]
+    return cache
+
+
 def _fm_pass(
     hg: Hypergraph,
     side: np.ndarray,
@@ -522,7 +573,7 @@ def _fm_pass(
     # millions of times, where ndarray scalar indexing dominates the
     # pass. Values are the same IEEE doubles in the same order, so the
     # refinement trajectory is bit-for-bit unchanged.
-    sizes_arr = hg.net_sizes
+    vw, weights, nets_l, sizes_arr, ev_v, ev_net, ev_idx = _fm_state(hg)
     if hg.n_nets:
         ones_arr = np.add.reduceat(
             side[hg.pins].astype(np.int64), hg.xpins[:-1]
@@ -532,9 +583,6 @@ def _fm_pass(
     cnt1: list[int] = ones_arr.tolist()
     cnt0: list[int] = (sizes_arr - ones_arr).tolist()
     side_l: list[int] = side.tolist()
-    vw: list[float] = vw_arr.tolist()
-    weights: list[float] = hg.net_weights.tolist()
-    nets_l: list[list[int]] = [net.tolist() for net in hg.nets]
 
     # Initial gains, vectorized: events sorted (vertex-major, net
     # ascending) replicate the former per-vertex incidence loop, and the
@@ -542,10 +590,6 @@ def _fm_pass(
     # ``np.add.at`` applies sequentially; adding 0.0 for non-firing
     # conditions is an exact no-op (no -0.0 can reach the accumulator).
     if hg.n_pins:
-        seg = np.repeat(np.arange(hg.n_nets), sizes_arr)
-        order = np.argsort(hg.pins, kind="stable")
-        ev_v = hg.pins[order]
-        ev_net = seg[order]
         on_one = side[ev_v].astype(bool)
         c1 = ones_arr[ev_net]
         c0 = sizes_arr[ev_net] - c1
@@ -556,7 +600,7 @@ def _fm_pass(
         ev[:, 0] = np.where(cnt_same == 1, w_ev, 0.0)
         ev[:, 1] = np.where(cnt_oth == 0, -w_ev, 0.0)
         gains_arr = np.zeros(n, dtype=np.float64)
-        np.add.at(gains_arr, np.repeat(ev_v, 2), ev.ravel())
+        np.add.at(gains_arr, ev_idx, ev.ravel())
         gains: list[float] = gains_arr.tolist()
     else:
         gains = [0.0] * n
@@ -592,31 +636,95 @@ def _fm_pass(
     redeferred: list[tuple[float, int, int]] = []
     dptr = 0  # deferred entries before dptr were examined this round
     dev0 = abs(w0 - target0)
+    pop = heapq.heappop
+    push = heapq.heappush
+
+    # Rescan guard. A blocked entry can only unblock when a move shifts
+    # ``(w0, dev0)``, and whether it does depends solely on its side and
+    # vertex weight. Tracking the per-side weight range of everything
+    # ever deferred (a lazy superset — stale or consumed entries are
+    # never subtracted) lets most rounds prove "nothing can unblock"
+    # with four float comparisons and skip the full rescan of the
+    # blocked list that used to run after every move. The proof is
+    # widened by ``slack`` so float rounding can only produce a false
+    # positive (a wasted scan), never a missed unblock; any drift here
+    # would show up as digest churn in tests/test_build_equivalence.py.
+    d0_min = d1_min = math.inf
+    d0_max = d1_max = -math.inf
+    scan_deferred = True
+    slack = 1e-9 * (abs(target0) + abs(lo) + abs(hi) + 1.0)
+
+    def may_unblock() -> bool:
+        if d0_max >= d0_min:  # any side-0 entries deferred so far
+            if d0_max >= w0 - hi - slack and d0_min <= w0 - lo + slack:
+                return True
+            delta = w0 - target0
+            if d0_max > delta - dev0 - slack and d0_min < delta + dev0 + slack:
+                return True
+        if d1_max >= d1_min:
+            if d1_max >= lo - w0 - slack and d1_min <= hi - w0 + slack:
+                return True
+            delta = target0 - w0
+            if d1_max > delta - dev0 - slack and d1_min < delta + dev0 + slack:
+                return True
+        return False
+    # Per-move scratch: vertices whose gain changed this move. One heap
+    # entry per touched vertex (with its final gain) replaces the former
+    # push-per-update: a vertex has at most one live entry either way,
+    # pop order of live entries depends only on ``(gain, vertex)`` —
+    # the stamp field never breaks a tie between two live entries — and
+    # stale entries are discarded on pop, so the examined-candidate
+    # sequence is identical while heap churn drops.
+    touched: list[int] = []
+    is_touched: list[bool] = [False] * n
 
     while True:
-        if dptr < len(deferred) and (not heap or deferred[dptr] <= heap[0]):
+        if (
+            scan_deferred
+            and dptr < len(deferred)
+            and (not heap or deferred[dptr] <= heap[0])
+        ):
             entry = deferred[dptr]
             dptr += 1
         elif heap:
-            entry = heapq.heappop(heap)
+            entry = pop(heap)
         else:
             # Every candidate of this round is locked, stale, or
             # balance-blocked: the pass is done (matching the former
-            # ``if not heap: break`` with deferred entries pending).
+            # ``if not heap: break`` with deferred entries pending —
+            # when the scan is suppressed, the guard has already proven
+            # every skipped entry would only be re-deferred).
             break
         neg_gain, v, stamp = entry
         if locked[v] or stamp != stamps[v]:
             continue
         new_w0 = w0 - vw[v] if side_l[v] == 0 else w0 + vw[v]
         if not (lo <= new_w0 <= hi) and not (abs(new_w0 - target0) < dev0):
-            redeferred.append(entry)
+            wv = vw[v]
+            if side_l[v] == 0:
+                if wv < d0_min:
+                    d0_min = wv
+                if wv > d0_max:
+                    d0_max = wv
+            else:
+                if wv < d1_min:
+                    d1_min = wv
+                if wv > d1_max:
+                    d1_max = wv
+            if scan_deferred:
+                redeferred.append(entry)
+            else:
+                # The skipped blocked list is untouched this round
+                # (``dptr == 0``); insert in sort order so a later
+                # scanning round sees the exact candidate sequence the
+                # eager re-push produced.
+                insort(deferred, entry)
             continue
         # Apply the move.
         src = side_l[v]
         dst = 1 - src
         cnt_src = cnt1 if src else cnt0
         cnt_dst = cnt0 if src else cnt1
-        push = heapq.heappush
         for eid in incidence[v]:
             w = weights[eid]
             net = nets_l[eid]
@@ -624,29 +732,39 @@ def _fm_pass(
             if cd == 0:
                 for u in net:
                     if not locked[u] and u != v:
-                        gains[u] = g = gains[u] + w
-                        stamps[u] = t = stamps[u] + 1
-                        push(heap, (-g, u, t))
+                        gains[u] = gains[u] + w
+                        if not is_touched[u]:
+                            is_touched[u] = True
+                            touched.append(u)
             elif cd == 1:
                 for u in net:
                     if side_l[u] == dst and not locked[u]:
-                        gains[u] = g = gains[u] - w
-                        stamps[u] = t = stamps[u] + 1
-                        push(heap, (-g, u, t))
+                        gains[u] = gains[u] - w
+                        if not is_touched[u]:
+                            is_touched[u] = True
+                            touched.append(u)
             cnt_src[eid] = cs = cnt_src[eid] - 1
             cnt_dst[eid] = cd + 1
             if cs == 0:
                 for u in net:
                     if not locked[u] and u != v:
-                        gains[u] = g = gains[u] - w
-                        stamps[u] = t = stamps[u] + 1
-                        push(heap, (-g, u, t))
+                        gains[u] = gains[u] - w
+                        if not is_touched[u]:
+                            is_touched[u] = True
+                            touched.append(u)
             elif cs == 1:
                 for u in net:
                     if side_l[u] == src and not locked[u] and u != v:
-                        gains[u] = g = gains[u] + w
-                        stamps[u] = t = stamps[u] + 1
-                        push(heap, (-g, u, t))
+                        gains[u] = gains[u] + w
+                        if not is_touched[u]:
+                            is_touched[u] = True
+                            touched.append(u)
+        if touched:
+            for u in touched:
+                is_touched[u] = False
+                stamps[u] = t = stamps[u] + 1
+                push(heap, (-gains[u], u, t))
+            touched.clear()
         cum += -neg_gain
         side_l[v] = dst
         w0 = new_w0
@@ -666,6 +784,7 @@ def _fm_pass(
             deferred = redeferred
             redeferred = []
             dptr = 0
+        scan_deferred = not deferred or may_unblock()
 
     # Roll back to the best prefix.
     for v in moves[best_idx:]:

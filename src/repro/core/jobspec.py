@@ -125,8 +125,8 @@ class JobSpec:
     *Identity* fields (folded into :meth:`job_key`): ``source``,
     ``models``, ``ranks``, ``machine``, ``seed``, ``faults``. *Execution*
     fields (how, not what — excluded from identity): ``executor``,
-    ``jobs``, ``timeout``, ``max_attempts``, ``cache``, ``cache_dir``,
-    ``artifact_cache``, ``tag``.
+    ``engine``, ``jobs``, ``timeout``, ``max_attempts``, ``cache``,
+    ``cache_dir``, ``artifact_cache``, ``tag``.
 
     Attributes:
         source: the declarative workload recipe.
@@ -142,6 +142,10 @@ class JobSpec:
         executor: executor spec string — ``"name"`` or
             ``"name?opt=val&..."`` (:func:`repro.parallel.executor.
             parse_executor_spec`).
+        engine: simulation-engine mode (``repro.simulate.sched``):
+            ``auto`` | ``python`` | ``bucket`` | ``compiled``. Engines
+            are bit-for-bit equivalent, so — like ``executor`` — the
+            choice is excluded from :meth:`job_key`.
         jobs: worker processes for cache-miss cells.
         timeout: per-cell wall-clock budget in seconds (None = none).
         max_attempts: tries per cell before quarantine (None = policy
@@ -159,6 +163,7 @@ class JobSpec:
     seed: int = 0
     faults: str = ""
     executor: str = "local"
+    engine: str = "auto"
     jobs: int = 1
     timeout: float | None = None
     max_attempts: int | None = None
@@ -212,6 +217,14 @@ class JobSpec:
                 "machine",
                 f"unknown preset {self.machine!r}; "
                 f"known: {', '.join(MACHINE_PRESETS)}",
+            )
+        from repro.simulate.sched import ENGINE_MODES
+
+        if self.engine not in ENGINE_MODES:
+            raise JobSpecError(
+                "engine",
+                f"unknown engine mode {self.engine!r}; "
+                f"known: {', '.join(ENGINE_MODES)}",
             )
         if not isinstance(self.jobs, int) or self.jobs < 1:
             raise JobSpecError("jobs", f"must be an int >= 1, got {self.jobs!r}")
@@ -309,6 +322,7 @@ class JobSpec:
             seed=args.seed,
             faults=args.faults or "",
             executor=format_executor_spec(name, options),
+            engine=getattr(args, "engine", "auto") or "auto",
             jobs=args.jobs,
             timeout=args.timeout,
             max_attempts=args.max_attempts,

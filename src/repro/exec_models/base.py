@@ -29,8 +29,9 @@ from repro.faults import FailureDetector, FaultInjector, FaultPlan
 from repro.runtime.comm import RankContext
 from repro.runtime.garrays import BlockDistribution, GlobalBlockedMatrix
 from repro.runtime.trace import COMM, COMPUTE, FAILED, IDLE, OVERHEAD, TraceRecorder
-from repro.simulate.engine import Engine, Process
+from repro.simulate.engine import Process, Timeout
 from repro.simulate.machine import MachineSpec
+from repro.simulate.sched import make_engine
 from repro.simulate.network import Network
 from repro.util import SchedulingError, SimulationError, derive_seed
 
@@ -86,6 +87,13 @@ class RunResult:
     sim_events: int = 0
     sim_ready_events: int = 0
     trace_records: int = 0
+    #: Events dispatched via a bucketed timeline (``REPRO_ENGINE=bucket``;
+    #: 0 under the heap engines). Heap dispatches are the remainder:
+    #: ``sim_events - sim_ready_events - sim_bucket_events``.
+    sim_bucket_events: int = 0
+    #: Task compute costs evaluated through the vectorized batch path
+    #: (``MachineSpec.compute_seconds_batch``) rather than per-task.
+    batched_costs: int = 0
 
     @property
     def degraded(self) -> bool:
@@ -147,7 +155,7 @@ class Harness:
         self.graph = graph
         self.machine = machine
         self.seed = int(seed)
-        self.engine = Engine()
+        self.engine = make_engine()
         node_of = machine.node_of if machine.cores_per_node is not None else None
         self.network = Network(self.engine, machine.network, machine.n_ranks, node_of)
         self.trace = TraceRecorder(machine.n_ranks)
@@ -158,6 +166,8 @@ class Harness:
         self.fock = GlobalBlockedMatrix("F", graph.blocks, dist)
         #: Scratch for model-specific statistics, folded into RunResult.
         self.counters: dict[str, float] = {}
+        #: Task costs evaluated via the vectorized burst path.
+        self.batched_costs = 0
         #: Per-run model state (schedules, queues, shared counters).
         self.model_state: dict = {}
         self._finish_times = np.full(machine.n_ranks, np.nan)
@@ -226,6 +236,59 @@ class Harness:
         yield from ctx.compute(task.flops, tid=task.tid)
         for ref in task.writes:
             yield from self.fock.accumulate(ctx, ref)
+
+    def execute_tasks(self, ctx: RankContext, tids):
+        """Burst variant of :meth:`execute_task` over ordered task ids.
+
+        Evaluates every compute cost in the burst with one vectorized
+        ``compute_seconds_batch`` call and folds the trace accounting into
+        one ``record_compute_batch`` call at the end, instead of a
+        ``compute_seconds`` + ``record_compute`` pair per task. Event
+        order — and therefore the simulation — is bit-for-bit the
+        per-task path: the same gets, Timeouts, and accumulates yield in
+        the same sequence, and the deferred COMPUTE accounting accumulates
+        per rank in the same order with the same float values.
+
+        Falls back to the per-task path whenever the deferral could be
+        observable: time-dependent variability (costs sample the task's
+        start time), an armed fault injector (stall windows, and replay
+        resolves duplicate task records last-record-wins, so cross-rank
+        record order matters), or a retained interval log (the interval
+        *sequence* is pinned by golden digests).
+        """
+        graph = self.graph
+        tasks = graph.tasks
+        durations = (
+            self.machine.compute_seconds_batch(ctx.rank, graph.costs[tids])
+            if len(tids) > 1
+            and self.injector is None
+            and self.trace.intervals is None
+            else None
+        )
+        if durations is None or durations.min() < 0.0:
+            # Time-dependent costs, faults, interval log — or a negative
+            # flop count, which the per-task path rejects with the right
+            # error.
+            for tid in tids:
+                yield from self.execute_task(ctx, tasks[tid])
+            return
+        durations = durations.tolist()
+        engine = self.engine
+        density_get = self.density.get
+        fock_accumulate = self.fock.accumulate
+        spans: list[tuple[int, float, float]] = []
+        append_span = spans.append
+        for tid, duration in zip(tids, durations):
+            task = tasks[tid]
+            for ref in task.reads:
+                yield from density_get(ctx, ref)
+            start = engine.now
+            yield Timeout(duration)
+            append_span((task.tid, start, engine.now))
+            for ref in task.writes:
+                yield from fock_accumulate(ctx, ref)
+        self.trace.record_compute_batch(ctx.rank, spans)
+        self.batched_costs += len(spans)
 
     def spawn_ranks(self, process_factory) -> None:
         """Start one process per rank; records per-rank finish times.
@@ -348,6 +411,8 @@ class Harness:
             sim_events=self.engine.events_dispatched,
             sim_ready_events=self.engine.ready_dispatched,
             trace_records=self.trace.records,
+            sim_bucket_events=self.engine.bucket_dispatched,
+            batched_costs=self.batched_costs,
         )
 
 

@@ -83,5 +83,9 @@ class CounterPerNode(ExecutionModel):
             harness.counters["claims"] += 1.0
             if first >= hi:
                 return
-            for tid in range(first, min(first + self.chunk, hi)):
-                yield from harness.execute_task(ctx, harness.graph.tasks[tid])
+            last = min(first + self.chunk, hi)
+            if last - first >= 4:
+                yield from harness.execute_tasks(ctx, range(first, last))
+            else:
+                for tid in range(first, last):
+                    yield from harness.execute_task(ctx, harness.graph.tasks[tid])

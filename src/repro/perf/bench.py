@@ -68,13 +68,13 @@ def _git_sha() -> str:
 # the timed closure; counters are taken from the *last* repeat.
 # ----------------------------------------------------------------------
 
-def _bench_engine_events() -> tuple[Callable[[], object], Callable[[object], dict]]:
-    from repro.simulate.engine import Engine, Timeout
+def _engine_events_bench(engine_factory):
+    from repro.simulate.engine import Timeout
 
     n_procs, n_steps = 64, 400
 
     def body():
-        engine = Engine()
+        engine = engine_factory()
 
         def proc(pid: int):
             # Alternate heap timeouts and zero-delay wake-ups — the mix
@@ -92,9 +92,31 @@ def _bench_engine_events() -> tuple[Callable[[], object], Callable[[object], dic
         return {
             "sim_events": float(engine.events_dispatched),
             "sim_ready_events": float(engine.ready_dispatched),
+            "sim_bucket_events": float(engine.bucket_dispatched),
         }
 
     return body, counters
+
+
+def _bench_engine_events() -> tuple[Callable[[], object], Callable[[object], dict]]:
+    from repro.simulate.engine import Engine
+
+    return _engine_events_bench(Engine)
+
+
+def _bench_engine_events_bucket() -> tuple[Callable[[], object], Callable[[object], dict]]:
+    from repro.simulate.sched import BucketEngine
+
+    return _engine_events_bench(BucketEngine)
+
+
+def _bench_engine_events_compiled():
+    """Same event mix through the compiled loop; None when unavailable."""
+    from repro.simulate.sched import CompiledEngine, compiled_available
+
+    if not compiled_available():
+        return None
+    return _engine_events_bench(CompiledEngine)
 
 
 def _bench_steal_roundtrip() -> tuple[Callable[[], object], Callable[[object], dict]]:
@@ -153,6 +175,8 @@ def _bench_e2e_e1_cell() -> tuple[Callable[[], object], Callable[[object], dict]
 SUITES: dict[str, dict[str, Callable]] = {
     "core": {
         "engine_events": _bench_engine_events,
+        "engine_events_bucket": _bench_engine_events_bucket,
+        "engine_events_compiled": _bench_engine_events_compiled,
         "steal_roundtrip": _bench_steal_roundtrip,
         "trace_record": _bench_trace_record,
     },
@@ -173,7 +197,12 @@ def run_suite(
         )
     results: dict[str, dict] = {}
     for name, factory in benches.items():
-        body, extract = factory()
+        made = factory()
+        if made is None:  # e.g. compiled engine without a C toolchain
+            if progress is not None:
+                progress(f"  {name}: skipped (unavailable on this host)")
+            continue
+        body, extract = made
         body()  # warm-up: imports, allocator, caches
         stats, last = time_repeated(body, repeats=repeats)
         counters = extract(last)
@@ -190,12 +219,18 @@ def run_suite(
             eps = entry.get("events_per_second") or entry.get("records_per_second")
             rate = f", {eps:,.0f}/s" if eps else ""
             progress(f"  {name}: median {stats.median_s * 1e3:.2f} ms{rate}")
+    from repro.simulate.sched import engine_mode
+
     return {
         "schema": SCHEMA,
         "suite": suite,
         "git_sha": _git_sha(),
         "python": platform.python_version(),
         "platform": platform.platform(),
+        # Engine mode the *model-level* benchmarks ran under (the
+        # engine_events_* variants pin their engine class explicitly);
+        # optional in validation so pre-scheduler baselines stay loadable.
+        "engine_mode": engine_mode(),
         "generated_unix": time.time(),
         "repeats": repeats,
         "benchmarks": results,

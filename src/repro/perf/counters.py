@@ -1,8 +1,9 @@
 """Deterministic volume counters for simulated runs.
 
 The engine and trace recorder count *how much work the simulator did* —
-events dispatched (split by heap vs. zero-delay run-queue) and trace
-intervals recorded — independent of how fast the host ran it. Those
+events dispatched (split by heap vs. zero-delay run-queue vs. bucketed
+timeline), task costs evaluated through the vectorized batch path, and
+trace intervals recorded — independent of how fast the host ran it. Those
 volumes are pure functions of the workload/seed, so they serve two jobs:
 
 - **regression anchors**: a refactor that claims bit-for-bit identity
@@ -32,6 +33,8 @@ def run_counters(result: "RunResult") -> dict[str, float]:
     out: dict[str, float] = {
         "sim_events": float(result.sim_events),
         "sim_ready_events": float(result.sim_ready_events),
+        "sim_bucket_events": float(result.sim_bucket_events),
+        "batched_costs": float(result.batched_costs),
         "trace_records": float(result.trace_records),
         "n_tasks": float(result.n_tasks),
         "n_ranks": float(result.n_ranks),

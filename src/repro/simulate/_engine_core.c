@@ -1,0 +1,577 @@
+/* Compiled run loop for repro.simulate.engine.Engine.
+ *
+ * This extension moves the two hottest frames of the discrete-event
+ * simulator -- Engine.run() and the Process.resume() Timeout fast path --
+ * out of the interpreter. It operates on the *same* data layout as the
+ * pure-Python engine (the `_heap` list of (time, seq, callback) tuples,
+ * the `_ready` deque of (seq, callback, arg) tuples, the `_seq` counter,
+ * the `now` float and the dispatch counters), mutating them through the
+ * slot descriptors, so Python-side scheduling (SimEvent.fire, Resource
+ * grants, call_now from callbacks) interleaves with the C loop exactly as
+ * it does with the Python loop.
+ *
+ * Bit-for-bit contract: every control-flow branch here mirrors a line of
+ * Engine.run / Process.resume; `now + delay` is the same IEEE-754 double
+ * addition CPython performs; seq allocation and the heap/run-queue
+ * interleave rule are identical. The golden-digest suites are run under
+ * REPRO_ENGINE=compiled in CI to pin this.
+ *
+ * Built on demand by repro.simulate.sched (cc -O2 -fPIC -shared); no
+ * third-party headers, C99 + Python.h only.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+
+/* Registered by setup(): the engine's collaborator classes. */
+static PyObject *g_process_cls = NULL;
+static PyObject *g_timeout_cls = NULL;
+static PyObject *g_request_cls = NULL;
+static PyObject *g_sim_error = NULL;
+static PyObject *g_resume_func = NULL; /* Process.resume, the plain function */
+static PyObject *g_heappush = NULL;
+static PyObject *g_heappop = NULL;
+
+/* Interned attribute names. */
+static PyObject *s_heap, *s_ready, *s_seq, *s_now;
+static PyObject *s_events_dispatched, *s_ready_dispatched;
+static PyObject *s_popleft, *s_append;
+static PyObject *s_done, *s_cancelled, *s_send, *s_resume_attr, *s_engine;
+static PyObject *s_delay, *s_name, *s_value, *s_finish, *s_activate;
+
+typedef struct {
+    PyObject *engine;       /* borrowed */
+    PyObject *heap;         /* owned; the engine's _heap list */
+    PyObject *ready;        /* owned; the engine's _ready deque */
+    PyObject *ready_append; /* owned; bound _ready.append */
+} RunCtx;
+
+static int
+get_ll(PyObject *obj, PyObject *name, long long *out)
+{
+    PyObject *v = PyObject_GetAttr(obj, name);
+    if (v == NULL)
+        return -1;
+    *out = PyLong_AsLongLong(v);
+    Py_DECREF(v);
+    if (*out == -1 && PyErr_Occurred())
+        return -1;
+    return 0;
+}
+
+static int
+set_ll(PyObject *obj, PyObject *name, long long value)
+{
+    PyObject *v = PyLong_FromLongLong(value);
+    if (v == NULL)
+        return -1;
+    int rc = PyObject_SetAttr(obj, name, v);
+    Py_DECREF(v);
+    return rc;
+}
+
+static int
+get_double(PyObject *obj, PyObject *name, double *out)
+{
+    PyObject *v = PyObject_GetAttr(obj, name);
+    if (v == NULL)
+        return -1;
+    *out = PyFloat_AsDouble(v);
+    Py_DECREF(v);
+    if (*out == -1.0 && PyErr_Occurred())
+        return -1;
+    return 0;
+}
+
+static int
+set_double(PyObject *obj, PyObject *name, double value)
+{
+    PyObject *v = PyFloat_FromDouble(value);
+    if (v == NULL)
+        return -1;
+    int rc = PyObject_SetAttr(obj, name, v);
+    Py_DECREF(v);
+    return rc;
+}
+
+/* Extract (time, seq) from a heap entry; rejects malformed entries. */
+static int
+entry_key(PyObject *entry, double *time, long long *seq)
+{
+    if (!PyTuple_Check(entry) || PyTuple_GET_SIZE(entry) != 3) {
+        PyErr_SetString(PyExc_TypeError,
+                        "engine heap entry is not a (time, seq, callback) tuple");
+        return -1;
+    }
+    *time = PyFloat_AsDouble(PyTuple_GET_ITEM(entry, 0));
+    if (*time == -1.0 && PyErr_Occurred())
+        return -1;
+    *seq = PyLong_AsLongLong(PyTuple_GET_ITEM(entry, 1));
+    if (*seq == -1 && PyErr_Occurred())
+        return -1;
+    return 0;
+}
+
+/* Process.resume(value), compiled. Returns 0 on success, -1 with an
+ * exception set on failure. Mirrors the Python method line for line. */
+static int
+resume_fast(RunCtx *ctx, PyObject *proc, PyObject *value)
+{
+    /* if self.done: return / raise */
+    PyObject *done = PyObject_GetAttr(proc, s_done);
+    if (done == NULL)
+        return -1;
+    int is_done = PyObject_IsTrue(done);
+    Py_DECREF(done);
+    if (is_done < 0)
+        return -1;
+    if (is_done) {
+        PyObject *cancelled = PyObject_GetAttr(proc, s_cancelled);
+        if (cancelled == NULL)
+            return -1;
+        int is_cancelled = PyObject_IsTrue(cancelled);
+        Py_DECREF(cancelled);
+        if (is_cancelled < 0)
+            return -1;
+        if (is_cancelled)
+            return 0; /* a wake-up raced with cancellation; drop it */
+        PyObject *name = PyObject_GetAttr(proc, s_name);
+        PyErr_Format(g_sim_error, "process %R resumed after completion",
+                     name ? name : Py_None);
+        Py_XDECREF(name);
+        return -1;
+    }
+
+    /* request = self._send(value) */
+    PyObject *send = PyObject_GetAttr(proc, s_send);
+    if (send == NULL)
+        return -1;
+    PyObject *request = PyObject_CallOneArg(send, value);
+    Py_DECREF(send);
+
+    if (request == NULL) {
+        if (!PyErr_ExceptionMatches(PyExc_StopIteration))
+            return -1;
+        /* generator returned: self._finish(stop.value) */
+        PyObject *et, *ev, *etb;
+        PyErr_Fetch(&et, &ev, &etb);
+        PyErr_NormalizeException(&et, &ev, &etb);
+        PyObject *stop_value = NULL;
+        if (ev != NULL)
+            stop_value = PyObject_GetAttr(ev, s_value);
+        if (stop_value == NULL) {
+            PyErr_Clear();
+            stop_value = Py_None;
+            Py_INCREF(stop_value);
+        }
+        Py_XDECREF(et);
+        Py_XDECREF(ev);
+        Py_XDECREF(etb);
+        PyObject *finish = PyObject_GetAttr(proc, s_finish);
+        if (finish == NULL) {
+            Py_DECREF(stop_value);
+            return -1;
+        }
+        PyObject *r = PyObject_CallOneArg(finish, stop_value);
+        Py_DECREF(finish);
+        Py_DECREF(stop_value);
+        if (r == NULL)
+            return -1;
+        Py_DECREF(r);
+        return 0;
+    }
+
+    /* if request.__class__ is Timeout: inline dispatch */
+    if ((PyObject *)Py_TYPE(request) == g_timeout_cls) {
+        int rc = -1;
+        PyObject *engine = NULL, *seqobj = NULL, *newseq = NULL;
+        PyObject *delayobj = NULL, *resume_cb = NULL, *tup = NULL;
+        engine = PyObject_GetAttr(proc, s_engine);
+        if (engine == NULL)
+            goto timeout_done;
+        seqobj = PyObject_GetAttr(engine, s_seq);
+        if (seqobj == NULL)
+            goto timeout_done;
+        long long seq = PyLong_AsLongLong(seqobj);
+        if (seq == -1 && PyErr_Occurred())
+            goto timeout_done;
+        newseq = PyLong_FromLongLong(seq + 1);
+        if (newseq == NULL || PyObject_SetAttr(engine, s_seq, newseq) < 0)
+            goto timeout_done;
+        delayobj = PyObject_GetAttr(request, s_delay);
+        if (delayobj == NULL)
+            goto timeout_done;
+        double delay = PyFloat_AsDouble(delayobj);
+        if (delay == -1.0 && PyErr_Occurred())
+            goto timeout_done;
+        resume_cb = PyObject_GetAttr(proc, s_resume_attr);
+        if (resume_cb == NULL)
+            goto timeout_done;
+        if (delay == 0.0) {
+            tup = PyTuple_Pack(3, seqobj, resume_cb, Py_None);
+            if (tup == NULL)
+                goto timeout_done;
+            PyObject *r;
+            if (engine == ctx->engine) {
+                r = PyObject_CallOneArg(ctx->ready_append, tup);
+            }
+            else {
+                PyObject *ready = PyObject_GetAttr(engine, s_ready);
+                if (ready == NULL)
+                    goto timeout_done;
+                r = PyObject_CallMethodOneArg(ready, s_append, tup);
+                Py_DECREF(ready);
+            }
+            if (r == NULL)
+                goto timeout_done;
+            Py_DECREF(r);
+        }
+        else {
+            double now;
+            if (get_double(engine, s_now, &now) < 0)
+                goto timeout_done;
+            PyObject *timeobj = PyFloat_FromDouble(now + delay);
+            if (timeobj == NULL)
+                goto timeout_done;
+            tup = PyTuple_Pack(3, timeobj, seqobj, resume_cb);
+            Py_DECREF(timeobj);
+            if (tup == NULL)
+                goto timeout_done;
+            PyObject *heap;
+            if (engine == ctx->engine) {
+                heap = ctx->heap;
+                Py_INCREF(heap);
+            }
+            else {
+                heap = PyObject_GetAttr(engine, s_heap);
+                if (heap == NULL)
+                    goto timeout_done;
+            }
+            PyObject *r = PyObject_CallFunctionObjArgs(g_heappush, heap, tup, NULL);
+            Py_DECREF(heap);
+            if (r == NULL)
+                goto timeout_done;
+            Py_DECREF(r);
+        }
+        rc = 0;
+    timeout_done:
+        Py_XDECREF(tup);
+        Py_XDECREF(resume_cb);
+        Py_XDECREF(delayobj);
+        Py_XDECREF(newseq);
+        Py_XDECREF(seqobj);
+        Py_XDECREF(engine);
+        Py_DECREF(request);
+        return rc;
+    }
+
+    /* if not isinstance(request, Request): raise */
+    int is_request = PyObject_IsInstance(request, g_request_cls);
+    if (is_request < 0) {
+        Py_DECREF(request);
+        return -1;
+    }
+    if (!is_request) {
+        PyObject *name = PyObject_GetAttr(proc, s_name);
+        PyErr_Format(g_sim_error,
+                     "process %R yielded %R; processes must yield Request "
+                     "instances (Timeout, acquire(), wait(), ...)",
+                     name ? name : Py_None, request);
+        Py_XDECREF(name);
+        Py_DECREF(request);
+        return -1;
+    }
+
+    /* request.activate(self.engine, self) */
+    PyObject *engine = PyObject_GetAttr(proc, s_engine);
+    if (engine == NULL) {
+        Py_DECREF(request);
+        return -1;
+    }
+    PyObject *activate = PyObject_GetAttr(request, s_activate);
+    Py_DECREF(request);
+    if (activate == NULL) {
+        Py_DECREF(engine);
+        return -1;
+    }
+    PyObject *r = PyObject_CallFunctionObjArgs(activate, engine, proc, NULL);
+    Py_DECREF(activate);
+    Py_DECREF(engine);
+    if (r == NULL)
+        return -1;
+    Py_DECREF(r);
+    return 0;
+}
+
+/* Call a dispatched callback. `arg == NULL` means the heap convention
+ * (no-argument call); otherwise the run-queue convention cb(arg). Bound
+ * Process.resume methods short-circuit into resume_fast. */
+static int
+invoke_callback(RunCtx *ctx, PyObject *cb, PyObject *arg)
+{
+    if (PyMethod_Check(cb) && PyMethod_GET_FUNCTION(cb) == g_resume_func) {
+        PyObject *self = PyMethod_GET_SELF(cb);
+        return resume_fast(ctx, self, arg != NULL ? arg : Py_None);
+    }
+    PyObject *r = arg != NULL ? PyObject_CallOneArg(cb, arg)
+                              : PyObject_CallNoArgs(cb);
+    if (r == NULL)
+        return -1;
+    Py_DECREF(r);
+    return 0;
+}
+
+/* run(engine, until) -> 1 if stopped at the horizon, 0 if drained.
+ * Counters and `now` are written back on every exit path (the Python
+ * loop's `finally`), and callback exceptions propagate unchanged. */
+static PyObject *
+core_run(PyObject *self, PyObject *args)
+{
+    PyObject *engine;
+    double until;
+    if (!PyArg_ParseTuple(args, "Od:run", &engine, &until))
+        return NULL;
+    if (g_resume_func == NULL) {
+        PyErr_SetString(PyExc_RuntimeError, "_engine_core.setup() was not called");
+        return NULL;
+    }
+
+    RunCtx ctx;
+    ctx.engine = engine;
+    ctx.heap = PyObject_GetAttr(engine, s_heap);
+    ctx.ready = PyObject_GetAttr(engine, s_ready);
+    ctx.ready_append = ctx.ready ? PyObject_GetAttr(ctx.ready, s_append) : NULL;
+    PyObject *pop_ready =
+        ctx.ready ? PyObject_GetAttr(ctx.ready, s_popleft) : NULL;
+
+    long long dispatched = 0, from_ready = 0;
+    double now = 0.0;
+    int err = 0, horizon = 0;
+
+    if (ctx.heap == NULL || ctx.ready == NULL || ctx.ready_append == NULL ||
+        pop_ready == NULL || !PyList_Check(ctx.heap) ||
+        get_ll(engine, s_events_dispatched, &dispatched) < 0 ||
+        get_ll(engine, s_ready_dispatched, &from_ready) < 0 ||
+        get_double(engine, s_now, &now) < 0) {
+        if (!PyErr_Occurred())
+            PyErr_SetString(PyExc_TypeError, "engine._heap must be a list");
+        Py_XDECREF(ctx.heap);
+        Py_XDECREF(ctx.ready);
+        Py_XDECREF(ctx.ready_append);
+        Py_XDECREF(pop_ready);
+        return NULL;
+    }
+
+    for (;;) {
+        Py_ssize_t nready = PyObject_Size(ctx.ready);
+        if (nready < 0) {
+            err = 1;
+            break;
+        }
+        if (nready > 0) {
+            int use_heap = 0;
+            if (PyList_GET_SIZE(ctx.heap) > 0) {
+                double ht;
+                long long hs;
+                if (entry_key(PyList_GET_ITEM(ctx.heap, 0), &ht, &hs) < 0) {
+                    err = 1;
+                    break;
+                }
+                if (ht <= now) {
+                    PyObject *r0 = PySequence_GetItem(ctx.ready, 0);
+                    if (r0 == NULL || !PyTuple_Check(r0) ||
+                        PyTuple_GET_SIZE(r0) != 3) {
+                        Py_XDECREF(r0);
+                        if (!PyErr_Occurred())
+                            PyErr_SetString(
+                                PyExc_TypeError,
+                                "run-queue entry is not a (seq, cb, arg) tuple");
+                        err = 1;
+                        break;
+                    }
+                    long long rs = PyLong_AsLongLong(PyTuple_GET_ITEM(r0, 0));
+                    Py_DECREF(r0);
+                    if (rs == -1 && PyErr_Occurred()) {
+                        err = 1;
+                        break;
+                    }
+                    if (hs < rs)
+                        use_heap = 1;
+                }
+            }
+            if (use_heap) {
+                PyObject *item = PyObject_CallOneArg(g_heappop, ctx.heap);
+                if (item == NULL) {
+                    err = 1;
+                    break;
+                }
+                dispatched++;
+                int rc = invoke_callback(&ctx, PyTuple_GET_ITEM(item, 2), NULL);
+                Py_DECREF(item);
+                if (rc < 0) {
+                    err = 1;
+                    break;
+                }
+            }
+            else {
+                PyObject *item = PyObject_CallNoArgs(pop_ready);
+                if (item == NULL || !PyTuple_Check(item) ||
+                    PyTuple_GET_SIZE(item) != 3) {
+                    Py_XDECREF(item);
+                    if (!PyErr_Occurred())
+                        PyErr_SetString(
+                            PyExc_TypeError,
+                            "run-queue entry is not a (seq, cb, arg) tuple");
+                    err = 1;
+                    break;
+                }
+                dispatched++;
+                from_ready++;
+                int rc = invoke_callback(&ctx, PyTuple_GET_ITEM(item, 1),
+                                         PyTuple_GET_ITEM(item, 2));
+                Py_DECREF(item);
+                if (rc < 0) {
+                    err = 1;
+                    break;
+                }
+            }
+        }
+        else if (PyList_GET_SIZE(ctx.heap) > 0) {
+            double ht;
+            long long hs;
+            if (entry_key(PyList_GET_ITEM(ctx.heap, 0), &ht, &hs) < 0) {
+                err = 1;
+                break;
+            }
+            if (ht > until) {
+                now = until;
+                if (set_double(engine, s_now, until) < 0)
+                    err = 1;
+                else
+                    horizon = 1;
+                break;
+            }
+            PyObject *item = PyObject_CallOneArg(g_heappop, ctx.heap);
+            if (item == NULL) {
+                err = 1;
+                break;
+            }
+            now = ht;
+            if (set_double(engine, s_now, now) < 0) {
+                Py_DECREF(item);
+                err = 1;
+                break;
+            }
+            dispatched++;
+            int rc = invoke_callback(&ctx, PyTuple_GET_ITEM(item, 2), NULL);
+            Py_DECREF(item);
+            if (rc < 0) {
+                err = 1;
+                break;
+            }
+        }
+        else {
+            break;
+        }
+    }
+
+    /* finally: write the counters back, preserving any pending exception */
+    PyObject *et = NULL, *ev = NULL, *etb = NULL;
+    if (err)
+        PyErr_Fetch(&et, &ev, &etb);
+    if (set_ll(engine, s_events_dispatched, dispatched) < 0 && !err)
+        err = 1;
+    else if (set_ll(engine, s_ready_dispatched, from_ready) < 0 && !err)
+        err = 1;
+    if (et != NULL || ev != NULL || etb != NULL)
+        PyErr_Restore(et, ev, etb);
+    Py_DECREF(ctx.heap);
+    Py_DECREF(ctx.ready);
+    Py_DECREF(ctx.ready_append);
+    Py_DECREF(pop_ready);
+    if (err)
+        return NULL;
+    return PyLong_FromLong(horizon);
+}
+
+static PyObject *
+core_setup(PyObject *self, PyObject *args)
+{
+    PyObject *process_cls, *timeout_cls, *request_cls, *sim_error;
+    if (!PyArg_ParseTuple(args, "OOOO:setup", &process_cls, &timeout_cls,
+                          &request_cls, &sim_error))
+        return NULL;
+    PyObject *resume = PyObject_GetAttrString(process_cls, "resume");
+    if (resume == NULL)
+        return NULL;
+    Py_XSETREF(g_process_cls, Py_NewRef(process_cls));
+    Py_XSETREF(g_timeout_cls, Py_NewRef(timeout_cls));
+    Py_XSETREF(g_request_cls, Py_NewRef(request_cls));
+    Py_XSETREF(g_sim_error, Py_NewRef(sim_error));
+    Py_XSETREF(g_resume_func, resume);
+    Py_RETURN_NONE;
+}
+
+static PyMethodDef core_methods[] = {
+    {"run", core_run, METH_VARARGS,
+     "run(engine, until) -> int: drain the engine's event structures in "
+     "(time, seq) order; 1 when stopped at the horizon, 0 when drained."},
+    {"setup", core_setup, METH_VARARGS,
+     "setup(Process, Timeout, Request, SimulationError): register the "
+     "engine's collaborator classes."},
+    {NULL, NULL, 0, NULL},
+};
+
+static struct PyModuleDef core_module = {
+    PyModuleDef_HEAD_INIT,
+    "_engine_core",
+    "Compiled run loop for the repro discrete-event engine.",
+    -1,
+    core_methods,
+};
+
+PyMODINIT_FUNC
+PyInit__engine_core(void)
+{
+    PyObject *heapq = PyImport_ImportModule("_heapq");
+    if (heapq == NULL) {
+        PyErr_Clear();
+        heapq = PyImport_ImportModule("heapq");
+        if (heapq == NULL)
+            return NULL;
+    }
+    g_heappush = PyObject_GetAttrString(heapq, "heappush");
+    g_heappop = PyObject_GetAttrString(heapq, "heappop");
+    Py_DECREF(heapq);
+    if (g_heappush == NULL || g_heappop == NULL)
+        return NULL;
+
+#define INTERN(var, text)                                                      \
+    do {                                                                       \
+        var = PyUnicode_InternFromString(text);                                \
+        if (var == NULL)                                                       \
+            return NULL;                                                       \
+    } while (0)
+
+    INTERN(s_heap, "_heap");
+    INTERN(s_ready, "_ready");
+    INTERN(s_seq, "_seq");
+    INTERN(s_now, "now");
+    INTERN(s_events_dispatched, "events_dispatched");
+    INTERN(s_ready_dispatched, "ready_dispatched");
+    INTERN(s_popleft, "popleft");
+    INTERN(s_append, "append");
+    INTERN(s_done, "done");
+    INTERN(s_cancelled, "cancelled");
+    INTERN(s_send, "_send");
+    INTERN(s_resume_attr, "_resume");
+    INTERN(s_engine, "engine");
+    INTERN(s_delay, "delay");
+    INTERN(s_name, "name");
+    INTERN(s_value, "value");
+    INTERN(s_finish, "_finish");
+    INTERN(s_activate, "activate");
+#undef INTERN
+
+    return PyModule_Create(&core_module);
+}

@@ -69,6 +69,10 @@ class Engine:
             deterministic measure of simulated event volume.
         ready_dispatched: callbacks fired via the zero-delay run-queue
             (a subset of ``events_dispatched``).
+        bucket_dispatched: callbacks fired via a bucketed timeline (always
+            0 here; the :class:`~repro.simulate.sched.BucketEngine`
+            subclass counts its timeline pops in this slot so result
+            counters have one shape across engine modes).
     """
 
     __slots__ = (
@@ -79,7 +83,13 @@ class Engine:
         "_processes",
         "events_dispatched",
         "ready_dispatched",
+        "bucket_dispatched",
     )
+
+    #: Process class instantiated by :meth:`process`; scheduler subclasses
+    #: (``repro.simulate.sched``) swap in a Process whose Timeout fast path
+    #: targets their timeline instead of the heap.
+    _process_cls: type["Process"]
 
     def __init__(self) -> None:
         self.now: float = 0.0
@@ -89,6 +99,7 @@ class Engine:
         self._processes: list[Process] = []
         self.events_dispatched = 0
         self.ready_dispatched = 0
+        self.bucket_dispatched = 0
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> None:
         """Run ``callback`` at ``now + delay`` (FIFO among equal times)."""
@@ -118,7 +129,9 @@ class Engine:
         on_finish: Callable[[], None] | None = None,
     ) -> "Process":
         """Register and start a process from a generator."""
-        proc = Process(self, generator, name=name, daemon=daemon, on_finish=on_finish)
+        proc = self._process_cls(
+            self, generator, name=name, daemon=daemon, on_finish=on_finish
+        )
         self._processes.append(proc)
         self.call_now(proc._resume, None)
         return proc
@@ -273,12 +286,7 @@ class Process:
         try:
             request = self._send(value)
         except StopIteration as stop:
-            if self._on_finish is not None:
-                self._on_finish()
-            self.done = True
-            self.result = stop.value
-            if self._completion is not None:
-                self._completion.fire(stop.value)
+            self._finish(stop.value)
             return
         if request.__class__ is Timeout:
             # Inline the dominant request type: skip activate() dispatch.
@@ -298,6 +306,19 @@ class Process:
             )
         request.activate(self.engine, self)
 
+    def _finish(self, value: Any) -> None:
+        """Complete the process: run ``on_finish``, record the result, fire
+        joiners. Shared by :meth:`resume` and the compiled resume path
+        (``repro.simulate._engine_core``), which must stay semantically
+        identical to this method.
+        """
+        if self._on_finish is not None:
+            self._on_finish()
+        self.done = True
+        self.result = value
+        if self._completion is not None:
+            self._completion.fire(value)
+
     def join(self) -> Request:
         """Request that completes when this process finishes."""
         if self._completion is None:
@@ -305,6 +326,9 @@ class Process:
             if self.done:
                 self._completion.fire(self.result)
         return self._completion.wait()
+
+
+Engine._process_cls = Process
 
 
 class Timeout(Request):

@@ -19,6 +19,13 @@ from repro.util import ConfigurationError, check_positive, spawn_rng
 class VariabilityModel(ABC):
     """Maps (rank, simulated time) to a speed multiplier."""
 
+    #: True when ``speed(rank, t)`` is constant in ``t``. Time-independent
+    #: models allow batch evaluation of per-task compute costs (one NumPy
+    #: division per dispatch burst instead of a ``speed`` call per task);
+    #: time-dependent models must stay on the per-task path because the
+    #: multiplier is sampled at each task's start time.
+    time_independent: bool = False
+
     @abstractmethod
     def speed(self, rank: int, time: float) -> float:
         """Speed multiplier for ``rank`` at ``time``; must be > 0."""
@@ -26,6 +33,8 @@ class VariabilityModel(ABC):
 
 class NoVariability(VariabilityModel):
     """Homogeneous machine: every rank runs at nominal speed."""
+
+    time_independent = True
 
     def speed(self, rank: int, time: float) -> float:
         return 1.0
@@ -37,6 +46,8 @@ class StaticHeterogeneity(VariabilityModel):
     This is the classic "slow node" scenario: e.g. 4 of 128 ranks at 0.5x
     models thermally throttled sockets.
     """
+
+    time_independent = True
 
     def __init__(self, slow_ranks: Iterable[int], factor: float) -> None:
         check_positive("factor", factor)
@@ -54,6 +65,8 @@ class RandomStaticVariability(VariabilityModel):
     normalized so their mean is 1.0 (total machine capacity is conserved,
     only its distribution varies).
     """
+
+    time_independent = True
 
     def __init__(self, n_ranks: int, sigma: float, seed: int = 0) -> None:
         check_positive("n_ranks", n_ranks)

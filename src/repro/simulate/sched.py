@@ -1,0 +1,500 @@
+"""Pluggable scheduler layer behind :class:`~repro.simulate.engine.Engine`.
+
+PR 3+5 flattened the pure-Python event hot path; what remains is
+per-event interpreter and heap overhead. This module provides the next
+layer down, selected at runtime via ``REPRO_ENGINE``:
+
+``python``
+    The baseline :class:`Engine`: C ``heapq`` over ``(time, seq, cb)``
+    tuples plus the zero-delay run-queue. Always available.
+
+``bucket``
+    :class:`BucketEngine`: a calendar-queue timeline
+    (:class:`BucketTimeline`) replaces the heap for timed events. Events
+    hash into fixed-width time buckets held in a dict; only *bucket
+    indices* go through a heap, so the per-event cost is O(1) amortized
+    when events cluster in time (the steal-heavy regime: bursts of
+    short-horizon timeouts and wake-ups at nearby timestamps share a
+    bucket and are ordered by one near-sorted ``list.sort``).
+
+``compiled``
+    :class:`CompiledEngine`: the run loop and the ``Process.resume``
+    fast path execute inside a small C extension
+    (``repro.simulate._engine_core``), removing the interpreter from the
+    per-event path entirely. The extension is built on demand with the
+    system C compiler and cached; when no compiler/headers are available
+    the engine degrades to ``python`` with a one-time
+    :class:`DegradedEngineWarning`.
+
+``auto`` (default)
+    ``compiled`` when the extension can be imported or quietly built,
+    else ``python`` — silently, so environments without a toolchain
+    behave exactly as before.
+
+Order equivalence
+-----------------
+
+Every engine dispatches in exact ``(time, seq)`` order — the same order
+the baseline heap engine produces — so simulations are bit-for-bit
+identical across modes (pinned by ``tests/test_bitwise_equivalence.py``
+run under each mode in CI, and by a randomized property test in
+``tests/simulate/test_sched.py``). The argument for the bucket timeline:
+
+- bucket index ``int(time * inv_width)`` is monotone in ``time``, so
+  entries in a lower-index bucket strictly precede (by time) every entry
+  in a higher-index bucket;
+- buckets are activated in ascending index order (indices go through a
+  min-heap, and a late insert into a lower index than the active bucket
+  demotes the active bucket back before activating the lower one);
+- within a bucket, entries are sorted by the full ``(time, seq)`` key,
+  and equal-time entries necessarily share a bucket, so FIFO tie-breaks
+  are preserved;
+- a late insert *into* the active bucket only carries keys that sort
+  after everything already dispatched (its time is >= ``now`` and its
+  seq exceeds every allocated seq), so the lazy re-sort never reorders
+  the past.
+
+The engine mode is an execution-layer knob, like the executor choice: it
+must never change results, so it is excluded from ``JobSpec.job_key()``
+and result caching.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib.machinery
+import importlib.util
+import math
+import os
+import shutil
+import subprocess
+import sys
+import sysconfig
+import tempfile
+import warnings
+from heapq import heappop, heappush
+from typing import Any, Callable
+
+from repro.simulate.engine import Engine, Process, Request, SimulationError, Timeout
+from repro.util import ConfigurationError, check_non_negative
+
+__all__ = [
+    "ENGINE_MODES",
+    "BucketEngine",
+    "BucketTimeline",
+    "CompiledEngine",
+    "DegradedEngineWarning",
+    "compiled_available",
+    "engine_mode",
+    "make_engine",
+    "set_engine_mode",
+]
+
+#: Recognized values of ``REPRO_ENGINE`` / ``JobSpec.engine``.
+ENGINE_MODES = ("auto", "python", "bucket", "compiled")
+
+#: Default bucket width in simulated seconds. Network latencies and
+#: software overheads in the machine presets are O(1e-6); microsecond
+#: buckets keep bursts of short-horizon events in one bucket while
+#: widely spaced compute completions each take their own (one heap op
+#: per *bucket*, not per event, either way).
+DEFAULT_BUCKET_WIDTH = 1.0e-6
+
+
+class DegradedEngineWarning(UserWarning):
+    """``REPRO_ENGINE=compiled`` was requested but the compiled engine
+    core is unavailable; execution degrades to the pure-Python engine
+    (results are identical, only slower)."""
+
+
+def engine_mode() -> str:
+    """The engine mode requested by ``REPRO_ENGINE`` (default ``auto``)."""
+    mode = os.environ.get("REPRO_ENGINE", "auto").strip().lower() or "auto"
+    if mode not in ENGINE_MODES:
+        raise ConfigurationError(
+            f"REPRO_ENGINE={mode!r} is not a valid engine mode; "
+            f"expected one of {', '.join(ENGINE_MODES)}"
+        )
+    return mode
+
+
+def set_engine_mode(mode: str) -> str:
+    """Select the engine mode process-wide; returns the previous mode.
+
+    Writes ``REPRO_ENGINE`` so forked/spawned sweep workers inherit the
+    choice — the engine is constructed inside the worker, not shipped to
+    it.
+    """
+    if mode not in ENGINE_MODES:
+        raise ConfigurationError(
+            f"engine mode {mode!r} is not valid; "
+            f"expected one of {', '.join(ENGINE_MODES)}"
+        )
+    previous = os.environ.get("REPRO_ENGINE", "auto") or "auto"
+    os.environ["REPRO_ENGINE"] = mode
+    return previous
+
+
+def make_engine() -> Engine:
+    """Construct an engine honoring the current ``REPRO_ENGINE`` mode."""
+    mode = engine_mode()
+    if mode == "python":
+        return Engine()
+    if mode == "bucket":
+        return BucketEngine()
+    core = _load_engine_core()
+    if core is not None:
+        return CompiledEngine()
+    if mode == "compiled":
+        _warn_degraded()
+    return Engine()
+
+
+_degraded_warned = False
+
+
+def _warn_degraded() -> None:
+    global _degraded_warned
+    if _degraded_warned:
+        return
+    _degraded_warned = True
+    warnings.warn(
+        "REPRO_ENGINE=compiled requested but the compiled engine core is "
+        "unavailable (no C compiler/headers, or the build failed); "
+        "falling back to the pure-Python engine. Results are identical.",
+        DegradedEngineWarning,
+        stacklevel=3,
+    )
+
+
+# --------------------------------------------------------------------------
+# Bucketed timeline
+
+
+class BucketTimeline:
+    """Calendar-queue priority structure over ``(time, seq, callback)``.
+
+    Entries hash into fixed-width time buckets (a dict keyed by
+    ``int(time * inv_width)``); bucket *indices* go through a min-heap,
+    entered once per bucket incarnation. The minimal bucket is held
+    "active" as a descending-sorted list popped from the end; inserts
+    into the active bucket set a dirty flag and the list is lazily
+    re-sorted (near-sorted input, so Timsort is ~linear). Pop order is
+    therefore exact global ``(time, seq)`` order — see the module
+    docstring for the argument.
+
+    Invariant: an index is in ``_idx_heap`` iff it is a key of
+    ``_buckets`` (exactly once each); the active bucket's entries live
+    only in ``_active``.
+    """
+
+    __slots__ = ("_inv_width", "_buckets", "_idx_heap", "_active", "_active_idx", "_dirty", "_count")
+
+    def __init__(self, width: float = DEFAULT_BUCKET_WIDTH) -> None:
+        if not (width > 0.0) or not math.isfinite(width):
+            raise ConfigurationError(f"bucket width must be finite and > 0, got {width!r}")
+        self._inv_width = 1.0 / width
+        self._buckets: dict[int, list[tuple[float, int, Callable[..., None]]]] = {}
+        self._idx_heap: list[int] = []
+        self._active: list[tuple[float, int, Callable[..., None]]] = []
+        self._active_idx = -1
+        self._dirty = False
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def push(self, entry: tuple[float, int, Callable[..., None]]) -> None:
+        idx = int(entry[0] * self._inv_width)
+        if idx == self._active_idx:
+            self._active.append(entry)
+            self._dirty = True
+        else:
+            bucket = self._buckets.get(idx)
+            if bucket is None:
+                self._buckets[idx] = [entry]
+                heappush(self._idx_heap, idx)
+            else:
+                bucket.append(entry)
+        self._count += 1
+
+    def peek(self) -> tuple[float, int, Callable[..., None]] | None:
+        """The minimal entry by ``(time, seq)``, or None when empty."""
+        active = self._active
+        idx_heap = self._idx_heap
+        if idx_heap and (not active or idx_heap[0] < self._active_idx):
+            if active:
+                # A push landed below the active bucket (possible after a
+                # horizon-bounded run advanced activation past ``now``):
+                # demote the active bucket and activate the lower index.
+                self._buckets[self._active_idx] = active
+                heappush(idx_heap, self._active_idx)
+            idx = heappop(idx_heap)
+            active = self._active = self._buckets.pop(idx)
+            self._active_idx = idx
+            active.sort(reverse=True)
+            self._dirty = False
+        elif not active:
+            return None
+        elif self._dirty:
+            active.sort(reverse=True)
+            self._dirty = False
+        return active[-1]
+
+    def pop(self) -> tuple[float, int, Callable[..., None]]:
+        entry = self.peek()
+        if entry is None:
+            raise IndexError("pop from an empty BucketTimeline")
+        self._active.pop()
+        self._count -= 1
+        return entry
+
+
+class BucketEngine(Engine):
+    """:class:`Engine` with the heap replaced by a :class:`BucketTimeline`.
+
+    ``_heap`` stays allocated (and empty) so introspection keeps working;
+    every timed event goes through :attr:`timeline` instead, counted in
+    ``bucket_dispatched``. The zero-delay run-queue, sequence counter,
+    processes, resources and events are shared with the base engine
+    unchanged.
+    """
+
+    __slots__ = ("timeline",)
+
+    def __init__(self, width: float = DEFAULT_BUCKET_WIDTH) -> None:
+        super().__init__()
+        self.timeline = BucketTimeline(width)
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        check_non_negative("delay", delay)
+        seq = self._seq
+        self._seq = seq + 1
+        self.timeline.push((self.now + delay, seq, callback))
+
+    def run(self, until: float = math.inf) -> float:
+        timeline = self.timeline
+        peek = timeline.peek
+        pop = timeline.pop
+        ready = self._ready
+        pop_ready = ready.popleft
+        dispatched = self.events_dispatched
+        from_ready = self.ready_dispatched
+        from_bucket = self.bucket_dispatched
+        now = self.now
+        try:
+            while True:
+                if ready:
+                    head = peek()
+                    if head is not None and head[0] <= now and head[1] < ready[0][0]:
+                        pop()
+                        dispatched += 1
+                        from_bucket += 1
+                        head[2]()
+                    else:
+                        _, callback, arg = pop_ready()
+                        dispatched += 1
+                        from_ready += 1
+                        callback(arg)
+                else:
+                    head = peek()
+                    if head is None:
+                        break
+                    time = head[0]
+                    if time > until:
+                        self.now = until
+                        return until
+                    pop()
+                    self.now = now = time
+                    dispatched += 1
+                    from_bucket += 1
+                    head[2]()
+        finally:
+            self.events_dispatched = dispatched
+            self.ready_dispatched = from_ready
+            self.bucket_dispatched = from_bucket
+        stuck = [p.name for p in self.blocked()]
+        if stuck:
+            raise SimulationError(
+                f"deadlock at t={self.now:.6g}: processes still blocked: {stuck[:10]}"
+                + ("..." if len(stuck) > 10 else "")
+            )
+        return self.now
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._heap) + len(self._ready) + len(self.timeline)
+
+
+class _BucketProcess(Process):
+    """Process whose inline Timeout fast path targets the bucket timeline.
+
+    Byte-for-byte the same control flow as :meth:`Process.resume` with
+    ``heappush(engine._heap, ...)`` replaced by ``timeline.push(...)``.
+    """
+
+    __slots__ = ()
+
+    def resume(self, value: Any = None) -> None:
+        if self.done:
+            if self.cancelled:
+                return  # a wake-up raced with cancellation; drop it
+            raise SimulationError(f"process {self.name!r} resumed after completion")
+        try:
+            request = self._send(value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        if request.__class__ is Timeout:
+            engine = self.engine
+            seq = engine._seq
+            engine._seq = seq + 1
+            delay = request.delay
+            if delay == 0.0:
+                engine._ready.append((seq, self._resume, None))
+            else:
+                engine.timeline.push((engine.now + delay, seq, self._resume))
+            return
+        if not isinstance(request, Request):
+            raise SimulationError(
+                f"process {self.name!r} yielded {request!r}; processes must "
+                "yield Request instances (Timeout, acquire(), wait(), ...)"
+            )
+        request.activate(self.engine, self)
+
+
+BucketEngine._process_cls = _BucketProcess
+
+
+# --------------------------------------------------------------------------
+# Compiled engine core
+
+
+class CompiledEngine(Engine):
+    """:class:`Engine` whose run loop executes in ``_engine_core``.
+
+    The data layout (heap, run-queue, seq counter, counters) is exactly
+    the base engine's — only the loop and the ``Process.resume`` fast
+    path move to C, so any Python-side scheduling (SimEvent.fire,
+    Resource grants, nested ``call_now``) interleaves identically and
+    the heap stays inspectable mid-run.
+    """
+
+    __slots__ = ()
+
+    def run(self, until: float = math.inf) -> float:
+        core = _load_engine_core()
+        if core is None:  # pickled/copied engine landing where the build fails
+            return super().run(until)
+        if core.run(self, until):
+            return self.now  # stopped at the ``until`` horizon
+        stuck = [p.name for p in self.blocked()]
+        if stuck:
+            raise SimulationError(
+                f"deadlock at t={self.now:.6g}: processes still blocked: {stuck[:10]}"
+                + ("..." if len(stuck) > 10 else "")
+            )
+        return self.now
+
+
+_CORE_UNSET = object()
+_core: Any = _CORE_UNSET
+
+
+def compiled_available() -> bool:
+    """True when the compiled engine core can be imported or built."""
+    return _load_engine_core() is not None
+
+
+def _load_engine_core():
+    """Import (or build, then import) ``repro.simulate._engine_core``.
+
+    Returns the initialized module, or None when unavailable. The result
+    is cached for the life of the process; a failed build is not retried.
+    """
+    global _core
+    if _core is not _CORE_UNSET:
+        return _core
+    _core = None
+    try:
+        module = _import_or_build()
+        if module is not None:
+            module.setup(Process, Timeout, Request, SimulationError)
+            _core = module
+    except Exception:
+        _core = None
+    return _core
+
+
+def _import_or_build():
+    # A pre-built extension (pip install with a toolchain, see setup.py)
+    # takes precedence over the runtime-build cache.
+    try:
+        from repro.simulate import _engine_core  # type: ignore[attr-defined]
+
+        return _engine_core
+    except ImportError:
+        pass
+    source = os.path.join(os.path.dirname(__file__), "_engine_core.c")
+    if not os.path.exists(source):
+        return None
+    with open(source, "rb") as fh:
+        digest = hashlib.sha256(fh.read()).hexdigest()[:16]
+    tag = f"cp{sys.version_info[0]}{sys.version_info[1]}"
+    cache_dir = os.environ.get("REPRO_ENGINE_CACHE") or os.path.join(
+        os.path.expanduser("~"), ".cache", "repro-engine"
+    )
+    path = os.path.join(cache_dir, f"_engine_core-{tag}-{digest}.so")
+    if not os.path.exists(path):
+        if os.environ.get("REPRO_ENGINE_BUILD", "1") == "0":
+            return None
+        if not _build_extension(source, path, cache_dir):
+            return None
+    loader = importlib.machinery.ExtensionFileLoader("repro.simulate._engine_core", path)
+    spec = importlib.util.spec_from_file_location(
+        "repro.simulate._engine_core", path, loader=loader
+    )
+    if spec is None:
+        return None
+    module = importlib.util.module_from_spec(spec)
+    loader.exec_module(module)
+    return module
+
+
+def _build_extension(source: str, path: str, cache_dir: str) -> bool:
+    compiler = shutil.which("cc") or shutil.which("gcc") or shutil.which("clang")
+    if compiler is None:
+        return False
+    include = sysconfig.get_paths().get("include")
+    if not include or not os.path.exists(os.path.join(include, "Python.h")):
+        return False
+    os.makedirs(cache_dir, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(suffix=".so", dir=cache_dir)
+    os.close(fd)
+    cmd = [
+        compiler,
+        "-O2",
+        "-fPIC",
+        "-shared",
+        "-fvisibility=hidden",
+        f"-I{include}",
+        "-o",
+        tmp,
+        source,
+    ]
+    try:
+        proc = subprocess.run(
+            cmd, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL, timeout=120
+        )
+        if proc.returncode != 0:
+            return False
+        os.replace(tmp, path)  # atomic: concurrent builders race harmlessly
+        return True
+    except (OSError, subprocess.SubprocessError):
+        return False
+    finally:
+        if os.path.exists(tmp):
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass

@@ -1,0 +1,404 @@
+"""The pluggable scheduler layer: bucketed timeline, engine modes, and
+cross-engine dispatch-order equivalence.
+
+The load-bearing property is that every engine mode dispatches events in
+exact ``(time, seq)`` order — the heap engine's order — so simulations
+are bit-for-bit identical regardless of ``REPRO_ENGINE``. The randomized
+property test here exercises the order-sensitive corners directly:
+equal timestamps, zero-delay wake-ups, horizon-bounded ``run(until=)``
+stages, cancellations, and deadlock truncation.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro.simulate.sched as sched
+from repro.simulate.engine import Engine, Resource, SimEvent, SimulationError, Timeout, hold
+from repro.simulate.sched import (
+    ENGINE_MODES,
+    BucketEngine,
+    BucketTimeline,
+    CompiledEngine,
+    DegradedEngineWarning,
+    compiled_available,
+    engine_mode,
+    make_engine,
+    set_engine_mode,
+)
+from repro.util import ConfigurationError
+
+#: Engine classes under test; the compiled loop only where buildable.
+ENGINE_CLASSES = [Engine, BucketEngine] + (
+    [CompiledEngine] if compiled_available() else []
+)
+
+
+class TestBucketTimeline:
+    def test_pops_in_time_seq_order(self):
+        tl = BucketTimeline()
+        entries = [(3.0e-6, 2, None), (1.0e-6, 0, None), (2.0e-6, 1, None)]
+        for e in entries:
+            tl.push(e)
+        assert [tl.pop() for _ in range(3)] == sorted(entries)
+
+    def test_equal_times_pop_in_seq_order(self):
+        tl = BucketTimeline()
+        for seq in (4, 1, 3, 0, 2):
+            tl.push((5.0e-7, seq, None))
+        assert [tl.pop()[1] for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_interleaved_push_pop(self):
+        tl = BucketTimeline()
+        tl.push((2.0e-6, 0, None))
+        assert tl.pop()[0] == 2.0e-6
+        # Push into the (now active) bucket after a pop: lazy resort.
+        tl.push((2.4e-6, 2, None))
+        tl.push((2.2e-6, 1, None))
+        assert tl.pop()[1] == 1
+        assert tl.pop()[1] == 2
+
+    def test_push_below_active_bucket_demotes(self):
+        tl = BucketTimeline()
+        tl.push((9.0e-6, 1, None))
+        assert tl.peek()[1] == 1  # activates the far bucket
+        tl.push((1.0e-6, 2, None))  # lands strictly below the active index
+        assert tl.pop() == (1.0e-6, 2, None)
+        assert tl.pop() == (9.0e-6, 1, None)
+        assert tl.peek() is None
+
+    def test_len_tracks_contents(self):
+        tl = BucketTimeline()
+        assert len(tl) == 0
+        for i in range(10):
+            tl.push((i * 1.0e-7, i, None))
+        assert len(tl) == 10
+        tl.pop()
+        assert len(tl) == 9
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            BucketTimeline().pop()
+
+    def test_invalid_width_rejected(self):
+        for width in (0.0, -1.0, math.inf, math.nan):
+            with pytest.raises(ConfigurationError):
+                BucketTimeline(width)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(
+                    [0.0, 1.0e-7, 4.0e-7, 1.0e-6, 1.5e-6, 7.0e-6, 1.0e-3, 2.0]
+                ),
+                st.integers(0, 10_000),
+            ),
+            max_size=60,
+        )
+    )
+    def test_matches_sorted_order(self, raw):
+        # Unique (time, seq) keys — the engine never issues duplicate seqs.
+        entries = list({(t, s): (t, s, None) for t, s in raw}.values())
+        tl = BucketTimeline()
+        for e in entries:
+            tl.push(e)
+        assert [tl.pop() for _ in range(len(entries))] == sorted(entries)
+
+
+class TestModeSelection:
+    def test_default_mode_is_auto(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        assert engine_mode() == "auto"
+
+    def test_invalid_env_mode_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "turbo")
+        with pytest.raises(ConfigurationError):
+            engine_mode()
+
+    def test_set_engine_mode_roundtrip(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "auto")
+        previous = set_engine_mode("bucket")
+        assert previous == "auto"
+        assert engine_mode() == "bucket"
+        # Written to the environment so forked sweep workers inherit it.
+        import os
+
+        assert os.environ["REPRO_ENGINE"] == "bucket"
+
+    def test_set_engine_mode_rejects_unknown(self):
+        with pytest.raises(ConfigurationError):
+            set_engine_mode("turbo")
+
+    def test_make_engine_per_mode(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "python")
+        assert type(make_engine()) is Engine
+        monkeypatch.setenv("REPRO_ENGINE", "bucket")
+        assert type(make_engine()) is BucketEngine
+        if compiled_available():
+            monkeypatch.setenv("REPRO_ENGINE", "compiled")
+            assert type(make_engine()) is CompiledEngine
+            monkeypatch.setenv("REPRO_ENGINE", "auto")
+            assert type(make_engine()) is CompiledEngine
+
+    def test_compiled_unavailable_warns_once(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "compiled")
+        monkeypatch.setattr(sched, "_load_engine_core", lambda: None)
+        monkeypatch.setattr(sched, "_degraded_warned", False)
+        with pytest.warns(DegradedEngineWarning):
+            engine = make_engine()
+        assert type(engine) is Engine
+        import warnings as warnings_mod
+
+        with warnings_mod.catch_warnings():
+            warnings_mod.simplefilter("error")
+            assert type(make_engine()) is Engine  # second call is silent
+
+    def test_auto_degrades_silently(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "auto")
+        monkeypatch.setattr(sched, "_load_engine_core", lambda: None)
+        monkeypatch.setattr(sched, "_degraded_warned", False)
+        import warnings as warnings_mod
+
+        with warnings_mod.catch_warnings():
+            warnings_mod.simplefilter("error")
+            assert type(make_engine()) is Engine
+
+    def test_mode_names_are_stable(self):
+        assert ENGINE_MODES == ("auto", "python", "bucket", "compiled")
+
+
+# --------------------------------------------------------------------------
+# Cross-engine dispatch-order equivalence
+
+
+def _run_scenario(engine_cls, delays, horizons, cancel_victim):
+    """One mixed workload on ``engine_cls``; returns the dispatch log.
+
+    Each process walks its delay list (zero delays take the run-queue,
+    equal nonzero delays collide in time), one process round-trips a
+    FIFO resource, one waits on a broadcast event, and ``cancel_victim``
+    optionally cancels process 0 mid-run. The run is staged through the
+    ``horizons`` prefixes before the final drain.
+    """
+    engine = engine_cls()
+    log = []
+    resource = Resource(capacity=1)
+    gate = SimEvent()
+
+    def walker(pid, steps):
+        for i, delay in enumerate(steps):
+            yield Timeout(delay)
+            log.append(("walk", pid, i, engine.now))
+
+    def holder():
+        yield from hold(resource, 2.0e-7)
+        log.append(("held", engine.now))
+        gate.fire("open")
+
+    def waiter():
+        value = yield gate.wait()
+        log.append(("gate", value, engine.now))
+
+    procs = [
+        engine.process(walker(pid, steps), name=f"w{pid}")
+        for pid, steps in enumerate(delays)
+    ]
+    engine.process(waiter(), name="waiter")
+    engine.process(holder(), name="holder")
+    if cancel_victim:
+        engine.schedule(3.0e-7, procs[0].cancel)
+    for horizon in horizons:
+        engine.run(until=horizon)
+        log.append(("horizon", engine.now, engine.pending_events))
+    engine.run()
+    log.append(("end", engine.now, engine.events_dispatched, engine.ready_dispatched))
+    return log
+
+
+_DELAY = st.sampled_from(
+    [0.0, 0.0, 1.0e-7, 3.0e-7, 1.0e-6, 1.0e-6, 1.5e-6, 2.5e-6, 1.0e-3, 0.5]
+)
+
+
+class TestCrossEngineOrder:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        delays=st.lists(
+            st.lists(_DELAY, min_size=1, max_size=8), min_size=1, max_size=5
+        ),
+        horizons=st.lists(
+            st.sampled_from([2.0e-7, 8.0e-7, 2.2e-6, 0.25]),
+            max_size=2,
+        ).map(sorted),
+        cancel_victim=st.booleans(),
+    )
+    def test_dispatch_order_identical_across_engines(
+        self, delays, horizons, cancel_victim
+    ):
+        reference = _run_scenario(Engine, delays, horizons, cancel_victim)
+        for engine_cls in ENGINE_CLASSES[1:]:
+            assert (
+                _run_scenario(engine_cls, delays, horizons, cancel_victim)
+                == reference
+            ), engine_cls.__name__
+
+    @pytest.mark.parametrize("engine_cls", ENGINE_CLASSES)
+    def test_deadlock_truncation_identical(self, engine_cls):
+        engine = engine_cls()
+        log = []
+        gate = SimEvent()
+
+        def stuck():
+            yield Timeout(1.0e-6)
+            log.append(engine.now)
+            yield gate.wait()  # never fired
+
+        engine.process(stuck(), name="stuck")
+        with pytest.raises(SimulationError, match="stuck"):
+            engine.run()
+        assert log == [1.0e-6]
+
+    @pytest.mark.parametrize("engine_cls", ENGINE_CLASSES)
+    def test_horizon_does_not_raise_deadlock(self, engine_cls):
+        engine = engine_cls()
+        gate = SimEvent()
+
+        def stuck():
+            yield gate.wait()
+
+        def later():
+            yield Timeout(5.0)
+
+        engine.process(stuck(), name="stuck")
+        engine.process(later(), name="later")
+        # Blocked process + pending future event: the horizon exit must
+        # not be mistaken for a drained deadlock.
+        assert engine.run(until=1.0) == 1.0
+        with pytest.raises(SimulationError, match="stuck"):
+            engine.run()  # the real drain still detects it
+
+    @pytest.mark.parametrize("engine_cls", ENGINE_CLASSES)
+    def test_counters_partition_dispatches(self, engine_cls):
+        engine = engine_cls()
+
+        def proc():
+            yield Timeout(1.0e-6)
+            yield Timeout(0.0)
+            yield Timeout(2.0)
+
+        engine.process(proc())
+        engine.run()
+        total = engine.events_dispatched
+        heap_dispatched = total - engine.ready_dispatched - engine.bucket_dispatched
+        assert total == 4  # process start + 3 timeouts
+        # Start and the zero-delay timeout take the run-queue everywhere.
+        assert engine.ready_dispatched == 2
+        if engine_cls is BucketEngine:
+            assert engine.bucket_dispatched == 2
+            assert heap_dispatched == 0
+        else:
+            assert engine.bucket_dispatched == 0
+            assert heap_dispatched == 2
+
+
+# --------------------------------------------------------------------------
+# Vectorized cost evaluation
+
+
+class TestBatchCostEvaluation:
+    def test_batch_matches_scalar_bitwise(self):
+        from repro.core import MACHINE_PRESETS
+        from repro.simulate.noise import RandomStaticVariability, StaticHeterogeneity
+
+        rng = np.random.default_rng(7)
+        flops = rng.uniform(1.0e5, 1.0e9, size=64)
+        for variability in (
+            None,
+            StaticHeterogeneity(slow_ranks=(1, 3), factor=0.5),
+            RandomStaticVariability(n_ranks=8, sigma=0.1, seed=3),
+        ):
+            machine = MACHINE_PRESETS["commodity"](8)
+            if variability is not None:
+                machine = machine.with_variability(variability)
+            for rank in (0, 3, 7):
+                batch = machine.compute_seconds_batch(rank, flops)
+                assert batch is not None
+                scalar = [machine.compute_seconds(rank, f, 0.0) for f in flops]
+                assert batch.tolist() == scalar  # bit-for-bit
+
+    def test_time_dependent_models_opt_out(self):
+        from repro.core import MACHINE_PRESETS
+        from repro.simulate.noise import PeriodicThrottle
+
+        machine = MACHINE_PRESETS["commodity"](4).with_variability(
+            PeriodicThrottle(n_ranks=4, period=1.0, duty=0.5, factor=0.5)
+        )
+        assert machine.compute_seconds_batch(0, np.ones(4)) is None
+
+    def test_record_batch_matches_sequential(self):
+        from repro.runtime.trace import COMPUTE, TraceRecorder
+
+        spans = [(0, 0.0, 1.0e-4), (1, 1.0e-4, 3.0e-4), (2, 3.0e-4, 3.0e-4)]
+        a, b = TraceRecorder(4), TraceRecorder(4)
+        for tid, start, end in spans:
+            a.record_compute(2, tid, start, end)
+        b.record_compute_batch(2, spans)
+        assert b.records == a.records
+        assert b.total(COMPUTE).tolist() == a.total(COMPUTE).tolist()
+        assert b.tasks == a.tasks
+
+    def test_record_batch_rejects_negative_span(self):
+        from repro.runtime.trace import TraceRecorder
+
+        trace = TraceRecorder(2)
+        with pytest.raises(SimulationError):
+            trace.record_compute_batch(0, [(0, 1.0, 0.5)])
+
+
+# --------------------------------------------------------------------------
+# Whole-run equivalence across modes
+
+
+def _digest(result):
+    return (
+        result.makespan,
+        result.assignment.tobytes(),
+        result.task_starts.tobytes(),
+        result.task_durations.tobytes(),
+        result.finish_times.tobytes(),
+        tuple(sorted(result.counters.items())),
+        tuple(sorted(result.network.items())),
+        result.sim_events,
+        result.sim_ready_events,
+        result.trace_records,
+    )
+
+
+class TestCrossModeRunResults:
+    @pytest.mark.parametrize("model_name", ["static_block", "counter_dynamic", "work_stealing"])
+    def test_results_identical_across_modes(self, model_name, monkeypatch):
+        from repro.chemistry.tasks import synthetic_task_graph
+        from repro.core import MACHINE_PRESETS
+        from repro.exec_models import make_model
+
+        graph = synthetic_task_graph(300, 12, seed=5, skew=1.1)
+        machine = MACHINE_PRESETS["commodity"](8)
+        modes = ["python", "bucket"] + (["compiled"] if compiled_available() else [])
+        digests = {}
+        batched = {}
+        for mode in modes:
+            monkeypatch.setenv("REPRO_ENGINE", mode)
+            result = make_model(model_name).run(graph, machine, seed=11)
+            digests[mode] = _digest(result)
+            batched[mode] = result.batched_costs
+            if mode == "bucket":
+                assert result.sim_bucket_events > 0
+            else:
+                assert result.sim_bucket_events == 0
+        assert len(set(digests.values())) == 1, digests.keys()
+        # The batch path is mode-independent (decided by model/machine).
+        assert len(set(batched.values())) == 1
+        if model_name == "static_block":
+            assert batched["python"] > 0

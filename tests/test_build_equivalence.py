@@ -54,6 +54,7 @@ def _sha(array) -> str:
 
 def digest_workload(name: str) -> dict:
     """Build everything derived from one workload and digest it."""
+    from repro.balance.greedy import capacity_lpt, locality_greedy, lpt
     from repro.balance.hypergraph import connectivity_cut, fock_hypergraph
     from repro.balance.metrics import communication_volume
     from repro.balance.partition import hypergraph_balancer, partition_hypergraph
@@ -91,6 +92,14 @@ def digest_workload(name: str) -> dict:
     record["hypergraph_balancer"] = _sha(hg_assign)
 
     dist = BlockDistribution(graph.blocks.n_blocks, N_RANKS)
+
+    # Greedy list schedulers: tie-breaking (heap order, first-min argmin)
+    # must survive the hot-path refactor of balance/greedy.py.
+    record["lpt"] = _sha(lpt(graph.costs, N_RANKS))
+    record["locality_greedy"] = _sha(locality_greedy(graph, N_RANKS, dist))
+    capacities = np.linspace(1.0, 2.0, N_RANKS)
+    record["capacity_lpt"] = _sha(capacity_lpt(graph.costs, capacities))
+
     eligibility = build_eligibility(graph, N_RANKS, dist, extra_degree=2, seed=0)
     flat = np.array(
         [r for ranks in eligibility for r in ranks], dtype=np.int64
