@@ -12,6 +12,7 @@ Commands:
 - ``chaos``    — inject real host faults into a sweep and verify recovery.
 - ``worker``   — join a distributed sweep fabric as a leased TCP worker.
 - ``serve``    — run the persistent study daemon (HTTP job API).
+- ``submit``   — submit a study to a running daemon, watch it, fetch rows.
 """
 
 from __future__ import annotations
@@ -295,14 +296,32 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             log=print,
         )
         report.scenarios.extend(dist_report.scenarios)
+    if args.service:
+        from repro.chaos.service import run_service_chaos
+
+        svc_report = run_service_chaos(
+            quick=args.quick,
+            seed=args.seed,
+            workdir=args.workdir,
+            log=print,
+        )
+        report.scenarios.extend(svc_report.scenarios)
     print()
     print(report.format())
     return 0 if report.passed else 1
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
     from repro import api
-    from repro.service import BackendRouter, JobManager, StudyService
+    from repro.service import (
+        BackendRouter,
+        JobManager,
+        RetentionPolicy,
+        StudyService,
+    )
 
     fabric = None
     if args.fabric:
@@ -314,12 +333,25 @@ def cmd_serve(args: argparse.Namespace) -> int:
         )
     try:
         router = BackendRouter(args.executor, fabric=fabric)
-        manager = JobManager(args.state_dir, router=router, log=print)
+        manager = JobManager(
+            args.state_dir,
+            router=router,
+            max_queued=args.max_queued,
+            capacity=args.capacity,
+            workers=args.workers,
+            log=print,
+        )
+        retention = (
+            RetentionPolicy(ttl_s=args.ttl, interval_s=args.gc_interval)
+            if args.ttl is not None
+            else None
+        )
         service = StudyService(
             args.state_dir,
             bind=args.bind,
             manager=manager,
             verbose=args.verbose,
+            retention=retention,
         )
     except api.JobSpecError as exc:
         print(f"error: {exc.field}: {exc.reason}", file=sys.stderr)
@@ -332,11 +364,117 @@ def cmd_serve(args: argparse.Namespace) -> int:
         f"submit a study:  curl -s -X POST http://{host}:{port}/v1/jobs "
         "-d '{\"models\": [\"work_stealing\"], \"ranks\": [16]}'"
     )
+
+    # SIGTERM = graceful drain: keep answering HTTP (new submits 503
+    # with Retry-After) while running jobs finish or checkpoint within
+    # the grace budget, then exit cleanly — the restart resumes queued
+    # and checkpointed jobs from their journals. The drain runs on a
+    # helper thread so the accept loop keeps serving the 503s.
+    def _drain_then_exit() -> None:
+        print(f"SIGTERM: draining (grace {args.drain_grace:.1f}s)")
+        service.drain(args.drain_grace)
+        service.httpd.shutdown()
+
+    def _on_sigterm(signum, frame):  # noqa: ARG001 - signal signature
+        threading.Thread(
+            target=_drain_then_exit, name="repro-drain", daemon=True
+        ).start()
+
+    previous = signal.signal(signal.SIGTERM, _on_sigterm)
     try:
         service.serve_forever()
     finally:
+        signal.signal(signal.SIGTERM, previous)
         if fabric is not None:
             fabric.close()
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core.jobspec import JobSpec, JobSpecError, SourceSpec
+    from repro.parallel.fabric import parse_endpoint
+    from repro.service.client import ServiceClient, ServiceError
+
+    host, port = parse_endpoint(args.connect)
+    try:
+        if args.spec:
+            text = args.spec
+            if text.startswith("@"):
+                text = pathlib.Path(text[1:]).read_text(encoding="utf-8")
+            spec = JobSpec.from_json(text)
+        else:
+            spec = JobSpec(
+                source=SourceSpec(
+                    molecule=args.molecule,
+                    size=args.size,
+                    block_size=args.block_size,
+                    tau=args.tau,
+                    seed=args.seed,
+                ),
+                models=tuple(args.models),
+                ranks=tuple(args.ranks),
+                machine=args.machine,
+                seed=args.seed,
+                faults=args.faults or "",
+                executor=args.executor,
+                engine=args.engine,
+                jobs=args.jobs,
+                timeout=args.timeout,
+                deadline_s=args.deadline,
+                max_attempts=args.max_attempts,
+            )
+        # "auto" is service-side vocabulary (the daemon's router resolves
+        # it); validate the rest of the spec against a neutral backend so
+        # field errors still fail fast client-side.
+        check = spec
+        if spec.executor == "auto":
+            check = spec.with_overrides(executor="local")
+        check.validate()
+    except (JobSpecError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    client = ServiceClient(
+        host,
+        port,
+        max_retries=args.retries,
+        log=print if args.verbose else None,
+    )
+    try:
+        accepted = client.submit(spec)
+        job_id = accepted["job_id"]
+        note = " (deduped)" if accepted.get("deduped") else ""
+        print(
+            f"job {job_id[:12]} {accepted['status']}{note} "
+            f"[{client.retries} retr(ies)]",
+            file=sys.stderr,
+        )
+        if not args.watch:
+            print(job_id)
+            return 0
+        snapshot = client.wait(job_id, timeout=args.wait_timeout)
+        for row in client.stream_rows(job_id):
+            print(json.dumps(row, sort_keys=True))
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        print("interrupted (the job keeps running)", file=sys.stderr)
+        return 130
+    status = snapshot.get("status")
+    if status != "done":
+        print(
+            f"job {job_id[:12]} {status}: {snapshot.get('error', '')}",
+            file=sys.stderr,
+        )
+        return 1
+    progress = snapshot.get("progress", {})
+    print(
+        f"job {job_id[:12]} done: {progress.get('completed', 0)} cell(s), "
+        f"{progress.get('cached', 0)} cached",
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -417,6 +555,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeout", type=float, default=None, metavar="SEC",
         help="per-cell wall-clock budget with --jobs > 1; a hung worker "
         "is killed and the cell retried (default: unlimited)",
+    )
+    p_study.add_argument(
+        "--deadline", type=float, default=None, metavar="SEC",
+        help="whole-study wall-clock budget; cells not settled by then "
+        "quarantine as DeadlineExceeded (journaled progress survives, "
+        "so --resume continues; default: unlimited)",
     )
     p_study.add_argument(
         "--max-attempts", type=int, default=None, metavar="N",
@@ -529,6 +673,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run the distributed-fabric scenarios (SIGKILLed / "
         "frozen / severed / duplicating TCP workers, full remote loss)",
     )
+    p_chaos.add_argument(
+        "--service", action="store_true",
+        help="also run the service-layer scenarios against a live "
+        "loopback daemon (overload bursts, dedupe storms, cancel races, "
+        "SIGTERM drain + restart resume, GC vs live streams, stalled "
+        "readers) — each verified bit-for-bit against a fault-free run",
+    )
     p_chaos.set_defaults(func=cmd_chaos)
 
     p_serve = sub.add_parser(
@@ -564,9 +715,91 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --fabric: per-cell worker lease (default: %(default)s)",
     )
     p_serve.add_argument(
+        "--max-queued", type=int, default=64, metavar="N",
+        help="bound on jobs waiting to run; past it, submits get 503 + "
+        "Retry-After (default: %(default)s)",
+    )
+    p_serve.add_argument(
+        "--capacity", type=int, default=None, metavar="N",
+        help="weighted admission budget for concurrent jobs (each job "
+        "weighs max(1, jobs)); default: one slot per host CPU, min 2",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="job-runner threads (default: derived from capacity, "
+        "capped at 4)",
+    )
+    p_serve.add_argument(
+        "--ttl", type=float, default=None, metavar="SEC",
+        help="retention TTL: terminal job records (and their journals "
+        "and unreferenced cache entries) are garbage-collected this many "
+        "seconds after finishing (default: keep forever)",
+    )
+    p_serve.add_argument(
+        "--gc-interval", type=float, default=30.0, metavar="SEC",
+        help="retention janitor wake period with --ttl (default: %(default)s)",
+    )
+    p_serve.add_argument(
+        "--drain-grace", type=float, default=10.0, metavar="SEC",
+        help="on SIGTERM, seconds running jobs get to finish before "
+        "being checkpointed back to queued for the restart "
+        "(default: %(default)s)",
+    )
+    p_serve.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
     )
     p_serve.set_defaults(func=cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit",
+        help="submit a study to a running daemon (repro serve), watch it, "
+        "and fetch its rows — retries overload 503s with backoff",
+    )
+    p_submit.add_argument(
+        "--connect", default="127.0.0.1:8750", metavar="HOST:PORT",
+        help="daemon endpoint (default: %(default)s)",
+    )
+    p_submit.add_argument(
+        "--spec", default=None, metavar="JSON|@FILE",
+        help="full JobSpec as inline JSON or @path-to-file; overrides "
+        "the study flags below",
+    )
+    _add_molecule_args(p_submit)
+    p_submit.add_argument("--ranks", type=int, nargs="+", default=[16, 64])
+    p_submit.add_argument(
+        "--models", nargs="+", choices=MODEL_NAMES, metavar="MODEL",
+        default=["static_block", "counter_dynamic", "work_stealing"],
+    )
+    p_submit.add_argument(
+        "--machine", choices=tuple(MACHINE_PRESETS), default="commodity"
+    )
+    p_submit.add_argument("--faults", default=None, metavar="SPEC")
+    p_submit.add_argument("--executor", default="auto", metavar="SPEC")
+    p_submit.add_argument("--engine", default="auto", metavar="MODE")
+    p_submit.add_argument("--jobs", type=int, default=1, metavar="N")
+    p_submit.add_argument("--timeout", type=float, default=None, metavar="SEC")
+    p_submit.add_argument(
+        "--deadline", type=float, default=None, metavar="SEC",
+        help="whole-job wall-clock budget enforced by the daemon",
+    )
+    p_submit.add_argument("--max-attempts", type=int, default=None, metavar="N")
+    p_submit.add_argument(
+        "--no-watch", dest="watch", action="store_false",
+        help="print the job id and return instead of waiting for rows",
+    )
+    p_submit.add_argument(
+        "--wait-timeout", type=float, default=None, metavar="SEC",
+        help="give up watching after this long (default: forever)",
+    )
+    p_submit.add_argument(
+        "--retries", type=int, default=8, metavar="N",
+        help="submit attempts through 503s/connection errors "
+        "(default: %(default)s)",
+    )
+    p_submit.add_argument(
+        "--verbose", action="store_true", help="log every retry"
+    )
+    p_submit.set_defaults(func=cmd_submit)
 
     p_worker = sub.add_parser(
         "worker",

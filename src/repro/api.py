@@ -257,6 +257,7 @@ def sweep(
     resume: bool = False,
     executor: CellExecutor | str = "local",
     on_result: Callable[..., None] | None = None,
+    deadline: float | None = None,
 ) -> StudyReport:
     """Run a study grid through the parallel, cached sweep orchestrator.
 
@@ -286,6 +287,12 @@ def sweep(
     ``on_result`` receives every settled cell *with its result* in
     completion order (see :class:`SweepRunner`); it is how the job
     service streams rows while a sweep is still running.
+
+    ``deadline`` is an absolute ``time.monotonic()`` instant bounding
+    the whole sweep: cells not settled by then quarantine as
+    ``DeadlineExceeded`` failures (or raise under ``on_error="raise"``).
+    Completed cells stay cached/journaled, so an expired sweep resumes
+    bit-for-bit.
     """
     runner = SweepRunner(
         jobs=jobs,
@@ -298,6 +305,7 @@ def sweep(
         resume=resume,
         executor=executor,
         on_result=on_result,
+        deadline=deadline,
     )
     return runner.run_study(config, source)
 
@@ -312,6 +320,7 @@ def run_job(
     journal: SweepJournal | str | None = None,
     resume: bool = False,
     cache: ResultCache | str | None = None,
+    deadline: float | None = None,
 ) -> StudyReport:
     """Execute one :class:`JobSpec` end to end — the one path under
     every surface (``repro study``, ``repro serve``, and programmatic
@@ -332,12 +341,20 @@ def run_job(
     ``source`` supplies an already-built problem for the spec's source
     recipe — callers that need the built graph for their own reporting
     (the CLI prints basis/task counts) pass it to avoid a double build.
+
+    ``deadline`` (absolute ``time.monotonic()`` instant) bounds the
+    sweep; when omitted, ``spec.deadline_s`` (relative seconds, an
+    execution knob outside the job identity) is converted to an
+    absolute deadline at entry.
     """
     import pathlib
+    import time
 
     from repro.simulate.sched import set_engine_mode
 
     spec.validate()
+    if deadline is None and spec.deadline_s is not None:
+        deadline = time.monotonic() + spec.deadline_s
     # Engine mode is process-wide (forked sweep workers inherit it via
     # the environment) and performance-only: every mode is bit-for-bit
     # equivalent, so it is deliberately not part of the job identity.
@@ -366,4 +383,5 @@ def run_job(
         resume=resume,
         executor=executor if executor is not None else spec.executor,
         on_result=on_result,
+        deadline=deadline,
     )

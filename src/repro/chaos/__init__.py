@@ -13,7 +13,9 @@ Entry points: :func:`run_chaos` (library) and ``python -m repro chaos``
 (CLI; ``--quick`` is the CI smoke configuration). The distributed
 fabric gets its own scenario set — SIGKILLed, frozen, severed, and
 duplicating TCP workers — in :func:`run_distributed_chaos`
-(``--distributed`` on the CLI).
+(``--distributed`` on the CLI), and the study service gets one —
+overload bursts, racing submits and cancels, SIGTERM drains, retention
+GC, stalled readers — in :func:`run_service_chaos` (``--service``).
 """
 
 from repro.chaos.harness import (
@@ -25,6 +27,7 @@ from repro.chaos.harness import (
     run_chaos,
 )
 from repro.chaos.distributed import run_distributed_chaos
+from repro.chaos.service import run_service_chaos
 
 __all__ = [
     "ChaosPlan",
@@ -34,4 +37,5 @@ __all__ = [
     "results_identical",
     "run_chaos",
     "run_distributed_chaos",
+    "run_service_chaos",
 ]

@@ -125,8 +125,8 @@ class JobSpec:
     *Identity* fields (folded into :meth:`job_key`): ``source``,
     ``models``, ``ranks``, ``machine``, ``seed``, ``faults``. *Execution*
     fields (how, not what — excluded from identity): ``executor``,
-    ``engine``, ``jobs``, ``timeout``, ``max_attempts``, ``cache``,
-    ``cache_dir``, ``artifact_cache``, ``tag``.
+    ``engine``, ``jobs``, ``timeout``, ``deadline_s``, ``max_attempts``,
+    ``cache``, ``cache_dir``, ``artifact_cache``, ``tag``.
 
     Attributes:
         source: the declarative workload recipe.
@@ -148,6 +148,12 @@ class JobSpec:
             choice is excluded from :meth:`job_key`.
         jobs: worker processes for cache-miss cells.
         timeout: per-cell wall-clock budget in seconds (None = none).
+        deadline_s: whole-job wall-clock budget in seconds (None =
+            none). Cells not settled when it expires quarantine as
+            ``DeadlineExceeded`` failures and the job reaches a
+            ``failed/deadline`` terminal state in the service; journaled
+            progress survives, so a resubmission resumes. An execution
+            knob, so excluded from :meth:`job_key`.
         max_attempts: tries per cell before quarantine (None = policy
             default).
         cache: reuse/populate the content-addressed result cache.
@@ -166,6 +172,7 @@ class JobSpec:
     engine: str = "auto"
     jobs: int = 1
     timeout: float | None = None
+    deadline_s: float | None = None
     max_attempts: int | None = None
     cache: bool = True
     cache_dir: str = ""
@@ -231,6 +238,11 @@ class JobSpec:
         if self.timeout is not None and self.timeout <= 0:
             raise JobSpecError(
                 "timeout", f"must be positive seconds, got {self.timeout!r}"
+            )
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise JobSpecError(
+                "deadline_s",
+                f"must be positive seconds, got {self.deadline_s!r}",
             )
         if self.max_attempts is not None and (
             not isinstance(self.max_attempts, int) or self.max_attempts < 1
@@ -325,6 +337,7 @@ class JobSpec:
             engine=getattr(args, "engine", "auto") or "auto",
             jobs=args.jobs,
             timeout=args.timeout,
+            deadline_s=getattr(args, "deadline", None),
             max_attempts=args.max_attempts,
             cache=not args.no_cache,
             cache_dir=args.cache_dir or "",

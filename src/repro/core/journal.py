@@ -48,6 +48,12 @@ JOURNAL_VERSION = 1
 #: Statuses a journal entry may carry.
 ENTRY_STATUSES = ("done", "failed")
 
+#: Default size past which a resumed journal is compacted in place.
+#: Journals grow one line per settled cell *per run*; a long-lived
+#: service state dir replays the same grids many times, so the file can
+#: dwarf its useful content. 64 KiB keeps small sweeps untouched.
+COMPACT_MIN_BYTES = 64 * 1024
+
 
 def sweep_id(keys: Iterable[str]) -> str:
     """A stable identity for one sweep: sha256 over its sorted cell keys.
@@ -168,6 +174,54 @@ class SweepJournal:
             except (TypeError, ValueError):
                 continue
         return entries
+
+    def compact(
+        self,
+        relevant_keys: "Iterable[str] | None" = None,
+        *,
+        min_bytes: int = COMPACT_MIN_BYTES,
+    ) -> int:
+        """Rewrite the journal to only its load-bearing lines.
+
+        Keeps exactly one line per cell key — the one :meth:`load`
+        would have honoured (later lines win) — and, when
+        ``relevant_keys`` is given, only keys in that set (entries for
+        other grids sharing the file are dead weight for this sweep).
+        Garbage lines, torn tails, and superseded duplicates are
+        dropped.
+
+        The rewrite is crash-safe: the surviving lines are written to a
+        sibling temp file, flushed and fsynced, then atomically
+        ``os.replace``d over the original — a kill at any point leaves
+        either the old journal or the new one, never a torn hybrid. The
+        compacted file always ends with a newline, so the torn-tail
+        healing in :meth:`append` keeps working afterwards.
+
+        A no-op (returns 0) while the file is smaller than
+        ``min_bytes`` — compaction exists to bound growth, not to churn
+        tiny files. Returns the number of bytes reclaimed.
+        """
+        try:
+            before = self.path.stat().st_size
+        except (FileNotFoundError, OSError):
+            return 0
+        if before < min_bytes:
+            return 0
+        entries = self.load()
+        if relevant_keys is not None:
+            keep = set(relevant_keys)
+            entries = {k: e for k, e in entries.items() if k in keep}
+        tmp = self.path.with_name(self.path.name + ".compact")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            for entry in entries.values():
+                record = {"v": JOURNAL_VERSION, **asdict(entry)}
+                fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+        self._tail_checked = True  # we just wrote the (clean) tail
+        after = self.path.stat().st_size
+        return max(0, before - after)
 
     def rotate(self) -> None:
         """Discard any prior journal (fresh, non-resumed sweeps)."""

@@ -242,6 +242,14 @@ class SweepRunner:
             the streaming hook the job service uses to emit rows while a
             sweep is still running. An exception raised by the callback
             aborts the sweep (completed cells stay journaled).
+        deadline: absolute ``time.monotonic()`` instant past which no
+            further cell may run. Enforced by the executor (the local
+            backend kills in-flight cells; serial and distributed stop
+            between cells); expired cells settle as ``CellFailure`` with
+            ``error_type="DeadlineExceeded"`` (quarantine mode) or raise
+            a :class:`~repro.parallel.WorkerError`. Journaled progress
+            is preserved, so a deadline-expired sweep resumes cleanly.
+            None disables.
     """
 
     def __init__(
@@ -260,6 +268,7 @@ class SweepRunner:
         executor: CellExecutor | str = "local",
         on_result: Callable[[int, SweepCell, str | None, Any, str], None]
         | None = None,
+        deadline: float | None = None,
     ) -> None:
         if jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
@@ -282,6 +291,7 @@ class SweepRunner:
         self.cell_fn = cell_fn if cell_fn is not None else execute_cell
         self.executor = make_executor(executor)
         self.on_result = on_result
+        self.deadline = deadline
         self.stats = SweepStats()
         #: Host-fault accounting from the supervised pool (crashes,
         #: timeouts, retries, quarantines), cumulative over this runner.
@@ -397,6 +407,11 @@ class SweepRunner:
         if journal is not None:
             if self.resume:
                 journaled = journal.load()
+                # A long-lived journal (service state dirs replay the
+                # same grids many times) accumulates superseded and
+                # foreign-grid lines; rewrite it down to this sweep's
+                # own entries once it crosses the size threshold.
+                journal.compact(k for k in keys if k is not None)
             else:
                 journal.rotate()
 
@@ -467,6 +482,7 @@ class SweepRunner:
                     on_error=self.on_error,
                     labels=labels,
                     stats=self.supervisor_stats,
+                    deadline=self.deadline,
                 ):
                     index = misses[position]
                     key = keys[index]

@@ -284,8 +284,18 @@ class CellExecutor(abc.ABC):
         labels: Sequence[str] | None = None,
         on_dispatch: Callable[[int, int], None] | None = None,
         stats: Any | None = None,
+        deadline: float | None = None,
     ) -> Iterator[tuple[int, Any]]:
-        """Yield ``(index, result-or-CellFailure)`` in completion order."""
+        """Yield ``(index, result-or-CellFailure)`` in completion order.
+
+        ``deadline`` is an absolute ``time.monotonic()`` instant: past
+        it, the backend settles every unfinished job as a terminal
+        ``CellFailure(error_type="DeadlineExceeded")``. The local pool
+        enforces it mid-cell (workers are killed); backends without that
+        power (serial in-process, remote leases) enforce it between
+        cells, which is still bounded because per-cell budgets
+        (``timeout`` / leases) bound each cell.
+        """
 
 
 class LocalExecutor(CellExecutor):
@@ -306,6 +316,7 @@ class LocalExecutor(CellExecutor):
         labels=None,
         on_dispatch=None,
         stats=None,
+        deadline=None,
     ):
         from repro.parallel.supervisor import HOST_RETRY_POLICY, supervised_imap
 
@@ -319,6 +330,7 @@ class LocalExecutor(CellExecutor):
             labels=labels,
             on_dispatch=on_dispatch,
             stats=stats,
+            deadline=deadline,
         )
 
 
@@ -346,6 +358,7 @@ class SerialExecutor(CellExecutor):
         labels=None,
         on_dispatch=None,
         stats=None,
+        deadline=None,
     ):
         from repro.parallel.supervisor import (
             HOST_RETRY_POLICY,
@@ -358,6 +371,7 @@ class SerialExecutor(CellExecutor):
             retry if retry is not None else HOST_RETRY_POLICY,
             on_error,
             labels,
+            deadline,
         )
 
 

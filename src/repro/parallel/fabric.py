@@ -63,11 +63,13 @@ from typing import Any, Callable, Iterator, Sequence
 from repro.parallel.executor import (
     CellExecutor,
     LocalExecutor,
+    WorkerError,
     warn_degraded,
 )
 from repro.parallel.supervisor import (
     HOST_RETRY_POLICY,
     AttemptLedger,
+    CellFailure,
     SupervisorStats,
 )
 from repro.util import ConfigurationError
@@ -734,7 +736,19 @@ class DistributedExecutor(CellExecutor):
         labels=None,
         on_dispatch=None,
         stats=None,
+        deadline=None,
     ):
+        # A job-level deadline is enforced *between* settles here: the
+        # lease machinery already bounds each in-flight cell, so closing
+        # the dispatch generator at the first settle past the deadline
+        # bounds the whole batch. The remaining cells are settled as
+        # terminal DeadlineExceeded failures by _expire_remaining.
+        if deadline is not None:
+            yield from self._run_with_deadline(
+                fn, jobs, n_workers, timeout, retry, on_error, labels,
+                on_dispatch, stats, deadline,
+            )
+            return
         try:
             yield from self.server.run(
                 fn,
@@ -766,6 +780,55 @@ class DistributedExecutor(CellExecutor):
                 stats=stats,
             ):
                 yield pending[position], outcome
+
+    def _run_with_deadline(
+        self, fn, jobs, n_workers, timeout, retry, on_error, labels,
+        on_dispatch, stats, deadline,
+    ):
+        settled: set[int] = set()
+        inner = self.run(
+            fn,
+            jobs,
+            n_workers=n_workers,
+            timeout=timeout,
+            retry=retry,
+            on_error=on_error,
+            labels=labels,
+            on_dispatch=on_dispatch,
+            stats=stats,
+        )
+        expired = False
+        try:
+            for index, outcome in inner:
+                settled.add(index)
+                yield index, outcome
+                if time.monotonic() >= deadline:
+                    expired = True
+                    break
+        finally:
+            inner.close()
+        if not expired:
+            return
+        for index in range(len(jobs)):
+            if index in settled:
+                continue
+            label = (
+                labels[index]
+                if labels is not None and index < len(labels)
+                else f"job[{index}]"
+            )
+            message = "job deadline reached before this cell settled"
+            if on_error == "raise":
+                raise WorkerError(label, index, "DeadlineExceeded", message)
+            if stats is not None:
+                stats.quarantined += 1
+            yield index, CellFailure(
+                index=index,
+                label=label,
+                attempts=1,
+                error_type="DeadlineExceeded",
+                message=message,
+            )
 
 
 def parse_endpoint(spec: str) -> tuple[str, int]:

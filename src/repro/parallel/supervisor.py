@@ -286,6 +286,14 @@ class SupervisedPool:
         on_dispatch: test/chaos hook called as ``on_dispatch(index, pid)``
             each time a job lands on a worker.
         stats: fault-accounting sink (a fresh one by default).
+        deadline: absolute ``time.monotonic()`` instant past which the
+            whole batch is abandoned: every busy worker is SIGKILLed and
+            every unfinished job — running, queued, or awaiting a retry —
+            is settled immediately as a :class:`CellFailure` with
+            ``error_type="DeadlineExceeded"`` (no retries; a deadline is
+            terminal by definition). None disables. This is the job-level
+            budget the study service enforces; ``timeout`` stays the
+            per-cell budget.
     """
 
     def __init__(
@@ -299,6 +307,7 @@ class SupervisedPool:
         labels: Sequence[str] | None = None,
         on_dispatch: Callable[[int, int], None] | None = None,
         stats: SupervisorStats | None = None,
+        deadline: float | None = None,
     ) -> None:
         check_positive("n_workers", n_workers)
         if timeout is not None and timeout <= 0:
@@ -306,6 +315,7 @@ class SupervisedPool:
         self.fn = fn
         self.n_workers = int(n_workers)
         self.timeout = timeout
+        self.deadline = deadline
         self.retry = retry
         self.on_error = on_error
         self.labels = labels
@@ -393,6 +403,16 @@ class SupervisedPool:
                 self.start(min(self.n_workers, len(jobs)))
             while outstanding:
                 now = time.monotonic()
+
+                # Job-level deadline: abandon everything unfinished at
+                # once. Workers are SIGKILLed (a deadline must hold even
+                # against a hung cell) and every unsettled task becomes a
+                # terminal DeadlineExceeded failure — no retries.
+                if self.deadline is not None and now >= self.deadline:
+                    for index, failure in self._expire_deadline(queue):
+                        outstanding -= 1
+                        yield index, failure
+                    return
 
                 # Kill and account jobs that blew their wall-clock budget.
                 if self.timeout is not None:
@@ -487,6 +507,51 @@ class SupervisedPool:
     def _replace(self, dead: _Slot) -> None:
         self._slots[self._slots.index(dead)] = self._spawn_slot()
 
+    def _expire_deadline(
+        self, queue: deque[_Task]
+    ) -> list[tuple[int, CellFailure]]:
+        """Settle every unfinished task as a terminal DeadlineExceeded.
+
+        Busy workers are killed (not waited for — the deadline already
+        passed); queued and backoff-delayed tasks fail in place. In
+        ``on_error="raise"`` mode the first abandoned task raises a
+        :class:`~repro.parallel.executor.WorkerError` instead.
+        """
+        abandoned: list[_Task] = []
+        retired: list[_Slot] = []
+        for slot in self._slots:
+            if slot.task is not None:
+                abandoned.append(slot.task)
+                slot.task = None
+                self.stats.timeouts += 1
+                self._retire_slot(slot, kill=True)
+                retired.append(slot)
+        # Retired slots hold closed process objects; drop them so the
+        # shutdown in run()'s finally does not double-close them.
+        self._slots = [slot for slot in self._slots if slot not in retired]
+        abandoned.extend(queue)
+        queue.clear()
+        abandoned.sort(key=lambda task: task.index)
+        out: list[tuple[int, CellFailure]] = []
+        for task in abandoned:
+            self.stats.quarantined += 1
+            failure = CellFailure(
+                index=task.index,
+                label=self.ledger.label(task.index),
+                attempts=max(1, task.attempts + 1),
+                error_type="DeadlineExceeded",
+                message="job deadline reached before this cell settled",
+            )
+            if self.on_error == "raise":
+                raise WorkerError(
+                    failure.label,
+                    failure.index,
+                    failure.error_type,
+                    failure.message,
+                )
+            out.append((task.index, failure))
+        return out
+
     def _next_ready(self, queue: deque[_Task], now: float) -> _Task | None:
         return self.ledger.next_ready(queue, now)
 
@@ -498,6 +563,8 @@ class SupervisedPool:
             deadlines += [
                 slot.dispatched_at + self.timeout for slot in busy
             ]
+        if self.deadline is not None:
+            deadlines.append(self.deadline)
         deadlines += [task.not_before for task in queue if task.not_before > now]
         if not deadlines:
             return None
@@ -569,10 +636,29 @@ def _serial_supervised(
     retry: RetryPolicy,
     on_error: str,
     labels: Sequence[str] | None,
+    deadline: float | None = None,
 ) -> Iterator[tuple[int, Any]]:
-    """In-process degradation path: same retry/quarantine, no isolation."""
+    """In-process degradation path: same retry/quarantine, no isolation.
+
+    A ``deadline`` is checked *between* jobs only — without process
+    isolation a running cell cannot be interrupted — so every job not
+    yet started when the deadline passes fails as DeadlineExceeded.
+    """
     rng = np.random.default_rng(0)
     for index, job in enumerate(jobs):
+        if deadline is not None and time.monotonic() >= deadline:
+            label = labels[index] if labels and index < len(labels) else f"job[{index}]"
+            message = "job deadline reached before this cell started"
+            if on_error == "raise":
+                raise WorkerError(label, index, "DeadlineExceeded", message)
+            yield index, CellFailure(
+                index=index,
+                label=label,
+                attempts=1,
+                error_type="DeadlineExceeded",
+                message=message,
+            )
+            continue
         attempts = 0
         while True:
             try:
@@ -610,6 +696,7 @@ def supervised_imap(
     labels: Sequence[str] | None = None,
     on_dispatch: Callable[[int, int], None] | None = None,
     stats: SupervisorStats | None = None,
+    deadline: float | None = None,
 ) -> Iterator[tuple[int, Any]]:
     """Fault-tolerant :func:`~repro.parallel.parallel_imap`.
 
@@ -642,6 +729,7 @@ def supervised_imap(
                 labels=labels,
                 on_dispatch=on_dispatch,
                 stats=stats,
+                deadline=deadline,
             )
             try:
                 # Fork eagerly so setup failure degrades *before* any
@@ -657,4 +745,4 @@ def supervised_imap(
                 return
         else:
             warn_degraded("local", reason)
-    yield from _serial_supervised(fn, jobs, retry, on_error, labels)
+    yield from _serial_supervised(fn, jobs, retry, on_error, labels, deadline)

@@ -2,19 +2,27 @@
 
 ``python -m repro serve`` runs the daemon; clients POST
 :class:`~repro.core.jobspec.JobSpec` JSON to ``/v1/jobs`` and stream
-NDJSON result rows as cells settle. See ``docs/service.md``.
+NDJSON result rows as cells settle. ``repro submit`` wraps
+:class:`ServiceClient` for the command line. See ``docs/service.md``.
 """
 
-from repro.service.jobs import Job, JobManager, QueueFull
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.jobs import Draining, Job, JobManager, QueueFull
+from repro.service.retention import Janitor, RetentionPolicy
 from repro.service.router import AUTO, BackendRouter
 from repro.service.server import ServiceHandler, StudyService, wait_ready
 
 __all__ = [
     "AUTO",
     "BackendRouter",
+    "Draining",
+    "Janitor",
     "Job",
     "JobManager",
     "QueueFull",
+    "RetentionPolicy",
+    "ServiceClient",
+    "ServiceError",
     "ServiceHandler",
     "StudyService",
     "wait_ready",

@@ -13,8 +13,10 @@ service-side policy questions on top of it:
   it ships graphs, and — for the fabric — how many workers are attached
   right now.
 
-Jobs run one at a time through the manager's worker, so a shared
-daemon-lifetime executor (the fabric) is never used concurrently.
+Jobs on *per-job* executors (local/serial) run concurrently under the
+manager's weighted scheduler; jobs routed to the shared daemon-lifetime
+fabric are serialized by the manager's shared-executor gate, so the
+fabric still dispatches one sweep at a time.
 """
 
 from __future__ import annotations

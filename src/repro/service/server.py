@@ -39,11 +39,19 @@ from typing import Any
 
 from repro import __version__
 from repro.core.jobspec import JobSpec, JobSpecError
-from repro.service.jobs import JobManager
+from repro.service.jobs import Draining, JobManager, QueueFull
+from repro.service.retention import Janitor, RetentionPolicy
 
 #: Largest request body accepted, bytes. A JobSpec is a few hundred
 #: bytes; anything near this limit is a client bug, not a bigger study.
 MAX_BODY = 1 << 20
+
+#: Default per-write socket timeout for the NDJSON rows stream. A
+#: reader that stops draining its socket stalls `wfile.write` once the
+#: kernel buffers fill; past this budget the connection is dropped so a
+#: stalled subscriber can never wedge a handler thread (the sweep's own
+#: row appends never touch the socket — see JobManager).
+STREAM_WRITE_TIMEOUT = 10.0
 
 
 class ServiceHandler(BaseHTTPRequestHandler):
@@ -65,11 +73,18 @@ class ServiceHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     # Response helpers
     # ------------------------------------------------------------------
-    def _send_json(self, status: int, payload: Any) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: Any,
+        headers: dict[str, str] | None = None,
+    ) -> None:
         body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -92,12 +107,19 @@ class ServiceHandler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:
         parts = [p for p in self.path.split("?", 1)[0].split("/") if p]
         if parts == ["v1", "health"]:
+            stats = self.manager.stats()
             return self._send_json(
                 200,
                 {
                     "ok": True,
                     "version": __version__,
-                    "jobs": self.manager.stats(),
+                    "jobs": stats,
+                    # Scheduler vitals, lifted top-level for operators
+                    # and load balancers that only read a flat body.
+                    "queued": stats.get("queued", 0),
+                    "running": stats.get("running", 0),
+                    "capacity": stats.get("capacity", 0),
+                    "draining": stats.get("draining", False),
                 },
             )
         if parts == ["v1", "backends"]:
@@ -149,9 +171,32 @@ class ServiceHandler(BaseHTTPRequestHandler):
             return self._error(400, f"malformed JobSpec body: {exc}")
         try:
             job, deduped = self.manager.submit(spec)
+        except (QueueFull, Draining) as exc:
+            # Backpressure, not failure: 503 with a machine-readable
+            # Retry-After plus the scheduler snapshot, so clients
+            # (repro submit) can back off instead of hammering.
+            return self._send_json(
+                503,
+                {
+                    "error": str(exc),
+                    **exc.to_json(),
+                    "retry_after": exc.retry_after,
+                    "queued": exc.queued,
+                    "running": exc.running,
+                    "capacity": exc.capacity,
+                },
+                headers={
+                    "Retry-After": str(max(1, round(exc.retry_after)))
+                },
+            )
         except JobSpecError as exc:
             status = 503 if exc.field in ("queue", "service") else 400
-            return self._send_json(status, {"error": str(exc), **exc.to_json()})
+            headers = (
+                {"Retry-After": "2"} if status == 503 else None
+            )
+            return self._send_json(
+                status, {"error": str(exc), **exc.to_json()}, headers=headers
+            )
         self._send_json(
             202 if not deduped else 200,
             {"job_id": job.id, "status": job.status, "deduped": deduped},
@@ -175,23 +220,53 @@ class ServiceHandler(BaseHTTPRequestHandler):
         Connection-close framing: we drop to HTTP/1.0 semantics for this
         one response (``Connection: close``, no length header) because
         the body's length is unknowable until the sweep finishes.
+
+        The stream is *bounded against slow readers*: every write runs
+        under a per-socket timeout (``stream_write_timeout`` on the
+        service), so a subscriber that stops draining its socket gets
+        its connection dropped once the kernel send buffer fills — it
+        can never wedge this handler thread, and it never touches the
+        sweep at all (the sweep's ``on_result`` only appends rows under
+        the job lock; sockets are written exclusively here). The stream
+        is refcounted (:meth:`Job.stream_ref`) so retention GC skips
+        records with live readers.
         """
         job = self.manager.get(job_id)
         if job is None:
             return self._error(404, f"no such job: {job_id}")
-        self.send_response(200)
-        self.send_header("Content-Type", "application/x-ndjson")
-        self.send_header("Connection", "close")
-        self.end_headers()
-        self.close_connection = True
-        try:
-            for row in job.stream_rows():
-                self.wfile.write(
-                    (json.dumps(row, sort_keys=True) + "\n").encode("utf-8")
-                )
-                self.wfile.flush()
-        except (BrokenPipeError, ConnectionResetError):
-            pass  # client went away; the job keeps running
+        with job.stream_ref():
+            self.send_response(200)
+            self.send_header("Content-Type", "application/x-ndjson")
+            self.send_header("Connection", "close")
+            self.end_headers()
+            self.close_connection = True
+            sndbuf = getattr(self.server, "stream_sndbuf", None)
+            if sndbuf:
+                # Deterministic back-pressure for tests/chaos: a tiny
+                # send buffer makes a stalled reader block writes fast.
+                try:
+                    self.connection.setsockopt(
+                        socket.SOL_SOCKET, socket.SO_SNDBUF, int(sndbuf)
+                    )
+                except OSError:
+                    pass
+            timeout = getattr(
+                self.server, "stream_write_timeout", STREAM_WRITE_TIMEOUT
+            )
+            self.connection.settimeout(timeout)
+            try:
+                for row in job.stream_rows():
+                    self.wfile.write(
+                        (json.dumps(row, sort_keys=True) + "\n").encode(
+                            "utf-8"
+                        )
+                    )
+                    self.wfile.flush()
+            except (BrokenPipeError, ConnectionResetError):
+                pass  # client went away; the job keeps running
+            except (socket.timeout, TimeoutError, OSError):
+                # Stalled reader: drop it rather than block this thread.
+                self.close_connection = True
 
     def _send_artifact(self, job_id: str, key: str) -> None:
         """Raw cached bytes for one settled cell, by content key."""
@@ -213,6 +288,19 @@ class ServiceHandler(BaseHTTPRequestHandler):
         self.wfile.write(blob)
 
 
+class _ServiceServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer with a backlog sized for submit bursts.
+
+    The stdlib default listen backlog is 5; a burst of concurrent
+    clients (the dedupe-storm chaos scenario races 32) overflows it and
+    the extras see connection resets instead of the structured 503/200
+    answers the service promises. The kernel clamps this to
+    ``net.core.somaxconn``, so a generous value is safe everywhere.
+    """
+
+    request_queue_size = 128
+
+
 class StudyService:
     """A bound daemon: HTTP server + job manager, one state directory.
 
@@ -230,6 +318,9 @@ class StudyService:
         manager: JobManager | None = None,
         verbose: bool = False,
         log: Any = None,
+        retention: RetentionPolicy | None = None,
+        stream_write_timeout: float = STREAM_WRITE_TIMEOUT,
+        stream_sndbuf: int | None = None,
     ) -> None:
         host, _, port_text = bind.rpartition(":")
         if not host or not port_text:
@@ -241,10 +332,15 @@ class StudyService:
         self.manager = manager if manager is not None else JobManager(
             state_dir, log=log
         )
-        self.httpd = ThreadingHTTPServer((host, port), ServiceHandler)
+        self.janitor: Janitor | None = None
+        if retention is not None and retention.ttl_s is not None:
+            self.janitor = Janitor(self.manager, retention, log=log)
+        self.httpd = _ServiceServer((host, port), ServiceHandler)
         self.httpd.daemon_threads = True
         self.httpd.manager = self.manager  # type: ignore[attr-defined]
         self.httpd.verbose = verbose  # type: ignore[attr-defined]
+        self.httpd.stream_write_timeout = stream_write_timeout  # type: ignore[attr-defined]
+        self.httpd.stream_sndbuf = stream_sndbuf  # type: ignore[attr-defined]
         self._thread: threading.Thread | None = None
 
     @property
@@ -256,6 +352,8 @@ class StudyService:
     # ------------------------------------------------------------------
     def serve_forever(self) -> None:
         """Block serving requests (the CLI path); Ctrl-C returns."""
+        if self.janitor is not None:
+            self.janitor.start()
         try:
             self.httpd.serve_forever(poll_interval=0.2)
         except KeyboardInterrupt:
@@ -265,6 +363,8 @@ class StudyService:
 
     def start(self) -> "StudyService":
         """Serve on a background thread (the test/embedding path)."""
+        if self.janitor is not None:
+            self.janitor.start()
         self._thread = threading.Thread(
             target=self.httpd.serve_forever,
             kwargs={"poll_interval": 0.1},
@@ -274,12 +374,26 @@ class StudyService:
         self._thread.start()
         return self
 
+    def drain(self, grace: float = 10.0) -> None:
+        """Graceful-shutdown phase 1 (the SIGTERM path).
+
+        Flips the manager into draining — new submits 503 with
+        ``Retry-After``, health reports ``draining: true`` — and blocks
+        while running jobs finish or checkpoint back to ``queued``
+        within ``grace`` seconds. The HTTP listener keeps answering
+        throughout (clients need the 503s); call :meth:`close`
+        afterwards for the actual exit.
+        """
+        self.manager.drain(grace)
+
     def close(self) -> None:
         self.httpd.shutdown()
         self.httpd.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5.0)
             self._thread = None
+        if self.janitor is not None:
+            self.janitor.close()
         self.manager.close()
 
     def __enter__(self) -> "StudyService":

@@ -99,6 +99,106 @@ class TestSweepJournal:
         assert record["status"] == "done"
 
 
+class TestJournalCompaction:
+    def test_noop_below_min_bytes(self, tmp_path):
+        journal = SweepJournal(tmp_path / "j.jsonl")
+        journal.append(entry("k1"))
+        journal.append(entry("k1", status="failed"))
+        before = journal.path.read_bytes()
+        assert journal.compact() == 0  # default threshold: leave it alone
+        assert journal.path.read_bytes() == before
+
+    def test_superseded_and_garbage_lines_dropped(self, tmp_path):
+        journal = SweepJournal(tmp_path / "j.jsonl")
+        journal.append(entry("k1", status="failed", error="first try"))
+        journal.append(entry("k1", status="done"))
+        journal.append(entry("k2"))
+        with open(journal.path, "a") as fh:
+            fh.write("#### not json ####\n")
+            fh.write('{"v":1,"key":"torn')  # no newline: torn tail
+        reclaimed = journal.compact(min_bytes=0)
+        assert reclaimed > 0
+        lines = journal.path.read_text().splitlines()
+        assert len(lines) == 2  # one line per surviving key, nothing else
+        loaded = journal.load()
+        assert set(loaded) == {"k1", "k2"}
+        assert loaded["k1"].status == "done"  # the later line won
+
+    def test_relevant_keys_filter_other_grids(self, tmp_path):
+        journal = SweepJournal(tmp_path / "j.jsonl")
+        journal.append(entry("mine"))
+        journal.append(entry("other-grid"))
+        journal.compact(["mine"], min_bytes=0)
+        assert set(journal.load()) == {"mine"}
+
+    def test_compacted_file_ends_with_newline(self, tmp_path):
+        # append()'s torn-tail healing keys off the trailing newline; a
+        # compacted journal must keep that contract.
+        journal = SweepJournal(tmp_path / "j.jsonl")
+        journal.append(entry("k1"))
+        journal.compact(min_bytes=0)
+        assert journal.path.read_bytes().endswith(b"\n")
+        journal.append(entry("k2"))
+        assert set(journal.load()) == {"k1", "k2"}
+
+    def test_missing_file_is_noop(self, tmp_path):
+        assert SweepJournal(tmp_path / "nope.jsonl").compact(min_bytes=0) == 0
+
+    def test_append_after_compaction_with_torn_tail(self, tmp_path):
+        # compact() then a crash-torn append then resume: the heal path
+        # must survive the rewrite.
+        journal = SweepJournal(tmp_path / "j.jsonl")
+        journal.append(entry("k1"))
+        journal.append(entry("k2"))
+        journal.compact(min_bytes=0)
+        with open(journal.path, "a") as fh:
+            fh.write('{"v":1,"key":"half')  # killed mid-write
+        resumed = SweepJournal(journal.path)
+        assert set(resumed.load()) == {"k1", "k2"}
+        resumed.append(entry("k3"))
+        assert set(resumed.load()) == {"k1", "k2", "k3"}
+
+
+class TestResumeCompaction:
+    """Resume-time compaction (SweepRunner) preserves bit-for-bit rows."""
+
+    def _spec(self, tmp_path):
+        from repro.core.jobspec import JobSpec, SourceSpec
+
+        return JobSpec(
+            source=SourceSpec(size=2),
+            models=("static_block", "work_stealing"),
+            ranks=(8, 16),
+            executor="serial",
+            cache_dir=str(tmp_path / "cache"),
+        )
+
+    def test_resume_after_compaction_identical(self, tmp_path):
+        from repro import api
+
+        spec = self._spec(tmp_path)
+        calls = []
+
+        def bomb(info):
+            calls.append(info)
+            if len(calls) == 2:
+                raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            api.run_job(spec, progress=bomb, resume=True)
+        journals = list((tmp_path / "cache" / "journal").glob("sweep-*.jsonl"))
+        assert journals, "interrupted sweep left no journal"
+        # Force the resume path to actually compact (bypass min_bytes).
+        SweepJournal(journals[0]).compact(min_bytes=0)
+        events = []
+        resumed = api.run_job(spec, resume=True, progress=events.append)
+        reference = api.run_job(spec.with_overrides(cache=False), cache=None)
+        assert resumed.rows() == reference.rows()
+        # The resumed run reused settled cells from the compacted
+        # journal/cache instead of recomputing them.
+        assert events and events[-1].cached >= 1
+
+
 class TestDeferredSignals:
     def test_sigint_held_until_exit(self):
         reached_end = False

@@ -288,6 +288,93 @@ class TestHostRetryPolicy:
             assert base < delay <= base * 1.25
 
 
+def sleep_if_odd(job):
+    """Odd jobs sleep far past any test deadline; even jobs are instant."""
+    if job % 2:
+        time.sleep(60.0)
+    return job * 10
+
+
+def brief_sleep(job):
+    time.sleep(0.2)
+    return job * 10
+
+
+class TestJobDeadline:
+    def test_parallel_deadline_kills_unfinished_cells(self):
+        stats = SupervisorStats()
+        start = time.monotonic()
+        got = collect(
+            supervised_imap(
+                sleep_if_odd,
+                list(range(4)),
+                n_workers=2,
+                retry=FAST_RETRY,
+                deadline=time.monotonic() + 1.5,
+                stats=stats,
+            ),
+            4,
+        )
+        elapsed = time.monotonic() - start
+        assert elapsed < 30.0  # the 60s sleepers were killed, not waited for
+        assert got[0] == 0 and got[2] == 20  # fast cells settled normally
+        for index in (1, 3):
+            failure = got[index]
+            assert isinstance(failure, CellFailure)
+            assert failure.error_type == "DeadlineExceeded"
+            assert "deadline" in failure.message
+        assert stats.quarantined == 2
+
+    def test_parallel_deadline_raise_mode(self):
+        with pytest.raises(WorkerError) as excinfo:
+            collect(
+                supervised_imap(
+                    sleep_if_odd,
+                    [1, 3],
+                    n_workers=2,
+                    retry=FAST_RETRY,
+                    on_error="raise",
+                    deadline=time.monotonic() + 0.5,
+                ),
+                2,
+            )
+        assert excinfo.value.error_type == "DeadlineExceeded"
+
+    def test_serial_deadline_checked_between_cells(self):
+        got = collect(
+            supervised_imap(
+                brief_sleep,
+                list(range(4)),
+                n_workers=1,
+                retry=FAST_RETRY,
+                deadline=time.monotonic() + 0.3,
+            ),
+            4,
+        )
+        assert got[0] == 0  # already running when the deadline passed
+        late = [g for g in got[1:] if isinstance(g, CellFailure)]
+        assert late, "no cell expired on the serial deadline"
+        assert all(f.error_type == "DeadlineExceeded" for f in late)
+
+    def test_expired_deadline_settles_everything_immediately(self):
+        start = time.monotonic()
+        got = collect(
+            supervised_imap(
+                sleep_if_odd,
+                [1, 3, 5],
+                n_workers=2,
+                retry=FAST_RETRY,
+                deadline=time.monotonic() - 1.0,
+            ),
+            3,
+        )
+        assert time.monotonic() - start < 10.0
+        assert all(
+            isinstance(g, CellFailure) and g.error_type == "DeadlineExceeded"
+            for g in got
+        )
+
+
 class TestDegradationWarning:
     def test_forkless_platform_warns_once(self, monkeypatch):
         from repro.parallel import executor, supervisor

@@ -92,6 +92,7 @@ class TestIdentity:
             base.with_overrides(timeout=60.0, max_attempts=5),
             base.with_overrides(cache=False, cache_dir="/elsewhere"),
             base.with_overrides(tag="same study, different label"),
+            base.with_overrides(deadline_s=120.0),
         ):
             assert variant.job_key() == base.job_key()
 
@@ -114,6 +115,12 @@ class TestIdentity:
         assert spec.job_key() == JobSpec.from_json(spec.to_json()).job_key()
         assert len(spec.job_key()) == 64
 
+    def test_deadline_round_trips(self):
+        spec = JobSpec(deadline_s=90.0)
+        again = JobSpec.from_json(spec.to_json())
+        assert again.deadline_s == 90.0
+        assert again == spec
+
 
 class TestValidation:
     def test_defaults_validate(self):
@@ -129,6 +136,8 @@ class TestValidation:
             ({"machine": "cray"}, "machine"),
             ({"jobs": 0}, "jobs"),
             ({"timeout": -1.0}, "timeout"),
+            ({"deadline_s": 0.0}, "deadline_s"),
+            ({"deadline_s": -5.0}, "deadline_s"),
             ({"max_attempts": 0}, "max_attempts"),
             ({"faults": "crash:banana"}, "faults"),
             ({"executor": "bogus"}, "executor"),
