@@ -29,7 +29,7 @@ from repro.faults import FailureDetector, FaultInjector, FaultPlan
 from repro.runtime.comm import RankContext
 from repro.runtime.garrays import BlockDistribution, GlobalBlockedMatrix
 from repro.runtime.trace import COMM, COMPUTE, FAILED, IDLE, OVERHEAD, TraceRecorder
-from repro.simulate.engine import Process, Timeout
+from repro.simulate.engine import Process, Timeout, pooled_timeout
 from repro.simulate.machine import MachineSpec
 from repro.simulate.sched import make_engine
 from repro.simulate.network import Network
@@ -94,6 +94,16 @@ class RunResult:
     #: Task compute costs evaluated through the vectorized batch path
     #: (``MachineSpec.compute_seconds_batch``) rather than per-task.
     batched_costs: int = 0
+    #: Timeout requests consumed by the engines' resume fast paths. With
+    #: the shared freelist these no longer cost one allocation each; the
+    #: counter measures how much traffic the freelist absorbs.
+    timeout_allocs: int = 0
+    #: Resource grants delivered straight to a waiter's resume (NIC and
+    #: atomic-counter queueing) without a generic callback frame.
+    grant_resumes: int = 0
+    #: Traced network ops served from the fused cost tables (no
+    #: generator frame); 0 when fault injection arms the traced path.
+    fused_ops: int = 0
 
     @property
     def degraded(self) -> bool:
@@ -283,7 +293,7 @@ class Harness:
             for ref in task.reads:
                 yield from density_get(ctx, ref)
             start = engine.now
-            yield Timeout(duration)
+            yield pooled_timeout(duration)
             append_span((task.tid, start, engine.now))
             for ref in task.writes:
                 yield from fock_accumulate(ctx, ref)
@@ -413,6 +423,9 @@ class Harness:
             trace_records=self.trace.records,
             sim_bucket_events=self.engine.bucket_dispatched,
             batched_costs=self.batched_costs,
+            timeout_allocs=self.engine.timeout_allocs,
+            grant_resumes=self.engine.grant_resumes,
+            fused_ops=self.network.stats.fused_ops,
         )
 
 

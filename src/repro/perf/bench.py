@@ -69,7 +69,7 @@ def _git_sha() -> str:
 # ----------------------------------------------------------------------
 
 def _engine_events_bench(engine_factory):
-    from repro.simulate.engine import Timeout
+    from repro.simulate.engine import Timeout, pooled_timeout
 
     n_procs, n_steps = 64, 400
 
@@ -80,8 +80,8 @@ def _engine_events_bench(engine_factory):
             # Alternate heap timeouts and zero-delay wake-ups — the mix
             # real models produce (grants/fires are mostly zero-delay).
             for step in range(n_steps):
-                yield Timeout(1.0e-6 * ((pid + step) % 7))
-                yield Timeout(0.0)
+                yield pooled_timeout(1.0e-6 * ((pid + step) % 7))
+                yield pooled_timeout(0.0)
 
         for pid in range(n_procs):
             engine.process(proc(pid))

@@ -35,6 +35,9 @@ def run_counters(result: "RunResult") -> dict[str, float]:
         "sim_ready_events": float(result.sim_ready_events),
         "sim_bucket_events": float(result.sim_bucket_events),
         "batched_costs": float(result.batched_costs),
+        "timeout_allocs": float(result.timeout_allocs),
+        "grant_resumes": float(result.grant_resumes),
+        "fused_ops": float(result.fused_ops),
         "trace_records": float(result.trace_records),
         "n_tasks": float(result.n_tasks),
         "n_ranks": float(result.n_ranks),

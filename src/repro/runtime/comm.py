@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.simulate.engine import Engine, Timeout
+from repro.simulate.engine import Engine, Timeout, pooled_timeout
 from repro.simulate.machine import MachineSpec
 from repro.simulate.network import Message, Network, SharedCell
 from repro.runtime.trace import COMM, COMPUTE, FAILED, IDLE, OVERHEAD, TraceRecorder
@@ -72,18 +72,18 @@ class RankContext:
             stall_end = self.faults.stall_until(self.rank, engine.now)
             if stall_end > engine.now:
                 stall_start = engine.now
-                yield Timeout(stall_end - stall_start)
+                yield pooled_timeout(stall_end - stall_start)
                 self.trace.record(self.rank, IDLE, stall_start, engine.now)
         start = engine.now
         duration = self.machine.compute_seconds(self.rank, flops, start)
-        yield Timeout(duration)
+        yield pooled_timeout(duration)
         self.trace.record_compute(self.rank, tid, start, engine.now)
 
     def overhead_delay(self, seconds: float):
         """Pure local scheduling overhead (queue manipulation, bookkeeping)."""
         engine = self.engine
         start = engine.now
-        yield Timeout(check_non_negative("seconds", seconds))
+        yield pooled_timeout(check_non_negative("seconds", seconds))
         self.trace.record(self.rank, OVERHEAD, start, engine.now)
 
     # ------------------------------------------------------------------
@@ -161,5 +161,5 @@ class RankContext:
     def sleep(self, seconds: float):
         """Deliberate wait (backoff, parking); recorded as explicit IDLE."""
         start = self.engine.now
-        yield Timeout(check_non_negative("seconds", seconds))
+        yield pooled_timeout(check_non_negative("seconds", seconds))
         self.trace.record(self.rank, IDLE, start, self.engine.now)

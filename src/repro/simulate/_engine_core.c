@@ -1,19 +1,39 @@
 /* Compiled run loop for repro.simulate.engine.Engine.
  *
- * This extension moves the two hottest frames of the discrete-event
- * simulator -- Engine.run() and the Process.resume() Timeout fast path --
- * out of the interpreter. It operates on the *same* data layout as the
- * pure-Python engine (the `_heap` list of (time, seq, callback) tuples,
- * the `_ready` deque of (seq, callback, arg) tuples, the `_seq` counter,
- * the `now` float and the dispatch counters), mutating them through the
- * slot descriptors, so Python-side scheduling (SimEvent.fire, Resource
- * grants, call_now from callbacks) interleaves with the C loop exactly as
- * it does with the Python loop.
+ * This extension moves the hottest frames of the discrete-event
+ * simulator -- Engine.run(), the Process.resume() Timeout fast path, and
+ * Resource._deliver_grant() -- out of the interpreter. It operates on
+ * the *same* data layout as the pure-Python engine (the `_heap` list of
+ * (time, seq, callback) tuples, the `_ready` deque of (seq, callback,
+ * arg) tuples, the `_seq` counter, the `now` float and the dispatch
+ * counters), mutating them through attribute access, so Python-side
+ * scheduling (SimEvent.fire, Resource grants, call_now from callbacks,
+ * fused network ops scheduling their own delay steps) interleaves with
+ * the C loop exactly as it does with the Python loop.
+ *
+ * Two C-side structures exist only *inside* one core_run() call:
+ *
+ * - the **timeout-event heap**: a binary heap of plain C structs
+ *   {time, seq, process} fed by the resume fast path. A timed Timeout
+ *   wake-up costs no tuple, no PyFloat/PyLong boxing for the key, and
+ *   no heapq call; the struct array doubles as its own freelist (slots
+ *   are reused in place and the buffer is recycled across runs). Events
+ *   still pending when the loop exits (horizon stop, exception) are
+ *   flushed back into the Python heap as ordinary tuples, so the
+ *   engine's observable state after run() is identical to the Python
+ *   engine's.
+ *
+ * - consumed ``Timeout`` *request objects* are recycled into the
+ *   Python-side freelist shared with ``Timeout.__new__`` when their
+ *   refcount proves sole ownership -- the C half of the allocation-free
+ *   Timeout cycle.
  *
  * Bit-for-bit contract: every control-flow branch here mirrors a line of
- * Engine.run / Process.resume; `now + delay` is the same IEEE-754 double
- * addition CPython performs; seq allocation and the heap/run-queue
- * interleave rule are identical. The golden-digest suites are run under
+ * Engine.run / Process.resume / Resource._deliver_grant; `now + delay`
+ * is the same IEEE-754 double addition CPython performs; seq allocation
+ * and the heap/run-queue interleave rule are identical (the C heap and
+ * the Python heap are merged by the full (time, seq) key, and seqs are
+ * globally unique). The golden-digest suites are run under
  * REPRO_ENGINE=compiled in CI to pin this.
  *
  * Built on demand by repro.simulate.sched (cc -O2 -fPIC -shared); no
@@ -22,29 +42,131 @@
 
 #define PY_SSIZE_T_CLEAN
 #include <Python.h>
+#include <stdlib.h>
 
 /* Registered by setup(): the engine's collaborator classes. */
 static PyObject *g_process_cls = NULL;
 static PyObject *g_timeout_cls = NULL;
 static PyObject *g_request_cls = NULL;
 static PyObject *g_sim_error = NULL;
-static PyObject *g_resume_func = NULL; /* Process.resume, the plain function */
+static PyObject *g_resume_func = NULL;  /* Process.resume, the plain function */
+static PyObject *g_deliver_func = NULL; /* Resource._deliver_grant, plain function */
+static PyObject *g_timeout_pool = NULL; /* engine._timeout_pool, shared freelist */
+static PyObject *g_fusedop_cls = NULL;  /* network._FusedOp */
+static PyObject *g_advance_func = NULL; /* _FusedOp._advance, plain function */
 static PyObject *g_heappush = NULL;
 static PyObject *g_heappop = NULL;
 
 /* Interned attribute names. */
 static PyObject *s_heap, *s_ready, *s_seq, *s_now;
 static PyObject *s_events_dispatched, *s_ready_dispatched;
+static PyObject *s_timeout_allocs, *s_grant_resumes;
 static PyObject *s_popleft, *s_append;
 static PyObject *s_done, *s_cancelled, *s_send, *s_resume_attr, *s_engine;
 static PyObject *s_delay, *s_name, *s_value, *s_finish, *s_activate;
+static PyObject *s_release, *s_resume_pub;
+static PyObject *s_pre, *s_nic, *s_hold, *s_post, *s_trace, *s_src, *s_category;
+static PyObject *s_counter, *s_amount, *s_proc, *s_start, *s_phase, *s_idx;
+static PyObject *s_holding, *s_result, *s_step, *s_advance_name;
+static PyObject *s_in_use, *s_capacity, *s_total_acquisitions, *s_total_waits;
+static PyObject *s_queue, *s_deliver_name, *s_record;
+
+/* What firing a C-held event means. */
+enum { EV_RESUME = 0, EV_FUSED = 1 };
+
+/* One timed wake-up held C-side: at (time, seq), either resume a
+ * Process (EV_RESUME) or advance a fused network op (EV_FUSED). */
+typedef struct {
+    double time;
+    long long seq;
+    PyObject *obj; /* owned: the Process or the _FusedOp */
+    int kind;
+} CEvent;
 
 typedef struct {
     PyObject *engine;       /* borrowed */
     PyObject *heap;         /* owned; the engine's _heap list */
     PyObject *ready;        /* owned; the engine's _ready deque */
     PyObject *ready_append; /* owned; bound _ready.append */
+    CEvent *ch;             /* C timeout-event heap (binary heap array) */
+    Py_ssize_t ch_len, ch_cap;
+    int ch_owned; /* buffer is ours to free (spare was busy) */
+    /* Fast-path counter *deltas*, folded into the engine attributes on
+     * exit. Deltas, not absolutes: Python code running inside a
+     * dispatched callback (e.g. a fused network op resuming its process
+     * through Python Process.resume) bumps the attributes directly, and
+     * an absolute writeback would erase those increments. */
+    long long timeout_allocs;
+    long long grants;
 } RunCtx;
+
+/* Buffer recycled across runs: engine runs do not nest in practice, so
+ * one process-wide spare avoids a malloc per run(). */
+static CEvent *g_spare = NULL;
+static Py_ssize_t g_spare_cap = 0;
+static int g_spare_busy = 0;
+
+static int
+cheap_push(RunCtx *ctx, double time, long long seq, PyObject *obj, int kind)
+{
+    if (ctx->ch_len == ctx->ch_cap) {
+        Py_ssize_t cap = ctx->ch_cap ? ctx->ch_cap * 2 : 256;
+        CEvent *data = (CEvent *)realloc(ctx->ch, (size_t)cap * sizeof(CEvent));
+        if (data == NULL) {
+            PyErr_NoMemory();
+            return -1;
+        }
+        ctx->ch = data;
+        ctx->ch_cap = cap;
+    }
+    CEvent *ch = ctx->ch;
+    Py_ssize_t i = ctx->ch_len++;
+    while (i > 0) {
+        Py_ssize_t parent = (i - 1) >> 1;
+        CEvent *p = &ch[parent];
+        if (p->time < time || (p->time == time && p->seq < seq))
+            break;
+        ch[i] = *p;
+        i = parent;
+    }
+    ch[i].time = time;
+    ch[i].seq = seq;
+    Py_INCREF(obj);
+    ch[i].obj = obj;
+    ch[i].kind = kind;
+    return 0;
+}
+
+/* Pop the minimal (time, seq) entry; caller owns the returned obj ref.
+ * Only call with ch_len > 0. */
+static CEvent
+cheap_pop(RunCtx *ctx)
+{
+    CEvent *ch = ctx->ch;
+    CEvent top = ch[0];
+    Py_ssize_t len = --ctx->ch_len;
+    if (len > 0) {
+        CEvent last = ch[len];
+        Py_ssize_t i = 0;
+        for (;;) {
+            Py_ssize_t child = 2 * i + 1;
+            if (child >= len)
+                break;
+            if (child + 1 < len) {
+                CEvent *a = &ch[child], *b = &ch[child + 1];
+                if (b->time < a->time || (b->time == a->time && b->seq < a->seq))
+                    child += 1;
+            }
+            CEvent *c = &ch[child];
+            if (last.time < c->time || (last.time == c->time && last.seq < c->seq))
+                break;
+            ch[i] = *c;
+            i = child;
+        }
+        ch[i] = last;
+    }
+    return top;
+}
 
 static int
 get_ll(PyObject *obj, PyObject *name, long long *out)
@@ -94,6 +216,16 @@ set_double(PyObject *obj, PyObject *name, double value)
     return rc;
 }
 
+/* obj.<name> += 1 through attribute access (the rare cross-engine path). */
+static int
+bump_ll_attr(PyObject *obj, PyObject *name)
+{
+    long long v;
+    if (get_ll(obj, name, &v) < 0)
+        return -1;
+    return set_ll(obj, name, v + 1);
+}
+
 /* Extract (time, seq) from a heap entry; rejects malformed entries. */
 static int
 entry_key(PyObject *entry, double *time, long long *seq)
@@ -111,6 +243,10 @@ entry_key(PyObject *entry, double *time, long long *seq)
         return -1;
     return 0;
 }
+
+static int fused_activate(RunCtx *ctx, PyObject *op, PyObject *proc);
+static int fused_advance(RunCtx *ctx, PyObject *op);
+static int fused_resume(RunCtx *ctx, PyObject *op);
 
 /* Process.resume(value), compiled. Returns 0 on success, -1 with an
  * exception set on failure. Mirrors the Python method line for line. */
@@ -189,6 +325,12 @@ resume_fast(RunCtx *ctx, PyObject *proc, PyObject *value)
         engine = PyObject_GetAttr(proc, s_engine);
         if (engine == NULL)
             goto timeout_done;
+        int own_engine = (engine == ctx->engine);
+        /* engine.timeout_allocs += 1 */
+        if (own_engine)
+            ctx->timeout_allocs++;
+        else if (bump_ll_attr(engine, s_timeout_allocs) < 0)
+            goto timeout_done;
         seqobj = PyObject_GetAttr(engine, s_seq);
         if (seqobj == NULL)
             goto timeout_done;
@@ -204,15 +346,22 @@ resume_fast(RunCtx *ctx, PyObject *proc, PyObject *value)
         double delay = PyFloat_AsDouble(delayobj);
         if (delay == -1.0 && PyErr_Occurred())
             goto timeout_done;
-        resume_cb = PyObject_GetAttr(proc, s_resume_attr);
-        if (resume_cb == NULL)
-            goto timeout_done;
+        /* The request's delay is consumed; recycle the object into the
+         * freelist shared with Timeout.__new__ when we hold the only
+         * reference (the generator yielded a fresh instance). */
+        if (Py_REFCNT(request) == 1 && g_timeout_pool != NULL) {
+            if (PyList_Append(g_timeout_pool, request) < 0)
+                PyErr_Clear(); /* best-effort: recycling is an optimization */
+        }
         if (delay == 0.0) {
+            resume_cb = PyObject_GetAttr(proc, s_resume_attr);
+            if (resume_cb == NULL)
+                goto timeout_done;
             tup = PyTuple_Pack(3, seqobj, resume_cb, Py_None);
             if (tup == NULL)
                 goto timeout_done;
             PyObject *r;
-            if (engine == ctx->engine) {
+            if (own_engine) {
                 r = PyObject_CallOneArg(ctx->ready_append, tup);
             }
             else {
@@ -226,6 +375,15 @@ resume_fast(RunCtx *ctx, PyObject *proc, PyObject *value)
                 goto timeout_done;
             Py_DECREF(r);
         }
+        else if (own_engine) {
+            /* The C timeout-event heap: no tuple, no boxed key, no
+             * heapq call. Flushed back to engine._heap on loop exit. */
+            double now;
+            if (get_double(engine, s_now, &now) < 0)
+                goto timeout_done;
+            if (cheap_push(ctx, now + delay, seq, proc, EV_RESUME) < 0)
+                goto timeout_done;
+        }
         else {
             double now;
             if (get_double(engine, s_now, &now) < 0)
@@ -233,20 +391,18 @@ resume_fast(RunCtx *ctx, PyObject *proc, PyObject *value)
             PyObject *timeobj = PyFloat_FromDouble(now + delay);
             if (timeobj == NULL)
                 goto timeout_done;
+            resume_cb = PyObject_GetAttr(proc, s_resume_attr);
+            if (resume_cb == NULL) {
+                Py_DECREF(timeobj);
+                goto timeout_done;
+            }
             tup = PyTuple_Pack(3, timeobj, seqobj, resume_cb);
             Py_DECREF(timeobj);
             if (tup == NULL)
                 goto timeout_done;
-            PyObject *heap;
-            if (engine == ctx->engine) {
-                heap = ctx->heap;
-                Py_INCREF(heap);
-            }
-            else {
-                heap = PyObject_GetAttr(engine, s_heap);
-                if (heap == NULL)
-                    goto timeout_done;
-            }
+            PyObject *heap = PyObject_GetAttr(engine, s_heap);
+            if (heap == NULL)
+                goto timeout_done;
             PyObject *r = PyObject_CallFunctionObjArgs(g_heappush, heap, tup, NULL);
             Py_DECREF(heap);
             if (r == NULL)
@@ -261,6 +417,14 @@ resume_fast(RunCtx *ctx, PyObject *proc, PyObject *value)
         Py_XDECREF(newseq);
         Py_XDECREF(seqobj);
         Py_XDECREF(engine);
+        Py_DECREF(request);
+        return rc;
+    }
+
+    /* Fused network op: run its activation (and the whole program walk)
+     * compiled. Exact-type check, like the Timeout branch. */
+    if ((PyObject *)Py_TYPE(request) == g_fusedop_cls) {
+        int rc = fused_activate(ctx, request, proc);
         Py_DECREF(request);
         return rc;
     }
@@ -303,15 +467,441 @@ resume_fast(RunCtx *ctx, PyObject *proc, PyObject *value)
     return 0;
 }
 
+/* ---- fused network operations (network._FusedOp), compiled ----
+ *
+ * A fused op walks a precomputed (pre, hold, post) delay program. Under
+ * the Python engines each step is a bound-method callback plus an
+ * engine.schedule() call; here the walk runs in C and timed steps go
+ * straight into the C event heap -- no tuple, no boxed key, no Python
+ * frame per delay. Every branch mirrors a line of _FusedOp.activate /
+ * .resume / ._advance / ._complete, and every seq allocation happens at
+ * exactly the same dispatch, so (time, seq) orders are unchanged. */
+
+/* The op's next step after `delay`: run-queue for zero delays, C event
+ * heap otherwise. Mirrors _FusedOp._dispatch (engine == ctx->engine is
+ * guaranteed by the callers). */
+static int
+fused_dispatch(RunCtx *ctx, PyObject *op, PyObject *engine, double delay)
+{
+    long long seq;
+    if (get_ll(engine, s_seq, &seq) < 0 || set_ll(engine, s_seq, seq + 1) < 0)
+        return -1;
+    if (delay == 0.0) {
+        PyObject *seqobj = PyLong_FromLongLong(seq);
+        PyObject *step = seqobj ? PyObject_GetAttr(op, s_step) : NULL;
+        PyObject *tup = step ? PyTuple_Pack(3, seqobj, step, Py_None) : NULL;
+        Py_XDECREF(step);
+        Py_XDECREF(seqobj);
+        if (tup == NULL)
+            return -1;
+        PyObject *r = PyObject_CallOneArg(ctx->ready_append, tup);
+        Py_DECREF(tup);
+        if (r == NULL)
+            return -1;
+        Py_DECREF(r);
+        return 0;
+    }
+    double now;
+    if (get_double(engine, s_now, &now) < 0)
+        return -1;
+    return cheap_push(ctx, now + delay, seq, op, EV_FUSED);
+}
+
+/* _FusedOp._complete: mark done, emit the trace record, resume the
+ * waiting process with the op's result. */
+static int
+fused_complete(RunCtx *ctx, PyObject *op, PyObject *engine)
+{
+    if (PyObject_SetAttr(op, s_done, Py_True) < 0)
+        return -1;
+    PyObject *trace = PyObject_GetAttr(op, s_trace);
+    PyObject *src = trace ? PyObject_GetAttr(op, s_src) : NULL;
+    PyObject *cat = src ? PyObject_GetAttr(op, s_category) : NULL;
+    PyObject *start = cat ? PyObject_GetAttr(op, s_start) : NULL;
+    PyObject *nowobj = start ? PyObject_GetAttr(engine, s_now) : NULL;
+    PyObject *r = NULL;
+    if (nowobj != NULL)
+        r = PyObject_CallMethodObjArgs(trace, s_record, src, cat, start, nowobj,
+                                       NULL);
+    Py_XDECREF(nowobj);
+    Py_XDECREF(start);
+    Py_XDECREF(cat);
+    Py_XDECREF(src);
+    Py_XDECREF(trace);
+    if (r == NULL)
+        return -1;
+    Py_DECREF(r);
+    PyObject *proc = PyObject_GetAttr(op, s_proc);
+    if (proc == NULL)
+        return -1;
+    PyObject *result = PyObject_GetAttr(op, s_result);
+    if (result == NULL) {
+        Py_DECREF(proc);
+        return -1;
+    }
+    int rc;
+    if ((PyObject *)Py_TYPE(proc) == g_process_cls)
+        rc = resume_fast(ctx, proc, result);
+    else {
+        PyObject *rr = PyObject_CallMethodOneArg(proc, s_resume_pub, result);
+        rc = rr == NULL ? -1 : 0;
+        Py_XDECREF(rr);
+    }
+    Py_DECREF(result);
+    Py_DECREF(proc);
+    return rc;
+}
+
+/* _FusedOp.resume: the NIC grant arrived. fetch_add's read-modify-write
+ * happens here (while the home NIC is held), then the held occupancy is
+ * scheduled. */
+static int
+fused_resume(RunCtx *ctx, PyObject *op)
+{
+    PyObject *counter = PyObject_GetAttr(op, s_counter);
+    if (counter == NULL)
+        return -1;
+    if (counter != Py_None) {
+        PyObject *value = PyObject_GetAttr(counter, s_value);
+        if (value == NULL || PyObject_SetAttr(op, s_result, value) < 0) {
+            Py_XDECREF(value);
+            Py_DECREF(counter);
+            return -1;
+        }
+        PyObject *amount = PyObject_GetAttr(op, s_amount);
+        PyObject *newval =
+            amount == NULL ? NULL : PyNumber_InPlaceAdd(value, amount);
+        Py_XDECREF(amount);
+        Py_DECREF(value);
+        int rc2 = newval == NULL ? -1 : PyObject_SetAttr(counter, s_value, newval);
+        Py_XDECREF(newval);
+        Py_DECREF(counter);
+        if (rc2 < 0)
+            return -1;
+    }
+    else
+        Py_DECREF(counter);
+    if (PyObject_SetAttr(op, s_holding, Py_True) < 0)
+        return -1;
+    if (set_ll(op, s_phase, 2) < 0)
+        return -1;
+    PyObject *engine = PyObject_GetAttr(op, s_engine);
+    if (engine == NULL)
+        return -1;
+    PyObject *holdobj = PyObject_GetAttr(op, s_hold);
+    if (holdobj == NULL) {
+        Py_DECREF(engine);
+        return -1;
+    }
+    double hold = PyFloat_AsDouble(holdobj);
+    Py_DECREF(holdobj);
+    if (hold == -1.0 && PyErr_Occurred()) {
+        Py_DECREF(engine);
+        return -1;
+    }
+    int rc = fused_dispatch(ctx, op, engine, hold);
+    Py_DECREF(engine);
+    return rc;
+}
+
+/* _FusedOp._advance: one step of the delay program. */
+static int
+fused_advance(RunCtx *ctx, PyObject *op)
+{
+    PyObject *done = PyObject_GetAttr(op, s_done);
+    if (done == NULL)
+        return -1;
+    int is_done = PyObject_IsTrue(done);
+    Py_DECREF(done);
+    if (is_done < 0)
+        return -1;
+    if (is_done)
+        return 0; /* late wake-up raced with cancellation */
+    PyObject *engine = PyObject_GetAttr(op, s_engine);
+    if (engine == NULL)
+        return -1;
+    if (engine != ctx->engine) {
+        /* not this loop's engine: take the Python path verbatim */
+        Py_DECREF(engine);
+        PyObject *r = PyObject_CallMethodOneArg(op, s_advance_name, Py_None);
+        if (r == NULL)
+            return -1;
+        Py_DECREF(r);
+        return 0;
+    }
+    int rc = -1;
+    long long phase;
+    if (get_ll(op, s_phase, &phase) < 0)
+        goto out;
+    if (phase == 0) {
+        PyObject *pre = PyObject_GetAttr(op, s_pre);
+        if (pre == NULL || !PyTuple_Check(pre)) {
+            Py_XDECREF(pre);
+            if (!PyErr_Occurred())
+                PyErr_SetString(PyExc_TypeError, "fused op delays must be tuples");
+            goto out;
+        }
+        long long idx;
+        if (get_ll(op, s_idx, &idx) < 0) {
+            Py_DECREF(pre);
+            goto out;
+        }
+        if (idx < PyTuple_GET_SIZE(pre)) {
+            double d = PyFloat_AsDouble(PyTuple_GET_ITEM(pre, idx));
+            Py_DECREF(pre);
+            if (d == -1.0 && PyErr_Occurred())
+                goto out;
+            if (set_ll(op, s_idx, idx + 1) < 0)
+                goto out;
+            rc = fused_dispatch(ctx, op, engine, d);
+            goto out;
+        }
+        Py_DECREF(pre);
+        PyObject *nic = PyObject_GetAttr(op, s_nic);
+        if (nic == NULL)
+            goto out;
+        if (nic == Py_None) {
+            Py_DECREF(nic);
+            rc = fused_complete(ctx, op, engine);
+            goto out;
+        }
+        /* nic.acquire(): inline _ResourceAcquire.activate */
+        if (set_ll(op, s_phase, 1) < 0) {
+            Py_DECREF(nic);
+            goto out;
+        }
+        long long in_use, capacity;
+        if (get_ll(nic, s_in_use, &in_use) < 0 ||
+            get_ll(nic, s_capacity, &capacity) < 0) {
+            Py_DECREF(nic);
+            goto out;
+        }
+        if (in_use < capacity) {
+            long long acq, seq;
+            if (set_ll(nic, s_in_use, in_use + 1) < 0 ||
+                get_ll(nic, s_total_acquisitions, &acq) < 0 ||
+                set_ll(nic, s_total_acquisitions, acq + 1) < 0 ||
+                get_ll(engine, s_seq, &seq) < 0 ||
+                set_ll(engine, s_seq, seq + 1) < 0) {
+                Py_DECREF(nic);
+                goto out;
+            }
+            /* engine.call_now(nic._deliver_grant, op) */
+            PyObject *seqobj = PyLong_FromLongLong(seq);
+            PyObject *deliver =
+                seqobj == NULL ? NULL : PyObject_GetAttr(nic, s_deliver_name);
+            PyObject *tup =
+                deliver == NULL ? NULL : PyTuple_Pack(3, seqobj, deliver, op);
+            Py_XDECREF(deliver);
+            Py_XDECREF(seqobj);
+            Py_DECREF(nic);
+            if (tup == NULL)
+                goto out;
+            PyObject *r = PyObject_CallOneArg(ctx->ready_append, tup);
+            Py_DECREF(tup);
+            if (r == NULL)
+                goto out;
+            Py_DECREF(r);
+            rc = 0;
+            goto out;
+        }
+        long long waits;
+        if (get_ll(nic, s_total_waits, &waits) < 0 ||
+            set_ll(nic, s_total_waits, waits + 1) < 0) {
+            Py_DECREF(nic);
+            goto out;
+        }
+        PyObject *queue = PyObject_GetAttr(nic, s_queue);
+        Py_DECREF(nic);
+        if (queue == NULL)
+            goto out;
+        PyObject *r = PyObject_CallMethodOneArg(queue, s_append, op);
+        Py_DECREF(queue);
+        if (r == NULL)
+            goto out;
+        Py_DECREF(r);
+        rc = 0;
+        goto out;
+    }
+    if (phase == 2) {
+        /* hold expired: release first (the next waiter's grant takes
+         * its seq here, as the generator's finally did), then the
+         * return-path delays. */
+        if (PyObject_SetAttr(op, s_holding, Py_False) < 0)
+            goto out;
+        PyObject *nic = PyObject_GetAttr(op, s_nic);
+        if (nic == NULL)
+            goto out;
+        PyObject *r = PyObject_CallMethodNoArgs(nic, s_release);
+        Py_DECREF(nic);
+        if (r == NULL)
+            goto out;
+        Py_DECREF(r);
+        PyObject *post = PyObject_GetAttr(op, s_post);
+        if (post == NULL || !PyTuple_Check(post)) {
+            Py_XDECREF(post);
+            if (!PyErr_Occurred())
+                PyErr_SetString(PyExc_TypeError, "fused op delays must be tuples");
+            goto out;
+        }
+        if (PyTuple_GET_SIZE(post) > 0) {
+            double d = PyFloat_AsDouble(PyTuple_GET_ITEM(post, 0));
+            Py_DECREF(post);
+            if (d == -1.0 && PyErr_Occurred())
+                goto out;
+            if (set_ll(op, s_phase, 3) < 0 || set_ll(op, s_idx, 1) < 0)
+                goto out;
+            rc = fused_dispatch(ctx, op, engine, d);
+        }
+        else {
+            Py_DECREF(post);
+            rc = fused_complete(ctx, op, engine);
+        }
+        goto out;
+    }
+    /* phase 3: walk the remaining return-path delays */
+    {
+        PyObject *post = PyObject_GetAttr(op, s_post);
+        if (post == NULL || !PyTuple_Check(post)) {
+            Py_XDECREF(post);
+            if (!PyErr_Occurred())
+                PyErr_SetString(PyExc_TypeError, "fused op delays must be tuples");
+            goto out;
+        }
+        long long idx;
+        if (get_ll(op, s_idx, &idx) < 0) {
+            Py_DECREF(post);
+            goto out;
+        }
+        if (idx < PyTuple_GET_SIZE(post)) {
+            double d = PyFloat_AsDouble(PyTuple_GET_ITEM(post, idx));
+            Py_DECREF(post);
+            if (d == -1.0 && PyErr_Occurred())
+                goto out;
+            if (set_ll(op, s_idx, idx + 1) < 0)
+                goto out;
+            rc = fused_dispatch(ctx, op, engine, d);
+        }
+        else {
+            Py_DECREF(post);
+            rc = fused_complete(ctx, op, engine);
+        }
+    }
+out:
+    Py_DECREF(engine);
+    return rc;
+}
+
+/* _FusedOp.activate: bind the op to its process and dispatch the first
+ * pre-delay. */
+static int
+fused_activate(RunCtx *ctx, PyObject *op, PyObject *proc)
+{
+    PyObject *engine = PyObject_GetAttr(proc, s_engine);
+    if (engine == NULL)
+        return -1;
+    if (engine != ctx->engine) {
+        /* cross-engine: take the Python path verbatim */
+        PyObject *r =
+            PyObject_CallMethodObjArgs(op, s_activate, engine, proc, NULL);
+        Py_DECREF(engine);
+        if (r == NULL)
+            return -1;
+        Py_DECREF(r);
+        return 0;
+    }
+    int rc = -1;
+    PyObject *nowobj = NULL, *step = NULL, *pre = NULL;
+    if (PyObject_SetAttr(op, s_engine, engine) < 0 ||
+        PyObject_SetAttr(op, s_proc, proc) < 0)
+        goto out;
+    nowobj = PyObject_GetAttr(engine, s_now);
+    if (nowobj == NULL || PyObject_SetAttr(op, s_start, nowobj) < 0)
+        goto out;
+    if (set_ll(op, s_phase, 0) < 0 || set_ll(op, s_idx, 1) < 0)
+        goto out;
+    step = PyObject_GetAttr(op, s_advance_name); /* bound self._advance */
+    if (step == NULL || PyObject_SetAttr(op, s_step, step) < 0)
+        goto out;
+    pre = PyObject_GetAttr(op, s_pre);
+    if (pre == NULL)
+        goto out;
+    if (!PyTuple_Check(pre) || PyTuple_GET_SIZE(pre) < 1) {
+        PyErr_SetString(PyExc_TypeError,
+                        "fused op pre-delays must be a non-empty tuple");
+        goto out;
+    }
+    double d = PyFloat_AsDouble(PyTuple_GET_ITEM(pre, 0));
+    if (d == -1.0 && PyErr_Occurred())
+        goto out;
+    rc = fused_dispatch(ctx, op, engine, d);
+out:
+    Py_XDECREF(pre);
+    Py_XDECREF(step);
+    Py_XDECREF(nowobj);
+    Py_DECREF(engine);
+    return rc;
+}
+
+/* Resource._deliver_grant(proc), compiled: the done-check plus dispatch
+ * to the resume fast path (Process) or the waiter's own resume (fused
+ * network ops), without the Python frame. */
+static int
+deliver_grant_fast(RunCtx *ctx, PyObject *resource, PyObject *proc)
+{
+    PyObject *done = PyObject_GetAttr(proc, s_done);
+    if (done == NULL)
+        return -1;
+    int is_done = PyObject_IsTrue(done);
+    Py_DECREF(done);
+    if (is_done < 0)
+        return -1;
+    if (is_done) {
+        /* cancelled between grant and wake-up: the slot is re-offered */
+        PyObject *r = PyObject_CallMethodNoArgs(resource, s_release);
+        if (r == NULL)
+            return -1;
+        Py_DECREF(r);
+        return 0;
+    }
+    /* proc.engine.grant_resumes += 1 */
+    PyObject *engine = PyObject_GetAttr(proc, s_engine);
+    if (engine == NULL)
+        return -1;
+    if (engine == ctx->engine)
+        ctx->grants++;
+    else if (bump_ll_attr(engine, s_grant_resumes) < 0) {
+        Py_DECREF(engine);
+        return -1;
+    }
+    Py_DECREF(engine);
+    if ((PyObject *)Py_TYPE(proc) == g_process_cls)
+        return resume_fast(ctx, proc, Py_None);
+    if ((PyObject *)Py_TYPE(proc) == g_fusedop_cls)
+        return fused_resume(ctx, proc);
+    PyObject *r = PyObject_CallMethodOneArg(proc, s_resume_pub, Py_None);
+    if (r == NULL)
+        return -1;
+    Py_DECREF(r);
+    return 0;
+}
+
 /* Call a dispatched callback. `arg == NULL` means the heap convention
  * (no-argument call); otherwise the run-queue convention cb(arg). Bound
- * Process.resume methods short-circuit into resume_fast. */
+ * Process.resume / Resource._deliver_grant methods short-circuit into
+ * the compiled fast paths. */
 static int
 invoke_callback(RunCtx *ctx, PyObject *cb, PyObject *arg)
 {
-    if (PyMethod_Check(cb) && PyMethod_GET_FUNCTION(cb) == g_resume_func) {
-        PyObject *self = PyMethod_GET_SELF(cb);
-        return resume_fast(ctx, self, arg != NULL ? arg : Py_None);
+    if (PyMethod_Check(cb)) {
+        PyObject *func = PyMethod_GET_FUNCTION(cb);
+        if (func == g_resume_func)
+            return resume_fast(ctx, PyMethod_GET_SELF(cb),
+                               arg != NULL ? arg : Py_None);
+        if (func == g_deliver_func && arg != NULL && arg != Py_None)
+            return deliver_grant_fast(ctx, PyMethod_GET_SELF(cb), arg);
+        if (func == g_advance_func)
+            return fused_advance(ctx, PyMethod_GET_SELF(cb));
     }
     PyObject *r = arg != NULL ? PyObject_CallOneArg(cb, arg)
                               : PyObject_CallNoArgs(cb);
@@ -319,6 +909,47 @@ invoke_callback(RunCtx *ctx, PyObject *cb, PyObject *arg)
         return -1;
     Py_DECREF(r);
     return 0;
+}
+
+/* Flush C-held events back into the Python heap as ordinary
+ * (time, seq, callback) tuples -- run on every loop exit so the
+ * engine's observable pending-event state matches the Python engine's.
+ * Resume events carry proc._resume; fused-op steps carry the same bound
+ * _advance the Python dispatcher stored in op._step.
+ * Returns -1 (with an exception set) if any event could not be moved. */
+static int
+flush_cheap(RunCtx *ctx)
+{
+    int rc = 0;
+    while (ctx->ch_len > 0) {
+        CEvent ev = cheap_pop(ctx);
+        if (rc == 0) {
+            PyObject *timeobj = PyFloat_FromDouble(ev.time);
+            PyObject *seqobj = PyLong_FromLongLong(ev.seq);
+            PyObject *cb = NULL;
+            if (timeobj && seqobj)
+                cb = PyObject_GetAttr(
+                    ev.obj, ev.kind == EV_RESUME ? s_resume_attr : s_step);
+            PyObject *tup =
+                cb != NULL ? PyTuple_Pack(3, timeobj, seqobj, cb) : NULL;
+            Py_XDECREF(timeobj);
+            Py_XDECREF(seqobj);
+            Py_XDECREF(cb);
+            if (tup == NULL)
+                rc = -1;
+            else {
+                PyObject *r =
+                    PyObject_CallFunctionObjArgs(g_heappush, ctx->heap, tup, NULL);
+                Py_DECREF(tup);
+                if (r == NULL)
+                    rc = -1;
+                else
+                    Py_DECREF(r);
+            }
+        }
+        Py_DECREF(ev.obj);
+    }
+    return rc;
 }
 
 /* run(engine, until) -> 1 if stopped at the horizon, 0 if drained.
@@ -343,6 +974,20 @@ core_run(PyObject *self, PyObject *args)
     ctx.ready_append = ctx.ready ? PyObject_GetAttr(ctx.ready, s_append) : NULL;
     PyObject *pop_ready =
         ctx.ready ? PyObject_GetAttr(ctx.ready, s_popleft) : NULL;
+    if (!g_spare_busy) {
+        ctx.ch = g_spare;
+        ctx.ch_cap = g_spare_cap;
+        ctx.ch_owned = 0;
+        g_spare_busy = 1;
+    }
+    else {
+        ctx.ch = NULL;
+        ctx.ch_cap = 0;
+        ctx.ch_owned = 1;
+    }
+    ctx.ch_len = 0;
+    ctx.timeout_allocs = 0;
+    ctx.grants = 0;
 
     long long dispatched = 0, from_ready = 0;
     double now = 0.0;
@@ -359,6 +1004,10 @@ core_run(PyObject *self, PyObject *args)
         Py_XDECREF(ctx.ready);
         Py_XDECREF(ctx.ready_append);
         Py_XDECREF(pop_ready);
+        if (ctx.ch_owned)
+            free(ctx.ch);
+        else
+            g_spare_busy = 0;
         return NULL;
     }
 
@@ -368,46 +1017,70 @@ core_run(PyObject *self, PyObject *args)
             err = 1;
             break;
         }
+
+        /* best pending timed event across the Python and C heaps */
+        int have_best = 0, best_c = 0;
+        double bt = 0.0;
+        long long bs = 0;
+        if (PyList_GET_SIZE(ctx.heap) > 0) {
+            if (entry_key(PyList_GET_ITEM(ctx.heap, 0), &bt, &bs) < 0) {
+                err = 1;
+                break;
+            }
+            have_best = 1;
+        }
+        if (ctx.ch_len > 0) {
+            CEvent *h = &ctx.ch[0];
+            if (!have_best || h->time < bt || (h->time == bt && h->seq < bs)) {
+                bt = h->time;
+                bs = h->seq;
+                best_c = 1;
+            }
+            have_best = 1;
+        }
+
         if (nready > 0) {
             int use_heap = 0;
-            if (PyList_GET_SIZE(ctx.heap) > 0) {
-                double ht;
-                long long hs;
-                if (entry_key(PyList_GET_ITEM(ctx.heap, 0), &ht, &hs) < 0) {
+            if (have_best && bt <= now) {
+                PyObject *r0 = PySequence_GetItem(ctx.ready, 0);
+                if (r0 == NULL || !PyTuple_Check(r0) ||
+                    PyTuple_GET_SIZE(r0) != 3) {
+                    Py_XDECREF(r0);
+                    if (!PyErr_Occurred())
+                        PyErr_SetString(
+                            PyExc_TypeError,
+                            "run-queue entry is not a (seq, cb, arg) tuple");
                     err = 1;
                     break;
                 }
-                if (ht <= now) {
-                    PyObject *r0 = PySequence_GetItem(ctx.ready, 0);
-                    if (r0 == NULL || !PyTuple_Check(r0) ||
-                        PyTuple_GET_SIZE(r0) != 3) {
-                        Py_XDECREF(r0);
-                        if (!PyErr_Occurred())
-                            PyErr_SetString(
-                                PyExc_TypeError,
-                                "run-queue entry is not a (seq, cb, arg) tuple");
-                        err = 1;
-                        break;
-                    }
-                    long long rs = PyLong_AsLongLong(PyTuple_GET_ITEM(r0, 0));
-                    Py_DECREF(r0);
-                    if (rs == -1 && PyErr_Occurred()) {
-                        err = 1;
-                        break;
-                    }
-                    if (hs < rs)
-                        use_heap = 1;
+                long long rs = PyLong_AsLongLong(PyTuple_GET_ITEM(r0, 0));
+                Py_DECREF(r0);
+                if (rs == -1 && PyErr_Occurred()) {
+                    err = 1;
+                    break;
                 }
+                if (bs < rs)
+                    use_heap = 1;
             }
             if (use_heap) {
-                PyObject *item = PyObject_CallOneArg(g_heappop, ctx.heap);
-                if (item == NULL) {
-                    err = 1;
-                    break;
-                }
                 dispatched++;
-                int rc = invoke_callback(&ctx, PyTuple_GET_ITEM(item, 2), NULL);
-                Py_DECREF(item);
+                int rc;
+                if (best_c) {
+                    CEvent ev = cheap_pop(&ctx);
+                    rc = ev.kind == EV_RESUME
+                             ? resume_fast(&ctx, ev.obj, Py_None)
+                             : fused_advance(&ctx, ev.obj);
+                    Py_DECREF(ev.obj);
+                }
+                else {
+                    PyObject *item = PyObject_CallOneArg(g_heappop, ctx.heap);
+                    if (item == NULL) {
+                        err = 1;
+                        break;
+                    }
+                    rc = invoke_callback(&ctx, PyTuple_GET_ITEM(item, 2), NULL);
+                    Py_DECREF(item);
+                }
                 if (rc < 0) {
                     err = 1;
                     break;
@@ -436,14 +1109,8 @@ core_run(PyObject *self, PyObject *args)
                 }
             }
         }
-        else if (PyList_GET_SIZE(ctx.heap) > 0) {
-            double ht;
-            long long hs;
-            if (entry_key(PyList_GET_ITEM(ctx.heap, 0), &ht, &hs) < 0) {
-                err = 1;
-                break;
-            }
-            if (ht > until) {
+        else if (have_best) {
+            if (bt > until) {
                 now = until;
                 if (set_double(engine, s_now, until) < 0)
                     err = 1;
@@ -451,20 +1118,28 @@ core_run(PyObject *self, PyObject *args)
                     horizon = 1;
                 break;
             }
-            PyObject *item = PyObject_CallOneArg(g_heappop, ctx.heap);
-            if (item == NULL) {
-                err = 1;
-                break;
-            }
-            now = ht;
+            now = bt;
             if (set_double(engine, s_now, now) < 0) {
-                Py_DECREF(item);
                 err = 1;
                 break;
             }
             dispatched++;
-            int rc = invoke_callback(&ctx, PyTuple_GET_ITEM(item, 2), NULL);
-            Py_DECREF(item);
+            int rc;
+            if (best_c) {
+                CEvent ev = cheap_pop(&ctx);
+                rc = ev.kind == EV_RESUME ? resume_fast(&ctx, ev.obj, Py_None)
+                                          : fused_advance(&ctx, ev.obj);
+                Py_DECREF(ev.obj);
+            }
+            else {
+                PyObject *item = PyObject_CallOneArg(g_heappop, ctx.heap);
+                if (item == NULL) {
+                    err = 1;
+                    break;
+                }
+                rc = invoke_callback(&ctx, PyTuple_GET_ITEM(item, 2), NULL);
+                Py_DECREF(item);
+            }
             if (rc < 0) {
                 err = 1;
                 break;
@@ -475,20 +1150,44 @@ core_run(PyObject *self, PyObject *args)
         }
     }
 
-    /* finally: write the counters back, preserving any pending exception */
+    /* finally: restore the engine's observable state -- flush C-held
+     * events into the Python heap and write the counters back --
+     * preserving any pending exception. */
     PyObject *et = NULL, *ev = NULL, *etb = NULL;
     if (err)
         PyErr_Fetch(&et, &ev, &etb);
+    if (flush_cheap(&ctx) < 0 && !err)
+        err = 1;
     if (set_ll(engine, s_events_dispatched, dispatched) < 0 && !err)
         err = 1;
     else if (set_ll(engine, s_ready_dispatched, from_ready) < 0 && !err)
         err = 1;
+    /* Fold the fast-path deltas into whatever Python-side callbacks
+     * already accumulated on the attributes during this run. */
+    long long base;
+    if (!err && ctx.timeout_allocs != 0) {
+        if (get_ll(engine, s_timeout_allocs, &base) < 0 ||
+            set_ll(engine, s_timeout_allocs, base + ctx.timeout_allocs) < 0)
+            err = 1;
+    }
+    if (!err && ctx.grants != 0) {
+        if (get_ll(engine, s_grant_resumes, &base) < 0 ||
+            set_ll(engine, s_grant_resumes, base + ctx.grants) < 0)
+            err = 1;
+    }
     if (et != NULL || ev != NULL || etb != NULL)
         PyErr_Restore(et, ev, etb);
     Py_DECREF(ctx.heap);
     Py_DECREF(ctx.ready);
     Py_DECREF(ctx.ready_append);
     Py_DECREF(pop_ready);
+    if (ctx.ch_owned)
+        free(ctx.ch);
+    else {
+        g_spare = ctx.ch;
+        g_spare_cap = ctx.ch_cap;
+        g_spare_busy = 0;
+    }
     if (err)
         return NULL;
     return PyLong_FromLong(horizon);
@@ -498,17 +1197,38 @@ static PyObject *
 core_setup(PyObject *self, PyObject *args)
 {
     PyObject *process_cls, *timeout_cls, *request_cls, *sim_error;
-    if (!PyArg_ParseTuple(args, "OOOO:setup", &process_cls, &timeout_cls,
-                          &request_cls, &sim_error))
+    PyObject *resource_cls, *timeout_pool, *fusedop_cls;
+    if (!PyArg_ParseTuple(args, "OOOOOOO:setup", &process_cls, &timeout_cls,
+                          &request_cls, &sim_error, &resource_cls,
+                          &timeout_pool, &fusedop_cls))
         return NULL;
+    if (!PyList_Check(timeout_pool)) {
+        PyErr_SetString(PyExc_TypeError, "timeout_pool must be a list");
+        return NULL;
+    }
     PyObject *resume = PyObject_GetAttrString(process_cls, "resume");
     if (resume == NULL)
         return NULL;
+    PyObject *deliver = PyObject_GetAttrString(resource_cls, "_deliver_grant");
+    if (deliver == NULL) {
+        Py_DECREF(resume);
+        return NULL;
+    }
+    PyObject *advance = PyObject_GetAttrString(fusedop_cls, "_advance");
+    if (advance == NULL) {
+        Py_DECREF(resume);
+        Py_DECREF(deliver);
+        return NULL;
+    }
     Py_XSETREF(g_process_cls, Py_NewRef(process_cls));
     Py_XSETREF(g_timeout_cls, Py_NewRef(timeout_cls));
     Py_XSETREF(g_request_cls, Py_NewRef(request_cls));
     Py_XSETREF(g_sim_error, Py_NewRef(sim_error));
     Py_XSETREF(g_resume_func, resume);
+    Py_XSETREF(g_deliver_func, deliver);
+    Py_XSETREF(g_timeout_pool, Py_NewRef(timeout_pool));
+    Py_XSETREF(g_fusedop_cls, Py_NewRef(fusedop_cls));
+    Py_XSETREF(g_advance_func, advance);
     Py_RETURN_NONE;
 }
 
@@ -517,8 +1237,9 @@ static PyMethodDef core_methods[] = {
      "run(engine, until) -> int: drain the engine's event structures in "
      "(time, seq) order; 1 when stopped at the horizon, 0 when drained."},
     {"setup", core_setup, METH_VARARGS,
-     "setup(Process, Timeout, Request, SimulationError): register the "
-     "engine's collaborator classes."},
+     "setup(Process, Timeout, Request, SimulationError, Resource, "
+     "timeout_pool, FusedOp): register the engine's collaborator classes "
+     "and the shared Timeout freelist."},
     {NULL, NULL, 0, NULL},
 };
 
@@ -559,6 +1280,8 @@ PyInit__engine_core(void)
     INTERN(s_now, "now");
     INTERN(s_events_dispatched, "events_dispatched");
     INTERN(s_ready_dispatched, "ready_dispatched");
+    INTERN(s_timeout_allocs, "timeout_allocs");
+    INTERN(s_grant_resumes, "grant_resumes");
     INTERN(s_popleft, "popleft");
     INTERN(s_append, "append");
     INTERN(s_done, "done");
@@ -571,6 +1294,32 @@ PyInit__engine_core(void)
     INTERN(s_value, "value");
     INTERN(s_finish, "_finish");
     INTERN(s_activate, "activate");
+    INTERN(s_release, "release");
+    INTERN(s_resume_pub, "resume");
+    INTERN(s_pre, "pre");
+    INTERN(s_nic, "nic");
+    INTERN(s_hold, "hold");
+    INTERN(s_post, "post");
+    INTERN(s_trace, "trace");
+    INTERN(s_src, "src");
+    INTERN(s_category, "category");
+    INTERN(s_counter, "counter");
+    INTERN(s_amount, "amount");
+    INTERN(s_proc, "proc");
+    INTERN(s_start, "start");
+    INTERN(s_phase, "phase");
+    INTERN(s_idx, "idx");
+    INTERN(s_holding, "holding");
+    INTERN(s_result, "result");
+    INTERN(s_step, "_step");
+    INTERN(s_advance_name, "_advance");
+    INTERN(s_in_use, "in_use");
+    INTERN(s_capacity, "capacity");
+    INTERN(s_total_acquisitions, "total_acquisitions");
+    INTERN(s_total_waits, "total_waits");
+    INTERN(s_queue, "_queue");
+    INTERN(s_deliver_name, "_deliver_grant");
+    INTERN(s_record, "record");
 #undef INTERN
 
     return PyModule_Create(&core_module);

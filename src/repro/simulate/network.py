@@ -31,7 +31,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.faults.injector import DELIVER, DROP, DUPLICATE
-from repro.simulate.engine import Engine, Resource, SimEvent, Timeout
+from repro.simulate.engine import Engine, Request, Resource, SimEvent, Timeout, pooled_timeout
 from repro.util import (
     ConfigurationError,
     RankFailedError,
@@ -137,8 +137,205 @@ class NetworkStats:
     fetch_adds: int = 0
     messages: int = 0
     bytes_moved: int = 0
+    #: Traced operations dispatched through the generator-free fused path
+    #: (a subset of gets+puts+accumulates+fetch_adds). Deterministic; not
+    #: part of the digested ``RunResult.network`` dict.
+    fused_ops: int = 0
     #: Per-rank bytes initiated, as a plain float list (cheap ``+=``).
     per_rank_bytes: list[float] = field(default_factory=list)
+
+
+class _FusedOp(Request):
+    """One traced network operation as a single engine-driven request.
+
+    Replaces the per-op ``rma_traced``/``accumulate_traced``/
+    ``fetch_add_traced`` generator frame on the fault-free path: the
+    operation's delay sequence is precomputed (``pre`` delays, an
+    optional NIC hold, ``post`` delays), and this object walks it with
+    one bound-method callback per event instead of resuming a generator
+    through ``Process.resume`` -> ``send`` -> frame -> fresh ``Timeout``.
+
+    Event-order contract (pinned by the golden digests): every schedule/
+    call_now below allocates its sequence number at exactly the dispatch
+    where the generator path allocated one, the NIC acquire/grant/release
+    protocol reuses :class:`~repro.simulate.engine.Resource` verbatim by
+    duck-typing the waiting process (``done``/``engine``/``resume``), and
+    the trace record is emitted at the same event as the generator's
+    trailing ``trace.record`` — so ``(time, seq)`` orders, resource
+    counters, and trace intervals are bit-for-bit identical.
+
+    The object is also the iterator callers drive with ``yield from``:
+    ``__next__`` first yields the request itself, and once the operation
+    completes the delegating generator is resumed with the result, which
+    this iterator converts into ``StopIteration(result)`` — zero
+    additional frames. ``close()`` mirrors the generator's ``finally``:
+    a held NIC slot is released, a queued waiter is skipped by
+    ``Resource.release`` via ``done``.
+    """
+
+    __slots__ = (
+        "pre",
+        "nic",
+        "hold",
+        "post",
+        "trace",
+        "src",
+        "category",
+        "counter",
+        "amount",
+        "engine",
+        "proc",
+        "start",
+        "phase",
+        "idx",
+        "holding",
+        "done",
+        "result",
+        "_step",
+    )
+
+    def __init__(
+        self,
+        pre: tuple,
+        nic: "Resource | None",
+        hold: float,
+        post: tuple,
+        trace,
+        src: int,
+        category: str,
+        counter: "SharedCell | None" = None,
+        amount: int = 0,
+    ) -> None:
+        self.pre = pre
+        self.nic = nic
+        self.hold = hold
+        self.post = post
+        self.trace = trace
+        self.src = src
+        self.category = category
+        self.counter = counter
+        self.amount = amount
+        self.proc = None
+        self.done = False
+        self.holding = False
+        self.result = None
+
+    # -- iterator protocol (PEP 380 delegation without a generator frame)
+    def __iter__(self):
+        return self
+
+    def __next__(self):
+        if self.proc is None:
+            return self  # first advance: hand the request to the process
+        raise StopIteration(self.result)
+
+    def send(self, value):
+        if self.proc is None:
+            if value is not None:
+                raise TypeError("can't send non-None value to a just-started operation")
+            return self
+        raise StopIteration(value)
+
+    def close(self) -> None:
+        """Abort mid-operation (process cancelled): release a held slot."""
+        if self.done:
+            return
+        self.done = True
+        if self.holding:
+            self.holding = False
+            self.nic.release()
+
+    # -- request protocol
+    def activate(self, engine: Engine, process) -> None:
+        self.engine = engine
+        self.proc = process
+        self.start = engine.now
+        self.phase = 0
+        self.idx = 1
+        step = self._step = self._advance
+        delay = self.pre[0]
+        if delay == 0.0:
+            engine.call_now(step, None)
+        else:
+            engine.schedule(delay, step)
+
+    # -- grant delivery (Resource._deliver_grant duck-types us as a Process)
+    def resume(self, value=None) -> None:
+        counter = self.counter
+        if counter is not None:
+            # fetch_add's read-modify-write happens at the grant wake-up,
+            # exactly where the generator executed it while holding the
+            # home NIC, so concurrent updates serialize identically.
+            self.result = counter.value
+            counter.value += self.amount
+        self.holding = True
+        self.phase = 2
+        delay = self.hold
+        engine = self.engine
+        if delay == 0.0:
+            engine.call_now(self._step, None)
+        else:
+            engine.schedule(delay, self._step)
+
+    def _advance(self, _arg=None) -> None:
+        if self.done:
+            return  # a late wake-up raced with cancellation; drop it
+        phase = self.phase
+        if phase == 0:
+            pre = self.pre
+            idx = self.idx
+            if idx < len(pre):
+                self.idx = idx + 1
+                self._dispatch(pre[idx])
+                return
+            nic = self.nic
+            if nic is None:
+                self._complete()
+                return
+            # nic.acquire(): inline _ResourceAcquire.activate
+            self.phase = 1
+            if nic.in_use < nic.capacity:
+                nic.in_use += 1
+                nic.total_acquisitions += 1
+                self.engine.call_now(nic._deliver_grant, self)
+            else:
+                nic.total_waits += 1
+                nic._queue.append(self)
+            return
+        if phase == 2:
+            # The hold expired: release first (the next waiter's grant
+            # takes its seq here, as the generator's ``finally`` did),
+            # then schedule the return-path delays.
+            self.holding = False
+            self.nic.release()
+            post = self.post
+            if post:
+                self.phase = 3
+                self.idx = 1
+                self._dispatch(post[0])
+            else:
+                self._complete()
+            return
+        post = self.post
+        idx = self.idx
+        if idx < len(post):
+            self.idx = idx + 1
+            self._dispatch(post[idx])
+        else:
+            self._complete()
+
+    def _dispatch(self, delay: float) -> None:
+        engine = self.engine
+        if delay == 0.0:
+            engine.call_now(self._step, None)
+        else:
+            engine.schedule(delay, self._step)
+
+    def _complete(self) -> None:
+        self.done = True
+        engine = self.engine
+        self.trace.record(self.src, self.category, self.start, engine.now)
+        self.proc.resume(self.result)
 
 
 class Network:
@@ -159,6 +356,9 @@ class Network:
         "_mailboxes",
         "stats",
         "faults",
+        "_node_ids",
+        "_fused",
+        "_fused_cache",
     )
 
     def __init__(
@@ -180,6 +380,24 @@ class Network:
         #: default) keeps every fault check on a single attribute test, so
         #: fault-free runs take exactly the pre-fault-subsystem code path.
         self.faults = None
+        #: Node id per rank (topology is static), or None on flat machines
+        #: — the O(1) tier test behind the fused cost tables.
+        self._node_ids = (
+            [node_of(r) for r in range(self.n_ranks)] if node_of is not None else None
+        )
+        #: Generator-free traced operations. On by default only when the
+        #: engine drives the fused program walk in C (the compiled core):
+        #: a pure-Python ``_FusedOp`` step loses to a generator frame
+        #: resume, so the heap/bucket engines keep the reference
+        #: generators (measured in benchmarks/results/hotpath_timing.txt).
+        #: Both paths are (time, seq)-order identical, so the knob never
+        #: changes results. A fault-armed network falls back per-op
+        #: regardless (the fused tables model the fault-free cost shapes
+        #: only).
+        self._fused = bool(getattr(engine, "drives_fused_ops", False))
+        #: ``(kind, tier, nbytes) -> (pre, hold, post)`` delay programs,
+        #: memoized per distinct size class (block sizes give a handful).
+        self._fused_cache: dict = {}
 
     def same_node(self, a: int, b: int) -> bool:
         """Whether two ranks share a node (False without a topology)."""
@@ -208,7 +426,7 @@ class Network:
         """
         if self.faults is not None and src != dst and self.faults.is_dead(dst):
             self.faults.note_rma_failure()
-            yield Timeout(self.model.software_overhead + self.faults.plan.rma_timeout)
+            yield pooled_timeout(self.model.software_overhead + self.faults.plan.rma_timeout)
             raise RankFailedError(dst, operation)
 
     def drop_mailbox(self, rank: int) -> None:
@@ -237,22 +455,22 @@ class Network:
         stats.bytes_moved += nbytes
         stats.per_rank_bytes[src] += nbytes
         if src == dst:
-            yield Timeout(m.software_overhead + nbytes / m.local_bandwidth)
+            yield pooled_timeout(m.software_overhead + nbytes / m.local_bandwidth)
             return
         if self.same_node(src, dst):
-            yield Timeout(
+            yield pooled_timeout(
                 m.software_overhead + 2 * m.intra_latency + nbytes / m.intra_bandwidth
             )
             return
-        yield Timeout(m.software_overhead)
-        yield Timeout(m.latency)
+        yield pooled_timeout(m.software_overhead)
+        yield pooled_timeout(m.latency)
         nic = self.nics[dst]
         yield nic.acquire()
         try:
-            yield Timeout(m.nic_occupancy + nbytes / m.bandwidth)
+            yield pooled_timeout(m.nic_occupancy + nbytes / m.bandwidth)
         finally:
             nic.release()
-        yield Timeout(m.latency)
+        yield pooled_timeout(m.latency)
 
     def get(self, src: int, dst: int, nbytes: int):
         """Synchronous one-sided read of ``nbytes`` from ``dst``'s memory."""
@@ -277,25 +495,25 @@ class Network:
         self._account(src, nbytes)
         reduce_time = nbytes / m.accumulate_bandwidth
         if src == dst:
-            yield Timeout(m.software_overhead + nbytes / m.local_bandwidth + reduce_time)
+            yield pooled_timeout(m.software_overhead + nbytes / m.local_bandwidth + reduce_time)
             return
         if self.same_node(src, dst):
-            yield Timeout(
+            yield pooled_timeout(
                 m.software_overhead
                 + 2 * m.intra_latency
                 + nbytes / m.intra_bandwidth
                 + reduce_time
             )
             return
-        yield Timeout(m.software_overhead)
-        yield Timeout(m.latency)
+        yield pooled_timeout(m.software_overhead)
+        yield pooled_timeout(m.latency)
         nic = self.nics[dst]
         yield nic.acquire()
         try:
-            yield Timeout(m.nic_occupancy + nbytes / m.bandwidth + reduce_time)
+            yield pooled_timeout(m.nic_occupancy + nbytes / m.bandwidth + reduce_time)
         finally:
             nic.release()
-        yield Timeout(m.latency)
+        yield pooled_timeout(m.latency)
 
     def fetch_add(self, src: int, dst: int, counter: "SharedCell", amount: int = 1):
         """Atomic fetch-and-add on a cell homed at ``dst``; returns old value.
@@ -315,117 +533,154 @@ class Network:
         # local or not — that is what makes a counter a counter.
         wire = 0.0 if self.same_node(src, dst) else m.latency
         intra = m.intra_latency if (src != dst and wire == 0.0) else 0.0
-        yield Timeout(m.software_overhead)
+        yield pooled_timeout(m.software_overhead)
         if wire or intra:
-            yield Timeout(wire + intra)
+            yield pooled_timeout(wire + intra)
         yield self.nics[dst].acquire()
         old = counter.value
         counter.value += amount
         try:
-            yield Timeout(m.atomic_service)
+            yield pooled_timeout(m.atomic_service)
         finally:
             self.nics[dst].release()
         if wire or intra:
-            yield Timeout(wire + intra)
+            yield pooled_timeout(wire + intra)
         return old
 
     # ------------------------------------------------------------------
     # Traced one-sided operations (hot paths)
     # ------------------------------------------------------------------
     # These fold :class:`repro.runtime.comm.RankContext`'s interval
-    # recording into the cost-shape generator itself: one generator frame
-    # per operation instead of a wrapper frame plus a cost frame. Every
-    # event send traverses the whole ``yield from`` chain, so on paths
-    # that run millions of times per study the extra frame is measurable.
-    # Cost shapes, stats updates, record values, and failure behaviour are
-    # bit-identical to driving the untraced generator under a recorder.
+    # recording into the cost shape itself. On the fault-free path the
+    # operation is dispatched as a :class:`_FusedOp`: the delay sequence
+    # comes from a per-(kind, tier, nbytes) table computed with exactly
+    # the generator's float expressions, so no generator frame is resumed
+    # and no ``Timeout`` is allocated per event — the dominant per-event
+    # cost measured in benchmarks/results/sched_timing.txt. A fault-armed
+    # network takes the original generator (``*_gen``) per-op: dead-target
+    # discovery and FAILED-interval recording stay on the reference path.
+    # Cost shapes, stats updates, record values, and event orders are
+    # bit-identical between the two, pinned by golden digests and a
+    # hypothesis property test.
+
+    def _tier(self, src: int, dst: int) -> int:
+        if src == dst:
+            return 0
+        ids = self._node_ids
+        if ids is not None and ids[src] == ids[dst]:
+            return 1
+        return 2
+
+    def _fused_program(self, kind: str, tier: int, nbytes: int) -> tuple:
+        """The (pre, hold, post) delay program for one op class.
+
+        ``hold`` is the NIC-held delay (None when the tier bypasses the
+        NIC). Every arithmetic expression below is copied operand-for-
+        operand from the corresponding generator so the doubles are
+        bit-identical.
+        """
+        key = (kind, tier, nbytes)
+        program = self._fused_cache.get(key)
+        if program is not None:
+            return program
+        m = self.model
+        if kind == "rma":
+            if tier == 0:
+                program = (
+                    (m.software_overhead + nbytes / m.local_bandwidth,),
+                    None,
+                    (),
+                )
+            elif tier == 1:
+                program = (
+                    (
+                        m.software_overhead
+                        + 2 * m.intra_latency
+                        + nbytes / m.intra_bandwidth,
+                    ),
+                    None,
+                    (),
+                )
+            else:
+                program = (
+                    (m.software_overhead, m.latency),
+                    m.nic_occupancy + nbytes / m.bandwidth,
+                    (m.latency,),
+                )
+        elif kind == "acc":
+            reduce_time = nbytes / m.accumulate_bandwidth
+            if tier == 0:
+                program = (
+                    (m.software_overhead + nbytes / m.local_bandwidth + reduce_time,),
+                    None,
+                    (),
+                )
+            elif tier == 1:
+                program = (
+                    (
+                        m.software_overhead
+                        + 2 * m.intra_latency
+                        + nbytes / m.intra_bandwidth
+                        + reduce_time,
+                    ),
+                    None,
+                    (),
+                )
+            else:
+                program = (
+                    (m.software_overhead, m.latency),
+                    m.nic_occupancy + nbytes / m.bandwidth + reduce_time,
+                    (m.latency,),
+                )
+        else:  # "fa": fetch_add; nbytes is unused (always 0 in the key)
+            # Operand-for-operand from _fetch_add_traced_gen, including
+            # the quirk that a zero-latency *remote* hop tests as
+            # ``wire == 0.0`` and therefore pays the intra-node latency.
+            wire = 0.0 if tier != 2 else m.latency
+            intra = m.intra_latency if (tier != 0 and wire == 0.0) else 0.0
+            if wire or intra:
+                program = (
+                    (m.software_overhead, wire + intra),
+                    m.atomic_service,
+                    (wire + intra,),
+                )
+            else:
+                program = ((m.software_overhead,), m.atomic_service, ())
+        self._fused_cache[key] = program
+        return program
 
     def rma_traced(self, src: int, dst: int, nbytes: int, trace, category: str):
         """:meth:`_rma` with the caller's interval tracing inlined."""
+        if self.faults is not None or not self._fused:
+            return self._rma_traced_gen(src, dst, nbytes, trace, category)
         n = self.n_ranks
         if not (0 <= src < n and 0 <= dst < n):
             self._check_rank(src)
             self._check_rank(dst)
-        engine = self.engine
-        start = engine.now
-        m = self.model
-        faults = self.faults
-        if faults is not None and src != dst and faults.is_dead(dst):
-            faults.note_rma_failure()
-            yield Timeout(m.software_overhead + faults.plan.rma_timeout)
-            trace.record(src, _FAILED, start, engine.now)
-            raise RankFailedError(dst, "rma")
         stats = self.stats
         stats.bytes_moved += nbytes
         stats.per_rank_bytes[src] += nbytes
-        if src == dst:
-            yield Timeout(m.software_overhead + nbytes / m.local_bandwidth)
-            trace.record(src, category, start, engine.now)
-            return
-        if self.same_node(src, dst):
-            yield Timeout(
-                m.software_overhead + 2 * m.intra_latency + nbytes / m.intra_bandwidth
-            )
-            trace.record(src, category, start, engine.now)
-            return
-        yield Timeout(m.software_overhead)
-        yield Timeout(m.latency)
-        nic = self.nics[dst]
-        yield nic.acquire()
-        try:
-            yield Timeout(m.nic_occupancy + nbytes / m.bandwidth)
-        finally:
-            nic.release()
-        yield Timeout(m.latency)
-        trace.record(src, category, start, engine.now)
+        stats.fused_ops += 1
+        pre, hold, post = self._fused_program("rma", self._tier(src, dst), nbytes)
+        nic = self.nics[dst] if hold is not None else None
+        return _FusedOp(pre, nic, hold, post, trace, src, category)
 
-    def accumulate_traced(
-        self, src: int, dst: int, nbytes: int, trace, category: str
-    ):
+    def accumulate_traced(self, src: int, dst: int, nbytes: int, trace, category: str):
         """:meth:`accumulate` with the caller's interval tracing inlined."""
+        if self.faults is not None or not self._fused:
+            return self._accumulate_traced_gen(src, dst, nbytes, trace, category)
         n = self.n_ranks
         if not (0 <= src < n and 0 <= dst < n):
             self._check_rank(src)
             self._check_rank(dst)
-        engine = self.engine
-        start = engine.now
-        m = self.model
-        faults = self.faults
-        if faults is not None and src != dst and faults.is_dead(dst):
-            faults.note_rma_failure()
-            yield Timeout(m.software_overhead + faults.plan.rma_timeout)
-            trace.record(src, _FAILED, start, engine.now)
-            raise RankFailedError(dst, "accumulate")
         stats = self.stats
         stats.accumulates += 1
         stats.bytes_moved += nbytes
         stats.per_rank_bytes[src] += nbytes
-        reduce_time = nbytes / m.accumulate_bandwidth
-        if src == dst:
-            yield Timeout(
-                m.software_overhead + nbytes / m.local_bandwidth + reduce_time
-            )
-            trace.record(src, category, start, engine.now)
-            return
-        if self.same_node(src, dst):
-            yield Timeout(
-                m.software_overhead
-                + 2 * m.intra_latency
-                + nbytes / m.intra_bandwidth
-                + reduce_time
-            )
-            trace.record(src, category, start, engine.now)
-            return
-        yield Timeout(m.software_overhead)
-        yield Timeout(m.latency)
-        nic = self.nics[dst]
-        yield nic.acquire()
-        try:
-            yield Timeout(m.nic_occupancy + nbytes / m.bandwidth + reduce_time)
-        finally:
-            nic.release()
-        yield Timeout(m.latency)
-        trace.record(src, category, start, engine.now)
+        stats.fused_ops += 1
+        pre, hold, post = self._fused_program("acc", self._tier(src, dst), nbytes)
+        nic = self.nics[dst] if hold is not None else None
+        return _FusedOp(pre, nic, hold, post, trace, src, category)
 
     def fetch_add_traced(
         self,
@@ -437,6 +692,115 @@ class Network:
         category: str,
     ):
         """:meth:`fetch_add` with the caller's interval tracing inlined."""
+        if self.faults is not None or not self._fused:
+            return self._fetch_add_traced_gen(src, dst, counter, amount, trace, category)
+        self._check_rank(src)
+        self._check_rank(dst)
+        stats = self.stats
+        stats.fetch_adds += 1
+        stats.fused_ops += 1
+        pre, hold, post = self._fused_program("fa", self._tier(src, dst), 0)
+        return _FusedOp(
+            pre, self.nics[dst], hold, post, trace, src, category, counter, amount
+        )
+
+    def _rma_traced_gen(self, src: int, dst: int, nbytes: int, trace, category: str):
+        """Generator reference path for :meth:`rma_traced` (fault-armed)."""
+        n = self.n_ranks
+        if not (0 <= src < n and 0 <= dst < n):
+            self._check_rank(src)
+            self._check_rank(dst)
+        engine = self.engine
+        start = engine.now
+        m = self.model
+        faults = self.faults
+        if faults is not None and src != dst and faults.is_dead(dst):
+            faults.note_rma_failure()
+            yield pooled_timeout(m.software_overhead + faults.plan.rma_timeout)
+            trace.record(src, _FAILED, start, engine.now)
+            raise RankFailedError(dst, "rma")
+        stats = self.stats
+        stats.bytes_moved += nbytes
+        stats.per_rank_bytes[src] += nbytes
+        if src == dst:
+            yield pooled_timeout(m.software_overhead + nbytes / m.local_bandwidth)
+            trace.record(src, category, start, engine.now)
+            return
+        if self.same_node(src, dst):
+            yield pooled_timeout(
+                m.software_overhead + 2 * m.intra_latency + nbytes / m.intra_bandwidth
+            )
+            trace.record(src, category, start, engine.now)
+            return
+        yield pooled_timeout(m.software_overhead)
+        yield pooled_timeout(m.latency)
+        nic = self.nics[dst]
+        yield nic.acquire()
+        try:
+            yield pooled_timeout(m.nic_occupancy + nbytes / m.bandwidth)
+        finally:
+            nic.release()
+        yield pooled_timeout(m.latency)
+        trace.record(src, category, start, engine.now)
+
+    def _accumulate_traced_gen(
+        self, src: int, dst: int, nbytes: int, trace, category: str
+    ):
+        """Generator reference path for :meth:`accumulate_traced`."""
+        n = self.n_ranks
+        if not (0 <= src < n and 0 <= dst < n):
+            self._check_rank(src)
+            self._check_rank(dst)
+        engine = self.engine
+        start = engine.now
+        m = self.model
+        faults = self.faults
+        if faults is not None and src != dst and faults.is_dead(dst):
+            faults.note_rma_failure()
+            yield pooled_timeout(m.software_overhead + faults.plan.rma_timeout)
+            trace.record(src, _FAILED, start, engine.now)
+            raise RankFailedError(dst, "accumulate")
+        stats = self.stats
+        stats.accumulates += 1
+        stats.bytes_moved += nbytes
+        stats.per_rank_bytes[src] += nbytes
+        reduce_time = nbytes / m.accumulate_bandwidth
+        if src == dst:
+            yield pooled_timeout(
+                m.software_overhead + nbytes / m.local_bandwidth + reduce_time
+            )
+            trace.record(src, category, start, engine.now)
+            return
+        if self.same_node(src, dst):
+            yield pooled_timeout(
+                m.software_overhead
+                + 2 * m.intra_latency
+                + nbytes / m.intra_bandwidth
+                + reduce_time
+            )
+            trace.record(src, category, start, engine.now)
+            return
+        yield pooled_timeout(m.software_overhead)
+        yield pooled_timeout(m.latency)
+        nic = self.nics[dst]
+        yield nic.acquire()
+        try:
+            yield pooled_timeout(m.nic_occupancy + nbytes / m.bandwidth + reduce_time)
+        finally:
+            nic.release()
+        yield pooled_timeout(m.latency)
+        trace.record(src, category, start, engine.now)
+
+    def _fetch_add_traced_gen(
+        self,
+        src: int,
+        dst: int,
+        counter: "SharedCell",
+        amount: int,
+        trace,
+        category: str,
+    ):
+        """Generator reference path for :meth:`fetch_add_traced`."""
         self._check_rank(src)
         self._check_rank(dst)
         engine = self.engine
@@ -445,25 +809,25 @@ class Network:
         faults = self.faults
         if faults is not None and src != dst and faults.is_dead(dst):
             faults.note_rma_failure()
-            yield Timeout(m.software_overhead + faults.plan.rma_timeout)
+            yield pooled_timeout(m.software_overhead + faults.plan.rma_timeout)
             trace.record(src, _FAILED, start, engine.now)
             raise RankFailedError(dst, "fetch_add")
         self.stats.fetch_adds += 1
         wire = 0.0 if self.same_node(src, dst) else m.latency
         intra = m.intra_latency if (src != dst and wire == 0.0) else 0.0
-        yield Timeout(m.software_overhead)
+        yield pooled_timeout(m.software_overhead)
         if wire or intra:
-            yield Timeout(wire + intra)
+            yield pooled_timeout(wire + intra)
         nic = self.nics[dst]
         yield nic.acquire()
         old = counter.value
         counter.value += amount
         try:
-            yield Timeout(m.atomic_service)
+            yield pooled_timeout(m.atomic_service)
         finally:
             nic.release()
         if wire or intra:
-            yield Timeout(wire + intra)
+            yield pooled_timeout(wire + intra)
         trace.record(src, category, start, engine.now)
         return old
 
@@ -492,13 +856,13 @@ class Network:
 
         def delivery():
             if intra:
-                yield Timeout(2 * m.intra_latency + nbytes / m.intra_bandwidth)
+                yield pooled_timeout(2 * m.intra_latency + nbytes / m.intra_bandwidth)
             else:
-                yield Timeout(m.latency)
+                yield pooled_timeout(m.latency)
                 nic = self.nics[dst]
                 yield nic.acquire()
                 try:
-                    yield Timeout(m.nic_occupancy + nbytes / m.bandwidth)
+                    yield pooled_timeout(m.nic_occupancy + nbytes / m.bandwidth)
                 finally:
                     nic.release()
             if self.faults is not None and self.faults.is_dead(dst):
@@ -510,7 +874,7 @@ class Network:
 
         if fate != DROP:
             self.engine.process(delivery(), name=f"deliver({src}->{dst})", daemon=True)
-        yield Timeout(m.software_overhead)
+        yield pooled_timeout(m.software_overhead)
 
     def recv(self, rank: int, tag: Any = None, timeout: float | None = None):
         """Blocking receive of the next message matching ``tag`` (None=any).
@@ -524,7 +888,7 @@ class Network:
         box = self._mailboxes[rank]
         ready = box.take(tag)
         if ready is not None:
-            yield Timeout(0.0)
+            yield pooled_timeout(0.0)
             return ready
         event = SimEvent()
         entry = (tag, event)

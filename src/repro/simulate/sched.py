@@ -73,9 +73,19 @@ import sysconfig
 import tempfile
 import warnings
 from heapq import heappop, heappush
+from sys import getrefcount
 from typing import Any, Callable
 
-from repro.simulate.engine import Engine, Process, Request, SimulationError, Timeout
+from repro.simulate.engine import (
+    Engine,
+    Process,
+    Request,
+    Resource,
+    SimulationError,
+    Timeout,
+    _timeout_pool,
+    _timeout_pool_append,
+)
 from repro.util import ConfigurationError, check_non_negative
 
 __all__ = [
@@ -146,11 +156,28 @@ def make_engine() -> Engine:
     if core is not None:
         return CompiledEngine()
     if mode == "compiled":
+        if os.environ.get("REPRO_ENGINE_REQUIRE", "").strip() == "1":
+            raise ConfigurationError(
+                "REPRO_ENGINE=compiled with REPRO_ENGINE_REQUIRE=1, but the "
+                "compiled engine core is unavailable"
+                + (f": {_last_build_error}" if _last_build_error else "")
+            )
         _warn_degraded()
     return Engine()
 
 
 _degraded_warned = False
+
+#: Why the last compiled-core build/import attempt failed (compiler
+#: stderr tail or a one-line diagnosis); surfaced in the degraded-engine
+#: warning and the REPRO_ENGINE_REQUIRE error so CI failures are
+#: actionable without rerunning the build by hand.
+_last_build_error: str | None = None
+
+
+def _note_build_error(message: str) -> None:
+    global _last_build_error
+    _last_build_error = message
 
 
 def _warn_degraded() -> None:
@@ -158,10 +185,12 @@ def _warn_degraded() -> None:
     if _degraded_warned:
         return
     _degraded_warned = True
+    detail = f" Build failure: {_last_build_error}" if _last_build_error else ""
     warnings.warn(
         "REPRO_ENGINE=compiled requested but the compiled engine core is "
         "unavailable (no C compiler/headers, or the build failed); "
-        "falling back to the pure-Python engine. Results are identical.",
+        "falling back to the pure-Python engine. Results are identical."
+        + detail,
         DegradedEngineWarning,
         stacklevel=3,
     )
@@ -347,9 +376,12 @@ class _BucketProcess(Process):
             return
         if request.__class__ is Timeout:
             engine = self.engine
+            engine.timeout_allocs += 1
             seq = engine._seq
             engine._seq = seq + 1
             delay = request.delay
+            if getrefcount(request) == 2:
+                _timeout_pool_append(request)
             if delay == 0.0:
                 engine._ready.append((seq, self._resume, None))
             else:
@@ -381,6 +413,13 @@ class CompiledEngine(Engine):
     """
 
     __slots__ = ()
+
+    #: Networks built on this engine default to fused (generator-free)
+    #: traced ops: the C core walks the delay programs, which is where
+    #: fusion actually pays. The pure-Python engines keep the reference
+    #: generators (a Python state-machine step is slower than a
+    #: generator resume). Order-identical either way.
+    drives_fused_ops = True
 
     def run(self, until: float = math.inf) -> float:
         core = _load_engine_core()
@@ -419,9 +458,23 @@ def _load_engine_core():
     try:
         module = _import_or_build()
         if module is not None:
-            module.setup(Process, Timeout, Request, SimulationError)
+            # Imported here, not at module scope: network.py pulls in the
+            # cost-model machinery, which the engine-only users of this
+            # module never need.
+            from repro.simulate.network import _FusedOp
+
+            module.setup(
+                Process,
+                Timeout,
+                Request,
+                SimulationError,
+                Resource,
+                _timeout_pool,
+                _FusedOp,
+            )
             _core = module
-    except Exception:
+    except Exception as exc:
+        _note_build_error(f"{type(exc).__name__}: {exc}")
         _core = None
     return _core
 
@@ -464,9 +517,11 @@ def _import_or_build():
 def _build_extension(source: str, path: str, cache_dir: str) -> bool:
     compiler = shutil.which("cc") or shutil.which("gcc") or shutil.which("clang")
     if compiler is None:
+        _note_build_error("no C compiler (cc/gcc/clang) on PATH")
         return False
     include = sysconfig.get_paths().get("include")
     if not include or not os.path.exists(os.path.join(include, "Python.h")):
+        _note_build_error("Python.h not found (no CPython development headers)")
         return False
     os.makedirs(cache_dir, exist_ok=True)
     fd, tmp = tempfile.mkstemp(suffix=".so", dir=cache_dir)
@@ -484,13 +539,17 @@ def _build_extension(source: str, path: str, cache_dir: str) -> bool:
     ]
     try:
         proc = subprocess.run(
-            cmd, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL, timeout=120
+            cmd, stdout=subprocess.DEVNULL, stderr=subprocess.PIPE, timeout=120
         )
         if proc.returncode != 0:
+            stderr = (proc.stderr or b"").decode("utf-8", "replace").strip()
+            tail = "\n".join(stderr.splitlines()[-8:]) or "(no compiler output)"
+            _note_build_error(f"{compiler} exited {proc.returncode}:\n{tail}")
             return False
         os.replace(tmp, path)  # atomic: concurrent builders race harmlessly
         return True
-    except (OSError, subprocess.SubprocessError):
+    except (OSError, subprocess.SubprocessError) as exc:
+        _note_build_error(f"{type(exc).__name__}: {exc}")
         return False
     finally:
         if os.path.exists(tmp):

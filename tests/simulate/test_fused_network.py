@@ -1,0 +1,380 @@
+"""The generator-free traced-op path must be invisible except in speed.
+
+``Network.rma_traced``/``accumulate_traced``/``fetch_add_traced`` serve
+fault-free operations from precomputed (pre, hold, post) delay programs
+walked by a :class:`~repro.simulate.network._FusedOp` instead of a
+generator frame. These tests pin the equivalence from three directions:
+
+- a hypothesis property test that the table-driven delay sequences equal
+  the generator path's yielded costs **bit-for-bit** across random
+  network parameters, payload sizes, and tiers;
+- whole-run equality: identical RunResults (makespan bits, arrays,
+  counters, trace intervals) with the fused path on vs. forced off;
+- the cancellation protocol: closing a mid-hold fused op releases the
+  NIC slot exactly like the generator's ``finally``.
+
+Plus the operational bits that ride on the same hot path: the Timeout
+freelist, the hot-path counters, and the strict-compiled-engine switch
+(``REPRO_ENGINE_REQUIRE``) with the compiler-stderr diagnostics.
+"""
+
+from __future__ import annotations
+
+import shutil
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simulate.engine import Engine, Resource, Timeout
+from repro.simulate.network import Network, NetworkModel, _FusedOp
+from repro.util import ConfigurationError
+
+
+class _Recorder:
+    """Minimal trace-recorder stand-in: keeps (src, cat, start, end)."""
+
+    def __init__(self) -> None:
+        self.calls: list[tuple] = []
+
+    def record(self, src, category, start, end) -> None:
+        self.calls.append((src, category, start, end))
+
+
+# ----------------------------------------------------------------------
+# Property: fused delay programs == generator-path costs, bit for bit
+# ----------------------------------------------------------------------
+
+_times = st.floats(min_value=0.0, max_value=1e-3, allow_nan=False)
+_rates = st.floats(min_value=1e6, max_value=1e12, allow_nan=False)
+
+_models = st.builds(
+    NetworkModel,
+    latency=_times,
+    bandwidth=_rates,
+    software_overhead=_times,
+    nic_occupancy=_times,
+    atomic_service=_times,
+    accumulate_bandwidth=_rates,
+    local_bandwidth=_rates,
+    intra_latency=_times,
+    intra_bandwidth=_rates,
+)
+
+
+def _drive(gen) -> list[tuple]:
+    """Manually advance a traced-op generator, logging yields in order.
+
+    Timeouts log their exact delay; the NIC acquire logs a marker (the
+    grant itself carries no cost). ``send(None)`` mirrors what
+    ``Process.resume`` delivers for both request kinds.
+    """
+    seq: list[tuple] = []
+    try:
+        req = next(gen)
+        while True:
+            if isinstance(req, Timeout):
+                seq.append(("t", req.delay.hex()))
+            else:
+                # Grant the acquire by hand so the generator's finally
+                # has a slot to release.
+                req.resource.in_use += 1
+                seq.append(("acquire",))
+            req = gen.send(None)
+    except StopIteration:
+        pass
+    return seq
+
+
+def _expand(program) -> list[tuple]:
+    """The fused (pre, hold, post) program in the generator's yield order."""
+    pre, hold, post = program
+    seq: list[tuple] = [("t", d.hex()) for d in pre]
+    if hold is not None:
+        seq.append(("acquire",))
+        seq.append(("t", hold.hex()))
+    seq.extend(("t", d.hex()) for d in post)
+    return seq
+
+
+def _tier_endpoints(tier: int) -> tuple[int, int]:
+    # node_of = rank // 2 over 4 ranks: (0,0) self, (0,1) same node,
+    # (0,2) remote.
+    return (0, 0) if tier == 0 else (0, 1) if tier == 1 else (0, 2)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    model=_models,
+    nbytes=st.integers(min_value=0, max_value=10**8),
+    tier=st.integers(min_value=0, max_value=2),
+    kind=st.sampled_from(["rma", "acc", "fa"]),
+)
+def test_fused_program_matches_generator_bitwise(model, nbytes, tier, kind):
+    from repro.simulate.network import SharedCell
+
+    net = Network(Engine(), model, 4, node_of=lambda r: r // 2)
+    src, dst = _tier_endpoints(tier)
+    rec = _Recorder()
+    if kind == "rma":
+        gen = net._rma_traced_gen(src, dst, nbytes, rec, "get")
+        program = net._fused_program("rma", tier, nbytes)
+    elif kind == "acc":
+        gen = net._accumulate_traced_gen(src, dst, nbytes, rec, "acc")
+        program = net._fused_program("acc", tier, nbytes)
+    else:
+        gen = net._fetch_add_traced_gen(src, dst, SharedCell(), 1, rec, "fa")
+        program = net._fused_program("fa", tier, 0)
+    assert _drive(gen) == _expand(program)
+
+
+def test_fused_program_memoized():
+    net = Network(Engine(), NetworkModel(), 4)
+    assert net._fused_program("rma", 2, 384) is net._fused_program("rma", 2, 384)
+    assert net._fused_program("rma", 2, 384) != net._fused_program("acc", 2, 384)
+
+
+# ----------------------------------------------------------------------
+# Whole-run equality: fused on vs. forced off
+# ----------------------------------------------------------------------
+
+
+def _run_counter_case(monkeypatch, fused: bool):
+    """One contention-heavy counter_dynamic run with the fused knob set.
+
+    Forced both ways (the default depends on the engine's
+    ``drives_fused_ops``) so the comparison is meaningful on any engine:
+    the pure-Python ``_FusedOp`` walk must match the generators too.
+    """
+    original = Network.__init__
+
+    def forced(self, *args, **kwargs):
+        original(self, *args, **kwargs)
+        self._fused = fused
+
+    monkeypatch.setattr(Network, "__init__", forced)
+    from repro.chemistry.tasks import synthetic_task_graph
+    from repro.exec_models import make_model
+    from repro.simulate import StaticHeterogeneity, hierarchical_cluster
+
+    graph = synthetic_task_graph(500, 8, seed=23, skew=1.2)
+    machine = hierarchical_cluster(
+        4, cores_per_node=6, variability=StaticHeterogeneity(range(2), 0.7)
+    )
+    return make_model("counter_dynamic").run(
+        graph, machine, seed=11, trace_intervals=True
+    )
+
+
+def test_fused_run_equals_generator_run(monkeypatch):
+    import numpy as np
+
+    with monkeypatch.context() as m:
+        fused = _run_counter_case(m, fused=True)
+    with monkeypatch.context() as m:
+        plain = _run_counter_case(m, fused=False)
+    assert fused.makespan.hex() == plain.makespan.hex()
+    assert np.array_equal(fused.assignment, plain.assignment)
+    assert fused.task_starts.tobytes() == plain.task_starts.tobytes()
+    assert fused.finish_times.tobytes() == plain.finish_times.tobytes()
+    assert fused.counters == plain.counters
+    assert fused.network == plain.network
+    assert fused.intervals == plain.intervals
+    assert fused.sim_events == plain.sim_events
+    assert fused.sim_ready_events == plain.sim_ready_events
+    # Grant volumes are identical (the NIC protocol is shared); Timeout
+    # consumption is the thing the fused path eliminates — each op's
+    # delays run as bare callbacks instead of yielded Timeout requests.
+    # The >=90% drop on a contention workload is the PR's headline
+    # allocation win.
+    assert fused.grant_resumes == plain.grant_resumes
+    assert plain.timeout_allocs > 0
+    assert fused.timeout_allocs <= plain.timeout_allocs * 0.10
+    assert fused.fused_ops > 0
+    assert plain.fused_ops == 0
+
+
+# ----------------------------------------------------------------------
+# Cancellation: _FusedOp.close() must behave like the generator finally
+# ----------------------------------------------------------------------
+
+
+def _cancel_mid_hold_makespan(fused: bool) -> tuple[float, int]:
+    engine = Engine()
+    net = Network(engine, NetworkModel(), 3)
+    net._fused = fused
+    rec = _Recorder()
+    done = []
+
+    def holder():
+        yield from net.rma_traced(0, 1, 1 << 20, rec, "get")
+
+    def contender():
+        yield from net.rma_traced(2, 1, 4096, rec, "get")
+        done.append(engine.now)
+
+    victim = engine.process(holder(), name="victim")
+    engine.process(contender(), name="contender")
+    # 1MB at 5 GB/s holds the NIC for ~210us starting ~1.9us in; cancel
+    # squarely inside the hold window.
+    engine.run(until=50e-6)
+    victim.cancel()
+    engine.run()
+    assert len(done) == 1
+    assert net.nics[1].in_use == 0
+    return done[0], net.nics[1].total_acquisitions
+
+
+def test_fused_cancel_releases_nic_like_generator():
+    fused_finish, fused_acq = _cancel_mid_hold_makespan(True)
+    plain_finish, plain_acq = _cancel_mid_hold_makespan(False)
+    assert fused_finish == plain_finish
+    assert fused_acq == plain_acq == 2
+
+
+def test_fused_op_rejects_nonnone_send_before_start():
+    net = Network(Engine(), NetworkModel(), 2)
+    net._fused = True  # default is engine-dependent; force the fused path
+    op = net.rma_traced(0, 1, 64, _Recorder(), "get")
+    assert isinstance(op, _FusedOp)
+    assert iter(op) is op
+    with pytest.raises(TypeError):
+        op.send(42)
+
+
+# ----------------------------------------------------------------------
+# Timeout freelist + hot-path counters
+# ----------------------------------------------------------------------
+
+
+def test_timeout_freelist_recycles_instances():
+    from repro.simulate import engine as engine_mod
+    from repro.simulate.engine import pooled_timeout
+
+    sentinel = Timeout(0.125)
+    engine_mod._timeout_pool.append(sentinel)
+    fresh = pooled_timeout(0.5)
+    assert fresh is sentinel  # served from the pool...
+    assert fresh.delay == 0.5  # ...with the new delay installed
+    with pytest.raises(Exception):
+        engine_mod._timeout_pool.append(sentinel)
+        try:
+            pooled_timeout(-1.0)  # validation matches Timeout.__init__
+        finally:
+            if sentinel in engine_mod._timeout_pool:
+                engine_mod._timeout_pool.remove(sentinel)
+
+
+def test_plain_constructor_never_touches_pool():
+    from repro.simulate import engine as engine_mod
+
+    sentinel = Timeout(0.25)
+    engine_mod._timeout_pool.append(sentinel)
+    try:
+        fresh = Timeout(0.25)
+        assert fresh is not sentinel  # public constructor stays pool-free
+    finally:
+        if sentinel in engine_mod._timeout_pool:
+            engine_mod._timeout_pool.remove(sentinel)
+
+
+def test_timeout_subclass_never_recycled():
+    """Only exact Timeouts enter the pool: the resume fast path checks
+    ``request.__class__ is Timeout`` before recycling, so a subclass a
+    test (or future request type) yields is never reused under it."""
+    from repro.simulate import engine as engine_mod
+
+    class Marked(Timeout):
+        __slots__ = ()
+
+    def proc():
+        yield Marked(1e-9)  # sole-reference subclass: recyclable if buggy
+
+    engine = Engine()
+    engine.process(proc())
+    engine.run()
+    assert all(type(t) is Timeout for t in engine_mod._timeout_pool)
+
+
+def _contention_workload(engine) -> None:
+    res = Resource(2)
+
+    def worker(n):
+        for _ in range(n):
+            yield Timeout(1e-6)
+            yield res.acquire()
+            yield Timeout(2e-6)
+            res.release()
+
+    for i in range(5):
+        engine.process(worker(100), name=f"w{i}")
+    engine.run()
+
+
+def test_hotpath_counters_match_across_engines():
+    from repro.simulate.sched import BucketEngine, CompiledEngine, compiled_available
+
+    engines = [Engine(), BucketEngine()]
+    if compiled_available():
+        engines.append(CompiledEngine())
+    observed = set()
+    for engine in engines:
+        _contention_workload(engine)
+        observed.add(
+            (
+                engine.now,
+                engine.events_dispatched,
+                engine.timeout_allocs,
+                engine.grant_resumes,
+            )
+        )
+    assert len(observed) == 1
+    (now, dispatched, timeouts, grants) = observed.pop()
+    assert timeouts == 1000  # 5 workers x 100 iterations x 2 Timeouts
+    assert grants == 500  # every acquire is granted exactly once
+
+
+# ----------------------------------------------------------------------
+# REPRO_ENGINE_REQUIRE + degraded-warning diagnostics
+# ----------------------------------------------------------------------
+
+
+def test_engine_require_raises_with_build_detail(monkeypatch):
+    from repro.simulate import sched
+
+    monkeypatch.setattr(sched, "_core", None)  # "the build already failed"
+    monkeypatch.setattr(sched, "_last_build_error", "undefined symbol: Py_Boom")
+    monkeypatch.setenv("REPRO_ENGINE", "compiled")
+    monkeypatch.setenv("REPRO_ENGINE_REQUIRE", "1")
+    with pytest.raises(ConfigurationError, match="Py_Boom"):
+        sched.make_engine()
+
+
+def test_degraded_warning_includes_stderr_tail(monkeypatch):
+    from repro.simulate import sched
+
+    monkeypatch.setattr(sched, "_core", None)
+    monkeypatch.setattr(sched, "_last_build_error", "engine.c:42: error: boom")
+    monkeypatch.setattr(sched, "_degraded_warned", False)
+    monkeypatch.setenv("REPRO_ENGINE", "compiled")
+    monkeypatch.delenv("REPRO_ENGINE_REQUIRE", raising=False)
+    with pytest.warns(sched.DegradedEngineWarning, match="boom"):
+        engine = sched.make_engine()
+    assert type(engine) is Engine  # degraded, not broken
+
+
+@pytest.mark.skipif(
+    shutil.which("cc") is None
+    and shutil.which("gcc") is None
+    and shutil.which("clang") is None,
+    reason="no C compiler on PATH",
+)
+def test_build_extension_captures_compiler_stderr(monkeypatch, tmp_path):
+    from repro.simulate import sched
+
+    monkeypatch.setattr(sched, "_last_build_error", None)
+    bad = tmp_path / "bad.c"
+    bad.write_text("this is not a C translation unit;\n")
+    ok = sched._build_extension(str(bad), str(tmp_path / "bad.so"), str(tmp_path))
+    assert not ok
+    assert sched._last_build_error is not None
+    assert "bad.c" in sched._last_build_error

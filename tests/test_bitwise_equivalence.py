@@ -42,11 +42,20 @@ def _build_graph(spec: dict):
 
 
 def _build_machine(spec: dict):
-    from repro.simulate import StaticHeterogeneity, commodity_cluster
+    from repro.simulate import (
+        StaticHeterogeneity,
+        commodity_cluster,
+        hierarchical_cluster,
+    )
 
     variability = None
     if "slow_ranks" in spec:
         variability = StaticHeterogeneity(range(spec["slow_ranks"]), spec["slow_factor"])
+    if "cores_per_node" in spec:
+        cores = spec["cores_per_node"]
+        return hierarchical_cluster(
+            spec["n_ranks"] // cores, cores_per_node=cores, variability=variability
+        )
     return commodity_cluster(spec["n_ranks"], variability=variability)
 
 
@@ -112,6 +121,24 @@ CASES = {
         "machine": {"n_ranks": 16},
         "seed": 5,
         "trace_intervals": True,
+    },
+    # RMA/contention-heavy cases for the fused traced-op path: many ranks
+    # hammering few home NICs (remote-tier gets/accumulates + fetch_add
+    # queueing at the counter's home), pinned so the generator-free delay
+    # sequences reproduce the exact grant and tie-break order.
+    "counter_contention_p48": {
+        "model": "counter_dynamic",
+        "graph": {"n_tasks": 1800, "n_blocks": 8, "seed": 17, "skew": 1.2},
+        "machine": {"n_ranks": 48},
+        "seed": 8,
+    },
+    # Hierarchical topology: exercises the same-node (intra) tier of the
+    # fused cost tables alongside the remote tier, plus variability.
+    "counter_hier_variability_p32": {
+        "model": "counter_dynamic",
+        "graph": {"n_tasks": 1400, "n_blocks": 10, "seed": 19, "skew": 1.1},
+        "machine": {"n_ranks": 32, "cores_per_node": 8, "slow_ranks": 3, "slow_factor": 0.6},
+        "seed": 9,
     },
 }
 
